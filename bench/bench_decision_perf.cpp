@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Microbenchmark: Algorithm 1 decision latency at room scale.
+ *
+ * Not a paper artifact — it guards the controller's contribution to the
+ * 10-second end-to-end budget: deciding the action set for a ~600-rack
+ * room must take milliseconds, leaving the budget to telemetry and
+ * actuation.
+ */
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "online/decision.hpp"
+#include "power/topology.hpp"
+
+namespace {
+
+using namespace flex;
+using workload::Category;
+
+online::DecisionInput
+MakeRoomScaleInput(int racks_count)
+{
+  const power::RoomTopology room(power::RoomConfig::EvaluationRoom());
+  Rng rng(5);
+  online::DecisionInput input;
+  for (power::UpsId u = 0; u < room.NumUpses(); ++u) {
+    // UPS 0 failed; survivors overloaded ~133%.
+    input.ups_power.push_back(
+        u == 0 ? Watts(0.0) : room.UpsCapacity(u) * 1.33);
+    input.ups_limit.push_back(room.UpsCapacity(u));
+  }
+  for (power::PduPairId p = 0; p < room.NumPduPairs(); ++p)
+    input.pdu_to_ups.push_back(room.UpsesOfPduPair(p));
+  for (int i = 0; i < racks_count; ++i) {
+    online::RackSnapshot rack;
+    rack.rack_id = i;
+    const int category = i % 10;
+    if (category < 2) {
+      rack.category = Category::kSoftwareRedundant;
+      rack.workload = "sr-" + std::to_string(i % 3);
+    } else if (category < 7) {
+      rack.category = Category::kNonRedundantCapable;
+      rack.workload = "cap-" + std::to_string(i % 3);
+    } else {
+      rack.category = Category::kNonRedundantNonCapable;
+      rack.workload = "nc";
+    }
+    rack.pdu_pair = i % room.NumPduPairs();
+    rack.current_power = KiloWatts(rng.Uniform(10.0, 16.0));
+    rack.flex_power = KiloWatts(12.0);
+    input.racks.push_back(std::move(rack));
+  }
+  return input;
+}
+
+void
+BM_DecideActionsRoomScale(benchmark::State& state)
+{
+  const online::DecisionInput input =
+      MakeRoomScaleInput(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    const online::DecisionResult result = online::DecideActions(input);
+    benchmark::DoNotOptimize(result.actions.size());
+  }
+}
+BENCHMARK(BM_DecideActionsRoomScale)
+    ->Arg(120)
+    ->Arg(360)
+    ->Arg(600)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * E6 / Section V-A text: impact of deployment sizes.
+ *
+ * Paper result: capping the largest deployment at 10 racks roughly
+ * halves Flex-Offline-Short's median stranded power and throttling
+ * imbalance relative to 20-rack deployments.
+ *
+ * Note on fidelity: our MILP reaches much lower absolute stranding than
+ * the paper's ~4% baseline, which compresses the size effect for
+ * Flex-Offline (1-2% either way, within solver-budget jitter). The
+ * fragmentation mechanism itself is shown cleanly by the Balanced
+ * Round-Robin heuristic, where packing quality is not confounded with
+ * solve budgets — both are reported.
+ */
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "placement_study.hpp"
+
+int
+main()
+{
+  using namespace flex;
+  bench::PrintHeader("bench_deployment_sizes", "Section V-A (sizes)",
+                     "median stranded power vs. maximum deployment size");
+
+  const power::RoomTopology room(power::RoomConfig::EvaluationRoom());
+  const int traces = bench::NumTraces();
+  const double solve = bench::SolveSeconds() * 2.0;  // damp budget jitter
+
+  std::printf("%-12s %22s %24s %20s\n", "max racks", "BRR stranded (med)",
+              "Flex-Short stranded (med)", "Flex-Short imbalance");
+  double brr_at[3] = {0, 0, 0};
+  double flex_at[3] = {0, 0, 0};
+  const int caps[3] = {20, 10, 5};
+  for (int i = 0; i < 3; ++i) {
+    Rng rng(2021);
+    workload::TraceConfig config;
+    config.max_deployment_racks = caps[i];
+    const auto base = workload::GenerateTrace(
+        config, room.TotalProvisionedPower(), rng);
+    const auto variants = workload::ShuffledVariants(base, traces, rng);
+
+    offline::BalancedRoundRobinPolicy brr;
+    offline::FlexOfflinePolicy flex = offline::FlexOfflinePolicy::Short(solve);
+    std::vector<double> brr_stranded;
+    std::vector<double> flex_stranded;
+    std::vector<double> flex_imbalance;
+    for (const auto& variant : variants) {
+      brr_stranded.push_back(offline::StrandedPowerFraction(
+          room, brr.Place(room, variant)));
+      const auto placement = flex.Place(room, variant);
+      const auto metrics = offline::EvaluatePlacement(room, placement);
+      flex_stranded.push_back(metrics.stranded_fraction);
+      flex_imbalance.push_back(metrics.throttling_imbalance);
+    }
+    brr_at[i] = BoxStats::FromSamples(brr_stranded).median;
+    flex_at[i] = BoxStats::FromSamples(flex_stranded).median;
+    std::printf("%-12d %21.2f%% %23.2f%% %20.4f\n", caps[i],
+                100.0 * brr_at[i], 100.0 * flex_at[i],
+                BoxStats::FromSamples(flex_imbalance).median);
+  }
+
+  std::printf("\npaper: max-10-rack deployments show roughly half the "
+              "stranded power of max-20\n");
+  if (brr_at[0] > 0.0 && flex_at[0] > 0.0) {
+    std::printf("measured: max-10 / max-20 stranded ratio = %.2f "
+                "(heuristic), %.2f (Flex-Offline-Short)\n",
+                brr_at[1] / brr_at[0], flex_at[1] / flex_at[0]);
+  }
+  return 0;
+}

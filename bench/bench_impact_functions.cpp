@@ -1,0 +1,53 @@
+/**
+ * @file
+ * E8 / Figs. 8 and 11: impact function library.
+ *
+ * Prints the example impact functions for Microsoft's production
+ * services (Fig. 8 A/B/C) and the four simulation scenarios (Fig. 11)
+ * sampled across the affected-rack fraction axis.
+ */
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "workload/impact.hpp"
+
+namespace {
+
+void
+PrintCurve(const char* name, const flex::workload::ImpactFunction& f)
+{
+  std::printf("%-14s", name);
+  for (double x = 0.0; x <= 1.0001; x += 0.1)
+    std::printf(" %5.2f", f(std::min(1.0, x)));
+  std::printf("\n");
+}
+
+}  // namespace
+
+int
+main()
+{
+  using namespace flex;
+  bench::PrintHeader("bench_impact_functions", "Figs. 8 and 11",
+                     "impact vs. fraction of affected racks");
+
+  std::printf("%-14s", "x =");
+  for (double x = 0.0; x <= 1.0001; x += 0.1)
+    std::printf(" %5.2f", x);
+  std::printf("\n\nFig. 8 example functions:\n");
+  PrintCurve("A (VM svc)", workload::ImpactFunction::Fig8A());
+  PrintCurve("B (stateless)", workload::ImpactFunction::Fig8B());
+  PrintCurve("C (stateful)", workload::ImpactFunction::Fig8C());
+
+  std::printf("\nFig. 11 scenarios (SR = software-redundant curve, "
+              "CAP = cap-able curve):\n");
+  for (const auto& scenario : workload::ImpactScenario::AllScenarios()) {
+    std::printf("%s:\n", scenario.name.c_str());
+    PrintCurve("  SR", scenario.software_redundant);
+    PrintCurve("  CAP", scenario.capable);
+  }
+
+  std::printf("\npaper: A protects critical management racks; B is free "
+              "until ~60%%; C has a free growth buffer.\n");
+  return 0;
+}

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * E14 / Figs. 1 and 4: conventional vs. Flex power profiles.
+ *
+ * Generates a 48-hour diurnal utilization profile and shows it in both
+ * regimes: a conventional room whose allocation is capped at the 75%
+ * failover budget (reserved power idle), and a Flex room allocated to
+ * 100% whose peaks ride above the failover budget. A supply failure is
+ * injected at hour 30: the conventional room stays under the surviving
+ * capacity by construction, while the Flex room's corrective actions
+ * shave the overdraw within seconds.
+ */
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+
+int
+main()
+{
+  using namespace flex;
+  bench::PrintHeader("bench_power_profiles", "Figs. 1 and 4",
+                     "48 h power profile: conventional (25% reserved) vs. "
+                     "Flex (zero reserved)");
+
+  const double provisioned_mw = 9.6;
+  const double budget_fraction = 0.75;  // 4N/3 failover budget
+  const double failure_hour = 30.0;
+  const double repair_hour = 33.0;
+  Rng rng(7);
+
+  std::printf("%6s %14s %12s %16s %14s\n", "hour", "conventional",
+              "flex", "surviving-cap", "flex-action");
+  for (double hour = 0.0; hour <= 48.0; hour += 2.0) {
+    // Diurnal shape: peak mid-day, 17% dip at night.
+    const double diurnal =
+        0.72 - 0.085 + 0.085 * std::sin((hour - 6.0) / 24.0 * 2.0 * M_PI);
+    const double noise = 0.015 * rng.Normal();
+    const double utilization = std::clamp(diurnal + noise, 0.4, 1.0);
+
+    // Conventional: only 75% of provisioned is allocated at all.
+    const double conventional = utilization * budget_fraction * provisioned_mw;
+    // Flex: the full provisioned power is allocated.
+    double flex_draw = utilization * provisioned_mw;
+
+    const bool failed = hour >= failure_hour && hour < repair_hour;
+    // Surviving capacity after one of four supplies is lost.
+    const double surviving = failed ? provisioned_mw * budget_fraction
+                                    : provisioned_mw;
+    const char* action = "-";
+    if (failed && flex_draw > surviving) {
+      action = "shave";
+      flex_draw = surviving * 0.98;  // corrective actions engage
+    }
+    std::printf("%6.0f %11.2f MW %9.2f MW %13.2f MW %14s\n", hour,
+                conventional, flex_draw, surviving, action);
+  }
+
+  std::printf("\npaper: conventional peaks never exceed the failover "
+              "budget (reserve wasted);\n"
+              "       Flex rides above it and only shaves during the rare "
+              "failure window\n");
+  return 0;
+}

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Comparison claim (paper Sections I & VII): how much of the reserved
+ * power each runtime model can allocate.
+ *
+ * Paper claim: a conventional room strands the entire reserve (25% in
+ * 4N/3); CapMaestro-style throttle-only redundancy exploitation
+ * recovers part of it; Flex — with availability-aware shutdown of
+ * software-redundant racks — can use the entire reserved power. The
+ * same Balanced Round-Robin heuristic places the same traces under all
+ * three corrective models, isolating the effect of the runtime's
+ * capabilities.
+ */
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "placement_study.hpp"
+
+int
+main()
+{
+  using namespace flex;
+  bench::PrintHeader("bench_reserved_power_usage", "Sections I & VII",
+                     "allocatable power by corrective-action model");
+
+  const power::RoomTopology room(power::RoomConfig::EvaluationRoom());
+  const int traces = bench::NumTraces();
+  Rng rng(2021);
+  const auto base = workload::GenerateTrace(
+      workload::TraceConfig{}, room.TotalProvisionedPower(), rng);
+  const auto variants = workload::ShuffledVariants(base, traces, rng);
+
+  const double budget_fraction =
+      room.FailoverBudget() / room.TotalProvisionedPower();
+  std::printf("room: %.1f MW provisioned, failover budget %.0f%%, reserve "
+              "%.0f%%\n\n",
+              room.TotalProvisionedPower().megawatts(),
+              100.0 * budget_fraction, 100.0 * (1.0 - budget_fraction));
+
+  struct ModelRun {
+    offline::BalancedRoundRobinPolicy policy;
+    const char* reserve_claim;
+  };
+  ModelRun runs[] = {
+      {offline::MakeConventionalPolicy(), "0% of reserve usable"},
+      {offline::MakeCapMaestroLikePolicy(), "part of the reserve"},
+      {offline::BalancedRoundRobinPolicy(), "the entire reserve"},
+  };
+
+  std::printf("%-34s %12s %16s %22s\n", "corrective model",
+              "median alloc", "of provisioned", "reserve utilized");
+  for (ModelRun& run : runs) {
+    std::vector<double> allocated_fraction;
+    for (const auto& variant : variants) {
+      const offline::Placement placement =
+          run.policy.Place(room, variant);
+      allocated_fraction.push_back(placement.PlacedPower() /
+                                   room.TotalProvisionedPower());
+    }
+    const double median = BoxStats::FromSamples(allocated_fraction).median;
+    const double reserve_used =
+        std::max(0.0, median - budget_fraction) / (1.0 - budget_fraction);
+    std::printf("%-34s %9.2f MW %15.1f%% %21.1f%%\n",
+                run.policy.Name().c_str(),
+                median * room.TotalProvisionedPower().megawatts(),
+                100.0 * median, 100.0 * reserve_used);
+  }
+
+  std::printf("\npaper: conventional rooms reserve 25%% (4N/3); CapMaestro "
+              "uses some of it via throttling;\n"
+              "       Flex's availability awareness unlocks all of it\n");
+  return 0;
+}

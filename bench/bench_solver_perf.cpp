@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Microbenchmark: simplex and branch-and-bound performance.
+ *
+ * Not a paper artifact — it guards the solver substrate's fitness for
+ * the Flex-Offline use case (batch ILPs must solve in seconds, well
+ * inside the paper's 5-minute Gurobi budget).
+ */
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "solver/branch_and_bound.hpp"
+#include "solver/model.hpp"
+#include "solver/simplex.hpp"
+
+namespace {
+
+using namespace flex;
+using namespace flex::solver;
+
+/** A placement-shaped LP: n deployments x p pairs with capacity rows. */
+Model
+MakePlacementLp(int deployments, int pairs, bool integer)
+{
+  Rng rng(42);
+  Model model;
+  std::vector<std::vector<VarIndex>> x(
+      static_cast<std::size_t>(deployments));
+  for (int d = 0; d < deployments; ++d) {
+    for (int p = 0; p < pairs; ++p) {
+      const double value = rng.Uniform(0.2, 0.5);
+      const VarIndex v = integer
+                             ? model.AddBinary("x", value)
+                             : model.AddContinuous("x", 0.0, 1.0, value);
+      x[static_cast<std::size_t>(d)].push_back(v);
+    }
+  }
+  for (int d = 0; d < deployments; ++d) {
+    std::vector<std::pair<VarIndex, double>> terms;
+    for (const VarIndex v : x[static_cast<std::size_t>(d)])
+      terms.push_back({v, 1.0});
+    model.AddConstraint("once", std::move(terms), Relation::kLessEqual, 1.0);
+  }
+  for (int p = 0; p < pairs; ++p) {
+    std::vector<std::pair<VarIndex, double>> terms;
+    for (int d = 0; d < deployments; ++d)
+      terms.push_back({x[static_cast<std::size_t>(d)][static_cast<std::size_t>(p)],
+                       rng.Uniform(0.2, 0.5)});
+    model.AddConstraint("cap", std::move(terms), Relation::kLessEqual,
+                        0.25 * deployments / pairs);
+  }
+  return model;
+}
+
+void
+BM_SimplexPlacementLp(benchmark::State& state)
+{
+  const Model model = MakePlacementLp(static_cast<int>(state.range(0)), 12,
+                                      /*integer=*/false);
+  const SimplexSolver solver;
+  for (auto _ : state) {
+    const LpResult result = solver.Solve(model);
+    benchmark::DoNotOptimize(result.objective);
+  }
+}
+BENCHMARK(BM_SimplexPlacementLp)->Arg(10)->Arg(20)->Arg(40);
+
+void
+BM_BranchAndBoundPlacement(benchmark::State& state)
+{
+  const Model model = MakePlacementLp(static_cast<int>(state.range(0)), 12,
+                                      /*integer=*/true);
+  BranchAndBoundSolver::Options options;
+  options.time_budget_seconds = 2.0;
+  const BranchAndBoundSolver solver(options);
+  for (auto _ : state) {
+    const MipResult result = solver.Solve(model);
+    benchmark::DoNotOptimize(result.objective);
+  }
+}
+BENCHMARK(BM_BranchAndBoundPlacement)->Arg(8)->Arg(12)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_SimplexKnapsackRelaxation(benchmark::State& state)
+{
+  Rng rng(7);
+  Model model;
+  std::vector<std::pair<VarIndex, double>> terms;
+  for (int i = 0; i < state.range(0); ++i) {
+    const VarIndex v =
+        model.AddContinuous("x", 0.0, 1.0, rng.Uniform(1.0, 10.0));
+    terms.push_back({v, rng.Uniform(1.0, 10.0)});
+  }
+  model.AddConstraint("cap", std::move(terms), Relation::kLessEqual,
+                      2.0 * state.range(0));
+  const SimplexSolver solver;
+  for (auto _ : state) {
+    const LpResult result = solver.Solve(model);
+    benchmark::DoNotOptimize(result.objective);
+  }
+}
+BENCHMARK(BM_SimplexKnapsackRelaxation)->Arg(100)->Arg(400);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Shared driver for the Section V-A placement benches (Figs. 9 and 10
+ * plus the deployment-size and software-redundant-fraction ablations):
+ * generate shuffled demand traces, run every policy on every trace, and
+ * collect the stranded-power / throttling-imbalance samples.
+ */
+#ifndef FLEX_BENCH_PLACEMENT_STUDY_HPP_
+#define FLEX_BENCH_PLACEMENT_STUDY_HPP_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "offline/flex_offline.hpp"
+#include "offline/metrics.hpp"
+#include "offline/policies.hpp"
+#include "power/topology.hpp"
+#include "workload/trace.hpp"
+
+namespace flex::bench {
+
+/** Metrics of one policy across all trace variants. */
+struct PolicyOutcome {
+  std::string policy;
+  std::vector<double> stranded;   ///< fraction of provisioned power
+  std::vector<double> imbalance;  ///< throttling imbalance
+  std::vector<double> placed;     ///< fraction of requested power placed
+};
+
+/** Builds the paper's five evaluated policies (plus First-Fit). */
+inline std::vector<std::unique_ptr<offline::PlacementPolicy>>
+MakePolicies(double solve_seconds, bool include_first_fit = false)
+{
+  std::vector<std::unique_ptr<offline::PlacementPolicy>> policies;
+  policies.push_back(std::make_unique<offline::RandomPolicy>(1234));
+  policies.push_back(std::make_unique<offline::BalancedRoundRobinPolicy>());
+  if (include_first_fit)
+    policies.push_back(std::make_unique<offline::FirstFitPolicy>());
+  policies.push_back(std::make_unique<offline::FlexOfflinePolicy>(
+      offline::FlexOfflinePolicy::Short(solve_seconds)));
+  policies.push_back(std::make_unique<offline::FlexOfflinePolicy>(
+      offline::FlexOfflinePolicy::Long(solve_seconds * 2.0)));
+  policies.push_back(std::make_unique<offline::FlexOfflinePolicy>(
+      offline::FlexOfflinePolicy::Oracle(solve_seconds * 8.0)));
+  return policies;
+}
+
+/** Runs every policy over @p num_traces shuffled variants. */
+inline std::vector<PolicyOutcome>
+RunPlacementStudy(const power::RoomTopology& room,
+                  const workload::TraceConfig& trace_config, int num_traces,
+                  double solve_seconds, std::uint64_t seed = 2021,
+                  bool include_first_fit = false)
+{
+  Rng rng(seed);
+  const auto base = workload::GenerateTrace(
+      trace_config, room.TotalProvisionedPower(), rng);
+  const auto variants = workload::ShuffledVariants(base, num_traces, rng);
+
+  auto policies = MakePolicies(solve_seconds, include_first_fit);
+  std::vector<PolicyOutcome> outcomes;
+  for (const auto& policy : policies) {
+    PolicyOutcome outcome;
+    outcome.policy = policy->Name();
+    for (const auto& variant : variants) {
+      const offline::Placement placement = policy->Place(room, variant);
+      const offline::PlacementMetrics metrics =
+          offline::EvaluatePlacement(room, placement);
+      outcome.stranded.push_back(metrics.stranded_fraction);
+      outcome.imbalance.push_back(metrics.throttling_imbalance);
+      outcome.placed.push_back(metrics.placed_fraction);
+    }
+    outcomes.push_back(std::move(outcome));
+  }
+  return outcomes;
+}
+
+/** Prints one boxplot row: min/p25/median/p75/max. */
+inline void
+PrintBoxRow(const std::string& label, const std::vector<double>& samples,
+            double scale = 100.0, const char* unit = "%")
+{
+  const BoxStats box = BoxStats::FromSamples(samples);
+  std::printf("%-24s %7.2f %7.2f %7.2f %7.2f %7.2f  %s\n", label.c_str(),
+              box.min * scale, box.p25 * scale, box.median * scale,
+              box.p75 * scale, box.max * scale, unit);
+}
+
+}  // namespace flex::bench
+
+#endif  // FLEX_BENCH_PLACEMENT_STUDY_HPP_

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Quickstart: place a synthetic demand trace into a 9.6 MW
+ * zero-reserved-power room and compare placement policies.
+ *
+ * Build and run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/quickstart
+ */
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "offline/flex_offline.hpp"
+#include "offline/metrics.hpp"
+#include "offline/policies.hpp"
+#include "power/topology.hpp"
+#include "workload/trace.hpp"
+
+int
+main()
+{
+  using namespace flex;
+
+  // The paper's Section V-A evaluation room: 4N/3 redundancy, 9.6 MW.
+  const power::RoomTopology room(power::RoomConfig::EvaluationRoom());
+  std::printf("Room: %d UPSes (4N/3), provisioned %.1f MW, "
+              "failover budget %.1f MW, reserved (conventional) %.1f MW\n",
+              room.NumUpses(), room.TotalProvisionedPower().megawatts(),
+              room.FailoverBudget().megawatts(),
+              room.ReservedPower().megawatts());
+
+  // Synthetic short-term demand: 115% of provisioned power, Microsoft-like
+  // deployment mix.
+  Rng rng(2021);
+  const workload::TraceConfig trace_config;
+  const std::vector<workload::Deployment> trace = workload::GenerateTrace(
+      trace_config, room.TotalProvisionedPower(), rng);
+  const workload::CategoryMix mix = workload::MixOf(trace);
+  std::printf("Trace: %zu deployments, %.1f MW demand "
+              "(%.0f%% SR / %.0f%% cap-able / %.0f%% non-cap-able)\n\n",
+              trace.size(),
+              workload::TotalAllocatedPower(trace).megawatts(),
+              100.0 * mix.software_redundant, 100.0 * mix.capable,
+              100.0 * mix.non_capable);
+
+  // Compare the baseline policies with Flex-Offline.
+  std::vector<std::unique_ptr<offline::PlacementPolicy>> policies;
+  policies.push_back(std::make_unique<offline::RandomPolicy>(7));
+  policies.push_back(std::make_unique<offline::BalancedRoundRobinPolicy>());
+  policies.push_back(std::make_unique<offline::FlexOfflinePolicy>(
+      offline::FlexOfflinePolicy::Short(/*solve_seconds=*/5.0)));
+
+  std::printf("%-22s %10s %12s %10s\n", "policy", "stranded%", "imbalance",
+              "placed%");
+  for (const auto& policy : policies) {
+    const offline::Placement placement = policy->Place(room, trace);
+    const offline::PlacementMetrics m =
+        offline::EvaluatePlacement(room, placement);
+    std::printf("%-22s %9.2f%% %12.4f %9.1f%%\n", policy->Name().c_str(),
+                100.0 * m.stranded_fraction, m.throttling_imbalance,
+                100.0 * m.placed_fraction);
+  }
+  return 0;
+}

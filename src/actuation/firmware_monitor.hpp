@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Background firmware/network health monitor (paper Section VI).
+ *
+ * Production Flex runs a service that continuously checks that every
+ * rack manager is reachable and running current firmware, and that
+ * periodically injects failures and takes fake actions, so that no
+ * regression silently breaks actuation before a real maintenance event.
+ * Problems raise warnings for operators to remediate.
+ */
+#ifndef FLEX_ACTUATION_FIRMWARE_MONITOR_HPP_
+#define FLEX_ACTUATION_FIRMWARE_MONITOR_HPP_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "actuation/rack_manager.hpp"
+#include "sim/event_queue.hpp"
+
+namespace flex::actuation {
+
+/** A warning raised by the monitor. */
+struct MonitorWarning {
+  int rack_id = -1;
+  std::string reason;
+  Seconds raised_at;
+};
+
+/** Configuration of the background monitor. */
+struct FirmwareMonitorConfig {
+  /** Interval between full probe sweeps. */
+  Seconds probe_period = Seconds(60.0);
+  /** Fraction of racks that get a fake (dry-run) action each sweep. */
+  double fake_action_fraction = 0.05;
+};
+
+/**
+ * Periodically probes all rack managers and exercises fake actions.
+ */
+class FirmwareMonitor {
+ public:
+  using WarningCallback = std::function<void(const MonitorWarning&)>;
+
+  FirmwareMonitor(sim::EventQueue& queue, ActuationPlane& plane,
+                  FirmwareMonitorConfig config, std::uint64_t seed);
+
+  /** Registers a warning sink (e.g. the operator alert channel). */
+  void OnWarning(WarningCallback callback);
+
+  /** Starts the periodic sweeps. */
+  void Start();
+
+  /** Stops future sweeps. */
+  void Stop();
+
+  std::size_t sweeps_completed() const { return sweeps_; }
+  const std::vector<MonitorWarning>& warnings() const { return warnings_; }
+
+ private:
+  void Sweep();
+  void Warn(int rack_id, std::string reason);
+
+  sim::EventQueue& queue_;
+  ActuationPlane& plane_;
+  FirmwareMonitorConfig config_;
+  Rng rng_;
+  bool running_ = false;
+  std::size_t sweeps_ = 0;
+  std::vector<MonitorWarning> warnings_;
+  std::vector<WarningCallback> callbacks_;
+};
+
+}  // namespace flex::actuation
+
+#endif  // FLEX_ACTUATION_FIRMWARE_MONITOR_HPP_

@@ -1,0 +1,128 @@
+#include "rack_manager.hpp"
+
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace flex::actuation {
+
+RackManager::RackManager(sim::EventQueue& queue, int rack_id,
+                         RackManagerConfig config, Rng rng)
+    : queue_(queue), rack_id_(rack_id), config_(config), rng_(rng)
+{
+  FLEX_REQUIRE(config_.unreachable_probability >= 0.0 &&
+                   config_.unreachable_probability <= 1.0,
+               "unreachable probability must be in [0, 1]");
+}
+
+Seconds
+RackManager::DrawLatency(Kind kind)
+{
+  const double base =
+      rng_.LogNormal(config_.latency_log_mean, config_.latency_log_sigma);
+  // Powering a rack back on includes boot time; caps/shutdowns are fast
+  // out-of-band commands.
+  const double scale = kind == Kind::kRestore ? 30.0 : 1.0;
+  return Seconds(base * scale);
+}
+
+void
+RackManager::Execute(Kind kind, std::optional<Watts> cap, Completion done)
+{
+  FLEX_REQUIRE(static_cast<bool>(done), "null completion callback");
+  if (unreachable_ || rng_.Bernoulli(config_.unreachable_probability)) {
+    // The command is lost; report failure after a timeout-ish delay so
+    // callers see realistic failure detection latency.
+    queue_.Schedule(Seconds(2.0), [done] { done(false); });
+    return;
+  }
+  const Seconds latency = DrawLatency(kind);
+  const bool stale = firmware_stale_;
+  queue_.Schedule(latency, [this, kind, cap, done, latency, stale] {
+    action_latencies_.push_back(latency.value());
+    if (stale) {
+      // Regression: the RM acknowledges but the action has no effect.
+      done(false);
+      return;
+    }
+    switch (kind) {
+      case Kind::kThrottle:
+        state_.power_cap = cap;
+        break;
+      case Kind::kShutdown:
+        state_.powered_on = false;
+        break;
+      case Kind::kRemoveCap:
+        state_.power_cap.reset();
+        break;
+      case Kind::kRestore:
+        state_.powered_on = true;
+        break;
+    }
+    done(true);
+  });
+}
+
+void
+RackManager::Throttle(Watts cap, Completion done)
+{
+  FLEX_REQUIRE(cap >= Watts(0.0), "negative power cap");
+  Execute(Kind::kThrottle, cap, std::move(done));
+}
+
+void
+RackManager::Shutdown(Completion done)
+{
+  Execute(Kind::kShutdown, std::nullopt, std::move(done));
+}
+
+void
+RackManager::RemoveCap(Completion done)
+{
+  Execute(Kind::kRemoveCap, std::nullopt, std::move(done));
+}
+
+void
+RackManager::Restore(Completion done)
+{
+  Execute(Kind::kRestore, std::nullopt, std::move(done));
+}
+
+ActuationPlane::ActuationPlane(sim::EventQueue& queue, int num_racks,
+                               RackManagerConfig config, std::uint64_t seed)
+{
+  FLEX_REQUIRE(num_racks >= 0, "negative rack count");
+  Rng seed_rng(seed);
+  racks_.reserve(static_cast<std::size_t>(num_racks));
+  for (int i = 0; i < num_racks; ++i)
+    racks_.emplace_back(queue, i, config, seed_rng.Fork());
+}
+
+RackManager&
+ActuationPlane::rack(int rack_id)
+{
+  FLEX_REQUIRE(rack_id >= 0 && rack_id < num_racks(),
+               "rack id out of range");
+  return racks_[static_cast<std::size_t>(rack_id)];
+}
+
+const RackManager&
+ActuationPlane::rack(int rack_id) const
+{
+  FLEX_REQUIRE(rack_id >= 0 && rack_id < num_racks(),
+               "rack id out of range");
+  return racks_[static_cast<std::size_t>(rack_id)];
+}
+
+std::vector<double>
+ActuationPlane::AllActionLatencies() const
+{
+  std::vector<double> all;
+  for (const RackManager& rack : racks_) {
+    all.insert(all.end(), rack.action_latencies().begin(),
+               rack.action_latencies().end());
+  }
+  return all;
+}
+
+}  // namespace flex::actuation

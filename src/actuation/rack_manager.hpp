@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Out-of-band rack actuation: the rack manager (RM) / BMC model.
+ *
+ * Flex-Online enforces its decisions through rack managers: RAPL-style
+ * power caps for throttling and power-off for shutdown (paper Sections
+ * IV-D and VI). Actions complete after a latency drawn from a
+ * distribution calibrated to the paper's production numbers (~2 s at the
+ * 99.9th percentile), and can fail when the RM is unreachable or its
+ * firmware has regressed — the failure modes the paper's background
+ * monitoring service exists to catch.
+ */
+#ifndef FLEX_ACTUATION_RACK_MANAGER_HPP_
+#define FLEX_ACTUATION_RACK_MANAGER_HPP_
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/units.hpp"
+#include "sim/event_queue.hpp"
+
+namespace flex::actuation {
+
+/** Power-control state of one rack. */
+struct RackState {
+  bool powered_on = true;
+  /** Active power cap, if any (absolute watts). */
+  std::optional<Watts> power_cap;
+};
+
+/** Latency / failure knobs for rack managers. */
+struct RackManagerConfig {
+  /** Lognormal action latency; defaults give ~0.8 s median, ~2 s p99.9. */
+  double latency_log_mean = -0.25;   ///< mu of underlying normal (log s)
+  double latency_log_sigma = 0.28;   ///< sigma of underlying normal
+  /** Probability an action is lost because the RM is unreachable. */
+  double unreachable_probability = 0.0;
+};
+
+/**
+ * One rack's out-of-band controller.
+ *
+ * Commands are asynchronous: the completion callback fires on the event
+ * queue after the action latency, reporting success. Commands are
+ * idempotent (re-throttling an already-capped rack simply overwrites the
+ * cap), which is what lets Flex run multiple controller replicas safely.
+ */
+class RackManager {
+ public:
+  RackManager(sim::EventQueue& queue, int rack_id, RackManagerConfig config,
+              Rng rng);
+
+  using Completion = std::function<void(bool success)>;
+
+  /** Installs an absolute power cap (RAPL-like). */
+  void Throttle(Watts cap, Completion done);
+  /** Cuts rack power. */
+  void Shutdown(Completion done);
+  /** Removes any power cap. */
+  void RemoveCap(Completion done);
+  /** Powers the rack back on (boot takes longer than a cap action). */
+  void Restore(Completion done);
+
+  const RackState& state() const { return state_; }
+  int rack_id() const { return rack_id_; }
+
+  // --- Failure injection & monitoring hooks -------------------------------
+
+  /** Makes the RM drop all commands (management network issue). */
+  void SetUnreachable(bool unreachable) { unreachable_ = unreachable; }
+  bool unreachable() const { return unreachable_; }
+
+  /** Marks firmware as regressed: actions complete but have no effect. */
+  void SetFirmwareStale(bool stale) { firmware_stale_ = stale; }
+  bool firmware_stale() const { return firmware_stale_; }
+
+  /** Health probe: true when reachable with healthy firmware. */
+  bool Probe() const { return !unreachable_ && !firmware_stale_; }
+
+  /** Re-flashes firmware (clears the stale flag). */
+  void RedeployFirmware() { firmware_stale_ = false; }
+
+  /** Latency samples of completed actions (seconds). */
+  const std::vector<double>& action_latencies() const {
+    return action_latencies_;
+  }
+
+ private:
+  enum class Kind { kThrottle, kShutdown, kRemoveCap, kRestore };
+
+  void Execute(Kind kind, std::optional<Watts> cap, Completion done);
+  Seconds DrawLatency(Kind kind);
+
+  sim::EventQueue& queue_;
+  int rack_id_;
+  RackManagerConfig config_;
+  Rng rng_;
+  RackState state_;
+  bool unreachable_ = false;
+  bool firmware_stale_ = false;
+  std::vector<double> action_latencies_;
+};
+
+/**
+ * All rack managers of a room plus aggregate statistics.
+ */
+class ActuationPlane {
+ public:
+  ActuationPlane(sim::EventQueue& queue, int num_racks,
+                 RackManagerConfig config, std::uint64_t seed);
+
+  RackManager& rack(int rack_id);
+  const RackManager& rack(int rack_id) const;
+  int num_racks() const { return static_cast<int>(racks_.size()); }
+
+  /** Pooled action-latency samples across all racks (seconds). */
+  std::vector<double> AllActionLatencies() const;
+
+ private:
+  std::vector<RackManager> racks_;
+};
+
+}  // namespace flex::actuation
+
+#endif  // FLEX_ACTUATION_RACK_MANAGER_HPP_

@@ -1,0 +1,38 @@
+#include "cost.hpp"
+
+#include "common/error.hpp"
+
+namespace flex::analysis {
+
+CostResult
+EvaluateCost(const CostParams& params)
+{
+  FLEX_REQUIRE(params.site_power > Watts(0.0), "site power must be positive");
+  FLEX_REQUIRE(params.redundancy_y >= 1 &&
+                   params.redundancy_y < params.redundancy_x,
+               "xN/y requires 1 <= y < x");
+  FLEX_REQUIRE(params.dollars_per_watt > 0.0, "cost per watt must be positive");
+  FLEX_REQUIRE(params.infrastructure_premium >= 0.0,
+               "premium must be non-negative");
+
+  CostResult result;
+  result.additional_server_fraction =
+      static_cast<double>(params.redundancy_x) /
+          static_cast<double>(params.redundancy_y) -
+      1.0;
+  // A conventional site of this size hosts site_power of IT load; Flex
+  // fits additional_server_fraction more into the same shell, capacity
+  // the provider would otherwise build at $/W.
+  result.additional_capacity =
+      params.site_power * result.additional_server_fraction;
+  result.gross_savings_dollars =
+      result.additional_capacity.value() * params.dollars_per_watt;
+  result.premium_dollars = params.infrastructure_premium *
+                           params.site_power.value() *
+                           params.dollars_per_watt;
+  result.net_savings_dollars =
+      result.gross_savings_dollars - result.premium_dollars;
+  return result;
+}
+
+}  // namespace flex::analysis

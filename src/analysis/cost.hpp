@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Construction cost savings model (paper Sections I and VI).
+ *
+ * A zero-reserved-power datacenter deploys x/y - 1 more servers (33% in
+ * a 4N/3 design) into the same site; the provider avoids building that
+ * capacity elsewhere at $5-$10 per watt, minus a ~3% infrastructure
+ * premium for larger batteries and higher-rated upstream devices.
+ */
+#ifndef FLEX_ANALYSIS_COST_HPP_
+#define FLEX_ANALYSIS_COST_HPP_
+
+#include "common/units.hpp"
+
+namespace flex::analysis {
+
+/** Inputs of the savings model. */
+struct CostParams {
+  /** Total site IT power (the paper's example: a 128 MW site). */
+  Watts site_power = MegaWatts(128.0);
+  /** Redundancy shape (4N/3 by default). */
+  int redundancy_x = 4;
+  int redundancy_y = 3;
+  /** Construction cost per watt (paper: $5-$10/W). */
+  double dollars_per_watt = 5.0;
+  /**
+   * Fractional cost premium of Flex-ready infrastructure (bigger UPS
+   * batteries, higher-rated feeders/transformers; paper: ~3%).
+   */
+  double infrastructure_premium = 0.03;
+};
+
+/** Outputs of the savings model. */
+struct CostResult {
+  /** Extra deployable server power enabled by Flex. */
+  Watts additional_capacity;
+  /** Relative server count increase (x/y - 1). */
+  double additional_server_fraction = 0.0;
+  /** Avoided construction cost (before the premium). */
+  double gross_savings_dollars = 0.0;
+  /** Premium paid for the upgraded infrastructure. */
+  double premium_dollars = 0.0;
+  /** Net savings. */
+  double net_savings_dollars = 0.0;
+};
+
+/** Evaluates the savings model. */
+CostResult EvaluateCost(const CostParams& params);
+
+}  // namespace flex::analysis
+
+#endif  // FLEX_ANALYSIS_COST_HPP_

@@ -1,0 +1,87 @@
+#include "oversubscription.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace flex::analysis {
+
+double
+InverseNormalCdf(double p)
+{
+  FLEX_REQUIRE(p > 0.0 && p < 1.0, "quantile must be in (0, 1)");
+  // Acklam's rational approximation (relative error < 1.15e-9).
+  static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                             -2.759285104469687e+02, 1.383577518672690e+02,
+                             -3.066479806614716e+01, 2.506628277459239e+00};
+  static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                             -1.556989798598866e+02, 6.680131188771972e+01,
+                             -1.328068155288572e+01};
+  static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                             -2.400758277161838e+00, -2.549732539343734e+00,
+                             4.374664141464968e+00,  2.938163982698783e+00};
+  static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                             2.445134137142996e+00, 3.754408661907416e+00};
+  constexpr double p_low = 0.02425;
+  double q;
+  double r;
+  if (p < p_low) {
+    q = std::sqrt(-2.0 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+            c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  if (p <= 1.0 - p_low) {
+    q = p - 0.5;
+    r = q * q;
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r +
+            a[5]) *
+           q /
+           (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r +
+            1.0);
+  }
+  q = std::sqrt(-2.0 * std::log(1.0 - p));
+  return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+           c[5]) /
+         ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+}
+
+OversubscriptionResult
+EvaluateOversubscription(const OversubscriptionParams& params)
+{
+  FLEX_REQUIRE(params.mean_utilization > 0.0 &&
+                   params.mean_utilization <= 1.0,
+               "mean utilization must be in (0, 1]");
+  FLEX_REQUIRE(params.utilization_stddev >= 0.0, "negative stddev");
+  FLEX_REQUIRE(params.num_racks >= 1, "need at least one rack");
+  FLEX_REQUIRE(params.violation_probability > 0.0 &&
+                   params.violation_probability < 1.0,
+               "violation probability must be in (0, 1)");
+
+  OversubscriptionResult result;
+  // Aggregate utilization of n independent racks: mean mu, stddev
+  // sigma / sqrt(n). Provision for the (1 - violation) quantile.
+  const double z = InverseNormalCdf(1.0 - params.violation_probability);
+  const double aggregate_stddev =
+      params.utilization_stddev / std::sqrt(
+          static_cast<double>(params.num_racks));
+  result.provisioning_quantile =
+      std::min(1.0, params.mean_utilization + z * aggregate_stddev);
+  result.oversubscription_ratio = 1.0 / result.provisioning_quantile;
+  return result;
+}
+
+double
+CombinedDensityGain(int redundancy_x, int redundancy_y,
+                    double oversubscription_ratio)
+{
+  FLEX_REQUIRE(redundancy_y >= 1 && redundancy_y < redundancy_x,
+               "xN/y requires 1 <= y < x");
+  FLEX_REQUIRE(oversubscription_ratio >= 1.0,
+               "oversubscription ratio must be >= 1");
+  const double flex_factor =
+      static_cast<double>(redundancy_x) / static_cast<double>(redundancy_y);
+  return flex_factor * oversubscription_ratio - 1.0;
+}
+
+}  // namespace flex::analysis

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Power oversubscription composed with Flex.
+ *
+ * Paper Sections I and VII: "Allocating reserved power is orthogonal to
+ * power oversubscription, i.e. allocated power that is underutilized
+ * can be oversubscribed" and "Oversubscription can be used in addition
+ * to Flex to further increase server density". This module computes a
+ * statistically safe oversubscription ratio from historical utilization
+ * (the classic Fan et al. / provisioning-by-percentile argument) and
+ * the combined density gain when stacked with Flex's x/y - 1.
+ */
+#ifndef FLEX_ANALYSIS_OVERSUBSCRIPTION_HPP_
+#define FLEX_ANALYSIS_OVERSUBSCRIPTION_HPP_
+
+namespace flex::analysis {
+
+/** Inputs to the oversubscription model. */
+struct OversubscriptionParams {
+  /** Mean per-rack utilization of the allocated (nameplate) power. */
+  double mean_utilization = 0.72;
+  /** Per-rack utilization standard deviation. */
+  double utilization_stddev = 0.10;
+  /** Racks sharing the budget (aggregation smooths the peaks). */
+  int num_racks = 600;
+  /**
+   * Acceptable probability that the aggregate draw exceeds the budget
+   * at any sampling instant (capping absorbs the excursions).
+   */
+  double violation_probability = 1e-4;
+};
+
+/** Outputs of the oversubscription model. */
+struct OversubscriptionResult {
+  /** Aggregate draw quantile used for provisioning (fraction of
+      nameplate). */
+  double provisioning_quantile = 0.0;
+  /** Servers deployable per watt of budget, relative to nameplate
+      provisioning (>= 1). */
+  double oversubscription_ratio = 1.0;
+};
+
+/**
+ * Safe oversubscription ratio: aggregate utilization of n racks
+ * concentrates around the mean (stddev shrinks with sqrt(n)), so the
+ * budget only needs to cover a high quantile of the aggregate, not the
+ * sum of nameplates.
+ */
+OversubscriptionResult EvaluateOversubscription(
+    const OversubscriptionParams& params);
+
+/**
+ * Combined density gain of Flex (x/y - 1 more servers from the power
+ * reserve) stacked with oversubscription (more servers per allocated
+ * watt): (x/y) * ratio - 1, relative to a conventional room without
+ * either.
+ */
+double CombinedDensityGain(int redundancy_x, int redundancy_y,
+                           double oversubscription_ratio);
+
+/** Inverse standard normal CDF (Acklam's approximation). */
+double InverseNormalCdf(double p);
+
+}  // namespace flex::analysis
+
+#endif  // FLEX_ANALYSIS_OVERSUBSCRIPTION_HPP_

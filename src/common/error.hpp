@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Error handling helpers.
+ *
+ * Follows the gem5 fatal()/panic() distinction: configuration or input
+ * errors a user can cause throw flex::ConfigError; internal invariant
+ * violations (bugs in Flex itself) throw flex::InternalError via
+ * FLEX_CHECK.
+ */
+#ifndef FLEX_COMMON_ERROR_HPP_
+#define FLEX_COMMON_ERROR_HPP_
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace flex {
+
+/** Raised for invalid user-supplied configuration or arguments. */
+class ConfigError : public std::runtime_error {
+ public:
+  explicit ConfigError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/** Raised when an internal invariant is violated (a bug in this library). */
+class InternalError : public std::logic_error {
+ public:
+  explicit InternalError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void
+ThrowInternal(const char* expr, const char* file, int line,
+              const std::string& message)
+{
+  std::ostringstream os;
+  os << file << ":" << line << ": check failed: " << expr;
+  if (!message.empty())
+    os << " — " << message;
+  throw InternalError(os.str());
+}
+
+[[noreturn]] inline void
+ThrowConfig(const char* file, int line, const std::string& message)
+{
+  std::ostringstream os;
+  os << file << ":" << line << ": invalid configuration: " << message;
+  throw ConfigError(os.str());
+}
+
+}  // namespace detail
+
+/** Internal invariant check; throws InternalError when false. */
+#define FLEX_CHECK(expr)                                                  \
+  do {                                                                    \
+    if (!(expr))                                                          \
+      ::flex::detail::ThrowInternal(#expr, __FILE__, __LINE__, "");       \
+  } while (0)
+
+/** Internal invariant check with an explanatory message. */
+#define FLEX_CHECK_MSG(expr, msg)                                         \
+  do {                                                                    \
+    if (!(expr))                                                          \
+      ::flex::detail::ThrowInternal(#expr, __FILE__, __LINE__, (msg));    \
+  } while (0)
+
+/** User-facing configuration error with a message. */
+#define FLEX_CONFIG_ERROR(msg)                                            \
+  ::flex::detail::ThrowConfig(__FILE__, __LINE__, (msg))
+
+/** Validates a user-supplied condition; throws ConfigError when false. */
+#define FLEX_REQUIRE(expr, msg)                                           \
+  do {                                                                    \
+    if (!(expr))                                                          \
+      ::flex::detail::ThrowConfig(__FILE__, __LINE__, (msg));             \
+  } while (0)
+
+}  // namespace flex
+
+#endif  // FLEX_COMMON_ERROR_HPP_

@@ -1,0 +1,89 @@
+#include "piecewise.hpp"
+
+#include <algorithm>
+
+#include "error.hpp"
+
+namespace flex {
+
+PiecewiseLinear::PiecewiseLinear(std::vector<Point> points)
+    : points_(std::move(points))
+{
+  FLEX_REQUIRE(!points_.empty(),
+               "piecewise-linear function needs at least one breakpoint");
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    FLEX_REQUIRE(points_[i - 1].first < points_[i].first,
+                 "piecewise-linear breakpoints must be strictly increasing "
+                 "in x");
+  }
+}
+
+PiecewiseLinear::PiecewiseLinear(std::initializer_list<Point> points)
+    : PiecewiseLinear(std::vector<Point>(points))
+{
+}
+
+PiecewiseLinear
+PiecewiseLinear::Constant(double value)
+{
+  return PiecewiseLinear({{0.0, value}});
+}
+
+double
+PiecewiseLinear::operator()(double x) const
+{
+  FLEX_CHECK_MSG(!points_.empty(), "evaluating empty piecewise function");
+  if (x <= points_.front().first)
+    return points_.front().second;
+  if (x >= points_.back().first)
+    return points_.back().second;
+  // First breakpoint with bx > x; its predecessor starts the segment.
+  const auto it = std::upper_bound(
+      points_.begin(), points_.end(), x,
+      [](double value, const Point& p) { return value < p.first; });
+  const Point& hi = *it;
+  const Point& lo = *(it - 1);
+  const double t = (x - lo.first) / (hi.first - lo.first);
+  return lo.second + t * (hi.second - lo.second);
+}
+
+double
+PiecewiseLinear::MinY() const
+{
+  FLEX_CHECK(!points_.empty());
+  double min_y = points_.front().second;
+  for (const auto& [x, y] : points_)
+    min_y = std::min(min_y, y);
+  return min_y;
+}
+
+double
+PiecewiseLinear::MaxY() const
+{
+  FLEX_CHECK(!points_.empty());
+  double max_y = points_.front().second;
+  for (const auto& [x, y] : points_)
+    max_y = std::max(max_y, y);
+  return max_y;
+}
+
+bool
+PiecewiseLinear::IsNonDecreasing() const
+{
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    if (points_[i].second < points_[i - 1].second)
+      return false;
+  }
+  return true;
+}
+
+PiecewiseLinear
+PiecewiseLinear::ScaledY(double factor) const
+{
+  std::vector<Point> scaled = points_;
+  for (auto& [x, y] : scaled)
+    y *= factor;
+  return PiecewiseLinear(std::move(scaled));
+}
+
+}  // namespace flex

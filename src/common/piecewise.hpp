@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Piecewise-linear functions.
+ *
+ * Two Flex concepts are piecewise linear: workload impact functions
+ * (Fig. 8/11 — impact in [0,1] as a function of affected-rack fraction) and
+ * UPS overload trip curves (Fig. 6 — tolerance seconds as a function of
+ * load percentage). This single well-tested representation backs both.
+ */
+#ifndef FLEX_COMMON_PIECEWISE_HPP_
+#define FLEX_COMMON_PIECEWISE_HPP_
+
+#include <initializer_list>
+#include <utility>
+#include <vector>
+
+namespace flex {
+
+/**
+ * A piecewise-linear function defined by breakpoints (x, y).
+ *
+ * Between breakpoints the function interpolates linearly; outside the
+ * breakpoint range it extends with the boundary value (flat extrapolation),
+ * which matches the semantics of both impact functions (impact saturates)
+ * and trip curves (tolerance saturates).
+ *
+ * Breakpoints must be strictly increasing in x. Discontinuities (step
+ * functions, common in impact functions with "critical rack" cliffs) are
+ * expressed with two breakpoints at nearly identical x.
+ */
+class PiecewiseLinear {
+ public:
+  using Point = std::pair<double, double>;
+
+  PiecewiseLinear() = default;
+
+  /** Constructs from breakpoints; validates strict x-monotonicity. */
+  explicit PiecewiseLinear(std::vector<Point> points);
+  PiecewiseLinear(std::initializer_list<Point> points);
+
+  /** Constant function y = value everywhere. */
+  static PiecewiseLinear Constant(double value);
+
+  /** Evaluates the function at @p x. */
+  double operator()(double x) const;
+
+  /** Breakpoints (sorted by x). */
+  const std::vector<Point>& points() const { return points_; }
+
+  /** True when no breakpoints have been supplied. */
+  bool empty() const { return points_.empty(); }
+
+  /** Smallest/largest y over the breakpoints. */
+  double MinY() const;
+  double MaxY() const;
+
+  /** True when y never decreases as x increases over the breakpoints. */
+  bool IsNonDecreasing() const;
+
+  /**
+   * Returns a new function scaled in y by @p factor (used to weight impact
+   * functions).
+   */
+  PiecewiseLinear ScaledY(double factor) const;
+
+ private:
+  std::vector<Point> points_;
+};
+
+}  // namespace flex
+
+#endif  // FLEX_COMMON_PIECEWISE_HPP_

@@ -1,0 +1,137 @@
+#include "rng.hpp"
+
+#include <cmath>
+
+#include "error.hpp"
+
+namespace flex {
+
+namespace {
+
+inline std::uint64_t
+Rotl(std::uint64_t x, int k)
+{
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+std::uint64_t
+SplitMix64::Next()
+{
+  std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+Rng::Rng(std::uint64_t seed)
+{
+  SplitMix64 sm(seed);
+  for (auto& word : state_)
+    word = sm.Next();
+}
+
+std::uint64_t
+Rng::NextU64()
+{
+  const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+double
+Rng::NextDouble()
+{
+  // 53 bits of mantissa: uniform in [0, 1).
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::Uniform(double lo, double hi)
+{
+  return lo + (hi - lo) * NextDouble();
+}
+
+std::int64_t
+Rng::UniformInt(std::int64_t lo, std::int64_t hi)
+{
+  FLEX_CHECK_MSG(lo <= hi, "UniformInt requires lo <= hi");
+  const std::uint64_t range = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (range == 0)  // full 64-bit range
+    return static_cast<std::int64_t>(NextU64());
+  // Rejection sampling to remove modulo bias.
+  const std::uint64_t limit = UINT64_MAX - UINT64_MAX % range;
+  std::uint64_t draw;
+  do {
+    draw = NextU64();
+  } while (draw >= limit);
+  return lo + static_cast<std::int64_t>(draw % range);
+}
+
+double
+Rng::Normal()
+{
+  // Box-Muller; discard the second variate to keep the stream stateless.
+  double u1 = NextDouble();
+  while (u1 <= 0.0)
+    u1 = NextDouble();
+  const double u2 = NextDouble();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+}
+
+double
+Rng::Normal(double mean, double stddev)
+{
+  return mean + stddev * Normal();
+}
+
+double
+Rng::TruncatedNormal(double mean, double stddev, double lo, double hi)
+{
+  FLEX_CHECK_MSG(lo <= hi, "TruncatedNormal requires lo <= hi");
+  constexpr int kMaxAttempts = 64;
+  for (int i = 0; i < kMaxAttempts; ++i) {
+    const double draw = Normal(mean, stddev);
+    if (draw >= lo && draw <= hi)
+      return draw;
+  }
+  const double draw = Normal(mean, stddev);
+  return draw < lo ? lo : (draw > hi ? hi : draw);
+}
+
+bool
+Rng::Bernoulli(double p)
+{
+  return NextDouble() < p;
+}
+
+double
+Rng::Exponential(double mean)
+{
+  FLEX_CHECK_MSG(mean > 0.0, "Exponential requires positive mean");
+  double u = NextDouble();
+  while (u <= 0.0)
+    u = NextDouble();
+  return -mean * std::log(u);
+}
+
+double
+Rng::LogNormal(double mu, double sigma)
+{
+  return std::exp(Normal(mu, sigma));
+}
+
+Rng
+Rng::Fork()
+{
+  return Rng(NextU64());
+}
+
+}  // namespace flex

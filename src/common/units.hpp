@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Strong unit types for power and time quantities.
+ *
+ * Power accounting bugs (watts vs. kilowatts, seconds vs. milliseconds) are
+ * endemic in datacenter tooling; these thin wrappers make the unit part of
+ * the type so mixed-unit arithmetic fails to compile instead of silently
+ * corrupting capacity math.
+ */
+#ifndef FLEX_COMMON_UNITS_HPP_
+#define FLEX_COMMON_UNITS_HPP_
+
+#include <cmath>
+#include <compare>
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+namespace flex {
+
+/**
+ * Electrical power in watts.
+ *
+ * A regular value type: copyable, totally ordered, supports the affine
+ * operations that make sense for power (sum, difference, scaling by a
+ * dimensionless factor, and ratio of two powers).
+ */
+class Watts {
+ public:
+  constexpr Watts() = default;
+  constexpr explicit Watts(double value) : value_(value) {}
+
+  /** Number of watts as a raw double. */
+  constexpr double value() const { return value_; }
+  /** Convenience accessor in kilowatts. */
+  constexpr double kilowatts() const { return value_ / 1e3; }
+  /** Convenience accessor in megawatts. */
+  constexpr double megawatts() const { return value_ / 1e6; }
+
+  constexpr auto operator<=>(const Watts&) const = default;
+
+  constexpr Watts operator+(Watts other) const {
+    return Watts(value_ + other.value_);
+  }
+  constexpr Watts operator-(Watts other) const {
+    return Watts(value_ - other.value_);
+  }
+  constexpr Watts operator-() const { return Watts(-value_); }
+  constexpr Watts operator*(double scale) const {
+    return Watts(value_ * scale);
+  }
+  constexpr Watts operator/(double scale) const {
+    return Watts(value_ / scale);
+  }
+  /** Ratio of two powers (dimensionless). */
+  constexpr double operator/(Watts other) const {
+    return value_ / other.value_;
+  }
+
+  Watts& operator+=(Watts other) {
+    value_ += other.value_;
+    return *this;
+  }
+  Watts& operator-=(Watts other) {
+    value_ -= other.value_;
+    return *this;
+  }
+  Watts& operator*=(double scale) {
+    value_ *= scale;
+    return *this;
+  }
+
+  /** True when within @p tolerance watts of @p other. */
+  constexpr bool ApproxEquals(Watts other, double tolerance = 1e-6) const {
+    return std::fabs(value_ - other.value_) <= tolerance;
+  }
+
+ private:
+  double value_ = 0.0;
+};
+
+constexpr Watts operator*(double scale, Watts w) { return w * scale; }
+
+/** Builds a Watts value from kilowatts. */
+constexpr Watts KiloWatts(double kw) { return Watts(kw * 1e3); }
+/** Builds a Watts value from megawatts. */
+constexpr Watts MegaWatts(double mw) { return Watts(mw * 1e6); }
+
+inline std::ostream& operator<<(std::ostream& os, Watts w) {
+  return os << w.value() << " W";
+}
+
+/**
+ * Simulated time in seconds.
+ *
+ * Used throughout the discrete-event simulation; double-backed because
+ * meter/controller latencies are naturally fractional seconds.
+ */
+class Seconds {
+ public:
+  constexpr Seconds() = default;
+  constexpr explicit Seconds(double value) : value_(value) {}
+
+  constexpr double value() const { return value_; }
+  constexpr double milliseconds() const { return value_ * 1e3; }
+  constexpr double hours() const { return value_ / 3600.0; }
+
+  constexpr auto operator<=>(const Seconds&) const = default;
+
+  constexpr Seconds operator+(Seconds other) const {
+    return Seconds(value_ + other.value_);
+  }
+  constexpr Seconds operator-(Seconds other) const {
+    return Seconds(value_ - other.value_);
+  }
+  constexpr Seconds operator*(double scale) const {
+    return Seconds(value_ * scale);
+  }
+  constexpr Seconds operator/(double scale) const {
+    return Seconds(value_ / scale);
+  }
+  constexpr double operator/(Seconds other) const {
+    return value_ / other.value_;
+  }
+
+  Seconds& operator+=(Seconds other) {
+    value_ += other.value_;
+    return *this;
+  }
+
+ private:
+  double value_ = 0.0;
+};
+
+constexpr Seconds operator*(double scale, Seconds s) { return s * scale; }
+
+/** Builds Seconds from milliseconds. */
+constexpr Seconds Milliseconds(double ms) { return Seconds(ms / 1e3); }
+/** Builds Seconds from minutes. */
+constexpr Seconds Minutes(double m) { return Seconds(m * 60.0); }
+/** Builds Seconds from hours. */
+constexpr Seconds Hours(double h) { return Seconds(h * 3600.0); }
+
+inline std::ostream& operator<<(std::ostream& os, Seconds s) {
+  return os << s.value() << " s";
+}
+
+/** Energy = power x time, in joules; used by battery overload budgets. */
+class Joules {
+ public:
+  constexpr Joules() = default;
+  constexpr explicit Joules(double value) : value_(value) {}
+
+  constexpr double value() const { return value_; }
+  constexpr auto operator<=>(const Joules&) const = default;
+
+  constexpr Joules operator+(Joules other) const {
+    return Joules(value_ + other.value_);
+  }
+  constexpr Joules operator-(Joules other) const {
+    return Joules(value_ - other.value_);
+  }
+  Joules& operator+=(Joules other) {
+    value_ += other.value_;
+    return *this;
+  }
+  Joules& operator-=(Joules other) {
+    value_ -= other.value_;
+    return *this;
+  }
+
+ private:
+  double value_ = 0.0;
+};
+
+constexpr Joules operator*(Watts w, Seconds s) {
+  return Joules(w.value() * s.value());
+}
+constexpr Joules operator*(Seconds s, Watts w) { return w * s; }
+
+inline std::ostream& operator<<(std::ostream& os, Joules j) {
+  return os << j.value() << " J";
+}
+
+}  // namespace flex
+
+#endif  // FLEX_COMMON_UNITS_HPP_

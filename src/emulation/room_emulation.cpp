@@ -1,0 +1,448 @@
+#include "room_emulation.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+#include "offline/flex_offline.hpp"
+#include "power/loads.hpp"
+
+namespace flex::emulation {
+
+using power::PduPairId;
+using power::UpsId;
+using telemetry::DeviceId;
+using telemetry::DeviceKind;
+using workload::Category;
+
+/** Runtime state of one emulated rack. */
+struct RoomEmulation::EmulatedRack {
+  offline::Rack info;
+  OuProcess utilization;
+  /** Time-integral of the p95 latency factor over the failover window
+      (latency-sensitive racks only). */
+  double latency_factor_integral = 0.0;
+  double latency_window_seconds = 0.0;
+  double worst_latency_factor = 1.0;
+  bool was_throttled = false;
+
+  EmulatedRack(offline::Rack rack, OuProcess process)
+      : info(std::move(rack)), utilization(std::move(process))
+  {
+  }
+};
+
+RoomEmulation::RoomEmulation(EmulationConfig config)
+    : config_(config), topology_(config.room), rng_(config.seed)
+{
+  FLEX_REQUIRE(config_.target_utilization > 0.0 &&
+                   config_.target_utilization <= 1.0,
+               "target utilization must be in (0, 1]");
+  FLEX_REQUIRE(config_.failover_at < config_.restore_at &&
+                   config_.restore_at < config_.end_at,
+               "timeline must be ordered: failover < restore < end");
+  FLEX_REQUIRE(config_.failed_ups >= 0 &&
+                   config_.failed_ups < topology_.NumUpses(),
+               "failed UPS out of range");
+  BuildRoom();
+}
+
+RoomEmulation::~RoomEmulation() = default;
+
+void
+RoomEmulation::BuildRoom()
+{
+  // One workload per category (paper Section V-C): TeraSort-like batch
+  // work is software-redundant; the TPC-E-like transactional benchmark
+  // plays both the cap-able and the non-cap-able roles.
+  const int total_slots = topology_.NumRows() * topology_.RacksPerRow();
+  const Watts per_rack =
+      topology_.TotalProvisionedPower() / static_cast<double>(total_slots);
+  const int racks_per_deployment = topology_.RacksPerRow();
+  const int num_deployments = total_slots / racks_per_deployment;
+
+  std::vector<workload::Deployment> trace;
+  for (int i = 0; i < num_deployments; ++i) {
+    workload::Deployment d;
+    d.id = i;
+    d.num_racks = racks_per_deployment;
+    d.power_per_rack = per_rack;
+    const double fraction =
+        (static_cast<double>(i) + 0.5) / static_cast<double>(num_deployments);
+    if (fraction < 0.13) {
+      d.category = Category::kSoftwareRedundant;
+      d.workload = "terasort";
+      d.flex_power_fraction = 0.0;
+    } else if (fraction < 0.13 + 0.56) {
+      d.category = Category::kNonRedundantCapable;
+      d.workload = "tpce-capable";
+      d.flex_power_fraction = config_.flex_power_fraction;
+    } else {
+      d.category = Category::kNonRedundantNonCapable;
+      d.workload = "tpce-noncap";
+      d.flex_power_fraction = 1.0;
+    }
+    trace.push_back(std::move(d));
+  }
+  // Interleave categories so batches see a mix (the generator above laid
+  // them out contiguously).
+  rng_.Shuffle(trace);
+  for (std::size_t i = 0; i < trace.size(); ++i)
+    trace[i].id = static_cast<int>(i);
+
+  offline::FlexOfflinePolicy policy = offline::FlexOfflinePolicy::Short(2.0);
+  placement_ = policy.Place(topology_, trace);
+  layout_ = offline::BuildRackLayout(topology_, placement_);
+  FLEX_CHECK_MSG(!layout_.empty(), "placement produced no racks");
+
+  // Scale per-rack utilization so the aggregate hits the target at the
+  // UPS level even though some deployments were rejected.
+  Watts placed(0.0);
+  for (const offline::Rack& rack : layout_)
+    placed += rack.allocated;
+  const double rack_mean = std::min(
+      0.92, config_.target_utilization *
+                (topology_.TotalProvisionedPower() / placed));
+
+  racks_.reserve(layout_.size());
+  for (const offline::Rack& rack : layout_) {
+    OuProcessConfig ou;
+    ou.mean = rack_mean;
+    ou.reversion_rate = 0.05;
+    ou.volatility = rack.category == Category::kSoftwareRedundant
+                        ? 0.015   // batch work: steady
+                        : 0.025;  // transactional: burstier
+    ou.min = 0.40;
+    ou.max = 0.95;
+    const double initial = rng_.TruncatedNormal(rack_mean, 0.08, ou.min, ou.max);
+    racks_.emplace_back(rack, OuProcess(ou, initial));
+  }
+
+  report_.total_racks = static_cast<int>(racks_.size());
+  for (const EmulatedRack& rack : racks_) {
+    switch (rack.info.category) {
+      case Category::kSoftwareRedundant:
+        ++report_.sr_racks;
+        break;
+      case Category::kNonRedundantCapable:
+        ++report_.capable_racks;
+        break;
+      case Category::kNonRedundantNonCapable:
+        ++report_.noncap_racks;
+        break;
+    }
+  }
+
+  plane_ = std::make_unique<actuation::ActuationPlane>(
+      queue_, report_.total_racks, config_.rack_manager, rng_.NextU64());
+  pipeline_ = std::make_unique<telemetry::TelemetryPipeline>(
+      queue_, *this, topology_.NumUpses(), report_.total_racks,
+      config_.pipeline, rng_.NextU64());
+
+  // Impact registry from the configured scenario.
+  online::ImpactRegistry impact;
+  impact.emplace("terasort", config_.scenario.software_redundant);
+  impact.emplace("tpce-capable", config_.scenario.capable);
+
+  std::vector<online::ManagedRack> managed;
+  for (const EmulatedRack& rack : racks_) {
+    online::ManagedRack m;
+    m.rack_id = rack.info.id;
+    m.workload = rack.info.workload;
+    m.category = rack.info.category;
+    m.pdu_pair = rack.info.pdu_pair;
+    m.allocated = rack.info.allocated;
+    m.flex_power = rack.info.allocated * config_.flex_power_fraction;
+    managed.push_back(std::move(m));
+  }
+  // Software-redundant service continuity: the TeraSort-like workload
+  // subscribes to power-emergency notifications and scales out remotely.
+  if (report_.sr_racks > 0) {
+    ScaleOutConfig scale_out;
+    scale_out.workload = "terasort";
+    scale_out.local_racks = report_.sr_racks;
+    sr_scale_out_ = std::make_unique<ScaleOutModel>(queue_, scale_out);
+    ScaleOutModel* model = sr_scale_out_.get();
+    notifications_.Subscribe(
+        "terasort", [model](const online::PowerEmergencyNotification& n) {
+          model->OnNotification(n);
+        });
+  }
+
+  for (int c = 0; c < config_.num_controllers; ++c) {
+    controllers_.push_back(std::make_unique<online::FlexController>(
+        queue_, topology_, managed, *plane_, impact, config_.controller, c,
+        &notifications_));
+    online::FlexController* controller = controllers_.back().get();
+    pipeline_->Subscribe([controller](const telemetry::DeviceReading& r) {
+      controller->OnReading(r);
+    });
+  }
+
+  overload_since_.assign(static_cast<std::size_t>(topology_.NumUpses()),
+                         -1.0);
+  for (UpsId u = 0; u < topology_.NumUpses(); ++u) {
+    batteries_.emplace_back(power::BatteryConfig::ForBatteryLife(
+        config_.room.battery_life, topology_.UpsCapacity(u)));
+  }
+}
+
+Watts
+RoomEmulation::TrueRackPower(int rack_id) const
+{
+  const EmulatedRack& rack = racks_[static_cast<std::size_t>(rack_id)];
+  const actuation::RackState& state = plane_->rack(rack_id).state();
+  if (!state.powered_on)
+    return Watts(0.0);
+  const double ramp =
+      0.35 + 0.65 * std::min(1.0, queue_.Now() / config_.setup_duration);
+  Watts demand = rack.info.allocated * rack.utilization.value() * ramp;
+  if (state.power_cap && demand > *state.power_cap)
+    demand = *state.power_cap;
+  return demand;
+}
+
+std::vector<Watts>
+RoomEmulation::TrueUpsLoads() const
+{
+  power::PduPairLoads pdu_loads(
+      static_cast<std::size_t>(topology_.NumPduPairs()), Watts(0.0));
+  for (const EmulatedRack& rack : racks_) {
+    pdu_loads[static_cast<std::size_t>(rack.info.pdu_pair)] +=
+        TrueRackPower(rack.info.id);
+  }
+  if (failed_ups_ >= 0)
+    return power::FailoverUpsLoads(topology_, pdu_loads, failed_ups_);
+  return power::NormalUpsLoads(topology_, pdu_loads);
+}
+
+Watts
+RoomEmulation::CurrentPower(DeviceId device) const
+{
+  if (device.kind == DeviceKind::kRack)
+    return TrueRackPower(device.index);
+  return TrueUpsLoads()[static_cast<std::size_t>(device.index)];
+}
+
+void
+RoomEmulation::StepWorkloads()
+{
+  // Batteries ride through whatever overload the current loads impose.
+  const std::vector<Watts> ups_loads = TrueUpsLoads();
+  for (UpsId u = 0; u < topology_.NumUpses(); ++u) {
+    power::BatteryModel& battery = batteries_[static_cast<std::size_t>(u)];
+    battery.Advance(ups_loads[static_cast<std::size_t>(u)],
+                    config_.workload_step);
+    report_.min_battery_state_of_charge = std::min(
+        report_.min_battery_state_of_charge, battery.StateOfCharge());
+    if (battery.tripped())
+      report_.battery_tripped = true;
+  }
+
+  // Software-redundant service health view: shut racks look "down" to
+  // the service's own health checks; notified shutdowns are tolerated,
+  // unnotified ones would trigger auto-recovery (counted, inhibited).
+  if (sr_scale_out_) {
+    for (const EmulatedRack& rack : racks_) {
+      if (rack.info.category == Category::kSoftwareRedundant &&
+          !plane_->rack(rack.info.id).state().powered_on)
+        sr_scale_out_->ObserveRackDown(rack.info.id);
+    }
+    report_.sr_capacity_min_fraction =
+        std::min(report_.sr_capacity_min_fraction,
+                 sr_scale_out_->ServiceCapacityFraction());
+    if (sr_scale_out_->emergency_active() &&
+        sr_scale_out_->remote_active() > 0) {
+      report_.sr_capacity_after_scaleout =
+          sr_scale_out_->ServiceCapacityFraction();
+    }
+  }
+
+  const bool in_failover_window =
+      queue_.Now() >= config_.failover_at && queue_.Now() < config_.restore_at;
+  const LatencyModel latency(0.25);
+  for (EmulatedRack& rack : racks_) {
+    rack.utilization.Step(config_.workload_step, rng_);
+    if (rack.info.category != Category::kNonRedundantCapable)
+      continue;
+    // Track tail latency of the transactional racks while the failover
+    // episode is in progress.
+    if (!in_failover_window)
+      continue;
+    const actuation::RackState& state = plane_->rack(rack.info.id).state();
+    const double ramp = 1.0;  // setup finished well before failover
+    const Watts demand = rack.info.allocated * rack.utilization.value() * ramp;
+    double factor = 1.0;
+    if (state.power_cap) {
+      rack.was_throttled = true;
+      factor = latency.P95Factor(LatencyModel::SpeedUnderCap(
+          demand, *state.power_cap));
+    }
+    rack.latency_factor_integral += factor * config_.workload_step.value();
+    rack.latency_window_seconds += config_.workload_step.value();
+    rack.worst_latency_factor = std::max(rack.worst_latency_factor, factor);
+  }
+}
+
+void
+RoomEmulation::RecordSample()
+{
+  EmulationSample sample;
+  sample.t_seconds = queue_.Now().value();
+  const std::vector<Watts> ups = TrueUpsLoads();
+  for (const Watts w : ups)
+    sample.ups_mw.push_back(w.megawatts());
+  for (const EmulatedRack& rack : racks_)
+    sample.total_rack_mw += TrueRackPower(rack.info.id).megawatts();
+  int off = 0;
+  int capped = 0;
+  for (const EmulatedRack& rack : racks_) {
+    const actuation::RackState& state = plane_->rack(rack.info.id).state();
+    if (!state.powered_on)
+      ++off;
+    else if (state.power_cap)
+      ++capped;
+  }
+  sample.racks_off = off;
+  sample.racks_capped = capped;
+  report_.series.push_back(std::move(sample));
+
+  // Safety bookkeeping: time spent above rated capacity vs. tolerance.
+  for (UpsId u = 0; u < topology_.NumUpses(); ++u) {
+    const double fraction = ups[static_cast<std::size_t>(u)] /
+                            topology_.UpsCapacity(u);
+    double& since = overload_since_[static_cast<std::size_t>(u)];
+    if (fraction > 1.0) {
+      report_.worst_overload_fraction =
+          std::max(report_.worst_overload_fraction, fraction);
+      if (since < 0.0)
+        since = queue_.Now().value();
+      const double duration = queue_.Now().value() - since;
+      report_.overload_duration_seconds =
+          std::max(report_.overload_duration_seconds, duration);
+      const Seconds tolerance =
+          topology_.trip_curve().ToleranceAt(fraction);
+      if (duration > tolerance.value())
+        report_.safety_violated = true;
+    } else {
+      since = -1.0;
+    }
+  }
+}
+
+EmulationReport
+RoomEmulation::Run()
+{
+  pipeline_->Start();
+
+  // Workload stepping.
+  sim::SchedulePeriodic(queue_, config_.workload_step, [this] {
+    StepWorkloads();
+    return queue_.Now() < config_.end_at;
+  });
+  // Sampling.
+  sim::SchedulePeriodic(queue_, config_.sample_period, [this] {
+    RecordSample();
+    return queue_.Now() < config_.end_at;
+  });
+  // Stage C: fail a UPS.
+  queue_.ScheduleAt(config_.failover_at, [this] {
+    failed_ups_ = config_.failed_ups;
+  });
+  // Stage F: restore it.
+  queue_.ScheduleAt(config_.restore_at, [this] { failed_ups_ = -1; });
+
+  double time_to_safe = -1.0;
+  sim::SchedulePeriodic(queue_, Seconds(0.5), [this, &time_to_safe] {
+    if (queue_.Now() < config_.failover_at)
+      return true;
+    if (time_to_safe >= 0.0)
+      return false;
+    const std::vector<Watts> ups = TrueUpsLoads();
+    bool safe = true;
+    for (UpsId u = 0; u < topology_.NumUpses(); ++u) {
+      if (ups[static_cast<std::size_t>(u)] > topology_.UpsCapacity(u))
+        safe = false;
+    }
+    if (safe && queue_.Now() > config_.failover_at) {
+      time_to_safe = (queue_.Now() - config_.failover_at).value();
+      return false;
+    }
+    return true;
+  });
+
+  // Track peak action counts during the episode.
+  sim::SchedulePeriodic(queue_, Seconds(1.0), [this] {
+    int off = 0;
+    int capped = 0;
+    int noncap_acted = 0;
+    for (const EmulatedRack& rack : racks_) {
+      const actuation::RackState& state = plane_->rack(rack.info.id).state();
+      const bool acted = !state.powered_on || state.power_cap.has_value();
+      if (!state.powered_on)
+        ++off;
+      else if (state.power_cap)
+        ++capped;
+      if (acted &&
+          rack.info.category == Category::kNonRedundantNonCapable)
+        ++noncap_acted;
+    }
+    report_.sr_shutdown_peak = std::max(report_.sr_shutdown_peak, off);
+    report_.capable_capped_peak =
+        std::max(report_.capable_capped_peak, capped);
+    report_.noncap_acted = std::max(report_.noncap_acted, noncap_acted);
+    return queue_.Now() < config_.end_at;
+  });
+
+  queue_.RunUntil(config_.end_at);
+  pipeline_->Stop();
+  queue_.RunUntil(config_.end_at + Seconds(5.0));  // drain deliveries
+
+  // --- Assemble the report -------------------------------------------------
+  report_.time_to_safe_seconds = time_to_safe;
+  if (report_.sr_racks > 0) {
+    report_.sr_shutdown_fraction =
+        static_cast<double>(report_.sr_shutdown_peak) / report_.sr_racks;
+  }
+  if (report_.capable_racks > 0) {
+    report_.capable_capped_fraction =
+        static_cast<double>(report_.capable_capped_peak) /
+        report_.capable_racks;
+  }
+  if (!pipeline_->latency_samples().empty()) {
+    report_.data_latency_p999 =
+        Percentile(pipeline_->latency_samples(), 99.9);
+  }
+  for (const auto& controller : controllers_) {
+    const online::ControllerStats& stats = controller->stats();
+    report_.overdraw_events += stats.overdraw_events;
+    report_.throttle_commands += stats.throttle_commands;
+    report_.shutdown_commands += stats.shutdown_commands;
+    for (const double latency : stats.enforcement_latencies) {
+      report_.enforcement_latency_seconds =
+          std::max(report_.enforcement_latency_seconds, latency);
+    }
+  }
+
+  RunningStats latency_increase;
+  for (const EmulatedRack& rack : racks_) {
+    if (!rack.was_throttled || rack.latency_window_seconds <= 0.0)
+      continue;
+    const double mean_factor =
+        rack.latency_factor_integral / rack.latency_window_seconds;
+    latency_increase.Add(mean_factor - 1.0);
+    report_.p95_increase_worst = std::max(
+        report_.p95_increase_worst, rack.worst_latency_factor - 1.0);
+  }
+  report_.p95_increase_mean = latency_increase.mean();
+  if (sr_scale_out_) {
+    report_.sr_inhibited_auto_recoveries =
+        sr_scale_out_->inhibited_auto_recoveries();
+  }
+  report_.notifications_published =
+      static_cast<int>(notifications_.published_count());
+  return report_;
+}
+
+}  // namespace flex::emulation

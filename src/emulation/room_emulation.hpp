@@ -1,0 +1,176 @@
+/**
+ * @file
+ * End-to-end room emulation (paper Section V-C, Fig. 13).
+ *
+ * Emulates a 4.8 MW zero-reserved-power room of 360 racks through the
+ * paper's four stages: (A) setup, (B) normal operation at ~80%
+ * utilization, (C/D) a UPS failure that spikes the survivors above
+ * their rated capacity, (E) Flex-Online detection and corrective
+ * actions, and (F/G) UPS restoration and action release. The harness
+ * wires together every substrate in the repository: the power topology,
+ * Flex-Offline placement, synthetic workloads, the redundant telemetry
+ * pipeline, multi-primary Flex controllers, and rack-manager actuation.
+ */
+#ifndef FLEX_EMULATION_ROOM_EMULATION_HPP_
+#define FLEX_EMULATION_ROOM_EMULATION_HPP_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "actuation/rack_manager.hpp"
+#include "emulation/workload_model.hpp"
+#include "emulation/scale_out.hpp"
+#include "offline/placement.hpp"
+#include "online/controller.hpp"
+#include "power/battery.hpp"
+#include "power/topology.hpp"
+#include "sim/event_queue.hpp"
+#include "telemetry/pipeline.hpp"
+#include "workload/impact.hpp"
+
+namespace flex::emulation {
+
+/** Emulation knobs; defaults reproduce the paper's Section V-C setup. */
+struct EmulationConfig {
+  power::RoomConfig room = power::RoomConfig::EmulationRoom();
+  /** Target aggregate utilization at the UPS level during stage B. */
+  double target_utilization = 0.80;
+  /** Flex power as a fraction of rack allocation (paper: 0.85). */
+  double flex_power_fraction = 0.85;
+  /** Impact functions by workload name (defaults to Fig. 11(c)). */
+  workload::ImpactScenario scenario = workload::ImpactScenario::Realistic1();
+
+  Seconds setup_duration = Minutes(4.0);
+  Seconds failover_at = Minutes(12.0);
+  Seconds restore_at = Minutes(24.0);
+  Seconds end_at = Minutes(32.0);
+  Seconds workload_step = Seconds(1.0);
+  Seconds sample_period = Seconds(5.0);
+  power::UpsId failed_ups = 0;
+
+  int num_controllers = 3;  ///< multi-primary replicas
+  telemetry::PipelineConfig pipeline;
+  actuation::RackManagerConfig rack_manager;
+  online::ControllerConfig controller;
+  std::uint64_t seed = 2021;
+};
+
+/** One point of the recorded time series. */
+struct EmulationSample {
+  double t_seconds = 0.0;
+  std::vector<double> ups_mw;    ///< true per-UPS power
+  double total_rack_mw = 0.0;
+  int racks_off = 0;
+  int racks_capped = 0;
+};
+
+/** Everything the emulation measured. */
+struct EmulationReport {
+  std::vector<EmulationSample> series;
+
+  int total_racks = 0;
+  int sr_racks = 0;
+  int capable_racks = 0;
+  int noncap_racks = 0;
+
+  /** Peak counts of acted racks during the failover episode. */
+  int sr_shutdown_peak = 0;
+  int capable_capped_peak = 0;
+  /** As fractions of their categories (paper: 64% and 51%). */
+  double sr_shutdown_fraction = 0.0;
+  double capable_capped_fraction = 0.0;
+  /** Non-cap-able racks must never be acted on. */
+  int noncap_acted = 0;
+
+  /** Detection -> all actions enforced, first episode (paper: ~2 s). */
+  double enforcement_latency_seconds = 0.0;
+  /** Failover -> power back under every UPS limit. */
+  double time_to_safe_seconds = 0.0;
+  /** p99.9 telemetry data latency (paper: < 1.5 s). */
+  double data_latency_p999 = 0.0;
+
+  /** p95 latency inflation of throttled cap-able racks (paper: +4.7%). */
+  double p95_increase_mean = 0.0;
+  /** Worst per-rack inflation (paper: 14%). */
+  double p95_increase_worst = 0.0;
+
+  /** True if any UPS stayed above rated capacity past its tolerance. */
+  bool safety_violated = false;
+  double worst_overload_fraction = 0.0;
+  double overload_duration_seconds = 0.0;
+  /** True if any UPS battery exhausted its ride-through energy. */
+  bool battery_tripped = false;
+  /** Lowest battery state of charge seen on any UPS (1.0 = full). */
+  double min_battery_state_of_charge = 1.0;
+
+  /** Software-redundant service continuity through the emergency. */
+  double sr_capacity_min_fraction = 1.0;
+  /** Capacity once the remote AZ absorbed the shutdowns. */
+  double sr_capacity_after_scaleout = 1.0;
+  /** Local auto-recovery attempts the notification inhibited (want 0). */
+  int sr_inhibited_auto_recoveries = 0;
+  /** Power-emergency notifications published by the controllers. */
+  int notifications_published = 0;
+
+  /** Aggregated controller stats across replicas. */
+  int overdraw_events = 0;
+  int throttle_commands = 0;
+  int shutdown_commands = 0;
+};
+
+/**
+ * The emulation harness. Also the telemetry pipeline's ground-truth
+ * power source.
+ */
+class RoomEmulation : public telemetry::PowerSource {
+ public:
+  explicit RoomEmulation(EmulationConfig config);
+  ~RoomEmulation() override;
+
+  /** Runs the full timeline and returns the report. */
+  EmulationReport Run();
+
+  // telemetry::PowerSource:
+  Watts CurrentPower(telemetry::DeviceId device) const override;
+
+  const power::RoomTopology& topology() const { return topology_; }
+  const offline::Placement& placement() const { return placement_; }
+
+  /** Telemetry pipeline access, e.g. for pre-run fault injection. */
+  telemetry::TelemetryPipeline& pipeline() { return *pipeline_; }
+
+ private:
+  struct EmulatedRack;
+
+  void BuildRoom();
+  void StepWorkloads();
+  void RecordSample();
+  Watts TrueRackPower(int rack_id) const;
+  std::vector<Watts> TrueUpsLoads() const;
+
+  EmulationConfig config_;
+  power::RoomTopology topology_;
+  sim::EventQueue queue_;
+  Rng rng_;
+
+  offline::Placement placement_;
+  std::vector<offline::Rack> layout_;
+  std::vector<EmulatedRack> racks_;
+
+  std::unique_ptr<actuation::ActuationPlane> plane_;
+  std::unique_ptr<telemetry::TelemetryPipeline> pipeline_;
+  std::vector<std::unique_ptr<online::FlexController>> controllers_;
+  online::NotificationBus notifications_;
+  std::unique_ptr<ScaleOutModel> sr_scale_out_;
+
+  power::UpsId failed_ups_ = -1;
+  EmulationReport report_;
+  // Overload bookkeeping for the safety check.
+  std::vector<double> overload_since_;  // per UPS; <0 = not overloaded
+  std::vector<power::BatteryModel> batteries_;  // per UPS
+};
+
+}  // namespace flex::emulation
+
+#endif  // FLEX_EMULATION_ROOM_EMULATION_HPP_

@@ -1,0 +1,54 @@
+#include "workload_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace flex::emulation {
+
+OuProcess::OuProcess(OuProcessConfig config, double initial)
+    : config_(config), value_(initial)
+{
+  FLEX_REQUIRE(config_.min <= config_.max, "OU bounds must be ordered");
+  FLEX_REQUIRE(config_.reversion_rate >= 0.0 && config_.volatility >= 0.0,
+               "OU rates must be non-negative");
+  value_ = std::clamp(value_, config_.min, config_.max);
+}
+
+double
+OuProcess::Step(Seconds dt, Rng& rng)
+{
+  FLEX_REQUIRE(dt.value() >= 0.0, "negative time step");
+  const double t = dt.value();
+  value_ += config_.reversion_rate * (config_.mean - value_) * t +
+            config_.volatility * std::sqrt(t) * rng.Normal();
+  value_ = std::clamp(value_, config_.min, config_.max);
+  return value_;
+}
+
+LatencyModel::LatencyModel(double rho) : rho_(rho)
+{
+  FLEX_REQUIRE(rho > 0.0 && rho < 1.0, "rho must be in (0, 1)");
+}
+
+double
+LatencyModel::P95Factor(double speed) const
+{
+  FLEX_REQUIRE(speed > 0.0 && speed <= 1.0 + 1e-9,
+               "speed must be in (0, 1]");
+  constexpr double kSaturation = 50.0;  // queue collapse: bounded for math
+  if (speed <= rho_)
+    return kSaturation;
+  return std::min(kSaturation, (1.0 - rho_) / (speed - rho_));
+}
+
+double
+LatencyModel::SpeedUnderCap(Watts demand, Watts cap)
+{
+  if (demand <= Watts(0.0) || cap >= demand)
+    return 1.0;
+  return std::max(0.05, cap / demand);
+}
+
+}  // namespace flex::emulation

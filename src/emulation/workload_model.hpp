@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Synthetic workload behaviour models for the room emulation.
+ *
+ * Substitutes for the paper's Section V-C benchmarks: an
+ * Ornstein-Uhlenbeck utilization process stands in for the power draw of
+ * TeraSort-like batch work and TPC-E-like transactional work, and an
+ * M/M/1 tail-latency model maps a power cap to the p95 latency inflation
+ * the paper measures on throttled racks.
+ */
+#ifndef FLEX_EMULATION_WORKLOAD_MODEL_HPP_
+#define FLEX_EMULATION_WORKLOAD_MODEL_HPP_
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+
+namespace flex::emulation {
+
+/** Mean-reverting utilization process parameters. */
+struct OuProcessConfig {
+  double mean = 0.80;         ///< long-run utilization
+  double reversion_rate = 0.05;  ///< pull toward the mean, per second
+  double volatility = 0.02;   ///< diffusion per sqrt(second)
+  double min = 0.40;
+  double max = 0.98;
+};
+
+/**
+ * Ornstein-Uhlenbeck process clipped to [min, max]; drives per-rack
+ * utilization so power wanders realistically instead of stepping.
+ */
+class OuProcess {
+ public:
+  OuProcess(OuProcessConfig config, double initial);
+
+  /** Advances by @p dt and returns the new value. */
+  double Step(Seconds dt, Rng& rng);
+
+  double value() const { return value_; }
+  const OuProcessConfig& config() const { return config_; }
+
+ private:
+  OuProcessConfig config_;
+  double value_;
+};
+
+/**
+ * Latency response of a closed-loop transactional workload to CPU
+ * throttling, as an M/M/1 sojourn-time model: with base server
+ * utilization rho, slowing the server to a fraction `speed` of nominal
+ * capacity inflates latency (and its percentiles, exponential sojourn)
+ * by (1 - rho) / (speed - rho).
+ */
+class LatencyModel {
+ public:
+  explicit LatencyModel(double rho = 0.5);
+
+  /**
+   * p95 latency relative to the unthrottled baseline when the server
+   * runs at @p speed (fraction of nominal, in (0, 1]). Saturates at a
+   * large factor when speed approaches rho (queue blow-up).
+   */
+  double P95Factor(double speed) const;
+
+  /**
+   * Effective speed of a rack whose workload wants @p demand power but
+   * is capped at @p cap: power scales roughly linearly with frequency in
+   * the throttling range, so speed = cap / demand (clamped to 1).
+   */
+  static double SpeedUnderCap(Watts demand, Watts cap);
+
+  double rho() const { return rho_; }
+
+ private:
+  double rho_;
+};
+
+}  // namespace flex::emulation
+
+#endif  // FLEX_EMULATION_WORKLOAD_MODEL_HPP_

@@ -1,0 +1,430 @@
+#include "flex_offline.hpp"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+#include "common/error.hpp"
+#include "power/loads.hpp"
+#include "solver/model.hpp"
+
+namespace flex::offline {
+
+using power::PduPairId;
+using power::RoomTopology;
+using power::UpsId;
+using solver::Model;
+using solver::Relation;
+using solver::VarIndex;
+using workload::Category;
+using workload::Deployment;
+
+FlexOfflinePolicy::FlexOfflinePolicy(FlexOfflineConfig config,
+                                     std::string name)
+    : config_(std::move(config)), name_(std::move(name))
+{
+  FLEX_REQUIRE(config_.batch_capacity_fraction > 0.0,
+               "batch capacity fraction must be positive");
+  FLEX_REQUIRE(config_.imbalance_weight >= 0.0,
+               "imbalance weight must be non-negative");
+  FLEX_REQUIRE(config_.forecast_confidence >= 0.0 &&
+                   config_.forecast_confidence <= 1.0,
+               "forecast confidence must be in [0, 1]");
+}
+
+FlexOfflinePolicy
+FlexOfflinePolicy::Short(double solve_seconds)
+{
+  FlexOfflineConfig config;
+  config.batch_capacity_fraction = 0.33;
+  config.solver.time_budget_seconds = solve_seconds;
+  return FlexOfflinePolicy(config, "Flex-Offline-Short");
+}
+
+FlexOfflinePolicy
+FlexOfflinePolicy::Long(double solve_seconds)
+{
+  FlexOfflineConfig config;
+  config.batch_capacity_fraction = 0.66;
+  config.solver.time_budget_seconds = solve_seconds;
+  return FlexOfflinePolicy(config, "Flex-Offline-Long");
+}
+
+FlexOfflinePolicy
+FlexOfflinePolicy::Oracle(double solve_seconds)
+{
+  FlexOfflineConfig config;
+  // Large enough to swallow any realistic demand multiple in one batch.
+  config.batch_capacity_fraction = 1e9;
+  config.solver.time_budget_seconds = solve_seconds;
+  return FlexOfflinePolicy(config, "Flex-Offline-Oracle");
+}
+
+FlexOfflinePolicy
+FlexOfflinePolicy::ForecastAware(std::vector<workload::Deployment> forecast,
+                                 double confidence, double solve_seconds)
+{
+  FlexOfflineConfig config;
+  config.batch_capacity_fraction = 0.33;
+  config.solver.time_budget_seconds = solve_seconds;
+  config.forecast = std::move(forecast);
+  config.forecast_confidence = confidence;
+  return FlexOfflinePolicy(config, "Flex-Offline-Forecast");
+}
+
+namespace {
+
+/** Megawatt scaling keeps LP coefficients O(1-10) for numerical health. */
+double
+Mw(Watts w)
+{
+  return w.megawatts();
+}
+
+/** Power recoverable from @p d by shutdown (software-redundant only). */
+Watts
+ShutdownRecoverable(const Deployment& d)
+{
+  return d.category == Category::kSoftwareRedundant ? d.AllocatedPower()
+                                                    : Watts(0.0);
+}
+
+}  // namespace
+
+namespace {
+
+/**
+ * Greedy least-loaded placement of @p batch against the current room
+ * state; used both to warm-start the MILP and as the fallback when the
+ * solve budget expires without an incumbent.
+ */
+std::vector<int>
+GreedyPlace(const RoomTopology& topology, const CapacityTracker& tracker,
+            const std::vector<Deployment>& batch)
+{
+  std::vector<int> chosen(batch.size(), -1);
+  CapacityTracker greedy = tracker;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    PduPairId best = -1;
+    for (PduPairId p = 0; p < topology.NumPduPairs(); ++p) {
+      if (!greedy.CanPlace(batch[i], p))
+        continue;
+      if (best < 0 || greedy.AllocatedLoad(p) < greedy.AllocatedLoad(best))
+        best = p;
+    }
+    if (best >= 0) {
+      greedy.Place(batch[i], best);
+      chosen[i] = best;
+    }
+  }
+  return chosen;
+}
+
+}  // namespace
+
+std::vector<int>
+FlexOfflinePolicy::SolveBatch(
+    const RoomTopology& topology, const CapacityTracker& tracker,
+    const std::vector<Deployment>& batch,
+    const std::vector<Deployment>& phantom,
+    const std::vector<Watts>& existing_shutdown_rec_per_pair) const
+{
+  const int pairs = topology.NumPduPairs();
+  Model model;
+  model.SetSense(solver::Sense::kMaximize);
+
+  // Certain deployments followed by discounted forecast phantoms; the
+  // phantoms shape the solution but are never committed.
+  std::vector<Deployment> all = batch;
+  all.insert(all.end(), phantom.begin(), phantom.end());
+
+  // Placement indicators, only for (d, p) combinations that are feasible
+  // against the already-committed room state.
+  struct PlacementVar {
+    int batch_index;
+    PduPairId pdu_pair;
+    VarIndex var;
+  };
+  std::vector<PlacementVar> vars;
+  std::vector<std::vector<std::pair<VarIndex, double>>> per_deployment(
+      all.size());
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    const double weight =
+        i < batch.size() ? 1.0 : config_.forecast_confidence;
+    for (PduPairId p = 0; p < pairs; ++p) {
+      if (!tracker.CanPlace(all[i], p))
+        continue;
+      const VarIndex v = model.AddBinary(
+          "x_" + std::to_string(i) + "_" + std::to_string(p),
+          weight * Mw(all[i].AllocatedPower()));
+      vars.push_back({static_cast<int>(i), p, v});
+      per_deployment[i].push_back({v, 1.0});
+    }
+  }
+
+  // Eq. 1: each deployment placed at most once.
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    if (!per_deployment[i].empty()) {
+      model.AddConstraint("place_once_" + std::to_string(i),
+                          per_deployment[i], Relation::kLessEqual, 1.0);
+    }
+  }
+
+  // Eq. 2: normal-operation UPS capacity, net of committed load.
+  const std::vector<Watts> existing_normal =
+      power::NormalUpsLoads(topology, tracker.AllocatedLoads());
+  for (UpsId u = 0; u < topology.NumUpses(); ++u) {
+    std::vector<std::pair<VarIndex, double>> terms;
+    for (const PlacementVar& pv : vars) {
+      const auto [u1, u2] = topology.UpsesOfPduPair(pv.pdu_pair);
+      if (u1 == u || u2 == u) {
+        terms.push_back({pv.var, 0.5 * Mw(all[static_cast<std::size_t>(
+                                                  pv.batch_index)]
+                                             .AllocatedPower())});
+      }
+    }
+    if (!terms.empty()) {
+      model.AddConstraint(
+          "normal_ups_" + std::to_string(u), std::move(terms),
+          Relation::kLessEqual,
+          Mw(topology.UpsCapacity(u) -
+             existing_normal[static_cast<std::size_t>(u)]));
+    }
+  }
+
+  // Eq. 4: failover safety with corrective actions, for every failure f
+  // and surviving UPS u.
+  for (UpsId f = 0; f < topology.NumUpses(); ++f) {
+    const std::vector<Watts> existing_failover =
+        power::FailoverUpsLoads(topology, tracker.CappedLoads(), f);
+    for (UpsId u = 0; u < topology.NumUpses(); ++u) {
+      if (u == f)
+        continue;
+      std::vector<std::pair<VarIndex, double>> terms;
+      for (const PlacementVar& pv : vars) {
+        const auto [u1, u2] = topology.UpsesOfPduPair(pv.pdu_pair);
+        if (u1 != u && u2 != u)
+          continue;
+        const bool pair_hits_failed = (u1 == f || u2 == f);
+        const double share = pair_hits_failed ? 1.0 : 0.5;
+        const Watts cap_pow =
+            all[static_cast<std::size_t>(pv.batch_index)].CappedPower();
+        if (cap_pow > Watts(0.0))
+          terms.push_back({pv.var, share * Mw(cap_pow)});
+      }
+      if (!terms.empty()) {
+        model.AddConstraint(
+            "failover_" + std::to_string(f) + "_" + std::to_string(u),
+            std::move(terms), Relation::kLessEqual,
+            Mw(topology.UpsCapacity(u) -
+               existing_failover[static_cast<std::size_t>(u)]));
+      }
+    }
+  }
+
+  // Space: rack slots per PDU pair (cooling is re-checked at commit),
+  // and the 2N PDU rating on the pair's total allocation.
+  for (PduPairId p = 0; p < pairs; ++p) {
+    std::vector<std::pair<VarIndex, double>> slot_terms;
+    std::vector<std::pair<VarIndex, double>> power_terms;
+    for (const PlacementVar& pv : vars) {
+      if (pv.pdu_pair == p) {
+        const Deployment& d = all[static_cast<std::size_t>(pv.batch_index)];
+        slot_terms.push_back({pv.var, static_cast<double>(d.num_racks)});
+        power_terms.push_back({pv.var, Mw(d.AllocatedPower())});
+      }
+    }
+    if (!slot_terms.empty()) {
+      model.AddConstraint("space_" + std::to_string(p),
+                          std::move(slot_terms), Relation::kLessEqual,
+                          static_cast<double>(tracker.FreeSlots(p)));
+      model.AddConstraint(
+          "pdu_" + std::to_string(p), std::move(power_terms),
+          Relation::kLessEqual,
+          Mw(topology.PduPairAllocationLimit() - tracker.AllocatedLoad(p)));
+    }
+  }
+
+  // Soft objective: the throttling-imbalance metric is the spread of
+  // post-shutdown failover loads across (failure, survivor) UPS pairs,
+  // which is linear in the placement variables. Penalize that spread
+  // directly via max/min bounding variables.
+  if (config_.imbalance_weight > 0.0) {
+    const double w = config_.imbalance_weight;
+    const double big = Mw(topology.TotalProvisionedPower());
+    const VarIndex fmax = model.AddContinuous("failover_max", 0.0, big, -w);
+    const VarIndex fmin = model.AddContinuous("failover_min", 0.0, big, w);
+
+    // Per-pair committed load once software-redundant racks shut down.
+    power::PduPairLoads existing_after_shutdown = tracker.AllocatedLoads();
+    for (PduPairId p = 0; p < pairs; ++p) {
+      existing_after_shutdown[static_cast<std::size_t>(p)] -=
+          existing_shutdown_rec_per_pair[static_cast<std::size_t>(p)];
+    }
+    for (UpsId f = 0; f < topology.NumUpses(); ++f) {
+      const std::vector<Watts> existing_loads =
+          power::FailoverUpsLoads(topology, existing_after_shutdown, f);
+      for (UpsId u = 0; u < topology.NumUpses(); ++u) {
+        if (u == f)
+          continue;
+        std::vector<std::pair<VarIndex, double>> terms;
+        for (const PlacementVar& pv : vars) {
+          const auto [u1, u2] = topology.UpsesOfPduPair(pv.pdu_pair);
+          if (u1 != u && u2 != u)
+            continue;
+          const Deployment& d =
+              all[static_cast<std::size_t>(pv.batch_index)];
+          if (d.category == Category::kSoftwareRedundant)
+            continue;  // shut down before throttling is assessed
+          const bool pair_hits_failed = (u1 == f || u2 == f);
+          const double share = pair_hits_failed ? 1.0 : 0.5;
+          terms.push_back({pv.var, share * Mw(d.AllocatedPower())});
+        }
+        const double existing =
+            Mw(existing_loads[static_cast<std::size_t>(u)]);
+        // existing + sum(terms) <= fmax  and  >= fmin.
+        std::vector<std::pair<VarIndex, double>> upper = terms;
+        upper.push_back({fmax, -1.0});
+        model.AddConstraint(
+            "spread_max_" + std::to_string(f) + "_" + std::to_string(u),
+            std::move(upper), Relation::kLessEqual, -existing);
+        std::vector<std::pair<VarIndex, double>> lower = std::move(terms);
+        lower.push_back({fmin, -1.0});
+        model.AddConstraint(
+            "spread_min_" + std::to_string(f) + "_" + std::to_string(u),
+            std::move(lower), Relation::kGreaterEqual, -existing);
+      }
+    }
+  }
+
+  // Warm-start the solver from a greedy placement so that even a budget
+  // too small to close the tree never does worse than the greedy
+  // heuristic (the large single-batch Oracle solves need this).
+  const std::vector<int> greedy_chosen = GreedyPlace(topology, tracker, batch);
+  solver::BranchAndBoundSolver::Options solver_options = config_.solver;
+  {
+    std::vector<double> warm(
+        static_cast<std::size_t>(model.NumVariables()), 0.0);
+    for (const PlacementVar& pv : vars) {
+      if (static_cast<std::size_t>(pv.batch_index) < batch.size() &&
+          greedy_chosen[static_cast<std::size_t>(pv.batch_index)] ==
+              pv.pdu_pair)
+        warm[static_cast<std::size_t>(pv.var)] = 1.0;
+    }
+    if (config_.imbalance_weight > 0.0) {
+      // Tight values for the max/min auxiliaries under the greedy plan.
+      power::PduPairLoads after_shutdown = tracker.AllocatedLoads();
+      for (PduPairId p = 0; p < pairs; ++p) {
+        after_shutdown[static_cast<std::size_t>(p)] -=
+            existing_shutdown_rec_per_pair[static_cast<std::size_t>(p)];
+      }
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        if (greedy_chosen[i] < 0 ||
+            batch[i].category == Category::kSoftwareRedundant)
+          continue;
+        after_shutdown[static_cast<std::size_t>(greedy_chosen[i])] +=
+            batch[i].AllocatedPower();
+      }
+      double load_max = 0.0;
+      double load_min = 1e18;
+      for (UpsId f = 0; f < topology.NumUpses(); ++f) {
+        const std::vector<Watts> loads =
+            power::FailoverUpsLoads(topology, after_shutdown, f);
+        for (UpsId u = 0; u < topology.NumUpses(); ++u) {
+          if (u == f)
+            continue;
+          load_max = std::max(load_max, Mw(loads[static_cast<std::size_t>(u)]));
+          load_min = std::min(load_min, Mw(loads[static_cast<std::size_t>(u)]));
+        }
+      }
+      // fmax/fmin are the last two variables added to the model.
+      warm[static_cast<std::size_t>(model.NumVariables()) - 2] = load_max;
+      warm[static_cast<std::size_t>(model.NumVariables()) - 1] = load_min;
+    }
+    solver_options.warm_start = std::move(warm);
+  }
+
+  const solver::MipResult result =
+      solver::BranchAndBoundSolver(solver_options).Solve(model);
+
+  if (!result.HasSolution())
+    return greedy_chosen;  // budget gone and warm start rejected: greedy
+  std::vector<int> chosen(batch.size(), -1);
+  for (const PlacementVar& pv : vars) {
+    if (static_cast<std::size_t>(pv.batch_index) < batch.size() &&
+        result.x[static_cast<std::size_t>(pv.var)] > 0.5)
+      chosen[static_cast<std::size_t>(pv.batch_index)] = pv.pdu_pair;
+  }
+  return chosen;
+}
+
+Placement
+FlexOfflinePolicy::Place(const RoomTopology& topology,
+                         const std::vector<Deployment>& trace)
+{
+  Placement placement;
+  placement.deployments = trace;
+  placement.assignment.assign(trace.size(), std::nullopt);
+
+  CapacityTracker tracker(topology);
+  std::vector<Watts> shutdown_rec(
+      static_cast<std::size_t>(topology.NumPduPairs()), Watts(0.0));
+
+  const Watts batch_power =
+      topology.TotalProvisionedPower() *
+      std::min(config_.batch_capacity_fraction, 1e12);
+
+  std::size_t next = 0;
+  while (next < trace.size()) {
+    // Accumulate the next batch by cumulative allocated power.
+    std::vector<Deployment> batch;
+    std::vector<std::size_t> batch_trace_index;
+    Watts batch_total(0.0);
+    while (next < trace.size() &&
+           (batch.empty() || batch_total < batch_power)) {
+      batch.push_back(trace[next]);
+      batch_trace_index.push_back(next);
+      batch_total += trace[next].AllocatedPower();
+      ++next;
+    }
+
+    // Forecast entries for demand not yet seen (matched by id), capped
+    // at roughly one extra batch of lookahead so the ILP stays solvable
+    // within the per-batch budget.
+    std::vector<Deployment> phantom;
+    if (!config_.forecast.empty()) {
+      std::set<workload::DeploymentId> seen;
+      for (std::size_t i = 0; i < next; ++i)
+        seen.insert(trace[i].id);
+      Watts phantom_total(0.0);
+      for (const Deployment& f : config_.forecast) {
+        if (seen.count(f.id))
+          continue;
+        if (phantom_total >= batch_power)
+          break;
+        phantom.push_back(f);
+        phantom_total += f.AllocatedPower();
+      }
+    }
+
+    const std::vector<int> chosen =
+        SolveBatch(topology, tracker, batch, phantom, shutdown_rec);
+
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      if (chosen[i] < 0)
+        continue;
+      const PduPairId p = chosen[i];
+      // The MILP approximates cooling with slot counts; re-validate and
+      // skip on the rare mismatch rather than violate room constraints.
+      if (!tracker.CanPlace(batch[i], p))
+        continue;
+      tracker.Place(batch[i], p);
+      placement.assignment[batch_trace_index[i]] = p;
+      shutdown_rec[static_cast<std::size_t>(p)] +=
+          ShutdownRecoverable(batch[i]);
+    }
+  }
+  return placement;
+}
+
+}  // namespace flex::offline

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Flex-Offline: ILP-based batched workload placement (paper Section IV-B).
+ *
+ * Batches the short-term demand (33% of room capacity for the Short
+ * variant, 66% for Long, everything for Oracle), builds the paper's
+ * Eq. 1-5 integer program per batch — augmented with a linearized
+ * throttling-imbalance soft objective, one of the "additional soft
+ * constraints" the paper mentions using in its evaluation — and solves
+ * it with the bundled branch-and-bound solver under a wall-clock budget
+ * (the paper stops Gurobi after 5 minutes).
+ */
+#ifndef FLEX_OFFLINE_FLEX_OFFLINE_HPP_
+#define FLEX_OFFLINE_FLEX_OFFLINE_HPP_
+
+#include <string>
+#include <vector>
+
+#include "offline/policies.hpp"
+#include "solver/branch_and_bound.hpp"
+
+namespace flex::offline {
+
+/** Knobs for the Flex-Offline placement policy. */
+struct FlexOfflineConfig {
+  /**
+   * Batch size as a fraction of the room's provisioned power. 0.33 for
+   * Short, 0.66 for Long; anything >= the trace's demand multiple
+   * behaves as Oracle (one batch).
+   */
+  double batch_capacity_fraction = 0.33;
+
+  /**
+   * Weight (dimensionless, applied to megawatt-scaled spreads) of the
+   * throttling/shutdown balance penalties relative to placed power. Keep
+   * well below 1 so stranded power dominates the objective.
+   */
+  double imbalance_weight = 0.2;
+
+  /** Budget for each batch's MILP solve. */
+  solver::BranchAndBoundSolver::Options solver;
+
+  /**
+   * Uncertain long-term demand forecast (the paper's stated future
+   * work): deployments expected to arrive after the certain horizon.
+   * They join every batch's ILP with their objective discounted by
+   * forecast_confidence — reserving well-shaped room for probable
+   * demand — but are never committed; only certain deployments place.
+   * Forecast entries whose id matches a certain deployment are ignored
+   * once that deployment is in or before the current batch.
+   */
+  std::vector<workload::Deployment> forecast;
+  /** Probability weight applied to forecast objective terms. */
+  double forecast_confidence = 0.7;
+
+  FlexOfflineConfig() { solver.time_budget_seconds = 10.0; }
+};
+
+/**
+ * The paper's Flex-Offline policy.
+ */
+class FlexOfflinePolicy : public PlacementPolicy {
+ public:
+  explicit FlexOfflinePolicy(FlexOfflineConfig config = {},
+                             std::string name = "Flex-Offline");
+
+  /** Short-horizon variant: batches ~33% of room capacity. */
+  static FlexOfflinePolicy Short(double solve_seconds = 10.0);
+  /** Long-horizon variant: batches ~66% of room capacity. */
+  static FlexOfflinePolicy Long(double solve_seconds = 10.0);
+  /** Oracle variant: the entire trace in a single batch. */
+  static FlexOfflinePolicy Oracle(double solve_seconds = 10.0);
+
+  /**
+   * Short-horizon batching augmented with an uncertain forecast of the
+   * remaining demand (paper Section V-A's proposed extension).
+   */
+  static FlexOfflinePolicy ForecastAware(
+      std::vector<workload::Deployment> forecast, double confidence = 0.7,
+      double solve_seconds = 10.0);
+
+  std::string Name() const override { return name_; }
+
+  Placement Place(const power::RoomTopology& topology,
+                  const std::vector<workload::Deployment>& trace) override;
+
+  const FlexOfflineConfig& config() const { return config_; }
+
+ private:
+  /**
+   * Solves one batch against the current room state; returns the chosen
+   * PDU pair per batch deployment (-1 = not placed).
+   */
+  std::vector<int> SolveBatch(
+      const power::RoomTopology& topology, const CapacityTracker& tracker,
+      const std::vector<workload::Deployment>& batch,
+      const std::vector<workload::Deployment>& phantom,
+      const std::vector<Watts>& existing_shutdown_rec_per_pair) const;
+
+  FlexOfflineConfig config_;
+  std::string name_;
+};
+
+}  // namespace flex::offline
+
+#endif  // FLEX_OFFLINE_FLEX_OFFLINE_HPP_

@@ -1,0 +1,78 @@
+#include "metrics.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "power/loads.hpp"
+#include "workload/deployment.hpp"
+
+namespace flex::offline {
+
+using power::PduPairLoads;
+using power::RoomTopology;
+using power::UpsId;
+
+double
+StrandedPowerFraction(const RoomTopology& topology, const Placement& placement)
+{
+  const Watts stranded =
+      power::StrandedPower(topology, placement.AllocatedPduLoads(topology));
+  return stranded / topology.TotalProvisionedPower();
+}
+
+double
+ThrottlingImbalance(const RoomTopology& topology, const Placement& placement)
+{
+  // Worst case = 100% utilization: every rack draws its full allocation.
+  const PduPairLoads allocated = placement.AllocatedPduLoads(topology);
+  const PduPairLoads software_redundant = placement.CategoryPduLoads(
+      topology, workload::Category::kSoftwareRedundant);
+
+  // Load per PDU pair once all software-redundant racks are shut down.
+  PduPairLoads after_shutdown(allocated.size(), Watts(0.0));
+  for (std::size_t p = 0; p < allocated.size(); ++p)
+    after_shutdown[p] = allocated[p] - software_redundant[p];
+
+  double r_max = 0.0;
+  double r_min = 1.0e18;
+  bool any = false;
+  for (UpsId f = 0; f < topology.NumUpses(); ++f) {
+    const std::vector<Watts> loads =
+        power::FailoverUpsLoads(topology, after_shutdown, f);
+    for (UpsId u = 0; u < topology.NumUpses(); ++u) {
+      if (u == f)
+        continue;
+      // Power still above capacity must be recovered via throttling.
+      const Watts overload = std::max(
+          Watts(0.0), loads[static_cast<std::size_t>(u)] -
+                          topology.UpsCapacity(u));
+      const double r = overload / topology.UpsCapacity(u);
+      r_max = std::max(r_max, r);
+      r_min = std::min(r_min, r);
+      any = true;
+    }
+  }
+  FLEX_CHECK(any);
+  return r_max - r_min;
+}
+
+double
+PlacedPowerFraction(const Placement& placement)
+{
+  const Watts requested = workload::TotalAllocatedPower(placement.deployments);
+  if (requested <= Watts(0.0))
+    return 1.0;
+  return placement.PlacedPower() / requested;
+}
+
+PlacementMetrics
+EvaluatePlacement(const RoomTopology& topology, const Placement& placement)
+{
+  PlacementMetrics metrics;
+  metrics.stranded_fraction = StrandedPowerFraction(topology, placement);
+  metrics.throttling_imbalance = ThrottlingImbalance(topology, placement);
+  metrics.placed_fraction = PlacedPowerFraction(placement);
+  return metrics;
+}
+
+}  // namespace flex::offline

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Placement quality metrics from the paper's Section V-A.
+ */
+#ifndef FLEX_OFFLINE_METRICS_HPP_
+#define FLEX_OFFLINE_METRICS_HPP_
+
+#include "offline/placement.hpp"
+#include "power/topology.hpp"
+
+namespace flex::offline {
+
+/**
+ * Stranded power as a fraction of total provisioned power (Eq. 5
+ * normalized): capacity that cannot be used because of fragmentation or
+ * lack of workload diversity. Lower is better.
+ */
+double StrandedPowerFraction(const power::RoomTopology& topology,
+                             const Placement& placement);
+
+/**
+ * Throttling imbalance (Section V-A): for every UPS maintenance event f,
+ * the worst-case power each surviving UPS u must recover through
+ * throttling after shutting down all software-redundant racks, as a
+ * fraction r_u^f of u's provisioned power. The imbalance is
+ * max(r) - min(r) over all (f, u); 0 means perfectly balanced impact.
+ */
+double ThrottlingImbalance(const power::RoomTopology& topology,
+                           const Placement& placement);
+
+/** Fraction of requested power that was placed (the rest is routed on). */
+double PlacedPowerFraction(const Placement& placement);
+
+/** Bundle of the per-trace metrics the benches report. */
+struct PlacementMetrics {
+  double stranded_fraction = 0.0;
+  double throttling_imbalance = 0.0;
+  double placed_fraction = 0.0;
+};
+
+PlacementMetrics EvaluatePlacement(const power::RoomTopology& topology,
+                                   const Placement& placement);
+
+}  // namespace flex::offline
+
+#endif  // FLEX_OFFLINE_METRICS_HPP_

@@ -1,0 +1,255 @@
+#include "placement.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace flex::offline {
+
+using power::PduPairId;
+using power::PduPairLoads;
+using power::RoomTopology;
+using workload::Category;
+using workload::Deployment;
+
+Watts
+CappedPowerUnder(CorrectiveModel model, const Deployment& d)
+{
+  switch (model) {
+    case CorrectiveModel::kFlex:
+      return d.CappedPower();
+    case CorrectiveModel::kThrottleOnly:
+      // Cap-able racks can be throttled; everything else — including
+      // software-redundant racks, which this model cannot shut down —
+      // stays at full power during failover.
+      return d.category == Category::kNonRedundantCapable
+                 ? d.CappedPower()
+                 : d.AllocatedPower();
+    case CorrectiveModel::kNone:
+      return d.AllocatedPower();
+  }
+  return d.AllocatedPower();
+}
+
+int
+Placement::NumPlaced() const
+{
+  int placed = 0;
+  for (const auto& a : assignment)
+    placed += a.has_value() ? 1 : 0;
+  return placed;
+}
+
+Watts
+Placement::PlacedPower() const
+{
+  FLEX_CHECK(assignment.size() == deployments.size());
+  Watts total(0.0);
+  for (std::size_t i = 0; i < deployments.size(); ++i) {
+    if (assignment[i].has_value())
+      total += deployments[i].AllocatedPower();
+  }
+  return total;
+}
+
+PduPairLoads
+Placement::AllocatedPduLoads(const RoomTopology& t) const
+{
+  FLEX_CHECK(assignment.size() == deployments.size());
+  PduPairLoads loads(static_cast<std::size_t>(t.NumPduPairs()), Watts(0.0));
+  for (std::size_t i = 0; i < deployments.size(); ++i) {
+    if (assignment[i].has_value())
+      loads[static_cast<std::size_t>(*assignment[i])] +=
+          deployments[i].AllocatedPower();
+  }
+  return loads;
+}
+
+PduPairLoads
+Placement::CappedPduLoads(const RoomTopology& t) const
+{
+  FLEX_CHECK(assignment.size() == deployments.size());
+  PduPairLoads loads(static_cast<std::size_t>(t.NumPduPairs()), Watts(0.0));
+  for (std::size_t i = 0; i < deployments.size(); ++i) {
+    if (assignment[i].has_value())
+      loads[static_cast<std::size_t>(*assignment[i])] +=
+          deployments[i].CappedPower();
+  }
+  return loads;
+}
+
+PduPairLoads
+Placement::CategoryPduLoads(const RoomTopology& t, Category category) const
+{
+  FLEX_CHECK(assignment.size() == deployments.size());
+  PduPairLoads loads(static_cast<std::size_t>(t.NumPduPairs()), Watts(0.0));
+  for (std::size_t i = 0; i < deployments.size(); ++i) {
+    if (assignment[i].has_value() && deployments[i].category == category)
+      loads[static_cast<std::size_t>(*assignment[i])] +=
+          deployments[i].AllocatedPower();
+  }
+  return loads;
+}
+
+std::vector<Rack>
+BuildRackLayout(const RoomTopology& topology, const Placement& placement)
+{
+  FLEX_CHECK(placement.assignment.size() == placement.deployments.size());
+  std::vector<int> row_used(static_cast<std::size_t>(topology.NumRows()), 0);
+  std::vector<double> row_cfm(static_cast<std::size_t>(topology.NumRows()),
+                              0.0);
+  std::vector<Rack> racks;
+  for (std::size_t i = 0; i < placement.deployments.size(); ++i) {
+    if (!placement.assignment[i].has_value())
+      continue;
+    const Deployment& d = placement.deployments[i];
+    const PduPairId p = *placement.assignment[i];
+    int remaining = d.num_racks;
+    for (const power::RowId row : topology.RowsOfPduPair(p)) {
+      while (remaining > 0 &&
+             row_used[static_cast<std::size_t>(row)] <
+                 topology.RacksPerRow() &&
+             row_cfm[static_cast<std::size_t>(row)] + d.CfmPerRack() <=
+                 topology.RowCoolingCfm() + 1e-9) {
+        Rack rack;
+        rack.id = static_cast<int>(racks.size());
+        rack.deployment = d.id;
+        rack.pdu_pair = p;
+        rack.row = row;
+        rack.workload = d.workload;
+        rack.category = d.category;
+        rack.allocated = d.power_per_rack;
+        rack.capped = d.CappedPowerPerRack();
+        racks.push_back(std::move(rack));
+        ++row_used[static_cast<std::size_t>(row)];
+        row_cfm[static_cast<std::size_t>(row)] += d.CfmPerRack();
+        --remaining;
+      }
+      if (remaining == 0)
+        break;
+    }
+    FLEX_CHECK_MSG(remaining == 0,
+                   "placement assigned a deployment that does not fit its "
+                   "PDU pair's rows");
+  }
+  return racks;
+}
+
+CapacityTracker::CapacityTracker(const RoomTopology& topology,
+                                 CorrectiveModel model)
+    : topology_(topology),
+      model_(model),
+      used_slots_(static_cast<std::size_t>(topology.NumPduPairs()), 0),
+      row_used_(static_cast<std::size_t>(topology.NumRows()), 0),
+      row_cfm_(static_cast<std::size_t>(topology.NumRows()), 0.0),
+      allocated_(static_cast<std::size_t>(topology.NumPduPairs()), Watts(0.0)),
+      capped_(static_cast<std::size_t>(topology.NumPduPairs()), Watts(0.0))
+{
+}
+
+int
+CapacityTracker::RacksThatFit(const Deployment& d, PduPairId p) const
+{
+  int fits = 0;
+  for (const power::RowId row : topology_.RowsOfPduPair(p)) {
+    const int free_slots =
+        topology_.RacksPerRow() - row_used_[static_cast<std::size_t>(row)];
+    const double free_cfm =
+        topology_.RowCoolingCfm() - row_cfm_[static_cast<std::size_t>(row)];
+    const int cooling_limit =
+        d.CfmPerRack() > 0.0
+            ? static_cast<int>((free_cfm + 1e-9) / d.CfmPerRack())
+            : free_slots;
+    fits += std::max(0, std::min(free_slots, cooling_limit));
+    if (fits >= d.num_racks)
+      break;
+  }
+  return fits;
+}
+
+bool
+CapacityTracker::CanPlace(const Deployment& d, PduPairId p) const
+{
+  if (p < 0 || p >= topology_.NumPduPairs())
+    return false;
+  // Space and cooling: mirror BuildRackLayout's greedy per-row fill.
+  if (RacksThatFit(d, p) < d.num_racks)
+    return false;
+
+  // 2N PDU redundancy: the pair's allocation must fit one PDU alone.
+  if (allocated_[static_cast<std::size_t>(p)] + d.AllocatedPower() >
+      topology_.PduPairAllocationLimit() + Watts(1e-6))
+    return false;
+
+  // Eq. 2: normal operation loads within every UPS capacity.
+  PduPairLoads allocated = allocated_;
+  allocated[static_cast<std::size_t>(p)] += d.AllocatedPower();
+  if (!power::ValidateNormalOperation(topology_, allocated))
+    return false;
+
+  // Eq. 4: failover-safe after the corrective actions this runtime
+  // model supports.
+  PduPairLoads capped = capped_;
+  capped[static_cast<std::size_t>(p)] += CappedPowerUnder(model_, d);
+  return power::ValidateFailoverSafety(topology_, capped).safe;
+}
+
+void
+CapacityTracker::Place(const Deployment& d, PduPairId p)
+{
+  FLEX_REQUIRE(CanPlace(d, p), "placement violates room constraints");
+  // Commit racks to rows with the same greedy fill BuildRackLayout uses.
+  int remaining = d.num_racks;
+  for (const power::RowId row : topology_.RowsOfPduPair(p)) {
+    while (remaining > 0 &&
+           row_used_[static_cast<std::size_t>(row)] <
+               topology_.RacksPerRow() &&
+           row_cfm_[static_cast<std::size_t>(row)] + d.CfmPerRack() <=
+               topology_.RowCoolingCfm() + 1e-9) {
+      ++row_used_[static_cast<std::size_t>(row)];
+      row_cfm_[static_cast<std::size_t>(row)] += d.CfmPerRack();
+      --remaining;
+    }
+    if (remaining == 0)
+      break;
+  }
+  FLEX_CHECK_MSG(remaining == 0, "CanPlace/Place row-fill mismatch");
+  used_slots_[static_cast<std::size_t>(p)] += d.num_racks;
+  allocated_[static_cast<std::size_t>(p)] += d.AllocatedPower();
+  capped_[static_cast<std::size_t>(p)] += CappedPowerUnder(model_, d);
+}
+
+std::vector<PduPairId>
+CapacityTracker::FeasiblePairs(const Deployment& d) const
+{
+  std::vector<PduPairId> feasible;
+  for (PduPairId p = 0; p < topology_.NumPduPairs(); ++p) {
+    if (CanPlace(d, p))
+      feasible.push_back(p);
+  }
+  return feasible;
+}
+
+int
+CapacityTracker::FreeSlots(PduPairId p) const
+{
+  FLEX_REQUIRE(p >= 0 && p < topology_.NumPduPairs(), "bad PDU pair id");
+  return topology_.RackSlotsPerPduPair() -
+         used_slots_[static_cast<std::size_t>(p)];
+}
+
+Watts
+CapacityTracker::AllocatedLoad(PduPairId p) const
+{
+  FLEX_REQUIRE(p >= 0 && p < topology_.NumPduPairs(), "bad PDU pair id");
+  return allocated_[static_cast<std::size_t>(p)];
+}
+
+Watts
+CapacityTracker::CappedLoad(PduPairId p) const
+{
+  FLEX_REQUIRE(p >= 0 && p < topology_.NumPduPairs(), "bad PDU pair id");
+  return capped_[static_cast<std::size_t>(p)];
+}
+
+}  // namespace flex::offline

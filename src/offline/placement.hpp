@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Placement data model and feasibility tracking.
+ *
+ * A Placement records, for each deployment in a trace, the PDU pair it
+ * was assigned to (or that it was rejected and routed to another room).
+ * The CapacityTracker enforces the paper's placement constraints: space,
+ * cooling, normal-operation UPS limits (Eq. 2) and failover safety with
+ * corrective actions (Eq. 4) — every policy, naive or ILP, places through
+ * it, so no policy can produce an unsafe room.
+ */
+#ifndef FLEX_OFFLINE_PLACEMENT_HPP_
+#define FLEX_OFFLINE_PLACEMENT_HPP_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "power/loads.hpp"
+#include "power/topology.hpp"
+#include "workload/deployment.hpp"
+
+namespace flex::offline {
+
+/**
+ * What corrective actions the runtime system can take during failover;
+ * determines the post-corrective power (CapPow) used in the Eq. 4
+ * safety constraint and therefore how much reserved power placement can
+ * use.
+ */
+enum class CorrectiveModel {
+  /** Flex: shut down software-redundant racks, cap cap-able ones. */
+  kFlex,
+  /**
+   * CapMaestro-style (Li et al., HPCA'19): priority-aware throttling
+   * only — no availability awareness, so software-redundant racks
+   * cannot be shut down and count at full power during failover. This
+   * limits how much of the reserve is usable (paper Sections I/VII).
+   */
+  kThrottleOnly,
+  /** Conventional room: no corrective actions at all. */
+  kNone,
+};
+
+/** CapPow_d under the given corrective model (Eq. 3 generalized). */
+Watts CappedPowerUnder(CorrectiveModel model, const workload::Deployment& d);
+
+/** Result of placing one trace into one room. */
+struct Placement {
+  /** The deployments that were requested, in trace order. */
+  std::vector<workload::Deployment> deployments;
+  /** PDU pair per deployment; nullopt = rejected (routed elsewhere). */
+  std::vector<std::optional<power::PduPairId>> assignment;
+
+  /** Count of placed deployments. */
+  int NumPlaced() const;
+
+  /** Total allocated power of placed deployments. */
+  Watts PlacedPower() const;
+
+  /** Allocated power per PDU pair (Pow_d aggregated). */
+  power::PduPairLoads AllocatedPduLoads(const power::RoomTopology& t) const;
+
+  /** Post-corrective-action power per PDU pair (CapPow_d aggregated). */
+  power::PduPairLoads CappedPduLoads(const power::RoomTopology& t) const;
+
+  /**
+   * Per-PDU-pair power for one category only, using allocated (not
+   * capped) power; used by the throttling-imbalance metric.
+   */
+  power::PduPairLoads CategoryPduLoads(const power::RoomTopology& t,
+                                       workload::Category category) const;
+};
+
+/** One physical rack instantiated from a placed deployment. */
+struct Rack {
+  int id = -1;
+  workload::DeploymentId deployment = -1;
+  power::PduPairId pdu_pair = -1;
+  power::RowId row = -1;
+  std::string workload;
+  workload::Category category = workload::Category::kNonRedundantNonCapable;
+  Watts allocated;
+  /** Power after the worst-case corrective action for this category. */
+  Watts capped;
+};
+
+/**
+ * Expands a placement into per-rack records, assigning racks to rows
+ * under each deployment's PDU pair (greedy fill in row order).
+ */
+std::vector<Rack> BuildRackLayout(const power::RoomTopology& topology,
+                                  const Placement& placement);
+
+/**
+ * Incremental feasibility tracker used by all placement policies.
+ */
+class CapacityTracker {
+ public:
+  explicit CapacityTracker(const power::RoomTopology& topology,
+                           CorrectiveModel model = CorrectiveModel::kFlex);
+
+  /**
+   * True when @p d can be placed on PDU pair @p p without violating
+   * space, cooling, Eq. 2 (normal) or Eq. 4 (failover) constraints.
+   */
+  bool CanPlace(const workload::Deployment& d, power::PduPairId p) const;
+
+  /** Commits a placement; requires CanPlace(d, p). */
+  void Place(const workload::Deployment& d, power::PduPairId p);
+
+  /** All PDU pairs where @p d currently fits. */
+  std::vector<power::PduPairId> FeasiblePairs(
+      const workload::Deployment& d) const;
+
+  /** Remaining rack slots under PDU pair @p p. */
+  int FreeSlots(power::PduPairId p) const;
+
+  /** Allocated power committed under PDU pair @p p so far. */
+  Watts AllocatedLoad(power::PduPairId p) const;
+
+  /** Capped (post-corrective-action) power committed under @p p so far. */
+  Watts CappedLoad(power::PduPairId p) const;
+
+  /** Full per-PDU-pair allocated load vector. */
+  const power::PduPairLoads& AllocatedLoads() const { return allocated_; }
+
+  /** Full per-PDU-pair capped load vector. */
+  const power::PduPairLoads& CappedLoads() const { return capped_; }
+
+  const power::RoomTopology& topology() const { return topology_; }
+
+ private:
+  /**
+   * Number of @p d's racks that fit under pair @p p with the current
+   * per-row slot and cooling fill (greedy fill, mirroring
+   * BuildRackLayout).
+   */
+  int RacksThatFit(const workload::Deployment& d, power::PduPairId p) const;
+
+  const power::RoomTopology& topology_;
+  CorrectiveModel model_;
+  std::vector<int> used_slots_;          // per PDU pair
+  std::vector<int> row_used_;            // per row
+  std::vector<double> row_cfm_;          // per row
+  power::PduPairLoads allocated_;        // per PDU pair
+  power::PduPairLoads capped_;           // per PDU pair
+};
+
+}  // namespace flex::offline
+
+#endif  // FLEX_OFFLINE_PLACEMENT_HPP_

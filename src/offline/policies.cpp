@@ -1,0 +1,124 @@
+#include "policies.hpp"
+
+#include <array>
+
+#include "common/error.hpp"
+
+namespace flex::offline {
+
+using power::PduPairId;
+using power::RoomTopology;
+using workload::Category;
+using workload::Deployment;
+
+namespace {
+
+Placement
+MakeEmptyPlacement(const std::vector<Deployment>& trace)
+{
+  Placement placement;
+  placement.deployments = trace;
+  placement.assignment.assign(trace.size(), std::nullopt);
+  return placement;
+}
+
+}  // namespace
+
+Placement
+RandomPolicy::Place(const RoomTopology& topology,
+                    const std::vector<Deployment>& trace)
+{
+  Rng rng(seed_);
+  Placement placement = MakeEmptyPlacement(trace);
+  CapacityTracker tracker(topology);
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const std::vector<PduPairId> feasible = tracker.FeasiblePairs(trace[i]);
+    if (feasible.empty())
+      continue;  // rejected: routed to another room
+    const PduPairId p = feasible[static_cast<std::size_t>(rng.UniformInt(
+        0, static_cast<std::int64_t>(feasible.size()) - 1))];
+    tracker.Place(trace[i], p);
+    placement.assignment[i] = p;
+  }
+  return placement;
+}
+
+Placement
+BalancedRoundRobinPolicy::Place(const RoomTopology& topology,
+                                const std::vector<Deployment>& trace)
+{
+  Placement placement = MakeEmptyPlacement(trace);
+  CapacityTracker tracker(topology, model_);
+  // Round-robin with a balance objective: among feasible pairs, take the
+  // one carrying the least power of this deployment's category (so the
+  // demand from each category spreads evenly under every UPS), breaking
+  // ties by total load and then by a rotating cursor. Deployment sizes
+  // are heterogeneous, so balancing watts beats balancing counts.
+  const int pairs = topology.NumPduPairs();
+  std::vector<std::array<Watts, 3>> category_load(
+      static_cast<std::size_t>(pairs), {Watts(0.0), Watts(0.0), Watts(0.0)});
+  int cursor[3] = {0, 0, 0};
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const Deployment& d = trace[i];
+    const int c = static_cast<int>(d.category);
+    PduPairId best = -1;
+    for (int step = 0; step < pairs; ++step) {
+      const PduPairId p = (cursor[c] + step) % pairs;
+      if (!tracker.CanPlace(d, p))
+        continue;
+      if (best < 0)
+        best = p;
+      const Watts best_cat =
+          category_load[static_cast<std::size_t>(best)][static_cast<std::size_t>(c)];
+      const Watts p_cat =
+          category_load[static_cast<std::size_t>(p)][static_cast<std::size_t>(c)];
+      if (p_cat < best_cat ||
+          (p_cat.ApproxEquals(best_cat) &&
+           tracker.AllocatedLoad(p) < tracker.AllocatedLoad(best))) {
+        best = p;
+      }
+    }
+    if (best < 0)
+      continue;  // rejected: routed to another room
+    tracker.Place(d, best);
+    placement.assignment[i] = best;
+    category_load[static_cast<std::size_t>(best)][static_cast<std::size_t>(c)] +=
+        d.AllocatedPower();
+    cursor[c] = (best + 1) % pairs;
+  }
+  return placement;
+}
+
+BalancedRoundRobinPolicy
+MakeCapMaestroLikePolicy()
+{
+  return BalancedRoundRobinPolicy(CorrectiveModel::kThrottleOnly,
+                                  "CapMaestro-like (throttle-only)");
+}
+
+BalancedRoundRobinPolicy
+MakeConventionalPolicy()
+{
+  return BalancedRoundRobinPolicy(CorrectiveModel::kNone,
+                                  "Conventional (no actions)");
+}
+
+Placement
+FirstFitPolicy::Place(const RoomTopology& topology,
+                      const std::vector<Deployment>& trace)
+{
+  Placement placement = MakeEmptyPlacement(trace);
+  CapacityTracker tracker(topology);
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    for (PduPairId p = 0; p < topology.NumPduPairs(); ++p) {
+      if (tracker.CanPlace(trace[i], p)) {
+        tracker.Place(trace[i], p);
+        placement.assignment[i] = p;
+        break;
+      }
+    }
+  }
+  return placement;
+}
+
+}  // namespace flex::offline

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Baseline workload placement policies.
+ *
+ * The paper evaluates Flex-Offline against Random and Balanced
+ * Round-Robin (Section V-A); First-Fit is included for the ablation the
+ * paper discusses (it concentrates load, the opposite of what Flex
+ * needs). Every policy places through CapacityTracker, so all results
+ * are safe; they differ only in stranded power and balance.
+ */
+#ifndef FLEX_OFFLINE_POLICIES_HPP_
+#define FLEX_OFFLINE_POLICIES_HPP_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "offline/placement.hpp"
+
+namespace flex::offline {
+
+/** Interface shared by all placement policies. */
+class PlacementPolicy {
+ public:
+  virtual ~PlacementPolicy() = default;
+
+  /** Human-readable policy name for reports. */
+  virtual std::string Name() const = 0;
+
+  /**
+   * Places @p trace into a room described by @p topology. Deployments
+   * that fit nowhere are left unassigned (routed to another room).
+   */
+  virtual Placement Place(const power::RoomTopology& topology,
+                          const std::vector<workload::Deployment>& trace) = 0;
+};
+
+/**
+ * Places each deployment on a uniformly random feasible PDU pair, one
+ * deployment at a time in trace order.
+ */
+class RandomPolicy : public PlacementPolicy {
+ public:
+  explicit RandomPolicy(std::uint64_t seed) : seed_(seed) {}
+
+  std::string Name() const override { return "Random"; }
+  Placement Place(const power::RoomTopology& topology,
+                  const std::vector<workload::Deployment>& trace) override;
+
+ private:
+  std::uint64_t seed_;
+};
+
+/**
+ * Balanced Round-Robin: keeps an independent round-robin cursor over PDU
+ * pairs for each workload category, so the demand from each category is
+ * spread roughly evenly under every UPS.
+ */
+class BalancedRoundRobinPolicy : public PlacementPolicy {
+ public:
+  BalancedRoundRobinPolicy() = default;
+
+  /**
+   * Variant with a different corrective-action model, used to compare
+   * how much reserved power different runtime systems can unlock with
+   * the same placement heuristic.
+   */
+  explicit BalancedRoundRobinPolicy(CorrectiveModel model, std::string name)
+      : model_(model), name_(std::move(name))
+  {
+  }
+
+  std::string Name() const override { return name_; }
+  Placement Place(const power::RoomTopology& topology,
+                  const std::vector<workload::Deployment>& trace) override;
+
+ private:
+  CorrectiveModel model_ = CorrectiveModel::kFlex;
+  std::string name_ = "Balanced Round-Robin";
+};
+
+/**
+ * CapMaestro-like baseline (Li et al., HPCA'19): exploits the power
+ * redundancy via priority-aware *throttling only* — no workload
+ * availability awareness, so software-redundant racks cannot be shut
+ * down during failover and placement can use only part of the reserve
+ * (the comparison in the paper's Sections I and VII).
+ */
+BalancedRoundRobinPolicy MakeCapMaestroLikePolicy();
+
+/** Conventional room: no corrective actions; allocation stops at the
+ * failover budget, stranding the entire reserve. */
+BalancedRoundRobinPolicy MakeConventionalPolicy();
+
+/**
+ * First-Fit: lowest-indexed feasible PDU pair. Included as the common
+ * manual practice the paper rejects because it concentrates rather than
+ * spreads load.
+ */
+class FirstFitPolicy : public PlacementPolicy {
+ public:
+  std::string Name() const override { return "First-Fit"; }
+  Placement Place(const power::RoomTopology& topology,
+                  const std::vector<workload::Deployment>& trace) override;
+};
+
+}  // namespace flex::offline
+
+#endif  // FLEX_OFFLINE_POLICIES_HPP_

@@ -1,0 +1,66 @@
+#include "site.hpp"
+
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace flex::offline {
+
+Watts
+SitePlacement::PlacedPower() const
+{
+  Watts total(0.0);
+  for (const Placement& placement : rooms)
+    total += placement.PlacedPower();
+  return total;
+}
+
+double
+SitePlacement::PlacedFraction(
+    const std::vector<workload::Deployment>& trace) const
+{
+  const Watts requested = workload::TotalAllocatedPower(trace);
+  if (requested <= Watts(0.0))
+    return 1.0;
+  return PlacedPower() / requested;
+}
+
+SitePlacer::SitePlacer(std::vector<const power::RoomTopology*> rooms,
+                       PolicyFactory factory)
+    : rooms_(std::move(rooms)), factory_(std::move(factory))
+{
+  FLEX_REQUIRE(!rooms_.empty(), "a site needs at least one room");
+  for (const power::RoomTopology* room : rooms_)
+    FLEX_REQUIRE(room != nullptr, "null room");
+  FLEX_REQUIRE(static_cast<bool>(factory_), "null policy factory");
+}
+
+SitePlacement
+SitePlacer::Place(const std::vector<workload::Deployment>& trace) const
+{
+  SitePlacement site;
+  std::vector<workload::Deployment> remaining = trace;
+  for (const power::RoomTopology* room : rooms_) {
+    const std::unique_ptr<PlacementPolicy> policy = factory_();
+    FLEX_CHECK_MSG(policy != nullptr, "policy factory returned null");
+    Placement placement = policy->Place(*room, remaining);
+    // Collect this room's rejections for the next room, preserving ids.
+    std::vector<workload::Deployment> rejected;
+    for (std::size_t i = 0; i < placement.deployments.size(); ++i) {
+      if (!placement.assignment[i].has_value())
+        rejected.push_back(placement.deployments[i]);
+    }
+    site.rooms.push_back(std::move(placement));
+    remaining = std::move(rejected);
+    if (remaining.empty())
+      break;
+  }
+  site.unplaced = std::move(remaining);
+  // Rooms beyond the last one used still get (empty) placements so the
+  // indices line up with the room list.
+  while (site.rooms.size() < rooms_.size())
+    site.rooms.push_back(Placement{});
+  return site;
+}
+
+}  // namespace flex::offline

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Multi-room site placement.
+ *
+ * Paper Section V-A: demand exceeding one room's capacity is routed to
+ * other rooms ("The undeployable requests can be routed to other rooms
+ * for placement"), and a site comprises multiple datacenters/rooms with
+ * isolated power hierarchies (Section II-A). The SitePlacer runs a
+ * placement policy room by room, forwarding each room's rejections to
+ * the next.
+ */
+#ifndef FLEX_OFFLINE_SITE_HPP_
+#define FLEX_OFFLINE_SITE_HPP_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "offline/policies.hpp"
+#include "power/topology.hpp"
+
+namespace flex::offline {
+
+/** The outcome of placing one trace across a site's rooms. */
+struct SitePlacement {
+  /** Per-room placements (indices align with the room list). */
+  std::vector<Placement> rooms;
+  /** Deployments no room could take (overflow demand). */
+  std::vector<workload::Deployment> unplaced;
+
+  /** Total power placed across all rooms. */
+  Watts PlacedPower() const;
+  /** Fraction of the total requested power that found a home. */
+  double PlacedFraction(const std::vector<workload::Deployment>& trace) const;
+};
+
+/**
+ * Routes a demand trace across multiple rooms.
+ */
+class SitePlacer {
+ public:
+  /** A factory producing a fresh policy instance per room. */
+  using PolicyFactory = std::function<std::unique_ptr<PlacementPolicy>()>;
+
+  /**
+   * @param rooms the site's rooms (not owned; must outlive the placer)
+   * @param factory builds the per-room placement policy
+   */
+  SitePlacer(std::vector<const power::RoomTopology*> rooms,
+             PolicyFactory factory);
+
+  /**
+   * Places @p trace into the first room; its rejections go to the
+   * second, and so on. Deployment ids are preserved end to end.
+   */
+  SitePlacement Place(const std::vector<workload::Deployment>& trace) const;
+
+  int num_rooms() const { return static_cast<int>(rooms_.size()); }
+
+ private:
+  std::vector<const power::RoomTopology*> rooms_;
+  PolicyFactory factory_;
+};
+
+}  // namespace flex::offline
+
+#endif  // FLEX_OFFLINE_SITE_HPP_

@@ -1,0 +1,270 @@
+#include "controller.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace flex::online {
+
+using telemetry::DeviceKind;
+using telemetry::DeviceReading;
+using workload::Category;
+
+FlexController::FlexController(sim::EventQueue& queue,
+                               const power::RoomTopology& topology,
+                               std::vector<ManagedRack> racks,
+                               actuation::ActuationPlane& plane,
+                               ImpactRegistry impact, ControllerConfig config,
+                               int replica_id, NotificationBus* notifications)
+    : queue_(queue),
+      topology_(topology),
+      racks_(std::move(racks)),
+      plane_(plane),
+      impact_(std::move(impact)),
+      config_(config),
+      replica_id_(replica_id),
+      notifications_(notifications),
+      rack_forecasts_(0)
+{
+  FLEX_REQUIRE(config_.buffer >= Watts(0.0), "negative safety buffer");
+  FLEX_REQUIRE(config_.release_headroom >= 0.0 &&
+                   config_.release_headroom < 1.0,
+               "release headroom must be in [0, 1)");
+  ups_power_.assign(static_cast<std::size_t>(topology_.NumUpses()),
+                    std::nullopt);
+  int max_rack_id = -1;
+  for (const ManagedRack& rack : racks_) {
+    FLEX_REQUIRE(rack.rack_id >= 0, "negative rack id");
+    max_rack_id = std::max(max_rack_id, rack.rack_id);
+  }
+  rack_power_.assign(static_cast<std::size_t>(max_rack_id) + 1, std::nullopt);
+  rack_forecasts_ = RackPowerForecasterBank(max_rack_id + 1);
+}
+
+void
+FlexController::OnReading(const DeviceReading& reading)
+{
+  if (reading.device.kind == DeviceKind::kUps) {
+    if (reading.device.index < 0 ||
+        reading.device.index >= topology_.NumUpses())
+      return;  // not our room
+    ups_power_[static_cast<std::size_t>(reading.device.index)] =
+        reading.value;
+    EvaluateOverdraw();
+    MaybeRelease();
+  } else {
+    if (reading.device.index < 0 ||
+        static_cast<std::size_t>(reading.device.index) >= rack_power_.size())
+      return;
+    rack_power_[static_cast<std::size_t>(reading.device.index)] =
+        reading.value;
+    if (config_.use_forecaster) {
+      rack_forecasts_.Observe(reading.device.index, reading.sampled_at,
+                              reading.value);
+    }
+  }
+}
+
+DecisionInput
+FlexController::BuildDecisionInput() const
+{
+  DecisionInput input;
+  input.buffer = config_.buffer;
+  input.impact = impact_;
+  for (power::UpsId u = 0; u < topology_.NumUpses(); ++u) {
+    input.ups_power.push_back(
+        ups_power_[static_cast<std::size_t>(u)].value_or(Watts(0.0)));
+    input.ups_limit.push_back(topology_.UpsCapacity(u));
+  }
+  for (power::PduPairId p = 0; p < topology_.NumPduPairs(); ++p)
+    input.pdu_to_ups.push_back(topology_.UpsesOfPduPair(p));
+  for (const ManagedRack& rack : racks_) {
+    RackSnapshot snapshot;
+    snapshot.rack_id = rack.rack_id;
+    snapshot.workload = rack.workload;
+    snapshot.category = rack.category;
+    snapshot.pdu_pair = rack.pdu_pair;
+    // Prefer a forecast projected to now (or the raw reading); fall back
+    // to the conservative allocation, which only ever over-corrects.
+    std::optional<Watts> estimate =
+        config_.use_forecaster
+            ? rack_forecasts_.Forecast(rack.rack_id, queue_.Now())
+            : rack_power_[static_cast<std::size_t>(rack.rack_id)];
+    snapshot.current_power = estimate.value_or(rack.allocated);
+    snapshot.flex_power = rack.flex_power;
+    input.racks.push_back(std::move(snapshot));
+  }
+  input.already_acted.assign(acted_racks_.begin(), acted_racks_.end());
+  return input;
+}
+
+void
+FlexController::EvaluateOverdraw()
+{
+  bool overdraw = false;
+  for (power::UpsId u = 0; u < topology_.NumUpses(); ++u) {
+    const auto& power = ups_power_[static_cast<std::size_t>(u)];
+    if (power && *power > topology_.UpsCapacity(u) - config_.buffer)
+      overdraw = true;
+  }
+  if (!overdraw)
+    return;
+
+  healthy_since_ = Seconds(-1.0);  // definitely not healthy
+  const Seconds detected_at = queue_.Now();
+  if (!episode_active_) {
+    episode_active_ = true;
+    ++stats_.overdraw_events;
+  }
+  if ((detected_at - last_enforce_).value() <
+      config_.action_cooldown.value())
+    return;  // let in-flight actions land and surface in telemetry
+
+  const DecisionResult decision = DecideActions(BuildDecisionInput());
+  if (!decision.actions.empty()) {
+    last_enforce_ = detected_at;
+    Enforce(decision.actions, detected_at);
+  }
+}
+
+void
+FlexController::Enforce(const std::vector<Action>& actions,
+                        Seconds detected_at)
+{
+  // Track the slowest completion of this wave for latency reporting.
+  auto pending = std::make_shared<int>(static_cast<int>(actions.size()));
+  auto record_completion = [this, pending, detected_at](bool ok) {
+    if (!ok)
+      ++stats_.failed_commands;
+    if (--*pending == 0) {
+      stats_.enforcement_latencies.push_back(
+          (queue_.Now() - detected_at).value());
+    }
+  };
+
+  // Notify software-redundant workloads so they scale out in another AZ
+  // instead of auto-recovering against us (Section IV-D).
+  if (notifications_ != nullptr) {
+    std::map<std::string, std::vector<int>> shutdowns_by_workload;
+    for (const Action& action : actions) {
+      if (action.type != ActionType::kShutdown ||
+          acted_racks_.count(action.rack_id))
+        continue;
+      for (const ManagedRack& rack : racks_) {
+        if (rack.rack_id == action.rack_id) {
+          shutdowns_by_workload[rack.workload].push_back(action.rack_id);
+          break;
+        }
+      }
+    }
+    for (auto& [workload, rack_ids] : shutdowns_by_workload) {
+      PowerEmergencyNotification notification;
+      notification.workload = workload;
+      notification.racks = std::move(rack_ids);
+      notification.raised_at = queue_.Now();
+      notification.controller_replica = replica_id_;
+      notifications_->Publish(notification);
+      notified_workloads_.insert(workload);
+    }
+  }
+
+  for (const Action& action : actions) {
+    if (acted_racks_.count(action.rack_id)) {
+      // Another telemetry wave raced us; command is idempotent anyway,
+      // but skip to avoid inflating stats.
+      if (--*pending == 0) {
+        stats_.enforcement_latencies.push_back(
+            (queue_.Now() - detected_at).value());
+      }
+      continue;
+    }
+    acted_racks_.insert(action.rack_id);
+    action_types_[action.rack_id] = action.type;
+    actuation::RackManager& rm = plane_.rack(action.rack_id);
+    if (action.type == ActionType::kShutdown) {
+      ++stats_.shutdown_commands;
+      rm.Shutdown(record_completion);
+    } else {
+      ++stats_.throttle_commands;
+      // Find the rack's flex power to install as the cap.
+      Watts cap(0.0);
+      for (const ManagedRack& rack : racks_) {
+        if (rack.rack_id == action.rack_id) {
+          cap = rack.flex_power;
+          break;
+        }
+      }
+      rm.Throttle(cap, record_completion);
+    }
+  }
+}
+
+void
+FlexController::MaybeRelease()
+{
+  if (!episode_active_)
+    return;
+  // Healthy = every UPS reports power, none is near its limit, and the
+  // room would fit with the configured headroom even after releasing.
+  bool healthy = true;
+  for (power::UpsId u = 0; u < topology_.NumUpses(); ++u) {
+    const auto& power = ups_power_[static_cast<std::size_t>(u)];
+    if (!power || *power <= Watts(1.0) ||
+        *power > topology_.UpsCapacity(u) * (1.0 - config_.release_headroom)) {
+      healthy = false;
+      break;
+    }
+  }
+  if (!healthy) {
+    healthy_since_ = Seconds(-1.0);
+    return;
+  }
+  if (healthy_since_.value() < 0.0) {
+    healthy_since_ = queue_.Now();
+    return;
+  }
+  if ((queue_.Now() - healthy_since_).value() <
+      config_.release_delay.value())
+    return;
+  ReleaseAll();
+}
+
+void
+FlexController::ReleaseAll()
+{
+  for (const auto& [rack_id, type] : action_types_) {
+    actuation::RackManager& rm = plane_.rack(rack_id);
+    if (type == ActionType::kShutdown) {
+      ++stats_.restore_commands;
+      rm.Restore([this](bool ok) {
+        if (!ok)
+          ++stats_.failed_commands;
+      });
+    } else {
+      ++stats_.uncap_commands;
+      rm.RemoveCap([this](bool ok) {
+        if (!ok)
+          ++stats_.failed_commands;
+      });
+    }
+  }
+  if (notifications_ != nullptr) {
+    for (const std::string& workload : notified_workloads_) {
+      PowerEmergencyNotification all_clear;
+      all_clear.workload = workload;
+      all_clear.raised_at = queue_.Now();
+      all_clear.controller_replica = replica_id_;
+      all_clear.cleared = true;
+      notifications_->Publish(all_clear);
+    }
+    notified_workloads_.clear();
+  }
+  acted_racks_.clear();
+  action_types_.clear();
+  episode_active_ = false;
+  healthy_since_ = Seconds(-1.0);
+}
+
+}  // namespace flex::online

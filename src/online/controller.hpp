@@ -1,0 +1,141 @@
+/**
+ * @file
+ * The Flex-Online controller (paper Section IV-D).
+ *
+ * Each controller instance subscribes to the telemetry pipeline, keeps
+ * the latest power picture of every UPS and rack, and reacts to UPS
+ * overdraw by running Algorithm 1 and enforcing the selected actions
+ * through the rack managers. Controllers run multi-primary: several
+ * replicas observe telemetry at skewed times and act independently;
+ * because actions are idempotent the worst outcome is overcorrection,
+ * never a missed overload.
+ *
+ * Once the failed UPS returns and the room has headroom again, the
+ * controller lifts power caps and restores shut-down racks.
+ */
+#ifndef FLEX_ONLINE_CONTROLLER_HPP_
+#define FLEX_ONLINE_CONTROLLER_HPP_
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "actuation/rack_manager.hpp"
+#include "online/decision.hpp"
+#include "online/forecaster.hpp"
+#include "online/notifications.hpp"
+#include "power/topology.hpp"
+#include "sim/event_queue.hpp"
+#include "telemetry/pipeline.hpp"
+
+namespace flex::online {
+
+/** Static description of one rack the controller manages. */
+struct ManagedRack {
+  int rack_id = -1;
+  std::string workload;
+  workload::Category category = workload::Category::kNonRedundantNonCapable;
+  power::PduPairId pdu_pair = -1;
+  Watts allocated;
+  /** Absolute flex power (lowest cap) for cap-able racks. */
+  Watts flex_power;
+};
+
+/** Controller tuning. */
+struct ControllerConfig {
+  /** Safety buffer below the UPS limit (Algorithm 1 line 4). */
+  Watts buffer = KiloWatts(20.0);
+  /**
+   * Headroom required before releasing actions: the room must fit under
+   * (1 - release_headroom) of every UPS limit with all UPSes healthy.
+   */
+  double release_headroom = 0.05;
+  /** How long conditions must look healthy before releasing. */
+  Seconds release_delay = Seconds(30.0);
+  /**
+   * Minimum time between decision waves. Telemetry lags enforcement, so
+   * re-deciding on every reading would overcorrect heavily; the cooldown
+   * gives actions time to land and show up in the data. Overcorrection
+   * across waves (and across replicas) remains possible and safe.
+   */
+  Seconds action_cooldown = Seconds(4.0);
+  /**
+   * Estimate rack power with a Holt level+trend forecaster projected to
+   * the decision instant instead of the raw last reading (Section IV-D
+   * offers both options). Raw readings are ~2 s stale by decision time.
+   */
+  bool use_forecaster = true;
+};
+
+/** Counters and timing the controller exposes for evaluation. */
+struct ControllerStats {
+  int overdraw_events = 0;        ///< distinct overdraw episodes detected
+  int throttle_commands = 0;
+  int shutdown_commands = 0;
+  int restore_commands = 0;
+  int uncap_commands = 0;
+  int failed_commands = 0;
+  /** Detection -> last enforcement completion, per episode (seconds). */
+  std::vector<double> enforcement_latencies;
+};
+
+/**
+ * One Flex-Online controller replica.
+ */
+class FlexController {
+ public:
+  FlexController(sim::EventQueue& queue, const power::RoomTopology& topology,
+                 std::vector<ManagedRack> racks,
+                 actuation::ActuationPlane& plane, ImpactRegistry impact,
+                 ControllerConfig config, int replica_id,
+                 NotificationBus* notifications = nullptr);
+
+  /** Telemetry entry point; wire via TelemetryPipeline::Subscribe. */
+  void OnReading(const telemetry::DeviceReading& reading);
+
+  /** Racks this controller has acted on (and not yet released). */
+  const std::set<int>& acted_racks() const { return acted_racks_; }
+
+  const ControllerStats& stats() const { return stats_; }
+  int replica_id() const { return replica_id_; }
+
+  /** True while corrective actions are in force. */
+  bool actions_in_force() const { return !acted_racks_.empty(); }
+
+ private:
+  void EvaluateOverdraw();
+  void Enforce(const std::vector<Action>& actions, Seconds detected_at);
+  void MaybeRelease();
+  void ReleaseAll();
+
+  /** Builds Algorithm 1's input from the latest telemetry. */
+  DecisionInput BuildDecisionInput() const;
+
+  sim::EventQueue& queue_;
+  const power::RoomTopology& topology_;
+  std::vector<ManagedRack> racks_;
+  actuation::ActuationPlane& plane_;
+  ImpactRegistry impact_;
+  ControllerConfig config_;
+  int replica_id_;
+  NotificationBus* notifications_;  // optional; not owned
+  std::set<std::string> notified_workloads_;
+
+  /** Latest telemetry per device. */
+  std::vector<std::optional<Watts>> ups_power_;
+  std::vector<std::optional<Watts>> rack_power_;
+  RackPowerForecasterBank rack_forecasts_;
+
+  std::set<int> acted_racks_;
+  std::map<int, ActionType> action_types_;  // what we did to each rack
+  bool episode_active_ = false;
+  Seconds healthy_since_{-1.0};
+  Seconds last_enforce_{-1e18};
+  ControllerStats stats_;
+};
+
+}  // namespace flex::online
+
+#endif  // FLEX_ONLINE_CONTROLLER_HPP_

@@ -1,0 +1,241 @@
+#include "decision.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "common/error.hpp"
+
+namespace flex::online {
+
+using workload::Category;
+using workload::ImpactFunction;
+
+ImpactFunction
+DefaultImpact(Category category)
+{
+  switch (category) {
+    case Category::kNonRedundantCapable:
+      // Modest, incremental cost: the default "throttle these first".
+      return ImpactFunction(PiecewiseLinear{{0.0, 0.0}, {1.0, 0.3}});
+    case Category::kSoftwareRedundant:
+      // High-but-not-critical cost: shut down only when throttling alone
+      // cannot recover enough.
+      return ImpactFunction(PiecewiseLinear::Constant(0.9));
+    case Category::kNonRedundantNonCapable:
+      // Never acted on.
+      return ImpactFunction::Critical();
+  }
+  return ImpactFunction::Critical();
+}
+
+namespace {
+
+/** Book-keeping for one workload's racks and impact state. */
+struct WorkloadState {
+  std::vector<int> remaining;  // snapshot indices not yet acted on
+  int total_racks = 0;
+  int acted_racks = 0;
+  const ImpactFunction* impact = nullptr;
+  ImpactFunction fallback;  // used when no registered function
+
+  WorkloadState() : fallback(ImpactFunction::Critical()) {}
+
+  double
+  ImpactAfterActing(int additional) const
+  {
+    const double fraction =
+        static_cast<double>(acted_racks + additional) /
+        static_cast<double>(total_racks);
+    return (*impact)(std::min(1.0, fraction));
+  }
+};
+
+/** Recovery a corrective action on this rack would produce. */
+Watts
+Recovery(const RackSnapshot& rack)
+{
+  if (rack.category == Category::kSoftwareRedundant)
+    return rack.current_power;
+  // Throttle: only the power above the cap comes back.
+  return std::max(Watts(0.0), rack.current_power - rack.flex_power);
+}
+
+}  // namespace
+
+DecisionResult
+DecideActions(const DecisionInput& input)
+{
+  const std::size_t num_ups = input.ups_power.size();
+  FLEX_REQUIRE(input.ups_limit.size() == num_ups,
+               "ups_power / ups_limit size mismatch");
+  for (const auto& rack : input.racks) {
+    FLEX_REQUIRE(rack.pdu_pair >= 0 &&
+                     static_cast<std::size_t>(rack.pdu_pair) <
+                         input.pdu_to_ups.size(),
+                 "rack references unknown PDU pair");
+  }
+
+  DecisionResult result;
+  result.projected_ups_power = input.ups_power;
+
+  // Attribute a rack's recovery to UPSes: the failed UPS (power ~0)
+  // contributes nothing, so a pair touching it sends everything to the
+  // survivor; otherwise the split is 50/50.
+  auto recovery_per_ups = [&](const RackSnapshot& rack, Watts recovery)
+      -> std::vector<std::pair<std::size_t, Watts>> {
+    const auto [u1, u2] =
+        input.pdu_to_ups[static_cast<std::size_t>(rack.pdu_pair)];
+    const auto a = static_cast<std::size_t>(u1);
+    const auto b = static_cast<std::size_t>(u2);
+    const bool a_dead = input.ups_power[a] <= Watts(1.0);
+    const bool b_dead = input.ups_power[b] <= Watts(1.0);
+    if (a_dead && !b_dead)
+      return {{b, recovery}};
+    if (b_dead && !a_dead)
+      return {{a, recovery}};
+    return {{a, recovery * 0.5}, {b, recovery * 0.5}};
+  };
+
+  auto overloaded = [&](std::size_t u) {
+    return result.projected_ups_power[u] >
+           input.ups_limit[u] - input.buffer;
+  };
+  auto any_overloaded = [&] {
+    for (std::size_t u = 0; u < num_ups; ++u) {
+      if (overloaded(u))
+        return true;
+    }
+    return false;
+  };
+
+  // Group actionable racks per workload and bind impact functions.
+  std::map<std::string, WorkloadState> workloads;
+  const std::set<int> acted(input.already_acted.begin(),
+                            input.already_acted.end());
+  for (std::size_t i = 0; i < input.racks.size(); ++i) {
+    const RackSnapshot& rack = input.racks[i];
+    WorkloadState& state = workloads[rack.workload];
+    ++state.total_racks;
+    if (acted.count(rack.rack_id)) {
+      ++state.acted_racks;
+      continue;
+    }
+    if (rack.category == Category::kNonRedundantNonCapable)
+      continue;  // never actionable
+    state.remaining.push_back(static_cast<int>(i));
+  }
+  for (auto& [name, state] : workloads) {
+    const auto it = input.impact.find(name);
+    if (it != input.impact.end()) {
+      state.impact = &it->second;
+    } else {
+      // Category is uniform within a deployment-derived workload; take it
+      // from any rack of the workload.
+      Category category = Category::kNonRedundantNonCapable;
+      for (const RackSnapshot& rack : input.racks) {
+        if (rack.workload == name) {
+          category = rack.category;
+          break;
+        }
+      }
+      state.fallback = DefaultImpact(category);
+      state.impact = &state.fallback;
+    }
+  }
+
+  // Greedy selection loop (Algorithm 1 lines 4-16).
+  const int max_iterations = static_cast<int>(input.racks.size()) + 1;
+  while (any_overloaded() && result.iterations < max_iterations) {
+    ++result.iterations;
+
+    // Build the per-workload candidate set C.
+    struct Candidate {
+      int snapshot_index;
+      ActionType type;
+      Watts recovery;
+      double impact_after;
+      std::string workload;
+    };
+    std::vector<Candidate> candidates;
+    for (auto& [name, state] : workloads) {
+      if (state.remaining.empty())
+        continue;
+      // PickRack: prefer racks attached to an overloaded UPS, then the
+      // largest recovery, then the lowest rack id (deterministic).
+      int best = -1;
+      bool best_useful = false;
+      Watts best_recovery(-1.0);
+      for (const int index : state.remaining) {
+        const RackSnapshot& rack =
+            input.racks[static_cast<std::size_t>(index)];
+        const Watts recovery = Recovery(rack);
+        bool useful = false;
+        for (const auto& [u, share] : recovery_per_ups(rack, recovery)) {
+          if (overloaded(u) && share > Watts(0.0))
+            useful = true;
+        }
+        const bool better =
+            (useful && !best_useful) ||
+            (useful == best_useful &&
+             (recovery > best_recovery ||
+              (recovery.ApproxEquals(best_recovery) && best >= 0 &&
+               rack.rack_id <
+                   input.racks[static_cast<std::size_t>(best)].rack_id)));
+        if (best < 0 || better) {
+          best = index;
+          best_useful = useful;
+          best_recovery = recovery;
+        }
+      }
+      if (best < 0 || !best_useful)
+        continue;  // this workload cannot help the overloaded UPSes
+      const RackSnapshot& rack = input.racks[static_cast<std::size_t>(best)];
+      Candidate c;
+      c.snapshot_index = best;
+      c.type = rack.category == Category::kSoftwareRedundant
+                   ? ActionType::kShutdown
+                   : ActionType::kThrottle;
+      c.recovery = Recovery(rack);
+      c.impact_after = state.ImpactAfterActing(1);
+      c.workload = name;
+      candidates.push_back(std::move(c));
+    }
+    if (candidates.empty())
+      break;  // nothing more can be recovered: unsatisfied
+
+    // Line 13: choose the candidate with minimum post-action impact;
+    // break ties toward larger recovery so safety is reached sooner.
+    const Candidate* chosen = &candidates.front();
+    for (const Candidate& c : candidates) {
+      if (c.impact_after < chosen->impact_after - 1e-12 ||
+          (std::abs(c.impact_after - chosen->impact_after) <= 1e-12 &&
+           c.recovery > chosen->recovery)) {
+        chosen = &c;
+      }
+    }
+
+    const RackSnapshot& rack =
+        input.racks[static_cast<std::size_t>(chosen->snapshot_index)];
+    Action action;
+    action.rack_id = rack.rack_id;
+    action.type = chosen->type;
+    action.estimated_recovery = chosen->recovery;
+    action.impact_after = chosen->impact_after;
+    result.actions.push_back(action);
+
+    // Line 15: update the estimated UPS power.
+    for (const auto& [u, share] : recovery_per_ups(rack, chosen->recovery))
+      result.projected_ups_power[u] -= share;
+
+    WorkloadState& state = workloads[chosen->workload];
+    state.remaining.erase(std::find(state.remaining.begin(),
+                                    state.remaining.end(),
+                                    chosen->snapshot_index));
+    ++state.acted_racks;
+  }
+
+  result.satisfied = !any_overloaded();
+  return result;
+}
+
+}  // namespace flex::online

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Flex-Online's runtime decision policy (paper Algorithm 1).
+ *
+ * When a UPS overdraw is detected, the policy greedily selects racks to
+ * shut down (software-redundant) or throttle (non-redundant cap-able),
+ * one at a time, always choosing the candidate whose action leaves its
+ * workload with the smallest total impact, until the estimated power of
+ * every UPS is back below its limit minus a safety buffer.
+ */
+#ifndef FLEX_ONLINE_DECISION_HPP_
+#define FLEX_ONLINE_DECISION_HPP_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+#include "power/topology.hpp"
+#include "workload/impact.hpp"
+
+namespace flex::online {
+
+/** The two corrective actions Flex-Online can take on a rack. */
+enum class ActionType { kThrottle, kShutdown };
+
+/** The controller's view of one rack at decision time. */
+struct RackSnapshot {
+  int rack_id = -1;
+  std::string workload;
+  workload::Category category = workload::Category::kNonRedundantNonCapable;
+  power::PduPairId pdu_pair = -1;
+  /** Most recent telemetry (or model estimate) of the rack's draw. */
+  Watts current_power;
+  /** Absolute flex power (lowest enforceable cap); cap-able racks only. */
+  Watts flex_power;
+};
+
+/** One selected corrective action. */
+struct Action {
+  int rack_id = -1;
+  ActionType type = ActionType::kThrottle;
+  /** Estimated power recovered by the action (R_r in Algorithm 1). */
+  Watts estimated_recovery;
+  /** The workload's total impact after this action (I_w). */
+  double impact_after = 0.0;
+};
+
+/**
+ * Per-workload impact functions. Workloads without an entry get the
+ * paper's default behaviour: cap-able workloads are throttled first,
+ * software-redundant ones shut down only if still necessary.
+ */
+using ImpactRegistry = std::map<std::string, workload::ImpactFunction>;
+
+/** Inputs to one decision round. */
+struct DecisionInput {
+  /** Current (post-failover) per-UPS power; a failed UPS reads ~0. */
+  std::vector<Watts> ups_power;
+  /** Per-UPS power limit (rated capacity). */
+  std::vector<Watts> ups_limit;
+  /** All racks, with their PDU pairs and latest power. */
+  std::vector<RackSnapshot> racks;
+  /** Which UPSes each PDU pair connects (from the room topology). */
+  std::vector<std::pair<power::UpsId, power::UpsId>> pdu_to_ups;
+  /** Impact functions; may be empty (defaults apply). */
+  ImpactRegistry impact;
+  /** Safety buffer subtracted from limits (mis-estimation guard). */
+  Watts buffer = KiloWatts(20.0);
+  /** Racks already acted on (idempotence across controller replicas). */
+  std::vector<int> already_acted;
+};
+
+/** Outcome of one decision round. */
+struct DecisionResult {
+  std::vector<Action> actions;
+  /** True when the estimated power of every UPS is under its limit. */
+  bool satisfied = false;
+  /** Greedy iterations executed. */
+  int iterations = 0;
+  /** Estimated per-UPS power after all selected actions. */
+  std::vector<Watts> projected_ups_power;
+};
+
+/**
+ * Runs Algorithm 1 and returns the selected action set.
+ *
+ * Deterministic: PickRack prefers racks attached to overloaded UPSes and
+ * breaks ties toward larger recoverable power, then lower rack id.
+ */
+DecisionResult DecideActions(const DecisionInput& input);
+
+/**
+ * The paper's default impact when a workload registered no function:
+ * cap-able workloads tolerate throttling with modest impact, while
+ * software-redundant ones are only shut down after cap-able options are
+ * exhausted.
+ */
+workload::ImpactFunction DefaultImpact(workload::Category category);
+
+}  // namespace flex::online
+
+#endif  // FLEX_ONLINE_DECISION_HPP_

@@ -1,0 +1,83 @@
+#include "forecaster.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace flex::online {
+
+HoltForecaster::HoltForecaster(double level_alpha, double trend_beta)
+    : level_alpha_(level_alpha), trend_beta_(trend_beta)
+{
+  FLEX_REQUIRE(level_alpha_ > 0.0 && level_alpha_ <= 1.0,
+               "level alpha must be in (0, 1]");
+  FLEX_REQUIRE(trend_beta_ >= 0.0 && trend_beta_ <= 1.0,
+               "trend beta must be in [0, 1]");
+}
+
+void
+HoltForecaster::Observe(Seconds observed_at, Watts value)
+{
+  FLEX_REQUIRE(value >= Watts(0.0), "negative power observation");
+  if (observations_ == 0) {
+    level_ = value.value();
+    trend_per_second_ = 0.0;
+  } else {
+    const double dt = (observed_at - last_time_).value();
+    if (dt > 1e-9) {
+      typical_interval_ =
+          Seconds(0.8 * typical_interval_.value() + 0.2 * dt);
+      const double previous_level = level_;
+      const double predicted = level_ + trend_per_second_ * dt;
+      level_ = level_alpha_ * value.value() +
+               (1.0 - level_alpha_) * predicted;
+      const double new_trend = (level_ - previous_level) / dt;
+      trend_per_second_ = trend_beta_ * new_trend +
+                          (1.0 - trend_beta_) * trend_per_second_;
+    } else {
+      // Duplicate delivery (redundant buses): just refresh the level.
+      level_ = level_alpha_ * value.value() + (1.0 - level_alpha_) * level_;
+    }
+  }
+  last_time_ = observed_at;
+  ++observations_;
+}
+
+std::optional<Watts>
+HoltForecaster::Forecast(Seconds when) const
+{
+  if (observations_ == 0)
+    return std::nullopt;
+  double horizon = std::max(0.0, (when - last_time_).value());
+  // Damp the trend beyond a few sampling intervals: stale data should
+  // decay toward the last level, not extrapolate off to infinity.
+  const double max_extrapolation = 3.0 * typical_interval_.value();
+  horizon = std::min(horizon, max_extrapolation);
+  return Watts(std::max(0.0, level_ + trend_per_second_ * horizon));
+}
+
+RackPowerForecasterBank::RackPowerForecasterBank(int num_racks,
+                                                 double level_alpha,
+                                                 double trend_beta)
+{
+  FLEX_REQUIRE(num_racks >= 0, "negative rack count");
+  forecasters_.assign(static_cast<std::size_t>(num_racks),
+                      HoltForecaster(level_alpha, trend_beta));
+}
+
+void
+RackPowerForecasterBank::Observe(int rack_id, Seconds observed_at,
+                                 Watts value)
+{
+  FLEX_REQUIRE(rack_id >= 0 && rack_id < num_racks(), "rack id out of range");
+  forecasters_[static_cast<std::size_t>(rack_id)].Observe(observed_at, value);
+}
+
+std::optional<Watts>
+RackPowerForecasterBank::Forecast(int rack_id, Seconds when) const
+{
+  FLEX_REQUIRE(rack_id >= 0 && rack_id < num_racks(), "rack id out of range");
+  return forecasters_[static_cast<std::size_t>(rack_id)].Forecast(when);
+}
+
+}  // namespace flex::online

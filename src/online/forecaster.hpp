@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Rack power forecasting for the Flex controllers.
+ *
+ * Paper Section IV-D: the decision policy needs an estimate of each
+ * rack's current power; "a recent snapshot or an estimate based on time
+ * series models can be used". This module provides both: a last-value
+ * estimator and a Holt double-exponential (level + trend) forecaster
+ * that projects the rack's draw to the decision instant, which matters
+ * because rack telemetry is ~2 s old by the time a decision is made.
+ */
+#ifndef FLEX_ONLINE_FORECASTER_HPP_
+#define FLEX_ONLINE_FORECASTER_HPP_
+
+#include <optional>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace flex::online {
+
+/** Holt's linear (level + trend) exponential smoothing for one signal. */
+class HoltForecaster {
+ public:
+  /**
+   * @param level_alpha smoothing of the level (0..1, higher = reactive)
+   * @param trend_beta smoothing of the trend (0..1)
+   */
+  HoltForecaster(double level_alpha = 0.5, double trend_beta = 0.2);
+
+  /** Feeds an observation taken at @p observed_at. */
+  void Observe(Seconds observed_at, Watts value);
+
+  /**
+   * Forecast at @p when (>= last observation). Returns nullopt until at
+   * least one observation has arrived. The trend is damped beyond a few
+   * sampling intervals so stale extrapolations stay conservative, and
+   * forecasts never go negative.
+   */
+  std::optional<Watts> Forecast(Seconds when) const;
+
+  /** Number of observations consumed. */
+  int observations() const { return observations_; }
+
+ private:
+  double level_alpha_;
+  double trend_beta_;
+  int observations_ = 0;
+  double level_ = 0.0;
+  double trend_per_second_ = 0.0;
+  Seconds last_time_{0.0};
+  Seconds typical_interval_{2.0};
+};
+
+/**
+ * A bank of per-rack forecasters, as the controller uses.
+ */
+class RackPowerForecasterBank {
+ public:
+  explicit RackPowerForecasterBank(int num_racks, double level_alpha = 0.5,
+                                   double trend_beta = 0.2);
+
+  void Observe(int rack_id, Seconds observed_at, Watts value);
+
+  /** Forecast for one rack; nullopt when that rack has no data yet. */
+  std::optional<Watts> Forecast(int rack_id, Seconds when) const;
+
+  int num_racks() const { return static_cast<int>(forecasters_.size()); }
+
+ private:
+  std::vector<HoltForecaster> forecasters_;
+};
+
+}  // namespace flex::online
+
+#endif  // FLEX_ONLINE_FORECASTER_HPP_

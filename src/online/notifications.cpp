@@ -1,0 +1,27 @@
+#include "notifications.hpp"
+
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace flex::online {
+
+void
+NotificationBus::Subscribe(const std::string& workload, Callback callback)
+{
+  FLEX_REQUIRE(static_cast<bool>(callback), "null notification callback");
+  subscriptions_.push_back(Subscription{workload, std::move(callback)});
+}
+
+void
+NotificationBus::Publish(const PowerEmergencyNotification& notification)
+{
+  ++published_;
+  for (const Subscription& subscription : subscriptions_) {
+    if (subscription.workload.empty() ||
+        subscription.workload == notification.workload)
+      subscription.callback(notification);
+  }
+}
+
+}  // namespace flex::online

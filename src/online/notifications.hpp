@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Power-emergency notifications to software-redundant workloads.
+ *
+ * Paper Section IV-D: "To prevent instability due to auto-recovery or
+ * scaling-out, Flex-Online sends a notification about the power
+ * emergency to the software-redundant workloads, which in turn recover
+ * or scale out in a different AZ." Without the notification, a
+ * service's auto-healing would fight the controller by restarting racks
+ * Flex just shut down; with it, the service marks the local capacity as
+ * administratively down and shifts load elsewhere until the emergency
+ * clears.
+ */
+#ifndef FLEX_ONLINE_NOTIFICATIONS_HPP_
+#define FLEX_ONLINE_NOTIFICATIONS_HPP_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace flex::online {
+
+/** One emergency (or all-clear) event for a workload. */
+struct PowerEmergencyNotification {
+  std::string workload;
+  /** Racks the controller acted on (empty for an all-clear). */
+  std::vector<int> racks;
+  Seconds raised_at;
+  int controller_replica = -1;
+  /** False: emergency begins/extends. True: emergency over. */
+  bool cleared = false;
+};
+
+/**
+ * A simple in-process notification bus. Production Flex publishes to
+ * the workloads' control planes; here subscribers are callbacks keyed
+ * by workload name (or the empty string for a firehose subscription).
+ */
+class NotificationBus {
+ public:
+  using Callback = std::function<void(const PowerEmergencyNotification&)>;
+
+  /**
+   * Subscribes to one workload's notifications; an empty @p workload
+   * subscribes to everything.
+   */
+  void Subscribe(const std::string& workload, Callback callback);
+
+  /** Publishes to all matching subscribers, in subscription order. */
+  void Publish(const PowerEmergencyNotification& notification);
+
+  std::size_t published_count() const { return published_; }
+
+ private:
+  struct Subscription {
+    std::string workload;
+    Callback callback;
+  };
+  std::vector<Subscription> subscriptions_;
+  std::size_t published_ = 0;
+};
+
+}  // namespace flex::online
+
+#endif  // FLEX_ONLINE_NOTIFICATIONS_HPP_

@@ -1,0 +1,94 @@
+#include "battery.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace flex::power {
+
+namespace {
+
+/** Reference overload (fraction of rated) at which drain is nominal. */
+constexpr double kReferenceOverload = 1.0 / 3.0;
+
+}  // namespace
+
+BatteryConfig
+BatteryConfig::ForBatteryLife(BatteryLife life, Watts rated_power)
+{
+  FLEX_REQUIRE(rated_power > Watts(0.0), "rated power must be positive");
+  BatteryConfig config;
+  config.rated_power = rated_power;
+  // At the reference 133% load the drain equals the raw overload power
+  // (1/3 of rated), so usable energy = overload power x ride-through.
+  const double ride_through_seconds =
+      life == BatteryLife::kEndOfLife ? 10.0 : 30.0;
+  config.usable_energy =
+      rated_power * kReferenceOverload * Seconds(ride_through_seconds);
+  // Recharging a ride-through budget takes minutes, not seconds.
+  config.recharge_power = rated_power * 0.002;
+  return config;
+}
+
+BatteryModel::BatteryModel(BatteryConfig config)
+    : config_(config), remaining_(config.usable_energy)
+{
+  FLEX_REQUIRE(config_.rated_power > Watts(0.0),
+               "rated power must be positive");
+  FLEX_REQUIRE(config_.usable_energy > Joules(0.0),
+               "usable energy must be positive");
+  FLEX_REQUIRE(config_.recharge_power >= Watts(0.0),
+               "recharge power must be non-negative");
+  FLEX_REQUIRE(config_.peukert_exponent >= 1.0,
+               "Peukert exponent must be >= 1");
+}
+
+double
+BatteryModel::DrainWatts(Watts load) const
+{
+  if (load <= config_.rated_power)
+    return 0.0;
+  const double overload_fraction =
+      (load - config_.rated_power) / config_.rated_power;
+  const double raw = (load - config_.rated_power).value();
+  // Peukert: drain is superlinear in the overload, normalized so that
+  // at the reference overload the drain equals the raw overload power.
+  return raw * std::pow(overload_fraction / kReferenceOverload,
+                        config_.peukert_exponent - 1.0);
+}
+
+void
+BatteryModel::Advance(Watts load, Seconds dt)
+{
+  FLEX_REQUIRE(dt.value() >= 0.0, "negative time step");
+  const double drain = DrainWatts(load);
+  if (drain > 0.0) {
+    remaining_ -= Joules(drain * dt.value());
+    if (remaining_ <= Joules(0.0)) {
+      remaining_ = Joules(0.0);
+      tripped_ = true;
+    }
+  } else {
+    remaining_ += config_.recharge_power * dt;
+    if (remaining_ > config_.usable_energy)
+      remaining_ = config_.usable_energy;
+  }
+}
+
+double
+BatteryModel::StateOfCharge() const
+{
+  return remaining_.value() / config_.usable_energy.value();
+}
+
+Seconds
+BatteryModel::TimeToTrip(Watts load) const
+{
+  const double drain = DrainWatts(load);
+  if (drain <= 0.0)
+    return TripCurve::Indefinite();
+  return Seconds(remaining_.value() / drain);
+}
+
+}  // namespace flex::power

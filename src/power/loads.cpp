@@ -1,0 +1,107 @@
+#include "loads.hpp"
+
+#include "common/error.hpp"
+
+namespace flex::power {
+
+namespace {
+
+void
+CheckLoads(const RoomTopology& topology, const PduPairLoads& loads)
+{
+  FLEX_REQUIRE(static_cast<int>(loads.size()) == topology.NumPduPairs(),
+               "PDU loads must have one entry per PDU pair");
+  for (const Watts& w : loads)
+    FLEX_REQUIRE(w >= Watts(0.0), "negative PDU pair load");
+}
+
+}  // namespace
+
+std::vector<Watts>
+NormalUpsLoads(const RoomTopology& topology, const PduPairLoads& pdu_loads)
+{
+  CheckLoads(topology, pdu_loads);
+  std::vector<Watts> loads(static_cast<std::size_t>(topology.NumUpses()),
+                           Watts(0.0));
+  for (PduPairId p = 0; p < topology.NumPduPairs(); ++p) {
+    const auto [u1, u2] = topology.UpsesOfPduPair(p);
+    const Watts half = pdu_loads[static_cast<std::size_t>(p)] * 0.5;
+    loads[static_cast<std::size_t>(u1)] += half;
+    loads[static_cast<std::size_t>(u2)] += half;
+  }
+  return loads;
+}
+
+std::vector<Watts>
+FailoverUpsLoads(const RoomTopology& topology, const PduPairLoads& pdu_loads,
+                 UpsId failed)
+{
+  CheckLoads(topology, pdu_loads);
+  FLEX_REQUIRE(failed >= 0 && failed < topology.NumUpses(),
+               "failed UPS id out of range");
+  std::vector<Watts> loads(static_cast<std::size_t>(topology.NumUpses()),
+                           Watts(0.0));
+  for (PduPairId p = 0; p < topology.NumPduPairs(); ++p) {
+    const auto [u1, u2] = topology.UpsesOfPduPair(p);
+    const Watts load = pdu_loads[static_cast<std::size_t>(p)];
+    if (u1 == failed) {
+      // u2's PDU picks up the whole pair load.
+      loads[static_cast<std::size_t>(u2)] += load;
+    } else if (u2 == failed) {
+      loads[static_cast<std::size_t>(u1)] += load;
+    } else {
+      loads[static_cast<std::size_t>(u1)] += load * 0.5;
+      loads[static_cast<std::size_t>(u2)] += load * 0.5;
+    }
+  }
+  return loads;
+}
+
+Watts
+StrandedPower(const RoomTopology& topology, const PduPairLoads& allocated)
+{
+  const std::vector<Watts> loads = NormalUpsLoads(topology, allocated);
+  Watts stranded(0.0);
+  for (UpsId u = 0; u < topology.NumUpses(); ++u)
+    stranded += topology.UpsCapacity(u) - loads[static_cast<std::size_t>(u)];
+  return stranded;
+}
+
+SafetyReport
+ValidateFailoverSafety(const RoomTopology& topology,
+                       const PduPairLoads& capped_loads)
+{
+  SafetyReport report;
+  for (UpsId f = 0; f < topology.NumUpses(); ++f) {
+    const std::vector<Watts> loads =
+        FailoverUpsLoads(topology, capped_loads, f);
+    for (UpsId u = 0; u < topology.NumUpses(); ++u) {
+      if (u == f)
+        continue;
+      const double fraction =
+          loads[static_cast<std::size_t>(u)] / topology.UpsCapacity(u);
+      if (fraction > report.worst_overload_fraction) {
+        report.worst_overload_fraction = fraction;
+        report.worst_failure = f;
+        report.worst_ups = u;
+      }
+    }
+  }
+  report.safe = report.worst_overload_fraction <= 1.0 + 1e-9;
+  return report;
+}
+
+bool
+ValidateNormalOperation(const RoomTopology& topology,
+                        const PduPairLoads& allocated)
+{
+  const std::vector<Watts> loads = NormalUpsLoads(topology, allocated);
+  for (UpsId u = 0; u < topology.NumUpses(); ++u) {
+    if (loads[static_cast<std::size_t>(u)] >
+        topology.UpsCapacity(u) + Watts(1e-6))
+      return false;
+  }
+  return true;
+}
+
+}  // namespace flex::power

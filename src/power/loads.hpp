@@ -1,0 +1,70 @@
+/**
+ * @file
+ * UPS load accounting under normal operation and failover.
+ *
+ * Implements the electrical semantics behind the paper's Eq. 2 and Eq. 4:
+ * each PDU pair splits its load 50/50 between its two upstream UPSes
+ * during normal operation; when a UPS fails, its half of every connected
+ * PDU pair's load transfers instantaneously to the pair's other UPS.
+ */
+#ifndef FLEX_POWER_LOADS_HPP_
+#define FLEX_POWER_LOADS_HPP_
+
+#include <vector>
+
+#include "common/units.hpp"
+#include "power/topology.hpp"
+
+namespace flex::power {
+
+/** Power drawn (or allocated) under each PDU pair, indexed by PduPairId. */
+using PduPairLoads = std::vector<Watts>;
+
+/** Per-UPS load under normal (no-failure) operation. */
+std::vector<Watts> NormalUpsLoads(const RoomTopology& topology,
+                                  const PduPairLoads& pdu_loads);
+
+/**
+ * Per-UPS load immediately after UPS @p failed fails, before any
+ * corrective action. The failed UPS's entry is zero.
+ */
+std::vector<Watts> FailoverUpsLoads(const RoomTopology& topology,
+                                    const PduPairLoads& pdu_loads,
+                                    UpsId failed);
+
+/**
+ * Stranded power (paper Eq. 5): provisioned capacity not covered by the
+ * allocated loads, summed over all UPSes.
+ */
+Watts StrandedPower(const RoomTopology& topology,
+                    const PduPairLoads& allocated);
+
+/** Result of a failover safety validation. */
+struct SafetyReport {
+  bool safe = true;
+  /** Worst overload fraction observed across all (failure, UPS) pairs. */
+  double worst_overload_fraction = 0.0;
+  /** Failure scenario producing the worst overload (-1 when none). */
+  UpsId worst_failure = -1;
+  /** UPS suffering the worst overload (-1 when none). */
+  UpsId worst_ups = -1;
+};
+
+/**
+ * Validates the paper's Eq. 4: for every single-UPS failure, the
+ * post-corrective-action loads (@p capped_loads, i.e. CapPow per PDU
+ * pair) must fit within every surviving UPS's rated capacity.
+ */
+SafetyReport ValidateFailoverSafety(const RoomTopology& topology,
+                                    const PduPairLoads& capped_loads);
+
+/**
+ * Validates the paper's Eq. 2: normal-operation loads (@p allocated,
+ * i.e. Pow per PDU pair) fit within every UPS's rated capacity.
+ */
+bool ValidateNormalOperation(const RoomTopology& topology,
+                             const PduPairLoads& allocated);
+
+}  // namespace flex::power
+
+#endif  // FLEX_POWER_LOADS_HPP_

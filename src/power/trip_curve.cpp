@@ -1,0 +1,47 @@
+#include "trip_curve.hpp"
+
+#include "common/error.hpp"
+
+namespace flex::power {
+
+TripCurve::TripCurve(PiecewiseLinear tolerance)
+    : tolerance_(std::move(tolerance))
+{
+  FLEX_REQUIRE(!tolerance_.empty(), "trip curve needs breakpoints");
+}
+
+TripCurve
+TripCurve::ForBatteryLife(BatteryLife life)
+{
+  // Fig. 6 shape: tolerance in seconds vs. load fraction. The end-of-life
+  // battery provides 10 s at the worst-case 133% failover load; the
+  // begin-of-life battery is roughly 3x more tolerant across the range.
+  switch (life) {
+    case BatteryLife::kEndOfLife:
+      return TripCurve(PiecewiseLinear{{1.00, 210.0},
+                                       {1.10, 60.0},
+                                       {1.20, 25.0},
+                                       {1.33, 10.0},
+                                       {1.50, 4.0},
+                                       {2.00, 1.0}});
+    case BatteryLife::kBeginOfLife:
+      return TripCurve(PiecewiseLinear{{1.00, 630.0},
+                                       {1.10, 180.0},
+                                       {1.20, 75.0},
+                                       {1.33, 30.0},
+                                       {1.50, 12.0},
+                                       {2.00, 3.0}});
+  }
+  FLEX_CONFIG_ERROR("unknown battery life stage");
+}
+
+Seconds
+TripCurve::ToleranceAt(double load_fraction) const
+{
+  FLEX_REQUIRE(load_fraction >= 0.0, "negative load fraction");
+  if (load_fraction <= 1.0)
+    return Indefinite();
+  return Seconds(tolerance_(load_fraction));
+}
+
+}  // namespace flex::power

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * UPS overload tolerance (trip) curves.
+ *
+ * Reproduces the paper's Fig. 6: how long a UPS can sustain a given
+ * overload before tripping, as a function of load relative to rated
+ * capacity, for batteries at the beginning and end of their life. At the
+ * worst-case 4N/3 failover load of 133%, the end-of-life curve gives
+ * 10 seconds — the budget that bounds Flex-Online's end-to-end latency.
+ */
+#ifndef FLEX_POWER_TRIP_CURVE_HPP_
+#define FLEX_POWER_TRIP_CURVE_HPP_
+
+#include "common/piecewise.hpp"
+#include "common/units.hpp"
+
+namespace flex::power {
+
+/** Battery aging used to select a tolerance curve. */
+enum class BatteryLife { kBeginOfLife, kEndOfLife };
+
+/**
+ * Overload tolerance as a function of load fraction (1.0 = rated
+ * capacity).
+ *
+ * Loads at or below rated capacity are sustainable indefinitely (the
+ * 3.5-minute generator ride-through at 100% is modeled separately via
+ * RideThroughAtRated()); above rated capacity the tolerance drops
+ * steeply.
+ */
+class TripCurve {
+ public:
+  /** Builds the curve for the given battery life stage. */
+  static TripCurve ForBatteryLife(BatteryLife life);
+
+  /** Curve with custom breakpoints (load fraction -> seconds). */
+  explicit TripCurve(PiecewiseLinear tolerance);
+
+  /**
+   * Tolerance before trip at @p load_fraction of rated capacity.
+   * Effectively unbounded (kIndefinite) at or below 1.0.
+   */
+  Seconds ToleranceAt(double load_fraction) const;
+
+  /** Additional ride-through at rated load while generators start. */
+  static Seconds RideThroughAtRated() { return Minutes(3.5); }
+
+  /** Sentinel for "sustainable indefinitely". */
+  static Seconds Indefinite() { return Hours(1e6); }
+
+  /** The underlying piecewise curve (for plotting / benches). */
+  const PiecewiseLinear& curve() const { return tolerance_; }
+
+ private:
+  PiecewiseLinear tolerance_;
+};
+
+}  // namespace flex::power
+
+#endif  // FLEX_POWER_TRIP_CURVE_HPP_

@@ -1,0 +1,118 @@
+#include "event_queue.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "common/error.hpp"
+
+namespace flex::sim {
+
+EventId
+EventQueue::Schedule(Seconds delay, Callback callback)
+{
+  FLEX_REQUIRE(delay.value() >= 0.0, "cannot schedule in the past");
+  return ScheduleAt(now_ + delay, std::move(callback));
+}
+
+EventId
+EventQueue::ScheduleAt(Seconds when, Callback callback)
+{
+  FLEX_REQUIRE(when >= now_, "cannot schedule before the current time");
+  FLEX_REQUIRE(static_cast<bool>(callback), "null event callback");
+  const EventId id = next_id_++;
+  heap_.push(Entry{when, next_sequence_++, id, std::move(callback)});
+  pending_.insert(id);
+  return id;
+}
+
+void
+EventQueue::Cancel(EventId id)
+{
+  // Lazy cancellation: the entry stays in the heap and is skipped when
+  // popped because its id is no longer pending.
+  pending_.erase(id);
+}
+
+bool
+EventQueue::PopNext(Entry& out)
+{
+  while (!heap_.empty()) {
+    Entry top = heap_.top();
+    heap_.pop();
+    if (pending_.erase(top.id) == 0)
+      continue;  // cancelled: drop silently
+    out = std::move(top);
+    return true;
+  }
+  return false;
+}
+
+std::size_t
+EventQueue::RunUntil(Seconds horizon)
+{
+  FLEX_REQUIRE(horizon >= now_, "horizon is in the past");
+  std::size_t executed = 0;
+  while (!heap_.empty()) {
+    // Peek: if the earliest live event is beyond the horizon, stop.
+    const Entry& top = heap_.top();
+    if (pending_.count(top.id) == 0) {
+      heap_.pop();
+      continue;
+    }
+    if (top.when > horizon)
+      break;
+    Entry entry = top;
+    heap_.pop();
+    pending_.erase(entry.id);
+    now_ = entry.when;
+    entry.callback();
+    ++executed;
+  }
+  now_ = horizon;
+  return executed;
+}
+
+bool
+EventQueue::Step()
+{
+  Entry entry;
+  if (!PopNext(entry))
+    return false;
+  now_ = entry.when;
+  entry.callback();
+  return true;
+}
+
+std::size_t
+EventQueue::RunAll()
+{
+  std::size_t executed = 0;
+  while (Step())
+    ++executed;
+  return executed;
+}
+
+void
+SchedulePeriodic(EventQueue& queue, Seconds period,
+                 std::function<bool()> callback)
+{
+  FLEX_REQUIRE(period.value() > 0.0, "periodic events need positive period");
+  // Self-rescheduling wrapper; stops when the callback returns false.
+  struct Ticker {
+    EventQueue* queue;
+    Seconds period;
+    std::function<bool()> callback;
+
+    void
+    Run(const std::shared_ptr<Ticker>& self)
+    {
+      if (callback())
+        queue->Schedule(period, [self] { self->Run(self); });
+    }
+  };
+  auto ticker =
+      std::make_shared<Ticker>(Ticker{&queue, period, std::move(callback)});
+  queue.Schedule(period, [ticker] { ticker->Run(ticker); });
+}
+
+}  // namespace flex::sim

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Discrete-event simulation kernel.
+ *
+ * Drives every time-dependent component in the reproduction: meters poll,
+ * pub/sub buses deliver, controllers tick, UPS batteries accumulate
+ * overload, and workloads vary their power — all as events on a single
+ * deterministic queue.
+ */
+#ifndef FLEX_SIM_EVENT_QUEUE_HPP_
+#define FLEX_SIM_EVENT_QUEUE_HPP_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace flex::sim {
+
+/** Handle used to cancel a scheduled event. */
+using EventId = std::uint64_t;
+
+/**
+ * A deterministic discrete-event queue.
+ *
+ * Events at equal timestamps fire in scheduling order (FIFO), which makes
+ * multi-controller races reproducible. Cancellation is lazy: cancelled
+ * events stay in the heap but are skipped when popped.
+ */
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /** Current simulated time. */
+  Seconds Now() const { return now_; }
+
+  /**
+   * Schedules @p callback to run @p delay after the current time.
+   * @return an id usable with Cancel().
+   */
+  EventId Schedule(Seconds delay, Callback callback);
+
+  /** Schedules @p callback at absolute time @p when (>= Now()). */
+  EventId ScheduleAt(Seconds when, Callback callback);
+
+  /** Cancels a pending event; cancelling a fired/cancelled id is a no-op. */
+  void Cancel(EventId id);
+
+  /** True when no runnable events remain. */
+  bool Empty() const { return pending_.empty(); }
+
+  /** Number of pending (non-cancelled) events. */
+  std::size_t PendingCount() const { return pending_.size(); }
+
+  /**
+   * Runs events until the queue drains or @p horizon is reached, whichever
+   * comes first. Time advances to the horizon even if the queue drains
+   * earlier, so repeated RunUntil calls tile a timeline predictably.
+   * @return the number of events executed.
+   */
+  std::size_t RunUntil(Seconds horizon);
+
+  /** Runs a single event if one is pending. @return true if one ran. */
+  bool Step();
+
+  /** Runs until the queue is fully drained. @return events executed. */
+  std::size_t RunAll();
+
+ private:
+  struct Entry {
+    Seconds when;
+    std::uint64_t sequence;  // tie-break: FIFO at equal timestamps
+    EventId id;
+    Callback callback;
+  };
+
+  struct Later {
+    bool
+    operator()(const Entry& a, const Entry& b) const
+    {
+      if (a.when != b.when)
+        return a.when > b.when;
+      return a.sequence > b.sequence;
+    }
+  };
+
+  bool PopNext(Entry& out);
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::unordered_set<EventId> pending_;  // ids scheduled and not yet fired
+  Seconds now_{0.0};
+  std::uint64_t next_sequence_ = 0;
+  EventId next_id_ = 1;
+};
+
+/**
+ * Convenience: schedules @p callback every @p period until it returns
+ * false. Returns immediately; the ticking happens as the queue runs.
+ */
+void SchedulePeriodic(EventQueue& queue, Seconds period,
+                      std::function<bool()> callback);
+
+}  // namespace flex::sim
+
+#endif  // FLEX_SIM_EVENT_QUEUE_HPP_

@@ -1,0 +1,268 @@
+#include "branch_and_bound.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <queue>
+
+#include "common/error.hpp"
+
+namespace flex::solver {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+using Clock = std::chrono::steady_clock;
+
+/** A subproblem: variable bound overrides plus its LP relaxation bound. */
+struct Node {
+  BoundOverrides overrides;
+  double bound;  // LP bound, in "maximize" orientation
+  int depth;
+};
+
+struct WorseBound {
+  bool
+  operator()(const std::shared_ptr<Node>& a,
+             const std::shared_ptr<Node>& b) const
+  {
+    return a->bound < b->bound;  // best (largest) bound first
+  }
+};
+
+/** Most-fractional integer variable, or -1 when integral. */
+int
+PickBranchVariable(const Model& model, const std::vector<double>& x,
+                   double tol)
+{
+  int best = -1;
+  double best_score = tol;
+  for (int j = 0; j < model.NumVariables(); ++j) {
+    if (!model.variables()[static_cast<std::size_t>(j)].is_integer)
+      continue;
+    const double value = x[static_cast<std::size_t>(j)];
+    const double frac = std::fabs(value - std::round(value));
+    // Distance from integrality, maximized at 0.5.
+    if (frac > best_score) {
+      best_score = frac;
+      best = j;
+    }
+  }
+  return best;
+}
+
+double
+RelativeGap(double bound, double incumbent)
+{
+  return std::fabs(bound - incumbent) / std::max(1.0, std::fabs(incumbent));
+}
+
+}  // namespace
+
+MipResult
+BranchAndBoundSolver::Solve(const Model& model) const
+{
+  const auto start = Clock::now();
+  const auto deadline =
+      start + std::chrono::duration_cast<Clock::duration>(
+                  std::chrono::duration<double>(options_.time_budget_seconds));
+  const double sense = model.sense() == Sense::kMaximize ? 1.0 : -1.0;
+  const SimplexSolver lp(options_.lp);
+
+  MipResult result;
+  double incumbent_max = -kInf;  // incumbent objective, maximize orientation
+
+  auto integral = [&](const std::vector<double>& x) {
+    return PickBranchVariable(model, x, options_.integrality_tolerance) < 0;
+  };
+
+  auto accept_incumbent = [&](const std::vector<double>& x) {
+    std::vector<double> rounded = x;
+    for (int j = 0; j < model.NumVariables(); ++j) {
+      if (model.variables()[static_cast<std::size_t>(j)].is_integer) {
+        rounded[static_cast<std::size_t>(j)] =
+            std::round(rounded[static_cast<std::size_t>(j)]);
+      }
+    }
+    if (!model.IsFeasible(rounded, 1e-6))
+      return;
+    const double value = sense * model.ObjectiveValue(rounded);
+    if (value > incumbent_max) {
+      incumbent_max = value;
+      result.x = std::move(rounded);
+      result.objective = sense * incumbent_max;
+      result.status = MipStatus::kFeasible;
+    }
+  };
+
+  /**
+   * Greedy dive: from a fractional LP solution, fix every near-integral
+   * integer variable at once (plus the most fractional one, rounded),
+   * re-solve, and repeat. Bulk fixing reaches integer-feasible points in
+   * a handful of LP solves even for hundreds of binaries, which is what
+   * makes large single-batch (Oracle-style) models productive within
+   * small budgets. If a bulk step goes infeasible, retry fixing only the
+   * single most fractional variable before giving up.
+   */
+  auto dive = [&](BoundOverrides overrides, std::vector<double> x) {
+    if (overrides.empty())
+      overrides.assign(static_cast<std::size_t>(model.NumVariables()),
+                       std::nullopt);
+    for (int step = 0; step < options_.dive_depth; ++step) {
+      if (Clock::now() > deadline)
+        return;
+      const int j =
+          PickBranchVariable(model, x, options_.integrality_tolerance);
+      if (j < 0) {
+        accept_incumbent(x);
+        return;
+      }
+      BoundOverrides bulk = overrides;
+      constexpr double kNearIntegral = 0.05;
+      for (int v = 0; v < model.NumVariables(); ++v) {
+        if (!model.variables()[static_cast<std::size_t>(v)].is_integer)
+          continue;
+        const double value = x[static_cast<std::size_t>(v)];
+        const double rounded = std::round(value);
+        if (std::fabs(value - rounded) <= kNearIntegral)
+          bulk[static_cast<std::size_t>(v)] = {rounded, rounded};
+      }
+      const double target = std::round(x[static_cast<std::size_t>(j)]);
+      bulk[static_cast<std::size_t>(j)] = {target, target};
+
+      LpResult sub = lp.SolveWithBounds(model, bulk);
+      if (sub.IsOptimal()) {
+        overrides = std::move(bulk);
+      } else {
+        // Bulk step infeasible: fall back to fixing just one variable.
+        overrides[static_cast<std::size_t>(j)] = {target, target};
+        sub = lp.SolveWithBounds(model, overrides);
+        if (!sub.IsOptimal())
+          return;  // dive dead-ends; fine, it is only a heuristic
+      }
+      x = sub.x;
+    }
+  };
+
+  if (!options_.warm_start.empty() &&
+      static_cast<int>(options_.warm_start.size()) == model.NumVariables())
+    accept_incumbent(options_.warm_start);
+
+  // Root relaxation.
+  const LpResult root = lp.Solve(model);
+  if (root.status == LpStatus::kInfeasible) {
+    result.status = MipStatus::kInfeasible;
+    return result;
+  }
+  if (root.status == LpStatus::kUnbounded) {
+    // With all binaries bounded this means a continuous ray; treat as a
+    // configuration error rather than guessing.
+    FLEX_CONFIG_ERROR("MILP relaxation is unbounded");
+  }
+  FLEX_REQUIRE(root.IsOptimal(), "root LP failed to converge");
+
+  double best_bound_max = sense * root.objective;
+  if (integral(root.x)) {
+    accept_incumbent(root.x);
+    result.status = MipStatus::kOptimal;
+    result.bound = root.objective;
+    result.gap = 0.0;
+    result.nodes_explored = 1;
+    return result;
+  }
+  dive(BoundOverrides{}, root.x);
+
+  std::priority_queue<std::shared_ptr<Node>,
+                      std::vector<std::shared_ptr<Node>>, WorseBound>
+      open;
+  open.push(std::make_shared<Node>(
+      Node{BoundOverrides{}, best_bound_max, 0}));
+
+  bool exhausted_budget = false;
+  while (!open.empty()) {
+    if (Clock::now() > deadline ||
+        result.nodes_explored >= options_.max_nodes) {
+      exhausted_budget = true;
+      break;
+    }
+    auto node = open.top();
+    open.pop();
+    best_bound_max = node->bound;
+    if (incumbent_max > -kInf &&
+        RelativeGap(best_bound_max, incumbent_max) <=
+            options_.gap_tolerance) {
+      // Best open bound already proves the incumbent (near-)optimal.
+      best_bound_max = std::max(best_bound_max, incumbent_max);
+      break;
+    }
+
+    const LpResult relax = lp.SolveWithBounds(model, node->overrides);
+    ++result.nodes_explored;
+    if (!relax.IsOptimal())
+      continue;  // infeasible subtree (or stalled LP): prune
+    const double node_bound = sense * relax.objective;
+    if (node_bound <= incumbent_max + 1e-9)
+      continue;  // cannot improve the incumbent
+
+    const int j =
+        PickBranchVariable(model, relax.x, options_.integrality_tolerance);
+    if (j < 0) {
+      accept_incumbent(relax.x);
+      continue;
+    }
+    if (node->depth == 0 || (node->depth % 8) == 0)
+      dive(node->overrides, relax.x);
+
+    const double value = relax.x[static_cast<std::size_t>(j)];
+    const double floor_value = std::floor(value);
+    const Variable& var = model.variables()[static_cast<std::size_t>(j)];
+
+    for (int side = 0; side < 2; ++side) {
+      BoundOverrides child = node->overrides;
+      if (child.empty())
+        child.assign(static_cast<std::size_t>(model.NumVariables()),
+                     std::nullopt);
+      double lo = var.lower;
+      double hi = var.upper;
+      if (child[static_cast<std::size_t>(j)]) {
+        lo = child[static_cast<std::size_t>(j)]->first;
+        hi = child[static_cast<std::size_t>(j)]->second;
+      }
+      if (side == 0)
+        hi = std::min(hi, floor_value);  // x_j <= floor
+      else
+        lo = std::max(lo, floor_value + 1.0);  // x_j >= ceil
+      if (lo > hi + 1e-12)
+        continue;
+      child[static_cast<std::size_t>(j)] = {lo, hi};
+      open.push(std::make_shared<Node>(
+          Node{std::move(child), node_bound, node->depth + 1}));
+    }
+  }
+
+  if (!open.empty() && exhausted_budget) {
+    // The tightest open bound still caps the optimum.
+    best_bound_max = std::max(best_bound_max, open.top()->bound);
+  }
+  if (open.empty() && !exhausted_budget) {
+    // Tree fully explored: the incumbent (if any) is optimal.
+    best_bound_max = incumbent_max;
+  }
+
+  result.bound = sense * best_bound_max;
+  if (incumbent_max > -kInf) {
+    result.gap = RelativeGap(best_bound_max, incumbent_max);
+    result.status = result.gap <= options_.gap_tolerance + 1e-12
+                        ? MipStatus::kOptimal
+                        : MipStatus::kFeasible;
+  } else {
+    result.status =
+        exhausted_budget ? MipStatus::kNoSolution : MipStatus::kInfeasible;
+  }
+  return result;
+}
+
+}  // namespace flex::solver

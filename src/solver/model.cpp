@@ -1,0 +1,121 @@
+#include "model.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace flex::solver {
+
+VarIndex
+Model::AddContinuous(std::string name, double lower, double upper,
+                     double objective)
+{
+  FLEX_REQUIRE(lower <= upper, "variable lower bound exceeds upper bound");
+  variables_.push_back(
+      Variable{std::move(name), lower, upper, objective, false});
+  return static_cast<VarIndex>(variables_.size()) - 1;
+}
+
+VarIndex
+Model::AddBinary(std::string name, double objective)
+{
+  variables_.push_back(Variable{std::move(name), 0.0, 1.0, objective, true});
+  return static_cast<VarIndex>(variables_.size()) - 1;
+}
+
+VarIndex
+Model::AddInteger(std::string name, double lower, double upper,
+                  double objective)
+{
+  FLEX_REQUIRE(lower <= upper, "variable lower bound exceeds upper bound");
+  variables_.push_back(
+      Variable{std::move(name), lower, upper, objective, true});
+  return static_cast<VarIndex>(variables_.size()) - 1;
+}
+
+int
+Model::AddConstraint(Constraint constraint)
+{
+  for (const auto& [var, coef] : constraint.terms) {
+    FLEX_REQUIRE(var >= 0 && var < NumVariables(),
+                 "constraint references unknown variable");
+    (void)coef;
+  }
+  constraints_.push_back(std::move(constraint));
+  return static_cast<int>(constraints_.size()) - 1;
+}
+
+int
+Model::AddConstraint(std::string name,
+                     std::vector<std::pair<VarIndex, double>> terms,
+                     Relation relation, double rhs)
+{
+  return AddConstraint(
+      Constraint{std::move(name), std::move(terms), relation, rhs});
+}
+
+void
+Model::SetObjective(VarIndex var, double coefficient)
+{
+  FLEX_REQUIRE(var >= 0 && var < NumVariables(), "unknown variable");
+  variables_[static_cast<std::size_t>(var)].objective = coefficient;
+}
+
+std::vector<VarIndex>
+Model::IntegerVariables() const
+{
+  std::vector<VarIndex> indices;
+  for (int i = 0; i < NumVariables(); ++i) {
+    if (variables_[static_cast<std::size_t>(i)].is_integer)
+      indices.push_back(i);
+  }
+  return indices;
+}
+
+double
+Model::ObjectiveValue(const std::vector<double>& x) const
+{
+  FLEX_CHECK(static_cast<int>(x.size()) == NumVariables());
+  double value = 0.0;
+  for (int i = 0; i < NumVariables(); ++i)
+    value += variables_[static_cast<std::size_t>(i)].objective *
+             x[static_cast<std::size_t>(i)];
+  return value;
+}
+
+bool
+Model::IsFeasible(const std::vector<double>& x, double tolerance) const
+{
+  if (static_cast<int>(x.size()) != NumVariables())
+    return false;
+  for (int i = 0; i < NumVariables(); ++i) {
+    const Variable& v = variables_[static_cast<std::size_t>(i)];
+    const double xi = x[static_cast<std::size_t>(i)];
+    if (xi < v.lower - tolerance || xi > v.upper + tolerance)
+      return false;
+    if (v.is_integer && std::fabs(xi - std::round(xi)) > tolerance)
+      return false;
+  }
+  for (const Constraint& c : constraints_) {
+    double lhs = 0.0;
+    for (const auto& [var, coef] : c.terms)
+      lhs += coef * x[static_cast<std::size_t>(var)];
+    switch (c.relation) {
+      case Relation::kLessEqual:
+        if (lhs > c.rhs + tolerance)
+          return false;
+        break;
+      case Relation::kGreaterEqual:
+        if (lhs < c.rhs - tolerance)
+          return false;
+        break;
+      case Relation::kEqual:
+        if (std::fabs(lhs - c.rhs) > tolerance)
+          return false;
+        break;
+    }
+  }
+  return true;
+}
+
+}  // namespace flex::solver

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Mixed-integer linear program model description.
+ *
+ * Flex-Offline's placement problem (paper Eq. 1-5) is expressed against
+ * this API and solved by the bundled simplex + branch-and-bound solver,
+ * substituting for the Gurobi dependency of the original system.
+ */
+#ifndef FLEX_SOLVER_MODEL_HPP_
+#define FLEX_SOLVER_MODEL_HPP_
+
+#include <limits>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace flex::solver {
+
+/** Index of a decision variable within a Model. */
+using VarIndex = int;
+
+/** Relation of a linear constraint's left-hand side to its bound. */
+enum class Relation { kLessEqual, kGreaterEqual, kEqual };
+
+/** Optimization direction. */
+enum class Sense { kMaximize, kMinimize };
+
+/** One decision variable. */
+struct Variable {
+  std::string name;
+  double lower = 0.0;
+  double upper = std::numeric_limits<double>::infinity();
+  double objective = 0.0;  ///< coefficient in the objective
+  bool is_integer = false;
+};
+
+/** One linear constraint: sum(coef * var) <rel> rhs. */
+struct Constraint {
+  std::string name;
+  std::vector<std::pair<VarIndex, double>> terms;
+  Relation relation = Relation::kLessEqual;
+  double rhs = 0.0;
+};
+
+/**
+ * A mutable MILP model.
+ *
+ * Variables and constraints are appended; the solvers read the model
+ * without mutating it, so one model can be solved repeatedly with
+ * different variable-bound overrides (used by branch-and-bound).
+ */
+class Model {
+ public:
+  /** Adds a continuous variable; returns its index. */
+  VarIndex AddContinuous(std::string name, double lower, double upper,
+                         double objective = 0.0);
+
+  /** Adds a binary (0/1 integer) variable; returns its index. */
+  VarIndex AddBinary(std::string name, double objective = 0.0);
+
+  /** Adds a general integer variable with the given bounds. */
+  VarIndex AddInteger(std::string name, double lower, double upper,
+                      double objective = 0.0);
+
+  /** Adds a constraint; returns its row index. */
+  int AddConstraint(Constraint constraint);
+
+  /** Convenience for building a constraint in one call. */
+  int AddConstraint(std::string name,
+                    std::vector<std::pair<VarIndex, double>> terms,
+                    Relation relation, double rhs);
+
+  void SetSense(Sense sense) { sense_ = sense; }
+  Sense sense() const { return sense_; }
+
+  /** Overwrites a variable's objective coefficient. */
+  void SetObjective(VarIndex var, double coefficient);
+
+  const std::vector<Variable>& variables() const { return variables_; }
+  const std::vector<Constraint>& constraints() const { return constraints_; }
+
+  int NumVariables() const { return static_cast<int>(variables_.size()); }
+  int NumConstraints() const { return static_cast<int>(constraints_.size()); }
+
+  /** Indices of the integer variables. */
+  std::vector<VarIndex> IntegerVariables() const;
+
+  /**
+   * Evaluates the objective at @p x (must have NumVariables entries).
+   */
+  double ObjectiveValue(const std::vector<double>& x) const;
+
+  /**
+   * True when @p x satisfies all constraints and bounds within
+   * @p tolerance (integrality of integer variables included).
+   */
+  bool IsFeasible(const std::vector<double>& x, double tolerance = 1e-6) const;
+
+ private:
+  std::vector<Variable> variables_;
+  std::vector<Constraint> constraints_;
+  Sense sense_ = Sense::kMaximize;
+};
+
+}  // namespace flex::solver
+
+#endif  // FLEX_SOLVER_MODEL_HPP_

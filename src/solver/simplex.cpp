@@ -1,0 +1,448 @@
+#include "simplex.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace flex::solver {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/**
+ * Internal standard-form problem: maximize c^T y, A y = b, 0 <= y, with
+ * b >= 0 and an identity starting basis of slacks/artificials.
+ */
+struct Tableau {
+  int rows = 0;                    // constraint rows
+  int cols = 0;                    // structural + slack + artificial columns
+  std::vector<std::vector<double>> a;  // rows x (cols + 1); last col = rhs
+  std::vector<double> phase2_cost;     // c for phase 2, per column
+  std::vector<int> basis;              // basic column per row
+  std::vector<bool> artificial;        // per column
+};
+
+class TableauSolver {
+ public:
+  TableauSolver(Tableau tab, double tol, int max_iters)
+      : t_(std::move(tab)), tol_(tol), max_iters_(max_iters)
+  {
+  }
+
+  LpStatus Run();
+
+  /** Value of column @p j in the current basic solution. */
+  double
+  ColumnValue(int j) const
+  {
+    for (int i = 0; i < t_.rows; ++i) {
+      if (t_.basis[static_cast<std::size_t>(i)] == j)
+        return t_.a[static_cast<std::size_t>(i)][static_cast<std::size_t>(t_.cols)];
+    }
+    return 0.0;
+  }
+
+ private:
+  /** Rebuilds the reduced-cost row for the given column costs. */
+  void PriceOut(const std::vector<double>& cost);
+
+  /** One simplex phase; @p allow_artificial permits artificials entering. */
+  LpStatus Phase(bool allow_artificial);
+
+  void Pivot(int row, int col);
+
+  Tableau t_;
+  std::vector<double> reduced_;  // size cols + 1; last entry = objective
+  double tol_;
+  int max_iters_;
+};
+
+void
+TableauSolver::PriceOut(const std::vector<double>& cost)
+{
+  reduced_.assign(static_cast<std::size_t>(t_.cols) + 1, 0.0);
+  // reduced[j] = z_j - c_j where z_j = c_B^T (B^-1 A_j); the tableau rows
+  // already hold B^-1 A.
+  for (int j = 0; j <= t_.cols; ++j) {
+    double z = 0.0;
+    for (int i = 0; i < t_.rows; ++i) {
+      const double cb = cost[static_cast<std::size_t>(
+          t_.basis[static_cast<std::size_t>(i)])];
+      if (cb != 0.0)
+        z += cb * t_.a[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)];
+    }
+    reduced_[static_cast<std::size_t>(j)] = z;
+  }
+  for (int j = 0; j < t_.cols; ++j)
+    reduced_[static_cast<std::size_t>(j)] -= cost[static_cast<std::size_t>(j)];
+}
+
+void
+TableauSolver::Pivot(int row, int col)
+{
+  auto& pivot_row = t_.a[static_cast<std::size_t>(row)];
+  const double pivot = pivot_row[static_cast<std::size_t>(col)];
+  FLEX_CHECK_MSG(std::fabs(pivot) > 1e-12, "zero pivot element");
+  for (double& value : pivot_row)
+    value /= pivot;
+  for (int i = 0; i < t_.rows; ++i) {
+    if (i == row)
+      continue;
+    auto& other = t_.a[static_cast<std::size_t>(i)];
+    const double factor = other[static_cast<std::size_t>(col)];
+    if (factor == 0.0)
+      continue;
+    for (int j = 0; j <= t_.cols; ++j)
+      other[static_cast<std::size_t>(j)] -=
+          factor * pivot_row[static_cast<std::size_t>(j)];
+    other[static_cast<std::size_t>(col)] = 0.0;
+  }
+  const double rfactor = reduced_[static_cast<std::size_t>(col)];
+  if (rfactor != 0.0) {
+    for (int j = 0; j <= t_.cols; ++j)
+      reduced_[static_cast<std::size_t>(j)] -=
+          rfactor * pivot_row[static_cast<std::size_t>(j)];
+    reduced_[static_cast<std::size_t>(col)] = 0.0;
+  }
+  t_.basis[static_cast<std::size_t>(row)] = col;
+}
+
+LpStatus
+TableauSolver::Phase(bool allow_artificial)
+{
+  int iterations = 0;
+  int stalled = 0;
+  const int bland_threshold = 2 * (t_.rows + t_.cols);
+  double last_objective = -kInf;
+  while (true) {
+    if (++iterations > max_iters_)
+      return LpStatus::kIterationLimit;
+
+    const bool use_bland = stalled > bland_threshold;
+    int entering = -1;
+    double best = -tol_;
+    for (int j = 0; j < t_.cols; ++j) {
+      if (!allow_artificial && t_.artificial[static_cast<std::size_t>(j)])
+        continue;
+      const double rc = reduced_[static_cast<std::size_t>(j)];
+      if (rc < best - 1e-15) {
+        if (use_bland) {
+          // Bland: first improving index.
+          entering = j;
+          break;
+        }
+        best = rc;
+        entering = j;
+      }
+    }
+    if (entering < 0)
+      return LpStatus::kOptimal;
+
+    // Ratio test.
+    int leaving = -1;
+    double best_ratio = kInf;
+    for (int i = 0; i < t_.rows; ++i) {
+      const double aij =
+          t_.a[static_cast<std::size_t>(i)][static_cast<std::size_t>(entering)];
+      if (aij > tol_) {
+        const double ratio =
+            t_.a[static_cast<std::size_t>(i)][static_cast<std::size_t>(t_.cols)] /
+            aij;
+        if (ratio < best_ratio - 1e-12 ||
+            (use_bland && std::fabs(ratio - best_ratio) <= 1e-12 &&
+             leaving >= 0 &&
+             t_.basis[static_cast<std::size_t>(i)] <
+                 t_.basis[static_cast<std::size_t>(leaving)])) {
+          best_ratio = ratio;
+          leaving = i;
+        }
+      }
+    }
+    if (leaving < 0)
+      return LpStatus::kUnbounded;
+
+    Pivot(leaving, entering);
+
+    const double objective = reduced_[static_cast<std::size_t>(t_.cols)];
+    if (objective > last_objective + tol_) {
+      stalled = 0;
+      last_objective = objective;
+    } else {
+      ++stalled;
+    }
+  }
+}
+
+LpStatus
+TableauSolver::Run()
+{
+  // Phase 1: maximize -(sum of artificials).
+  bool has_artificial = false;
+  std::vector<double> phase1_cost(static_cast<std::size_t>(t_.cols), 0.0);
+  for (int j = 0; j < t_.cols; ++j) {
+    if (t_.artificial[static_cast<std::size_t>(j)]) {
+      phase1_cost[static_cast<std::size_t>(j)] = -1.0;
+      has_artificial = true;
+    }
+  }
+
+  if (has_artificial) {
+    PriceOut(phase1_cost);
+    const LpStatus status = Phase(/*allow_artificial=*/true);
+    if (status != LpStatus::kOptimal)
+      return status == LpStatus::kUnbounded ? LpStatus::kInfeasible : status;
+    // The z-row rhs holds the phase-1 objective -(sum of artificials),
+    // which is <= 0; a strictly negative optimum means infeasible.
+    const double phase1_objective = reduced_[static_cast<std::size_t>(t_.cols)];
+    if (phase1_objective < -1e-6)
+      return LpStatus::kInfeasible;
+    // Drive basic artificials out where possible; remaining ones sit at
+    // zero and are forbidden from re-entering in phase 2.
+    for (int i = 0; i < t_.rows; ++i) {
+      const int b = t_.basis[static_cast<std::size_t>(i)];
+      if (!t_.artificial[static_cast<std::size_t>(b)])
+        continue;
+      for (int j = 0; j < t_.cols; ++j) {
+        if (t_.artificial[static_cast<std::size_t>(j)])
+          continue;
+        if (std::fabs(t_.a[static_cast<std::size_t>(i)]
+                          [static_cast<std::size_t>(j)]) > tol_) {
+          Pivot(i, j);
+          break;
+        }
+      }
+    }
+  }
+
+  PriceOut(t_.phase2_cost);
+  return Phase(/*allow_artificial=*/false);
+}
+
+}  // namespace
+
+LpResult
+SimplexSolver::Solve(const Model& model) const
+{
+  return SolveWithBounds(model, BoundOverrides{});
+}
+
+LpResult
+SimplexSolver::SolveWithBounds(const Model& model,
+                               const BoundOverrides& overrides) const
+{
+  const int n = model.NumVariables();
+  FLEX_REQUIRE(overrides.empty() || static_cast<int>(overrides.size()) == n,
+               "bound overrides must be empty or cover every variable");
+
+  // Effective bounds.
+  std::vector<double> lower(static_cast<std::size_t>(n));
+  std::vector<double> upper(static_cast<std::size_t>(n));
+  for (int j = 0; j < n; ++j) {
+    const Variable& v = model.variables()[static_cast<std::size_t>(j)];
+    double lo = v.lower;
+    double hi = v.upper;
+    if (!overrides.empty() && overrides[static_cast<std::size_t>(j)]) {
+      lo = std::max(lo, overrides[static_cast<std::size_t>(j)]->first);
+      hi = std::min(hi, overrides[static_cast<std::size_t>(j)]->second);
+    }
+    if (lo > hi + 1e-12) {
+      LpResult infeasible;
+      infeasible.status = LpStatus::kInfeasible;
+      return infeasible;
+    }
+    FLEX_REQUIRE(std::isfinite(lo),
+                 "simplex requires finite lower bounds on all variables");
+    lower[static_cast<std::size_t>(j)] = lo;
+    upper[static_cast<std::size_t>(j)] = hi;
+  }
+
+  // Shift y_j = x_j - lower_j. Fixed variables (lo == hi) become constants
+  // and drop out of the LP entirely.
+  std::vector<int> column_of(static_cast<std::size_t>(n), -1);
+  int n_struct = 0;
+  for (int j = 0; j < n; ++j) {
+    if (upper[static_cast<std::size_t>(j)] -
+            lower[static_cast<std::size_t>(j)] > 1e-12)
+      column_of[static_cast<std::size_t>(j)] = n_struct++;
+  }
+
+  const double sign = model.sense() == Sense::kMaximize ? 1.0 : -1.0;
+
+  // Rows: model constraints with constants substituted, plus finite upper
+  // bounds on the shifted variables.
+  struct Row {
+    std::vector<double> coef;  // dense over structural columns
+    Relation relation;
+    double rhs;
+  };
+  std::vector<Row> rows;
+  rows.reserve(model.constraints().size() + static_cast<std::size_t>(n));
+  for (const Constraint& c : model.constraints()) {
+    Row row;
+    row.coef.assign(static_cast<std::size_t>(n_struct), 0.0);
+    row.relation = c.relation;
+    row.rhs = c.rhs;
+    for (const auto& [var, coef] : c.terms) {
+      row.rhs -= coef * lower[static_cast<std::size_t>(var)];
+      const int col = column_of[static_cast<std::size_t>(var)];
+      if (col >= 0)
+        row.coef[static_cast<std::size_t>(col)] += coef;
+    }
+    rows.push_back(std::move(row));
+  }
+  // Upper bounds become explicit rows, except where a model constraint
+  // already implies them: if some all-non-negative <= row contains the
+  // (shifted) variable with coefficient a > 0 and rhs/a <= bound, then
+  // y_j <= rhs/a holds at any feasible point and the extra row would be
+  // redundant. This prunes the x <= 1 rows of binary placement
+  // indicators (they are implied by the "place once" constraints),
+  // which shrinks the tableau dramatically.
+  const std::size_t model_rows = rows.size();
+  std::vector<bool> row_usable(model_rows, false);
+  for (std::size_t r = 0; r < model_rows; ++r) {
+    const Row& row = rows[r];
+    if (row.relation != Relation::kLessEqual || row.rhs < 0.0)
+      continue;
+    bool all_non_negative = true;
+    for (const double c : row.coef) {
+      if (c < 0.0) {
+        all_non_negative = false;
+        break;
+      }
+    }
+    row_usable[r] = all_non_negative;
+  }
+  for (int j = 0; j < n; ++j) {
+    const int col = column_of[static_cast<std::size_t>(j)];
+    if (col < 0 || !std::isfinite(upper[static_cast<std::size_t>(j)]))
+      continue;
+    const double bound = upper[static_cast<std::size_t>(j)] -
+                         lower[static_cast<std::size_t>(j)];
+    bool implied = false;
+    for (std::size_t r = 0; r < model_rows && !implied; ++r) {
+      if (!row_usable[r])
+        continue;
+      const double a = rows[r].coef[static_cast<std::size_t>(col)];
+      implied = a > 0.0 && rows[r].rhs / a <= bound + 1e-12;
+    }
+    if (implied)
+      continue;
+    Row row;
+    row.coef.assign(static_cast<std::size_t>(n_struct), 0.0);
+    row.coef[static_cast<std::size_t>(col)] = 1.0;
+    row.relation = Relation::kLessEqual;
+    row.rhs = bound;
+    rows.push_back(std::move(row));
+  }
+
+  // Objective constant from fixed variables and bound shifts.
+  double objective_shift = 0.0;
+  for (int j = 0; j < n; ++j) {
+    objective_shift += model.variables()[static_cast<std::size_t>(j)].objective *
+                       lower[static_cast<std::size_t>(j)];
+  }
+
+  // Assemble the tableau: structural | slack/surplus | artificial.
+  const int m = static_cast<int>(rows.size());
+  int n_slack = 0;
+  int n_artificial = 0;
+  for (Row& row : rows) {
+    if (row.rhs < 0.0) {
+      // Normalize to rhs >= 0.
+      for (double& c : row.coef)
+        c = -c;
+      row.rhs = -row.rhs;
+      if (row.relation == Relation::kLessEqual)
+        row.relation = Relation::kGreaterEqual;
+      else if (row.relation == Relation::kGreaterEqual)
+        row.relation = Relation::kLessEqual;
+    }
+    switch (row.relation) {
+      case Relation::kLessEqual:
+        ++n_slack;
+        break;
+      case Relation::kGreaterEqual:
+        ++n_slack;
+        ++n_artificial;
+        break;
+      case Relation::kEqual:
+        ++n_artificial;
+        break;
+    }
+  }
+
+  Tableau tab;
+  tab.rows = m;
+  tab.cols = n_struct + n_slack + n_artificial;
+  tab.a.assign(static_cast<std::size_t>(m),
+               std::vector<double>(static_cast<std::size_t>(tab.cols) + 1, 0.0));
+  tab.phase2_cost.assign(static_cast<std::size_t>(tab.cols), 0.0);
+  tab.basis.assign(static_cast<std::size_t>(m), -1);
+  tab.artificial.assign(static_cast<std::size_t>(tab.cols), false);
+
+  for (int j = 0; j < n; ++j) {
+    const int col = column_of[static_cast<std::size_t>(j)];
+    if (col >= 0) {
+      tab.phase2_cost[static_cast<std::size_t>(col)] =
+          sign * model.variables()[static_cast<std::size_t>(j)].objective;
+    }
+  }
+
+  int next_slack = n_struct;
+  int next_artificial = n_struct + n_slack;
+  for (int i = 0; i < m; ++i) {
+    const Row& row = rows[static_cast<std::size_t>(i)];
+    auto& tab_row = tab.a[static_cast<std::size_t>(i)];
+    for (int j = 0; j < n_struct; ++j)
+      tab_row[static_cast<std::size_t>(j)] = row.coef[static_cast<std::size_t>(j)];
+    tab_row[static_cast<std::size_t>(tab.cols)] = row.rhs;
+    switch (row.relation) {
+      case Relation::kLessEqual:
+        tab_row[static_cast<std::size_t>(next_slack)] = 1.0;
+        tab.basis[static_cast<std::size_t>(i)] = next_slack;
+        ++next_slack;
+        break;
+      case Relation::kGreaterEqual:
+        tab_row[static_cast<std::size_t>(next_slack)] = -1.0;
+        ++next_slack;
+        tab_row[static_cast<std::size_t>(next_artificial)] = 1.0;
+        tab.artificial[static_cast<std::size_t>(next_artificial)] = true;
+        tab.basis[static_cast<std::size_t>(i)] = next_artificial;
+        ++next_artificial;
+        break;
+      case Relation::kEqual:
+        tab_row[static_cast<std::size_t>(next_artificial)] = 1.0;
+        tab.artificial[static_cast<std::size_t>(next_artificial)] = true;
+        tab.basis[static_cast<std::size_t>(i)] = next_artificial;
+        ++next_artificial;
+        break;
+    }
+  }
+
+  const int max_iters = options_.max_iterations > 0
+                            ? options_.max_iterations
+                            : 50 * (tab.rows + tab.cols) + 1000;
+  TableauSolver solver(std::move(tab), options_.tolerance, max_iters);
+  const LpStatus status = solver.Run();
+
+  LpResult result;
+  result.status = status;
+  if (status != LpStatus::kOptimal)
+    return result;
+
+  result.x.assign(static_cast<std::size_t>(n), 0.0);
+  for (int j = 0; j < n; ++j) {
+    const int col = column_of[static_cast<std::size_t>(j)];
+    const double shifted = col >= 0 ? solver.ColumnValue(col) : 0.0;
+    result.x[static_cast<std::size_t>(j)] =
+        lower[static_cast<std::size_t>(j)] + shifted;
+  }
+  result.objective = model.ObjectiveValue(result.x);
+  (void)objective_shift;  // folded into ObjectiveValue via result.x
+  return result;
+}
+
+}  // namespace flex::solver

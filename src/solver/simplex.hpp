@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Dense two-phase primal simplex solver for linear programs.
+ *
+ * Solves the LP relaxation of a Model (integrality ignored). Variable
+ * bounds may be overridden per solve, which is how branch-and-bound fixes
+ * binaries without copying the model. The implementation is a classic
+ * textbook tableau simplex with Dantzig pricing and a Bland's-rule
+ * fallback for anti-cycling; the placement LPs it targets are small
+ * (hundreds of columns), so a dense tableau is both simple and fast
+ * enough.
+ */
+#ifndef FLEX_SOLVER_SIMPLEX_HPP_
+#define FLEX_SOLVER_SIMPLEX_HPP_
+
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "solver/model.hpp"
+
+namespace flex::solver {
+
+/** Outcome of an LP solve. */
+enum class LpStatus { kOptimal, kInfeasible, kUnbounded, kIterationLimit };
+
+/** Solution of an LP solve. */
+struct LpResult {
+  LpStatus status = LpStatus::kIterationLimit;
+  double objective = 0.0;               ///< in the model's original sense
+  std::vector<double> x;                ///< one entry per model variable
+
+  bool IsOptimal() const { return status == LpStatus::kOptimal; }
+};
+
+/** Per-variable [lower, upper] override used by branch-and-bound. */
+using BoundOverrides = std::vector<std::optional<std::pair<double, double>>>;
+
+/**
+ * Dense two-phase simplex.
+ *
+ * Stateless between solves; safe to reuse for many LPs.
+ */
+class SimplexSolver {
+ public:
+  struct Options {
+    double tolerance = 1e-9;        ///< pivoting / feasibility tolerance
+    int max_iterations = 0;         ///< 0 = automatic (50 * (rows + cols))
+  };
+
+  SimplexSolver() = default;
+  explicit SimplexSolver(Options options) : options_(options) {}
+
+  /** Solves the LP relaxation of @p model. */
+  LpResult Solve(const Model& model) const;
+
+  /**
+   * Solves with per-variable bound overrides; @p overrides may be empty
+   * (same as Solve) or have one entry per variable.
+   */
+  LpResult SolveWithBounds(const Model& model,
+                           const BoundOverrides& overrides) const;
+
+ private:
+  Options options_;
+};
+
+}  // namespace flex::solver
+
+#endif  // FLEX_SOLVER_SIMPLEX_HPP_

@@ -1,0 +1,74 @@
+#include "meter.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace flex::telemetry {
+
+PhysicalMeter::PhysicalMeter(MeterConfig config, Rng rng)
+    : config_(config), rng_(rng)
+{
+  FLEX_REQUIRE(config_.noise_fraction >= 0.0, "negative meter noise");
+  FLEX_REQUIRE(config_.refresh_interval.value() >= 0.0,
+               "negative refresh interval");
+  FLEX_REQUIRE(config_.misread_probability >= 0.0 &&
+                   config_.misread_probability <= 1.0,
+               "misread probability must be in [0, 1]");
+}
+
+std::optional<Watts>
+PhysicalMeter::Sample(Seconds now, Watts true_value)
+{
+  if (failed_)
+    return std::nullopt;
+  if (!has_cache_ ||
+      (now - last_refresh_).value() >= config_.refresh_interval.value()) {
+    double value = true_value.value() *
+                   (1.0 + config_.noise_fraction * rng_.Normal());
+    if (rng_.Bernoulli(config_.misread_probability))
+      value *= 3.0;  // gross misreading: corrupted scale factor
+    cached_ = Watts(std::max(0.0, value));
+    last_refresh_ = now;
+    has_cache_ = true;
+  }
+  return cached_;
+}
+
+LogicalMeter::LogicalMeter(int redundancy, MeterConfig config, Rng& seed_rng)
+{
+  FLEX_REQUIRE(redundancy >= 1, "logical meter needs at least one meter");
+  meters_.reserve(static_cast<std::size_t>(redundancy));
+  for (int i = 0; i < redundancy; ++i)
+    meters_.emplace_back(config, seed_rng.Fork());
+}
+
+std::optional<Watts>
+LogicalMeter::Read(Seconds now, Watts true_value)
+{
+  std::vector<double> readings;
+  readings.reserve(meters_.size());
+  for (PhysicalMeter& meter : meters_) {
+    if (const auto reading = meter.Sample(now, true_value))
+      readings.push_back(reading->value());
+  }
+  // Quorum rule: a single meter cannot be trusted when the design calls
+  // for redundancy — except in the degenerate single-meter configuration.
+  const std::size_t quorum = meters_.size() >= 2 ? 2 : 1;
+  if (readings.size() < quorum)
+    return std::nullopt;
+  std::sort(readings.begin(), readings.end());
+  const std::size_t n = readings.size();
+  if (n % 2 == 1)
+    return Watts(readings[n / 2]);
+  return Watts(0.5 * (readings[n / 2 - 1] + readings[n / 2]));
+}
+
+PhysicalMeter&
+LogicalMeter::meter(int index)
+{
+  FLEX_REQUIRE(index >= 0 && index < redundancy(), "meter index out of range");
+  return meters_[static_cast<std::size_t>(index)];
+}
+
+}  // namespace flex::telemetry

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Power meter models with realistic failure modes.
+ *
+ * The paper's production lessons (Section VI) call out exactly the
+ * defects modeled here: meters that return a stale value for seconds at
+ * a time ("repeated polling of the UPS meters would often return the
+ * same value for up to 5 seconds"), reading noise, and outright meter
+ * failure. A logical meter reaches consensus over three physical meters
+ * so any single failure or misreading is tolerated (Section IV-C).
+ */
+#ifndef FLEX_TELEMETRY_METER_HPP_
+#define FLEX_TELEMETRY_METER_HPP_
+
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+
+namespace flex::telemetry {
+
+/** Behavioural knobs for one physical meter. */
+struct MeterConfig {
+  /** Multiplicative Gaussian reading noise (fraction of true value). */
+  double noise_fraction = 0.005;
+  /**
+   * Minimum time between output refreshes: polls within this window see
+   * the same cached value (the paper's ~5 s legacy UPS meters vs. the
+   * ~1 s dedicated Flex meters).
+   */
+  Seconds refresh_interval = Seconds(1.0);
+  /**
+   * Probability that any given refresh produces a gross misreading
+   * (modeled as a 3x over-report, i.e. corrupted scaling).
+   */
+  double misread_probability = 0.0;
+};
+
+/**
+ * One physical meter attached to a power signal.
+ *
+ * The meter holds a cached output that refreshes at most every
+ * refresh_interval; Sample() never sees the true value directly once the
+ * cache is warm. A failed meter returns no reading until restored.
+ */
+class PhysicalMeter {
+ public:
+  PhysicalMeter(MeterConfig config, Rng rng);
+
+  /**
+   * Samples the meter at simulated time @p now given the instantaneous
+   * true power @p true_value. Returns nullopt while failed.
+   */
+  std::optional<Watts> Sample(Seconds now, Watts true_value);
+
+  /** Marks the meter failed (no readings) or restores it. */
+  void SetFailed(bool failed) { failed_ = failed; }
+  bool failed() const { return failed_; }
+
+ private:
+  MeterConfig config_;
+  Rng rng_;
+  bool failed_ = false;
+  bool has_cache_ = false;
+  Seconds last_refresh_{-1e18};
+  Watts cached_;
+};
+
+/**
+ * Consensus over redundant physical meters measuring the same quantity.
+ *
+ * With three meters the median tolerates one failure or misreading;
+ * with two survivors the average is used; with fewer than two, no
+ * consensus is reached and the caller must treat data as missing.
+ */
+class LogicalMeter {
+ public:
+  /** Builds @p redundancy physical meters with the given config. */
+  LogicalMeter(int redundancy, MeterConfig config, Rng& seed_rng);
+
+  /** Consensus reading, or nullopt when quorum is lost. */
+  std::optional<Watts> Read(Seconds now, Watts true_value);
+
+  int redundancy() const { return static_cast<int>(meters_.size()); }
+
+  /** Direct access for failure injection in tests and demos. */
+  PhysicalMeter& meter(int index);
+
+ private:
+  std::vector<PhysicalMeter> meters_;
+};
+
+}  // namespace flex::telemetry
+
+#endif  // FLEX_TELEMETRY_METER_HPP_

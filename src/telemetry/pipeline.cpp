@@ -1,0 +1,173 @@
+#include "pipeline.hpp"
+
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace flex::telemetry {
+
+TelemetryPipeline::TelemetryPipeline(sim::EventQueue& queue,
+                                     const PowerSource& source, int num_ups,
+                                     int num_racks, PipelineConfig config,
+                                     std::uint64_t seed)
+    : queue_(queue),
+      source_(source),
+      config_(config),
+      num_ups_(num_ups),
+      num_racks_(num_racks)
+{
+  FLEX_REQUIRE(num_ups_ >= 0 && num_racks_ >= 0, "negative device count");
+  FLEX_REQUIRE(config_.num_pollers >= 1, "need at least one poller");
+  FLEX_REQUIRE(config_.num_buses >= 1, "need at least one bus");
+  FLEX_REQUIRE(config_.meters_per_device >= 1, "need at least one meter");
+  FLEX_REQUIRE(config_.ups_poll_period.value() > 0.0 &&
+                   config_.rack_poll_period.value() > 0.0,
+               "poll periods must be positive");
+
+  Rng seed_rng(seed);
+  jitter_rng_ = seed_rng.Fork();
+  ups_meters_.reserve(static_cast<std::size_t>(num_ups_));
+  for (int i = 0; i < num_ups_; ++i)
+    ups_meters_.emplace_back(config_.meters_per_device, config_.meter,
+                             seed_rng);
+  rack_meters_.reserve(static_cast<std::size_t>(num_racks_));
+  for (int i = 0; i < num_racks_; ++i)
+    rack_meters_.emplace_back(config_.meters_per_device, config_.meter,
+                              seed_rng);
+  poller_failed_.assign(static_cast<std::size_t>(config_.num_pollers), false);
+  bus_failed_.assign(static_cast<std::size_t>(config_.num_buses), false);
+}
+
+void
+TelemetryPipeline::Subscribe(Subscriber subscriber)
+{
+  FLEX_REQUIRE(static_cast<bool>(subscriber), "null subscriber");
+  subscribers_.push_back(std::move(subscriber));
+}
+
+void
+TelemetryPipeline::Start()
+{
+  FLEX_REQUIRE(!running_, "pipeline already started");
+  running_ = true;
+  for (int poller = 0; poller < config_.num_pollers; ++poller) {
+    const Seconds stagger = config_.poller_stagger * static_cast<double>(poller);
+    // UPS schedule.
+    queue_.Schedule(stagger, [this, poller] {
+      if (!running_)
+        return;
+      PollerTick(poller, DeviceKind::kUps);
+      sim::SchedulePeriodic(queue_, config_.ups_poll_period, [this, poller] {
+        if (!running_)
+          return false;
+        PollerTick(poller, DeviceKind::kUps);
+        return true;
+      });
+    });
+    // Rack schedule.
+    queue_.Schedule(stagger, [this, poller] {
+      if (!running_)
+        return;
+      PollerTick(poller, DeviceKind::kRack);
+      sim::SchedulePeriodic(queue_, config_.rack_poll_period, [this, poller] {
+        if (!running_)
+          return false;
+        PollerTick(poller, DeviceKind::kRack);
+        return true;
+      });
+    });
+  }
+}
+
+void
+TelemetryPipeline::Stop()
+{
+  running_ = false;
+}
+
+LogicalMeter&
+TelemetryPipeline::MeterFor(DeviceId device)
+{
+  if (device.kind == DeviceKind::kUps) {
+    FLEX_REQUIRE(device.index >= 0 && device.index < num_ups_,
+                 "UPS index out of range");
+    return ups_meters_[static_cast<std::size_t>(device.index)];
+  }
+  FLEX_REQUIRE(device.index >= 0 && device.index < num_racks_,
+               "rack index out of range");
+  return rack_meters_[static_cast<std::size_t>(device.index)];
+}
+
+void
+TelemetryPipeline::SetMeterFailed(DeviceId device, int meter_index,
+                                  bool failed)
+{
+  MeterFor(device).meter(meter_index).SetFailed(failed);
+}
+
+void
+TelemetryPipeline::SetPollerFailed(int poller, bool failed)
+{
+  FLEX_REQUIRE(poller >= 0 && poller < config_.num_pollers,
+               "poller index out of range");
+  poller_failed_[static_cast<std::size_t>(poller)] = failed;
+}
+
+void
+TelemetryPipeline::SetBusFailed(int bus, bool failed)
+{
+  FLEX_REQUIRE(bus >= 0 && bus < config_.num_buses, "bus index out of range");
+  bus_failed_[static_cast<std::size_t>(bus)] = failed;
+}
+
+void
+TelemetryPipeline::PollerTick(int poller, DeviceKind kind)
+{
+  if (poller_failed_[static_cast<std::size_t>(poller)])
+    return;
+
+  const int count = kind == DeviceKind::kUps ? num_ups_ : num_racks_;
+  // Sampling happens after the meter-to-poller network hop.
+  const Seconds sampled_at = queue_.Now();
+  std::vector<DeviceReading> batch;
+  batch.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    const DeviceId device{kind, i};
+    const Watts truth = source_.CurrentPower(device);
+    const auto reading = MeterFor(device).Read(sampled_at, truth);
+    if (!reading)
+      continue;  // no quorum: data missing for this device this tick
+    DeviceReading r;
+    r.device = device;
+    r.value = *reading;
+    r.sampled_at = sampled_at;
+    r.poller = poller;
+    batch.push_back(r);
+  }
+  if (batch.empty())
+    return;
+
+  // Publish through every live bus; subscribers see duplicates, which is
+  // intended (redundant delivery; controller actions are idempotent).
+  for (int bus = 0; bus < config_.num_buses; ++bus) {
+    if (bus_failed_[static_cast<std::size_t>(bus)])
+      continue;
+    const Seconds delay =
+        config_.network_latency + config_.bus_latency +
+        Seconds(jitter_rng_.Uniform(0.0, config_.delivery_jitter.value()));
+    queue_.Schedule(delay, [this, batch, bus] {
+      for (DeviceReading reading : batch) {
+        reading.bus = bus;
+        reading.delivered_at = queue_.Now();
+        ++delivered_count_;
+        const double latency = reading.DataLatency().value();
+        latency_stats_.Add(latency);
+        latency_samples_.push_back(latency);
+        for (const Subscriber& subscriber : subscribers_)
+          subscriber(reading);
+      }
+    });
+  }
+}
+
+}  // namespace flex::telemetry

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Highly available power telemetry pipeline (paper Section IV-C, Fig. 7).
+ *
+ * Wires logical meters (triple-redundant physical meters) through
+ * redundant pollers and redundant pub/sub buses to subscribers (the Flex
+ * controllers). Every stage can be failed independently; as long as one
+ * poller, one bus, and a meter quorum survive, readings keep flowing —
+ * there is no single point of failure.
+ */
+#ifndef FLEX_TELEMETRY_PIPELINE_HPP_
+#define FLEX_TELEMETRY_PIPELINE_HPP_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/units.hpp"
+#include "sim/event_queue.hpp"
+#include "telemetry/meter.hpp"
+
+namespace flex::telemetry {
+
+/** What kind of power device a reading describes. */
+enum class DeviceKind { kUps, kRack };
+
+/** Identifies a monitored device. */
+struct DeviceId {
+  DeviceKind kind = DeviceKind::kUps;
+  int index = 0;
+
+  bool
+  operator==(const DeviceId& other) const
+  {
+    return kind == other.kind && index == other.index;
+  }
+};
+
+/** A delivered power reading. */
+struct DeviceReading {
+  DeviceId device;
+  Watts value;
+  Seconds sampled_at;    ///< when the meter was read
+  Seconds delivered_at;  ///< when the subscriber received it
+  int poller = -1;
+  int bus = -1;
+
+  /** End-to-end data latency for this reading. */
+  Seconds DataLatency() const { return delivered_at - sampled_at; }
+};
+
+/** Supplies instantaneous ground-truth power for each device. */
+class PowerSource {
+ public:
+  virtual ~PowerSource() = default;
+  virtual Watts CurrentPower(DeviceId device) const = 0;
+};
+
+/** Configuration of the telemetry pipeline. */
+struct PipelineConfig {
+  int meters_per_device = 3;  ///< physical meters per logical meter
+  int num_pollers = 2;        ///< independent pollers (separate fault domains)
+  int num_buses = 2;          ///< independent pub/sub systems
+  Seconds ups_poll_period = Seconds(1.5);   ///< paper: ~1.5 s UPS telemetry
+  Seconds rack_poll_period = Seconds(2.0);  ///< paper: ~2 s rack telemetry
+  /** Stagger between pollers so they do not sample in lockstep. */
+  Seconds poller_stagger = Seconds(0.4);
+  /** Meter-to-poller network latency. */
+  Seconds network_latency = Milliseconds(60.0);
+  /** Pub/sub delivery latency (poller to subscriber). */
+  Seconds bus_latency = Milliseconds(250.0);
+  /**
+   * Uniform jitter added on top of each delivery (network queueing and
+   * pub/sub batching variability; the paper's "windowing delay").
+   */
+  Seconds delivery_jitter = Milliseconds(400.0);
+  MeterConfig meter;
+};
+
+/**
+ * The end-to-end telemetry pipeline, driven by a sim::EventQueue.
+ */
+class TelemetryPipeline {
+ public:
+  using Subscriber = std::function<void(const DeviceReading&)>;
+
+  TelemetryPipeline(sim::EventQueue& queue, const PowerSource& source,
+                    int num_ups, int num_racks, PipelineConfig config,
+                    std::uint64_t seed);
+
+  /** Registers a subscriber; all buses deliver to all subscribers. */
+  void Subscribe(Subscriber subscriber);
+
+  /** Begins the periodic polling schedules. */
+  void Start();
+
+  /** Stops future polls (events already in flight still deliver). */
+  void Stop();
+
+  // --- Fault injection ----------------------------------------------------
+
+  /** Fails/restores one physical meter of a device's logical meter. */
+  void SetMeterFailed(DeviceId device, int meter_index, bool failed);
+  /** Fails/restores a poller (it skips its ticks while failed). */
+  void SetPollerFailed(int poller, bool failed);
+  /** Fails/restores a pub/sub bus (it drops deliveries while failed). */
+  void SetBusFailed(int bus, bool failed);
+
+  // --- Introspection --------------------------------------------------------
+
+  /** Count of readings delivered to subscribers so far. */
+  std::size_t delivered_count() const { return delivered_count_; }
+
+  /** Latency statistics over delivered readings. */
+  const RunningStats& latency_stats() const { return latency_stats_; }
+
+  /** Raw latency samples (seconds), for percentile reporting. */
+  const std::vector<double>& latency_samples() const {
+    return latency_samples_;
+  }
+
+  const PipelineConfig& config() const { return config_; }
+
+ private:
+  LogicalMeter& MeterFor(DeviceId device);
+
+  /** One poller samples every device of @p kind and publishes. */
+  void PollerTick(int poller, DeviceKind kind);
+
+  sim::EventQueue& queue_;
+  const PowerSource& source_;
+  PipelineConfig config_;
+  int num_ups_;
+  int num_racks_;
+  bool running_ = false;
+
+  Rng jitter_rng_{0};
+  std::vector<LogicalMeter> ups_meters_;
+  std::vector<LogicalMeter> rack_meters_;
+  std::vector<bool> poller_failed_;
+  std::vector<bool> bus_failed_;
+  std::vector<Subscriber> subscribers_;
+
+  std::size_t delivered_count_ = 0;
+  RunningStats latency_stats_;
+  std::vector<double> latency_samples_;
+};
+
+}  // namespace flex::telemetry
+
+#endif  // FLEX_TELEMETRY_PIPELINE_HPP_

@@ -1,0 +1,80 @@
+#include "deployment.hpp"
+
+#include "common/error.hpp"
+
+namespace flex::workload {
+
+const char*
+CategoryName(Category category)
+{
+  switch (category) {
+    case Category::kSoftwareRedundant:
+      return "software-redundant";
+    case Category::kNonRedundantCapable:
+      return "non-redundant-capable";
+    case Category::kNonRedundantNonCapable:
+      return "non-redundant-non-capable";
+  }
+  return "unknown";
+}
+
+double
+Deployment::CfmPerRack() const
+{
+  return cfm_per_watt * power_per_rack.value();
+}
+
+Watts
+Deployment::AllocatedPower() const
+{
+  return power_per_rack * static_cast<double>(num_racks);
+}
+
+Watts
+Deployment::CappedPowerPerRack() const
+{
+  switch (category) {
+    case Category::kSoftwareRedundant:
+      return Watts(0.0);
+    case Category::kNonRedundantCapable:
+      return power_per_rack * flex_power_fraction;
+    case Category::kNonRedundantNonCapable:
+      return power_per_rack;
+  }
+  return power_per_rack;
+}
+
+Watts
+Deployment::CappedPower() const
+{
+  return CappedPowerPerRack() * static_cast<double>(num_racks);
+}
+
+Watts
+Deployment::ShaveablePower() const
+{
+  return AllocatedPower() - CappedPower();
+}
+
+void
+Deployment::Validate() const
+{
+  FLEX_REQUIRE(num_racks > 0, "deployment must have at least one rack");
+  FLEX_REQUIRE(power_per_rack > Watts(0.0),
+               "deployment rack power must be positive");
+  FLEX_REQUIRE(flex_power_fraction >= 0.0 && flex_power_fraction <= 1.0,
+               "flex power fraction must be in [0, 1]");
+  FLEX_REQUIRE(cfm_per_watt >= 0.0, "cooling requirement must be >= 0");
+  FLEX_REQUIRE(!workload.empty(), "deployment must name its workload");
+}
+
+Watts
+TotalAllocatedPower(const std::vector<Deployment>& deployments)
+{
+  Watts total(0.0);
+  for (const Deployment& d : deployments)
+    total += d.AllocatedPower();
+  return total;
+}
+
+}  // namespace flex::workload

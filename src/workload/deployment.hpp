@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Workload deployment requests and categories.
+ *
+ * A "deployment" is the paper's unit of placement (Section II-C): a block
+ * of racks procured for one workload, treated as unbreakable because of
+ * networking requirements. Each carries the availability/capping
+ * attributes Flex-Offline places by and Flex-Online acts on.
+ */
+#ifndef FLEX_WORKLOAD_DEPLOYMENT_HPP_
+#define FLEX_WORKLOAD_DEPLOYMENT_HPP_
+
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace flex::workload {
+
+/**
+ * The paper's three workload categories (Section II-B).
+ */
+enum class Category {
+  /** SaaS-style, replicated across AZs; racks may be shut down. */
+  kSoftwareRedundant,
+  /** Not redundant, but tolerates power capping (e.g. first-party VMs). */
+  kNonRedundantCapable,
+  /** Not redundant and not cap-able (e.g. GPU / storage clusters). */
+  kNonRedundantNonCapable,
+};
+
+/** Human-readable category name. */
+const char* CategoryName(Category category);
+
+/** Identifier of a deployment within a trace. */
+using DeploymentId = int;
+
+/**
+ * One deployment request from the short-term demand trace.
+ */
+struct Deployment {
+  DeploymentId id = -1;
+  /** Workload this deployment belongs to (e.g. "websearch", "iaas-vm"). */
+  std::string workload;
+  Category category = Category::kNonRedundantNonCapable;
+  int num_racks = 0;
+  /** Conservative per-rack peak power allocation (Section II-C). */
+  Watts power_per_rack;
+  /**
+   * For cap-able deployments: the lowest enforceable cap as a fraction of
+   * the per-rack allocation (the paper uses 0.75-0.85). Ignored for other
+   * categories.
+   */
+  double flex_power_fraction = 1.0;
+  /**
+   * Cooling airflow the racks need per allocated watt (CFM/W); a
+   * placement constraint in production per Section VI. The default is a
+   * contemporary air-cooled server figure.
+   */
+  double cfm_per_watt = 0.05;
+
+  /** Airflow needed by one rack of this deployment, in CFM. */
+  double CfmPerRack() const;
+
+  /** Total allocated power: Pow_d in the paper. */
+  Watts AllocatedPower() const;
+
+  /**
+   * Power after worst-case corrective action: CapPow_d (paper Eq. 3).
+   * Zero for software-redundant (shut down), flex power for cap-able,
+   * full allocation for non-cap-able.
+   */
+  Watts CappedPower() const;
+
+  /** Per-rack power after corrective action. */
+  Watts CappedPowerPerRack() const;
+
+  /** Power recoverable by corrective action: Allocated - Capped. */
+  Watts ShaveablePower() const;
+
+  /** Validates invariants; throws ConfigError on violation. */
+  void Validate() const;
+};
+
+/** Sum of allocated power over @p deployments. */
+Watts TotalAllocatedPower(const std::vector<Deployment>& deployments);
+
+}  // namespace flex::workload
+
+#endif  // FLEX_WORKLOAD_DEPLOYMENT_HPP_

@@ -1,0 +1,130 @@
+#include "impact.hpp"
+
+#include "common/error.hpp"
+
+namespace flex::workload {
+
+ImpactFunction::ImpactFunction(PiecewiseLinear curve)
+    : curve_(std::move(curve))
+{
+  FLEX_REQUIRE(curve_.MinY() >= 0.0 && curve_.MaxY() <= 1.0,
+               "impact must stay within [0, 1]");
+  FLEX_REQUIRE(curve_.IsNonDecreasing(),
+               "impact functions must be non-decreasing");
+}
+
+double
+ImpactFunction::operator()(double affected_fraction) const
+{
+  FLEX_REQUIRE(affected_fraction >= 0.0 && affected_fraction <= 1.0,
+               "affected fraction must be in [0, 1]");
+  return curve_(affected_fraction);
+}
+
+ImpactFunction
+ImpactFunction::Fig8A()
+{
+  // Incremental impact from the first rack, with the last ~10% being
+  // critical management racks.
+  return ImpactFunction(PiecewiseLinear{
+      {0.0, 0.0}, {0.9, 0.6}, {0.901, 1.0}, {1.0, 1.0}});
+}
+
+ImpactFunction
+ImpactFunction::Fig8B()
+{
+  // Stateless software-redundant: ~60% of racks can disappear for free,
+  // then impact ramps as capacity headroom vanishes.
+  return ImpactFunction(PiecewiseLinear{
+      {0.0, 0.0}, {0.6, 0.0}, {1.0, 0.8}});
+}
+
+ImpactFunction
+ImpactFunction::Fig8C()
+{
+  // Stateful software-redundant: ~20% growth buffer free, incremental
+  // impact across the working set, ~10% critical management racks.
+  return ImpactFunction(PiecewiseLinear{
+      {0.0, 0.0}, {0.2, 0.0}, {0.9, 0.7}, {0.901, 1.0}, {1.0, 1.0}});
+}
+
+ImpactFunction
+ImpactFunction::Zero()
+{
+  return ImpactFunction(PiecewiseLinear::Constant(0.0));
+}
+
+ImpactFunction
+ImpactFunction::Critical()
+{
+  return ImpactFunction(PiecewiseLinear{{0.0, 0.0}, {1e-6, 1.0}, {1.0, 1.0}});
+}
+
+ImpactFunction
+ImpactFunction::Linear()
+{
+  return ImpactFunction(PiecewiseLinear{{0.0, 0.0}, {1.0, 1.0}});
+}
+
+ImpactScenario
+ImpactScenario::Extreme1()
+{
+  // Shutting down software-redundant racks has no impact; throttling any
+  // cap-able rack is maximally undesirable.
+  return ImpactScenario{"Extreme-1", ImpactFunction::Zero(),
+                        ImpactFunction::Critical()};
+}
+
+ImpactScenario
+ImpactScenario::Extreme2()
+{
+  // Throttling is free; shutting down software-redundant racks is
+  // maximally undesirable.
+  return ImpactScenario{"Extreme-2", ImpactFunction::Critical(),
+                        ImpactFunction::Zero()};
+}
+
+ImpactScenario
+ImpactScenario::Realistic1()
+{
+  // Shutdown cheaper than throttling: software-redundant has a large
+  // free buffer (Fig. 8C-like) while the cap-able service sees impact
+  // from the first throttled rack (Fig. 8A-like).
+  return ImpactScenario{"Realistic-1",
+                        ImpactFunction(PiecewiseLinear{{0.0, 0.0},
+                                                       {0.4, 0.0},
+                                                       {0.9, 0.5},
+                                                       {0.901, 1.0},
+                                                       {1.0, 1.0}}),
+                        ImpactFunction(PiecewiseLinear{{0.0, 0.0},
+                                                       {0.9, 0.8},
+                                                       {0.901, 1.0},
+                                                       {1.0, 1.0}})};
+}
+
+ImpactScenario
+ImpactScenario::Realistic2()
+{
+  // Throttling cheaper than shutdown: the cap-able service tolerates
+  // caps well while the software-redundant one is stateful and pays for
+  // every rack lost.
+  return ImpactScenario{"Realistic-2",
+                        ImpactFunction(PiecewiseLinear{{0.0, 0.0},
+                                                       {0.15, 0.0},
+                                                       {0.9, 0.8},
+                                                       {0.901, 1.0},
+                                                       {1.0, 1.0}}),
+                        ImpactFunction(PiecewiseLinear{{0.0, 0.0},
+                                                       {0.7, 0.25},
+                                                       {0.9, 0.5},
+                                                       {0.901, 1.0},
+                                                       {1.0, 1.0}})};
+}
+
+std::vector<ImpactScenario>
+ImpactScenario::AllScenarios()
+{
+  return {Extreme1(), Extreme2(), Realistic1(), Realistic2()};
+}
+
+}  // namespace flex::workload

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Workload impact functions.
+ *
+ * An impact function (paper Section IV-D, Figs. 8 and 11) maps the
+ * fraction of a workload's racks that have been throttled or shut down to
+ * a perceived performance/availability impact in [0, 1]. Flex-Online's
+ * decision policy greedily picks the rack whose action adds the least
+ * impact, so these functions are how workloads express their tolerance.
+ */
+#ifndef FLEX_WORKLOAD_IMPACT_HPP_
+#define FLEX_WORKLOAD_IMPACT_HPP_
+
+#include <string>
+
+#include "common/piecewise.hpp"
+#include "workload/deployment.hpp"
+
+namespace flex::workload {
+
+/**
+ * Impact in [0, 1] as a function of affected-rack fraction in [0, 1].
+ *
+ * y = 0: no perceivable impact; y = 1: critical racks that must not be
+ * touched except when vital for safety. Functions must be non-decreasing
+ * (impacting more racks never helps).
+ */
+class ImpactFunction {
+ public:
+  /** Wraps a piecewise-linear curve; validates range and monotonicity. */
+  explicit ImpactFunction(PiecewiseLinear curve);
+
+  /** Impact when @p affected_fraction of the racks are acted upon. */
+  double operator()(double affected_fraction) const;
+
+  const PiecewiseLinear& curve() const { return curve_; }
+
+  // --- The paper's Fig. 8 example functions -------------------------------
+
+  /**
+   * Function A: non-redundant cap-able workload (e.g. a VM service) with
+   * incremental impact plus a protected set of critical management racks.
+   */
+  static ImpactFunction Fig8A();
+
+  /**
+   * Function B: stateless software-redundant workload; a large fraction
+   * can be shut down with no impact before costs ramp.
+   */
+  static ImpactFunction Fig8B();
+
+  /**
+   * Function C: stateful software-redundant workload with a free growth
+   * buffer, an incremental middle, and protected management racks.
+   */
+  static ImpactFunction Fig8C();
+
+  /** Impact that is zero regardless of how many racks are affected. */
+  static ImpactFunction Zero();
+
+  /** Impact that is maximal as soon as any rack is affected. */
+  static ImpactFunction Critical();
+
+  /** Linear 0 -> 1 impact. */
+  static ImpactFunction Linear();
+
+ private:
+  PiecewiseLinear curve_;
+};
+
+/**
+ * One of the paper's Fig. 11 simulation scenarios: an impact function per
+ * workload category (non-cap-able workloads are never acted on, so they
+ * carry no function).
+ */
+struct ImpactScenario {
+  std::string name;
+  ImpactFunction software_redundant;
+  ImpactFunction capable;
+
+  /** Fig. 11(a): shutting down software-redundant racks is free. */
+  static ImpactScenario Extreme1();
+  /** Fig. 11(b): throttling cap-able racks is free. */
+  static ImpactScenario Extreme2();
+  /** Fig. 11(c): realistic mix, shutdown cheaper than throttling. */
+  static ImpactScenario Realistic1();
+  /** Fig. 11(d): realistic mix, throttling cheaper than shutdown. */
+  static ImpactScenario Realistic2();
+
+  /** All four scenarios in paper order. */
+  static std::vector<ImpactScenario> AllScenarios();
+};
+
+}  // namespace flex::workload
+
+#endif  // FLEX_WORKLOAD_IMPACT_HPP_

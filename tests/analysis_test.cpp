@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Unit tests for the analysis module: Section III feasibility and the
+ * cost-savings model.
+ */
+#include <gtest/gtest.h>
+
+#include "analysis/cost.hpp"
+#include "analysis/feasibility.hpp"
+#include "common/error.hpp"
+
+namespace flex::analysis {
+namespace {
+
+TEST(FeasibilityTest, DefaultsReproduceThePapersHeadlineNumbers)
+{
+  const FeasibilityModel model;
+  const FeasibilityResult result = model.Evaluate();
+  // Paper: 99.99% of the time (4 nines) no corrective action is needed.
+  EXPECT_GE(result.room_availability_nines, 4.0);
+  EXPECT_GE(result.room_availability, 0.9999);
+  // Paper: probability of any software-redundant shutdown ~0.005%,
+  // giving SR servers at least 4 nines.
+  EXPECT_LT(result.p_shutdown_needed, 1e-4);
+  EXPECT_GE(result.sr_availability_nines, 4.0);
+  // Shutdown needs strictly higher utilization than mere throttling.
+  EXPECT_GT(result.shutdown_threshold_utilization, 0.75);
+}
+
+TEST(FeasibilityTest, ShutdownIsRarerThanAnyCorrectiveAction)
+{
+  const FeasibilityModel model;
+  const FeasibilityResult result = model.Evaluate();
+  EXPECT_LT(result.p_shutdown_needed, result.p_corrective_needed);
+}
+
+TEST(FeasibilityTest, FractionOfTimeAboveIsMonotone)
+{
+  const FeasibilityModel model;
+  double previous = 1.0;
+  for (double threshold = 0.3; threshold <= 1.0; threshold += 0.05) {
+    const double p = model.FractionOfTimeAbove(threshold);
+    EXPECT_LE(p, previous + 1e-12);
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+    previous = p;
+  }
+}
+
+TEST(FeasibilityTest, MoreUnplannedDowntimeHurtsAvailability)
+{
+  FeasibilityParams noisy;
+  noisy.unplanned_hours_per_year = 10.0;
+  const FeasibilityResult base = FeasibilityModel{}.Evaluate();
+  const FeasibilityResult worse = FeasibilityModel{noisy}.Evaluate();
+  EXPECT_LT(worse.room_availability, base.room_availability);
+}
+
+TEST(FeasibilityTest, UnscheduledPlannedMaintenanceHurtsALot)
+{
+  FeasibilityParams careless;
+  careless.planned_in_low_utilization_windows = false;
+  const FeasibilityResult base = FeasibilityModel{}.Evaluate();
+  const FeasibilityResult worse = FeasibilityModel{careless}.Evaluate();
+  // 40 h/yr of planned maintenance at random times dominates the 1 h/yr
+  // of unplanned events.
+  EXPECT_GT(worse.p_corrective_needed, 10.0 * base.p_corrective_needed);
+}
+
+TEST(FeasibilityTest, HigherFlexPowerRaisesShutdownThreshold)
+{
+  FeasibilityParams deep_caps;
+  deep_caps.mean_flex_power_fraction = 0.70;  // deeper throttling possible
+  const double deep =
+      FeasibilityModel{deep_caps}.ShutdownThresholdUtilization();
+  const double shallow = FeasibilityModel{}.ShutdownThresholdUtilization();
+  EXPECT_GT(deep, shallow);
+}
+
+TEST(FeasibilityTest, MoreCapablePowerRaisesShutdownThreshold)
+{
+  FeasibilityParams rich;
+  rich.capable_power_fraction = 0.80;
+  const double more = FeasibilityModel{rich}.ShutdownThresholdUtilization();
+  const double base = FeasibilityModel{}.ShutdownThresholdUtilization();
+  EXPECT_GE(more, base);
+}
+
+TEST(FeasibilityTest, RejectsBadParams)
+{
+  FeasibilityParams bad;
+  bad.peak_stddev = 0.0;
+  EXPECT_THROW(FeasibilityModel{bad}, ConfigError);
+  bad = FeasibilityParams{};
+  bad.failover_budget_fraction = 1.0;
+  EXPECT_THROW(FeasibilityModel{bad}, ConfigError);
+}
+
+TEST(CostTest, ReproducesThePapers128MwSiteNumbers)
+{
+  // Paper: $211M at $5/W and $422M at $10/W for a 128 MW site, +33%
+  // servers in a 4N/3 design.
+  CostParams params;
+  const CostResult at5 = EvaluateCost(params);
+  EXPECT_NEAR(at5.additional_server_fraction, 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(at5.additional_capacity.megawatts(), 128.0 / 3.0, 1e-6);
+  EXPECT_NEAR(at5.gross_savings_dollars / 1e6, 213.3, 1.0);
+
+  params.dollars_per_watt = 10.0;
+  const CostResult at10 = EvaluateCost(params);
+  EXPECT_NEAR(at10.gross_savings_dollars / 1e6, 426.7, 2.0);
+  EXPECT_NEAR(at10.gross_savings_dollars, 2.0 * at5.gross_savings_dollars,
+              1.0);
+}
+
+TEST(CostTest, PremiumReducesNetSavings)
+{
+  CostParams params;
+  const CostResult result = EvaluateCost(params);
+  EXPECT_LT(result.net_savings_dollars, result.gross_savings_dollars);
+  EXPECT_NEAR(result.premium_dollars,
+              0.03 * 128e6 * 5.0, 1.0);
+  EXPECT_GT(result.net_savings_dollars, 0.0);
+}
+
+TEST(CostTest, OtherRedundancyShapes)
+{
+  CostParams params;
+  params.redundancy_x = 2;  // 2N: all of the second supply is reserve
+  params.redundancy_y = 1;
+  const CostResult result = EvaluateCost(params);
+  EXPECT_NEAR(result.additional_server_fraction, 1.0, 1e-12);
+  params.redundancy_x = 5;
+  params.redundancy_y = 4;
+  EXPECT_NEAR(EvaluateCost(params).additional_server_fraction, 0.25, 1e-12);
+}
+
+TEST(CostTest, RejectsBadParams)
+{
+  CostParams bad;
+  bad.site_power = Watts(0.0);
+  EXPECT_THROW(EvaluateCost(bad), ConfigError);
+  bad = CostParams{};
+  bad.redundancy_y = 4;  // y == x
+  EXPECT_THROW(EvaluateCost(bad), ConfigError);
+  bad = CostParams{};
+  bad.dollars_per_watt = 0.0;
+  EXPECT_THROW(EvaluateCost(bad), ConfigError);
+}
+
+}  // namespace
+}  // namespace flex::analysis

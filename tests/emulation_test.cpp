@@ -1,0 +1,260 @@
+/**
+ * @file
+ * Tests for the emulation module: workload models and a shortened
+ * end-to-end room emulation (the full Section V-C run lives in
+ * bench_end_to_end).
+ */
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "emulation/room_emulation.hpp"
+#include "emulation/workload_model.hpp"
+
+namespace flex::emulation {
+namespace {
+
+TEST(OuProcessTest, StaysWithinBounds)
+{
+  OuProcessConfig config;
+  config.min = 0.4;
+  config.max = 0.9;
+  OuProcess process(config, 0.8);
+  Rng rng(1);
+  for (int i = 0; i < 5000; ++i) {
+    const double value = process.Step(Seconds(1.0), rng);
+    EXPECT_GE(value, 0.4);
+    EXPECT_LE(value, 0.9);
+  }
+}
+
+TEST(OuProcessTest, RevertsTowardTheMean)
+{
+  OuProcessConfig config;
+  config.mean = 0.8;
+  config.volatility = 0.0;  // deterministic decay
+  config.reversion_rate = 0.1;
+  OuProcess process(config, 0.5);
+  Rng rng(2);
+  double previous = process.value();
+  for (int i = 0; i < 50; ++i) {
+    const double value = process.Step(Seconds(1.0), rng);
+    EXPECT_GE(value, previous - 1e-12);
+    previous = value;
+  }
+  EXPECT_NEAR(previous, 0.8, 0.01);
+}
+
+TEST(OuProcessTest, LongRunAverageNearMean)
+{
+  OuProcessConfig config;
+  config.mean = 0.75;
+  OuProcess process(config, 0.75);
+  Rng rng(3);
+  double sum = 0.0;
+  const int steps = 20000;
+  for (int i = 0; i < steps; ++i)
+    sum += process.Step(Seconds(1.0), rng);
+  EXPECT_NEAR(sum / steps, 0.75, 0.05);
+}
+
+TEST(OuProcessTest, ClampsInitialValueAndValidates)
+{
+  OuProcessConfig config;
+  config.min = 0.4;
+  config.max = 0.9;
+  EXPECT_NEAR(OuProcess(config, 2.0).value(), 0.9, 1e-12);
+  config.min = 1.0;
+  config.max = 0.0;
+  EXPECT_THROW(OuProcess(config, 0.5), ConfigError);
+}
+
+TEST(LatencyModelTest, NoSlowdownMeansNoInflation)
+{
+  const LatencyModel model(0.5);
+  EXPECT_NEAR(model.P95Factor(1.0), 1.0, 1e-12);
+}
+
+TEST(LatencyModelTest, InflationGrowsAsSpeedDrops)
+{
+  const LatencyModel model(0.5);
+  double previous = model.P95Factor(1.0);
+  for (double speed = 0.95; speed > 0.55; speed -= 0.05) {
+    const double factor = model.P95Factor(speed);
+    EXPECT_GT(factor, previous);
+    previous = factor;
+  }
+}
+
+TEST(LatencyModelTest, SaturatesNearQueueCollapse)
+{
+  const LatencyModel model(0.5);
+  EXPECT_NEAR(model.P95Factor(0.5), 50.0, 1e-9);
+  EXPECT_NEAR(model.P95Factor(0.2), 50.0, 1e-9);
+}
+
+TEST(LatencyModelTest, SpeedUnderCap)
+{
+  EXPECT_NEAR(LatencyModel::SpeedUnderCap(KiloWatts(10.0), KiloWatts(8.5)),
+              0.85, 1e-12);
+  // Demand below the cap: full speed.
+  EXPECT_NEAR(LatencyModel::SpeedUnderCap(KiloWatts(8.0), KiloWatts(8.5)),
+              1.0, 1e-12);
+  EXPECT_NEAR(LatencyModel::SpeedUnderCap(Watts(0.0), KiloWatts(8.5)), 1.0,
+              1e-12);
+}
+
+TEST(LatencyModelTest, RejectsBadInputs)
+{
+  EXPECT_THROW(LatencyModel(0.0), ConfigError);
+  EXPECT_THROW(LatencyModel(1.0), ConfigError);
+  const LatencyModel model(0.5);
+  EXPECT_THROW(model.P95Factor(0.0), ConfigError);
+}
+
+/** A compressed end-to-end run: same stages, shorter timeline. */
+TEST(RoomEmulationTest, ShortEndToEndRunReproducesTheStages)
+{
+  EmulationConfig config;
+  config.setup_duration = Seconds(30.0);
+  config.failover_at = Seconds(120.0);
+  config.restore_at = Seconds(240.0);
+  config.end_at = Seconds(360.0);
+  config.controller.release_delay = Seconds(20.0);
+  config.seed = 7;
+
+  RoomEmulation emulation(config);
+  const EmulationReport report = emulation.Run();
+
+  // The room placed a realistic number of racks.
+  EXPECT_GT(report.total_racks, 250);
+  EXPECT_GT(report.sr_racks, 0);
+  EXPECT_GT(report.capable_racks, 0);
+  EXPECT_GT(report.noncap_racks, 0);
+
+  // Overdraw was detected and corrected within the UPS tolerance.
+  EXPECT_GT(report.overdraw_events, 0);
+  EXPECT_FALSE(report.safety_violated);
+  EXPECT_GT(report.time_to_safe_seconds, 0.0);
+  EXPECT_LT(report.time_to_safe_seconds, 10.0);  // the paper's budget
+
+  // Corrective actions hit the right categories and nothing else.
+  EXPECT_GT(report.sr_shutdown_peak + report.capable_capped_peak, 0);
+  EXPECT_EQ(report.noncap_acted, 0);
+
+  // Telemetry stayed within the paper's production envelope.
+  EXPECT_GT(report.data_latency_p999, 0.0);
+  EXPECT_LT(report.data_latency_p999, 1.5);
+
+  // Batteries rode through the overload without exhausting.
+  EXPECT_FALSE(report.battery_tripped);
+  EXPECT_GT(report.min_battery_state_of_charge, 0.0);
+
+  // The software-redundant service was notified, scaled out in the
+  // other AZ, and never fought the controller with local restarts.
+  if (report.sr_shutdown_peak > 0) {
+    EXPECT_GT(report.notifications_published, 0);
+    EXPECT_GE(report.sr_capacity_after_scaleout,
+              report.sr_capacity_min_fraction);
+  }
+  EXPECT_EQ(report.sr_inhibited_auto_recoveries, 0);
+
+  // The series covers the whole timeline and shows the failover dip.
+  ASSERT_FALSE(report.series.empty());
+  EXPECT_NEAR(report.series.back().t_seconds, 360.0, 10.0);
+  bool saw_failed_ups = false;
+  for (const EmulationSample& s : report.series) {
+    if (s.t_seconds > 125.0 && s.t_seconds < 235.0 &&
+        s.ups_mw[static_cast<std::size_t>(config.failed_ups)] < 0.01)
+      saw_failed_ups = true;
+  }
+  EXPECT_TRUE(saw_failed_ups);
+}
+
+TEST(RoomEmulationTest, ActionsAreReleasedAfterRestore)
+{
+  EmulationConfig config;
+  config.setup_duration = Seconds(30.0);
+  config.failover_at = Seconds(120.0);
+  config.restore_at = Seconds(200.0);
+  config.end_at = Seconds(400.0);
+  config.controller.release_delay = Seconds(15.0);
+  config.seed = 11;
+
+  RoomEmulation emulation(config);
+  const EmulationReport report = emulation.Run();
+  ASSERT_FALSE(report.series.empty());
+  const EmulationSample& last = report.series.back();
+  EXPECT_EQ(last.racks_capped, 0);
+  EXPECT_EQ(last.racks_off, 0);
+}
+
+TEST(RoomEmulationTest, SurvivesDegradedTelemetryDuringFailover)
+{
+  // One poller, one bus, and one physical meter of every UPS are dead
+  // for the whole run: the redundant pipeline still feeds the
+  // controllers and the room is still saved within the budget.
+  EmulationConfig config;
+  config.setup_duration = Seconds(30.0);
+  config.failover_at = Seconds(120.0);
+  config.restore_at = Seconds(240.0);
+  config.end_at = Seconds(300.0);
+  config.seed = 21;
+
+  RoomEmulation emulation(config);
+  emulation.pipeline().SetPollerFailed(0, true);
+  emulation.pipeline().SetBusFailed(1, true);
+  for (int u = 0; u < emulation.topology().NumUpses(); ++u) {
+    emulation.pipeline().SetMeterFailed(
+        {telemetry::DeviceKind::kUps, u}, 0, true);
+  }
+
+  const EmulationReport report = emulation.Run();
+  EXPECT_GT(report.overdraw_events, 0);
+  EXPECT_FALSE(report.safety_violated);
+  EXPECT_FALSE(report.battery_tripped);
+  EXPECT_GT(report.time_to_safe_seconds, 0.0);
+  EXPECT_LT(report.time_to_safe_seconds, 10.0);
+}
+
+/** The room is symmetric: any UPS can be the one that fails. */
+class FailedUpsSweepTest : public ::testing::TestWithParam<int> {
+};
+
+TEST_P(FailedUpsSweepTest, AnySingleUpsFailureIsHandled)
+{
+  EmulationConfig config;
+  config.setup_duration = Seconds(30.0);
+  config.failover_at = Seconds(120.0);
+  config.restore_at = Seconds(200.0);
+  config.end_at = Seconds(240.0);
+  config.failed_ups = GetParam();
+  config.seed = 100 + static_cast<std::uint64_t>(GetParam());
+
+  RoomEmulation emulation(config);
+  const EmulationReport report = emulation.Run();
+  EXPECT_GT(report.overdraw_events, 0);
+  EXPECT_FALSE(report.safety_violated);
+  EXPECT_FALSE(report.battery_tripped);
+  EXPECT_LT(report.time_to_safe_seconds, 10.0);
+  EXPECT_EQ(report.noncap_acted, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllUpses, FailedUpsSweepTest,
+                         ::testing::Values(0, 1, 2, 3));
+
+TEST(RoomEmulationTest, ValidatesTimeline)
+{
+  EmulationConfig config;
+  config.failover_at = Minutes(20.0);
+  config.restore_at = Minutes(10.0);
+  EXPECT_THROW(RoomEmulation{config}, ConfigError);
+  config = EmulationConfig{};
+  config.failed_ups = 9;
+  EXPECT_THROW(RoomEmulation{config}, ConfigError);
+  config = EmulationConfig{};
+  config.target_utilization = 0.0;
+  EXPECT_THROW(RoomEmulation{config}, ConfigError);
+}
+
+}  // namespace
+}  // namespace flex::emulation

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Cross-module integration tests, headlined by the paper's safety
+ * theorem: a placement that satisfies Eq. 4 guarantees that Flex-Online
+ * (Algorithm 1) can bring every surviving UPS back under its rated
+ * capacity after any single-UPS failure, even at 100% utilization.
+ */
+#include <gtest/gtest.h>
+
+#include "offline/flex_offline.hpp"
+#include "offline/metrics.hpp"
+#include "offline/policies.hpp"
+#include "online/decision.hpp"
+#include "power/loads.hpp"
+#include "workload/rack_power.hpp"
+#include "workload/trace.hpp"
+
+namespace flex {
+namespace {
+
+using offline::Placement;
+using power::RoomConfig;
+using power::RoomTopology;
+using workload::Category;
+
+RoomConfig
+MidRoomConfig()
+{
+  RoomConfig config;
+  config.ups_capacity = KiloWatts(900.0);
+  config.pdu_pairs_per_ups_pair = 1;
+  config.rows_per_pdu_pair = 2;
+  config.racks_per_row = 13;
+  return config;
+}
+
+/** Builds Algorithm 1 inputs from a placement at a given utilization. */
+online::DecisionInput
+BuildInput(const RoomTopology& room, const std::vector<offline::Rack>& layout,
+           const std::vector<Watts>& draws, power::UpsId failed,
+           Watts buffer)
+{
+  online::DecisionInput input;
+  input.buffer = buffer;
+  power::PduPairLoads pdu_loads(
+      static_cast<std::size_t>(room.NumPduPairs()), Watts(0.0));
+  for (std::size_t i = 0; i < layout.size(); ++i)
+    pdu_loads[static_cast<std::size_t>(layout[i].pdu_pair)] += draws[i];
+  const std::vector<Watts> ups =
+      power::FailoverUpsLoads(room, pdu_loads, failed);
+  for (power::UpsId u = 0; u < room.NumUpses(); ++u) {
+    input.ups_power.push_back(ups[static_cast<std::size_t>(u)]);
+    input.ups_limit.push_back(room.UpsCapacity(u));
+  }
+  for (power::PduPairId p = 0; p < room.NumPduPairs(); ++p)
+    input.pdu_to_ups.push_back(room.UpsesOfPduPair(p));
+  for (std::size_t i = 0; i < layout.size(); ++i) {
+    online::RackSnapshot snapshot;
+    snapshot.rack_id = layout[i].id;
+    snapshot.workload = layout[i].workload;
+    snapshot.category = layout[i].category;
+    snapshot.pdu_pair = layout[i].pdu_pair;
+    snapshot.current_power = draws[i];
+    snapshot.flex_power = layout[i].capped;
+    input.racks.push_back(std::move(snapshot));
+  }
+  return input;
+}
+
+class SafetyTheoremTest : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(SafetyTheoremTest, AnyEq4PlacementIsRecoverableAtFullUtilization)
+{
+  const RoomTopology room{MidRoomConfig()};
+  Rng rng(GetParam());
+  const auto trace = workload::GenerateTrace(
+      workload::TraceConfig{}, room.TotalProvisionedPower(), rng);
+  offline::BalancedRoundRobinPolicy policy;
+  const Placement placement = policy.Place(room, trace);
+  const auto layout = offline::BuildRackLayout(room, placement);
+  ASSERT_FALSE(layout.empty());
+
+  // Worst case: every rack draws its full allocation (100% utilization).
+  std::vector<Watts> draws;
+  for (const offline::Rack& rack : layout)
+    draws.push_back(rack.allocated);
+
+  for (power::UpsId failed = 0; failed < room.NumUpses(); ++failed) {
+    online::DecisionInput input =
+        BuildInput(room, layout, draws, failed, /*buffer=*/Watts(0.0));
+    const online::DecisionResult result = online::DecideActions(input);
+    EXPECT_TRUE(result.satisfied)
+        << "failure of UPS " << failed << " not recoverable";
+    for (power::UpsId u = 0; u < room.NumUpses(); ++u) {
+      EXPECT_LE(result.projected_ups_power[static_cast<std::size_t>(u)]
+                    .value(),
+                room.UpsCapacity(u).value() + 1e-6);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SafetyTheoremTest,
+                         ::testing::Values(3u, 17u, 23u, 57u, 91u));
+
+TEST(SafetyTheoremTest, FlexOfflinePlacementIsAlsoRecoverable)
+{
+  const RoomTopology room{MidRoomConfig()};
+  Rng rng(5);
+  const auto trace = workload::GenerateTrace(
+      workload::TraceConfig{}, room.TotalProvisionedPower(), rng);
+  offline::FlexOfflinePolicy policy = offline::FlexOfflinePolicy::Short(2.0);
+  const Placement placement = policy.Place(room, trace);
+  const auto layout = offline::BuildRackLayout(room, placement);
+  std::vector<Watts> draws;
+  for (const offline::Rack& rack : layout)
+    draws.push_back(rack.allocated);
+  for (power::UpsId failed = 0; failed < room.NumUpses(); ++failed) {
+    const online::DecisionResult result = online::DecideActions(
+        BuildInput(room, layout, draws, failed, Watts(0.0)));
+    EXPECT_TRUE(result.satisfied);
+  }
+}
+
+TEST(OfflineOnlineIntegrationTest, RealisticSnapshotsNeedFewerActions)
+{
+  // At realistic (sub-worst-case) utilizations the action count shrinks
+  // and disappears below the failover budget.
+  const RoomTopology room{MidRoomConfig()};
+  Rng rng(9);
+  const auto trace = workload::GenerateTrace(
+      workload::TraceConfig{}, room.TotalProvisionedPower(), rng);
+  offline::BalancedRoundRobinPolicy policy;
+  const Placement placement = policy.Place(room, trace);
+  const auto layout = offline::BuildRackLayout(room, placement);
+  std::vector<Watts> allocations;
+  for (const offline::Rack& rack : layout)
+    allocations.push_back(rack.allocated);
+  const workload::RackPowerModel model;
+
+  std::size_t previous_actions = layout.size() + 1;
+  for (const double utilization : {0.95, 0.85, 0.70}) {
+    const auto draws =
+        model.SampleAtUtilization(allocations, utilization, rng);
+    const online::DecisionResult result = online::DecideActions(
+        BuildInput(room, layout, draws, 0, KiloWatts(5.0)));
+    EXPECT_TRUE(result.satisfied);
+    EXPECT_LE(result.actions.size(), previous_actions);
+    previous_actions = result.actions.size();
+  }
+  EXPECT_EQ(previous_actions, 0u);  // no actions needed at 70%
+}
+
+TEST(OfflineOnlineIntegrationTest, StrandedPowerAndSafetyTradeoff)
+{
+  // A placement with zero software-redundant and zero cap-able power
+  // cannot use the reserve: Eq. 4 must reject deployments beyond the
+  // failover budget.
+  const RoomTopology room{MidRoomConfig()};
+  Rng rng(13);
+  workload::TraceConfig config;
+  config.software_redundant_fraction = 0.0;
+  config.capable_fraction = 0.0;  // everything non-cap-able
+  const auto trace = workload::GenerateTrace(
+      config, room.TotalProvisionedPower(), rng);
+  offline::FirstFitPolicy policy;
+  const Placement placement = policy.Place(room, trace);
+  // Allocated power can never exceed the failover budget.
+  EXPECT_LE(placement.PlacedPower().value(),
+            room.FailoverBudget().value() + 1e-3);
+  // And the room safely loses any UPS with no corrective actions at all.
+  EXPECT_TRUE(power::ValidateFailoverSafety(
+                  room, placement.CappedPduLoads(room))
+                  .safe);
+}
+
+}  // namespace
+}  // namespace flex

@@ -1,0 +1,387 @@
+/**
+ * @file
+ * Unit and integration tests for Flex-Offline placement: capacity
+ * tracking, baseline policies, the ILP policy, and metrics.
+ */
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "offline/flex_offline.hpp"
+#include "offline/metrics.hpp"
+#include "offline/policies.hpp"
+#include "power/loads.hpp"
+#include "workload/trace.hpp"
+
+namespace flex::offline {
+namespace {
+
+using power::RoomConfig;
+using power::RoomTopology;
+using workload::Category;
+using workload::Deployment;
+
+/** A small 4N/3 room that keeps ILP solves fast in unit tests. */
+RoomConfig
+SmallRoomConfig()
+{
+  RoomConfig config;
+  config.num_ups = 4;
+  config.redundancy_y = 3;
+  config.ups_capacity = KiloWatts(600.0);  // 2.4 MW room
+  config.pdu_pairs_per_ups_pair = 1;       // 6 PDU pairs
+  config.rows_per_pdu_pair = 2;
+  config.racks_per_row = 10;
+  return config;
+}
+
+Deployment
+MakeDeployment(int id, Category category, int racks,
+               Watts per_rack = KiloWatts(14.4), double flex = 0.8)
+{
+  Deployment d;
+  d.id = id;
+  d.workload = std::string(workload::CategoryName(category)) + "-wl";
+  d.category = category;
+  d.num_racks = racks;
+  d.power_per_rack = per_rack;
+  d.flex_power_fraction =
+      category == Category::kSoftwareRedundant
+          ? 0.0
+          : (category == Category::kNonRedundantCapable ? flex : 1.0);
+  return d;
+}
+
+TEST(CapacityTrackerTest, EmptyRoomAcceptsAnyFeasibleDeployment)
+{
+  const RoomTopology room{SmallRoomConfig()};
+  CapacityTracker tracker(room);
+  const Deployment d =
+      MakeDeployment(0, Category::kNonRedundantCapable, 10);
+  EXPECT_EQ(tracker.FeasiblePairs(d).size(),
+            static_cast<std::size_t>(room.NumPduPairs()));
+}
+
+TEST(CapacityTrackerTest, SpaceConstraintBinds)
+{
+  const RoomTopology room{SmallRoomConfig()};
+  CapacityTracker tracker(room);
+  // 20 slots per pair; a 21-rack deployment cannot fit anywhere.
+  const Deployment big =
+      MakeDeployment(0, Category::kSoftwareRedundant, 21, KiloWatts(1.0));
+  EXPECT_TRUE(tracker.FeasiblePairs(big).empty());
+  // Two 10-rack deployments fill a pair; the third is rejected there.
+  const Deployment d =
+      MakeDeployment(1, Category::kSoftwareRedundant, 10, KiloWatts(1.0));
+  tracker.Place(d, 0);
+  tracker.Place(d, 0);
+  EXPECT_FALSE(tracker.CanPlace(d, 0));
+  EXPECT_EQ(tracker.FreeSlots(0), 0);
+}
+
+TEST(CapacityTrackerTest, NormalOperationConstraintBinds)
+{
+  const RoomTopology room{SmallRoomConfig()};
+  CapacityTracker tracker(room);
+  // Software-redundant so failover never binds (CapPow = 0); normal-op
+  // limit: UPS capacity 600 kW. One pair of 10 racks x 100 kW = 1 MW puts
+  // 500 kW on each of the two UPSes.
+  const Deployment d =
+      MakeDeployment(0, Category::kSoftwareRedundant, 10, KiloWatts(100.0));
+  EXPECT_TRUE(tracker.CanPlace(d, 0));
+  tracker.Place(d, 0);
+  // A second identical deployment on the same pair would need 1 MW per
+  // UPS: violates Eq. 2.
+  EXPECT_FALSE(tracker.CanPlace(d, 0));
+  // But it fits on the "opposite" pair that shares no UPS with pair 0
+  // only if one exists; with 6 pairs over 4 UPSes, pair (2,3) is disjoint
+  // from pair (0,1).
+  const auto [u1, u2] = room.UpsesOfPduPair(0);
+  for (power::PduPairId p = 1; p < room.NumPduPairs(); ++p) {
+    const auto [v1, v2] = room.UpsesOfPduPair(p);
+    if (v1 != u1 && v1 != u2 && v2 != u1 && v2 != u2) {
+      EXPECT_TRUE(tracker.CanPlace(d, p));
+      return;
+    }
+  }
+  FAIL() << "no disjoint pair found";
+}
+
+TEST(CapacityTrackerTest, FailoverConstraintBindsForNonCapable)
+{
+  const RoomTopology room{SmallRoomConfig()};
+  CapacityTracker tracker(room);
+  // Non-cap-able: CapPow = Pow. On failover of one UPS of the pair the
+  // survivor carries the full pair load. 10 racks x 55 kW = 550 kW: safe
+  // (< 600). Adding 10 more racks makes 1.1 MW on failover: unsafe even
+  // though normal operation (550 kW per UPS) is fine.
+  const Deployment d = MakeDeployment(
+      0, Category::kNonRedundantNonCapable, 10, KiloWatts(55.0));
+  EXPECT_TRUE(tracker.CanPlace(d, 0));
+  tracker.Place(d, 0);
+  EXPECT_FALSE(tracker.CanPlace(d, 0));
+}
+
+TEST(CapacityTrackerTest, CapableFlexPowerRelaxesFailover)
+{
+  const RoomTopology room{SmallRoomConfig()};
+  CapacityTracker tracker(room);
+  // Same as above but cap-able with flex 0.5: CapPow halves, so failover
+  // sees 550 kW and the second deployment fits.
+  const Deployment d = MakeDeployment(
+      0, Category::kNonRedundantCapable, 10, KiloWatts(55.0), 0.5);
+  tracker.Place(d, 0);
+  EXPECT_TRUE(tracker.CanPlace(d, 0));
+}
+
+TEST(CapacityTrackerTest, CoolingConstraintBinds)
+{
+  RoomConfig config = SmallRoomConfig();
+  // Budget allows only 5 racks of a 14.4 kW / 0.05 CFM/W deployment per
+  // row (= 720 CFM each).
+  config.row_cooling_cfm = 3600.0;
+  const RoomTopology room{config};
+  CapacityTracker tracker(room);
+  Deployment d = MakeDeployment(0, Category::kSoftwareRedundant, 10);
+  d.cfm_per_watt = 0.05;
+  // 10 racks need 2 rows' worth of cooling (5 per row): exactly fits the
+  // pair's 2 rows.
+  EXPECT_TRUE(tracker.CanPlace(d, 0));
+  tracker.Place(d, 0);
+  // No cooling headroom left under pair 0.
+  EXPECT_FALSE(tracker.CanPlace(d, 0));
+}
+
+TEST(CapacityTrackerTest, PlaceRejectsInfeasible)
+{
+  const RoomTopology room{SmallRoomConfig()};
+  CapacityTracker tracker(room);
+  const Deployment big =
+      MakeDeployment(0, Category::kSoftwareRedundant, 21, KiloWatts(1.0));
+  EXPECT_THROW(tracker.Place(big, 0), ConfigError);
+}
+
+TEST(RackLayoutTest, ExpandsPlacedDeploymentsIntoRacks)
+{
+  const RoomTopology room{SmallRoomConfig()};
+  Placement placement;
+  placement.deployments = {
+      MakeDeployment(0, Category::kSoftwareRedundant, 15),
+      MakeDeployment(1, Category::kNonRedundantCapable, 5),
+      MakeDeployment(2, Category::kNonRedundantNonCapable, 10)};
+  placement.assignment = {0, 0, 3};
+  const std::vector<Rack> racks = BuildRackLayout(room, placement);
+  ASSERT_EQ(racks.size(), 30u);
+  int per_deployment[3] = {0, 0, 0};
+  for (const Rack& r : racks) {
+    ++per_deployment[r.deployment];
+    EXPECT_EQ(room.PduPairOfRow(r.row), r.pdu_pair);
+    if (r.deployment == 0) {
+      EXPECT_EQ(r.pdu_pair, 0);
+      EXPECT_NEAR(r.capped.value(), 0.0, 1e-9);  // software-redundant
+    }
+    if (r.deployment == 1) {
+      EXPECT_NEAR(r.capped.value(), r.allocated.value() * 0.8, 1e-6);
+    }
+    if (r.deployment == 2) {
+      EXPECT_NEAR(r.capped.value(), r.allocated.value(), 1e-9);
+    }
+  }
+  EXPECT_EQ(per_deployment[0], 15);
+  EXPECT_EQ(per_deployment[1], 5);
+  EXPECT_EQ(per_deployment[2], 10);
+}
+
+TEST(RackLayoutTest, SkipsUnplacedDeployments)
+{
+  const RoomTopology room{SmallRoomConfig()};
+  Placement placement;
+  placement.deployments = {MakeDeployment(0, Category::kSoftwareRedundant, 5)};
+  placement.assignment = {std::nullopt};
+  EXPECT_TRUE(BuildRackLayout(room, placement).empty());
+}
+
+TEST(MetricsTest, EmptyPlacementStrandsEverything)
+{
+  const RoomTopology room{SmallRoomConfig()};
+  Placement placement;
+  EXPECT_NEAR(StrandedPowerFraction(room, placement), 1.0, 1e-12);
+  EXPECT_NEAR(ThrottlingImbalance(room, placement), 0.0, 1e-12);
+}
+
+TEST(MetricsTest, StrandedPowerDropsAsPowerIsPlaced)
+{
+  const RoomTopology room{SmallRoomConfig()};
+  Placement placement;
+  placement.deployments = {
+      MakeDeployment(0, Category::kSoftwareRedundant, 10, KiloWatts(24.0))};
+  placement.assignment = {0};
+  // 240 kW placed out of 2.4 MW -> 90% stranded.
+  EXPECT_NEAR(StrandedPowerFraction(room, placement), 0.9, 1e-9);
+}
+
+TEST(MetricsTest, ImbalanceZeroWhenNoOverload)
+{
+  const RoomTopology room{SmallRoomConfig()};
+  // Modest non-capable load that never overloads on failover: r = 0
+  // everywhere -> imbalance 0.
+  Placement placement;
+  placement.deployments = {
+      MakeDeployment(0, Category::kNonRedundantNonCapable, 10,
+                     KiloWatts(10.0))};
+  placement.assignment = {0};
+  EXPECT_NEAR(ThrottlingImbalance(room, placement), 0.0, 1e-12);
+}
+
+TEST(MetricsTest, ImbalanceDetectsLopsidedPlacement)
+{
+  const RoomTopology room{SmallRoomConfig()};
+  // Load one pair heavily with non-capable power so that failover of one
+  // of its UPSes overloads the partner, while other UPSes see nothing.
+  Placement placement;
+  placement.deployments = {
+      MakeDeployment(0, Category::kNonRedundantNonCapable, 10,
+                     KiloWatts(70.0))};
+  placement.assignment = {0};
+  // Failover load on the partner: 700 kW > 600 kW -> r = 100/600 for one
+  // (f, u) combo, 0 for others.
+  EXPECT_NEAR(ThrottlingImbalance(room, placement), 100.0 / 600.0, 1e-9);
+}
+
+TEST(MetricsTest, PlacedPowerFraction)
+{
+  const RoomTopology room{SmallRoomConfig()};
+  Placement placement;
+  placement.deployments = {
+      MakeDeployment(0, Category::kSoftwareRedundant, 10, KiloWatts(10.0)),
+      MakeDeployment(1, Category::kSoftwareRedundant, 10, KiloWatts(10.0))};
+  placement.assignment = {0, std::nullopt};
+  EXPECT_NEAR(PlacedPowerFraction(placement), 0.5, 1e-12);
+}
+
+class PolicyTest : public ::testing::Test {
+ protected:
+  PolicyTest() : room_(SmallRoomConfig()) {}
+
+  std::vector<Deployment>
+  MakeTrace()
+  {
+    Rng rng(42);
+    workload::TraceConfig config;
+    return workload::GenerateTrace(config, room_.TotalProvisionedPower(),
+                                   rng);
+  }
+
+  void
+  ExpectValidPlacement(const Placement& placement)
+  {
+    // Whatever the policy did, the room must be safe: Eq. 2 and Eq. 4.
+    EXPECT_TRUE(power::ValidateNormalOperation(
+        room_, placement.AllocatedPduLoads(room_)));
+    EXPECT_TRUE(power::ValidateFailoverSafety(
+                    room_, placement.CappedPduLoads(room_))
+                    .safe);
+    // And the rack layout must be constructible.
+    EXPECT_NO_THROW(BuildRackLayout(room_, placement));
+  }
+
+  RoomTopology room_;
+};
+
+TEST_F(PolicyTest, RandomPolicyPlacesSafely)
+{
+  RandomPolicy policy(7);
+  const Placement placement = policy.Place(room_, MakeTrace());
+  EXPECT_GT(placement.NumPlaced(), 0);
+  ExpectValidPlacement(placement);
+}
+
+TEST_F(PolicyTest, RandomPolicyIsDeterministicGivenSeed)
+{
+  const auto trace = MakeTrace();
+  RandomPolicy a(7);
+  RandomPolicy b(7);
+  EXPECT_EQ(a.Place(room_, trace).assignment,
+            b.Place(room_, trace).assignment);
+}
+
+TEST_F(PolicyTest, BalancedRoundRobinPlacesSafely)
+{
+  BalancedRoundRobinPolicy policy;
+  const Placement placement = policy.Place(room_, MakeTrace());
+  EXPECT_GT(placement.NumPlaced(), 0);
+  ExpectValidPlacement(placement);
+}
+
+TEST_F(PolicyTest, FirstFitPlacesSafely)
+{
+  FirstFitPolicy policy;
+  const Placement placement = policy.Place(room_, MakeTrace());
+  EXPECT_GT(placement.NumPlaced(), 0);
+  ExpectValidPlacement(placement);
+}
+
+TEST_F(PolicyTest, FlexOfflinePlacesSafely)
+{
+  FlexOfflinePolicy policy = FlexOfflinePolicy::Short(2.0);
+  const Placement placement = policy.Place(room_, MakeTrace());
+  EXPECT_GT(placement.NumPlaced(), 0);
+  ExpectValidPlacement(placement);
+}
+
+TEST_F(PolicyTest, FlexOfflineBeatsBaselinesOnStrandedPower)
+{
+  const auto trace = MakeTrace();
+  BalancedRoundRobinPolicy brr;
+  FlexOfflinePolicy flex = FlexOfflinePolicy::Oracle(5.0);
+  const double brr_stranded =
+      StrandedPowerFraction(room_, brr.Place(room_, trace));
+  const double flex_stranded =
+      StrandedPowerFraction(room_, flex.Place(room_, trace));
+  EXPECT_LE(flex_stranded, brr_stranded + 1e-9);
+}
+
+TEST_F(PolicyTest, OracleDoesNoWorseThanShortOnStranding)
+{
+  const auto trace = MakeTrace();
+  FlexOfflinePolicy oracle = FlexOfflinePolicy::Oracle(5.0);
+  FlexOfflinePolicy short_policy = FlexOfflinePolicy::Short(2.0);
+  const double oracle_stranded =
+      StrandedPowerFraction(room_, oracle.Place(room_, trace));
+  const double short_stranded =
+      StrandedPowerFraction(room_, short_policy.Place(room_, trace));
+  // Oracle sees everything at once; allow a hair of solver noise.
+  EXPECT_LE(oracle_stranded, short_stranded + 0.02);
+}
+
+TEST_F(PolicyTest, PoliciesRejectWhatCannotFit)
+{
+  // Demand is 115% of capacity, so some deployments must be rejected.
+  BalancedRoundRobinPolicy policy;
+  const Placement placement = policy.Place(room_, MakeTrace());
+  EXPECT_LT(placement.NumPlaced(),
+            static_cast<int>(placement.deployments.size()));
+}
+
+TEST(FlexOfflineConfigTest, NamedVariantsHaveExpectedBatching)
+{
+  EXPECT_NEAR(FlexOfflinePolicy::Short().config().batch_capacity_fraction,
+              0.33, 1e-12);
+  EXPECT_NEAR(FlexOfflinePolicy::Long().config().batch_capacity_fraction,
+              0.66, 1e-12);
+  EXPECT_GT(FlexOfflinePolicy::Oracle().config().batch_capacity_fraction,
+            100.0);
+  EXPECT_EQ(FlexOfflinePolicy::Short().Name(), "Flex-Offline-Short");
+}
+
+TEST(FlexOfflineConfigTest, RejectsBadConfig)
+{
+  FlexOfflineConfig config;
+  config.batch_capacity_fraction = 0.0;
+  EXPECT_THROW(FlexOfflinePolicy{config}, ConfigError);
+  config = FlexOfflineConfig{};
+  config.imbalance_weight = -1.0;
+  EXPECT_THROW(FlexOfflinePolicy{config}, ConfigError);
+}
+
+}  // namespace
+}  // namespace flex::offline

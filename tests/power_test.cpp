@@ -1,0 +1,297 @@
+/**
+ * @file
+ * Unit tests for the power substrate: topology, loads, trip curves.
+ */
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "power/loads.hpp"
+#include "power/topology.hpp"
+#include "power/trip_curve.hpp"
+
+namespace flex::power {
+namespace {
+
+RoomTopology
+DefaultRoom()
+{
+  return RoomTopology(RoomConfig::EvaluationRoom());
+}
+
+TEST(TopologyTest, EvaluationRoomMatchesPaper)
+{
+  const RoomTopology room = DefaultRoom();
+  EXPECT_EQ(room.NumUpses(), 4);
+  EXPECT_NEAR(room.TotalProvisionedPower().megawatts(), 9.6, 1e-9);
+  // 4N/3: failover budget is 75% of provisioned; 25% reserved.
+  EXPECT_NEAR(room.FailoverBudget().megawatts(), 7.2, 1e-9);
+  EXPECT_NEAR(room.ReservedPower().megawatts(), 2.4, 1e-9);
+  EXPECT_EQ(room.NumPduPairs(), 12);  // C(4,2) combos x 2
+  EXPECT_EQ(room.NumRows(), 36);
+}
+
+TEST(TopologyTest, EmulationRoomMatchesPaper)
+{
+  const RoomTopology room{RoomConfig::EmulationRoom()};
+  EXPECT_NEAR(room.TotalProvisionedPower().megawatts(), 4.8, 1e-9);
+  EXPECT_EQ(room.NumRows(), 36);
+  EXPECT_EQ(room.RacksPerRow(), 10);
+  EXPECT_EQ(room.NumRows() * room.RacksPerRow(), 360);
+}
+
+TEST(TopologyTest, EveryPduPairConnectsTwoDistinctUpses)
+{
+  const RoomTopology room = DefaultRoom();
+  for (PduPairId p = 0; p < room.NumPduPairs(); ++p) {
+    const auto [u1, u2] = room.UpsesOfPduPair(p);
+    EXPECT_NE(u1, u2);
+    EXPECT_GE(u1, 0);
+    EXPECT_LT(u2, room.NumUpses());
+  }
+}
+
+TEST(TopologyTest, UpsPairingIsBalanced)
+{
+  const RoomTopology room = DefaultRoom();
+  // Each UPS pairs with each other UPS the same number of times.
+  std::vector<std::vector<int>> pair_count(
+      4, std::vector<int>(4, 0));
+  for (PduPairId p = 0; p < room.NumPduPairs(); ++p) {
+    const auto [u1, u2] = room.UpsesOfPduPair(p);
+    ++pair_count[static_cast<std::size_t>(u1)][static_cast<std::size_t>(u2)];
+    ++pair_count[static_cast<std::size_t>(u2)][static_cast<std::size_t>(u1)];
+  }
+  for (int a = 0; a < 4; ++a) {
+    for (int b = 0; b < 4; ++b) {
+      if (a != b) {
+        EXPECT_EQ(pair_count[static_cast<std::size_t>(a)]
+                            [static_cast<std::size_t>(b)], 2);
+      }
+    }
+  }
+  // And each UPS feeds pdu_pairs_per_ups_pair * (x-1) PDU pairs.
+  for (UpsId u = 0; u < room.NumUpses(); ++u)
+    EXPECT_EQ(room.PduPairsOfUps(u).size(), 6u);
+}
+
+TEST(TopologyTest, RowsMapToPduPairsContiguously)
+{
+  const RoomTopology room = DefaultRoom();
+  for (PduPairId p = 0; p < room.NumPduPairs(); ++p) {
+    for (const RowId r : room.RowsOfPduPair(p))
+      EXPECT_EQ(room.PduPairOfRow(r), p);
+  }
+}
+
+TEST(TopologyTest, FailoverShareIsUniform)
+{
+  const RoomTopology room = DefaultRoom();
+  for (UpsId f = 0; f < 4; ++f) {
+    for (UpsId u = 0; u < 4; ++u) {
+      if (f == u)
+        EXPECT_DOUBLE_EQ(room.FailoverShare(f, u), 0.0);
+      else
+        EXPECT_NEAR(room.FailoverShare(f, u), 1.0 / 3.0, 1e-12);
+    }
+  }
+}
+
+TEST(TopologyTest, RejectsInvalidConfigs)
+{
+  RoomConfig config;
+  config.num_ups = 1;
+  EXPECT_THROW(RoomTopology{config}, ConfigError);
+  config = RoomConfig{};
+  config.redundancy_y = 4;  // y must be < x
+  EXPECT_THROW(RoomTopology{config}, ConfigError);
+  config = RoomConfig{};
+  config.ups_capacity = Watts(0.0);
+  EXPECT_THROW(RoomTopology{config}, ConfigError);
+}
+
+TEST(TopologyTest, SupportsOtherRedundancyShapes)
+{
+  RoomConfig config;
+  config.num_ups = 5;
+  config.redundancy_y = 4;  // 5N/4
+  const RoomTopology room{config};
+  EXPECT_EQ(room.NumPduPairs(), 10 * config.pdu_pairs_per_ups_pair);
+  EXPECT_NEAR(room.FailoverBudget() / room.TotalProvisionedPower(), 0.8,
+              1e-12);
+  for (UpsId u = 1; u < 5; ++u)
+    EXPECT_NEAR(room.FailoverShare(0, u), 0.25, 1e-12);
+}
+
+TEST(LoadsTest, NormalLoadsSplitPduLoadEvenly)
+{
+  const RoomTopology room = DefaultRoom();
+  PduPairLoads loads(static_cast<std::size_t>(room.NumPduPairs()),
+                     Watts(0.0));
+  loads[0] = KiloWatts(100.0);  // pair 0 connects UPS 0 and 1
+  const std::vector<Watts> ups = NormalUpsLoads(room, loads);
+  const auto [u1, u2] = room.UpsesOfPduPair(0);
+  EXPECT_NEAR(ups[static_cast<std::size_t>(u1)].kilowatts(), 50.0, 1e-9);
+  EXPECT_NEAR(ups[static_cast<std::size_t>(u2)].kilowatts(), 50.0, 1e-9);
+  double total = 0.0;
+  for (const Watts w : ups)
+    total += w.kilowatts();
+  EXPECT_NEAR(total, 100.0, 1e-9);
+}
+
+TEST(LoadsTest, FailoverTransfersFullPairLoadToSurvivor)
+{
+  const RoomTopology room = DefaultRoom();
+  PduPairLoads loads(static_cast<std::size_t>(room.NumPduPairs()),
+                     Watts(0.0));
+  loads[0] = KiloWatts(100.0);
+  const auto [u1, u2] = room.UpsesOfPduPair(0);
+  const std::vector<Watts> after = FailoverUpsLoads(room, loads, u1);
+  EXPECT_NEAR(after[static_cast<std::size_t>(u1)].kilowatts(), 0.0, 1e-9);
+  EXPECT_NEAR(after[static_cast<std::size_t>(u2)].kilowatts(), 100.0, 1e-9);
+}
+
+TEST(LoadsTest, FailoverConservesTotalLoad)
+{
+  const RoomTopology room = DefaultRoom();
+  PduPairLoads loads;
+  for (int p = 0; p < room.NumPduPairs(); ++p)
+    loads.push_back(KiloWatts(50.0 + 13.0 * p));
+  double total_before = 0.0;
+  for (const Watts w : loads)
+    total_before += w.kilowatts();
+  for (UpsId f = 0; f < room.NumUpses(); ++f) {
+    const std::vector<Watts> after = FailoverUpsLoads(room, loads, f);
+    double total_after = 0.0;
+    for (const Watts w : after)
+      total_after += w.kilowatts();
+    EXPECT_NEAR(total_after, total_before, 1e-6);
+    EXPECT_NEAR(after[static_cast<std::size_t>(f)].value(), 0.0, 1e-9);
+  }
+}
+
+TEST(LoadsTest, BalancedLoadFailoverGivesFourThirdsOnSurvivors)
+{
+  // The paper's headline: uniform 100% load + one failure = 133% on each
+  // survivor in a 4N/3 room.
+  const RoomTopology room = DefaultRoom();
+  // Load every PDU pair so each UPS is exactly at capacity.
+  const Watts per_pair =
+      room.TotalProvisionedPower() / room.NumPduPairs();
+  PduPairLoads loads(static_cast<std::size_t>(room.NumPduPairs()), per_pair);
+  const std::vector<Watts> normal = NormalUpsLoads(room, loads);
+  for (UpsId u = 0; u < 4; ++u)
+    EXPECT_NEAR(normal[static_cast<std::size_t>(u)] / room.UpsCapacity(u),
+                1.0, 1e-9);
+  const std::vector<Watts> after = FailoverUpsLoads(room, loads, 0);
+  for (UpsId u = 1; u < 4; ++u)
+    EXPECT_NEAR(after[static_cast<std::size_t>(u)] / room.UpsCapacity(u),
+                4.0 / 3.0, 1e-9);
+}
+
+TEST(LoadsTest, StrandedPowerIsCapacityMinusLoad)
+{
+  const RoomTopology room = DefaultRoom();
+  PduPairLoads loads(static_cast<std::size_t>(room.NumPduPairs()),
+                     Watts(0.0));
+  EXPECT_NEAR(StrandedPower(room, loads).megawatts(), 9.6, 1e-9);
+  loads[0] = MegaWatts(1.0);
+  EXPECT_NEAR(StrandedPower(room, loads).megawatts(), 8.6, 1e-9);
+}
+
+TEST(LoadsTest, SafetyReportFindsWorstScenario)
+{
+  const RoomTopology room = DefaultRoom();
+  PduPairLoads capped(static_cast<std::size_t>(room.NumPduPairs()),
+                      Watts(0.0));
+  // Overload pair 0 so that failing one of its UPSes breaks the other.
+  capped[0] = MegaWatts(3.0);  // survivor would carry 3.0 > 2.4 capacity
+  const SafetyReport report = ValidateFailoverSafety(room, capped);
+  EXPECT_FALSE(report.safe);
+  EXPECT_NEAR(report.worst_overload_fraction, 3.0 / 2.4, 1e-9);
+  const auto [u1, u2] = room.UpsesOfPduPair(0);
+  EXPECT_TRUE(report.worst_failure == u1 || report.worst_failure == u2);
+}
+
+TEST(LoadsTest, SafeRoomPassesValidation)
+{
+  const RoomTopology room = DefaultRoom();
+  // 75% of capacity per UPS is exactly the conventional failover budget:
+  // survivors land exactly at 100% after a failure.
+  const Watts per_pair = room.FailoverBudget() / room.NumPduPairs();
+  PduPairLoads capped(static_cast<std::size_t>(room.NumPduPairs()), per_pair);
+  const SafetyReport report = ValidateFailoverSafety(room, capped);
+  EXPECT_TRUE(report.safe);
+  EXPECT_NEAR(report.worst_overload_fraction, 1.0, 1e-9);
+  EXPECT_TRUE(ValidateNormalOperation(room, capped));
+}
+
+TEST(LoadsTest, NormalOperationValidationCatchesOverload)
+{
+  const RoomTopology room = DefaultRoom();
+  PduPairLoads loads(static_cast<std::size_t>(room.NumPduPairs()),
+                     Watts(0.0));
+  // All load on pairs of UPS 0 (pairs 0..5 involve UPS 0 with 2 each for
+  // combos (0,1),(0,2),(0,3)).
+  for (const PduPairId p : room.PduPairsOfUps(0))
+    loads[static_cast<std::size_t>(p)] = MegaWatts(0.9);
+  // UPS 0 carries 6 * 0.45 = 2.7 MW > 2.4 MW.
+  EXPECT_FALSE(ValidateNormalOperation(room, loads));
+}
+
+TEST(LoadsTest, RejectsMalformedInputs)
+{
+  const RoomTopology room = DefaultRoom();
+  PduPairLoads wrong_size(3, Watts(0.0));
+  EXPECT_THROW(NormalUpsLoads(room, wrong_size), ConfigError);
+  PduPairLoads negative(static_cast<std::size_t>(room.NumPduPairs()),
+                        Watts(-1.0));
+  EXPECT_THROW(NormalUpsLoads(room, negative), ConfigError);
+  PduPairLoads ok(static_cast<std::size_t>(room.NumPduPairs()), Watts(0.0));
+  EXPECT_THROW(FailoverUpsLoads(room, ok, 99), ConfigError);
+}
+
+TEST(TripCurveTest, EndOfLifeMatchesPaperAnchors)
+{
+  const TripCurve curve = TripCurve::ForBatteryLife(BatteryLife::kEndOfLife);
+  // Paper: 10 seconds at the worst-case 133% failover load.
+  EXPECT_NEAR(curve.ToleranceAt(1.33).value(), 10.0, 1e-9);
+  // At or below rated load: indefinitely sustainable.
+  EXPECT_GE(curve.ToleranceAt(1.0).value(), TripCurve::Indefinite().value());
+  EXPECT_GE(curve.ToleranceAt(0.5).value(), TripCurve::Indefinite().value());
+}
+
+TEST(TripCurveTest, BeginOfLifeIsMoreTolerant)
+{
+  const TripCurve begin = TripCurve::ForBatteryLife(BatteryLife::kBeginOfLife);
+  const TripCurve end = TripCurve::ForBatteryLife(BatteryLife::kEndOfLife);
+  for (const double load : {1.05, 1.1, 1.2, 1.33, 1.5, 1.8}) {
+    EXPECT_GT(begin.ToleranceAt(load).value(),
+              end.ToleranceAt(load).value())
+        << "at load " << load;
+  }
+}
+
+TEST(TripCurveTest, ToleranceDecreasesWithLoad)
+{
+  const TripCurve curve = TripCurve::ForBatteryLife(BatteryLife::kEndOfLife);
+  double previous = curve.ToleranceAt(1.01).value();
+  for (double load = 1.05; load <= 2.0; load += 0.05) {
+    const double tolerance = curve.ToleranceAt(load).value();
+    EXPECT_LE(tolerance, previous);
+    previous = tolerance;
+  }
+}
+
+TEST(TripCurveTest, RideThroughIsThreeAndAHalfMinutes)
+{
+  EXPECT_NEAR(TripCurve::RideThroughAtRated().value(), 210.0, 1e-9);
+}
+
+TEST(TripCurveTest, RejectsNegativeLoad)
+{
+  const TripCurve curve = TripCurve::ForBatteryLife(BatteryLife::kEndOfLife);
+  EXPECT_THROW(curve.ToleranceAt(-0.1), ConfigError);
+}
+
+}  // namespace
+}  // namespace flex::power

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Unit tests for the discrete-event simulation kernel.
+ */
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "sim/event_queue.hpp"
+
+namespace flex::sim {
+namespace {
+
+TEST(EventQueueTest, RunsEventsInTimeOrder)
+{
+  EventQueue q;
+  std::vector<int> order;
+  q.Schedule(Seconds(3.0), [&] { order.push_back(3); });
+  q.Schedule(Seconds(1.0), [&] { order.push_back(1); });
+  q.Schedule(Seconds(2.0), [&] { order.push_back(2); });
+  q.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_NEAR(q.Now().value(), 3.0, 1e-12);
+}
+
+TEST(EventQueueTest, EqualTimestampsFireFifo)
+{
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i)
+    q.Schedule(Seconds(1.0), [&order, i] { order.push_back(i); });
+  q.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueueTest, RunUntilStopsAtHorizon)
+{
+  EventQueue q;
+  int fired = 0;
+  q.Schedule(Seconds(1.0), [&] { ++fired; });
+  q.Schedule(Seconds(5.0), [&] { ++fired; });
+  const std::size_t executed = q.RunUntil(Seconds(2.0));
+  EXPECT_EQ(executed, 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_NEAR(q.Now().value(), 2.0, 1e-12);
+  EXPECT_EQ(q.PendingCount(), 1u);
+  q.RunUntil(Seconds(10.0));
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueueTest, TimeAdvancesToHorizonEvenWhenIdle)
+{
+  EventQueue q;
+  q.RunUntil(Seconds(42.0));
+  EXPECT_NEAR(q.Now().value(), 42.0, 1e-12);
+}
+
+TEST(EventQueueTest, CancelPreventsExecution)
+{
+  EventQueue q;
+  int fired = 0;
+  const EventId id = q.Schedule(Seconds(1.0), [&] { ++fired; });
+  q.Schedule(Seconds(2.0), [&] { ++fired; });
+  q.Cancel(id);
+  q.RunAll();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueueTest, CancelIsIdempotentAndToleratesBadIds)
+{
+  EventQueue q;
+  const EventId id = q.Schedule(Seconds(1.0), [] {});
+  q.Cancel(id);
+  q.Cancel(id);
+  q.Cancel(0);
+  q.Cancel(9999);
+  EXPECT_NO_THROW(q.RunAll());
+}
+
+TEST(EventQueueTest, EventsCanScheduleMoreEvents)
+{
+  EventQueue q;
+  std::vector<double> times;
+  q.Schedule(Seconds(1.0), [&] {
+    times.push_back(q.Now().value());
+    q.Schedule(Seconds(1.0), [&] { times.push_back(q.Now().value()); });
+  });
+  q.RunAll();
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_NEAR(times[0], 1.0, 1e-12);
+  EXPECT_NEAR(times[1], 2.0, 1e-12);
+}
+
+TEST(EventQueueTest, ScheduleAtAbsoluteTime)
+{
+  EventQueue q;
+  q.RunUntil(Seconds(5.0));
+  double fired_at = -1.0;
+  q.ScheduleAt(Seconds(8.0), [&] { fired_at = q.Now().value(); });
+  EXPECT_THROW(q.ScheduleAt(Seconds(3.0), [] {}), ConfigError);
+  q.RunAll();
+  EXPECT_NEAR(fired_at, 8.0, 1e-12);
+}
+
+TEST(EventQueueTest, RejectsNegativeDelay)
+{
+  EventQueue q;
+  EXPECT_THROW(q.Schedule(Seconds(-1.0), [] {}), ConfigError);
+}
+
+TEST(EventQueueTest, StepRunsExactlyOneEvent)
+{
+  EventQueue q;
+  int fired = 0;
+  q.Schedule(Seconds(1.0), [&] { ++fired; });
+  q.Schedule(Seconds(2.0), [&] { ++fired; });
+  EXPECT_TRUE(q.Step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(q.Step());
+  EXPECT_FALSE(q.Step());
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueueTest, PeriodicTicksUntilCallbackReturnsFalse)
+{
+  EventQueue q;
+  int ticks = 0;
+  SchedulePeriodic(q, Seconds(1.5), [&] {
+    ++ticks;
+    return ticks < 4;
+  });
+  q.RunUntil(Seconds(100.0));
+  EXPECT_EQ(ticks, 4);
+  EXPECT_TRUE(q.Empty());
+}
+
+TEST(EventQueueTest, PeriodicTickSpacingMatchesPeriod)
+{
+  EventQueue q;
+  std::vector<double> times;
+  SchedulePeriodic(q, Seconds(2.0), [&] {
+    times.push_back(q.Now().value());
+    return times.size() < 3;
+  });
+  q.RunAll();
+  ASSERT_EQ(times.size(), 3u);
+  EXPECT_NEAR(times[0], 2.0, 1e-12);
+  EXPECT_NEAR(times[1], 4.0, 1e-12);
+  EXPECT_NEAR(times[2], 6.0, 1e-12);
+}
+
+TEST(EventQueueTest, PendingCountTracksLiveEvents)
+{
+  EventQueue q;
+  const EventId a = q.Schedule(Seconds(1.0), [] {});
+  q.Schedule(Seconds(2.0), [] {});
+  EXPECT_EQ(q.PendingCount(), 2u);
+  q.Cancel(a);
+  EXPECT_EQ(q.PendingCount(), 1u);
+  q.RunAll();
+  EXPECT_EQ(q.PendingCount(), 0u);
+  EXPECT_TRUE(q.Empty());
+}
+
+}  // namespace
+}  // namespace flex::sim

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Tests for multi-room site placement, oversubscription composition,
+ * and power-emergency notifications.
+ */
+#include <gtest/gtest.h>
+
+#include "analysis/oversubscription.hpp"
+#include "common/error.hpp"
+#include "offline/metrics.hpp"
+#include "offline/site.hpp"
+#include "online/notifications.hpp"
+#include "power/loads.hpp"
+#include "workload/trace.hpp"
+
+namespace flex {
+namespace {
+
+power::RoomConfig
+SmallRoom()
+{
+  power::RoomConfig config;
+  config.ups_capacity = KiloWatts(600.0);
+  config.pdu_pairs_per_ups_pair = 1;
+  config.rows_per_pdu_pair = 2;
+  config.racks_per_row = 10;
+  return config;
+}
+
+TEST(SitePlacerTest, OverflowRoutesToLaterRooms)
+{
+  const power::RoomTopology room_a{SmallRoom()};
+  const power::RoomTopology room_b{SmallRoom()};
+  const power::RoomTopology room_c{SmallRoom()};
+  offline::SitePlacer site(
+      {&room_a, &room_b, &room_c},
+      [] { return std::make_unique<offline::BalancedRoundRobinPolicy>(); });
+
+  // Demand sized for ~2.2 rooms.
+  Rng rng(41);
+  workload::TraceConfig config;
+  config.demand_multiple = 2.2;
+  const auto trace = workload::GenerateTrace(
+      config, room_a.TotalProvisionedPower(), rng);
+
+  const offline::SitePlacement placement = site.Place(trace);
+  ASSERT_EQ(placement.rooms.size(), 3u);
+  // Every room took something; the site placed most of the demand.
+  EXPECT_GT(placement.rooms[0].NumPlaced(), 0);
+  EXPECT_GT(placement.rooms[1].NumPlaced(), 0);
+  EXPECT_GT(placement.PlacedFraction(trace), 0.80);
+  // Each room individually remains safe.
+  for (std::size_t r = 0; r < 3; ++r) {
+    if (placement.rooms[r].deployments.empty())
+      continue;
+    const power::RoomTopology& room =
+        r == 0 ? room_a : (r == 1 ? room_b : room_c);
+    EXPECT_TRUE(power::ValidateFailoverSafety(
+                    room, placement.rooms[r].CappedPduLoads(room))
+                    .safe);
+  }
+}
+
+TEST(SitePlacerTest, NoDoublePlacementAcrossRooms)
+{
+  const power::RoomTopology room_a{SmallRoom()};
+  const power::RoomTopology room_b{SmallRoom()};
+  offline::SitePlacer site(
+      {&room_a, &room_b},
+      [] { return std::make_unique<offline::FirstFitPolicy>(); });
+  Rng rng(43);
+  workload::TraceConfig config;
+  config.demand_multiple = 1.6;
+  const auto trace = workload::GenerateTrace(
+      config, room_a.TotalProvisionedPower(), rng);
+  const offline::SitePlacement placement = site.Place(trace);
+
+  std::set<workload::DeploymentId> placed_ids;
+  for (const offline::Placement& room : placement.rooms) {
+    for (std::size_t i = 0; i < room.deployments.size(); ++i) {
+      if (room.assignment[i].has_value()) {
+        EXPECT_TRUE(placed_ids.insert(room.deployments[i].id).second)
+            << "deployment placed twice";
+      }
+    }
+  }
+  for (const workload::Deployment& d : placement.unplaced)
+    EXPECT_EQ(placed_ids.count(d.id), 0u);
+  // Conservation: placed + unplaced = trace.
+  EXPECT_EQ(placed_ids.size() + placement.unplaced.size(), trace.size());
+}
+
+TEST(SitePlacerTest, SingleRoomBehavesLikeThePolicyAlone)
+{
+  const power::RoomTopology room{SmallRoom()};
+  offline::SitePlacer site(
+      {&room},
+      [] { return std::make_unique<offline::BalancedRoundRobinPolicy>(); });
+  Rng rng(47);
+  const auto trace = workload::GenerateTrace(
+      workload::TraceConfig{}, room.TotalProvisionedPower(), rng);
+  const offline::SitePlacement via_site = site.Place(trace);
+  offline::BalancedRoundRobinPolicy direct;
+  const offline::Placement via_policy = direct.Place(room, trace);
+  EXPECT_NEAR(via_site.PlacedPower().value(),
+              via_policy.PlacedPower().value(), 1e-6);
+}
+
+TEST(SitePlacerTest, Validation)
+{
+  EXPECT_THROW(
+      offline::SitePlacer({}, [] {
+        return std::unique_ptr<offline::PlacementPolicy>{};
+      }),
+      ConfigError);
+  const power::RoomTopology room{SmallRoom()};
+  EXPECT_THROW(offline::SitePlacer({&room, nullptr},
+                                   [] {
+                                     return std::make_unique<
+                                         offline::FirstFitPolicy>();
+                                   }),
+               ConfigError);
+}
+
+TEST(OversubscriptionTest, AggregationAllowsOversubscription)
+{
+  analysis::OversubscriptionParams params;
+  const analysis::OversubscriptionResult result =
+      analysis::EvaluateOversubscription(params);
+  // 600 racks at mean 72% with tiny aggregate stddev: the quantile sits
+  // well under 100% of nameplate, so the ratio clears 1.3x.
+  EXPECT_GT(result.oversubscription_ratio, 1.2);
+  EXPECT_LT(result.oversubscription_ratio, 1.5);
+  EXPECT_LE(result.provisioning_quantile, 1.0);
+}
+
+TEST(OversubscriptionTest, FewerRacksMeansLessSmoothing)
+{
+  analysis::OversubscriptionParams many;
+  analysis::OversubscriptionParams few = many;
+  few.num_racks = 4;
+  EXPECT_LT(analysis::EvaluateOversubscription(few).oversubscription_ratio,
+            analysis::EvaluateOversubscription(many).oversubscription_ratio);
+}
+
+TEST(OversubscriptionTest, CombinedGainStacksWithFlex)
+{
+  // Paper: Flex alone gives +33% (4N/3); stacked with ~1.3x
+  // oversubscription the total clears +70%.
+  const double gain = analysis::CombinedDensityGain(4, 3, 1.3);
+  EXPECT_NEAR(gain, 4.0 / 3.0 * 1.3 - 1.0, 1e-12);
+  EXPECT_GT(gain, 0.70);
+  // No oversubscription: pure Flex.
+  EXPECT_NEAR(analysis::CombinedDensityGain(4, 3, 1.0), 1.0 / 3.0, 1e-12);
+}
+
+TEST(OversubscriptionTest, InverseNormalCdfSanity)
+{
+  EXPECT_NEAR(analysis::InverseNormalCdf(0.5), 0.0, 1e-9);
+  EXPECT_NEAR(analysis::InverseNormalCdf(0.975), 1.959964, 1e-4);
+  EXPECT_NEAR(analysis::InverseNormalCdf(0.0228), -2.0, 0.01);
+  EXPECT_THROW(analysis::InverseNormalCdf(0.0), ConfigError);
+  EXPECT_THROW(analysis::InverseNormalCdf(1.0), ConfigError);
+}
+
+TEST(NotificationBusTest, RoutesByWorkload)
+{
+  online::NotificationBus bus;
+  int search_events = 0;
+  int all_events = 0;
+  bus.Subscribe("websearch", [&](const online::PowerEmergencyNotification&) {
+    ++search_events;
+  });
+  bus.Subscribe("", [&](const online::PowerEmergencyNotification&) {
+    ++all_events;
+  });
+
+  online::PowerEmergencyNotification n;
+  n.workload = "websearch";
+  n.racks = {1, 2, 3};
+  bus.Publish(n);
+  n.workload = "analytics";
+  bus.Publish(n);
+
+  EXPECT_EQ(search_events, 1);
+  EXPECT_EQ(all_events, 2);
+  EXPECT_EQ(bus.published_count(), 2u);
+}
+
+TEST(NotificationBusTest, RejectsNullCallback)
+{
+  online::NotificationBus bus;
+  EXPECT_THROW(bus.Subscribe("x", nullptr), ConfigError);
+}
+
+}  // namespace
+}  // namespace flex

@@ -1,0 +1,404 @@
+/**
+ * @file
+ * Unit tests for the LP simplex and branch-and-bound MILP solvers.
+ */
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "solver/branch_and_bound.hpp"
+#include "solver/model.hpp"
+#include "solver/simplex.hpp"
+
+namespace flex::solver {
+namespace {
+
+TEST(SimplexTest, SolvesTrivialSingleVariable)
+{
+  Model m;
+  const VarIndex x = m.AddContinuous("x", 0.0, 10.0, 1.0);
+  const LpResult r = SimplexSolver().Solve(m);
+  ASSERT_TRUE(r.IsOptimal());
+  EXPECT_NEAR(r.objective, 10.0, 1e-6);
+  EXPECT_NEAR(r.x[static_cast<std::size_t>(x)], 10.0, 1e-6);
+}
+
+TEST(SimplexTest, SolvesTwoVariableLp)
+{
+  // maximize 3x + 2y s.t. x + y <= 4, x + 3y <= 6; optimum (4, 0) -> 12.
+  Model m;
+  const VarIndex x = m.AddContinuous("x", 0.0, 1e9, 3.0);
+  const VarIndex y = m.AddContinuous("y", 0.0, 1e9, 2.0);
+  m.AddConstraint("c1", {{x, 1.0}, {y, 1.0}}, Relation::kLessEqual, 4.0);
+  m.AddConstraint("c2", {{x, 1.0}, {y, 3.0}}, Relation::kLessEqual, 6.0);
+  const LpResult r = SimplexSolver().Solve(m);
+  ASSERT_TRUE(r.IsOptimal());
+  EXPECT_NEAR(r.objective, 12.0, 1e-6);
+  EXPECT_NEAR(r.x[static_cast<std::size_t>(x)], 4.0, 1e-6);
+  EXPECT_NEAR(r.x[static_cast<std::size_t>(y)], 0.0, 1e-6);
+}
+
+TEST(SimplexTest, HandlesGreaterEqualAndEquality)
+{
+  // minimize 2x + 3y s.t. x + y = 10, x >= 4; optimum (10, 0)? x>=4, y>=0:
+  // x=10, y=0 -> 20.
+  Model m;
+  m.SetSense(Sense::kMinimize);
+  const VarIndex x = m.AddContinuous("x", 0.0, 1e9, 2.0);
+  const VarIndex y = m.AddContinuous("y", 0.0, 1e9, 3.0);
+  m.AddConstraint("sum", {{x, 1.0}, {y, 1.0}}, Relation::kEqual, 10.0);
+  m.AddConstraint("min_x", {{x, 1.0}}, Relation::kGreaterEqual, 4.0);
+  const LpResult r = SimplexSolver().Solve(m);
+  ASSERT_TRUE(r.IsOptimal());
+  EXPECT_NEAR(r.objective, 20.0, 1e-6);
+  EXPECT_NEAR(r.x[static_cast<std::size_t>(x)], 10.0, 1e-6);
+}
+
+TEST(SimplexTest, DetectsInfeasibility)
+{
+  Model m;
+  const VarIndex x = m.AddContinuous("x", 0.0, 5.0, 1.0);
+  m.AddConstraint("impossible", {{x, 1.0}}, Relation::kGreaterEqual, 6.0);
+  const LpResult r = SimplexSolver().Solve(m);
+  EXPECT_EQ(r.status, LpStatus::kInfeasible);
+}
+
+TEST(SimplexTest, DetectsUnboundedness)
+{
+  Model m;
+  const VarIndex x = m.AddContinuous(
+      "x", 0.0, std::numeric_limits<double>::infinity(), 1.0);
+  m.AddConstraint("weak", {{x, -1.0}}, Relation::kLessEqual, 1.0);
+  const LpResult r = SimplexSolver().Solve(m);
+  EXPECT_EQ(r.status, LpStatus::kUnbounded);
+}
+
+TEST(SimplexTest, RespectsNonZeroLowerBounds)
+{
+  // minimize x + y with x in [2, 8], y in [3, 9] -> 5 at (2, 3).
+  Model m;
+  m.SetSense(Sense::kMinimize);
+  const VarIndex x = m.AddContinuous("x", 2.0, 8.0, 1.0);
+  const VarIndex y = m.AddContinuous("y", 3.0, 9.0, 1.0);
+  const LpResult r = SimplexSolver().Solve(m);
+  ASSERT_TRUE(r.IsOptimal());
+  EXPECT_NEAR(r.objective, 5.0, 1e-6);
+  EXPECT_NEAR(r.x[static_cast<std::size_t>(x)], 2.0, 1e-6);
+  EXPECT_NEAR(r.x[static_cast<std::size_t>(y)], 3.0, 1e-6);
+}
+
+TEST(SimplexTest, SubstitutesFixedVariables)
+{
+  // x fixed at 3 via equal bounds; maximize x + y, y <= 4.
+  Model m;
+  m.AddContinuous("x", 3.0, 3.0, 1.0);
+  const VarIndex y = m.AddContinuous("y", 0.0, 4.0, 1.0);
+  const LpResult r = SimplexSolver().Solve(m);
+  ASSERT_TRUE(r.IsOptimal());
+  EXPECT_NEAR(r.objective, 7.0, 1e-6);
+  EXPECT_NEAR(r.x[static_cast<std::size_t>(y)], 4.0, 1e-6);
+}
+
+TEST(SimplexTest, BoundOverridesTightenTheFeasibleRegion)
+{
+  Model m;
+  const VarIndex x = m.AddContinuous("x", 0.0, 10.0, 1.0);
+  BoundOverrides overrides(1);
+  overrides[static_cast<std::size_t>(x)] = {0.0, 4.0};
+  const LpResult r = SimplexSolver().SolveWithBounds(m, overrides);
+  ASSERT_TRUE(r.IsOptimal());
+  EXPECT_NEAR(r.objective, 4.0, 1e-6);
+}
+
+TEST(SimplexTest, ConflictingOverridesAreInfeasible)
+{
+  Model m;
+  m.AddContinuous("x", 2.0, 10.0, 1.0);
+  BoundOverrides overrides(1);
+  overrides[0] = {0.0, 1.0};  // intersects model bounds to empty
+  const LpResult r = SimplexSolver().SolveWithBounds(m, overrides);
+  EXPECT_EQ(r.status, LpStatus::kInfeasible);
+}
+
+TEST(SimplexTest, HandlesDegenerateProblemsWithoutCycling)
+{
+  // Classic Beale cycling example (will cycle under naive Dantzig rule
+  // without anti-cycling); just assert we terminate at the optimum 0.05.
+  Model m;
+  const VarIndex x1 = m.AddContinuous("x1", 0.0, 1e9, 0.75);
+  const VarIndex x2 = m.AddContinuous("x2", 0.0, 1e9, -150.0);
+  const VarIndex x3 = m.AddContinuous("x3", 0.0, 1e9, 0.02);
+  const VarIndex x4 = m.AddContinuous("x4", 0.0, 1e9, -6.0);
+  m.AddConstraint("r1",
+                  {{x1, 0.25}, {x2, -60.0}, {x3, -0.04}, {x4, 9.0}},
+                  Relation::kLessEqual, 0.0);
+  m.AddConstraint("r2",
+                  {{x1, 0.5}, {x2, -90.0}, {x3, -0.02}, {x4, 3.0}},
+                  Relation::kLessEqual, 0.0);
+  m.AddConstraint("r3", {{x3, 1.0}}, Relation::kLessEqual, 1.0);
+  const LpResult r = SimplexSolver().Solve(m);
+  ASSERT_TRUE(r.IsOptimal());
+  EXPECT_NEAR(r.objective, 0.05, 1e-6);
+}
+
+TEST(BranchAndBoundTest, SolvesSmallKnapsack)
+{
+  // values {10, 13, 7}, weights {4, 6, 3}, capacity 9 -> best {10, 7} = 17?
+  // {13, 7} weight 9 value 20. Optimal 20.
+  Model m;
+  const VarIndex a = m.AddBinary("a", 10.0);
+  const VarIndex b = m.AddBinary("b", 13.0);
+  const VarIndex c = m.AddBinary("c", 7.0);
+  m.AddConstraint("cap", {{a, 4.0}, {b, 6.0}, {c, 3.0}},
+                  Relation::kLessEqual, 9.0);
+  const MipResult r = BranchAndBoundSolver().Solve(m);
+  ASSERT_EQ(r.status, MipStatus::kOptimal);
+  EXPECT_NEAR(r.objective, 20.0, 1e-6);
+  EXPECT_NEAR(r.x[static_cast<std::size_t>(a)], 0.0, 1e-6);
+  EXPECT_NEAR(r.x[static_cast<std::size_t>(b)], 1.0, 1e-6);
+  EXPECT_NEAR(r.x[static_cast<std::size_t>(c)], 1.0, 1e-6);
+}
+
+TEST(BranchAndBoundTest, SolvesAssignmentProblem)
+{
+  // 3 tasks x 3 agents, costs; minimize. Known optimum 5 (1+1+3? compute):
+  // cost matrix {{4,1,3},{2,0,5},{3,2,2}} -> assignment t0->a1(1),
+  // t1->a0(2), t2->a2(2) = 5.
+  const double cost[3][3] = {{4, 1, 3}, {2, 0, 5}, {3, 2, 2}};
+  Model m;
+  m.SetSense(Sense::kMinimize);
+  VarIndex x[3][3];
+  for (int t = 0; t < 3; ++t) {
+    for (int a = 0; a < 3; ++a)
+      x[t][a] = m.AddBinary("x", cost[t][a]);
+  }
+  for (int t = 0; t < 3; ++t) {
+    m.AddConstraint("task",
+                    {{x[t][0], 1.0}, {x[t][1], 1.0}, {x[t][2], 1.0}},
+                    Relation::kEqual, 1.0);
+  }
+  for (int a = 0; a < 3; ++a) {
+    m.AddConstraint("agent",
+                    {{x[0][a], 1.0}, {x[1][a], 1.0}, {x[2][a], 1.0}},
+                    Relation::kEqual, 1.0);
+  }
+  const MipResult r = BranchAndBoundSolver().Solve(m);
+  ASSERT_EQ(r.status, MipStatus::kOptimal);
+  EXPECT_NEAR(r.objective, 5.0, 1e-6);
+}
+
+TEST(BranchAndBoundTest, ReportsInfeasibleIntegerProblems)
+{
+  Model m;
+  const VarIndex a = m.AddBinary("a", 1.0);
+  const VarIndex b = m.AddBinary("b", 1.0);
+  m.AddConstraint("sum2", {{a, 1.0}, {b, 1.0}}, Relation::kEqual, 2.0);
+  m.AddConstraint("cap", {{a, 1.0}, {b, 1.0}}, Relation::kLessEqual, 1.0);
+  const MipResult r = BranchAndBoundSolver().Solve(m);
+  EXPECT_EQ(r.status, MipStatus::kInfeasible);
+  EXPECT_FALSE(r.HasSolution());
+}
+
+TEST(BranchAndBoundTest, HandlesMixedIntegerContinuous)
+{
+  // maximize 5b + z with z <= 2.5, b binary, b + z <= 3 -> b=1, z=2 -> 7.
+  Model m;
+  const VarIndex b = m.AddBinary("b", 5.0);
+  const VarIndex z = m.AddContinuous("z", 0.0, 2.5, 1.0);
+  m.AddConstraint("link", {{b, 1.0}, {z, 1.0}}, Relation::kLessEqual, 3.0);
+  const MipResult r = BranchAndBoundSolver().Solve(m);
+  ASSERT_EQ(r.status, MipStatus::kOptimal);
+  EXPECT_NEAR(r.objective, 7.0, 1e-6);
+  EXPECT_NEAR(r.x[static_cast<std::size_t>(b)], 1.0, 1e-6);
+  EXPECT_NEAR(r.x[static_cast<std::size_t>(z)], 2.0, 1e-6);
+}
+
+TEST(BranchAndBoundTest, SolvesGeneralIntegerVariables)
+{
+  // maximize x with 3x <= 10, x integer -> 3.
+  Model m;
+  const VarIndex x = m.AddInteger("x", 0.0, 100.0, 1.0);
+  m.AddConstraint("c", {{x, 3.0}}, Relation::kLessEqual, 10.0);
+  const MipResult r = BranchAndBoundSolver().Solve(m);
+  ASSERT_EQ(r.status, MipStatus::kOptimal);
+  EXPECT_NEAR(r.objective, 3.0, 1e-6);
+}
+
+TEST(BranchAndBoundTest, LargerKnapsackMatchesDynamicProgramming)
+{
+  // 18-item knapsack cross-checked against a DP solution computed here.
+  const std::vector<double> values = {12, 7,  11, 8,  9,  6, 13, 5, 14,
+                                      10, 4,  15, 3,  16, 2, 17, 1, 18};
+  const std::vector<int> weights = {4, 2, 3, 5, 2, 3, 6, 1, 7,
+                                    4, 2, 6, 1, 8, 1, 9, 1, 10};
+  const int capacity = 25;
+
+  // DP over integer weights.
+  std::vector<double> dp(static_cast<std::size_t>(capacity) + 1, 0.0);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    for (int w = capacity; w >= weights[i]; --w) {
+      dp[static_cast<std::size_t>(w)] =
+          std::max(dp[static_cast<std::size_t>(w)],
+                   dp[static_cast<std::size_t>(w - weights[i])] + values[i]);
+    }
+  }
+  const double best = dp[static_cast<std::size_t>(capacity)];
+
+  Model m;
+  std::vector<std::pair<VarIndex, double>> terms;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const VarIndex v = m.AddBinary("item", values[i]);
+    terms.push_back({v, static_cast<double>(weights[i])});
+  }
+  m.AddConstraint("cap", terms, Relation::kLessEqual,
+                  static_cast<double>(capacity));
+  const MipResult r = BranchAndBoundSolver().Solve(m);
+  ASSERT_TRUE(r.HasSolution());
+  ASSERT_EQ(r.status, MipStatus::kOptimal);
+  EXPECT_NEAR(r.objective, best, 1e-6);
+}
+
+TEST(BranchAndBoundTest, HonoursNodeBudgetAndStillReturnsIncumbent)
+{
+  BranchAndBoundSolver::Options options;
+  options.max_nodes = 3;
+  Model m;
+  std::vector<std::pair<VarIndex, double>> terms;
+  for (int i = 0; i < 30; ++i) {
+    const VarIndex v = m.AddBinary("b", 1.0 + 0.01 * i);
+    terms.push_back({v, 1.0 + 0.013 * i});
+  }
+  m.AddConstraint("cap", terms, Relation::kLessEqual, 7.7);
+  const MipResult r = BranchAndBoundSolver(options).Solve(m);
+  // The greedy dive should have produced some incumbent even with only
+  // three nodes explored.
+  EXPECT_TRUE(r.HasSolution());
+  EXPECT_LE(r.nodes_explored, 3);
+  EXPECT_GE(r.bound, r.objective - 1e-9);
+}
+
+TEST(BranchAndBoundTest, WarmStartSeedsTheIncumbent)
+{
+  // A fractional root (a = 1, b = 0.5) plus a zero-node budget: without
+  // a warm start this returns no solution; with one, the caller's
+  // feasible point is the incumbent.
+  Model m;
+  const VarIndex a = m.AddBinary("a", 1.0);
+  const VarIndex b = m.AddBinary("b", 1.0);
+  m.AddConstraint("cap", {{a, 2.0}, {b, 2.0}}, Relation::kLessEqual, 3.0);
+
+  BranchAndBoundSolver::Options options;
+  options.max_nodes = 0;
+  options.dive_depth = 0;
+  const MipResult cold = BranchAndBoundSolver(options).Solve(m);
+  EXPECT_FALSE(cold.HasSolution());
+
+  options.warm_start = {1.0, 0.0};  // feasible, objective 1
+  const MipResult warm = BranchAndBoundSolver(options).Solve(m);
+  ASSERT_TRUE(warm.HasSolution());
+  EXPECT_NEAR(warm.objective, 1.0, 1e-9);
+}
+
+TEST(BranchAndBoundTest, InfeasibleWarmStartIsIgnored)
+{
+  Model m;
+  const VarIndex a = m.AddBinary("a", 3.0);
+  const VarIndex b = m.AddBinary("b", 2.0);
+  m.AddConstraint("cap", {{a, 1.0}, {b, 1.0}}, Relation::kLessEqual, 1.0);
+  BranchAndBoundSolver::Options options;
+  options.warm_start = {1.0, 1.0};  // violates the constraint
+  const MipResult result = BranchAndBoundSolver(options).Solve(m);
+  // Solved normally to the true optimum despite the bogus seed.
+  ASSERT_EQ(result.status, MipStatus::kOptimal);
+  EXPECT_NEAR(result.objective, 3.0, 1e-9);
+}
+
+TEST(BranchAndBoundTest, WarmStartNeverWorseThanItsSeed)
+{
+  // Even with a tiny budget the reported objective is at least the
+  // warm start's.
+  Rng rng(55);
+  Model m;
+  std::vector<std::pair<VarIndex, double>> terms;
+  std::vector<double> seed;
+  for (int i = 0; i < 40; ++i) {
+    const VarIndex v = m.AddBinary("b", rng.Uniform(1.0, 5.0));
+    terms.push_back({v, rng.Uniform(1.0, 3.0)});
+    seed.push_back(i % 4 == 0 ? 1.0 : 0.0);
+  }
+  m.AddConstraint("cap", terms, Relation::kLessEqual, 25.0);
+  if (!m.IsFeasible(seed))
+    seed.assign(40, 0.0);
+  const double seed_value = m.ObjectiveValue(seed);
+
+  BranchAndBoundSolver::Options options;
+  options.time_budget_seconds = 0.05;
+  options.warm_start = seed;
+  const MipResult result = BranchAndBoundSolver(options).Solve(m);
+  ASSERT_TRUE(result.HasSolution());
+  EXPECT_GE(result.objective, seed_value - 1e-9);
+}
+
+TEST(SimplexTest, ImpliedBoundEliminationPreservesCorrectness)
+{
+  // Binary-style variables whose x <= 1 bound is implied by a
+  // "place once" row: the optimizer must still respect it.
+  Model m;
+  const VarIndex x = m.AddContinuous("x", 0.0, 1.0, 5.0);
+  const VarIndex y = m.AddContinuous("y", 0.0, 1.0, 3.0);
+  m.AddConstraint("once", {{x, 1.0}, {y, 1.0}}, Relation::kLessEqual, 1.0);
+  const LpResult r = SimplexSolver().Solve(m);
+  ASSERT_TRUE(r.IsOptimal());
+  EXPECT_NEAR(r.objective, 5.0, 1e-6);
+  EXPECT_LE(r.x[static_cast<std::size_t>(x)], 1.0 + 1e-9);
+  EXPECT_LE(r.x[static_cast<std::size_t>(y)], 1.0 + 1e-9);
+}
+
+TEST(SimplexTest, NonImpliedBoundsStillEnforced)
+{
+  // The constraint does NOT imply the bound (rhs/coef > upper): the
+  // explicit bound row must survive elimination.
+  Model m;
+  const VarIndex x = m.AddContinuous("x", 0.0, 2.0, 1.0);
+  m.AddConstraint("loose", {{x, 1.0}}, Relation::kLessEqual, 10.0);
+  const LpResult r = SimplexSolver().Solve(m);
+  ASSERT_TRUE(r.IsOptimal());
+  EXPECT_NEAR(r.objective, 2.0, 1e-6);
+}
+
+TEST(ModelTest, FeasibilityCheckerCatchesViolations)
+{
+  Model m;
+  const VarIndex x = m.AddBinary("x", 1.0);
+  const VarIndex y = m.AddContinuous("y", 0.0, 2.0, 1.0);
+  m.AddConstraint("c", {{x, 1.0}, {y, 1.0}}, Relation::kLessEqual, 2.0);
+
+  EXPECT_TRUE(m.IsFeasible({1.0, 1.0}));
+  EXPECT_FALSE(m.IsFeasible({1.0, 1.5}));   // constraint violated
+  EXPECT_FALSE(m.IsFeasible({0.5, 0.5}));   // integrality violated
+  EXPECT_FALSE(m.IsFeasible({0.0, 3.0}));   // bound violated
+  EXPECT_FALSE(m.IsFeasible({1.0}));        // wrong arity
+}
+
+TEST(ModelTest, ObjectiveValueMatchesCoefficients)
+{
+  Model m;
+  m.AddContinuous("x", 0.0, 1.0, 2.0);
+  m.AddContinuous("y", 0.0, 1.0, -3.0);
+  EXPECT_DOUBLE_EQ(m.ObjectiveValue({0.5, 1.0}), 2.0 * 0.5 - 3.0);
+}
+
+TEST(ModelTest, RejectsConstraintsOnUnknownVariables)
+{
+  Model m;
+  m.AddBinary("x", 1.0);
+  EXPECT_THROW(
+      m.AddConstraint("bad", {{5, 1.0}}, Relation::kLessEqual, 1.0),
+      flex::ConfigError);
+}
+
+}  // namespace
+}  // namespace flex::solver

@@ -1,0 +1,305 @@
+/**
+ * @file
+ * Unit tests for the workload substrate: deployments, impact functions,
+ * trace generation, rack power models.
+ */
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "workload/deployment.hpp"
+#include "workload/impact.hpp"
+#include "workload/rack_power.hpp"
+#include "workload/trace.hpp"
+
+namespace flex::workload {
+namespace {
+
+Deployment
+MakeDeployment(Category category, int racks = 20,
+               double flex_fraction = 0.8)
+{
+  Deployment d;
+  d.id = 0;
+  d.workload = "test";
+  d.category = category;
+  d.num_racks = racks;
+  d.power_per_rack = KiloWatts(14.4);
+  d.flex_power_fraction =
+      category == Category::kSoftwareRedundant ? 0.0 : flex_fraction;
+  return d;
+}
+
+TEST(DeploymentTest, AllocatedPowerIsRacksTimesPerRack)
+{
+  const Deployment d = MakeDeployment(Category::kNonRedundantCapable);
+  EXPECT_NEAR(d.AllocatedPower().kilowatts(), 288.0, 1e-9);
+}
+
+TEST(DeploymentTest, CappedPowerFollowsEq3)
+{
+  // Software-redundant: shut down entirely -> 0.
+  EXPECT_NEAR(MakeDeployment(Category::kSoftwareRedundant)
+                  .CappedPower().value(), 0.0, 1e-9);
+  // Cap-able: flex power fraction of the allocation.
+  EXPECT_NEAR(MakeDeployment(Category::kNonRedundantCapable, 20, 0.8)
+                  .CappedPower().kilowatts(), 288.0 * 0.8, 1e-6);
+  // Non-cap-able: nothing recoverable.
+  const Deployment nc = MakeDeployment(Category::kNonRedundantNonCapable);
+  EXPECT_NEAR(nc.CappedPower().kilowatts(), 288.0, 1e-9);
+  EXPECT_NEAR(nc.ShaveablePower().value(), 0.0, 1e-9);
+}
+
+TEST(DeploymentTest, ShaveablePlusCappedEqualsAllocated)
+{
+  for (const Category c : {Category::kSoftwareRedundant,
+                           Category::kNonRedundantCapable,
+                           Category::kNonRedundantNonCapable}) {
+    const Deployment d = MakeDeployment(c);
+    EXPECT_NEAR((d.ShaveablePower() + d.CappedPower()).value(),
+                d.AllocatedPower().value(), 1e-6);
+  }
+}
+
+TEST(DeploymentTest, ValidateRejectsBadFields)
+{
+  Deployment d = MakeDeployment(Category::kNonRedundantCapable);
+  d.num_racks = 0;
+  EXPECT_THROW(d.Validate(), ConfigError);
+  d = MakeDeployment(Category::kNonRedundantCapable);
+  d.power_per_rack = Watts(0.0);
+  EXPECT_THROW(d.Validate(), ConfigError);
+  d = MakeDeployment(Category::kNonRedundantCapable);
+  d.flex_power_fraction = 1.5;
+  EXPECT_THROW(d.Validate(), ConfigError);
+  d = MakeDeployment(Category::kNonRedundantCapable);
+  d.workload.clear();
+  EXPECT_THROW(d.Validate(), ConfigError);
+}
+
+TEST(DeploymentTest, CategoryNamesAreStable)
+{
+  EXPECT_STREQ(CategoryName(Category::kSoftwareRedundant),
+               "software-redundant");
+  EXPECT_STREQ(CategoryName(Category::kNonRedundantCapable),
+               "non-redundant-capable");
+  EXPECT_STREQ(CategoryName(Category::kNonRedundantNonCapable),
+               "non-redundant-non-capable");
+}
+
+TEST(ImpactFunctionTest, RejectsOutOfRangeOrDecreasing)
+{
+  EXPECT_THROW(ImpactFunction(PiecewiseLinear{{0.0, 0.0}, {1.0, 1.5}}),
+               ConfigError);
+  EXPECT_THROW(ImpactFunction(PiecewiseLinear{{0.0, 0.5}, {1.0, 0.2}}),
+               ConfigError);
+  EXPECT_THROW(ImpactFunction::Linear()(1.5), ConfigError);
+}
+
+TEST(ImpactFunctionTest, Fig8ShapesAreSensible)
+{
+  const ImpactFunction a = ImpactFunction::Fig8A();
+  const ImpactFunction b = ImpactFunction::Fig8B();
+  const ImpactFunction c = ImpactFunction::Fig8C();
+  // A: impact from the first rack; critical tail.
+  EXPECT_GT(a(0.2), 0.0);
+  EXPECT_NEAR(a(1.0), 1.0, 1e-12);
+  // B: free until 60%.
+  EXPECT_NEAR(b(0.5), 0.0, 1e-12);
+  EXPECT_GT(b(0.9), 0.0);
+  EXPECT_LT(b(1.0), 1.0);  // no critical racks: stateless
+  // C: free growth buffer then incremental then critical.
+  EXPECT_NEAR(c(0.1), 0.0, 1e-12);
+  EXPECT_GT(c(0.5), 0.0);
+  EXPECT_NEAR(c(1.0), 1.0, 1e-12);
+}
+
+TEST(ImpactFunctionTest, ZeroAndCriticalExtremes)
+{
+  EXPECT_NEAR(ImpactFunction::Zero()(1.0), 0.0, 1e-12);
+  EXPECT_NEAR(ImpactFunction::Critical()(0.01), 1.0, 1e-9);
+  EXPECT_NEAR(ImpactFunction::Critical()(0.0), 0.0, 1e-12);
+}
+
+TEST(ImpactScenarioTest, AllFourScenariosExist)
+{
+  const auto scenarios = ImpactScenario::AllScenarios();
+  ASSERT_EQ(scenarios.size(), 4u);
+  EXPECT_EQ(scenarios[0].name, "Extreme-1");
+  EXPECT_EQ(scenarios[1].name, "Extreme-2");
+  EXPECT_EQ(scenarios[2].name, "Realistic-1");
+  EXPECT_EQ(scenarios[3].name, "Realistic-2");
+  // Extreme-1: shutting down SR is free, throttling is critical.
+  EXPECT_NEAR(scenarios[0].software_redundant(0.8), 0.0, 1e-12);
+  EXPECT_NEAR(scenarios[0].capable(0.1), 1.0, 1e-9);
+  // Extreme-2 is the mirror image.
+  EXPECT_NEAR(scenarios[1].capable(0.8), 0.0, 1e-12);
+  EXPECT_NEAR(scenarios[1].software_redundant(0.1), 1.0, 1e-9);
+}
+
+TEST(ImpactScenarioTest, Realistic1PrefersShutdownRealistic2Throttling)
+{
+  const ImpactScenario r1 = ImpactScenario::Realistic1();
+  const ImpactScenario r2 = ImpactScenario::Realistic2();
+  // At moderate affected fractions, Realistic-1 charges less for
+  // shutting down than throttling; Realistic-2 is the opposite.
+  EXPECT_LT(r1.software_redundant(0.3), r1.capable(0.3));
+  EXPECT_GT(r2.software_redundant(0.5), r2.capable(0.5));
+}
+
+TEST(TraceTest, GeneratesApproximatelyTargetDemand)
+{
+  Rng rng(1);
+  const TraceConfig config;
+  const Watts provisioned = MegaWatts(9.6);
+  const auto trace = GenerateTrace(config, provisioned, rng);
+  const Watts total = TotalAllocatedPower(trace);
+  // Demand should be ~115% of provisioned (within one deployment size).
+  EXPECT_GE(total.megawatts(), 9.6 * 1.15 - 0.4);
+  EXPECT_LE(total.megawatts(), 9.6 * 1.15 + 0.4);
+}
+
+TEST(TraceTest, CategoryMixTracksConfiguredFractions)
+{
+  Rng rng(2);
+  const TraceConfig config;
+  const auto trace = GenerateTrace(config, MegaWatts(9.6), rng);
+  const CategoryMix mix = MixOf(trace);
+  EXPECT_NEAR(mix.software_redundant, 0.13, 0.04);
+  EXPECT_NEAR(mix.capable, 0.56, 0.05);
+  EXPECT_NEAR(mix.non_capable, 0.31, 0.05);
+  EXPECT_NEAR(mix.software_redundant + mix.capable + mix.non_capable, 1.0,
+              1e-9);
+}
+
+TEST(TraceTest, DeploymentFieldsAreWithinConfig)
+{
+  Rng rng(3);
+  const TraceConfig config;
+  const auto trace = GenerateTrace(config, MegaWatts(9.6), rng);
+  ASSERT_FALSE(trace.empty());
+  for (const Deployment& d : trace) {
+    EXPECT_TRUE(d.num_racks == 20 || d.num_racks == 10 || d.num_racks == 5);
+    EXPECT_TRUE(d.power_per_rack.ApproxEquals(KiloWatts(14.4)) ||
+                d.power_per_rack.ApproxEquals(KiloWatts(17.2)));
+    if (d.category == Category::kNonRedundantCapable) {
+      EXPECT_GE(d.flex_power_fraction, 0.75);
+      EXPECT_LE(d.flex_power_fraction, 0.85);
+    }
+    if (d.category == Category::kSoftwareRedundant) {
+      EXPECT_DOUBLE_EQ(d.flex_power_fraction, 0.0);
+    }
+    EXPECT_NO_THROW(d.Validate());
+  }
+}
+
+TEST(TraceTest, IdsAreSequential)
+{
+  Rng rng(4);
+  const auto trace = GenerateTrace(TraceConfig{}, MegaWatts(9.6), rng);
+  for (std::size_t i = 0; i < trace.size(); ++i)
+    EXPECT_EQ(trace[i].id, static_cast<DeploymentId>(i));
+}
+
+TEST(TraceTest, ShuffledVariantsPreserveMultiset)
+{
+  Rng rng(5);
+  const auto trace = GenerateTrace(TraceConfig{}, MegaWatts(9.6), rng);
+  const auto variants = ShuffledVariants(trace, 10, rng);
+  ASSERT_EQ(variants.size(), 10u);
+  const Watts original = TotalAllocatedPower(trace);
+  for (const auto& variant : variants) {
+    EXPECT_EQ(variant.size(), trace.size());
+    EXPECT_NEAR(TotalAllocatedPower(variant).value(), original.value(), 1e-6);
+    for (std::size_t i = 0; i < variant.size(); ++i)
+      EXPECT_EQ(variant[i].id, static_cast<DeploymentId>(i));
+  }
+  // First variant is the original order.
+  for (std::size_t i = 0; i < trace.size(); ++i)
+    EXPECT_EQ(variants[0][i].workload, trace[i].workload);
+}
+
+TEST(TraceTest, CapDeploymentSizesSplitsLargeDeployments)
+{
+  Rng rng(6);
+  const auto trace = GenerateTrace(TraceConfig{}, MegaWatts(9.6), rng);
+  const auto capped = CapDeploymentSizes(trace, 10);
+  const Watts original = TotalAllocatedPower(trace);
+  EXPECT_NEAR(TotalAllocatedPower(capped).value(), original.value(), 1e-6);
+  for (const Deployment& d : capped)
+    EXPECT_LE(d.num_racks, 10);
+  EXPECT_GT(capped.size(), trace.size());
+}
+
+TEST(TraceTest, ZeroSoftwareRedundantConfigProducesNone)
+{
+  Rng rng(7);
+  TraceConfig config;
+  config.software_redundant_fraction = 0.0;
+  config.capable_fraction = 0.69;
+  const auto trace = GenerateTrace(config, MegaWatts(9.6), rng);
+  for (const Deployment& d : trace)
+    EXPECT_NE(d.category, Category::kSoftwareRedundant);
+}
+
+TEST(TraceTest, ValidatesConfig)
+{
+  Rng rng(8);
+  TraceConfig config;
+  config.demand_multiple = 0.0;
+  EXPECT_THROW(GenerateTrace(config, MegaWatts(9.6), rng), ConfigError);
+  config = TraceConfig{};
+  config.software_redundant_fraction = 0.8;
+  config.capable_fraction = 0.8;
+  EXPECT_THROW(GenerateTrace(config, MegaWatts(9.6), rng), ConfigError);
+  config = TraceConfig{};
+  config.flex_power_min = 0.9;
+  config.flex_power_max = 0.8;
+  EXPECT_THROW(GenerateTrace(config, MegaWatts(9.6), rng), ConfigError);
+}
+
+TEST(RackPowerTest, SampleStaysWithinAllocation)
+{
+  Rng rng(9);
+  const RackPowerModel model;
+  const std::vector<Watts> allocations(100, KiloWatts(14.4));
+  const std::vector<Watts> draws = model.Sample(allocations, rng);
+  ASSERT_EQ(draws.size(), 100u);
+  for (const Watts d : draws) {
+    EXPECT_GE(d.kilowatts(), 14.4 * 0.30 - 1e-9);
+    EXPECT_LE(d.kilowatts(), 14.4 + 1e-9);
+  }
+}
+
+TEST(RackPowerTest, SampleAtUtilizationHitsTarget)
+{
+  Rng rng(10);
+  const RackPowerModel model;
+  const std::vector<Watts> allocations(200, KiloWatts(17.2));
+  for (const double target : {0.5, 0.74, 0.80, 0.85}) {
+    const auto draws = model.SampleAtUtilization(allocations, target, rng);
+    Watts total(0.0);
+    for (const Watts d : draws)
+      total += d;
+    const Watts allocation_total = KiloWatts(17.2) * 200.0;
+    EXPECT_NEAR(total / allocation_total, target, 0.01) << target;
+    for (std::size_t i = 0; i < draws.size(); ++i)
+      EXPECT_LE(draws[i].value(), allocations[i].value() + 1e-6);
+  }
+}
+
+TEST(RackPowerTest, RejectsBadInputs)
+{
+  Rng rng(11);
+  RackPowerModelConfig bad;
+  bad.min_utilization = 0.9;
+  bad.max_utilization = 0.5;
+  EXPECT_THROW(RackPowerModel{bad}, ConfigError);
+  const RackPowerModel model;
+  EXPECT_THROW(model.SampleAtUtilization({KiloWatts(10.0)}, 1.5, rng),
+               ConfigError);
+}
+
+}  // namespace
+}  // namespace flex::workload
