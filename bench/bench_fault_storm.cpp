@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Fault-storm throughput bench.
+ *
+ * Measures the event throughput of the fault-injection stack: fuzzed
+ * scenarios with the invariant monitor attached (the configuration the
+ * property tests sweep), the same runs without the monitor (isolating
+ * its per-event overhead), and a dense storm plan that saturates the
+ * schedule with begin/repair events. The first section doubles as a
+ * large-scale safety sweep: any invariant violation is reported with
+ * its reproducing seed.
+ */
+#include <chrono>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "fault/fault_fuzzer.hpp"
+#include "fault/scenario.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+SecondsSince(Clock::time_point start)
+{
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+}  // namespace
+
+int
+main()
+{
+  using namespace flex;
+  bench::PrintHeader("bench_fault_storm", "fault-injection engine",
+                     "events/sec under fuzzed fault plans");
+
+  const int seeds = bench::NumTraces(40);
+  fault::ScenarioConfig config;
+
+  // --- Fuzzed sweep with the monitor attached -----------------------------
+  std::uint64_t events_monitored = 0;
+  std::size_t readings = 0;
+  std::size_t faults = 0;
+  int violations = 0;
+  auto start = Clock::now();
+  for (std::uint64_t seed = 0; seed < static_cast<std::uint64_t>(seeds);
+       ++seed) {
+    const fault::ScenarioReport report =
+        fault::RunFuzzedScenario(config, seed);
+    events_monitored += report.events_executed;
+    readings += report.readings_delivered;
+    faults += report.fault_trace.size();
+    if (!report.violations.empty()) {
+      ++violations;
+      std::printf("  !! violation at seed %llu:\n%s",
+                  static_cast<unsigned long long>(seed),
+                  report.violation_summary.c_str());
+    }
+  }
+  const double monitored_wall = SecondsSince(start);
+
+  // --- Same sweep without the monitor -------------------------------------
+  config.attach_monitor = false;
+  std::uint64_t events_bare = 0;
+  start = Clock::now();
+  for (std::uint64_t seed = 0; seed < static_cast<std::uint64_t>(seeds);
+       ++seed) {
+    events_bare += fault::RunFuzzedScenario(config, seed).events_executed;
+  }
+  const double bare_wall = SecondsSince(start);
+  config.attach_monitor = true;
+
+  std::printf("\nfuzzed scenarios (%d seeds, %.0f sim-seconds each):\n",
+              seeds, config.shape.horizon.value());
+  std::printf("  %-28s %12s %14s\n", "", "wall (s)", "events/sec");
+  std::printf("  %-28s %12.3f %14.0f\n", "with invariant monitor",
+              monitored_wall,
+              static_cast<double>(events_monitored) / monitored_wall);
+  std::printf("  %-28s %12.3f %14.0f\n", "without monitor", bare_wall,
+              static_cast<double>(events_bare) / bare_wall);
+  std::printf("  monitor overhead: %+.1f%%\n",
+              100.0 * (monitored_wall / bare_wall - 1.0));
+  std::printf("  delivered readings: %zu, fault begin/repair events: %zu\n",
+              readings, faults);
+  std::printf("  invariant violations: %d (must be 0)\n", violations);
+
+  // --- Dense storm: saturate the schedule with fault churn ----------------
+  // Repeated short telemetry and actuation faults, all inside the
+  // envelope (never both buses / both pollers down at once).
+  fault::FaultPlan storm;
+  const double horizon = config.shape.horizon.value();
+  for (double t = 10.0; t < horizon - 20.0; t += 4.0) {
+    fault::FaultEvent poller;
+    poller.at = Seconds(t);
+    poller.kind = fault::FaultKind::kPollerCrash;
+    poller.target = static_cast<int>(t) % config.shape.num_pollers;
+    poller.duration = Seconds(1.5);
+    storm.Add(poller);
+
+    fault::FaultEvent bus;
+    bus.at = Seconds(t + 2.0);
+    bus.kind = fault::FaultKind::kBusDelay;
+    bus.target = static_cast<int>(t) % config.shape.num_buses;
+    bus.magnitude = 0.4;
+    bus.duration = Seconds(1.5);
+    storm.Add(bus);
+
+    fault::FaultEvent rm;
+    rm.at = Seconds(t + 1.0);
+    rm.kind = fault::FaultKind::kRackManagerTimeout;
+    rm.target = static_cast<int>(t) % config.shape.num_racks;
+    rm.magnitude = 1.0;
+    rm.duration = Seconds(2.0);
+    storm.Add(rm);
+  }
+  storm.SortByTime();
+
+  start = Clock::now();
+  fault::FaultScenario scenario(config, 2021);
+  const fault::ScenarioReport report = scenario.Run(storm);
+  const double storm_wall = SecondsSince(start);
+  std::printf("\ndense storm (%zu scheduled faults, one scenario):\n",
+              storm.size());
+  std::printf("  executed %llu events in %.3f s wall — %.0f events/sec\n",
+              static_cast<unsigned long long>(report.events_executed),
+              storm_wall,
+              static_cast<double>(report.events_executed) / storm_wall);
+  std::printf("  fault begin/repair events fired: %zu\n",
+              report.fault_trace.size());
+  std::printf("  invariant violations: %zu (must be 0)\n%s",
+              report.violations.size(), report.violation_summary.c_str());
+  return violations == 0 && report.violations.empty() ? 0 : 1;
+}

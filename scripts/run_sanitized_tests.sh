@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Builds the repository with FLEX_SANITIZE=ON (ASan + UBSan) in a
+# dedicated build tree and runs the tier-1 ctest suite under it.
+#
+# Usage: scripts/run_sanitized_tests.sh [ctest args...]
+#   e.g. scripts/run_sanitized_tests.sh -R fault_test
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${FLEX_SANITIZE_BUILD_DIR:-${repo_root}/build-asan}"
+
+cmake -B "${build_dir}" -S "${repo_root}" -DFLEX_SANITIZE=ON
+cmake --build "${build_dir}" -j"$(nproc)"
+
+# abort_on_error surfaces ASan reports as test failures; the UBSan
+# half already aborts via -fno-sanitize-recover=undefined.
+export ASAN_OPTIONS="${ASAN_OPTIONS:-abort_on_error=1:detect_leaks=1}"
+export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1}"
+
+cd "${build_dir}"
+ctest --output-on-failure -j"$(nproc)" "$@"

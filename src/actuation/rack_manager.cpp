@@ -27,16 +27,23 @@ RackManager::DrawLatency(Kind kind)
 }
 
 void
+RackManager::SetExtraLatency(Seconds extra)
+{
+  FLEX_REQUIRE(extra.value() >= 0.0, "negative extra latency");
+  extra_latency_ = extra;
+}
+
+void
 RackManager::Execute(Kind kind, std::optional<Watts> cap, Completion done)
 {
   FLEX_REQUIRE(static_cast<bool>(done), "null completion callback");
   if (unreachable_ || rng_.Bernoulli(config_.unreachable_probability)) {
     // The command is lost; report failure after a timeout-ish delay so
     // callers see realistic failure detection latency.
-    queue_.Schedule(Seconds(2.0), [done] { done(false); });
+    queue_.Schedule(Seconds(2.0) + extra_latency_, [done] { done(false); });
     return;
   }
-  const Seconds latency = DrawLatency(kind);
+  const Seconds latency = DrawLatency(kind) + extra_latency_;
   const bool stale = firmware_stale_;
   queue_.Schedule(latency, [this, kind, cap, done, latency, stale] {
     action_latencies_.push_back(latency.value());

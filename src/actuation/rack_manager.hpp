@@ -77,6 +77,13 @@ class RackManager {
   void SetFirmwareStale(bool stale) { firmware_stale_ = stale; }
   bool firmware_stale() const { return firmware_stale_; }
 
+  /**
+   * Adds a fixed delay to every command (management-network congestion /
+   * slow BMC firmware). Applies to failure timeouts too; 0 clears it.
+   */
+  void SetExtraLatency(Seconds extra);
+  Seconds extra_latency() const { return extra_latency_; }
+
   /** Health probe: true when reachable with healthy firmware. */
   bool Probe() const { return !unreachable_ && !firmware_stale_; }
 
@@ -101,6 +108,7 @@ class RackManager {
   RackState state_;
   bool unreachable_ = false;
   bool firmware_stale_ = false;
+  Seconds extra_latency_{0.0};
   std::vector<double> action_latencies_;
 };
 

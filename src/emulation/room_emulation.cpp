@@ -321,9 +321,7 @@ RoomEmulation::RecordSample()
       const double duration = queue_.Now().value() - since;
       report_.overload_duration_seconds =
           std::max(report_.overload_duration_seconds, duration);
-      const Seconds tolerance =
-          topology_.trip_curve().ToleranceAt(fraction);
-      if (duration > tolerance.value())
+      if (topology_.trip_curve().Exceeds(fraction, Seconds(duration)))
         report_.safety_violated = true;
     } else {
       since = -1.0;

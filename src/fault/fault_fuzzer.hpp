@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Seeded random fault-plan generation.
+ *
+ * The fuzzer samples FaultPlans from the paper's *tolerated* fault
+ * envelope — the set of failures Flex is designed to absorb: at most
+ * one UPS failed at a time (xN/y powers exactly one failover), a meter
+ * quorum alive on every device (≤1 faulty physical meter of 3), at
+ * least one live poller and one live pub/sub bus, at most one
+ * unreachable rack manager, and at most num_controllers − 1 paused
+ * replicas. Within that envelope the safety invariants must hold for
+ * EVERY plan, which is exactly what the property tests assert over
+ * hundreds of seeds.
+ *
+ * Sampling is fully deterministic: all draws come from one seeded
+ * common::Rng in a fixed order, so a failing seed reproduces the exact
+ * same plan — and, through the deterministic event queue, the exact
+ * same interleaving.
+ */
+#ifndef FLEX_FAULT_FAULT_FUZZER_HPP_
+#define FLEX_FAULT_FAULT_FUZZER_HPP_
+
+#include <cstdint>
+
+#include "common/units.hpp"
+#include "fault/fault_plan.hpp"
+
+namespace flex::fault {
+
+/** Dimensions of the room a plan is sampled for. */
+struct ScenarioShape {
+  int num_ups = 3;
+  int num_racks = 12;
+  int num_pollers = 2;
+  int num_buses = 2;
+  int meters_per_device = 3;
+  int num_controllers = 2;
+  /** Simulated time the scenario runs for. */
+  Seconds horizon{120.0};
+};
+
+/** Envelope bounds; defaults encode the paper's tolerated fault model. */
+struct FuzzerConfig {
+  /** UPS failovers are sequential — never concurrent — per xN/y design. */
+  int max_failovers = 2;
+  /** No fault begins before telemetry has warmed up. */
+  Seconds warmup{12.0};
+  /** Quiet tail so the room can settle before the run ends. */
+  Seconds settle_tail{15.0};
+  Seconds min_failover_duration{8.0};
+  Seconds max_failover_duration{16.0};
+  /**
+   * Minimum quiet time between a failover's repair and the next
+   * failover, sized so restores (~25 s boot) finish in between.
+   */
+  Seconds failover_gap{45.0};
+  /** At most one faulty physical meter per device (quorum survives). */
+  int max_meter_faults = 3;
+  double max_drift_rate = 0.02;  ///< 1/s; ~2%/s calibration drift
+  double poller_crash_probability = 0.5;   ///< ≤1 of 2 pollers
+  double bus_outage_probability = 0.5;     ///< ≤1 of 2 buses
+  double bus_delay_probability = 0.5;
+  Seconds max_bus_delay{1.0};
+  double bus_duplicate_probability = 0.5;
+  int max_rack_manager_timeouts = 2;
+  Seconds max_rack_manager_extra{3.0};
+  double rack_manager_unreachable_probability = 0.4;  ///< ≤1 rack
+  double controller_pause_probability = 0.5;  ///< ≤ replicas − 1
+};
+
+/**
+ * Samples fault plans for a fixed room shape.
+ */
+class FaultFuzzer {
+ public:
+  explicit FaultFuzzer(ScenarioShape shape, FuzzerConfig config = {});
+
+  /**
+   * Samples one plan. Same seed ⇒ byte-identical plan. The result is
+   * time-sorted and always within the tolerated envelope.
+   */
+  FaultPlan SamplePlan(std::uint64_t seed) const;
+
+  const ScenarioShape& shape() const { return shape_; }
+  const FuzzerConfig& config() const { return config_; }
+
+ private:
+  ScenarioShape shape_;
+  FuzzerConfig config_;
+};
+
+}  // namespace flex::fault
+
+#endif  // FLEX_FAULT_FAULT_FUZZER_HPP_

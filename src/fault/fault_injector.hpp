@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Arms FaultPlans onto a live room.
+ *
+ * The injector turns a FaultPlan (plain data) into scheduled events on
+ * the room's sim::EventQueue: every fault gets a begin event at its
+ * start time and, when it has a finite duration, a repair event at
+ * start + duration. Execution is recorded into a textual trace in
+ * exact firing order, which is what the seed-replay tests compare —
+ * two runs of the same seed must produce byte-identical traces.
+ */
+#ifndef FLEX_FAULT_FAULT_INJECTOR_HPP_
+#define FLEX_FAULT_FAULT_INJECTOR_HPP_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "actuation/rack_manager.hpp"
+#include "fault/fault_plan.hpp"
+#include "online/controller.hpp"
+#include "sim/event_queue.hpp"
+#include "telemetry/pipeline.hpp"
+
+namespace flex::fault {
+
+/**
+ * The injectable surfaces of one room. Null members simply make the
+ * corresponding fault kinds invalid (Arm rejects such plans), so tests
+ * can target a bare pipeline or a bare actuation plane.
+ */
+struct InjectorTargets {
+  sim::EventQueue* queue = nullptr;                  ///< required
+  telemetry::TelemetryPipeline* pipeline = nullptr;  ///< telemetry faults
+  actuation::ActuationPlane* plane = nullptr;        ///< rack-manager faults
+  /** Fails (true) / restores (false) a UPS; enables kUpsFailover. */
+  std::function<void(int ups, bool failed)> set_ups_failed;
+  /** Replicas, indexed by target; enables kControllerPause. */
+  std::vector<online::FlexController*> controllers;
+  /** Number of UPSes, for kUpsFailover target validation. */
+  int num_ups = 0;
+};
+
+/**
+ * Schedules a FaultPlan's events and applies them as they fire.
+ */
+class FaultInjector {
+ public:
+  explicit FaultInjector(InjectorTargets targets);
+
+  /**
+   * Validates every event against the targets and schedules it. May be
+   * called multiple times (plans compose). Events whose begin time is
+   * already in the past fire immediately on the next queue step.
+   */
+  void Arm(const FaultPlan& plan);
+
+  /** Begin/repair records in execution order ("t=... begin ..."). */
+  const std::vector<std::string>& executed_trace() const { return trace_; }
+
+  /** Queue events scheduled so far (begin + repair). */
+  int scheduled_count() const { return scheduled_; }
+
+ private:
+  void Validate(const FaultEvent& event) const;
+  /** Applies the begin (start=true) or repair (start=false) half. */
+  void Apply(const FaultEvent& event, bool start);
+  void Record(const FaultEvent& event, bool start);
+
+  InjectorTargets targets_;
+  std::vector<std::string> trace_;
+  int scheduled_ = 0;
+};
+
+}  // namespace flex::fault
+
+#endif  // FLEX_FAULT_FAULT_INJECTOR_HPP_

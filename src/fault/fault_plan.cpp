@@ -1,0 +1,98 @@
+#include "fault_plan.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/error.hpp"
+
+namespace flex::fault {
+
+const char*
+FaultKindName(FaultKind kind)
+{
+  switch (kind) {
+    case FaultKind::kUpsFailover:
+      return "ups_failover";
+    case FaultKind::kMeterFailure:
+      return "meter_failure";
+    case FaultKind::kMeterStuck:
+      return "meter_stuck";
+    case FaultKind::kMeterDrift:
+      return "meter_drift";
+    case FaultKind::kPollerCrash:
+      return "poller_crash";
+    case FaultKind::kBusOutage:
+      return "bus_outage";
+    case FaultKind::kBusDelay:
+      return "bus_delay";
+    case FaultKind::kBusDuplicate:
+      return "bus_duplicate";
+    case FaultKind::kRackManagerTimeout:
+      return "rack_manager_timeout";
+    case FaultKind::kRackManagerUnreachable:
+      return "rack_manager_unreachable";
+    case FaultKind::kControllerPause:
+      return "controller_pause";
+  }
+  FLEX_CONFIG_ERROR("unknown fault kind");
+}
+
+namespace {
+
+bool
+IsMeterFault(FaultKind kind)
+{
+  return kind == FaultKind::kMeterFailure || kind == FaultKind::kMeterStuck ||
+         kind == FaultKind::kMeterDrift;
+}
+
+}  // namespace
+
+std::string
+FaultEvent::DebugString() const
+{
+  char buffer[160];
+  if (IsMeterFault(kind)) {
+    std::snprintf(buffer, sizeof(buffer),
+                  "t=%.3f %s %s=%d meter=%d mag=%.4f dur=%.3f", at.value(),
+                  FaultKindName(kind),
+                  device_kind == telemetry::DeviceKind::kUps ? "ups" : "rack",
+                  target, meter_index, magnitude, duration.value());
+  } else {
+    std::snprintf(buffer, sizeof(buffer),
+                  "t=%.3f %s target=%d mag=%.4f dur=%.3f", at.value(),
+                  FaultKindName(kind), target, magnitude, duration.value());
+  }
+  return buffer;
+}
+
+void
+FaultPlan::SortByTime()
+{
+  std::stable_sort(events_.begin(), events_.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.at < b.at;
+                   });
+}
+
+Seconds
+FaultPlan::LastEndTime() const
+{
+  Seconds last(0.0);
+  for (const FaultEvent& event : events_)
+    last = std::max(last, event.at + event.duration);
+  return last;
+}
+
+std::string
+FaultPlan::DebugString() const
+{
+  std::string out;
+  for (const FaultEvent& event : events_) {
+    out += event.DebugString();
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace flex::fault

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Typed fault schedules for deterministic fault injection.
+ *
+ * A FaultPlan is a time-ordered list of fault events covering every
+ * failure mode the paper's availability argument leans on: UPS
+ * failovers (Section III), telemetry-stage failures — meters, pollers,
+ * pub/sub buses (Section IV-C, Fig. 7) — rack-manager actuation defects
+ * (Section VI), and controller-replica crashes (Section IV-D). Plans
+ * are plain data: the FaultInjector arms them onto a live room and the
+ * FaultFuzzer samples them from a seeded Rng, so a failing seed replays
+ * the exact same event interleaving.
+ */
+#ifndef FLEX_FAULT_FAULT_PLAN_HPP_
+#define FLEX_FAULT_FAULT_PLAN_HPP_
+
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+#include "telemetry/pipeline.hpp"
+
+namespace flex::fault {
+
+/** Every injectable failure mode. */
+enum class FaultKind {
+  kUpsFailover,             ///< a UPS fails; restored after `duration`
+  kMeterFailure,            ///< one physical meter returns no readings
+  kMeterStuck,              ///< one physical meter freezes its output
+  kMeterDrift,              ///< one physical meter drifts (`magnitude`/s)
+  kPollerCrash,             ///< a telemetry poller crashes, then restarts
+  kBusOutage,               ///< a pub/sub bus drops all deliveries
+  kBusDelay,                ///< a bus adds `magnitude` seconds of lag
+  kBusDuplicate,            ///< a bus redelivers every batch twice
+  kRackManagerTimeout,      ///< RM commands take `magnitude` extra seconds
+  kRackManagerUnreachable,  ///< RM drops all commands
+  kControllerPause,         ///< a controller replica crashes, then restarts
+};
+
+/** Human-readable fault kind name. */
+const char* FaultKindName(FaultKind kind);
+
+/** One scheduled fault. */
+struct FaultEvent {
+  /** When the fault begins (simulated seconds). */
+  Seconds at{0.0};
+  FaultKind kind = FaultKind::kUpsFailover;
+  /**
+   * Index of the faulted component: UPS, poller, bus, rack, controller
+   * replica, or — for meter faults — the metered device's index.
+   */
+  int target = 0;
+  /** For meter faults: whether the device is a UPS or a rack meter. */
+  telemetry::DeviceKind device_kind = telemetry::DeviceKind::kUps;
+  /** For meter faults: which physical meter of the logical meter. */
+  int meter_index = 0;
+  /** Drift rate (1/s) or extra latency (s), per FaultKind. */
+  double magnitude = 0.0;
+  /** How long the fault lasts; 0 means it is never repaired. */
+  Seconds duration{0.0};
+
+  /** One-line description, e.g. "t=12.400 ups_failover target=1 dur=10.0". */
+  std::string DebugString() const;
+};
+
+/**
+ * A schedule of fault events. Order-preserving container with a stable
+ * time sort so equal-time faults keep their insertion order (mirroring
+ * the event queue's FIFO tie-break).
+ */
+class FaultPlan {
+ public:
+  void Add(FaultEvent event) { events_.push_back(std::move(event)); }
+
+  /** Stable-sorts events by begin time. */
+  void SortByTime();
+
+  const std::vector<FaultEvent>& events() const { return events_; }
+  bool empty() const { return events_.empty(); }
+  std::size_t size() const { return events_.size(); }
+
+  /** Latest begin-or-repair instant in the plan (0 when empty). */
+  Seconds LastEndTime() const;
+
+  /** Multi-line listing of every event, for golden traces and logs. */
+  std::string DebugString() const;
+
+ private:
+  std::vector<FaultEvent> events_;
+};
+
+}  // namespace flex::fault
+
+#endif  // FLEX_FAULT_FAULT_PLAN_HPP_

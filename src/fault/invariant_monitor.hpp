@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Always-on safety-invariant monitor.
+ *
+ * Hooks the sim::EventQueue's observer so that after *every* executed
+ * event it re-checks the paper's safety claims against ground truth:
+ *
+ *  (a) trip safety — no UPS sustains an overload longer than its trip
+ *      curve tolerates (Sections III, Fig. 6);
+ *  (b) action legality — power caps only ever appear on non-redundant
+ *      cap-able racks (Algorithm 1 never caps SR or non-cap-able ones);
+ *  (c) safe release — controllers issue release commands (uncap or
+ *      restore) only when the room has recently had headroom, modulo a
+ *      telemetry-staleness grace window;
+ *  (d) no missed overload — a sustained overload is answered by at
+ *      least one controller replica within a response deadline
+ *      (idempotent overcorrection is fine, silence is not).
+ *
+ * The monitor is a pure observer: it never schedules events or touches
+ * component state, so attaching it cannot perturb the simulation — the
+ * event interleaving with and without the monitor is identical.
+ */
+#ifndef FLEX_FAULT_INVARIANT_MONITOR_HPP_
+#define FLEX_FAULT_INVARIANT_MONITOR_HPP_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "actuation/rack_manager.hpp"
+#include "common/units.hpp"
+#include "online/controller.hpp"
+#include "power/topology.hpp"
+#include "sim/event_queue.hpp"
+#include "workload/deployment.hpp"
+
+namespace flex::fault {
+
+/** Monitor tuning. */
+struct MonitorConfig {
+  /**
+   * How long the room may have been unsafe before a release decision
+   * counts as a violation of (c). Covers end-to-end telemetry latency:
+   * a release racing a brand-new failover inside this window is an
+   * unavoidable (and self-correcting) stale-data decision.
+   */
+  Seconds release_grace = Seconds(5.0);
+  /** Deadline for (d): sustained overload must see some action by then. */
+  Seconds response_deadline = Seconds(15.0);
+  /** Relative slack on the load fraction before "unsafe" (meter noise). */
+  double overload_epsilon = 1e-9;
+};
+
+/** One detected invariant violation. */
+struct Violation {
+  Seconds at{0.0};
+  std::string invariant;  ///< "ups-trip", "illegal-cap", ...
+  std::string message;
+};
+
+/**
+ * The monitor. Construct it with the room's ground-truth surfaces,
+ * Attach() it to the queue, and read violations() after the run.
+ */
+class InvariantMonitor {
+ public:
+  /**
+   * @param true_ups_loads returns the instantaneous true per-UPS load
+   *        (post-failover redistribution), indexed by UpsId.
+   */
+  InvariantMonitor(sim::EventQueue& queue,
+                   const power::RoomTopology& topology,
+                   std::vector<workload::Category> rack_categories,
+                   const actuation::ActuationPlane& plane,
+                   std::function<std::vector<Watts>()> true_ups_loads,
+                   MonitorConfig config = {});
+
+  /** Adds a controller replica to watch for (c) and (d). */
+  void AddController(const online::FlexController* controller);
+
+  /** Installs the monitor as the queue's event observer. */
+  void Attach();
+
+  /** Runs every invariant check at the current instant. */
+  void Check();
+
+  const std::vector<Violation>& violations() const { return violations_; }
+
+  /** Worst true UPS load fraction seen (1.0 = rated capacity). */
+  double worst_overload_fraction() const { return worst_fraction_; }
+
+  /** Number of Check() invocations (≈ executed events once attached). */
+  std::uint64_t checks_run() const { return checks_run_; }
+
+  /** Newline-joined violation messages; empty when all invariants held. */
+  std::string Summary() const;
+
+ private:
+  void AddViolation(const char* invariant, const std::string& message);
+  std::size_t TotalReleaseCommands() const;
+  bool AnyControllerActed() const;
+
+  sim::EventQueue& queue_;
+  const power::RoomTopology& topology_;
+  std::vector<workload::Category> categories_;
+  const actuation::ActuationPlane& plane_;
+  std::function<std::vector<Watts>()> true_ups_loads_;
+  MonitorConfig config_;
+  std::vector<const online::FlexController*> controllers_;
+
+  // (a) per-UPS overload episodes.
+  std::vector<double> overload_since_;  // <0: not overloaded
+  std::vector<bool> trip_reported_;
+  // (b) per-rack cap-violation dedup.
+  std::vector<bool> cap_reported_;
+  // (c)/(d) room-level unsafe episode.
+  double unsafe_since_ = -1.0;
+  bool missed_reported_ = false;
+  std::size_t seen_release_commands_ = 0;
+
+  double worst_fraction_ = 0.0;
+  std::uint64_t checks_run_ = 0;
+  std::vector<Violation> violations_;
+};
+
+}  // namespace flex::fault
+
+#endif  // FLEX_FAULT_INVARIANT_MONITOR_HPP_

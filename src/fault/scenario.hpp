@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Small self-contained room for fault fuzzing.
+ *
+ * Wires a 3N/2 room (3 UPSes, 3 PDU pairs, 12 racks) through the full
+ * online stack — redundant telemetry, multi-primary controllers,
+ * rack-manager actuation — with the InvariantMonitor attached, and runs
+ * a FaultPlan against it. Deliberately smaller than the Section V-C
+ * emulation room: one scenario executes a few thousand events, so the
+ * property tests can sweep hundreds of seeds in seconds.
+ *
+ * Everything is derived from one seed (workloads, telemetry jitter,
+ * actuation latencies, the fault plan), so a failing seed replays the
+ * exact same run.
+ */
+#ifndef FLEX_FAULT_SCENARIO_HPP_
+#define FLEX_FAULT_SCENARIO_HPP_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "actuation/rack_manager.hpp"
+#include "common/rng.hpp"
+#include "fault/fault_fuzzer.hpp"
+#include "fault/fault_injector.hpp"
+#include "fault/invariant_monitor.hpp"
+#include "online/controller.hpp"
+#include "power/topology.hpp"
+#include "sim/event_queue.hpp"
+#include "telemetry/pipeline.hpp"
+#include "workload/deployment.hpp"
+
+namespace flex::fault {
+
+/** Scenario knobs; defaults keep the room inside the safety envelope. */
+struct ScenarioConfig {
+  ScenarioShape shape;
+  /** Rated capacity of each UPS. */
+  Watts ups_capacity = KiloWatts(200.0);
+  /** Per-rack allocation (12 racks × 50 kW = 600 kW provisioned). */
+  Watts rack_allocation = KiloWatts(50.0);
+  /** Flex power (lowest cap) as a fraction of allocation. */
+  double flex_power_fraction = 0.5;
+  /** Per-rack base utilization: truncated normal over [min, max]. */
+  double mean_utilization = 0.78;
+  double utilization_sigma = 0.05;
+  double min_utilization = 0.60;
+  double max_utilization = 0.84;
+  /** Per-step random-walk jitter on utilization. */
+  double utilization_jitter = 0.004;
+  Seconds workload_step{1.0};
+  bool attach_monitor = true;
+  MonitorConfig monitor;
+  telemetry::PipelineConfig pipeline;
+  actuation::RackManagerConfig rack_manager;
+  online::ControllerConfig controller;
+
+  ScenarioConfig();
+};
+
+/** What one scenario run measured. */
+struct ScenarioReport {
+  std::uint64_t events_executed = 0;
+  std::size_t readings_delivered = 0;
+  int overdraw_events = 0;
+  int throttle_commands = 0;
+  int shutdown_commands = 0;
+  int restore_commands = 0;
+  int uncap_commands = 0;
+  int failed_commands = 0;
+  double worst_overload_fraction = 0.0;
+  std::vector<Violation> violations;
+  /** Human-readable violation listing; empty when all invariants held. */
+  std::string violation_summary;
+  /** The injector's begin/repair trace in execution order. */
+  std::vector<std::string> fault_trace;
+};
+
+/**
+ * One fuzzable room. Construct, optionally Arm() extra plans, Run().
+ */
+class FaultScenario : public telemetry::PowerSource {
+ public:
+  FaultScenario(ScenarioConfig config, std::uint64_t seed);
+  ~FaultScenario() override;
+
+  // telemetry::PowerSource:
+  Watts CurrentPower(telemetry::DeviceId device) const override;
+
+  /** Runs @p plan against the room and reports. */
+  ScenarioReport Run(const FaultPlan& plan);
+
+  /** Injectable surfaces, for tests that drive the injector directly. */
+  InjectorTargets targets();
+
+  /** Ground-truth per-UPS loads after failover redistribution. */
+  std::vector<Watts> TrueUpsLoads() const;
+
+  /** Fails / restores a UPS (the kUpsFailover handler). */
+  void SetUpsFailed(int ups, bool failed);
+
+  sim::EventQueue& queue() { return queue_; }
+  telemetry::TelemetryPipeline& pipeline() { return *pipeline_; }
+  actuation::ActuationPlane& plane() { return *plane_; }
+  const power::RoomTopology& topology() const { return topology_; }
+  const InvariantMonitor& monitor() const { return *monitor_; }
+  const std::vector<workload::Category>& categories() const {
+    return categories_;
+  }
+  int failed_ups() const { return failed_ups_; }
+
+ private:
+  Watts TrueRackPower(int rack_id) const;
+  void StepWorkloads();
+
+  ScenarioConfig config_;
+  power::RoomTopology topology_;
+  sim::EventQueue queue_;
+  Rng rng_;
+
+  std::vector<double> utilization_;  ///< per rack, random-walked
+  std::vector<workload::Category> categories_;
+
+  std::unique_ptr<actuation::ActuationPlane> plane_;
+  std::unique_ptr<telemetry::TelemetryPipeline> pipeline_;
+  std::vector<std::unique_ptr<online::FlexController>> controllers_;
+  std::unique_ptr<InvariantMonitor> monitor_;
+
+  int failed_ups_ = -1;
+};
+
+/**
+ * Samples a plan for @p seed, runs it on a fresh scenario, and returns
+ * the report. When @p trace_out is non-null it receives the plan's
+ * DebugString — print it alongside the seed on violation so the failure
+ * is reproducible from the test log alone.
+ */
+ScenarioReport RunFuzzedScenario(const ScenarioConfig& config,
+                                 std::uint64_t seed,
+                                 std::string* trace_out = nullptr);
+
+}  // namespace flex::fault
+
+#endif  // FLEX_FAULT_SCENARIO_HPP_

@@ -46,6 +46,8 @@ FlexController::FlexController(sim::EventQueue& queue,
 void
 FlexController::OnReading(const DeviceReading& reading)
 {
+  if (suspended_)
+    return;  // crashed replica: readings are lost, not queued
   if (reading.device.kind == DeviceKind::kUps) {
     if (reading.device.index < 0 ||
         reading.device.index >= topology_.NumUpses())

@@ -104,6 +104,15 @@ class FlexController {
   /** True while corrective actions are in force. */
   bool actions_in_force() const { return !acted_racks_.empty(); }
 
+  /**
+   * Suspends/resumes this replica (process crash and restart). While
+   * suspended the replica drops readings; on resume it picks up from its
+   * pre-crash state, which may be stale — acting on it is safe because
+   * actions are idempotent and only ever overcorrect.
+   */
+  void SetSuspended(bool suspended) { suspended_ = suspended; }
+  bool suspended() const { return suspended_; }
+
  private:
   void EvaluateOverdraw();
   void Enforce(const std::vector<Action>& actions, Seconds detected_at);
@@ -130,6 +139,7 @@ class FlexController {
 
   std::set<int> acted_racks_;
   std::map<int, ActionType> action_types_;  // what we did to each rack
+  bool suspended_ = false;
   bool episode_active_ = false;
   Seconds healthy_since_{-1.0};
   Seconds last_enforce_{-1e18};

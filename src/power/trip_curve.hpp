@@ -42,6 +42,14 @@ class TripCurve {
    */
   Seconds ToleranceAt(double load_fraction) const;
 
+  /**
+   * True when sustaining @p load_fraction for @p overload_duration
+   * exceeds the tolerance window — i.e. the UPS would have tripped.
+   */
+  bool Exceeds(double load_fraction, Seconds overload_duration) const {
+    return overload_duration > ToleranceAt(load_fraction);
+  }
+
   /** Additional ride-through at rated load while generators start. */
   static Seconds RideThroughAtRated() { return Minutes(3.5); }
 

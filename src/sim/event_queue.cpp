@@ -67,6 +67,9 @@ EventQueue::RunUntil(Seconds horizon)
     now_ = entry.when;
     entry.callback();
     ++executed;
+    ++executed_count_;
+    if (observer_)
+      observer_(now_);
   }
   now_ = horizon;
   return executed;
@@ -80,6 +83,9 @@ EventQueue::Step()
     return false;
   now_ = entry.when;
   entry.callback();
+  ++executed_count_;
+  if (observer_)
+    observer_(now_);
   return true;
 }
 

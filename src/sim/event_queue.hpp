@@ -34,9 +34,22 @@ using EventId = std::uint64_t;
 class EventQueue {
  public:
   using Callback = std::function<void()>;
+  /** Invoked after every executed event with the event's timestamp. */
+  using Observer = std::function<void(Seconds)>;
 
   /** Current simulated time. */
   Seconds Now() const { return now_; }
+
+  /**
+   * Installs an observer called after each executed event. Observers must
+   * not schedule or cancel events (they watch the simulation, they do not
+   * steer it); the invariant monitor in src/fault is the main client.
+   * Pass an empty function to detach.
+   */
+  void SetObserver(Observer observer) { observer_ = std::move(observer); }
+
+  /** Total events executed over the queue's lifetime. */
+  std::uint64_t executed_count() const { return executed_count_; }
 
   /**
    * Schedules @p callback to run @p delay after the current time.
@@ -95,6 +108,8 @@ class EventQueue {
   Seconds now_{0.0};
   std::uint64_t next_sequence_ = 0;
   EventId next_id_ = 1;
+  Observer observer_;
+  std::uint64_t executed_count_ = 0;
 };
 
 /**

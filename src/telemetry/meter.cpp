@@ -17,17 +17,28 @@ PhysicalMeter::PhysicalMeter(MeterConfig config, Rng rng)
                "misread probability must be in [0, 1]");
 }
 
+void
+PhysicalMeter::SetDrift(double rate_per_second, Seconds now)
+{
+  drift_rate_ = rate_per_second;
+  drift_since_ = now;
+}
+
 std::optional<Watts>
 PhysicalMeter::Sample(Seconds now, Watts true_value)
 {
   if (failed_)
     return std::nullopt;
+  if (stuck_ && has_cache_)
+    return cached_;  // frozen output: the cache never refreshes
   if (!has_cache_ ||
       (now - last_refresh_).value() >= config_.refresh_interval.value()) {
     double value = true_value.value() *
                    (1.0 + config_.noise_fraction * rng_.Normal());
     if (rng_.Bernoulli(config_.misread_probability))
       value *= 3.0;  // gross misreading: corrupted scale factor
+    if (drift_rate_ != 0.0)
+      value *= 1.0 + drift_rate_ * (now - drift_since_).value();
     cached_ = Watts(std::max(0.0, value));
     last_refresh_ = now;
     has_cache_ = true;

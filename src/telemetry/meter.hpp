@@ -58,10 +58,30 @@ class PhysicalMeter {
   void SetFailed(bool failed) { failed_ = failed; }
   bool failed() const { return failed_; }
 
+  /**
+   * Freezes the meter's output at its cached value (the paper's "same
+   * value for up to 5 seconds" defect, taken to its pathological limit).
+   * The first sample after sticking still populates an empty cache.
+   */
+  void SetStuck(bool stuck) { stuck_ = stuck; }
+  bool stuck() const { return stuck_; }
+
+  /**
+   * Starts a calibration drift: refreshed readings are scaled by
+   * (1 + rate * elapsed-since-@p now), modeling a meter whose output
+   * creeps away from the truth. Clear with ClearDrift().
+   */
+  void SetDrift(double rate_per_second, Seconds now);
+  void ClearDrift() { drift_rate_ = 0.0; }
+  double drift_rate() const { return drift_rate_; }
+
  private:
   MeterConfig config_;
   Rng rng_;
   bool failed_ = false;
+  bool stuck_ = false;
+  double drift_rate_ = 0.0;
+  Seconds drift_since_{0.0};
   bool has_cache_ = false;
   Seconds last_refresh_{-1e18};
   Watts cached_;

@@ -36,6 +36,9 @@ TelemetryPipeline::TelemetryPipeline(sim::EventQueue& queue,
                               seed_rng);
   poller_failed_.assign(static_cast<std::size_t>(config_.num_pollers), false);
   bus_failed_.assign(static_cast<std::size_t>(config_.num_buses), false);
+  bus_extra_delay_.assign(static_cast<std::size_t>(config_.num_buses),
+                          Seconds(0.0));
+  bus_duplicate_.assign(static_cast<std::size_t>(config_.num_buses), false);
 }
 
 void
@@ -106,6 +109,26 @@ TelemetryPipeline::SetMeterFailed(DeviceId device, int meter_index,
 }
 
 void
+TelemetryPipeline::SetMeterStuck(DeviceId device, int meter_index,
+                                 bool stuck)
+{
+  MeterFor(device).meter(meter_index).SetStuck(stuck);
+}
+
+void
+TelemetryPipeline::SetMeterDrift(DeviceId device, int meter_index,
+                                 double rate_per_second)
+{
+  MeterFor(device).meter(meter_index).SetDrift(rate_per_second, queue_.Now());
+}
+
+void
+TelemetryPipeline::ClearMeterDrift(DeviceId device, int meter_index)
+{
+  MeterFor(device).meter(meter_index).ClearDrift();
+}
+
+void
 TelemetryPipeline::SetPollerFailed(int poller, bool failed)
 {
   FLEX_REQUIRE(poller >= 0 && poller < config_.num_pollers,
@@ -118,6 +141,21 @@ TelemetryPipeline::SetBusFailed(int bus, bool failed)
 {
   FLEX_REQUIRE(bus >= 0 && bus < config_.num_buses, "bus index out of range");
   bus_failed_[static_cast<std::size_t>(bus)] = failed;
+}
+
+void
+TelemetryPipeline::SetBusLag(int bus, Seconds extra)
+{
+  FLEX_REQUIRE(bus >= 0 && bus < config_.num_buses, "bus index out of range");
+  FLEX_REQUIRE(extra.value() >= 0.0, "negative bus lag");
+  bus_extra_delay_[static_cast<std::size_t>(bus)] = extra;
+}
+
+void
+TelemetryPipeline::SetBusDuplicate(int bus, bool duplicate)
+{
+  FLEX_REQUIRE(bus >= 0 && bus < config_.num_buses, "bus index out of range");
+  bus_duplicate_[static_cast<std::size_t>(bus)] = duplicate;
 }
 
 void
@@ -152,10 +190,7 @@ TelemetryPipeline::PollerTick(int poller, DeviceKind kind)
   for (int bus = 0; bus < config_.num_buses; ++bus) {
     if (bus_failed_[static_cast<std::size_t>(bus)])
       continue;
-    const Seconds delay =
-        config_.network_latency + config_.bus_latency +
-        Seconds(jitter_rng_.Uniform(0.0, config_.delivery_jitter.value()));
-    queue_.Schedule(delay, [this, batch, bus] {
+    const auto deliver = [this, batch, bus] {
       for (DeviceReading reading : batch) {
         reading.bus = bus;
         reading.delivered_at = queue_.Now();
@@ -166,7 +201,20 @@ TelemetryPipeline::PollerTick(int poller, DeviceKind kind)
         for (const Subscriber& subscriber : subscribers_)
           subscriber(reading);
       }
-    });
+    };
+    const Seconds delay =
+        config_.network_latency + config_.bus_latency +
+        bus_extra_delay_[static_cast<std::size_t>(bus)] +
+        Seconds(jitter_rng_.Uniform(0.0, config_.delivery_jitter.value()));
+    queue_.Schedule(delay, deliver);
+    if (bus_duplicate_[static_cast<std::size_t>(bus)]) {
+      // At-least-once redelivery: the same batch lands a second time
+      // after an extra jitter draw.
+      const Seconds redelivery =
+          delay +
+          Seconds(jitter_rng_.Uniform(0.0, config_.delivery_jitter.value()));
+      queue_.Schedule(redelivery, deliver);
+    }
   }
 }
 

@@ -103,10 +103,21 @@ class TelemetryPipeline {
 
   /** Fails/restores one physical meter of a device's logical meter. */
   void SetMeterFailed(DeviceId device, int meter_index, bool failed);
+  /** Freezes/unfreezes one physical meter at its cached value. */
+  void SetMeterStuck(DeviceId device, int meter_index, bool stuck);
+  /** Starts a calibration drift on one physical meter (per-second rate). */
+  void SetMeterDrift(DeviceId device, int meter_index,
+                     double rate_per_second);
+  /** Clears a meter drift started with SetMeterDrift. */
+  void ClearMeterDrift(DeviceId device, int meter_index);
   /** Fails/restores a poller (it skips its ticks while failed). */
   void SetPollerFailed(int poller, bool failed);
   /** Fails/restores a pub/sub bus (it drops deliveries while failed). */
   void SetBusFailed(int bus, bool failed);
+  /** Adds @p extra delivery delay on a bus (congestion); 0 clears it. */
+  void SetBusLag(int bus, Seconds extra);
+  /** Makes a bus deliver every batch twice (at-least-once redelivery). */
+  void SetBusDuplicate(int bus, bool duplicate);
 
   // --- Introspection --------------------------------------------------------
 
@@ -141,6 +152,8 @@ class TelemetryPipeline {
   std::vector<LogicalMeter> rack_meters_;
   std::vector<bool> poller_failed_;
   std::vector<bool> bus_failed_;
+  std::vector<Seconds> bus_extra_delay_;
+  std::vector<bool> bus_duplicate_;
   std::vector<Subscriber> subscribers_;
 
   std::size_t delivered_count_ = 0;

@@ -3,6 +3,10 @@
  * Unit and integration tests for Flex-Online: Algorithm 1 decisions and
  * the multi-primary controller.
  */
+#include <cmath>
+#include <string>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "actuation/rack_manager.hpp"
@@ -468,6 +472,158 @@ TEST_F(ControllerTest, RejectsBadConfig)
   EXPECT_THROW(FlexController(queue_, topology_, MakeRacks(), plane_, {},
                               bad, 0),
                ConfigError);
+}
+
+// ---------------------------------------------------------------------------
+// HoltForecaster (Section IV-D power estimation)
+// ---------------------------------------------------------------------------
+
+TEST(HoltForecasterTest, EmptyForecasterReturnsNothing)
+{
+  const HoltForecaster forecaster;
+  EXPECT_FALSE(forecaster.Forecast(Seconds(10.0)).has_value());
+  EXPECT_EQ(forecaster.observations(), 0);
+}
+
+TEST(HoltForecasterTest, SingleObservationForecastsLevel)
+{
+  HoltForecaster forecaster;
+  forecaster.Observe(Seconds(1.0), KiloWatts(40.0));
+  const auto forecast = forecaster.Forecast(Seconds(3.0));
+  ASSERT_TRUE(forecast.has_value());
+  EXPECT_NEAR(forecast->kilowatts(), 40.0, 1e-9);
+  EXPECT_EQ(forecaster.observations(), 1);
+}
+
+TEST(HoltForecasterTest, TracksLinearRampAheadOfLastValue)
+{
+  // A steadily climbing rack: the Holt forecast projected to "now"
+  // must beat the raw last reading, which is what the controller needs
+  // from ~2 s stale telemetry.
+  HoltForecaster forecaster(0.5, 0.3);
+  double t = 0.0;
+  double value = 100.0;
+  for (int i = 0; i < 30; ++i) {
+    t += 2.0;
+    value += 10.0;  // +5 W/s
+    forecaster.Observe(Seconds(t), Watts(value));
+  }
+  const double true_next = value + 10.0;
+  const auto forecast = forecaster.Forecast(Seconds(t + 2.0));
+  ASSERT_TRUE(forecast.has_value());
+  const double forecast_error = std::abs(forecast->value() - true_next);
+  const double last_value_error = std::abs(value - true_next);
+  EXPECT_LT(forecast_error, last_value_error);
+}
+
+TEST(HoltForecasterTest, ForecastsNeverGoNegative)
+{
+  HoltForecaster forecaster(0.8, 0.8);
+  forecaster.Observe(Seconds(1.0), Watts(100.0));
+  forecaster.Observe(Seconds(2.0), Watts(10.0));  // steep decline
+  const auto far = forecaster.Forecast(Seconds(60.0));
+  ASSERT_TRUE(far.has_value());
+  EXPECT_GE(far->value(), 0.0);
+}
+
+TEST(HoltForecasterTest, StaleExtrapolationIsDamped)
+{
+  // The trend must not extrapolate linearly forever: a forecast far
+  // beyond the sampling interval stays near the level.
+  HoltForecaster forecaster;
+  double t = 0.0;
+  for (int i = 0; i < 20; ++i) {
+    t += 2.0;
+    forecaster.Observe(Seconds(t), Watts(1000.0 + 50.0 * i));
+  }
+  const auto near = forecaster.Forecast(Seconds(t + 2.0));
+  const auto far = forecaster.Forecast(Seconds(t + 200.0));
+  ASSERT_TRUE(near.has_value());
+  ASSERT_TRUE(far.has_value());
+  // Undamped linear extrapolation would add ~25 W/s * 198 s ≈ 5 kW.
+  EXPECT_LT(far->value() - near->value(), 1000.0);
+}
+
+TEST(RackPowerForecasterBankTest, TracksRacksIndependently)
+{
+  RackPowerForecasterBank bank(3);
+  EXPECT_EQ(bank.num_racks(), 3);
+  bank.Observe(0, Seconds(1.0), KiloWatts(10.0));
+  bank.Observe(2, Seconds(1.0), KiloWatts(30.0));
+  EXPECT_TRUE(bank.Forecast(0, Seconds(2.0)).has_value());
+  EXPECT_FALSE(bank.Forecast(1, Seconds(2.0)).has_value());
+  ASSERT_TRUE(bank.Forecast(2, Seconds(2.0)).has_value());
+  EXPECT_NEAR(bank.Forecast(2, Seconds(2.0))->kilowatts(), 30.0, 1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// NotificationBus (Section IV-D power-emergency notifications)
+// ---------------------------------------------------------------------------
+
+TEST(NotificationBusTest, DeliversOnlyToMatchingWorkload)
+{
+  NotificationBus bus;
+  int terasort_seen = 0;
+  int tpce_seen = 0;
+  bus.Subscribe("terasort", [&](const PowerEmergencyNotification&) {
+    ++terasort_seen;
+  });
+  bus.Subscribe("tpce", [&](const PowerEmergencyNotification&) {
+    ++tpce_seen;
+  });
+  PowerEmergencyNotification notification;
+  notification.workload = "terasort";
+  notification.racks = {1, 2};
+  bus.Publish(notification);
+  EXPECT_EQ(terasort_seen, 1);
+  EXPECT_EQ(tpce_seen, 0);
+  EXPECT_EQ(bus.published_count(), 1u);
+}
+
+TEST(NotificationBusTest, EmptyWorkloadSubscribesToEverything)
+{
+  NotificationBus bus;
+  std::vector<std::string> seen;
+  bus.Subscribe("", [&](const PowerEmergencyNotification& n) {
+    seen.push_back(n.workload);
+  });
+  PowerEmergencyNotification a;
+  a.workload = "alpha";
+  PowerEmergencyNotification b;
+  b.workload = "beta";
+  b.cleared = true;
+  bus.Publish(a);
+  bus.Publish(b);
+  EXPECT_EQ(seen, (std::vector<std::string>{"alpha", "beta"}));
+  EXPECT_EQ(bus.published_count(), 2u);
+}
+
+TEST(NotificationBusTest, SubscribersFireInSubscriptionOrder)
+{
+  NotificationBus bus;
+  std::vector<int> order;
+  bus.Subscribe("w", [&](const PowerEmergencyNotification&) {
+    order.push_back(1);
+  });
+  bus.Subscribe("", [&](const PowerEmergencyNotification&) {
+    order.push_back(2);
+  });
+  bus.Subscribe("w", [&](const PowerEmergencyNotification&) {
+    order.push_back(3);
+  });
+  PowerEmergencyNotification notification;
+  notification.workload = "w";
+  bus.Publish(notification);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(NotificationBusTest, PublishWithNoSubscribersStillCounts)
+{
+  NotificationBus bus;
+  PowerEmergencyNotification notification;
+  notification.workload = "nobody-listens";
+  EXPECT_NO_THROW(bus.Publish(notification));
+  EXPECT_EQ(bus.published_count(), 1u);
 }
 
 }  // namespace

@@ -12,6 +12,7 @@
 #include "offline/metrics.hpp"
 #include "offline/policies.hpp"
 #include "online/decision.hpp"
+#include "fault/scenario.hpp"
 #include "power/loads.hpp"
 #include "solver/branch_and_bound.hpp"
 #include "workload/rack_power.hpp"
@@ -334,6 +335,42 @@ TEST_P(RackPowerTargetTest, SnapshotHitsTargetAcrossUtilizations)
 INSTANTIATE_TEST_SUITE_P(Targets, RackPowerTargetTest,
                          ::testing::Values(0.45, 0.60, 0.74, 0.80, 0.85,
                                            0.92));
+
+// ---------------------------------------------------------------------------
+// Fault fuzzing: for any fault plan inside the paper's tolerated
+// envelope, the online stack must keep every safety invariant — no UPS
+// trips, no illegal rack action, no unsafe release, no missed overload.
+// Sharded so ctest runs the 200-seed sweep in parallel; a failure
+// prints the offending seed and its full fault plan for replay.
+// ---------------------------------------------------------------------------
+
+class FaultFuzzSweepTest : public ::testing::TestWithParam<int> {
+};
+
+TEST_P(FaultFuzzSweepTest, RandomFaultPlansKeepAllSafetyInvariants)
+{
+  constexpr int kSeedsPerShard = 25;
+  const std::uint64_t base =
+      static_cast<std::uint64_t>(GetParam()) * kSeedsPerShard;
+  const fault::ScenarioConfig config;
+  for (std::uint64_t seed = base; seed < base + kSeedsPerShard; ++seed) {
+    std::string plan_trace;
+    const fault::ScenarioReport report =
+        fault::RunFuzzedScenario(config, seed, &plan_trace);
+    EXPECT_TRUE(report.violations.empty())
+        << "invariant violation for seed " << seed
+        << " — replay with RunFuzzedScenario(config, " << seed << ")\n"
+        << "fault plan:\n"
+        << plan_trace << "violations:\n"
+        << report.violation_summary;
+    // The run must have exercised the room, not idled through it.
+    EXPECT_GT(report.readings_delivered, 0u) << "seed " << seed;
+    EXPECT_GT(report.events_executed, 0u) << "seed " << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(TwoHundredSeeds, FaultFuzzSweepTest,
+                         ::testing::Range(0, 8));
 
 }  // namespace
 }  // namespace flex

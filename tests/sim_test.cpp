@@ -163,5 +163,128 @@ TEST(EventQueueTest, PendingCountTracksLiveEvents)
   EXPECT_TRUE(q.Empty());
 }
 
+// ---------------------------------------------------------------------------
+// Regressions: lazy cancellation under churn must not disturb the FIFO
+// guarantee for equal timestamps, and cancelled entries must never leak
+// into execution or the executed-event count.
+// ---------------------------------------------------------------------------
+
+TEST(EventQueueTest, FifoOrderSurvivesHeavyCancelChurn)
+{
+  // Interleave live and doomed events at the same timestamp, cancel
+  // every other one, and verify the survivors still fire in exact
+  // insertion order. Lazy cancellation leaves tombstones in the heap;
+  // popping them must not reorder equal-time survivors.
+  EventQueue q;
+  std::vector<int> order;
+  std::vector<EventId> doomed;
+  for (int round = 0; round < 10; ++round) {
+    for (int i = 0; i < 20; ++i) {
+      const int label = round * 100 + i;
+      const EventId id =
+          q.Schedule(Seconds(1.0), [&order, label] { order.push_back(label); });
+      if (i % 2 == 1)
+        doomed.push_back(id);
+    }
+  }
+  for (const EventId id : doomed)
+    q.Cancel(id);
+  q.RunAll();
+  ASSERT_EQ(order.size(), 100u);
+  for (std::size_t i = 1; i < order.size(); ++i)
+    EXPECT_LT(order[i - 1], order[i]) << "FIFO order broken at " << i;
+  EXPECT_EQ(q.executed_count(), 100u);
+}
+
+TEST(EventQueueTest, CancellingAllEqualTimeEventsLeavesQueueClean)
+{
+  EventQueue q;
+  int fired = 0;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 50; ++i)
+    ids.push_back(q.Schedule(Seconds(2.0), [&] { ++fired; }));
+  for (const EventId id : ids)
+    q.Cancel(id);
+  EXPECT_EQ(q.PendingCount(), 0u);
+  q.RunUntil(Seconds(5.0));
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(q.executed_count(), 0u);
+  EXPECT_TRUE(q.Empty());
+  EXPECT_NEAR(q.Now().value(), 5.0, 1e-12);
+}
+
+TEST(EventQueueTest, CancelDuringExecutionSuppressesLaterEqualTimeEvent)
+{
+  // An event may cancel a sibling scheduled for the same instant that
+  // has not yet run; the sibling must then be skipped even though it is
+  // already at the top of the heap region being drained.
+  EventQueue q;
+  std::vector<int> order;
+  EventId second = 0;
+  q.Schedule(Seconds(1.0), [&] {
+    order.push_back(1);
+    q.Cancel(second);
+  });
+  second = q.Schedule(Seconds(1.0), [&] { order.push_back(2); });
+  q.Schedule(Seconds(1.0), [&] { order.push_back(3); });
+  q.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(EventQueueTest, ChurnedPeriodicRescheduleKeepsDeterministicOrder)
+{
+  // Cancel-and-reschedule loops (the pattern telemetry pollers use)
+  // must produce the same trace every run: two identical queues driven
+  // identically yield identical event sequences.
+  const auto drive = [] {
+    EventQueue q;
+    std::vector<std::pair<double, int>> trace;
+    std::vector<EventId> pending;
+    for (int i = 0; i < 8; ++i) {
+      const EventId id = q.Schedule(Seconds(1.0 + 0.5 * i), [&trace, &q, i] {
+        trace.push_back({q.Now().value(), i});
+      });
+      pending.push_back(id);
+    }
+    // Churn: cancel half, reschedule replacements at colliding times.
+    for (int i = 0; i < 8; i += 2)
+      q.Cancel(pending[static_cast<std::size_t>(i)]);
+    for (int i = 0; i < 8; i += 2) {
+      q.Schedule(Seconds(2.0), [&trace, &q, i] {
+        trace.push_back({q.Now().value(), 100 + i});
+      });
+    }
+    q.RunAll();
+    return trace;
+  };
+  EXPECT_EQ(drive(), drive());
+}
+
+TEST(EventQueueTest, ObserverSeesEveryExecutedEvent)
+{
+  EventQueue q;
+  std::vector<double> observed;
+  q.SetObserver([&](Seconds now) { observed.push_back(now.value()); });
+  q.Schedule(Seconds(1.0), [] {});
+  const EventId cancelled = q.Schedule(Seconds(1.5), [] {});
+  q.Schedule(Seconds(2.0), [] {});
+  q.Cancel(cancelled);
+  q.RunAll();
+  ASSERT_EQ(observed.size(), 2u);  // cancelled events are not observed
+  EXPECT_NEAR(observed[0], 1.0, 1e-12);
+  EXPECT_NEAR(observed[1], 2.0, 1e-12);
+  EXPECT_EQ(q.executed_count(), 2u);
+
+  // Step() drives the observer too, and the observer can be detached.
+  q.Schedule(Seconds(3.0), [] {});
+  EXPECT_TRUE(q.Step());
+  EXPECT_EQ(observed.size(), 3u);
+  q.SetObserver(nullptr);
+  q.Schedule(Seconds(4.0), [] {});
+  q.RunAll();
+  EXPECT_EQ(observed.size(), 3u);
+  EXPECT_EQ(q.executed_count(), 4u);
+}
+
 }  // namespace
 }  // namespace flex::sim
