@@ -13,6 +13,7 @@
 
 #include "bench_util.hpp"
 #include "emulation/room_emulation.hpp"
+#include "power/trip_curve.hpp"
 
 int
 main()
@@ -21,7 +22,16 @@ main()
   bench::PrintHeader("bench_end_to_end", "Fig. 13",
                      "UPS and rack power through a failover/recovery cycle");
 
+  // Reaction budget = UPS tolerance at the worst-case 4N/3 failover
+  // load, end of battery life (the paper's ~10 s window).
+  obs::ObservabilityConfig obs_config;
+  obs_config.tracer.budget =
+      power::TripCurve::ForBatteryLife(power::BatteryLife::kEndOfLife)
+          .ToleranceAt(4.0 / 3.0);
+  obs::Observability observability(obs_config);
+
   emulation::EmulationConfig config;
+  config.obs = &observability;
   emulation::RoomEmulation emulation(config);
   const emulation::EmulationReport report = emulation.Run();
 
@@ -68,5 +78,20 @@ main()
               "no", report.battery_tripped ? "YES" : "no");
   std::printf("%-46s %10s %10s\n", "cascading failure", "none",
               report.safety_violated ? "VIOLATED" : "none");
-  return report.safety_violated || report.battery_tripped ? 1 : 0;
+
+  const obs::ReactionTracer& tracer = observability.tracer();
+  std::printf("\n%s",
+              obs::SummaryTable(observability.metrics().Snapshot(), &tracer)
+                  .c_str());
+  bench::MaybeExportBenchJson("bench_end_to_end", observability);
+
+  const bool reaction_ok =
+      tracer.complete_count() > 0 &&
+      tracer.within_budget_count() == tracer.complete_count();
+  std::printf("reaction traces: %zu complete, %zu within the %.1f s budget\n",
+              tracer.complete_count(), tracer.within_budget_count(),
+              obs_config.tracer.budget.value());
+  return report.safety_violated || report.battery_tripped || !reaction_ok
+             ? 1
+             : 0;
 }

@@ -13,6 +13,7 @@
 #include "actuation/rack_manager.hpp"
 #include "bench_util.hpp"
 #include "common/stats.hpp"
+#include "obs/observability.hpp"
 #include "power/trip_curve.hpp"
 #include "sim/event_queue.hpp"
 #include "telemetry/pipeline.hpp"
@@ -44,9 +45,13 @@ main()
 
   sim::EventQueue queue;
   SteadySource source;
+  obs::Observability observability;
+  observability.BindClock(queue);
   const int num_racks = 600;  // ~10 MW room at ~16 kW/rack
-  telemetry::TelemetryPipeline pipeline(
-      queue, source, 4, num_racks, telemetry::PipelineConfig{}, 2021);
+  telemetry::PipelineConfig pipeline_config;
+  pipeline_config.obs = &observability;
+  telemetry::TelemetryPipeline pipeline(queue, source, 4, num_racks,
+                                        pipeline_config, 2021);
   pipeline.Subscribe([](const telemetry::DeviceReading&) {});
   pipeline.Start();
   queue.RunUntil(Minutes(10.0));
@@ -67,8 +72,9 @@ main()
 
   // Action latency over a burst of cap commands on every rack.
   sim::EventQueue action_queue;
-  actuation::ActuationPlane plane(action_queue, num_racks,
-                                  actuation::RackManagerConfig{}, 7);
+  actuation::RackManagerConfig rm_config;
+  rm_config.obs = &observability;
+  actuation::ActuationPlane plane(action_queue, num_racks, rm_config, 7);
   for (int r = 0; r < num_racks; ++r)
     plane.rack(r).Throttle(KiloWatts(12.0), [](bool) {});
   action_queue.RunUntil(Seconds(60.0));
@@ -103,5 +109,15 @@ main()
   std::printf("fault injection (1 poller + 1 bus + 1 meter down): "
               "%zu readings still delivered in 60 s -> %s\n",
               delivered, delivered > 0 ? "no SPOF" : "PIPELINE DEAD");
+
+  // Machine-readable results: the bench-level aggregates go in as
+  // gauges next to the component metrics recorded during the run.
+  obs::MetricsRegistry& metrics = observability.metrics();
+  metrics.gauge("bench.data_latency_p999_s").Set(data_p999);
+  metrics.gauge("bench.action_latency_p999_s").Set(action_p999);
+  metrics.gauge("bench.end_to_end_s").Set(end_to_end);
+  metrics.gauge("bench.budget_s").Set(budget);
+  std::printf("\n%s", obs::SummaryTable(metrics.Snapshot()).c_str());
+  bench::MaybeExportBenchJson("bench_pipeline_latency", observability);
   return delivered > 0 && end_to_end < budget ? 0 : 1;
 }

@@ -14,6 +14,9 @@
 #include <cstdlib>
 #include <string>
 
+#include "obs/export.hpp"
+#include "obs/observability.hpp"
+
 namespace flex::bench {
 
 /** Per-batch MILP budget for Flex-Offline benches (seconds). */
@@ -48,6 +51,28 @@ PrintHeader(const std::string& experiment, const std::string& artifact,
               artifact.c_str(), what.c_str());
   std::printf("=============================================================="
               "==========\n");
+}
+
+/**
+ * Appends this bench's metrics snapshot as one JSON line to the
+ * trajectory file named by FLEX_BENCH_JSON (e.g. BENCH_obs.json).
+ * No-op when the variable is unset. @return true when a line was
+ * written.
+ */
+inline bool
+MaybeExportBenchJson(const std::string& bench_name,
+                     const obs::Observability& observability)
+{
+  const char* path = std::getenv("FLEX_BENCH_JSON");
+  if (path == nullptr || *path == '\0')
+    return false;
+  const bool ok = obs::AppendLine(
+      path, obs::BenchJsonLine(bench_name, observability.metrics().Snapshot()));
+  if (ok)
+    std::printf("metrics appended to %s\n", path);
+  else
+    std::fprintf(stderr, "failed to write %s\n", path);
+  return ok;
 }
 
 }  // namespace flex::bench

@@ -6,17 +6,35 @@
  * utilization, fails a UPS at minute 12, watches Flex-Online shed power
  * within the UPS tolerance window, restores the UPS at minute 24, and
  * prints the resulting timeline and workload impact (Fig. 13).
+ *
+ * Tracing is always on: the drill ends with the metrics summary table
+ * and the per-stage reaction breakdown for the failover episode. Set
+ * FLEX_TRACE_OUT=<path> to also dump the reaction traces as JSONL
+ * (bit-identical across runs, since every stamp is simulated time).
  */
 #include <cstdio>
+#include <cstdlib>
 
 #include "emulation/room_emulation.hpp"
+#include "obs/export.hpp"
+#include "obs/observability.hpp"
+#include "power/trip_curve.hpp"
 
 int
 main()
 {
   using namespace flex;
 
+  // Budget the reaction against the worst-case tolerance window: the
+  // survivor UPS at 4N/3 load with end-of-life batteries (~10 s).
+  obs::ObservabilityConfig obs_config;
+  obs_config.tracer.budget =
+      power::TripCurve::ForBatteryLife(power::BatteryLife::kEndOfLife)
+          .ToleranceAt(4.0 / 3.0);
+  obs::Observability observability(obs_config);
+
   emulation::EmulationConfig config;
+  config.obs = &observability;
   emulation::RoomEmulation emulation(config);
 
   std::printf("Room: %.1f MW provisioned, %d racks placed\n",
@@ -59,5 +77,18 @@ main()
               report.safety_violated ? "VIOLATED" : "maintained",
               100.0 * (report.worst_overload_fraction - 1.0),
               report.overload_duration_seconds);
+
+  const obs::ReactionTracer& tracer = observability.tracer();
+  std::printf("\n%s",
+              obs::SummaryTable(observability.metrics().Snapshot(), &tracer)
+                  .c_str());
+
+  if (const char* trace_out = std::getenv("FLEX_TRACE_OUT");
+      trace_out != nullptr && *trace_out != '\0') {
+    if (obs::WriteFile(trace_out, obs::TracesToJsonl(tracer)))
+      std::printf("reaction traces written to %s\n", trace_out);
+    else
+      std::fprintf(stderr, "failed to write %s\n", trace_out);
+  }
   return report.safety_violated ? 1 : 0;
 }

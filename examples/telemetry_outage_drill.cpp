@@ -9,9 +9,14 @@
  * get flagged — the Section IV-C and Section VI production story.
  */
 #include <cstdio>
+#include <vector>
 
 #include "actuation/firmware_monitor.hpp"
 #include "actuation/rack_manager.hpp"
+#include "obs/observability.hpp"
+#include "online/controller.hpp"
+#include "power/topology.hpp"
+#include "power/trip_curve.hpp"
 #include "sim/event_queue.hpp"
 #include "telemetry/pipeline.hpp"
 
@@ -27,6 +32,20 @@ class SteadyRoom : public telemetry::PowerSource {
     return device.kind == telemetry::DeviceKind::kUps ? MegaWatts(1.0)
                                                       : KiloWatts(13.0);
   }
+};
+
+/** A small 4-UPS room whose UPS 0 reading can be spiked on demand. */
+class FailoverRoom : public telemetry::PowerSource {
+ public:
+  Watts
+  CurrentPower(telemetry::DeviceId device) const override
+  {
+    if (device.kind == telemetry::DeviceKind::kUps)
+      return KiloWatts(device.index == 0 ? ups0_kw : 60.0);
+    return KiloWatts(18.0);
+  }
+
+  double ups0_kw = 60.0;
 };
 
 }  // namespace
@@ -92,5 +111,91 @@ main()
   queue.RunUntil(queue.Now() + Seconds(70.0));
   std::printf("warnings after remediation: %zu new\n",
               monitor.warnings().size() - warnings_before);
-  return 0;
+
+  // -------------------------------------------------------------------------
+  // Poller crash mid-failover: UPS 0 overloads, and half a second later
+  // the poller that would have reported it dies. The surviving poller
+  // still carries the reading through, and the reaction tracer shows
+  // where the ~seconds went, stage by stage.
+  // -------------------------------------------------------------------------
+  std::printf("\n=== poller crash mid-failover (reaction tracing) ===\n");
+  obs::ObservabilityConfig obs_config;
+  obs_config.tracer.budget =
+      power::TripCurve::ForBatteryLife(power::BatteryLife::kEndOfLife)
+          .ToleranceAt(4.0 / 3.0);
+  obs::Observability observability(obs_config);
+
+  sim::EventQueue drill_queue;
+  observability.BindClock(drill_queue);
+  FailoverRoom failover_room;
+
+  power::RoomConfig room_config;
+  room_config.num_ups = 4;
+  room_config.redundancy_y = 3;
+  room_config.ups_capacity = KiloWatts(100.0);
+  room_config.pdu_pairs_per_ups_pair = 1;
+  room_config.rows_per_pdu_pair = 1;
+  room_config.racks_per_row = 4;
+  power::RoomTopology topology(room_config);
+
+  actuation::RackManagerConfig rm_config;
+  rm_config.obs = &observability;
+  actuation::ActuationPlane drill_plane(drill_queue, 8, rm_config, 31);
+
+  telemetry::PipelineConfig pipeline_config;
+  pipeline_config.obs = &observability;
+  telemetry::TelemetryPipeline drill_pipeline(drill_queue, failover_room, 4,
+                                              8, pipeline_config, 37);
+
+  std::vector<online::ManagedRack> managed;
+  for (int i = 0; i < 8; ++i) {
+    online::ManagedRack rack;
+    rack.rack_id = i;
+    rack.workload = i < 4 ? "sr" : "cap";
+    rack.category = i < 4 ? workload::Category::kSoftwareRedundant
+                          : workload::Category::kNonRedundantCapable;
+    rack.pdu_pair = i < 4 ? 0 : 1;
+    rack.allocated = KiloWatts(20.0);
+    rack.flex_power = KiloWatts(16.0);
+    managed.push_back(rack);
+  }
+  online::ControllerConfig controller_config;
+  controller_config.obs = &observability;
+  online::FlexController controller(drill_queue, topology, managed,
+                                    drill_plane, {}, controller_config, 0);
+  drill_pipeline.Subscribe([&](const telemetry::DeviceReading& reading) {
+    controller.OnReading(reading);
+  });
+  drill_pipeline.Start();
+  drill_queue.RunUntil(Seconds(30.0));
+
+  std::printf("t=%.1f s: UPS 0 partner fails, survivor spikes to 140 kW\n",
+              drill_queue.Now().value());
+  failover_room.ups0_kw = 140.0;
+  drill_queue.Schedule(Seconds(0.5), [&] {
+    std::printf("t=%.1f s: poller 0 crashes mid-failover\n",
+                drill_queue.Now().value());
+    drill_pipeline.SetPollerFailed(0, true);
+  });
+  drill_queue.RunUntil(Seconds(60.0));
+
+  const obs::ReactionTracer& tracer = observability.tracer();
+  if (tracer.complete_count() == 0) {
+    std::printf("no reaction trace completed -- pipeline DEAD\n");
+    return 1;
+  }
+  const obs::ReactionTrace& trace = tracer.traces().front();
+  std::printf("reaction trace #%llu (detected by replica %d on UPS %d, "
+              "%d corrective actions):\n",
+              static_cast<unsigned long long>(trace.id),
+              trace.detecting_replica, trace.ups_index, trace.actions);
+  for (int s = 0; s < obs::kNumReactionStages; ++s) {
+    const auto stage = static_cast<obs::ReactionStage>(s);
+    std::printf("  %-14s %+8.3f s\n", obs::ReactionStageName(stage),
+                trace.StageLatency(stage).value());
+  }
+  std::printf("  %-14s %8.3f s against a %.1f s budget -> %s\n", "end-to-end",
+              trace.EndToEnd().value(), trace.budget.value(),
+              trace.WithinBudget() ? "within budget" : "OVER BUDGET");
+  return trace.WithinBudget() ? 0 : 1;
 }

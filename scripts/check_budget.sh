@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# Runs the two latency benches with machine-readable export enabled,
+# collects their metric snapshots into BENCH_obs.json (one JSON line per
+# bench), and verifies the paper's temporal safety claim: the p99
+# end-to-end reaction must beat the UPS tolerance window (~10 s at end
+# of battery life, Section IV-E).
+#
+# Usage: scripts/check_budget.sh [build-dir] [output-json]
+#   build-dir    defaults to ./build (or FLEX_BUILD_DIR)
+#   output-json  defaults to <build-dir>/BENCH_obs.json (or FLEX_BENCH_JSON)
+#
+# Exit status: 0 when the reaction budget holds, non-zero otherwise.
+# The export format is line-oriented JSON with fixed key order, so this
+# script needs only sed/awk — no JSON parser.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${1:-${FLEX_BUILD_DIR:-${repo_root}/build}}"
+out_json="${2:-${FLEX_BENCH_JSON:-${build_dir}/BENCH_obs.json}}"
+
+for bench in bench_pipeline_latency bench_end_to_end; do
+  if [[ ! -x "${build_dir}/bench/${bench}" ]]; then
+    echo "check_budget: ${build_dir}/bench/${bench} not built" >&2
+    echo "  (build first: cmake --build ${build_dir} --target ${bench})" >&2
+    exit 2
+  fi
+done
+
+rm -f "${out_json}"
+echo "check_budget: running benches, exporting to ${out_json}"
+FLEX_BENCH_JSON="${out_json}" "${build_dir}/bench/bench_pipeline_latency" \
+  > /dev/null
+FLEX_BENCH_JSON="${out_json}" "${build_dir}/bench/bench_end_to_end" \
+  > /dev/null
+
+e2e_line="$(grep '"bench":"bench_end_to_end"' "${out_json}" | tail -n 1)"
+if [[ -z "${e2e_line}" ]]; then
+  echo "check_budget: no bench_end_to_end line in ${out_json}" >&2
+  exit 2
+fi
+
+# "reaction.end_to_end_s":{"type":"histogram",...,"p99":<X>} and
+# "reaction.budget_s":{"type":"gauge","value":<Y>}.
+p99="$(sed -n \
+  's/.*"reaction\.end_to_end_s":{[^}]*"p99":\([0-9eE.+-]*\)}.*/\1/p' \
+  <<< "${e2e_line}")"
+budget="$(sed -n \
+  's/.*"reaction\.budget_s":{[^}]*"value":\([0-9eE.+-]*\)}.*/\1/p' \
+  <<< "${e2e_line}")"
+if [[ -z "${p99}" || -z "${budget}" ]]; then
+  echo "check_budget: reaction metrics missing from ${out_json}" >&2
+  exit 2
+fi
+
+echo "check_budget: reaction end-to-end p99 = ${p99} s, budget = ${budget} s"
+if awk -v p99="${p99}" -v budget="${budget}" \
+  'BEGIN { exit !(p99 + 0 < budget + 0) }'; then
+  echo "check_budget: OK — reaction fits the tolerance window"
+else
+  echo "check_budget: FAIL — p99 reaction exceeds the tolerance window" >&2
+  exit 1
+fi

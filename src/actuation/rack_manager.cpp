@@ -13,6 +13,13 @@ RackManager::RackManager(sim::EventQueue& queue, int rack_id,
   FLEX_REQUIRE(config_.unreachable_probability >= 0.0 &&
                    config_.unreachable_probability <= 1.0,
                "unreachable probability must be in [0, 1]");
+  if (config_.obs != nullptr) {
+    obs::MetricsRegistry& metrics = config_.obs->metrics();
+    commands_metric_ = &metrics.counter("actuation.commands");
+    failed_metric_ = &metrics.counter("actuation.failed_commands");
+    dropped_metric_ = &metrics.counter("actuation.dropped_commands");
+    latency_metric_ = &metrics.histogram("actuation.action_latency_s");
+  }
 }
 
 Seconds
@@ -37,9 +44,13 @@ void
 RackManager::Execute(Kind kind, std::optional<Watts> cap, Completion done)
 {
   FLEX_REQUIRE(static_cast<bool>(done), "null completion callback");
+  if (commands_metric_ != nullptr)
+    commands_metric_->Increment();
   if (unreachable_ || rng_.Bernoulli(config_.unreachable_probability)) {
     // The command is lost; report failure after a timeout-ish delay so
     // callers see realistic failure detection latency.
+    if (dropped_metric_ != nullptr)
+      dropped_metric_->Increment();
     queue_.Schedule(Seconds(2.0) + extra_latency_, [done] { done(false); });
     return;
   }
@@ -47,8 +58,12 @@ RackManager::Execute(Kind kind, std::optional<Watts> cap, Completion done)
   const bool stale = firmware_stale_;
   queue_.Schedule(latency, [this, kind, cap, done, latency, stale] {
     action_latencies_.push_back(latency.value());
+    if (latency_metric_ != nullptr)
+      latency_metric_->Observe(latency.value());
     if (stale) {
       // Regression: the RM acknowledges but the action has no effect.
+      if (failed_metric_ != nullptr)
+        failed_metric_->Increment();
       done(false);
       return;
     }

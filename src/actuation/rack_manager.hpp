@@ -20,6 +20,7 @@
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "common/units.hpp"
+#include "obs/observability.hpp"
 #include "sim/event_queue.hpp"
 
 namespace flex::actuation {
@@ -38,6 +39,8 @@ struct RackManagerConfig {
   double latency_log_sigma = 0.28;   ///< sigma of underlying normal
   /** Probability an action is lost because the RM is unreachable. */
   double unreachable_probability = 0.0;
+  /** Optional instrumentation sink (null: not instrumented). */
+  obs::Observability* obs = nullptr;
 };
 
 /**
@@ -110,6 +113,12 @@ class RackManager {
   bool firmware_stale_ = false;
   Seconds extra_latency_{0.0};
   std::vector<double> action_latencies_;
+
+  // Cached metric objects (registry lookups stay off the hot path).
+  obs::Counter* commands_metric_ = nullptr;
+  obs::Counter* failed_metric_ = nullptr;
+  obs::Counter* dropped_metric_ = nullptr;
+  obs::Histogram* latency_metric_ = nullptr;
 };
 
 /**

@@ -45,6 +45,12 @@ RoomEmulation::RoomEmulation(EmulationConfig config)
   FLEX_REQUIRE(config_.failed_ups >= 0 &&
                    config_.failed_ups < topology_.NumUpses(),
                "failed UPS out of range");
+  if (config_.obs != nullptr) {
+    config_.obs->BindClock(queue_);
+    config_.pipeline.obs = config_.obs;
+    config_.rack_manager.obs = config_.obs;
+    config_.controller.obs = config_.obs;
+  }
   BuildRoom();
 }
 
@@ -185,6 +191,7 @@ RoomEmulation::BuildRoom()
   for (UpsId u = 0; u < topology_.NumUpses(); ++u) {
     batteries_.emplace_back(power::BatteryConfig::ForBatteryLife(
         config_.room.battery_life, topology_.UpsCapacity(u)));
+    batteries_.back().Bind(config_.obs, u);
   }
 }
 

@@ -54,6 +54,12 @@ struct EmulationConfig {
   actuation::RackManagerConfig rack_manager;
   online::ControllerConfig controller;
   std::uint64_t seed = 2021;
+  /**
+   * Optional instrumentation sink. When set, the harness binds it to its
+   * internal clock and propagates it into the pipeline, controller,
+   * rack-manager, and battery sub-configs.
+   */
+  obs::Observability* obs = nullptr;
 };
 
 /** One point of the recorded time series. */

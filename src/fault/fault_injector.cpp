@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "common/error.hpp"
+#include "obs/log.hpp"
 
 namespace flex::fault {
 
@@ -129,6 +130,8 @@ FaultInjector::Record(const FaultEvent& event, bool start)
                 targets_.queue->Now().value(), start ? "begin" : "repair",
                 event.DebugString().c_str());
   trace_.emplace_back(buffer);
+  FLEX_LOG(obs::LogLevel::kInfo, "fault", "%s %s",
+           start ? "begin" : "repair", event.DebugString().c_str());
 }
 
 void
@@ -136,7 +139,11 @@ FaultInjector::Arm(const FaultPlan& plan)
 {
   for (const FaultEvent& event : plan.events())
     Validate(event);
+  FLEX_LOG(obs::LogLevel::kDebug, "fault", "arming plan with %zu event(s)",
+           plan.events().size());
   for (const FaultEvent& event : plan.events()) {
+    FLEX_LOG(obs::LogLevel::kDebug, "fault", "scheduled %s",
+             event.DebugString().c_str());
     const Seconds now = targets_.queue->Now();
     targets_.queue->ScheduleAt(std::max(event.at, now),
                                [this, event] { Apply(event, true); });

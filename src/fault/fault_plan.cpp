@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "common/error.hpp"
+#include "obs/log.hpp"
 
 namespace flex::fault {
 
@@ -73,6 +74,8 @@ FaultPlan::SortByTime()
                    [](const FaultEvent& a, const FaultEvent& b) {
                      return a.at < b.at;
                    });
+  FLEX_LOG(obs::LogLevel::kTrace, "fault", "plan sorted: %zu event(s)",
+           events_.size());
 }
 
 Seconds

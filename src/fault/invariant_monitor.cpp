@@ -3,6 +3,7 @@
 #include <cstdio>
 
 #include "common/error.hpp"
+#include "obs/log.hpp"
 
 namespace flex::fault {
 
@@ -37,7 +38,18 @@ InvariantMonitor::AddController(const online::FlexController* controller)
 void
 InvariantMonitor::Attach()
 {
-  queue_.SetObserver([this](Seconds) { Check(); });
+  if (observer_id_ != 0)
+    return;  // already attached
+  observer_id_ = queue_.AddObserver([this](Seconds) { Check(); });
+}
+
+void
+InvariantMonitor::Detach()
+{
+  if (observer_id_ == 0)
+    return;
+  queue_.RemoveObserver(observer_id_);
+  observer_id_ = 0;
 }
 
 std::size_t
@@ -66,6 +78,8 @@ InvariantMonitor::AddViolation(const char* invariant,
                                const std::string& message)
 {
   violations_.push_back({queue_.Now(), invariant, message});
+  FLEX_LOG(obs::LogLevel::kError, "invariant", "[%s] %s", invariant,
+           message.c_str());
 }
 
 void

@@ -78,8 +78,11 @@ class InvariantMonitor {
   /** Adds a controller replica to watch for (c) and (d). */
   void AddController(const online::FlexController* controller);
 
-  /** Installs the monitor as the queue's event observer. */
+  /** Installs the monitor as an event observer on the queue. */
   void Attach();
+
+  /** Uninstalls the observer; a no-op when not attached. */
+  void Detach();
 
   /** Runs every invariant check at the current instant. */
   void Check();
@@ -107,6 +110,7 @@ class InvariantMonitor {
   std::function<std::vector<Watts>()> true_ups_loads_;
   MonitorConfig config_;
   std::vector<const online::FlexController*> controllers_;
+  sim::ObserverId observer_id_ = 0;  // 0: not attached
 
   // (a) per-UPS overload episodes.
   std::vector<double> overload_since_;  // <0: not overloaded

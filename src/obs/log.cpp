@@ -1,0 +1,128 @@
+#include "log.hpp"
+
+#include <cctype>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "sim/event_queue.hpp"
+
+namespace flex::obs {
+
+namespace {
+
+struct LogState {
+  LogLevel level;
+  const sim::EventQueue* clock = nullptr;
+  LogSink sink;
+
+  LogState()
+      : level(ParseLogLevel(std::getenv("FLEX_LOG_LEVEL"), LogLevel::kWarn))
+  {
+  }
+};
+
+LogState&
+State()
+{
+  static LogState state;
+  return state;
+}
+
+}  // namespace
+
+const char*
+LogLevelName(LogLevel level)
+{
+  switch (level) {
+    case LogLevel::kTrace:
+      return "TRACE";
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO ";
+    case LogLevel::kWarn:
+      return "WARN ";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF  ";
+  }
+  return "?????";
+}
+
+LogLevel
+ParseLogLevel(const char* name, LogLevel fallback)
+{
+  if (name == nullptr || *name == '\0')
+    return fallback;
+  std::string lower;
+  for (const char* p = name; *p != '\0'; ++p)
+    lower += static_cast<char>(std::tolower(static_cast<unsigned char>(*p)));
+  if (lower == "trace")
+    return LogLevel::kTrace;
+  if (lower == "debug")
+    return LogLevel::kDebug;
+  if (lower == "info")
+    return LogLevel::kInfo;
+  if (lower == "warn" || lower == "warning")
+    return LogLevel::kWarn;
+  if (lower == "error")
+    return LogLevel::kError;
+  if (lower == "off" || lower == "none" || lower == "quiet")
+    return LogLevel::kOff;
+  return fallback;
+}
+
+LogLevel
+GetLogLevel()
+{
+  return State().level;
+}
+
+void
+SetLogLevel(LogLevel level)
+{
+  State().level = level;
+}
+
+void
+SetLogClock(const sim::EventQueue* clock)
+{
+  State().clock = clock;
+}
+
+void
+SetLogSink(LogSink sink)
+{
+  State().sink = std::move(sink);
+}
+
+void
+LogMessage(LogLevel level, const char* component, const char* format, ...)
+{
+  char message[512];
+  std::va_list args;
+  va_start(args, format);
+  std::vsnprintf(message, sizeof(message), format, args);
+  va_end(args);
+
+  char line[640];
+  const LogState& state = State();
+  if (state.clock != nullptr) {
+    std::snprintf(line, sizeof(line), "[%s] t=%.3f %s: %s",
+                  LogLevelName(level), state.clock->Now().value(),
+                  component != nullptr ? component : "-", message);
+  } else {
+    std::snprintf(line, sizeof(line), "[%s] %s: %s", LogLevelName(level),
+                  component != nullptr ? component : "-", message);
+  }
+  if (state.sink) {
+    state.sink(level, line);
+    return;
+  }
+  std::fprintf(stderr, "%s\n", line);
+}
+
+}  // namespace flex::obs

@@ -1,0 +1,19 @@
+#include "observability.hpp"
+
+#include "sim/event_queue.hpp"
+
+namespace flex::obs {
+
+Observability::Observability(ObservabilityConfig config)
+    : tracer_(config.tracer, &metrics_)
+{
+}
+
+void
+Observability::BindClock(const sim::EventQueue& queue)
+{
+  metrics_.SetClock(&queue);
+  SetLogClock(&queue);
+}
+
+}  // namespace flex::obs

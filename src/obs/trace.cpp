@@ -1,0 +1,142 @@
+#include "trace.hpp"
+
+#include "common/error.hpp"
+
+namespace flex::obs {
+
+const char*
+ReactionStageName(ReactionStage stage)
+{
+  switch (stage) {
+    case ReactionStage::kMeterSample:
+      return "meter_sample";
+    case ReactionStage::kPublish:
+      return "publish";
+    case ReactionStage::kObserve:
+      return "observe";
+    case ReactionStage::kDecide:
+      return "decide";
+    case ReactionStage::kActuate:
+      return "actuate";
+  }
+  return "unknown";
+}
+
+Seconds
+ReactionTrace::StageLatency(ReactionStage stage) const
+{
+  switch (stage) {
+    case ReactionStage::kMeterSample:
+      return Seconds(0.0);  // the chain's origin
+    case ReactionStage::kPublish:
+      return delivered_at - sampled_at;
+    case ReactionStage::kObserve:
+      return detected_at - delivered_at;
+    case ReactionStage::kDecide:
+      return decided_at - detected_at;
+    case ReactionStage::kActuate:
+      return enforced_at - decided_at;
+  }
+  return Seconds(0.0);
+}
+
+ReactionTracer::ReactionTracer(TracerConfig config, MetricsRegistry* metrics)
+    : config_(config), metrics_(metrics)
+{
+  FLEX_REQUIRE(config_.budget.value() > 0.0,
+               "reaction budget must be positive");
+}
+
+const ReactionTrace*
+ReactionTracer::active() const
+{
+  return episode_active_ ? &traces_.back() : nullptr;
+}
+
+void
+ReactionTracer::OnDetection(int replica, int ups_index, Seconds sampled_at,
+                            Seconds delivered_at, Seconds now)
+{
+  if (episode_active_) {
+    ++traces_.back().duplicate_detections;
+    return;
+  }
+  ReactionTrace trace;
+  trace.id = next_id_++;
+  trace.detecting_replica = replica;
+  trace.ups_index = ups_index;
+  trace.sampled_at = sampled_at;
+  trace.delivered_at = delivered_at;
+  trace.detected_at = now;
+  trace.budget = config_.budget;
+  traces_.push_back(trace);
+  episode_active_ = true;
+  if (metrics_ != nullptr)
+    metrics_->counter("reaction.episodes").Increment();
+}
+
+void
+ReactionTracer::OnDecision(int replica, int num_actions, Seconds now)
+{
+  (void)replica;
+  if (!episode_active_)
+    return;  // e.g. a late wave after the episode released
+  ReactionTrace& trace = traces_.back();
+  if (trace.complete || trace.actions > 0) {
+    ++trace.duplicate_waves;
+    return;
+  }
+  trace.decided_at = now;
+  trace.actions = num_actions;
+}
+
+void
+ReactionTracer::OnEnforced(int replica, Seconds now)
+{
+  (void)replica;
+  if (!episode_active_)
+    return;
+  ReactionTrace& trace = traces_.back();
+  if (trace.complete) {
+    ++trace.duplicate_waves;
+    return;
+  }
+  trace.enforced_at = now;
+  trace.complete = true;
+  ++complete_count_;
+  if (trace.WithinBudget())
+    ++within_budget_count_;
+  RecordCompletion(trace);
+}
+
+void
+ReactionTracer::OnEpisodeClosed(int replica, Seconds now)
+{
+  (void)replica;
+  (void)now;
+  if (!episode_active_)
+    return;
+  traces_.back().closed = true;
+  episode_active_ = false;
+}
+
+void
+ReactionTracer::RecordCompletion(const ReactionTrace& trace)
+{
+  if (metrics_ == nullptr)
+    return;
+  metrics_->histogram("reaction.publish_lag_s")
+      .Observe(trace.StageLatency(ReactionStage::kPublish).value());
+  metrics_->histogram("reaction.observe_lag_s")
+      .Observe(trace.StageLatency(ReactionStage::kObserve).value());
+  metrics_->histogram("reaction.decide_lag_s")
+      .Observe(trace.StageLatency(ReactionStage::kDecide).value());
+  metrics_->histogram("reaction.actuate_lag_s")
+      .Observe(trace.StageLatency(ReactionStage::kActuate).value());
+  metrics_->histogram("reaction.end_to_end_s").Observe(trace.EndToEnd().value());
+  metrics_->gauge("reaction.budget_s").Set(config_.budget.value());
+  if (!trace.WithinBudget())
+    metrics_->counter("reaction.over_budget").Increment();
+}
+
+}  // namespace flex::obs

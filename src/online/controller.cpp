@@ -1,10 +1,12 @@
 #include "controller.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <memory>
 #include <utility>
 
 #include "common/error.hpp"
+#include "obs/log.hpp"
 
 namespace flex::online {
 
@@ -41,6 +43,17 @@ FlexController::FlexController(sim::EventQueue& queue,
   }
   rack_power_.assign(static_cast<std::size_t>(max_rack_id) + 1, std::nullopt);
   rack_forecasts_ = RackPowerForecasterBank(max_rack_id + 1);
+
+  if (config_.obs != nullptr) {
+    obs::MetricsRegistry& metrics = config_.obs->metrics();
+    overdraw_metric_ = &metrics.counter("controller.overdraw_detections");
+    actions_metric_ = &metrics.counter("controller.actions_issued");
+    releases_metric_ = &metrics.counter("controller.releases");
+    decision_us_metric_ = &metrics.histogram(
+        "controller.decision_us", obs::HistogramConfig::WallMicros());
+    enforce_latency_metric_ =
+        &metrics.histogram("controller.enforce_latency_s");
+  }
 }
 
 void
@@ -54,7 +67,7 @@ FlexController::OnReading(const DeviceReading& reading)
       return;  // not our room
     ups_power_[static_cast<std::size_t>(reading.device.index)] =
         reading.value;
-    EvaluateOverdraw();
+    EvaluateOverdraw(reading);
     MaybeRelease();
   } else {
     if (reading.device.index < 0 ||
@@ -103,13 +116,17 @@ FlexController::BuildDecisionInput() const
 }
 
 void
-FlexController::EvaluateOverdraw()
+FlexController::EvaluateOverdraw(const DeviceReading& reading)
 {
   bool overdraw = false;
+  int overloaded_ups = -1;
   for (power::UpsId u = 0; u < topology_.NumUpses(); ++u) {
     const auto& power = ups_power_[static_cast<std::size_t>(u)];
-    if (power && *power > topology_.UpsCapacity(u) - config_.buffer)
+    if (power && *power > topology_.UpsCapacity(u) - config_.buffer) {
       overdraw = true;
+      if (overloaded_ups < 0)
+        overloaded_ups = u;
+    }
   }
   if (!overdraw)
     return;
@@ -119,14 +136,35 @@ FlexController::EvaluateOverdraw()
   if (!episode_active_) {
     episode_active_ = true;
     ++stats_.overdraw_events;
+    if (overdraw_metric_ != nullptr)
+      overdraw_metric_->Increment();
+    if (config_.obs != nullptr) {
+      config_.obs->tracer().OnDetection(replica_id_, overloaded_ups,
+                                        reading.sampled_at,
+                                        reading.delivered_at, detected_at);
+    }
+    FLEX_LOG(obs::LogLevel::kInfo, "controller",
+             "replica %d detected overdraw on UPS %d", replica_id_,
+             overloaded_ups);
   }
   if ((detected_at - last_enforce_).value() <
       config_.action_cooldown.value())
     return;  // let in-flight actions land and surface in telemetry
 
+  const auto decide_start = std::chrono::steady_clock::now();
   const DecisionResult decision = DecideActions(BuildDecisionInput());
+  if (decision_us_metric_ != nullptr) {
+    const auto elapsed = std::chrono::duration_cast<std::chrono::nanoseconds>(
+        std::chrono::steady_clock::now() - decide_start);
+    decision_us_metric_->Observe(static_cast<double>(elapsed.count()) / 1e3);
+  }
   if (!decision.actions.empty()) {
     last_enforce_ = detected_at;
+    if (config_.obs != nullptr) {
+      config_.obs->tracer().OnDecision(
+          replica_id_, static_cast<int>(decision.actions.size()),
+          detected_at);
+    }
     Enforce(decision.actions, detected_at);
   }
 }
@@ -137,13 +175,19 @@ FlexController::Enforce(const std::vector<Action>& actions,
 {
   // Track the slowest completion of this wave for latency reporting.
   auto pending = std::make_shared<int>(static_cast<int>(actions.size()));
-  auto record_completion = [this, pending, detected_at](bool ok) {
+  auto wave_done = [this, detected_at] {
+    const double latency = (queue_.Now() - detected_at).value();
+    stats_.enforcement_latencies.push_back(latency);
+    if (enforce_latency_metric_ != nullptr)
+      enforce_latency_metric_->Observe(latency);
+    if (config_.obs != nullptr)
+      config_.obs->tracer().OnEnforced(replica_id_, queue_.Now());
+  };
+  auto record_completion = [this, pending, wave_done](bool ok) {
     if (!ok)
       ++stats_.failed_commands;
-    if (--*pending == 0) {
-      stats_.enforcement_latencies.push_back(
-          (queue_.Now() - detected_at).value());
-    }
+    if (--*pending == 0)
+      wave_done();
   };
 
   // Notify software-redundant workloads so they scale out in another AZ
@@ -176,14 +220,14 @@ FlexController::Enforce(const std::vector<Action>& actions,
     if (acted_racks_.count(action.rack_id)) {
       // Another telemetry wave raced us; command is idempotent anyway,
       // but skip to avoid inflating stats.
-      if (--*pending == 0) {
-        stats_.enforcement_latencies.push_back(
-            (queue_.Now() - detected_at).value());
-      }
+      if (--*pending == 0)
+        wave_done();
       continue;
     }
     acted_racks_.insert(action.rack_id);
     action_types_[action.rack_id] = action.type;
+    if (actions_metric_ != nullptr)
+      actions_metric_->Increment();
     actuation::RackManager& rm = plane_.rack(action.rack_id);
     if (action.type == ActionType::kShutdown) {
       ++stats_.shutdown_commands;
@@ -267,6 +311,12 @@ FlexController::ReleaseAll()
   action_types_.clear();
   episode_active_ = false;
   healthy_since_ = Seconds(-1.0);
+  if (releases_metric_ != nullptr)
+    releases_metric_->Increment();
+  if (config_.obs != nullptr)
+    config_.obs->tracer().OnEpisodeClosed(replica_id_, queue_.Now());
+  FLEX_LOG(obs::LogLevel::kInfo, "controller",
+           "replica %d released all actions", replica_id_);
 }
 
 }  // namespace flex::online

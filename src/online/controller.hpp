@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "actuation/rack_manager.hpp"
+#include "obs/observability.hpp"
 #include "online/decision.hpp"
 #include "online/forecaster.hpp"
 #include "online/notifications.hpp"
@@ -67,6 +68,8 @@ struct ControllerConfig {
    * offers both options). Raw readings are ~2 s stale by decision time.
    */
   bool use_forecaster = true;
+  /** Optional instrumentation sink (null: not instrumented). */
+  obs::Observability* obs = nullptr;
 };
 
 /** Counters and timing the controller exposes for evaluation. */
@@ -114,7 +117,7 @@ class FlexController {
   bool suspended() const { return suspended_; }
 
  private:
-  void EvaluateOverdraw();
+  void EvaluateOverdraw(const telemetry::DeviceReading& reading);
   void Enforce(const std::vector<Action>& actions, Seconds detected_at);
   void MaybeRelease();
   void ReleaseAll();
@@ -144,6 +147,13 @@ class FlexController {
   Seconds healthy_since_{-1.0};
   Seconds last_enforce_{-1e18};
   ControllerStats stats_;
+
+  // Cached metric objects (registry lookups stay off the hot path).
+  obs::Counter* overdraw_metric_ = nullptr;
+  obs::Counter* actions_metric_ = nullptr;
+  obs::Counter* releases_metric_ = nullptr;
+  obs::Histogram* decision_us_metric_ = nullptr;
+  obs::Histogram* enforce_latency_metric_ = nullptr;
 };
 
 }  // namespace flex::online

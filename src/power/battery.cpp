@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
 #include "common/error.hpp"
 
@@ -59,21 +60,50 @@ BatteryModel::DrainWatts(Watts load) const
 }
 
 void
+BatteryModel::Bind(obs::Observability* obs, int ups_index)
+{
+  if (obs == nullptr) {
+    soc_metric_ = nullptr;
+    overload_energy_metric_ = nullptr;
+    overload_seconds_metric_ = nullptr;
+    trips_metric_ = nullptr;
+    return;
+  }
+  FLEX_REQUIRE(ups_index >= 0, "negative UPS index");
+  obs::MetricsRegistry& metrics = obs->metrics();
+  const std::string prefix = "power.ups" + std::to_string(ups_index);
+  soc_metric_ = &metrics.gauge(prefix + ".soc");
+  overload_energy_metric_ = &metrics.counter(prefix + ".overload_energy_j");
+  overload_seconds_metric_ = &metrics.counter(prefix + ".overload_seconds");
+  trips_metric_ = &metrics.counter(prefix + ".trips");
+  soc_metric_->Set(StateOfCharge());
+}
+
+void
 BatteryModel::Advance(Watts load, Seconds dt)
 {
   FLEX_REQUIRE(dt.value() >= 0.0, "negative time step");
   const double drain = DrainWatts(load);
   if (drain > 0.0) {
     remaining_ -= Joules(drain * dt.value());
+    const bool was_tripped = tripped_;
     if (remaining_ <= Joules(0.0)) {
       remaining_ = Joules(0.0);
       tripped_ = true;
+    }
+    if (overload_energy_metric_ != nullptr) {
+      overload_energy_metric_->Increment(drain * dt.value());
+      overload_seconds_metric_->Increment(dt.value());
+      if (tripped_ && !was_tripped)
+        trips_metric_->Increment();
     }
   } else {
     remaining_ += config_.recharge_power * dt;
     if (remaining_ > config_.usable_energy)
       remaining_ = config_.usable_energy;
   }
+  if (soc_metric_ != nullptr)
+    soc_metric_->Set(StateOfCharge());
 }
 
 double

@@ -14,6 +14,7 @@
 #define FLEX_POWER_BATTERY_HPP_
 
 #include "common/units.hpp"
+#include "obs/observability.hpp"
 #include "power/trip_curve.hpp"
 
 namespace flex::power {
@@ -48,6 +49,12 @@ class BatteryModel {
  public:
   explicit BatteryModel(BatteryConfig config);
 
+  /**
+   * Attaches instrumentation: publishes this battery's state of charge
+   * and overload accumulation under power.ups<index>.* metric names.
+   */
+  void Bind(obs::Observability* obs, int ups_index);
+
   /** Advances the battery by @p dt under UPS output @p load. */
   void Advance(Watts load, Seconds dt);
 
@@ -72,6 +79,12 @@ class BatteryModel {
   BatteryConfig config_;
   Joules remaining_;
   bool tripped_ = false;
+
+  // Cached metric objects (registry lookups stay off the hot path).
+  obs::Gauge* soc_metric_ = nullptr;
+  obs::Counter* overload_energy_metric_ = nullptr;
+  obs::Counter* overload_seconds_metric_ = nullptr;
+  obs::Counter* trips_metric_ = nullptr;
 };
 
 }  // namespace flex::power

@@ -25,6 +25,44 @@ EventQueue::ScheduleAt(Seconds when, Callback callback)
   return id;
 }
 
+ObserverId
+EventQueue::AddObserver(Observer observer)
+{
+  FLEX_REQUIRE(static_cast<bool>(observer), "null observer");
+  const ObserverId id = next_observer_id_++;
+  observers_.push_back(ObserverEntry{id, std::move(observer)});
+  return id;
+}
+
+void
+EventQueue::RemoveObserver(ObserverId id)
+{
+  observers_.erase(std::remove_if(observers_.begin(), observers_.end(),
+                                  [id](const ObserverEntry& entry) {
+                                    return entry.id == id;
+                                  }),
+                   observers_.end());
+  if (legacy_observer_id_ == id)
+    legacy_observer_id_ = 0;
+}
+
+void
+EventQueue::SetObserver(Observer observer)
+{
+  if (legacy_observer_id_ != 0)
+    RemoveObserver(legacy_observer_id_);
+  if (observer)
+    legacy_observer_id_ = AddObserver(std::move(observer));
+}
+
+void
+EventQueue::NotifyObservers(Seconds when)
+{
+  // Index loop: an observer may remove itself (or others) mid-dispatch.
+  for (std::size_t i = 0; i < observers_.size(); ++i)
+    observers_[i].callback(when);
+}
+
 void
 EventQueue::Cancel(EventId id)
 {
@@ -68,8 +106,7 @@ EventQueue::RunUntil(Seconds horizon)
     entry.callback();
     ++executed;
     ++executed_count_;
-    if (observer_)
-      observer_(now_);
+    NotifyObservers(now_);
   }
   now_ = horizon;
   return executed;
@@ -84,8 +121,7 @@ EventQueue::Step()
   now_ = entry.when;
   entry.callback();
   ++executed_count_;
-  if (observer_)
-    observer_(now_);
+  NotifyObservers(now_);
   return true;
 }
 

@@ -24,6 +24,9 @@ namespace flex::sim {
 /** Handle used to cancel a scheduled event. */
 using EventId = std::uint64_t;
 
+/** Handle used to remove an installed observer. */
+using ObserverId = std::uint64_t;
+
 /**
  * A deterministic discrete-event queue.
  *
@@ -43,10 +46,25 @@ class EventQueue {
   /**
    * Installs an observer called after each executed event. Observers must
    * not schedule or cancel events (they watch the simulation, they do not
-   * steer it); the invariant monitor in src/fault is the main client.
-   * Pass an empty function to detach.
+   * steer it); the invariant monitor in src/fault and the metrics layer
+   * in src/obs are the main clients. Observers fire in installation
+   * order. @return a handle for RemoveObserver().
    */
-  void SetObserver(Observer observer) { observer_ = std::move(observer); }
+  ObserverId AddObserver(Observer observer);
+
+  /** Removes an observer; removing a missing handle is a no-op. */
+  void RemoveObserver(ObserverId id);
+
+  /**
+   * Deprecated single-observer API, kept for older call sites. Replaces
+   * the observer installed by the previous SetObserver call (other
+   * AddObserver registrations are untouched). Pass an empty function to
+   * detach. Prefer AddObserver().
+   */
+  void SetObserver(Observer observer);
+
+  /** Number of installed observers. */
+  std::size_t observer_count() const { return observers_.size(); }
 
   /** Total events executed over the queue's lifetime. */
   std::uint64_t executed_count() const { return executed_count_; }
@@ -101,14 +119,22 @@ class EventQueue {
     }
   };
 
+  struct ObserverEntry {
+    ObserverId id;
+    Observer callback;
+  };
+
   bool PopNext(Entry& out);
+  void NotifyObservers(Seconds when);
 
   std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
   std::unordered_set<EventId> pending_;  // ids scheduled and not yet fired
   Seconds now_{0.0};
   std::uint64_t next_sequence_ = 0;
   EventId next_id_ = 1;
-  Observer observer_;
+  std::vector<ObserverEntry> observers_;  // in installation order
+  ObserverId next_observer_id_ = 1;
+  ObserverId legacy_observer_id_ = 0;  // slot managed by SetObserver()
   std::uint64_t executed_count_ = 0;
 };
 

@@ -39,6 +39,14 @@ TelemetryPipeline::TelemetryPipeline(sim::EventQueue& queue,
   bus_extra_delay_.assign(static_cast<std::size_t>(config_.num_buses),
                           Seconds(0.0));
   bus_duplicate_.assign(static_cast<std::size_t>(config_.num_buses), false);
+
+  if (config_.obs != nullptr) {
+    obs::MetricsRegistry& metrics = config_.obs->metrics();
+    readings_delivered_metric_ = &metrics.counter("pipeline.readings_delivered");
+    no_quorum_metric_ = &metrics.counter("pipeline.meter_no_quorum");
+    poller_skipped_metric_ = &metrics.counter("pipeline.poller_skipped_ticks");
+    publish_lag_metric_ = &metrics.histogram("pipeline.publish_lag_s");
+  }
 }
 
 void
@@ -161,8 +169,11 @@ TelemetryPipeline::SetBusDuplicate(int bus, bool duplicate)
 void
 TelemetryPipeline::PollerTick(int poller, DeviceKind kind)
 {
-  if (poller_failed_[static_cast<std::size_t>(poller)])
+  if (poller_failed_[static_cast<std::size_t>(poller)]) {
+    if (poller_skipped_metric_ != nullptr)
+      poller_skipped_metric_->Increment();
     return;
+  }
 
   const int count = kind == DeviceKind::kUps ? num_ups_ : num_racks_;
   // Sampling happens after the meter-to-poller network hop.
@@ -173,8 +184,12 @@ TelemetryPipeline::PollerTick(int poller, DeviceKind kind)
     const DeviceId device{kind, i};
     const Watts truth = source_.CurrentPower(device);
     const auto reading = MeterFor(device).Read(sampled_at, truth);
-    if (!reading)
-      continue;  // no quorum: data missing for this device this tick
+    if (!reading) {
+      // No quorum: data missing for this device this tick.
+      if (no_quorum_metric_ != nullptr)
+        no_quorum_metric_->Increment();
+      continue;
+    }
     DeviceReading r;
     r.device = device;
     r.value = *reading;
@@ -198,6 +213,10 @@ TelemetryPipeline::PollerTick(int poller, DeviceKind kind)
         const double latency = reading.DataLatency().value();
         latency_stats_.Add(latency);
         latency_samples_.push_back(latency);
+        if (readings_delivered_metric_ != nullptr) {
+          readings_delivered_metric_->Increment();
+          publish_lag_metric_->Observe(latency);
+        }
         for (const Subscriber& subscriber : subscribers_)
           subscriber(reading);
       }

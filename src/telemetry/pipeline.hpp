@@ -18,6 +18,7 @@
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "common/units.hpp"
+#include "obs/observability.hpp"
 #include "sim/event_queue.hpp"
 #include "telemetry/meter.hpp"
 
@@ -77,6 +78,8 @@ struct PipelineConfig {
    */
   Seconds delivery_jitter = Milliseconds(400.0);
   MeterConfig meter;
+  /** Optional instrumentation sink (null: not instrumented). */
+  obs::Observability* obs = nullptr;
 };
 
 /**
@@ -159,6 +162,12 @@ class TelemetryPipeline {
   std::size_t delivered_count_ = 0;
   RunningStats latency_stats_;
   std::vector<double> latency_samples_;
+
+  // Cached metric objects (registry lookups stay off the hot path).
+  obs::Counter* readings_delivered_metric_ = nullptr;
+  obs::Counter* no_quorum_metric_ = nullptr;
+  obs::Counter* poller_skipped_metric_ = nullptr;
+  obs::Histogram* publish_lag_metric_ = nullptr;
 };
 
 }  // namespace flex::telemetry

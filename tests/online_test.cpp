@@ -11,6 +11,7 @@
 
 #include "actuation/rack_manager.hpp"
 #include "common/error.hpp"
+#include "obs/observability.hpp"
 #include "online/controller.hpp"
 #include "online/decision.hpp"
 #include "power/topology.hpp"
@@ -449,6 +450,63 @@ TEST_F(ControllerTest, PublishesEmergencyAndAllClearNotifications)
   ASSERT_GE(events.size(), 2u);
   EXPECT_TRUE(events.back().cleared);
   EXPECT_EQ(events.back().workload, "sr");
+}
+
+TEST_F(ControllerTest, FailoverDrillProducesOneCompleteTraceWithinBudget)
+{
+  // End-to-end observability check: a failover drill must stitch
+  // exactly ONE reaction trace across all five stages, and the reaction
+  // must land inside the tolerance window (Section IV-E's temporal
+  // safety claim).
+  obs::ObservabilityConfig obs_config;
+  obs_config.tracer.budget = Seconds(10.0);
+  obs::Observability observability(obs_config);
+  observability.BindClock(queue_);
+  ControllerConfig config;
+  config.obs = &observability;
+  auto racks = MakeRacks();
+  FlexController controller(queue_, topology_, racks, plane_, {}, config, 0);
+  FlexController racing(queue_, topology_, racks, plane_, {}, config, 1);
+  for (int r = 0; r < 8; ++r) {
+    DeliverRack(controller, r, 18.0);
+    DeliverRack(racing, r, 18.0);
+  }
+  queue_.RunUntil(Seconds(2.0));
+  // UPS 0's partner fails; the survivor reads far over its limit.
+  // Replica 1 sees the same overload a beat later: multi-primary racing
+  // that the tracer must absorb into ONE episode.
+  DeliverUps(controller, 0, 140.0);
+  queue_.RunUntil(Seconds(2.5));
+  DeliverUps(racing, 0, 140.0);
+  queue_.RunUntil(Seconds(30.0));
+
+  const obs::ReactionTracer& tracer = observability.tracer();
+  ASSERT_EQ(tracer.traces().size(), 1u);
+  EXPECT_EQ(tracer.complete_count(), 1u);
+  const obs::ReactionTrace& trace = tracer.traces().front();
+  EXPECT_TRUE(trace.complete);
+  EXPECT_EQ(trace.ups_index, 0);
+  EXPECT_EQ(trace.detecting_replica, 0);
+  EXPECT_GT(trace.actions, 0);
+  EXPECT_GE(trace.duplicate_detections, 1);
+  // The stage chain is causally ordered and ends inside the window.
+  EXPECT_LE(trace.sampled_at.value(), trace.delivered_at.value());
+  EXPECT_LE(trace.delivered_at.value(), trace.detected_at.value());
+  EXPECT_LE(trace.detected_at.value(), trace.decided_at.value());
+  EXPECT_LE(trace.decided_at.value(), trace.enforced_at.value());
+  EXPECT_GT(trace.EndToEnd().value(), 0.0);
+  EXPECT_LT(trace.EndToEnd().value(), obs_config.tracer.budget.value());
+  EXPECT_TRUE(trace.WithinBudget());
+  EXPECT_EQ(tracer.within_budget_count(), 1u);
+
+  // Both replicas counted a detection, but the tracer folded them into
+  // one episode: exactly one end-to-end sample.
+  const obs::MetricsSnapshot snapshot = observability.metrics().Snapshot();
+  ASSERT_NE(snapshot.Find("controller.overdraw_detections"), nullptr);
+  EXPECT_DOUBLE_EQ(snapshot.Find("controller.overdraw_detections")->value,
+                   2.0);
+  ASSERT_NE(snapshot.Find("reaction.end_to_end_s"), nullptr);
+  EXPECT_EQ(snapshot.Find("reaction.end_to_end_s")->count, 1u);
 }
 
 TEST_F(ControllerTest, IgnoresReadingsForUnknownDevices)

@@ -286,5 +286,61 @@ TEST(EventQueueTest, ObserverSeesEveryExecutedEvent)
   EXPECT_EQ(q.executed_count(), 4u);
 }
 
+TEST(EventQueueTest, MultipleObserversAllSeeEachEvent)
+{
+  EventQueue q;
+  int first = 0;
+  int second = 0;
+  const ObserverId first_id = q.AddObserver([&](Seconds) { ++first; });
+  q.AddObserver([&](Seconds) { ++second; });
+  EXPECT_EQ(q.observer_count(), 2u);
+  q.Schedule(Seconds(1.0), [] {});
+  q.Schedule(Seconds(2.0), [] {});
+  q.RunAll();
+  EXPECT_EQ(first, 2);
+  EXPECT_EQ(second, 2);
+
+  // Removing one observer leaves the other attached.
+  q.RemoveObserver(first_id);
+  EXPECT_EQ(q.observer_count(), 1u);
+  q.Schedule(Seconds(3.0), [] {});
+  q.RunAll();
+  EXPECT_EQ(first, 2);
+  EXPECT_EQ(second, 3);
+  // Removing an already-removed id is a harmless no-op.
+  EXPECT_NO_THROW(q.RemoveObserver(first_id));
+  EXPECT_THROW(q.AddObserver(nullptr), ConfigError);
+}
+
+TEST(EventQueueTest, LegacySetObserverCoexistsWithAddObserver)
+{
+  EventQueue q;
+  int legacy = 0;
+  int registered = 0;
+  q.AddObserver([&](Seconds) { ++registered; });
+  q.SetObserver([&](Seconds) { ++legacy; });
+  q.Schedule(Seconds(1.0), [] {});
+  q.RunAll();
+  EXPECT_EQ(registered, 1);
+  EXPECT_EQ(legacy, 1);
+
+  // SetObserver replaces only the legacy slot, never AddObserver's.
+  int replacement = 0;
+  q.SetObserver([&](Seconds) { ++replacement; });
+  q.Schedule(Seconds(2.0), [] {});
+  q.RunAll();
+  EXPECT_EQ(legacy, 1);
+  EXPECT_EQ(replacement, 1);
+  EXPECT_EQ(registered, 2);
+
+  // And SetObserver(nullptr) detaches only the legacy slot.
+  q.SetObserver(nullptr);
+  EXPECT_EQ(q.observer_count(), 1u);
+  q.Schedule(Seconds(3.0), [] {});
+  q.RunAll();
+  EXPECT_EQ(replacement, 1);
+  EXPECT_EQ(registered, 3);
+}
+
 }  // namespace
 }  // namespace flex::sim
