@@ -13,6 +13,7 @@
 
 #include "bench_util.hpp"
 #include "emulation/room_emulation.hpp"
+#include "obs/forensics.hpp"
 #include "power/trip_curve.hpp"
 
 int
@@ -91,7 +92,38 @@ main()
   std::printf("reaction traces: %zu complete, %zu within the %.1f s budget\n",
               tracer.complete_count(), tracer.within_budget_count(),
               obs_config.tracer.budget.value());
-  return report.safety_violated || report.battery_tripped || !reaction_ok
-             ? 1
-             : 0;
+
+  // The flight recorder runs throughout (always-on, fixed-size ring);
+  // report what it held so overhead regressions show up in review.
+  const obs::FlightRecorder& recorder = observability.recorder();
+  std::printf("flight recorder: %zu records retained (capacity %zu, "
+              "%llu dropped oldest-first)\n",
+              recorder.size(), recorder.capacity(),
+              static_cast<unsigned long long>(recorder.dropped_count()));
+
+  const bool failed =
+      report.safety_violated || report.battery_tripped || !reaction_ok;
+  if (failed) {
+    // Leave a forensic bundle behind so the failure can be triaged
+    // offline (see EXPERIMENTS.md).
+    obs::BundleSpec spec;
+    spec.trigger = report.safety_violated ? "safety-violation"
+                   : report.battery_tripped ? "battery-trip"
+                                            : "reaction-budget-miss";
+    spec.scenario = "end-to-end-emulation";
+    spec.sim_time_s = config.end_at.value();
+    spec.horizon_s = config.end_at.value();
+    spec.replayable = false;  // the emulation room is not plan-driven
+    spec.records = recorder.Records();
+    spec.metrics = &observability.metrics();
+    spec.tracer = &tracer;
+    const std::string dir = obs::UniqueBundleDir(
+        obs::ForensicsRootDir(), "bundle-end-to-end");
+    std::string error;
+    if (obs::WriteForensicBundle(dir, spec, &error))
+      std::printf("forensic bundle: %s\n", dir.c_str());
+    else
+      std::fprintf(stderr, "bundle dump failed: %s\n", error.c_str());
+  }
+  return failed ? 1 : 0;
 }

@@ -5,13 +5,24 @@
  * Not a paper artifact — it guards the solver substrate's fitness for
  * the Flex-Offline use case (batch ILPs must solve in seconds, well
  * inside the paper's 5-minute Gurobi budget).
+ *
+ * After the microbenchmarks, prints the convergence curve (bound vs.
+ * incumbent over solve time) of one placement-shaped MILP via
+ * solver::SolverTrace. Set FLEX_SOLVER_TRACE=<path> to also write the
+ * curve as CSV; FLEX_BENCH_JSON appends the solver counters as metrics.
  */
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench_util.hpp"
 #include "common/rng.hpp"
+#include "obs/export.hpp"
 #include "solver/branch_and_bound.hpp"
 #include "solver/model.hpp"
 #include "solver/simplex.hpp"
+#include "solver/solver_trace.hpp"
 
 namespace {
 
@@ -102,6 +113,79 @@ BM_SimplexKnapsackRelaxation(benchmark::State& state)
 }
 BENCHMARK(BM_SimplexKnapsackRelaxation)->Arg(100)->Arg(400);
 
+/**
+ * Solves one representative placement MILP with a trace attached and
+ * prints / exports its convergence curve.
+ */
+void
+PrintConvergenceCurve()
+{
+  const Model model = MakePlacementLp(16, 12, /*integer=*/true);
+  SolverTrace trace;
+  BranchAndBoundSolver::Options options;
+  options.time_budget_seconds = bench::SolveSeconds(2.0);
+  options.trace = &trace;
+  options.trace_node_interval = 16;
+  const MipResult result = BranchAndBoundSolver(options).Solve(model);
+
+  std::printf("\nConvergence curve (16 deployments x 12 pairs, %.1fs "
+              "budget):\n",
+              options.time_budget_seconds);
+  std::printf("%-10s %10s %8s %10s %10s %12s %12s %8s\n", "label",
+              "elapsed_s", "nodes", "lp_solves", "pivots", "bound",
+              "incumbent", "gap");
+  for (const SolverTracePoint& point : trace.points()) {
+    char incumbent[32] = "-";
+    if (point.has_incumbent)
+      std::snprintf(incumbent, sizeof(incumbent), "%.6f", point.incumbent);
+    std::printf("%-10s %10.4f %8lld %10lld %10lld %12.6f %12s %8.2e\n",
+                point.label.c_str(), point.elapsed_s,
+                static_cast<long long>(point.nodes),
+                static_cast<long long>(point.lp_solves),
+                static_cast<long long>(point.pivots), point.bound, incumbent,
+                point.gap);
+  }
+  std::printf("final: objective %.6f, bound %.6f, gap %.2e, %lld nodes, "
+              "%lld LP solves, %lld pivots\n",
+              result.objective, result.bound, result.gap,
+              static_cast<long long>(result.nodes_explored),
+              static_cast<long long>(result.lp_solves),
+              static_cast<long long>(result.simplex_pivots));
+
+  if (const char* path = std::getenv("FLEX_SOLVER_TRACE");
+      path != nullptr && *path != '\0') {
+    if (obs::WriteFile(path, trace.ToCsv()))
+      std::printf("convergence curve written to %s\n", path);
+    else
+      std::fprintf(stderr, "failed to write %s\n", path);
+  }
+
+  obs::Observability observability;
+  obs::MetricsRegistry& metrics = observability.metrics();
+  metrics.counter("solver.nodes")
+      .Increment(static_cast<double>(result.nodes_explored));
+  metrics.counter("solver.lp_solves")
+      .Increment(static_cast<double>(result.lp_solves));
+  metrics.counter("solver.pivots")
+      .Increment(static_cast<double>(result.simplex_pivots));
+  metrics.counter("solver.trace_points")
+      .Increment(static_cast<double>(trace.size()));
+  metrics.gauge("solver.objective").Set(result.objective);
+  metrics.gauge("solver.bound").Set(result.bound);
+  metrics.gauge("solver.gap").Set(result.gap);
+  bench::MaybeExportBenchJson("solver_perf", observability);
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char** argv)
+{
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  PrintConvergenceCurve();
+  return 0;
+}

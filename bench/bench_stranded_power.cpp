@@ -8,8 +8,10 @@
  * with a narrower range; Flex-Offline-Oracle reaches < 2%.
  */
 #include <cstdio>
+#include <cstdlib>
 
 #include "bench_util.hpp"
+#include "obs/export.hpp"
 #include "placement_study.hpp"
 
 int
@@ -50,6 +52,28 @@ main()
                 "Round-Robin (%.2f%% vs %.2f%%)\n",
                 100.0 * (1.0 - short_median / brr_median),
                 100.0 * short_median, 100.0 * brr_median);
+  }
+
+  // Optional: per-batch MILP convergence curves of one Short placement,
+  // as CSV sections separated by "# batch N" comment lines.
+  if (const char* path = std::getenv("FLEX_SOLVER_TRACE");
+      path != nullptr && *path != '\0') {
+    Rng rng(2021);
+    const auto demand = workload::GenerateTrace(
+        trace_config, room.TotalProvisionedPower(), rng);
+    offline::FlexOfflinePolicy policy = offline::FlexOfflinePolicy::Short(solve);
+    policy.Place(room, demand);
+    std::string csv;
+    for (std::size_t i = 0; i < policy.solve_traces().size(); ++i) {
+      csv += "# batch " + std::to_string(i) + "\n";
+      csv += policy.solve_traces()[i].ToCsv();
+    }
+    if (obs::WriteFile(path, csv)) {
+      std::printf("convergence curves (%zu batches) written to %s\n",
+                  policy.solve_traces().size(), path);
+    } else {
+      std::fprintf(stderr, "failed to write %s\n", path);
+    }
   }
   return 0;
 }

@@ -19,3 +19,14 @@ export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1}"
 
 cd "${build_dir}"
 ctest --output-on-failure -j"$(nproc)" "$@"
+
+# Focused pass over the observability stack: the flight recorder, the
+# forensic bundle writer/loader and the replay path shuffle raw buffers
+# and parse untrusted bundle files, which is exactly where the
+# sanitizers earn their keep. gtest_discover_tests registers per-case
+# names, so run the two binaries directly rather than matching by
+# ctest name. Redundant with a full-suite run above, but cheap, and
+# keeps `run_sanitized_tests.sh -R <other>` honest too.
+echo "run_sanitized_tests: focused obs/fault recorder pass"
+"${build_dir}/tests/obs_test" --gtest_brief=1
+"${build_dir}/tests/fault_test" --gtest_brief=1

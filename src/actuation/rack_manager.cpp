@@ -19,6 +19,7 @@ RackManager::RackManager(sim::EventQueue& queue, int rack_id,
     failed_metric_ = &metrics.counter("actuation.failed_commands");
     dropped_metric_ = &metrics.counter("actuation.dropped_commands");
     latency_metric_ = &metrics.histogram("actuation.action_latency_s");
+    recorder_ = &config_.obs->recorder();
   }
 }
 
@@ -46,6 +47,10 @@ RackManager::Execute(Kind kind, std::optional<Watts> cap, Completion done)
   FLEX_REQUIRE(static_cast<bool>(done), "null completion callback");
   if (commands_metric_ != nullptr)
     commands_metric_->Increment();
+  if (recorder_ != nullptr)
+    recorder_->Record(queue_.Now(), obs::RecordKind::kRackCommand, rack_id_,
+                      static_cast<int>(kind),
+                      cap.has_value() ? cap->value() : 0.0);
   if (unreachable_ || rng_.Bernoulli(config_.unreachable_probability)) {
     // The command is lost; report failure after a timeout-ish delay so
     // callers see realistic failure detection latency.

@@ -119,6 +119,7 @@ class RackManager {
   obs::Counter* failed_metric_ = nullptr;
   obs::Counter* dropped_metric_ = nullptr;
   obs::Histogram* latency_metric_ = nullptr;
+  obs::FlightRecorder* recorder_ = nullptr;
 };
 
 /**

@@ -50,6 +50,7 @@ RoomEmulation::RoomEmulation(EmulationConfig config)
     config_.pipeline.obs = config_.obs;
     config_.rack_manager.obs = config_.obs;
     config_.controller.obs = config_.obs;
+    notifications_.Bind(config_.obs);
   }
   BuildRoom();
 }
@@ -243,8 +244,15 @@ RoomEmulation::StepWorkloads()
                     config_.workload_step);
     report_.min_battery_state_of_charge = std::min(
         report_.min_battery_state_of_charge, battery.StateOfCharge());
-    if (battery.tripped())
+    if (battery.tripped()) {
+      if (!report_.battery_tripped && config_.obs != nullptr) {
+        config_.obs->recorder().Record(queue_.Now(),
+                                       obs::RecordKind::kBatteryTrip,
+                                       static_cast<int>(u), -1,
+                                       battery.StateOfCharge());
+      }
       report_.battery_tripped = true;
+    }
   }
 
   // Software-redundant service health view: shut racks look "down" to

@@ -132,6 +132,12 @@ FaultInjector::Record(const FaultEvent& event, bool start)
   trace_.emplace_back(buffer);
   FLEX_LOG(obs::LogLevel::kInfo, "fault", "%s %s",
            start ? "begin" : "repair", event.DebugString().c_str());
+  if (targets_.recorder != nullptr)
+    targets_.recorder->Record(targets_.queue->Now(),
+                              start ? obs::RecordKind::kFaultBegin
+                                    : obs::RecordKind::kFaultRepair,
+                              event.target, static_cast<int>(event.kind), 0.0,
+                              event.DebugString());
 }
 
 void

@@ -39,6 +39,8 @@ struct InjectorTargets {
   std::vector<online::FlexController*> controllers;
   /** Number of UPSes, for kUpsFailover target validation. */
   int num_ups = 0;
+  /** Optional flight recorder fed with begin/repair records. */
+  obs::FlightRecorder* recorder = nullptr;
 };
 
 /**

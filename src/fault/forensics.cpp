@@ -1,0 +1,256 @@
+#include "forensics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+namespace flex::fault {
+
+namespace {
+
+/** %.9g, matching the obs exporters' number formatting. */
+std::string
+Num(double value)
+{
+  char buffer[40];
+  std::snprintf(buffer, sizeof(buffer), "%.9g", value);
+  return buffer;
+}
+
+/**
+ * %.17g: bit-exact double round trip. Plan inputs must survive
+ * serialization unchanged — a fault that replays one LSB late walks the
+ * whole downstream timeline off the recorded rails.
+ */
+std::string
+FullNum(double value)
+{
+  char buffer[40];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+std::size_t
+ValueOffset(const std::string& json, const char* key)
+{
+  const std::string needle = std::string("\"") + key + "\":";
+  const std::size_t at = json.find(needle);
+  return at == std::string::npos ? std::string::npos : at + needle.size();
+}
+
+bool
+ParseNumberField(const std::string& json, const char* key, double* out)
+{
+  const std::size_t at = ValueOffset(json, key);
+  if (at == std::string::npos)
+    return false;
+  char* end = nullptr;
+  const double value = std::strtod(json.c_str() + at, &end);
+  if (end == json.c_str() + at)
+    return false;
+  *out = value;
+  return true;
+}
+
+std::vector<std::string>
+SplitLines(const std::string& text)
+{
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string::npos)
+      end = text.size();
+    if (end > start)
+      lines.push_back(text.substr(start, end - start));
+    start = end + 1;
+  }
+  return lines;
+}
+
+}  // namespace
+
+std::string
+FaultPlanToJsonl(const FaultPlan& plan)
+{
+  // Numeric kinds keep the format trivially parseable; fault_plan.txt in
+  // the same bundle carries the human-readable listing.
+  std::string out;
+  for (const FaultEvent& event : plan.events()) {
+    out += "{\"at\":" + FullNum(event.at.value());
+    out += ",\"kind\":" + std::to_string(static_cast<int>(event.kind));
+    out += ",\"target\":" + std::to_string(event.target);
+    out += ",\"device_kind\":" +
+           std::to_string(static_cast<int>(event.device_kind));
+    out += ",\"meter_index\":" + std::to_string(event.meter_index);
+    out += ",\"magnitude\":" + FullNum(event.magnitude);
+    out += ",\"duration\":" + FullNum(event.duration.value());
+    out += "}\n";
+  }
+  return out;
+}
+
+bool
+ParseFaultPlanJsonl(const std::string& jsonl, FaultPlan* out,
+                    std::string* error)
+{
+  *out = FaultPlan();
+  std::size_t line_number = 0;
+  for (const std::string& line : SplitLines(jsonl)) {
+    ++line_number;
+    double at = 0.0;
+    double kind = 0.0;
+    double target = 0.0;
+    double device_kind = 0.0;
+    double meter_index = 0.0;
+    double magnitude = 0.0;
+    double duration = 0.0;
+    const bool ok = ParseNumberField(line, "at", &at) &&
+                    ParseNumberField(line, "kind", &kind) &&
+                    ParseNumberField(line, "target", &target) &&
+                    ParseNumberField(line, "device_kind", &device_kind) &&
+                    ParseNumberField(line, "meter_index", &meter_index) &&
+                    ParseNumberField(line, "magnitude", &magnitude) &&
+                    ParseNumberField(line, "duration", &duration);
+    const int kind_int = static_cast<int>(kind);
+    if (!ok || kind_int < static_cast<int>(FaultKind::kUpsFailover) ||
+        kind_int > static_cast<int>(FaultKind::kControllerPause)) {
+      if (error != nullptr)
+        *error = "malformed fault event at line " + std::to_string(line_number);
+      return false;
+    }
+    FaultEvent event;
+    event.at = Seconds(at);
+    event.kind = static_cast<FaultKind>(kind_int);
+    event.target = static_cast<int>(target);
+    event.device_kind = static_cast<telemetry::DeviceKind>(
+        static_cast<int>(device_kind));
+    event.meter_index = static_cast<int>(meter_index);
+    event.magnitude = magnitude;
+    event.duration = Seconds(duration);
+    out->Add(event);
+  }
+  return true;
+}
+
+std::string
+RacksCsv(const FaultScenario& scenario)
+{
+  std::string out = "rack,category,powered_on,power_cap_w,true_power_w\n";
+  const auto& categories = scenario.categories();
+  for (int r = 0; r < static_cast<int>(categories.size()); ++r) {
+    const actuation::RackState& state = scenario.plane().rack(r).state();
+    const Watts power = scenario.CurrentPower(
+        telemetry::DeviceId{telemetry::DeviceKind::kRack, r});
+    out += std::to_string(r) + ",";
+    out += std::to_string(
+               static_cast<int>(categories[static_cast<std::size_t>(r)])) +
+           ",";
+    out += state.powered_on ? "1," : "0,";
+    out += state.power_cap.has_value() ? Num(state.power_cap->value()) : "";
+    out += ",";
+    out += Num(power.value());
+    out += "\n";
+  }
+  return out;
+}
+
+RecordedRun
+RunRecordedPlan(const ScenarioConfig& config, std::uint64_t seed,
+                const FaultPlan& plan, const ForensicsOptions& options)
+{
+  obs::ObservabilityConfig obs_config;
+  obs_config.recorder.capacity = options.recorder_capacity;
+  obs::Observability obs(obs_config);
+
+  ScenarioConfig recorded_config = config;
+  recorded_config.obs = &obs;
+  FaultScenario scenario(recorded_config, seed);
+
+  RecordedRun run;
+  run.report = scenario.Run(plan);
+  run.records = obs.recorder().Records();
+
+  const bool violated = !run.report.violations.empty();
+  if (!options.force_dump && !(options.dump_on_violation && violated))
+    return run;
+
+  obs::BundleSpec spec;
+  spec.trigger = violated ? "invariant-violation" : "manual";
+  spec.scenario = "fault-fuzz";
+  spec.seed = seed;
+  spec.sim_time_s = scenario.queue().Now().value();
+  spec.horizon_s = config.shape.horizon.value();
+  spec.replayable = true;
+  spec.records = run.records;
+  spec.metrics = &obs.metrics();
+  spec.tracer = &obs.tracer();
+  spec.fault_plan_text = plan.DebugString();
+  spec.fault_plan_jsonl = FaultPlanToJsonl(plan);
+  spec.racks_csv = RacksCsv(scenario);
+  for (const Violation& violation : run.report.violations)
+    spec.notes.push_back("t=" + Num(violation.at.value()) + " [" +
+                         violation.invariant + "] " + violation.message);
+
+  const std::string root = options.root_dir.empty()
+                               ? obs::ForensicsRootDir()
+                               : options.root_dir;
+  const std::string dir = obs::UniqueBundleDir(
+      root, "bundle-seed" + std::to_string(seed));
+  std::string error;
+  if (obs::WriteForensicBundle(dir, spec, &error)) {
+    run.bundle_dir = dir;
+    FLEX_LOG(obs::LogLevel::kWarn, "forensics", "dumped bundle to %s (%s)",
+             dir.c_str(), spec.trigger.c_str());
+  } else {
+    run.dump_error = error;
+    FLEX_LOG(obs::LogLevel::kError, "forensics", "bundle dump failed: %s",
+             error.c_str());
+  }
+  return run;
+}
+
+RecordedRun
+RunRecordedScenario(const ScenarioConfig& config, std::uint64_t seed,
+                    const ForensicsOptions& options)
+{
+  FaultFuzzer fuzzer(config.shape);
+  return RunRecordedPlan(config, seed, fuzzer.SamplePlan(seed), options);
+}
+
+ReplayReport
+ReplayBundle(const std::string& bundle_dir, const ScenarioConfig& config)
+{
+  ReplayReport replay;
+
+  obs::LoadedBundle bundle;
+  if (!obs::LoadForensicBundle(bundle_dir, &bundle, &replay.error))
+    return replay;
+  replay.manifest = bundle.manifest;
+  if (!bundle.manifest.replayable) {
+    replay.error = "bundle is not marked replayable";
+    return replay;
+  }
+
+  FaultPlan plan;
+  if (!ParseFaultPlanJsonl(bundle.fault_plan_jsonl, &plan, &replay.error))
+    return replay;
+  replay.loaded = true;
+
+  // Re-execute in a fresh room on the bundle's seed, recording with a
+  // ring at least as large as the bundle window so the replay retains
+  // everything the bundle retained.
+  ForensicsOptions replay_options;
+  replay_options.dump_on_violation = false;
+  replay_options.force_dump = false;
+  replay_options.recorder_capacity =
+      std::max<std::size_t>(bundle.records.size(), 1) * 2;
+  RecordedRun rerun =
+      RunRecordedPlan(config, bundle.manifest.seed, plan, replay_options);
+  replay.report = rerun.report;
+  replay.compared = bundle.records.size();
+  replay.divergence = obs::FirstDivergence(bundle.records, rerun.records);
+  return replay;
+}
+
+}  // namespace flex::fault

@@ -26,6 +26,10 @@ InvariantMonitor::InvariantMonitor(
   overload_since_.assign(static_cast<std::size_t>(topology_.NumUpses()), -1.0);
   trip_reported_.assign(overload_since_.size(), false);
   cap_reported_.assign(categories_.size(), false);
+  if (config_.obs != nullptr) {
+    violations_metric_ = &config_.obs->metrics().counter("invariants.violations");
+    recorder_ = &config_.obs->recorder();
+  }
 }
 
 void
@@ -80,6 +84,11 @@ InvariantMonitor::AddViolation(const char* invariant,
   violations_.push_back({queue_.Now(), invariant, message});
   FLEX_LOG(obs::LogLevel::kError, "invariant", "[%s] %s", invariant,
            message.c_str());
+  if (violations_metric_ != nullptr)
+    violations_metric_->Increment();
+  if (recorder_ != nullptr)
+    recorder_->Record(queue_.Now(), obs::RecordKind::kViolation, -1, -1, 0.0,
+                      std::string("[") + invariant + "] " + message);
 }
 
 void

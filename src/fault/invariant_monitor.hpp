@@ -29,6 +29,7 @@
 
 #include "actuation/rack_manager.hpp"
 #include "common/units.hpp"
+#include "obs/observability.hpp"
 #include "online/controller.hpp"
 #include "power/topology.hpp"
 #include "sim/event_queue.hpp"
@@ -49,6 +50,8 @@ struct MonitorConfig {
   Seconds response_deadline = Seconds(15.0);
   /** Relative slack on the load fraction before "unsafe" (meter noise). */
   double overload_epsilon = 1e-9;
+  /** Optional instrumentation sink (null: not instrumented). */
+  obs::Observability* obs = nullptr;
 };
 
 /** One detected invariant violation. */
@@ -125,6 +128,10 @@ class InvariantMonitor {
   double worst_fraction_ = 0.0;
   std::uint64_t checks_run_ = 0;
   std::vector<Violation> violations_;
+
+  // Cached instrumentation (null: not instrumented).
+  obs::Counter* violations_metric_ = nullptr;
+  obs::FlightRecorder* recorder_ = nullptr;
 };
 
 }  // namespace flex::fault

@@ -84,6 +84,16 @@ FaultScenario::FaultScenario(ScenarioConfig config, std::uint64_t seed)
                    config_.mean_utilization <= config_.max_utilization,
                "utilization bounds must bracket the mean");
 
+  if (config_.obs != nullptr) {
+    // One obs handle instruments the whole room; fan it out before the
+    // components cache their metric pointers.
+    config_.obs->BindClock(queue_);
+    config_.pipeline.obs = config_.obs;
+    config_.rack_manager.obs = config_.obs;
+    config_.controller.obs = config_.obs;
+    config_.monitor.obs = config_.obs;
+  }
+
   categories_.reserve(static_cast<std::size_t>(shape.num_racks));
   utilization_.reserve(static_cast<std::size_t>(shape.num_racks));
   for (int r = 0; r < shape.num_racks; ++r) {
@@ -202,6 +212,8 @@ FaultScenario::targets()
   for (const auto& controller : controllers_)
     targets.controllers.push_back(controller.get());
   targets.num_ups = config_.shape.num_ups;
+  if (config_.obs != nullptr)
+    targets.recorder = &config_.obs->recorder();
   return targets;
 }
 

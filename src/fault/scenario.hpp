@@ -56,6 +56,12 @@ struct ScenarioConfig {
   telemetry::PipelineConfig pipeline;
   actuation::RackManagerConfig rack_manager;
   online::ControllerConfig controller;
+  /**
+   * Optional instrumentation sink, fanned out into every component's
+   * config (and the injector's flight-recorder feed). The scenario
+   * binds the registry clock to its own queue.
+   */
+  obs::Observability* obs = nullptr;
 
   ScenarioConfig();
 };
@@ -102,8 +108,10 @@ class FaultScenario : public telemetry::PowerSource {
   void SetUpsFailed(int ups, bool failed);
 
   sim::EventQueue& queue() { return queue_; }
+  const sim::EventQueue& queue() const { return queue_; }
   telemetry::TelemetryPipeline& pipeline() { return *pipeline_; }
   actuation::ActuationPlane& plane() { return *plane_; }
+  const actuation::ActuationPlane& plane() const { return *plane_; }
   const power::RoomTopology& topology() const { return topology_; }
   const InvariantMonitor& monitor() const { return *monitor_; }
   const std::vector<workload::Category>& categories() const {

@@ -1,0 +1,375 @@
+#include "flight_recorder.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+
+#include "common/error.hpp"
+
+namespace flex::obs {
+
+namespace {
+
+/** %.9g, matching the metric exporters' number formatting. */
+std::string
+Num(double value)
+{
+  char buffer[40];
+  std::snprintf(buffer, sizeof(buffer), "%.9g", value);
+  return buffer;
+}
+
+/** Minimal JSON string escaping for the detail field. */
+std::string
+EscapeJson(const std::string& text)
+{
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/**
+ * Finds `"key":` in @p json and returns the character offset just past
+ * the colon, or npos.
+ */
+std::size_t
+ValueOffset(const std::string& json, const char* key)
+{
+  const std::string needle = std::string("\"") + key + "\":";
+  const std::size_t at = json.find(needle);
+  return at == std::string::npos ? std::string::npos : at + needle.size();
+}
+
+bool
+ParseNumberField(const std::string& json, const char* key, double* out)
+{
+  const std::size_t at = ValueOffset(json, key);
+  if (at == std::string::npos)
+    return false;
+  char* end = nullptr;
+  const double value = std::strtod(json.c_str() + at, &end);
+  if (end == json.c_str() + at)
+    return false;
+  *out = value;
+  return true;
+}
+
+bool
+ParseStringField(const std::string& json, const char* key, std::string* out)
+{
+  std::size_t at = ValueOffset(json, key);
+  if (at == std::string::npos || at >= json.size() || json[at] != '"')
+    return false;
+  ++at;
+  std::string value;
+  while (at < json.size() && json[at] != '"') {
+    char c = json[at];
+    if (c == '\\' && at + 1 < json.size()) {
+      const char next = json[at + 1];
+      switch (next) {
+        case 'n':
+          c = '\n';
+          break;
+        case 't':
+          c = '\t';
+          break;
+        case 'r':
+          c = '\r';
+          break;
+        case 'u': {
+          // Only the \u00XX control-character escapes we emit.
+          if (at + 5 >= json.size())
+            return false;
+          const std::string hex = json.substr(at + 2, 4);
+          c = static_cast<char>(std::strtol(hex.c_str(), nullptr, 16));
+          at += 4;
+          break;
+        }
+        default:
+          c = next;
+      }
+      ++at;
+    }
+    value += c;
+    ++at;
+  }
+  if (at >= json.size())
+    return false;  // unterminated string
+  *out = std::move(value);
+  return true;
+}
+
+}  // namespace
+
+const char*
+RecordKindName(RecordKind kind)
+{
+  switch (kind) {
+    case RecordKind::kAnnotation:
+      return "annotation";
+    case RecordKind::kMeterSample:
+      return "meter_sample";
+    case RecordKind::kDetection:
+      return "detection";
+    case RecordKind::kDecision:
+      return "decision";
+    case RecordKind::kEnforced:
+      return "enforced";
+    case RecordKind::kEpisodeClosed:
+      return "episode_closed";
+    case RecordKind::kFaultBegin:
+      return "fault_begin";
+    case RecordKind::kFaultRepair:
+      return "fault_repair";
+    case RecordKind::kViolation:
+      return "violation";
+    case RecordKind::kBatteryTrip:
+      return "battery_trip";
+    case RecordKind::kRackCommand:
+      return "rack_command";
+  }
+  return "unknown";
+}
+
+bool
+ParseRecordKind(const std::string& name, RecordKind* out)
+{
+  static const RecordKind kAll[] = {
+      RecordKind::kAnnotation,    RecordKind::kMeterSample,
+      RecordKind::kDetection,     RecordKind::kDecision,
+      RecordKind::kEnforced,      RecordKind::kEpisodeClosed,
+      RecordKind::kFaultBegin,    RecordKind::kFaultRepair,
+      RecordKind::kViolation,     RecordKind::kBatteryTrip,
+      RecordKind::kRackCommand,
+  };
+  for (const RecordKind kind : kAll) {
+    if (name == RecordKindName(kind)) {
+      *out = kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+FlightRecorder::FlightRecorder(RecorderConfig config)
+{
+  FLEX_REQUIRE(config.capacity > 0, "flight recorder capacity must be > 0");
+  ring_.resize(config.capacity);
+}
+
+void
+FlightRecorder::Record(Seconds t, RecordKind kind, int a, int b, double value,
+                       std::string detail)
+{
+  FlightRecord& slot = ring_[head_];
+  slot.sequence = next_sequence_++;
+  slot.t = t.value();
+  slot.kind = kind;
+  slot.a = a;
+  slot.b = b;
+  slot.value = value;
+  slot.detail = std::move(detail);
+  head_ = (head_ + 1) % ring_.size();
+  if (size_ < ring_.size())
+    ++size_;
+  else
+    ++dropped_;
+}
+
+std::vector<FlightRecord>
+FlightRecorder::Records() const
+{
+  std::vector<FlightRecord> out;
+  out.reserve(size_);
+  // Oldest record sits at head_ once the ring has wrapped, at 0 before.
+  const std::size_t start = size_ < ring_.size() ? 0 : head_;
+  for (std::size_t i = 0; i < size_; ++i)
+    out.push_back(ring_[(start + i) % ring_.size()]);
+  return out;
+}
+
+void
+FlightRecorder::Clear()
+{
+  head_ = 0;
+  size_ = 0;
+}
+
+std::string
+RecordToJson(const FlightRecord& record)
+{
+  std::string out = "{\"seq\":" + std::to_string(record.sequence);
+  out += ",\"t\":" + Num(record.t);
+  out += ",\"kind\":\"";
+  out += RecordKindName(record.kind);
+  out += "\",\"a\":" + std::to_string(record.a);
+  out += ",\"b\":" + std::to_string(record.b);
+  out += ",\"value\":" + Num(record.value);
+  out += ",\"detail\":\"" + EscapeJson(record.detail) + "\"}";
+  return out;
+}
+
+std::string
+RecordsToJsonl(const std::vector<FlightRecord>& records)
+{
+  std::string out;
+  for (const FlightRecord& record : records) {
+    out += RecordToJson(record);
+    out += '\n';
+  }
+  return out;
+}
+
+bool
+ParseRecordJson(const std::string& line, FlightRecord* out)
+{
+  double seq = 0.0;
+  double t = 0.0;
+  double a = 0.0;
+  double b = 0.0;
+  double value = 0.0;
+  std::string kind_name;
+  std::string detail;
+  if (!ParseNumberField(line, "seq", &seq) ||
+      !ParseNumberField(line, "t", &t) ||
+      !ParseStringField(line, "kind", &kind_name) ||
+      !ParseNumberField(line, "a", &a) ||
+      !ParseNumberField(line, "b", &b) ||
+      !ParseNumberField(line, "value", &value) ||
+      !ParseStringField(line, "detail", &detail))
+    return false;
+  RecordKind kind;
+  if (!ParseRecordKind(kind_name, &kind))
+    return false;
+  out->sequence = static_cast<std::uint64_t>(seq);
+  out->t = t;
+  out->kind = kind;
+  out->a = static_cast<int>(a);
+  out->b = static_cast<int>(b);
+  out->value = value;
+  out->detail = std::move(detail);
+  return true;
+}
+
+bool
+ParseRecordsJsonl(const std::string& jsonl, std::vector<FlightRecord>* out,
+                  std::string* error)
+{
+  out->clear();
+  std::size_t start = 0;
+  std::size_t line_number = 0;
+  while (start < jsonl.size()) {
+    std::size_t end = jsonl.find('\n', start);
+    if (end == std::string::npos)
+      end = jsonl.size();
+    ++line_number;
+    const std::string line = jsonl.substr(start, end - start);
+    start = end + 1;
+    if (line.empty())
+      continue;
+    FlightRecord record;
+    if (!ParseRecordJson(line, &record)) {
+      if (error != nullptr)
+        *error = "malformed record at line " + std::to_string(line_number);
+      return false;
+    }
+    out->push_back(std::move(record));
+  }
+  return true;
+}
+
+std::string
+RecordDivergence::Summary() const
+{
+  return "seq " + std::to_string(sequence) + " field '" + field +
+         "': expected " + expected + ", got " + actual;
+}
+
+std::optional<RecordDivergence>
+FirstDivergence(const std::vector<FlightRecord>& expected,
+                const std::vector<FlightRecord>& actual)
+{
+  std::map<std::uint64_t, const FlightRecord*> by_sequence;
+  for (const FlightRecord& record : actual)
+    by_sequence[record.sequence] = &record;
+
+  for (const FlightRecord& want : expected) {
+    RecordDivergence divergence;
+    divergence.sequence = want.sequence;
+    const auto it = by_sequence.find(want.sequence);
+    if (it == by_sequence.end()) {
+      divergence.field = "missing";
+      divergence.expected = RecordToJson(want);
+      divergence.actual = "(no record with this sequence)";
+      return divergence;
+    }
+    const FlightRecord& got = *it->second;
+    if (want.kind != got.kind) {
+      divergence.field = "kind";
+      divergence.expected = RecordKindName(want.kind);
+      divergence.actual = RecordKindName(got.kind);
+      return divergence;
+    }
+    if (Num(want.t) != Num(got.t)) {
+      divergence.field = "t";
+      divergence.expected = Num(want.t);
+      divergence.actual = Num(got.t);
+      return divergence;
+    }
+    if (want.a != got.a) {
+      divergence.field = "a";
+      divergence.expected = std::to_string(want.a);
+      divergence.actual = std::to_string(got.a);
+      return divergence;
+    }
+    if (want.b != got.b) {
+      divergence.field = "b";
+      divergence.expected = std::to_string(want.b);
+      divergence.actual = std::to_string(got.b);
+      return divergence;
+    }
+    if (Num(want.value) != Num(got.value)) {
+      divergence.field = "value";
+      divergence.expected = Num(want.value);
+      divergence.actual = Num(got.value);
+      return divergence;
+    }
+    if (want.detail != got.detail) {
+      divergence.field = "detail";
+      divergence.expected = want.detail;
+      divergence.actual = got.detail;
+      return divergence;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace flex::obs

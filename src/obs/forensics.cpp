@@ -1,0 +1,354 @@
+#include "forensics.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "obs/export.hpp"
+
+namespace flex::obs {
+
+namespace {
+
+/** %.9g, matching the metric exporters' number formatting. */
+std::string
+Num(double value)
+{
+  char buffer[40];
+  std::snprintf(buffer, sizeof(buffer), "%.9g", value);
+  return buffer;
+}
+
+std::string
+EscapeJson(const std::string& text)
+{
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::size_t
+ValueOffset(const std::string& json, const char* key)
+{
+  const std::string needle = std::string("\"") + key + "\":";
+  std::size_t at = json.find(needle);
+  if (at == std::string::npos)
+    return std::string::npos;
+  at += needle.size();
+  // The manifest is pretty-printed with a space after each colon.
+  while (at < json.size() && (json[at] == ' ' || json[at] == '\t'))
+    ++at;
+  return at;
+}
+
+bool
+ParseNumberField(const std::string& json, const char* key, double* out)
+{
+  const std::size_t at = ValueOffset(json, key);
+  if (at == std::string::npos)
+    return false;
+  char* end = nullptr;
+  const double value = std::strtod(json.c_str() + at, &end);
+  if (end == json.c_str() + at)
+    return false;
+  *out = value;
+  return true;
+}
+
+bool
+ParseStringField(const std::string& json, const char* key, std::string* out)
+{
+  std::size_t at = ValueOffset(json, key);
+  if (at == std::string::npos || at >= json.size() || json[at] != '"')
+    return false;
+  ++at;
+  std::string value;
+  while (at < json.size() && json[at] != '"') {
+    char c = json[at];
+    if (c == '\\' && at + 1 < json.size()) {
+      const char next = json[at + 1];
+      switch (next) {
+        case 'n':
+          c = '\n';
+          break;
+        case 't':
+          c = '\t';
+          break;
+        case 'r':
+          c = '\r';
+          break;
+        case 'u': {
+          if (at + 5 >= json.size())
+            return false;
+          const std::string hex = json.substr(at + 2, 4);
+          c = static_cast<char>(std::strtol(hex.c_str(), nullptr, 16));
+          at += 4;
+          break;
+        }
+        default:
+          c = next;
+      }
+      ++at;
+    }
+    value += c;
+    ++at;
+  }
+  if (at >= json.size())
+    return false;
+  *out = std::move(value);
+  return true;
+}
+
+bool
+ParseBoolField(const std::string& json, const char* key, bool* out)
+{
+  const std::size_t at = ValueOffset(json, key);
+  if (at == std::string::npos)
+    return false;
+  if (json.compare(at, 4, "true") == 0) {
+    *out = true;
+    return true;
+  }
+  if (json.compare(at, 5, "false") == 0) {
+    *out = false;
+    return true;
+  }
+  return false;
+}
+
+bool
+ReadFile(const std::string& path, std::string* out)
+{
+  std::ifstream stream(path, std::ios::binary);
+  if (!stream)
+    return false;
+  std::ostringstream buffer;
+  buffer << stream.rdbuf();
+  *out = buffer.str();
+  return stream.good() || stream.eof();
+}
+
+bool
+Fail(std::string* error, std::string message)
+{
+  if (error != nullptr)
+    *error = std::move(message);
+  return false;
+}
+
+std::string
+ManifestJson(const BundleSpec& spec)
+{
+  std::uint64_t first_sequence = 0;
+  std::uint64_t last_sequence = 0;
+  if (!spec.records.empty()) {
+    first_sequence = spec.records.front().sequence;
+    last_sequence = spec.records.back().sequence;
+  }
+  std::string out = "{\n";
+  out += "  \"format\": \"" + std::string(kBundleFormat) + "\",\n";
+  out += "  \"trigger\": \"" + EscapeJson(spec.trigger) + "\",\n";
+  out += "  \"scenario\": \"" + EscapeJson(spec.scenario) + "\",\n";
+  out += "  \"seed\": " + std::to_string(spec.seed) + ",\n";
+  out += "  \"sim_time_s\": " + Num(spec.sim_time_s) + ",\n";
+  out += "  \"horizon_s\": " + Num(spec.horizon_s) + ",\n";
+  out += std::string("  \"replayable\": ") +
+         (spec.replayable ? "true" : "false") + ",\n";
+  out += "  \"first_sequence\": " + std::to_string(first_sequence) + ",\n";
+  out += "  \"last_sequence\": " + std::to_string(last_sequence) + ",\n";
+  out += "  \"num_records\": " + std::to_string(spec.records.size()) + ",\n";
+  out += "  \"notes\": [";
+  for (std::size_t i = 0; i < spec.notes.size(); ++i) {
+    if (i > 0)
+      out += ", ";
+    out += "\"" + EscapeJson(spec.notes[i]) + "\"";
+  }
+  out += "]\n}\n";
+  return out;
+}
+
+}  // namespace
+
+bool
+WriteForensicBundle(const std::string& dir, const BundleSpec& spec,
+                    std::string* error)
+{
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec)
+    return Fail(error, "cannot create bundle dir " + dir + ": " + ec.message());
+
+  const std::filesystem::path root(dir);
+  // events.jsonl first: the timeline is the heart of the bundle, and the
+  // manifest last so its presence marks a complete dump.
+  if (!WriteFile((root / "events.jsonl").string(),
+                 RecordsToJsonl(spec.records)))
+    return Fail(error, "cannot write events.jsonl under " + dir);
+  if (spec.metrics != nullptr) {
+    if (!WriteFile((root / "metrics.json").string(),
+                   SnapshotToJson(spec.metrics->Snapshot())))
+      return Fail(error, "cannot write metrics.json under " + dir);
+  }
+  if (spec.tracer != nullptr) {
+    if (!WriteFile((root / "traces.jsonl").string(),
+                   TracesToJsonl(*spec.tracer)))
+      return Fail(error, "cannot write traces.jsonl under " + dir);
+  }
+  if (!spec.racks_csv.empty()) {
+    if (!WriteFile((root / "racks.csv").string(), spec.racks_csv))
+      return Fail(error, "cannot write racks.csv under " + dir);
+  }
+  if (!spec.fault_plan_text.empty()) {
+    if (!WriteFile((root / "fault_plan.txt").string(), spec.fault_plan_text))
+      return Fail(error, "cannot write fault_plan.txt under " + dir);
+  }
+  if (!spec.fault_plan_jsonl.empty()) {
+    if (!WriteFile((root / "fault_plan.jsonl").string(),
+                   spec.fault_plan_jsonl))
+      return Fail(error, "cannot write fault_plan.jsonl under " + dir);
+  }
+  if (!WriteFile((root / "manifest.json").string(), ManifestJson(spec)))
+    return Fail(error, "cannot write manifest.json under " + dir);
+  return true;
+}
+
+bool
+LoadBundleManifest(const std::string& dir, BundleManifest* out,
+                   std::string* error)
+{
+  const std::string path =
+      (std::filesystem::path(dir) / "manifest.json").string();
+  std::string json;
+  if (!ReadFile(path, &json))
+    return Fail(error, "cannot read " + path);
+
+  BundleManifest manifest;
+  if (!ParseStringField(json, "format", &manifest.format))
+    return Fail(error, path + ": missing format field");
+  if (manifest.format != kBundleFormat)
+    return Fail(error, path + ": unsupported format '" + manifest.format + "'");
+  ParseStringField(json, "trigger", &manifest.trigger);
+  ParseStringField(json, "scenario", &manifest.scenario);
+  double number = 0.0;
+  if (ParseNumberField(json, "seed", &number))
+    manifest.seed = static_cast<std::uint64_t>(number);
+  ParseNumberField(json, "sim_time_s", &manifest.sim_time_s);
+  ParseNumberField(json, "horizon_s", &manifest.horizon_s);
+  ParseBoolField(json, "replayable", &manifest.replayable);
+  if (ParseNumberField(json, "first_sequence", &number))
+    manifest.first_sequence = static_cast<std::uint64_t>(number);
+  if (ParseNumberField(json, "last_sequence", &number))
+    manifest.last_sequence = static_cast<std::uint64_t>(number);
+  if (ParseNumberField(json, "num_records", &number))
+    manifest.num_records = static_cast<std::uint64_t>(number);
+
+  // Notes: each array element is a JSON string. Walk the array tracking
+  // string state rather than find()ing ']' — violation notes carry tags
+  // like "[ups-trip]" whose ']' would otherwise end the array early.
+  std::size_t at = ValueOffset(json, "notes");
+  if (at != std::string::npos)
+    at = json.find('[', at);
+  if (at != std::string::npos) {
+    ++at;
+    while (at < json.size() && json[at] != ']') {
+      if (json[at] != '"') {
+        ++at;  // whitespace or the comma between elements
+        continue;
+      }
+      std::size_t end = at + 1;  // find the unescaped closing quote
+      while (end < json.size() && json[end] != '"')
+        end += (json[end] == '\\') ? 2 : 1;
+      if (end >= json.size())
+        break;
+      // Reuse the string parser by synthesizing a key-value fragment.
+      const std::string fragment =
+          "\"note\":" + json.substr(at, end - at + 1);
+      std::string note;
+      if (!ParseStringField(fragment, "note", &note))
+        break;
+      manifest.notes.push_back(note);
+      at = end + 1;
+    }
+  }
+
+  *out = std::move(manifest);
+  return true;
+}
+
+bool
+LoadForensicBundle(const std::string& dir, LoadedBundle* out,
+                   std::string* error)
+{
+  LoadedBundle bundle;
+  if (!LoadBundleManifest(dir, &bundle.manifest, error))
+    return false;
+
+  const std::filesystem::path root(dir);
+  std::string jsonl;
+  const std::string events_path = (root / "events.jsonl").string();
+  if (!ReadFile(events_path, &jsonl))
+    return Fail(error, "cannot read " + events_path);
+  std::string parse_error;
+  if (!ParseRecordsJsonl(jsonl, &bundle.records, &parse_error))
+    return Fail(error, events_path + ": " + parse_error);
+
+  const std::string plan_path = (root / "fault_plan.jsonl").string();
+  if (std::filesystem::exists(plan_path)) {
+    if (!ReadFile(plan_path, &bundle.fault_plan_jsonl))
+      return Fail(error, "cannot read " + plan_path);
+  }
+
+  *out = std::move(bundle);
+  return true;
+}
+
+std::string
+UniqueBundleDir(const std::string& root, const std::string& stem)
+{
+  const std::filesystem::path base(root);
+  std::filesystem::path candidate = base / stem;
+  for (int suffix = 2; std::filesystem::exists(candidate); ++suffix)
+    candidate = base / (stem + "-" + std::to_string(suffix));
+  return candidate.string();
+}
+
+std::string
+ForensicsRootDir(const std::string& fallback)
+{
+  const char* env = std::getenv("FLEX_FORENSICS_DIR");
+  if (env != nullptr && env[0] != '\0')
+    return env;
+  return fallback;
+}
+
+}  // namespace flex::obs

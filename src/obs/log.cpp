@@ -16,10 +16,25 @@ struct LogState {
   LogLevel level;
   const sim::EventQueue* clock = nullptr;
   LogSink sink;
+  std::FILE* file = nullptr;
+  bool file_checked = false;  ///< FLEX_LOG_FILE consulted already?
 
   LogState()
       : level(ParseLogLevel(std::getenv("FLEX_LOG_LEVEL"), LogLevel::kWarn))
   {
+  }
+
+  /** The file sink, lazily opened from FLEX_LOG_FILE on first use. */
+  std::FILE*
+  File()
+  {
+    if (!file_checked) {
+      file_checked = true;
+      const char* path = std::getenv("FLEX_LOG_FILE");
+      if (path != nullptr && path[0] != '\0')
+        file = std::fopen(path, "a");
+    }
+    return file;
   }
 };
 
@@ -93,10 +108,31 @@ SetLogClock(const sim::EventQueue* clock)
   State().clock = clock;
 }
 
+const sim::EventQueue*
+GetLogClock()
+{
+  return State().clock;
+}
+
 void
 SetLogSink(LogSink sink)
 {
   State().sink = std::move(sink);
+}
+
+bool
+SetLogFile(const std::string& path)
+{
+  LogState& state = State();
+  if (state.file != nullptr) {
+    std::fclose(state.file);
+    state.file = nullptr;
+  }
+  state.file_checked = true;  // explicit call overrides FLEX_LOG_FILE
+  if (path.empty())
+    return true;
+  state.file = std::fopen(path.c_str(), "a");
+  return state.file != nullptr;
 }
 
 void
@@ -109,7 +145,7 @@ LogMessage(LogLevel level, const char* component, const char* format, ...)
   va_end(args);
 
   char line[640];
-  const LogState& state = State();
+  LogState& state = State();
   if (state.clock != nullptr) {
     std::snprintf(line, sizeof(line), "[%s] t=%.3f %s: %s",
                   LogLevelName(level), state.clock->Now().value(),
@@ -118,11 +154,44 @@ LogMessage(LogLevel level, const char* component, const char* format, ...)
     std::snprintf(line, sizeof(line), "[%s] %s: %s", LogLevelName(level),
                   component != nullptr ? component : "-", message);
   }
+  // The file sink tees: it sees every record regardless of sink
+  // redirection, so forensic log files stay complete under tests.
+  if (std::FILE* file = state.File(); file != nullptr) {
+    std::fprintf(file, "%s\n", line);
+    std::fflush(file);
+  }
   if (state.sink) {
     state.sink(level, line);
     return;
   }
   std::fprintf(stderr, "%s\n", line);
+}
+
+bool
+LogRateLimiter::Admit()
+{
+  const sim::EventQueue* clock = GetLogClock();
+  if (clock != nullptr) {
+    const double now = clock->Now().value();
+    if (!has_emitted_ || now - last_emit_t_ >= min_interval_s_ ||
+        now < last_emit_t_) {  // clock rebound to a fresh queue
+      has_emitted_ = true;
+      last_emit_t_ = now;
+      calls_since_emit_ = 0;
+      suppressed_ = 0;
+      return true;
+    }
+  } else if (calls_since_emit_ == 0 ||
+             calls_since_emit_ >= every_nth_) {
+    has_emitted_ = true;
+    calls_since_emit_ = 1;
+    suppressed_ = 0;
+    return true;
+  }
+  ++calls_since_emit_;
+  ++suppressed_;
+  ++total_suppressed_;
+  return false;
 }
 
 }  // namespace flex::obs

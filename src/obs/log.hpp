@@ -17,6 +17,7 @@
 #ifndef FLEX_OBS_LOG_HPP_
 #define FLEX_OBS_LOG_HPP_
 
+#include <cstdint>
 #include <functional>
 #include <string>
 
@@ -51,6 +52,9 @@ void SetLogLevel(LogLevel level);
  */
 void SetLogClock(const sim::EventQueue* clock);
 
+/** The registered simulation clock, or nullptr. */
+const sim::EventQueue* GetLogClock();
+
 /**
  * Redirects formatted records away from stderr, e.g. into a test
  * vector. Pass an empty function to restore the stderr sink.
@@ -58,6 +62,15 @@ void SetLogClock(const sim::EventQueue* clock);
 using LogSink =
     std::function<void(LogLevel level, const std::string& line)>;
 void SetLogSink(LogSink sink);
+
+/**
+ * Tees every emitted record to @p path (append mode, same format as the
+ * stderr sink), in addition to the sink/stderr output. Pass an empty
+ * path to close the file sink. The file sink is lazily initialized from
+ * the FLEX_LOG_FILE environment variable on the first log call; this
+ * call overrides it. Returns false when the file cannot be opened.
+ */
+bool SetLogFile(const std::string& path);
 
 /** True when a record at @p level would be emitted. */
 inline bool
@@ -76,6 +89,45 @@ __attribute__((format(printf, 3, 4)))
 void
 LogMessage(LogLevel level, const char* component, const char* format, ...);
 
+/**
+ * Per-callsite rate limiter for hot-loop diagnostics, so a storm (e.g.
+ * a no-quorum warn per meter interval during an outage) cannot flood a
+ * forensic dump. When the registered log clock is available, at most
+ * one record per @p min_interval of simulated time passes; without a
+ * clock it falls back to passing every @p every_nth call. Suppressed
+ * calls are counted, and the next passing record is annotated with the
+ * count by FLEX_LOG_RATE_LIMITED.
+ *
+ * Deterministic: gating depends only on simulated time / call counts,
+ * never on wall time, so rate-limited logs replay identically.
+ */
+class LogRateLimiter {
+ public:
+  explicit LogRateLimiter(double min_interval_s = 5.0,
+                          std::uint64_t every_nth = 100)
+      : min_interval_s_(min_interval_s), every_nth_(every_nth)
+  {
+  }
+
+  /** True when this call should emit; false when suppressed. */
+  bool Admit();
+
+  /** Calls suppressed since the last admitted one. */
+  std::uint64_t suppressed() const { return suppressed_; }
+
+  /** Total calls suppressed over the limiter's lifetime. */
+  std::uint64_t total_suppressed() const { return total_suppressed_; }
+
+ private:
+  double min_interval_s_;
+  std::uint64_t every_nth_;
+  bool has_emitted_ = false;
+  double last_emit_t_ = 0.0;
+  std::uint64_t calls_since_emit_ = 0;
+  std::uint64_t suppressed_ = 0;
+  std::uint64_t total_suppressed_ = 0;
+};
+
 }  // namespace flex::obs
 
 /**
@@ -87,6 +139,32 @@ LogMessage(LogLevel level, const char* component, const char* format, ...);
   do {                                                                    \
     if (::flex::obs::LogEnabled(level))                                   \
       ::flex::obs::LogMessage((level), (component), __VA_ARGS__);         \
+  } while (0)
+
+/**
+ * FLEX_LOG with a static per-callsite rate limiter (one per expansion
+ * site; the simulation is single-threaded so a function-local static is
+ * safe). The format string gains a " (suppressed N similar)" tail when
+ * earlier calls at this site were swallowed:
+ *   FLEX_LOG_RATE_LIMITED(kWarn, "telemetry", "no quorum on ups %d", u);
+ */
+#define FLEX_LOG_RATE_LIMITED(level, component, format, ...)              \
+  do {                                                                    \
+    if (::flex::obs::LogEnabled(level)) {                                 \
+      static ::flex::obs::LogRateLimiter flex_rate_limiter_;              \
+      const std::uint64_t flex_suppressed_ = flex_rate_limiter_.suppressed(); \
+      if (flex_rate_limiter_.Admit()) {                                   \
+        if (flex_suppressed_ > 0)                                         \
+          ::flex::obs::LogMessage((level), (component),                   \
+                                  format " (suppressed %llu similar)",    \
+                                  ##__VA_ARGS__,                          \
+                                  static_cast<unsigned long long>(        \
+                                      flex_suppressed_));                 \
+        else                                                              \
+          ::flex::obs::LogMessage((level), (component), format,           \
+                                  ##__VA_ARGS__);                         \
+      }                                                                   \
+    }                                                                     \
   } while (0)
 
 #endif  // FLEX_OBS_LOG_HPP_

@@ -5,8 +5,9 @@
 namespace flex::obs {
 
 Observability::Observability(ObservabilityConfig config)
-    : tracer_(config.tracer, &metrics_)
+    : recorder_(config.recorder), tracer_(config.tracer, &metrics_)
 {
+  tracer_.SetRecorder(&recorder_);
 }
 
 void

@@ -10,6 +10,7 @@
 #ifndef FLEX_OBS_OBSERVABILITY_HPP_
 #define FLEX_OBS_OBSERVABILITY_HPP_
 
+#include "obs/flight_recorder.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -23,9 +24,13 @@ namespace flex::obs {
 /** Observability tuning. */
 struct ObservabilityConfig {
   TracerConfig tracer;
+  RecorderConfig recorder;
 };
 
-/** Owns one MetricsRegistry + one ReactionTracer, wired together. */
+/**
+ * Owns one MetricsRegistry + one ReactionTracer + one FlightRecorder,
+ * wired together.
+ */
 class Observability {
  public:
   explicit Observability(ObservabilityConfig config = {});
@@ -43,8 +48,12 @@ class Observability {
   ReactionTracer& tracer() { return tracer_; }
   const ReactionTracer& tracer() const { return tracer_; }
 
+  FlightRecorder& recorder() { return recorder_; }
+  const FlightRecorder& recorder() const { return recorder_; }
+
  private:
   MetricsRegistry metrics_;
+  FlightRecorder recorder_;
   ReactionTracer tracer_;
 };
 

@@ -1,6 +1,7 @@
 #include "trace.hpp"
 
 #include "common/error.hpp"
+#include "obs/flight_recorder.hpp"
 
 namespace flex::obs {
 
@@ -73,12 +74,13 @@ ReactionTracer::OnDetection(int replica, int ups_index, Seconds sampled_at,
   episode_active_ = true;
   if (metrics_ != nullptr)
     metrics_->counter("reaction.episodes").Increment();
+  if (recorder_ != nullptr)
+    recorder_->Record(now, RecordKind::kDetection, replica, ups_index);
 }
 
 void
 ReactionTracer::OnDecision(int replica, int num_actions, Seconds now)
 {
-  (void)replica;
   if (!episode_active_)
     return;  // e.g. a late wave after the episode released
   ReactionTrace& trace = traces_.back();
@@ -88,12 +90,14 @@ ReactionTracer::OnDecision(int replica, int num_actions, Seconds now)
   }
   trace.decided_at = now;
   trace.actions = num_actions;
+  if (recorder_ != nullptr)
+    recorder_->Record(now, RecordKind::kDecision, replica, -1,
+                      static_cast<double>(num_actions));
 }
 
 void
 ReactionTracer::OnEnforced(int replica, Seconds now)
 {
-  (void)replica;
   if (!episode_active_)
     return;
   ReactionTrace& trace = traces_.back();
@@ -107,17 +111,20 @@ ReactionTracer::OnEnforced(int replica, Seconds now)
   if (trace.WithinBudget())
     ++within_budget_count_;
   RecordCompletion(trace);
+  if (recorder_ != nullptr)
+    recorder_->Record(now, RecordKind::kEnforced, replica, -1,
+                      trace.EndToEnd().value());
 }
 
 void
 ReactionTracer::OnEpisodeClosed(int replica, Seconds now)
 {
-  (void)replica;
-  (void)now;
   if (!episode_active_)
     return;
   traces_.back().closed = true;
   episode_active_ = false;
+  if (recorder_ != nullptr)
+    recorder_->Record(now, RecordKind::kEpisodeClosed, replica);
 }
 
 void

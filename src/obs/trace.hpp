@@ -33,6 +33,8 @@
 
 namespace flex::obs {
 
+class FlightRecorder;
+
 /** The five stages of the reaction chain. */
 enum class ReactionStage {
   kMeterSample = 0,  ///< meter read the overloaded UPS
@@ -107,6 +109,9 @@ class ReactionTracer {
   /** Attaches / replaces the registry fed by completed traces. */
   void SetMetrics(MetricsRegistry* metrics) { metrics_ = metrics; }
 
+  /** Attaches / replaces the flight recorder fed by stage events. */
+  void SetRecorder(FlightRecorder* recorder) { recorder_ = recorder; }
+
   /**
    * A replica flagged overdraw from a UPS reading. Opens a new trace
    * when no episode is active; otherwise counts a duplicate detection.
@@ -142,6 +147,7 @@ class ReactionTracer {
 
   TracerConfig config_;
   MetricsRegistry* metrics_;
+  FlightRecorder* recorder_ = nullptr;
   std::vector<ReactionTrace> traces_;
   bool episode_active_ = false;
   std::uint64_t next_id_ = 1;

@@ -127,7 +127,7 @@ FlexOfflinePolicy::SolveBatch(
     const RoomTopology& topology, const CapacityTracker& tracker,
     const std::vector<Deployment>& batch,
     const std::vector<Deployment>& phantom,
-    const std::vector<Watts>& existing_shutdown_rec_per_pair) const
+    const std::vector<Watts>& existing_shutdown_rec_per_pair)
 {
   const int pairs = topology.NumPduPairs();
   Model model;
@@ -344,8 +344,24 @@ FlexOfflinePolicy::SolveBatch(
     solver_options.warm_start = std::move(warm);
   }
 
+  // Each batch solve keeps its own convergence curve; callers export
+  // them (e.g. bench_solver_perf) via solve_traces().
+  solve_traces_.emplace_back();
+  solver_options.trace = &solve_traces_.back();
+
   const solver::MipResult result =
       solver::BranchAndBoundSolver(solver_options).Solve(model);
+
+  if (config_.obs != nullptr) {
+    obs::MetricsRegistry& metrics = config_.obs->metrics();
+    metrics.counter("offline.solver.nodes")
+        .Increment(static_cast<double>(result.nodes_explored));
+    metrics.counter("offline.solver.lp_solves")
+        .Increment(static_cast<double>(result.lp_solves));
+    metrics.counter("offline.solver.pivots")
+        .Increment(static_cast<double>(result.simplex_pivots));
+    metrics.gauge("offline.solver.last_gap").Set(result.gap);
+  }
 
   if (!result.HasSolution())
     return greedy_chosen;  // budget gone and warm start rejected: greedy
@@ -365,6 +381,7 @@ FlexOfflinePolicy::Place(const RoomTopology& topology,
   Placement placement;
   placement.deployments = trace;
   placement.assignment.assign(trace.size(), std::nullopt);
+  solve_traces_.clear();
 
   CapacityTracker tracker(topology);
   std::vector<Watts> shutdown_rec(
@@ -410,6 +427,7 @@ FlexOfflinePolicy::Place(const RoomTopology& topology,
     const std::vector<int> chosen =
         SolveBatch(topology, tracker, batch, phantom, shutdown_rec);
 
+    int placed_in_batch = 0;
     for (std::size_t i = 0; i < batch.size(); ++i) {
       if (chosen[i] < 0)
         continue;
@@ -422,6 +440,13 @@ FlexOfflinePolicy::Place(const RoomTopology& topology,
       placement.assignment[batch_trace_index[i]] = p;
       shutdown_rec[static_cast<std::size_t>(p)] +=
           ShutdownRecoverable(batch[i]);
+      ++placed_in_batch;
+    }
+    if (config_.obs != nullptr) {
+      obs::MetricsRegistry& metrics = config_.obs->metrics();
+      metrics.counter("offline.batches").Increment();
+      metrics.counter("offline.deployments_placed")
+          .Increment(static_cast<double>(placed_in_batch));
     }
   }
   return placement;

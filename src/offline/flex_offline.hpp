@@ -16,8 +16,10 @@
 #include <string>
 #include <vector>
 
+#include "obs/observability.hpp"
 #include "offline/policies.hpp"
 #include "solver/branch_and_bound.hpp"
+#include "solver/solver_trace.hpp"
 
 namespace flex::offline {
 
@@ -53,6 +55,13 @@ struct FlexOfflineConfig {
   /** Probability weight applied to forecast objective terms. */
   double forecast_confidence = 0.7;
 
+  /**
+   * Optional instrumentation sink. Feeds offline.* counters (batches,
+   * placements, solver nodes / LP solves / pivots) so placement runs
+   * show up in metric snapshots next to the online path.
+   */
+  obs::Observability* obs = nullptr;
+
   FlexOfflineConfig() { solver.time_budget_seconds = 10.0; }
 };
 
@@ -86,19 +95,29 @@ class FlexOfflinePolicy : public PlacementPolicy {
 
   const FlexOfflineConfig& config() const { return config_; }
 
+  /**
+   * Convergence curve of every batch MILP from the most recent Place()
+   * call, in batch order (see solver::SolverTrace::ToCsv).
+   */
+  const std::vector<solver::SolverTrace>& solve_traces() const {
+    return solve_traces_;
+  }
+
  private:
   /**
    * Solves one batch against the current room state; returns the chosen
-   * PDU pair per batch deployment (-1 = not placed).
+   * PDU pair per batch deployment (-1 = not placed). Appends the
+   * batch's convergence trace to solve_traces_.
    */
   std::vector<int> SolveBatch(
       const power::RoomTopology& topology, const CapacityTracker& tracker,
       const std::vector<workload::Deployment>& batch,
       const std::vector<workload::Deployment>& phantom,
-      const std::vector<Watts>& existing_shutdown_rec_per_pair) const;
+      const std::vector<Watts>& existing_shutdown_rec_per_pair);
 
   FlexOfflineConfig config_;
   std::string name_;
+  std::vector<solver::SolverTrace> solve_traces_;
 };
 
 }  // namespace flex::offline

@@ -45,6 +45,7 @@ FlexController::FlexController(sim::EventQueue& queue,
   rack_forecasts_ = RackPowerForecasterBank(max_rack_id + 1);
 
   if (config_.obs != nullptr) {
+    rack_forecasts_.Bind(config_.obs);
     obs::MetricsRegistry& metrics = config_.obs->metrics();
     overdraw_metric_ = &metrics.counter("controller.overdraw_detections");
     actions_metric_ = &metrics.counter("controller.actions_issued");

@@ -1,6 +1,7 @@
 #include "forecaster.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/error.hpp"
 
@@ -15,10 +16,11 @@ HoltForecaster::HoltForecaster(double level_alpha, double trend_beta)
                "trend beta must be in [0, 1]");
 }
 
-void
+std::optional<double>
 HoltForecaster::Observe(Seconds observed_at, Watts value)
 {
   FLEX_REQUIRE(value >= Watts(0.0), "negative power observation");
+  std::optional<double> abs_error;
   if (observations_ == 0) {
     level_ = value.value();
     trend_per_second_ = 0.0;
@@ -29,6 +31,7 @@ HoltForecaster::Observe(Seconds observed_at, Watts value)
           Seconds(0.8 * typical_interval_.value() + 0.2 * dt);
       const double previous_level = level_;
       const double predicted = level_ + trend_per_second_ * dt;
+      abs_error = std::fabs(value.value() - predicted);
       level_ = level_alpha_ * value.value() +
                (1.0 - level_alpha_) * predicted;
       const double new_trend = (level_ - previous_level) / dt;
@@ -41,6 +44,7 @@ HoltForecaster::Observe(Seconds observed_at, Watts value)
   }
   last_time_ = observed_at;
   ++observations_;
+  return abs_error;
 }
 
 std::optional<Watts>
@@ -66,11 +70,32 @@ RackPowerForecasterBank::RackPowerForecasterBank(int num_racks,
 }
 
 void
+RackPowerForecasterBank::Bind(obs::Observability* obs)
+{
+  if (obs == nullptr) {
+    abs_error_metric_ = nullptr;
+    observations_metric_ = nullptr;
+    return;
+  }
+  obs::MetricsRegistry& metrics = obs->metrics();
+  // Watt-scale exponential buckets: 1 W up to ~262 kW.
+  abs_error_metric_ = &metrics.histogram(
+      "forecaster.abs_error_w", obs::HistogramConfig::Exponential(1.0, 4.0, 10));
+  observations_metric_ = &metrics.counter("forecaster.observations");
+}
+
+void
 RackPowerForecasterBank::Observe(int rack_id, Seconds observed_at,
                                  Watts value)
 {
   FLEX_REQUIRE(rack_id >= 0 && rack_id < num_racks(), "rack id out of range");
-  forecasters_[static_cast<std::size_t>(rack_id)].Observe(observed_at, value);
+  const std::optional<double> abs_error =
+      forecasters_[static_cast<std::size_t>(rack_id)].Observe(observed_at,
+                                                              value);
+  if (observations_metric_ != nullptr)
+    observations_metric_->Increment();
+  if (abs_error_metric_ != nullptr && abs_error.has_value())
+    abs_error_metric_->Observe(*abs_error);
 }
 
 std::optional<Watts>

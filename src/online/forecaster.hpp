@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/units.hpp"
+#include "obs/observability.hpp"
 
 namespace flex::online {
 
@@ -28,8 +29,13 @@ class HoltForecaster {
    */
   HoltForecaster(double level_alpha = 0.5, double trend_beta = 0.2);
 
-  /** Feeds an observation taken at @p observed_at. */
-  void Observe(Seconds observed_at, Watts value);
+  /**
+   * Feeds an observation taken at @p observed_at. Returns the absolute
+   * one-step-ahead forecast error in watts — |observation - what the
+   * model predicted for this instant| — or nullopt when no prediction
+   * existed (first observation, duplicate-bus redelivery).
+   */
+  std::optional<double> Observe(Seconds observed_at, Watts value);
 
   /**
    * Forecast at @p when (>= last observation). Returns nullopt until at
@@ -60,6 +66,13 @@ class RackPowerForecasterBank {
   explicit RackPowerForecasterBank(int num_racks, double level_alpha = 0.5,
                                    double trend_beta = 0.2);
 
+  /**
+   * Routes forecaster metrics (one-step-ahead absolute error, total
+   * observations) into @p obs; null detaches. Survives bank
+   * reassignment only if re-bound afterwards.
+   */
+  void Bind(obs::Observability* obs);
+
   void Observe(int rack_id, Seconds observed_at, Watts value);
 
   /** Forecast for one rack; nullopt when that rack has no data yet. */
@@ -69,6 +82,8 @@ class RackPowerForecasterBank {
 
  private:
   std::vector<HoltForecaster> forecasters_;
+  obs::Histogram* abs_error_metric_ = nullptr;
+  obs::Counter* observations_metric_ = nullptr;
 };
 
 }  // namespace flex::online

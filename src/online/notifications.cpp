@@ -7,6 +7,23 @@
 namespace flex::online {
 
 void
+NotificationBus::Bind(obs::Observability* obs)
+{
+  if (obs == nullptr) {
+    emergencies_metric_ = nullptr;
+    all_clears_metric_ = nullptr;
+    deliveries_metric_ = nullptr;
+    active_metric_ = nullptr;
+    return;
+  }
+  obs::MetricsRegistry& metrics = obs->metrics();
+  emergencies_metric_ = &metrics.counter("notifications.emergencies");
+  all_clears_metric_ = &metrics.counter("notifications.all_clears");
+  deliveries_metric_ = &metrics.counter("notifications.deliveries");
+  active_metric_ = &metrics.gauge("notifications.active_emergencies");
+}
+
+void
 NotificationBus::Subscribe(const std::string& workload, Callback callback)
 {
   FLEX_REQUIRE(static_cast<bool>(callback), "null notification callback");
@@ -17,10 +34,24 @@ void
 NotificationBus::Publish(const PowerEmergencyNotification& notification)
 {
   ++published_;
+  if (notification.cleared) {
+    if (all_clears_metric_ != nullptr)
+      all_clears_metric_->Increment();
+    active_emergencies_.erase(notification.workload);
+  } else {
+    if (emergencies_metric_ != nullptr)
+      emergencies_metric_->Increment();
+    active_emergencies_.insert(notification.workload);
+  }
+  if (active_metric_ != nullptr)
+    active_metric_->Set(static_cast<double>(active_emergencies_.size()));
   for (const Subscription& subscription : subscriptions_) {
     if (subscription.workload.empty() ||
-        subscription.workload == notification.workload)
+        subscription.workload == notification.workload) {
+      if (deliveries_metric_ != nullptr)
+        deliveries_metric_->Increment();
       subscription.callback(notification);
+    }
   }
 }
 

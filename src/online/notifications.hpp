@@ -15,10 +15,12 @@
 #define FLEX_ONLINE_NOTIFICATIONS_HPP_
 
 #include <functional>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "common/units.hpp"
+#include "obs/observability.hpp"
 
 namespace flex::online {
 
@@ -43,6 +45,14 @@ class NotificationBus {
   using Callback = std::function<void(const PowerEmergencyNotification&)>;
 
   /**
+   * Routes bus metrics into @p obs: notifications.emergencies /
+   * all_clears / deliveries counters and the
+   * notifications.active_emergencies gauge (workloads currently under
+   * an uncleared emergency). Null detaches.
+   */
+  void Bind(obs::Observability* obs);
+
+  /**
    * Subscribes to one workload's notifications; an empty @p workload
    * subscribes to everything.
    */
@@ -60,6 +70,11 @@ class NotificationBus {
   };
   std::vector<Subscription> subscriptions_;
   std::size_t published_ = 0;
+  std::set<std::string> active_emergencies_;
+  obs::Counter* emergencies_metric_ = nullptr;
+  obs::Counter* all_clears_metric_ = nullptr;
+  obs::Counter* deliveries_metric_ = nullptr;
+  obs::Gauge* active_metric_ = nullptr;
 };
 
 }  // namespace flex::online

@@ -74,6 +74,35 @@ BranchAndBoundSolver::Solve(const Model& model) const
 
   MipResult result;
   double incumbent_max = -kInf;  // incumbent objective, maximize orientation
+  double best_bound_max = kInf;  // best proven bound, maximize orientation
+
+  auto solve_lp = [&](const BoundOverrides& overrides) {
+    LpResult sub = overrides.empty() ? lp.Solve(model)
+                                     : lp.SolveWithBounds(model, overrides);
+    ++result.lp_solves;
+    result.simplex_pivots += sub.iterations;
+    return sub;
+  };
+
+  auto emit_trace = [&](const char* label) {
+    if (options_.trace == nullptr)
+      return;
+    SolverTracePoint point;
+    point.label = label;
+    point.elapsed_s =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    point.nodes = result.nodes_explored;
+    point.lp_solves = result.lp_solves;
+    point.pivots = result.simplex_pivots;
+    point.has_incumbent = incumbent_max > -kInf;
+    point.incumbent = point.has_incumbent ? sense * incumbent_max : 0.0;
+    // Bound unknown until the root relaxation lands (warm-start points).
+    point.bound = std::isfinite(best_bound_max) ? sense * best_bound_max
+                                                : point.incumbent;
+    if (point.has_incumbent && std::isfinite(best_bound_max))
+      point.gap = RelativeGap(best_bound_max, incumbent_max);
+    options_.trace->Add(std::move(point));
+  };
 
   auto integral = [&](const std::vector<double>& x) {
     return PickBranchVariable(model, x, options_.integrality_tolerance) < 0;
@@ -95,6 +124,7 @@ BranchAndBoundSolver::Solve(const Model& model) const
       result.x = std::move(rounded);
       result.objective = sense * incumbent_max;
       result.status = MipStatus::kFeasible;
+      emit_trace("incumbent");
     }
   };
 
@@ -133,13 +163,13 @@ BranchAndBoundSolver::Solve(const Model& model) const
       const double target = std::round(x[static_cast<std::size_t>(j)]);
       bulk[static_cast<std::size_t>(j)] = {target, target};
 
-      LpResult sub = lp.SolveWithBounds(model, bulk);
+      LpResult sub = solve_lp(bulk);
       if (sub.IsOptimal()) {
         overrides = std::move(bulk);
       } else {
         // Bulk step infeasible: fall back to fixing just one variable.
         overrides[static_cast<std::size_t>(j)] = {target, target};
-        sub = lp.SolveWithBounds(model, overrides);
+        sub = solve_lp(overrides);
         if (!sub.IsOptimal())
           return;  // dive dead-ends; fine, it is only a heuristic
       }
@@ -152,9 +182,10 @@ BranchAndBoundSolver::Solve(const Model& model) const
     accept_incumbent(options_.warm_start);
 
   // Root relaxation.
-  const LpResult root = lp.Solve(model);
+  const LpResult root = solve_lp(BoundOverrides{});
   if (root.status == LpStatus::kInfeasible) {
     result.status = MipStatus::kInfeasible;
+    emit_trace("final");
     return result;
   }
   if (root.status == LpStatus::kUnbounded) {
@@ -164,13 +195,15 @@ BranchAndBoundSolver::Solve(const Model& model) const
   }
   FLEX_REQUIRE(root.IsOptimal(), "root LP failed to converge");
 
-  double best_bound_max = sense * root.objective;
+  best_bound_max = sense * root.objective;
+  emit_trace("root");
   if (integral(root.x)) {
     accept_incumbent(root.x);
     result.status = MipStatus::kOptimal;
     result.bound = root.objective;
     result.gap = 0.0;
     result.nodes_explored = 1;
+    emit_trace("final");
     return result;
   }
   dive(BoundOverrides{}, root.x);
@@ -199,8 +232,11 @@ BranchAndBoundSolver::Solve(const Model& model) const
       break;
     }
 
-    const LpResult relax = lp.SolveWithBounds(model, node->overrides);
+    const LpResult relax = solve_lp(node->overrides);
     ++result.nodes_explored;
+    if (options_.trace_node_interval > 0 &&
+        result.nodes_explored % options_.trace_node_interval == 0)
+      emit_trace("node");
     if (!relax.IsOptimal())
       continue;  // infeasible subtree (or stalled LP): prune
     const double node_bound = sense * relax.objective;
@@ -262,6 +298,7 @@ BranchAndBoundSolver::Solve(const Model& model) const
     result.status =
         exhausted_budget ? MipStatus::kNoSolution : MipStatus::kInfeasible;
   }
+  emit_trace("final");
   return result;
 }
 

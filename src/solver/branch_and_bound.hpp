@@ -19,6 +19,7 @@
 
 #include "solver/model.hpp"
 #include "solver/simplex.hpp"
+#include "solver/solver_trace.hpp"
 
 namespace flex::solver {
 
@@ -38,6 +39,8 @@ struct MipResult {
   double bound = 0.0;          ///< best proven bound on the optimum
   double gap = 0.0;            ///< |bound - objective| / max(1, |objective|)
   std::int64_t nodes_explored = 0;
+  std::int64_t lp_solves = 0;      ///< LP relaxations solved (all callers)
+  std::int64_t simplex_pivots = 0; ///< pivots summed over those solves
 
   bool HasSolution() const {
     return status == MipStatus::kOptimal || status == MipStatus::kFeasible;
@@ -63,6 +66,13 @@ class BranchAndBoundSolver {
      */
     std::vector<double> warm_start;
     SimplexSolver::Options lp;
+    /**
+     * Optional convergence trace the solve appends to (root, every new
+     * incumbent, every trace_node_interval nodes, termination). Not
+     * owned; must outlive the Solve call.
+     */
+    SolverTrace* trace = nullptr;
+    std::int64_t trace_node_interval = 32;
   };
 
   BranchAndBoundSolver() = default;

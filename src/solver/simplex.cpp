@@ -34,6 +34,9 @@ class TableauSolver {
 
   LpStatus Run();
 
+  /** Pivot operations performed across both phases. */
+  int pivots() const { return pivots_; }
+
   /** Value of column @p j in the current basic solution. */
   double
   ColumnValue(int j) const
@@ -58,6 +61,7 @@ class TableauSolver {
   std::vector<double> reduced_;  // size cols + 1; last entry = objective
   double tol_;
   int max_iters_;
+  int pivots_ = 0;
 };
 
 void
@@ -83,6 +87,7 @@ TableauSolver::PriceOut(const std::vector<double>& cost)
 void
 TableauSolver::Pivot(int row, int col)
 {
+  ++pivots_;
   auto& pivot_row = t_.a[static_cast<std::size_t>(row)];
   const double pivot = pivot_row[static_cast<std::size_t>(col)];
   FLEX_CHECK_MSG(std::fabs(pivot) > 1e-12, "zero pivot element");
@@ -430,6 +435,7 @@ SimplexSolver::SolveWithBounds(const Model& model,
 
   LpResult result;
   result.status = status;
+  result.iterations = solver.pivots();
   if (status != LpStatus::kOptimal)
     return result;
 

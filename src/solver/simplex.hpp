@@ -29,6 +29,7 @@ struct LpResult {
   LpStatus status = LpStatus::kIterationLimit;
   double objective = 0.0;               ///< in the model's original sense
   std::vector<double> x;                ///< one entry per model variable
+  int iterations = 0;                   ///< simplex pivots performed
 
   bool IsOptimal() const { return status == LpStatus::kOptimal; }
 };

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Per-solve convergence traces for the branch-and-bound MILP solver.
+ *
+ * Real MILP stacks (Gurobi's log, which the paper's authors watched for
+ * their 5-minute-budget solves) expose a convergence curve: how the
+ * best proven bound and the incumbent objective close on each other
+ * over nodes and solve time. This is the equivalent for our solver — a
+ * plain value container the BranchAndBoundSolver appends points to at
+ * the root relaxation, at every new incumbent, periodically during the
+ * node loop, and at termination. The CSV export is what
+ * bench_solver_perf / bench_stranded_power write so "where does solve
+ * time go" has data behind it.
+ *
+ * Deliberately dependency-free (no obs::) so flex_solver keeps linking
+ * against flex_common only; harnesses that want trace data in a
+ * MetricsRegistry copy the final point's counters themselves.
+ */
+#ifndef FLEX_SOLVER_SOLVER_TRACE_HPP_
+#define FLEX_SOLVER_SOLVER_TRACE_HPP_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace flex::solver {
+
+/** One sample of the solver's progress. */
+struct SolverTracePoint {
+  /** Why this point was emitted: "root", "incumbent", "node", "final". */
+  std::string label;
+  /** Wall-clock seconds since the solve started. */
+  double elapsed_s = 0.0;
+  std::int64_t nodes = 0;
+  std::int64_t lp_solves = 0;
+  std::int64_t pivots = 0;
+  /** Best proven bound so far, in the model's objective sense. */
+  double bound = 0.0;
+  /** Incumbent objective (model sense); meaningless until has_incumbent. */
+  double incumbent = 0.0;
+  bool has_incumbent = false;
+  /** Relative bound/incumbent gap; 0 when no incumbent yet. */
+  double gap = 0.0;
+};
+
+/**
+ * An append-only convergence curve. One instance records one solve;
+ * Clear() between solves, or use a fresh instance per batch.
+ */
+class SolverTrace {
+ public:
+  void Add(SolverTracePoint point) { points_.push_back(std::move(point)); }
+
+  void Clear() { points_.clear(); }
+
+  const std::vector<SolverTracePoint>& points() const { return points_; }
+  bool empty() const { return points_.empty(); }
+  std::size_t size() const { return points_.size(); }
+
+  /**
+   * CSV with header
+   * `label,elapsed_s,nodes,lp_solves,pivots,bound,incumbent,gap`;
+   * the incumbent column is empty until the first incumbent exists.
+   */
+  std::string ToCsv() const;
+
+ private:
+  std::vector<SolverTracePoint> points_;
+};
+
+}  // namespace flex::solver
+
+#endif  // FLEX_SOLVER_SOLVER_TRACE_HPP_

@@ -46,6 +46,7 @@ TelemetryPipeline::TelemetryPipeline(sim::EventQueue& queue,
     no_quorum_metric_ = &metrics.counter("pipeline.meter_no_quorum");
     poller_skipped_metric_ = &metrics.counter("pipeline.poller_skipped_ticks");
     publish_lag_metric_ = &metrics.histogram("pipeline.publish_lag_s");
+    recorder_ = &config_.obs->recorder();
   }
 }
 
@@ -188,6 +189,9 @@ TelemetryPipeline::PollerTick(int poller, DeviceKind kind)
       // No quorum: data missing for this device this tick.
       if (no_quorum_metric_ != nullptr)
         no_quorum_metric_->Increment();
+      FLEX_LOG_RATE_LIMITED(obs::LogLevel::kWarn, "telemetry",
+                            "meter quorum lost on %s %d",
+                            kind == DeviceKind::kUps ? "ups" : "rack", i);
       continue;
     }
     DeviceReading r;
@@ -217,6 +221,11 @@ TelemetryPipeline::PollerTick(int poller, DeviceKind kind)
           readings_delivered_metric_->Increment();
           publish_lag_metric_->Observe(latency);
         }
+        // UPS deliveries only: rack readings arrive every tick per rack
+        // and would flush the ring's useful window in seconds.
+        if (recorder_ != nullptr && reading.device.kind == DeviceKind::kUps)
+          recorder_->Record(reading.delivered_at, obs::RecordKind::kMeterSample,
+                            reading.device.index, bus, reading.value.value());
         for (const Subscriber& subscriber : subscribers_)
           subscriber(reading);
       }

@@ -168,6 +168,7 @@ class TelemetryPipeline {
   obs::Counter* no_quorum_metric_ = nullptr;
   obs::Counter* poller_skipped_metric_ = nullptr;
   obs::Histogram* publish_lag_metric_ = nullptr;
+  obs::FlightRecorder* recorder_ = nullptr;
 };
 
 }  // namespace flex::telemetry

@@ -2,10 +2,13 @@
  * @file
  * Tests for the deterministic fault-injection engine: plan scheduling,
  * envelope-respecting fuzzing, seed replay, each fault kind in
- * isolation, and the safety-invariant monitor's detectors.
+ * isolation, and the safety-invariant monitor's detectors — plus the
+ * forensic-bundle dump/replay loop built on top of them.
  */
 #include <algorithm>
+#include <fstream>
 #include <set>
+#include <sstream>
 #include <string>
 #include <utility>
 #include <vector>
@@ -16,8 +19,10 @@
 #include "fault/fault_fuzzer.hpp"
 #include "fault/fault_injector.hpp"
 #include "fault/fault_plan.hpp"
+#include "fault/forensics.hpp"
 #include "fault/invariant_monitor.hpp"
 #include "fault/scenario.hpp"
+#include "obs/flight_recorder.hpp"
 
 namespace flex::fault {
 namespace {
@@ -395,6 +400,134 @@ TEST(InvariantMonitorTest, ManagedFailoverStaysViolationFree)
   EXPECT_TRUE(report.violations.empty()) << report.violation_summary;
   EXPECT_GT(report.throttle_commands + report.shutdown_commands, 0);
   EXPECT_GT(scenario.monitor().checks_run(), 500u);
+}
+
+// ---------------------------------------------------------------------------
+// Forensic bundles: dump on violation, replay, divergence detection
+// ---------------------------------------------------------------------------
+
+/**
+ * Utilization frozen at the cap plus an all-replica pause: the fault
+ * plan itself induces the violation, so the recipe replays from the
+ * persisted plan alone (unlike the monitor tests above, which suspend
+ * controllers by hand).
+ */
+ScenarioConfig
+InducedViolationConfig()
+{
+  ScenarioConfig config;
+  config.mean_utilization = 0.84;
+  config.utilization_sigma = 0.0;
+  config.min_utilization = 0.84;
+  config.max_utilization = 0.84;
+  config.utilization_jitter = 0.0;
+  config.shape.horizon = Seconds(70.0);
+  return config;
+}
+
+FaultPlan
+InducedViolationPlan()
+{
+  FaultPlan plan;
+  // Pause both replicas for the whole run (duration 0 = never repaired),
+  // then fail over a UPS: the overload persists unanswered.
+  plan.Add(MakeEvent(0.5, FaultKind::kControllerPause, 0, 0.0));
+  plan.Add(MakeEvent(0.5, FaultKind::kControllerPause, 1, 0.0));
+  plan.Add(MakeEvent(20.0, FaultKind::kUpsFailover, 0, 0.0));
+  return plan;
+}
+
+TEST(FaultForensicsTest, PlanJsonlRoundTripIsExact)
+{
+  FaultPlan plan;
+  plan.Add(MakeEvent(81.16920958214399, FaultKind::kUpsFailover, 1,
+                     14.000000000000002));
+  plan.Add(MakeEvent(12.25, FaultKind::kBusDelay, 0, 30.0, 0.75));
+  FaultEvent meter = MakeEvent(3.5, FaultKind::kMeterDrift, 4, 60.0, 0.01);
+  meter.device_kind = DeviceKind::kRack;
+  meter.meter_index = 1;
+  plan.Add(meter);
+
+  FaultPlan parsed;
+  std::string error;
+  ASSERT_TRUE(ParseFaultPlanJsonl(FaultPlanToJsonl(plan), &parsed, &error))
+      << error;
+  ASSERT_EQ(parsed.size(), plan.size());
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    const FaultEvent& a = plan.events()[i];
+    const FaultEvent& b = parsed.events()[i];
+    // Bit-exact: one LSB of drift in a fault time walks the replay off
+    // the recorded timeline.
+    EXPECT_EQ(a.at.value(), b.at.value());
+    EXPECT_EQ(a.kind, b.kind);
+    EXPECT_EQ(a.target, b.target);
+    EXPECT_EQ(a.device_kind, b.device_kind);
+    EXPECT_EQ(a.meter_index, b.meter_index);
+    EXPECT_EQ(a.magnitude, b.magnitude);
+    EXPECT_EQ(a.duration.value(), b.duration.value());
+  }
+}
+
+TEST(FaultForensicsTest, InducedViolationDumpsBundleAndReplaysExactly)
+{
+  const ScenarioConfig config = InducedViolationConfig();
+  ForensicsOptions options;
+  options.root_dir = ::testing::TempDir() + "fault-forensics";
+
+  const RecordedRun run =
+      RunRecordedPlan(config, 13, InducedViolationPlan(), options);
+  ASSERT_FALSE(run.report.violations.empty())
+      << "recipe no longer induces a violation";
+  EXPECT_TRUE(run.dump_error.empty()) << run.dump_error;
+  ASSERT_FALSE(run.bundle_dir.empty()) << "violation did not trigger a dump";
+  EXPECT_FALSE(run.records.empty());
+
+  const ReplayReport replay = ReplayBundle(run.bundle_dir, config);
+  ASSERT_TRUE(replay.loaded) << replay.error;
+  EXPECT_EQ(replay.manifest.trigger, "invariant-violation");
+  EXPECT_TRUE(replay.manifest.replayable);
+  EXPECT_GT(replay.compared, 0u);
+  EXPECT_FALSE(replay.divergence.has_value())
+      << replay.divergence->Summary();
+  // Same seed, same plan: the replay reproduces the identical failure.
+  EXPECT_EQ(replay.report.violation_summary, run.report.violation_summary);
+  EXPECT_EQ(replay.report.violations.size(), run.report.violations.size());
+}
+
+TEST(FaultForensicsTest, PerturbedBundleRecordIsReportedAsDivergence)
+{
+  ForensicsOptions options;
+  options.root_dir = ::testing::TempDir() + "fault-forensics-perturbed";
+  options.force_dump = true;
+
+  const ScenarioConfig config;
+  const RecordedRun run = RunRecordedScenario(config, 42, options);
+  ASSERT_FALSE(run.bundle_dir.empty()) << run.dump_error;
+
+  // Corrupt one mid-timeline record's value in events.jsonl.
+  const std::string events_path = run.bundle_dir + "/events.jsonl";
+  std::vector<obs::FlightRecord> records;
+  {
+    std::ifstream in(events_path);
+    std::ostringstream raw;
+    raw << in.rdbuf();
+    std::string error;
+    ASSERT_TRUE(obs::ParseRecordsJsonl(raw.str(), &records, &error)) << error;
+  }
+  ASSERT_GT(records.size(), 2u);
+  const std::size_t victim = records.size() / 2;
+  records[victim].value += 1.0;
+  {
+    std::ofstream out(events_path, std::ios::trunc);
+    out << obs::RecordsToJsonl(records);
+  }
+
+  const ReplayReport replay = ReplayBundle(run.bundle_dir, config);
+  ASSERT_TRUE(replay.loaded) << replay.error;
+  ASSERT_TRUE(replay.divergence.has_value())
+      << "perturbed record went undetected";
+  EXPECT_EQ(replay.divergence->sequence, records[victim].sequence);
+  EXPECT_EQ(replay.divergence->field, "value");
 }
 
 }  // namespace

@@ -6,6 +6,9 @@
  * the same seed and require bit-identical exports — the property the
  * seed-replay tooling depends on.
  */
+#include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -13,6 +16,8 @@
 
 #include "common/error.hpp"
 #include "obs/export.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/forensics.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/observability.hpp"
@@ -492,6 +497,260 @@ TEST_F(LogTest, OffSilencesEverything)
   FLEX_LOG(LogLevel::kError, "test", "never seen");
   EXPECT_TRUE(lines_.empty());
   EXPECT_FALSE(LogEnabled(LogLevel::kError));
+}
+
+TEST_F(LogTest, FileSinkTeesEveryRecordEvenUnderSinkRedirection)
+{
+  SetLogLevel(LogLevel::kInfo);
+  const std::string path =
+      ::testing::TempDir() + "obs_test_log_sink.log";
+  std::remove(path.c_str());
+  ASSERT_TRUE(SetLogFile(path));
+  FLEX_LOG(LogLevel::kInfo, "filesink", "teed %d", 7);
+  FLEX_LOG(LogLevel::kDebug, "filesink", "filtered out");
+  ASSERT_TRUE(SetLogFile(""));  // close, flushing the handle
+
+  std::ifstream stream(path);
+  std::ostringstream content;
+  content << stream.rdbuf();
+  // The fixture redirected the sink into lines_, yet the file still got
+  // the record — and in the same format the sink saw.
+  EXPECT_NE(content.str().find("filesink: teed 7"), std::string::npos);
+  EXPECT_EQ(content.str().find("filtered out"), std::string::npos);
+  ASSERT_EQ(lines_.size(), 1u);
+  EXPECT_NE(content.str().find(lines_[0]), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST_F(LogTest, RateLimiterUsesSimClockWhenRegistered)
+{
+  LogRateLimiter limiter(/*min_interval_s=*/5.0, /*every_nth=*/100);
+  sim::EventQueue queue;
+  SetLogClock(&queue);
+
+  EXPECT_TRUE(limiter.Admit());  // first call always passes
+  EXPECT_FALSE(limiter.Admit());  // same instant: suppressed
+  EXPECT_EQ(limiter.suppressed(), 1u);
+
+  queue.Schedule(Seconds(5.0), [] {});
+  queue.RunUntil(Seconds(5.0));
+  EXPECT_TRUE(limiter.Admit());  // interval elapsed, counter reset
+  EXPECT_EQ(limiter.suppressed(), 0u);
+  EXPECT_EQ(limiter.total_suppressed(), 1u);
+  SetLogClock(nullptr);
+}
+
+TEST_F(LogTest, RateLimiterFallsBackToEveryNthWithoutClock)
+{
+  LogRateLimiter limiter(/*min_interval_s=*/5.0, /*every_nth=*/4);
+  EXPECT_TRUE(limiter.Admit());
+  EXPECT_FALSE(limiter.Admit());
+  EXPECT_FALSE(limiter.Admit());
+  EXPECT_FALSE(limiter.Admit());
+  EXPECT_EQ(limiter.suppressed(), 3u);
+  EXPECT_TRUE(limiter.Admit());  // every 4th call passes
+  EXPECT_EQ(limiter.suppressed(), 0u);
+  EXPECT_EQ(limiter.total_suppressed(), 3u);
+}
+
+TEST_F(LogTest, RateLimitedMacroAnnotatesSuppressedCount)
+{
+  SetLogLevel(LogLevel::kInfo);
+  sim::EventQueue queue;
+  SetLogClock(&queue);
+  // The limiter is per expansion site, so every call must go through
+  // the same macro instance — hence the lambda.
+  auto emit = [](int i) {
+    FLEX_LOG_RATE_LIMITED(LogLevel::kInfo, "limited", "burst %d", i);
+  };
+  for (int i = 0; i < 3; ++i)
+    emit(i);
+  ASSERT_EQ(lines_.size(), 1u);  // one instant: only the first passed
+  EXPECT_NE(lines_[0].find("burst 0"), std::string::npos);
+
+  queue.Schedule(Seconds(10.0), [] {});
+  queue.RunUntil(Seconds(10.0));
+  emit(3);
+  ASSERT_EQ(lines_.size(), 2u);
+  EXPECT_NE(lines_[1].find("burst 3 (suppressed 2 similar)"),
+            std::string::npos);
+  SetLogClock(nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// FlightRecorder
+// ---------------------------------------------------------------------------
+
+TEST(FlightRecorderTest, RingWrapsDroppingOldestFirst)
+{
+  FlightRecorder recorder(RecorderConfig{4});
+  for (int i = 0; i < 10; ++i) {
+    recorder.Record(Seconds(static_cast<double>(i)), RecordKind::kAnnotation,
+                    i);
+  }
+  EXPECT_EQ(recorder.size(), 4u);
+  EXPECT_EQ(recorder.capacity(), 4u);
+  EXPECT_EQ(recorder.dropped_count(), 6u);
+  EXPECT_EQ(recorder.next_sequence(), 10u);
+
+  const std::vector<FlightRecord> records = recorder.Records();
+  ASSERT_EQ(records.size(), 4u);
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(records[i].sequence, 6u + i);  // oldest retained first
+    EXPECT_EQ(records[i].a, static_cast<int>(6 + i));
+  }
+  // Sequences stay strictly monotone across the wrap.
+  for (std::size_t i = 1; i < records.size(); ++i)
+    EXPECT_LT(records[i - 1].sequence, records[i].sequence);
+}
+
+TEST(FlightRecorderTest, ClearEmptiesRingButKeepsSequenceNumbering)
+{
+  FlightRecorder recorder(RecorderConfig{4});
+  recorder.Record(Seconds(1.0), RecordKind::kDetection, 0, 1);
+  recorder.Record(Seconds(2.0), RecordKind::kDecision, 0);
+  recorder.Clear();
+  EXPECT_EQ(recorder.size(), 0u);
+  recorder.Record(Seconds(3.0), RecordKind::kEnforced, 0);
+  const std::vector<FlightRecord> records = recorder.Records();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].sequence, 2u);  // numbering continued
+}
+
+TEST(FlightRecorderTest, JsonRoundTripPreservesEveryFieldAndEscapes)
+{
+  FlightRecord record;
+  record.sequence = 41;
+  record.t = 12.25;
+  record.kind = RecordKind::kViolation;
+  record.a = 3;
+  record.b = -1;
+  record.value = 0.125;
+  record.detail = "say \"no\"\\path\nline2\ttab";
+
+  FlightRecord parsed;
+  ASSERT_TRUE(ParseRecordJson(RecordToJson(record), &parsed));
+  EXPECT_EQ(parsed.sequence, record.sequence);
+  EXPECT_EQ(parsed.t, record.t);
+  EXPECT_EQ(parsed.kind, record.kind);
+  EXPECT_EQ(parsed.a, record.a);
+  EXPECT_EQ(parsed.b, record.b);
+  EXPECT_EQ(parsed.value, record.value);
+  EXPECT_EQ(parsed.detail, record.detail);
+}
+
+TEST(FlightRecorderTest, JsonlParsingRejectsMalformedLines)
+{
+  FlightRecorder recorder(RecorderConfig{8});
+  recorder.Record(Seconds(1.0), RecordKind::kMeterSample, 0, 1, 150e3);
+  recorder.Record(Seconds(2.0), RecordKind::kRackCommand, 5, 0, 25e3);
+
+  std::vector<FlightRecord> parsed;
+  std::string error;
+  ASSERT_TRUE(
+      ParseRecordsJsonl(RecordsToJsonl(recorder.Records()), &parsed, &error));
+  EXPECT_EQ(parsed.size(), 2u);
+  EXPECT_FALSE(FirstDivergence(recorder.Records(), parsed).has_value());
+
+  EXPECT_FALSE(ParseRecordsJsonl("{\"seq\":0\nnot json\n", &parsed, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(FlightRecorderTest, FirstDivergenceFlagsPerturbedAndMissingRecords)
+{
+  FlightRecorder recorder(RecorderConfig{8});
+  recorder.Record(Seconds(1.0), RecordKind::kDetection, 0, 2);
+  recorder.Record(Seconds(2.0), RecordKind::kDecision, 0, -1, 3.0);
+  recorder.Record(Seconds(3.0), RecordKind::kEnforced, 0, -1, 1.5);
+  const std::vector<FlightRecord> expected = recorder.Records();
+
+  EXPECT_FALSE(FirstDivergence(expected, expected).has_value());
+
+  // Perturb one field: the diff names the sequence and the field.
+  std::vector<FlightRecord> perturbed = expected;
+  perturbed[1].value = 4.0;
+  auto divergence = FirstDivergence(expected, perturbed);
+  ASSERT_TRUE(divergence.has_value());
+  EXPECT_EQ(divergence->sequence, 1u);
+  EXPECT_EQ(divergence->field, "value");
+
+  // Drop a record: reported as missing at that sequence.
+  std::vector<FlightRecord> truncated = expected;
+  truncated.erase(truncated.begin() + 1);
+  divergence = FirstDivergence(expected, truncated);
+  ASSERT_TRUE(divergence.has_value());
+  EXPECT_EQ(divergence->sequence, 1u);
+  EXPECT_EQ(divergence->field, "missing");
+
+  // Extra history outside the expected window is legitimately ignored.
+  std::vector<FlightRecord> extended = expected;
+  FlightRecord extra;
+  extra.sequence = 99;
+  extra.t = 9.0;
+  extended.push_back(extra);
+  EXPECT_FALSE(FirstDivergence(expected, extended).has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Forensic bundles
+// ---------------------------------------------------------------------------
+
+TEST(ForensicsBundleTest, WriteLoadRoundTrip)
+{
+  FlightRecorder recorder(RecorderConfig{16});
+  recorder.Record(Seconds(1.5), RecordKind::kFaultBegin, 2, 0, 0.0,
+                  "ups_failover ups 2");
+  recorder.Record(Seconds(2.0), RecordKind::kViolation, -1, -1, 0.0,
+                  "[ups-trip] \"quoted\" detail");
+
+  MetricsRegistry metrics;
+  metrics.counter("test.counter").Increment(3.0);
+
+  BundleSpec spec;
+  spec.trigger = "invariant-violation";
+  spec.scenario = "unit-test";
+  spec.seed = 777;
+  spec.sim_time_s = 2.0;
+  spec.horizon_s = 120.0;
+  spec.replayable = true;
+  spec.records = recorder.Records();
+  spec.metrics = &metrics;
+  spec.fault_plan_text = "listing";
+  spec.fault_plan_jsonl = "{\"at\":1.5}\n";
+  spec.racks_csv = "rack,category\n0,1\n";
+  spec.notes.push_back("t=2 [ups-trip] \"quoted\" detail");
+
+  const std::string dir =
+      UniqueBundleDir(::testing::TempDir(), "obs-test-bundle");
+  std::string error;
+  ASSERT_TRUE(WriteForensicBundle(dir, spec, &error)) << error;
+
+  LoadedBundle bundle;
+  ASSERT_TRUE(LoadForensicBundle(dir, &bundle, &error)) << error;
+  EXPECT_EQ(bundle.manifest.format, kBundleFormat);
+  EXPECT_EQ(bundle.manifest.trigger, "invariant-violation");
+  EXPECT_EQ(bundle.manifest.scenario, "unit-test");
+  EXPECT_EQ(bundle.manifest.seed, 777u);
+  EXPECT_EQ(bundle.manifest.sim_time_s, 2.0);
+  EXPECT_EQ(bundle.manifest.horizon_s, 120.0);
+  EXPECT_TRUE(bundle.manifest.replayable);
+  EXPECT_EQ(bundle.manifest.first_sequence, 0u);
+  EXPECT_EQ(bundle.manifest.last_sequence, 1u);
+  EXPECT_EQ(bundle.manifest.num_records, 2u);
+  ASSERT_EQ(bundle.manifest.notes.size(), 1u);
+  EXPECT_EQ(bundle.manifest.notes[0], "t=2 [ups-trip] \"quoted\" detail");
+  EXPECT_EQ(bundle.fault_plan_jsonl, "{\"at\":1.5}\n");
+  ASSERT_EQ(bundle.records.size(), 2u);
+  EXPECT_FALSE(FirstDivergence(spec.records, bundle.records).has_value());
+}
+
+TEST(ForensicsBundleTest, LoadFailsWithoutManifest)
+{
+  LoadedBundle bundle;
+  std::string error;
+  EXPECT_FALSE(LoadForensicBundle(
+      ::testing::TempDir() + "does-not-exist", &bundle, &error));
+  EXPECT_FALSE(error.empty());
 }
 
 TEST_F(LogTest, SimClockStampsLines)

@@ -6,9 +6,11 @@
 #include <gtest/gtest.h>
 
 #include "common/error.hpp"
+#include "obs/observability.hpp"
 #include "offline/flex_offline.hpp"
 #include "offline/metrics.hpp"
 #include "offline/policies.hpp"
+#include "solver/solver_trace.hpp"
 #include "power/loads.hpp"
 #include "workload/trace.hpp"
 
@@ -326,6 +328,32 @@ TEST_F(PolicyTest, FlexOfflinePlacesSafely)
   const Placement placement = policy.Place(room_, MakeTrace());
   EXPECT_GT(placement.NumPlaced(), 0);
   ExpectValidPlacement(placement);
+}
+
+TEST_F(PolicyTest, FlexOfflineExportsSolveTracesAndMetrics)
+{
+  obs::Observability observability;
+  FlexOfflineConfig config;
+  config.solver.time_budget_seconds = 2.0;
+  config.obs = &observability;
+  FlexOfflinePolicy policy(config);
+  const Placement placement = policy.Place(room_, MakeTrace());
+  EXPECT_GT(placement.NumPlaced(), 0);
+
+  // One convergence curve per batch, each closed out by a "final" point.
+  ASSERT_FALSE(policy.solve_traces().empty());
+  for (const solver::SolverTrace& trace : policy.solve_traces()) {
+    ASSERT_FALSE(trace.empty());
+    EXPECT_EQ(trace.points().back().label, "final");
+  }
+
+  EXPECT_GE(observability.metrics().counter("offline.batches").value(),
+            1.0);
+  EXPECT_GE(
+      observability.metrics().counter("offline.deployments_placed").value(),
+      static_cast<double>(placement.NumPlaced()));
+  EXPECT_GT(observability.metrics().counter("offline.solver.lp_solves").value(),
+            0.0);
 }
 
 TEST_F(PolicyTest, FlexOfflineBeatsBaselinesOnStrandedPower)

@@ -3,6 +3,8 @@
  * Unit tests for the LP simplex and branch-and-bound MILP solvers.
  */
 #include <cmath>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -367,6 +369,74 @@ TEST(SimplexTest, NonImpliedBoundsStillEnforced)
   const LpResult r = SimplexSolver().Solve(m);
   ASSERT_TRUE(r.IsOptimal());
   EXPECT_NEAR(r.objective, 2.0, 1e-6);
+}
+
+TEST(SolverTraceTest, SolveEmitsConvergenceCurveAndCsv)
+{
+  // Knapsack large enough that the solve branches at least once.
+  Model m;
+  std::vector<VarIndex> items;
+  const double values[] = {10, 13, 7, 9, 4, 11};
+  const double weights[] = {4, 6, 3, 5, 2, 6};
+  std::vector<std::pair<VarIndex, double>> cap_terms;
+  for (int i = 0; i < 6; ++i) {
+    std::string name = "x";
+    name += std::to_string(i);
+    items.push_back(m.AddBinary(name, values[i]));
+    cap_terms.emplace_back(items.back(), weights[i]);
+  }
+  m.AddConstraint("cap", cap_terms, Relation::kLessEqual, 12.0);
+
+  SolverTrace trace;
+  BranchAndBoundSolver::Options options;
+  options.trace = &trace;
+  options.trace_node_interval = 1;  // sample every node
+  const MipResult result = BranchAndBoundSolver(options).Solve(m);
+  ASSERT_TRUE(result.HasSolution());
+  EXPECT_GT(result.lp_solves, 0);
+  EXPECT_GT(result.simplex_pivots, 0);
+
+  ASSERT_GE(trace.size(), 2u);
+  const auto& points = trace.points();
+  EXPECT_EQ(points.front().label, "root");
+  EXPECT_EQ(points.back().label, "final");
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    EXPECT_LE(points[i - 1].elapsed_s, points[i].elapsed_s);
+    EXPECT_LE(points[i - 1].nodes, points[i].nodes);
+    EXPECT_LE(points[i - 1].lp_solves, points[i].lp_solves);
+  }
+  // The final point mirrors the result's counters and objective.
+  EXPECT_EQ(points.back().nodes, result.nodes_explored);
+  EXPECT_EQ(points.back().lp_solves, result.lp_solves);
+  EXPECT_EQ(points.back().pivots, result.simplex_pivots);
+  EXPECT_TRUE(points.back().has_incumbent);
+  EXPECT_NEAR(points.back().incumbent, result.objective, 1e-9);
+
+  const std::string csv = trace.ToCsv();
+  EXPECT_EQ(csv.rfind(
+                "label,elapsed_s,nodes,lp_solves,pivots,bound,incumbent,gap",
+                0),
+            0u);
+  EXPECT_NE(csv.find("\nfinal,"), std::string::npos);
+}
+
+TEST(SolverTraceTest, WarmStartAppearsAsImmediateIncumbent)
+{
+  Model m;
+  const VarIndex a = m.AddBinary("a", 10.0);
+  const VarIndex b = m.AddBinary("b", 13.0);
+  m.AddConstraint("cap", {{a, 4.0}, {b, 6.0}}, Relation::kLessEqual, 6.0);
+
+  SolverTrace trace;
+  BranchAndBoundSolver::Options options;
+  options.trace = &trace;
+  options.warm_start = {1.0, 0.0};  // feasible, value 10
+  BranchAndBoundSolver(options).Solve(m);
+  ASSERT_FALSE(trace.empty());
+  // The seeded incumbent is traced before the root relaxation point.
+  EXPECT_EQ(trace.points().front().label, "incumbent");
+  EXPECT_TRUE(trace.points().front().has_incumbent);
+  EXPECT_NEAR(trace.points().front().incumbent, 10.0, 1e-9);
 }
 
 TEST(ModelTest, FeasibilityCheckerCatchesViolations)
