@@ -13,11 +13,13 @@
  */
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 
 #include "bench_util.hpp"
 #include "common/rng.hpp"
+#include "common/thread_pool.hpp"
 #include "obs/export.hpp"
 #include "solver/branch_and_bound.hpp"
 #include "solver/model.hpp"
@@ -114,6 +116,84 @@ BM_SimplexKnapsackRelaxation(benchmark::State& state)
 BENCHMARK(BM_SimplexKnapsackRelaxation)->Arg(100)->Arg(400);
 
 /**
+ * Parallel-scaling section: solves the largest placement MILP once
+ * serially and once on an explicit pool, checks the incumbents match
+ * bit-for-bit (the wave-synchronous search guarantees it under a node
+ * budget, which is deterministic — unlike a wall-clock budget), and
+ * reports speedup, steal counts, and the basis-reuse hit rate.
+ */
+void
+RunParallelScaling(obs::MetricsRegistry& metrics)
+{
+  using BenchClock = std::chrono::steady_clock;
+  const Model model = MakePlacementLp(20, 12, /*integer=*/true);
+
+  BranchAndBoundSolver::Options options;
+  // A node budget (not a time budget) truncates deterministically, so
+  // the 1-vs-N comparison is exact even when the tree does not close.
+  options.time_budget_seconds = 10.0 * bench::SolveSeconds(3.0);
+  options.max_nodes = 4000;
+
+  options.threads = 1;
+  const auto serial_start = BenchClock::now();
+  const MipResult serial = BranchAndBoundSolver(options).Solve(model);
+  const double serial_s =
+      std::chrono::duration<double>(BenchClock::now() - serial_start).count();
+
+  const int threads = common::ThreadPool::ConfiguredThreads();
+  common::ThreadPool pool(threads);
+  options.threads = 0;
+  options.pool = &pool;
+  const auto parallel_start = BenchClock::now();
+  const MipResult parallel = BranchAndBoundSolver(options).Solve(model);
+  const double parallel_s =
+      std::chrono::duration<double>(BenchClock::now() - parallel_start)
+          .count();
+
+  const bool identical =
+      serial.x == parallel.x && serial.objective == parallel.objective &&
+      serial.bound == parallel.bound;
+  const double speedup = parallel_s > 0.0 ? serial_s / parallel_s : 0.0;
+  const double hit_rate =
+      parallel.basis_reuse_attempts > 0
+          ? static_cast<double>(parallel.basis_reuse_hits) /
+                static_cast<double>(parallel.basis_reuse_attempts)
+          : 0.0;
+
+  std::printf("\nParallel scaling (20 deployments x 12 pairs, %lld-node "
+              "budget):\n",
+              static_cast<long long>(options.max_nodes));
+  std::printf("  1 thread : %.3fs, objective %.6f, %lld nodes\n", serial_s,
+              serial.objective, static_cast<long long>(serial.nodes_explored));
+  std::printf("  %d thread%s: %.3fs, objective %.6f, %lld nodes, %lld "
+              "steals\n",
+              parallel.threads_used, parallel.threads_used == 1 ? " " : "s",
+              parallel_s, parallel.objective,
+              static_cast<long long>(parallel.nodes_explored),
+              static_cast<long long>(parallel.steal_count));
+  std::printf("  speedup %.2fx, incumbents %s, basis reuse %lld/%lld "
+              "(%.0f%% hit)\n",
+              speedup, identical ? "identical" : "DIVERGED",
+              static_cast<long long>(parallel.basis_reuse_hits),
+              static_cast<long long>(parallel.basis_reuse_attempts),
+              100.0 * hit_rate);
+
+  metrics.gauge("solver.parallel.threads")
+      .Set(static_cast<double>(parallel.threads_used));
+  metrics.gauge("solver.parallel.serial_seconds").Set(serial_s);
+  metrics.gauge("solver.parallel.parallel_seconds").Set(parallel_s);
+  metrics.gauge("solver.parallel.speedup").Set(speedup);
+  metrics.gauge("solver.parallel.identical").Set(identical ? 1.0 : 0.0);
+  metrics.gauge("solver.parallel.basis_hit_rate").Set(hit_rate);
+  metrics.counter("solver.parallel.basis_attempts")
+      .Increment(static_cast<double>(parallel.basis_reuse_attempts));
+  metrics.counter("solver.parallel.basis_hits")
+      .Increment(static_cast<double>(parallel.basis_reuse_hits));
+  metrics.counter("solver.parallel.steals")
+      .Increment(static_cast<double>(parallel.steal_count));
+}
+
+/**
  * Solves one representative placement MILP with a trace attached and
  * prints / exports its convergence curve.
  */
@@ -146,11 +226,13 @@ PrintConvergenceCurve()
                 point.gap);
   }
   std::printf("final: objective %.6f, bound %.6f, gap %.2e, %lld nodes, "
-              "%lld LP solves, %lld pivots\n",
+              "%lld LP solves, %lld pivots, basis reuse %lld/%lld\n",
               result.objective, result.bound, result.gap,
               static_cast<long long>(result.nodes_explored),
               static_cast<long long>(result.lp_solves),
-              static_cast<long long>(result.simplex_pivots));
+              static_cast<long long>(result.simplex_pivots),
+              static_cast<long long>(result.basis_reuse_hits),
+              static_cast<long long>(result.basis_reuse_attempts));
 
   if (const char* path = std::getenv("FLEX_SOLVER_TRACE");
       path != nullptr && *path != '\0') {
@@ -170,9 +252,15 @@ PrintConvergenceCurve()
       .Increment(static_cast<double>(result.simplex_pivots));
   metrics.counter("solver.trace_points")
       .Increment(static_cast<double>(trace.size()));
+  metrics.counter("solver.basis_attempts")
+      .Increment(static_cast<double>(result.basis_reuse_attempts));
+  metrics.counter("solver.basis_hits")
+      .Increment(static_cast<double>(result.basis_reuse_hits));
   metrics.gauge("solver.objective").Set(result.objective);
   metrics.gauge("solver.bound").Set(result.bound);
   metrics.gauge("solver.gap").Set(result.gap);
+  metrics.gauge("solver.threads").Set(static_cast<double>(result.threads_used));
+  RunParallelScaling(metrics);
   bench::MaybeExportBenchJson("solver_perf", observability);
 }
 

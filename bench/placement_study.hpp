@@ -15,6 +15,7 @@
 
 #include "common/rng.hpp"
 #include "common/stats.hpp"
+#include "common/thread_pool.hpp"
 #include "offline/flex_offline.hpp"
 #include "offline/metrics.hpp"
 #include "offline/policies.hpp"
@@ -31,25 +32,47 @@ struct PolicyOutcome {
   std::vector<double> placed;     ///< fraction of requested power placed
 };
 
-/** Builds the paper's five evaluated policies (plus First-Fit). */
-inline std::vector<std::unique_ptr<offline::PlacementPolicy>>
+/**
+ * Builds factories for the paper's five evaluated policies (plus
+ * First-Fit). Factories rather than instances: each trace variant gets
+ * its own fresh policy so offline::PlaceVariants can run the variants
+ * concurrently without sharing mutable policy state.
+ */
+inline std::vector<offline::PolicyFactory>
 MakePolicies(double solve_seconds, bool include_first_fit = false)
 {
-  std::vector<std::unique_ptr<offline::PlacementPolicy>> policies;
-  policies.push_back(std::make_unique<offline::RandomPolicy>(1234));
-  policies.push_back(std::make_unique<offline::BalancedRoundRobinPolicy>());
-  if (include_first_fit)
-    policies.push_back(std::make_unique<offline::FirstFitPolicy>());
-  policies.push_back(std::make_unique<offline::FlexOfflinePolicy>(
-      offline::FlexOfflinePolicy::Short(solve_seconds)));
-  policies.push_back(std::make_unique<offline::FlexOfflinePolicy>(
-      offline::FlexOfflinePolicy::Long(solve_seconds * 2.0)));
-  policies.push_back(std::make_unique<offline::FlexOfflinePolicy>(
-      offline::FlexOfflinePolicy::Oracle(solve_seconds * 8.0)));
+  std::vector<offline::PolicyFactory> policies;
+  policies.push_back([] {
+    return std::make_unique<offline::RandomPolicy>(1234);
+  });
+  policies.push_back([] {
+    return std::make_unique<offline::BalancedRoundRobinPolicy>();
+  });
+  if (include_first_fit) {
+    policies.push_back([] {
+      return std::make_unique<offline::FirstFitPolicy>();
+    });
+  }
+  policies.push_back([solve_seconds]() -> std::unique_ptr<offline::PlacementPolicy> {
+    return std::make_unique<offline::FlexOfflinePolicy>(
+        offline::FlexOfflinePolicy::Short(solve_seconds));
+  });
+  policies.push_back([solve_seconds]() -> std::unique_ptr<offline::PlacementPolicy> {
+    return std::make_unique<offline::FlexOfflinePolicy>(
+        offline::FlexOfflinePolicy::Long(solve_seconds * 2.0));
+  });
+  policies.push_back([solve_seconds]() -> std::unique_ptr<offline::PlacementPolicy> {
+    return std::make_unique<offline::FlexOfflinePolicy>(
+        offline::FlexOfflinePolicy::Oracle(solve_seconds * 8.0));
+  });
   return policies;
 }
 
-/** Runs every policy over @p num_traces shuffled variants. */
+/**
+ * Runs every policy over @p num_traces shuffled variants. Variants fan
+ * out onto the shared thread pool (offline::PlaceVariants); results are
+ * in variant order and identical to a serial run.
+ */
 inline std::vector<PolicyOutcome>
 RunPlacementStudy(const power::RoomTopology& room,
                   const workload::TraceConfig& trace_config, int num_traces,
@@ -61,13 +84,17 @@ RunPlacementStudy(const power::RoomTopology& room,
       trace_config, room.TotalProvisionedPower(), rng);
   const auto variants = workload::ShuffledVariants(base, num_traces, rng);
 
-  auto policies = MakePolicies(solve_seconds, include_first_fit);
+  common::ThreadPool& shared = common::ThreadPool::Shared();
+  common::ThreadPool* pool = shared.size() > 1 ? &shared : nullptr;
+
+  const auto factories = MakePolicies(solve_seconds, include_first_fit);
   std::vector<PolicyOutcome> outcomes;
-  for (const auto& policy : policies) {
+  for (const auto& factory : factories) {
     PolicyOutcome outcome;
-    outcome.policy = policy->Name();
-    for (const auto& variant : variants) {
-      const offline::Placement placement = policy->Place(room, variant);
+    outcome.policy = factory()->Name();
+    const std::vector<offline::Placement> placements =
+        offline::PlaceVariants(room, factory, variants, pool);
+    for (const offline::Placement& placement : placements) {
       const offline::PlacementMetrics metrics =
           offline::EvaluatePlacement(room, placement);
       outcome.stranded.push_back(metrics.stranded_fraction);

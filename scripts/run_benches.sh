@@ -59,6 +59,30 @@ for bench in "${benches[@]}"; do
   [[ -s "${out_json}" ]] || rm -f "${out_json}"
 done
 
+# Thread-scaling baseline: run the solver bench once per thread count
+# (1 and the hardware's worth) and append both snapshots to
+# BENCH_solver.json. Each JSON line carries solver.parallel.speedup and
+# solver.parallel.basis_hit_rate, so the file records the scaling
+# baseline for this machine.
+solver_binary="${build_dir}/bench/bench_solver_perf"
+if [[ -x "${solver_binary}" ]]; then
+  sweep_json="${repo_root}/BENCH_solver.json"
+  rm -f "${sweep_json}"
+  hw_threads="$(nproc)"
+  thread_counts=(1)
+  [[ "${hw_threads}" -gt 1 ]] && thread_counts+=("${hw_threads}")
+  for threads in "${thread_counts[@]}"; do
+    echo "run_benches: bench_solver_perf (FLEX_SOLVER_THREADS=${threads}) -> ${sweep_json}"
+    if ! FLEX_BENCH_JSON="${sweep_json}" FLEX_SOLVER_THREADS="${threads}" \
+        "${solver_binary}" --benchmark_filter='^$' \
+        > "${log_dir}/bench_solver_perf.threads${threads}.log" 2>&1; then
+      echo "run_benches: solver thread sweep (${threads}) FAILED" >&2
+      failures+=("bench_solver_perf.threads${threads}")
+    fi
+  done
+  [[ -s "${sweep_json}" ]] || rm -f "${sweep_json}"
+fi
+
 if [[ ${#failures[@]} -gt 0 ]]; then
   echo "run_benches: ${#failures[@]} bench(es) failed: ${failures[*]}" >&2
   exit 1

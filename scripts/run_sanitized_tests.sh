@@ -1,9 +1,12 @@
 #!/usr/bin/env bash
 # Builds the repository with FLEX_SANITIZE=ON (ASan + UBSan) in a
-# dedicated build tree and runs the tier-1 ctest suite under it.
+# dedicated build tree and runs the tier-1 ctest suite under it, then
+# builds a second tree with FLEX_SANITIZE_THREAD=ON (TSan) and runs the
+# concurrency-heavy suites (common/solver/offline) under that.
 #
 # Usage: scripts/run_sanitized_tests.sh [ctest args...]
 #   e.g. scripts/run_sanitized_tests.sh -R fault_test
+# Set FLEX_SKIP_TSAN=1 to run only the ASan/UBSan half.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -30,3 +33,22 @@ ctest --output-on-failure -j"$(nproc)" "$@"
 echo "run_sanitized_tests: focused obs/fault recorder pass"
 "${build_dir}/tests/obs_test" --gtest_brief=1
 "${build_dir}/tests/fault_test" --gtest_brief=1
+
+if [[ "${FLEX_SKIP_TSAN:-0}" == "1" ]]; then
+  echo "run_sanitized_tests: FLEX_SKIP_TSAN=1, skipping TSan pass"
+  exit 0
+fi
+
+# ThreadSanitizer pass: a separate tree (TSan is incompatible with
+# ASan), focused on the suites that exercise the thread pool, the
+# parallel branch-and-bound waves, and the placement fan-out. TSan
+# findings abort the run via the non-zero exit of the test binary.
+tsan_dir="${FLEX_TSAN_BUILD_DIR:-${repo_root}/build-tsan}"
+cmake -B "${tsan_dir}" -S "${repo_root}" -DFLEX_SANITIZE_THREAD=ON
+cmake --build "${tsan_dir}" -j"$(nproc)"
+
+export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
+echo "run_sanitized_tests: TSan pass (common/solver/offline suites)"
+"${tsan_dir}/tests/common_test" --gtest_brief=1
+"${tsan_dir}/tests/solver_test" --gtest_brief=1
+"${tsan_dir}/tests/offline_test" --gtest_brief=1

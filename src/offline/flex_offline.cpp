@@ -360,6 +360,14 @@ FlexOfflinePolicy::SolveBatch(
         .Increment(static_cast<double>(result.lp_solves));
     metrics.counter("offline.solver.pivots")
         .Increment(static_cast<double>(result.simplex_pivots));
+    metrics.counter("offline.solver.basis_attempts")
+        .Increment(static_cast<double>(result.basis_reuse_attempts));
+    metrics.counter("offline.solver.basis_hits")
+        .Increment(static_cast<double>(result.basis_reuse_hits));
+    metrics.counter("offline.solver.steals")
+        .Increment(static_cast<double>(result.steal_count));
+    metrics.gauge("offline.solver.threads")
+        .Set(static_cast<double>(result.threads_used));
     metrics.gauge("offline.solver.last_gap").Set(result.gap);
   }
 

@@ -1,8 +1,10 @@
 #include "policies.hpp"
 
 #include <array>
+#include <utility>
 
 #include "common/error.hpp"
+#include "common/thread_pool.hpp"
 
 namespace flex::offline {
 
@@ -101,6 +103,30 @@ MakeConventionalPolicy()
 {
   return BalancedRoundRobinPolicy(CorrectiveModel::kNone,
                                   "Conventional (no actions)");
+}
+
+std::vector<Placement>
+PlaceVariants(const RoomTopology& topology, const PolicyFactory& factory,
+              const std::vector<std::vector<Deployment>>& variants,
+              common::ThreadPool* pool)
+{
+  std::vector<Placement> results(variants.size());
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(variants.size());
+  for (std::size_t i = 0; i < variants.size(); ++i) {
+    tasks.push_back([&, i] {
+      const std::unique_ptr<PlacementPolicy> policy = factory();
+      FLEX_CHECK_MSG(policy != nullptr, "policy factory returned null");
+      results[i] = policy->Place(topology, variants[i]);
+    });
+  }
+  if (pool != nullptr && tasks.size() > 1) {
+    pool->Run(std::move(tasks));
+  } else {
+    for (const auto& task : tasks)
+      task();
+  }
+  return results;
 }
 
 Placement

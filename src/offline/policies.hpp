@@ -11,12 +11,17 @@
 #ifndef FLEX_OFFLINE_POLICIES_HPP_
 #define FLEX_OFFLINE_POLICIES_HPP_
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "common/rng.hpp"
 #include "offline/placement.hpp"
+
+namespace flex::common {
+class ThreadPool;
+}  // namespace flex::common
 
 namespace flex::offline {
 
@@ -104,6 +109,30 @@ class FirstFitPolicy : public PlacementPolicy {
   Placement Place(const power::RoomTopology& topology,
                   const std::vector<workload::Deployment>& trace) override;
 };
+
+/**
+ * Produces a fresh policy instance per placement run. Invoked
+ * concurrently by PlaceVariants, so it must be safe to call from
+ * multiple threads (constructing a policy from captured config is; any
+ * shared mutable sink — e.g. one obs::Observability wired into every
+ * instance — is not).
+ */
+using PolicyFactory = std::function<std::unique_ptr<PlacementPolicy>()>;
+
+/**
+ * Places every trace variant with its own fresh policy instance, in
+ * input order. When @p pool is non-null and there is more than one
+ * variant, the runs execute concurrently on the pool; results are
+ * identical either way because each run owns all of its mutable state
+ * (policy instance + CapacityTracker). This is the batch fan-out used
+ * by the placement study benches: shuffled trace variants are
+ * independent solves, so they saturate the pool while each inner MILP
+ * additionally fans its node waves onto the same (nesting-safe) pool.
+ */
+std::vector<Placement> PlaceVariants(
+    const power::RoomTopology& topology, const PolicyFactory& factory,
+    const std::vector<std::vector<workload::Deployment>>& variants,
+    common::ThreadPool* pool = nullptr);
 
 }  // namespace flex::offline
 

@@ -1,6 +1,9 @@
 #include "decision.hpp"
 
 #include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <queue>
 #include <set>
 
 #include "common/error.hpp"
@@ -143,76 +146,127 @@ DecideActions(const DecisionInput& input)
     }
   }
 
-  // Greedy selection loop (Algorithm 1 lines 4-16).
+  // Greedy selection loop (Algorithm 1 lines 4-16), driven by a lazy
+  // max-heap instead of rebuilding and re-scanning every workload's
+  // candidate each round. One heap entry per workload holds its best
+  // rack keyed by (post-action impact asc, recovery desc, name asc) —
+  // the paper's minimum-impact-per-recovered-watt order. Entries go
+  // stale in exactly two monotone ways, so revalidation on pop is
+  // sound:
+  //  - the workload acted since the entry was computed (acted_racks
+  //    moved): its impact and best rack changed — recompute;
+  //  - any action since then may have cleared an overload (the
+  //    overloaded set only ever shrinks within one decision), so the
+  //    stored rack may no longer be useful. If it still is, it is still
+  //    the workload's best: usefulness never *grows*, so no other rack
+  //    can have overtaken it.
+  // A workload whose best candidate is not useful is dropped for good —
+  // by the same monotonicity it can never become useful later.
+  struct HeapEntry {
+    double impact_after = 0.0;
+    Watts recovery{0.0};
+    std::string workload;
+    int snapshot_index = -1;
+    ActionType type = ActionType::kThrottle;
+    std::uint64_t epoch = 0;  // action count when the entry was computed
+    int acted_at = 0;         // the workload's acted_racks at that time
+  };
+  // priority_queue: returns true when a has LOWER priority than b.
+  struct HeapOrder {
+    bool
+    operator()(const HeapEntry& a, const HeapEntry& b) const
+    {
+      if (a.impact_after != b.impact_after)
+        return a.impact_after > b.impact_after;  // smaller impact first
+      if (a.recovery < b.recovery || b.recovery < a.recovery)
+        return a.recovery < b.recovery;  // larger recovery first
+      return a.workload > b.workload;    // deterministic final tie
+    }
+  };
+
+  std::uint64_t epoch = 0;
+  auto rack_useful = [&](const RackSnapshot& rack) {
+    const Watts recovery = Recovery(rack);
+    for (const auto& [u, share] : recovery_per_ups(rack, recovery)) {
+      if (overloaded(u) && share > Watts(0.0))
+        return true;
+    }
+    return false;
+  };
+  // PickRack: prefer racks attached to an overloaded UPS, then the
+  // largest recovery, then the lowest rack id (deterministic).
+  auto compute_best = [&](const std::string& name,
+                          const WorkloadState& state)
+      -> std::optional<HeapEntry> {
+    int best = -1;
+    bool best_useful = false;
+    Watts best_recovery(-1.0);
+    for (const int index : state.remaining) {
+      const RackSnapshot& rack = input.racks[static_cast<std::size_t>(index)];
+      const Watts recovery = Recovery(rack);
+      const bool useful = rack_useful(rack);
+      const bool better =
+          (useful && !best_useful) ||
+          (useful == best_useful &&
+           (recovery > best_recovery ||
+            (recovery.ApproxEquals(best_recovery) && best >= 0 &&
+             rack.rack_id <
+                 input.racks[static_cast<std::size_t>(best)].rack_id)));
+      if (best < 0 || better) {
+        best = index;
+        best_useful = useful;
+        best_recovery = recovery;
+      }
+    }
+    if (best < 0 || !best_useful)
+      return std::nullopt;  // cannot help the overloaded UPSes: drop
+    const RackSnapshot& rack = input.racks[static_cast<std::size_t>(best)];
+    HeapEntry entry;
+    entry.impact_after = state.ImpactAfterActing(1);
+    entry.recovery = Recovery(rack);
+    entry.workload = name;
+    entry.snapshot_index = best;
+    entry.type = rack.category == Category::kSoftwareRedundant
+                     ? ActionType::kShutdown
+                     : ActionType::kThrottle;
+    entry.epoch = epoch;
+    entry.acted_at = state.acted_racks;
+    return entry;
+  };
+
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, HeapOrder> heap;
+  const bool initially_overloaded = any_overloaded();
+  if (initially_overloaded) {
+    for (const auto& [name, state] : workloads) {
+      if (auto entry = compute_best(name, state))
+        heap.push(std::move(*entry));
+    }
+  }
+
   const int max_iterations = static_cast<int>(input.racks.size()) + 1;
   while (any_overloaded() && result.iterations < max_iterations) {
     ++result.iterations;
 
-    // Build the per-workload candidate set C.
-    struct Candidate {
-      int snapshot_index;
-      ActionType type;
-      Watts recovery;
-      double impact_after;
-      std::string workload;
-    };
-    std::vector<Candidate> candidates;
-    for (auto& [name, state] : workloads) {
-      if (state.remaining.empty())
+    std::optional<HeapEntry> chosen;
+    while (!heap.empty()) {
+      HeapEntry top = heap.top();
+      heap.pop();
+      const WorkloadState& state = workloads[top.workload];
+      const bool stale_workload = top.acted_at != state.acted_racks;
+      const bool stale_overloads =
+          !stale_workload && top.epoch != epoch &&
+          !rack_useful(
+              input.racks[static_cast<std::size_t>(top.snapshot_index)]);
+      if (stale_workload || stale_overloads) {
+        if (auto entry = compute_best(top.workload, state))
+          heap.push(std::move(*entry));
         continue;
-      // PickRack: prefer racks attached to an overloaded UPS, then the
-      // largest recovery, then the lowest rack id (deterministic).
-      int best = -1;
-      bool best_useful = false;
-      Watts best_recovery(-1.0);
-      for (const int index : state.remaining) {
-        const RackSnapshot& rack =
-            input.racks[static_cast<std::size_t>(index)];
-        const Watts recovery = Recovery(rack);
-        bool useful = false;
-        for (const auto& [u, share] : recovery_per_ups(rack, recovery)) {
-          if (overloaded(u) && share > Watts(0.0))
-            useful = true;
-        }
-        const bool better =
-            (useful && !best_useful) ||
-            (useful == best_useful &&
-             (recovery > best_recovery ||
-              (recovery.ApproxEquals(best_recovery) && best >= 0 &&
-               rack.rack_id <
-                   input.racks[static_cast<std::size_t>(best)].rack_id)));
-        if (best < 0 || better) {
-          best = index;
-          best_useful = useful;
-          best_recovery = recovery;
-        }
       }
-      if (best < 0 || !best_useful)
-        continue;  // this workload cannot help the overloaded UPSes
-      const RackSnapshot& rack = input.racks[static_cast<std::size_t>(best)];
-      Candidate c;
-      c.snapshot_index = best;
-      c.type = rack.category == Category::kSoftwareRedundant
-                   ? ActionType::kShutdown
-                   : ActionType::kThrottle;
-      c.recovery = Recovery(rack);
-      c.impact_after = state.ImpactAfterActing(1);
-      c.workload = name;
-      candidates.push_back(std::move(c));
+      chosen = std::move(top);
+      break;
     }
-    if (candidates.empty())
+    if (!chosen)
       break;  // nothing more can be recovered: unsatisfied
-
-    // Line 13: choose the candidate with minimum post-action impact;
-    // break ties toward larger recovery so safety is reached sooner.
-    const Candidate* chosen = &candidates.front();
-    for (const Candidate& c : candidates) {
-      if (c.impact_after < chosen->impact_after - 1e-12 ||
-          (std::abs(c.impact_after - chosen->impact_after) <= 1e-12 &&
-           c.recovery > chosen->recovery)) {
-        chosen = &c;
-      }
-    }
 
     const RackSnapshot& rack =
         input.racks[static_cast<std::size_t>(chosen->snapshot_index)];
@@ -232,6 +286,9 @@ DecideActions(const DecisionInput& input)
                                     state.remaining.end(),
                                     chosen->snapshot_index));
     ++state.acted_racks;
+    ++epoch;
+    if (auto entry = compute_best(chosen->workload, state))
+      heap.push(std::move(*entry));
   }
 
   result.satisfied = !any_overloaded();

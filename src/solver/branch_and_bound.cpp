@@ -3,11 +3,14 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <functional>
 #include <limits>
 #include <memory>
 #include <queue>
+#include <utility>
 
 #include "common/error.hpp"
+#include "common/thread_pool.hpp"
 
 namespace flex::solver {
 
@@ -17,20 +20,48 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 
 using Clock = std::chrono::steady_clock;
 
-/** A subproblem: variable bound overrides plus its LP relaxation bound. */
+/**
+ * A subproblem, stored as a bound-delta chain: each node records only
+ * the single (var, lo, hi) restriction its branch added, plus a pointer
+ * to its parent. Materializing the full override vector walks the chain
+ * (nearest override wins — branching only ever tightens a bound), so a
+ * frontier of a million nodes costs one small struct per node instead
+ * of a full override vector per node.
+ */
 struct Node {
-  BoundOverrides overrides;
-  double bound;  // LP bound, in "maximize" orientation
-  int depth;
+  std::shared_ptr<const Node> parent;
+  int var = -1;          // branched variable; -1 for the root
+  double lo = 0.0;
+  double hi = 0.0;
+  double bound = 0.0;    // parent LP bound, in "maximize" orientation
+  int depth = 0;
+  std::uint64_t seq = 0; // creation order; ties in bound break on this
+  /** Parent's optimal LP basis; warm-starts this node's re-solve. */
+  std::shared_ptr<const SimplexBasis> basis;
 };
 
-struct WorseBound {
+/**
+ * Frontier order: best (largest) bound first, then creation order. The
+ * seq tie-break makes the pop order — and therefore the wave
+ * composition — a pure function of the search history, independent of
+ * heap internals and thread count.
+ */
+struct NodeOrder {
   bool
-  operator()(const std::shared_ptr<Node>& a,
-             const std::shared_ptr<Node>& b) const
+  operator()(const std::shared_ptr<const Node>& a,
+             const std::shared_ptr<const Node>& b) const
   {
-    return a->bound < b->bound;  // best (largest) bound first
+    if (a->bound != b->bound)
+      return a->bound < b->bound;
+    return a->seq > b->seq;
   }
+};
+
+/** One wave slot's LP outcome, produced concurrently, merged serially. */
+struct WaveResult {
+  LpResult lp;
+  std::shared_ptr<SimplexBasis> basis;
+  int lane = 0;  // pool lane that executed the LP (telemetry only)
 };
 
 /** Most-fractional integer variable, or -1 when integral. */
@@ -71,16 +102,51 @@ BranchAndBoundSolver::Solve(const Model& model) const
                   std::chrono::duration<double>(options_.time_budget_seconds));
   const double sense = model.sense() == Sense::kMaximize ? 1.0 : -1.0;
   const SimplexSolver lp(options_.lp);
+  const int n = model.NumVariables();
+
+  // Resolve the execution width. An explicit pool always wins (tests
+  // exercise real concurrency this way even on 1-core machines);
+  // otherwise FLEX_SOLVER_THREADS / hardware concurrency decide whether
+  // the shared pool is worth involving at all.
+  common::ThreadPool* pool = options_.pool;
+  if (pool == nullptr) {
+    const int resolved = options_.threads > 0
+                             ? options_.threads
+                             : common::ThreadPool::ConfiguredThreads();
+    if (resolved > 1 && options_.threads != 1)
+      pool = &common::ThreadPool::Shared();
+  }
+  if (pool != nullptr && pool->size() <= 1)
+    pool = nullptr;
+  const int lanes = pool != nullptr ? pool->size() : 1;
+  const std::int64_t steals_before = pool != nullptr ? pool->steal_count() : 0;
 
   MipResult result;
+  result.threads_used = lanes;
+  result.nodes_per_thread.assign(static_cast<std::size_t>(lanes), 0);
+
+  // One workspace per wave slot plus one for serial solves (root,
+  // dives). Slots are positional, not thread-identified: task i of a
+  // wave always uses workspace i, so no two concurrent tasks can share
+  // a buffer no matter which pool lane picks them up.
+  const int wave_capacity = std::max(1, options_.wave_size);
+  std::vector<SimplexWorkspace> workspaces(
+      static_cast<std::size_t>(wave_capacity) + 1);
+  SimplexWorkspace& serial_ws = workspaces.back();
+
   double incumbent_max = -kInf;  // incumbent objective, maximize orientation
   double best_bound_max = kInf;  // best proven bound, maximize orientation
 
-  auto solve_lp = [&](const BoundOverrides& overrides) {
-    LpResult sub = overrides.empty() ? lp.Solve(model)
-                                     : lp.SolveWithBounds(model, overrides);
+  auto solve_lp = [&](const BoundOverrides& overrides,
+                      const SimplexBasis* warm, SimplexBasis* basis_out) {
+    LpResult sub =
+        lp.SolveWithBounds(model, overrides, &serial_ws, warm, basis_out);
     ++result.lp_solves;
     result.simplex_pivots += sub.iterations;
+    if (sub.warm_start_attempted)
+      ++result.basis_reuse_attempts;
+    if (sub.warm_start_used)
+      ++result.basis_reuse_hits;
     return sub;
   };
 
@@ -94,6 +160,8 @@ BranchAndBoundSolver::Solve(const Model& model) const
     point.nodes = result.nodes_explored;
     point.lp_solves = result.lp_solves;
     point.pivots = result.simplex_pivots;
+    point.basis_attempts = result.basis_reuse_attempts;
+    point.basis_hits = result.basis_reuse_hits;
     point.has_incumbent = incumbent_max > -kInf;
     point.incumbent = point.has_incumbent ? sense * incumbent_max : 0.0;
     // Bound unknown until the root relaxation lands (warm-start points).
@@ -108,9 +176,16 @@ BranchAndBoundSolver::Solve(const Model& model) const
     return PickBranchVariable(model, x, options_.integrality_tolerance) < 0;
   };
 
+  /**
+   * Deterministic incumbent acceptance: a candidate wins on strictly
+   * better objective, or — within tie tolerance — on lexicographically
+   * smaller solution. The tie rule makes the surviving incumbent a
+   * function of the set of candidates seen, not of their arrival order,
+   * which keeps equal-objective solves stable across search tweaks.
+   */
   auto accept_incumbent = [&](const std::vector<double>& x) {
     std::vector<double> rounded = x;
-    for (int j = 0; j < model.NumVariables(); ++j) {
+    for (int j = 0; j < n; ++j) {
       if (model.variables()[static_cast<std::size_t>(j)].is_integer) {
         rounded[static_cast<std::size_t>(j)] =
             std::round(rounded[static_cast<std::size_t>(j)]);
@@ -119,13 +194,19 @@ BranchAndBoundSolver::Solve(const Model& model) const
     if (!model.IsFeasible(rounded, 1e-6))
       return;
     const double value = sense * model.ObjectiveValue(rounded);
-    if (value > incumbent_max) {
-      incumbent_max = value;
-      result.x = std::move(rounded);
-      result.objective = sense * incumbent_max;
-      result.status = MipStatus::kFeasible;
-      emit_trace("incumbent");
+    bool accept = value > incumbent_max + 1e-9;
+    if (!accept && std::isfinite(incumbent_max) && !result.x.empty() &&
+        value > incumbent_max - 1e-9) {
+      accept = std::lexicographical_compare(rounded.begin(), rounded.end(),
+                                            result.x.begin(), result.x.end());
     }
+    if (!accept)
+      return;
+    incumbent_max = std::max(incumbent_max, value);
+    result.x = std::move(rounded);
+    result.objective = sense * value;
+    result.status = MipStatus::kFeasible;
+    emit_trace("incumbent");
   };
 
   /**
@@ -135,12 +216,20 @@ BranchAndBoundSolver::Solve(const Model& model) const
    * a handful of LP solves even for hundreds of binaries, which is what
    * makes large single-batch (Oracle-style) models productive within
    * small budgets. If a bulk step goes infeasible, retry fixing only the
-   * single most fractional variable before giving up.
+   * single most fractional variable before giving up. Each re-solve is
+   * warm-started from the previous step's basis: fixing variables near
+   * their LP values usually leaves that basis primal feasible, so dives
+   * are where basis reuse pays off the most.
    */
-  auto dive = [&](BoundOverrides overrides, std::vector<double> x) {
+  auto dive = [&](BoundOverrides overrides, std::vector<double> x,
+                  std::shared_ptr<const SimplexBasis> seed_basis) {
     if (overrides.empty())
-      overrides.assign(static_cast<std::size_t>(model.NumVariables()),
-                       std::nullopt);
+      overrides.assign(static_cast<std::size_t>(n), std::nullopt);
+    SimplexBasis basis_a;
+    SimplexBasis basis_b;
+    const SimplexBasis* warm =
+        seed_basis != nullptr ? seed_basis.get() : nullptr;
+    SimplexBasis* out = &basis_a;
     for (int step = 0; step < options_.dive_depth; ++step) {
       if (Clock::now() > deadline)
         return;
@@ -152,7 +241,7 @@ BranchAndBoundSolver::Solve(const Model& model) const
       }
       BoundOverrides bulk = overrides;
       constexpr double kNearIntegral = 0.05;
-      for (int v = 0; v < model.NumVariables(); ++v) {
+      for (int v = 0; v < n; ++v) {
         if (!model.variables()[static_cast<std::size_t>(v)].is_integer)
           continue;
         const double value = x[static_cast<std::size_t>(v)];
@@ -163,26 +252,55 @@ BranchAndBoundSolver::Solve(const Model& model) const
       const double target = std::round(x[static_cast<std::size_t>(j)]);
       bulk[static_cast<std::size_t>(j)] = {target, target};
 
-      LpResult sub = solve_lp(bulk);
+      LpResult sub = solve_lp(bulk, warm, out);
       if (sub.IsOptimal()) {
         overrides = std::move(bulk);
       } else {
-        // Bulk step infeasible: fall back to fixing just one variable.
+        // Bulk step infeasible: fall back to fixing just one variable,
+        // trying the rounded value first and the other side of the
+        // fraction second (in capacity-style models rounding up often
+        // dead-ends where rounding down cannot).
         overrides[static_cast<std::size_t>(j)] = {target, target};
-        sub = solve_lp(overrides);
-        if (!sub.IsOptimal())
-          return;  // dive dead-ends; fine, it is only a heuristic
+        sub = solve_lp(overrides, warm, out);
+        if (!sub.IsOptimal()) {
+          const Variable& vj = model.variables()[static_cast<std::size_t>(j)];
+          const double other = target <= std::floor(x[static_cast<std::size_t>(j)])
+                                   ? target + 1.0
+                                   : target - 1.0;
+          if (other < vj.lower - 1e-9 || other > vj.upper + 1e-9)
+            return;  // dive dead-ends; fine, it is only a heuristic
+          overrides[static_cast<std::size_t>(j)] = {other, other};
+          sub = solve_lp(overrides, warm, out);
+          if (!sub.IsOptimal())
+            return;
+        }
       }
-      x = sub.x;
+      x = std::move(sub.x);
+      warm = out;
+      out = out == &basis_a ? &basis_b : &basis_a;
     }
   };
 
+  /** Full override vector of a node: walk the delta chain. */
+  auto materialize = [&](const Node* node) {
+    BoundOverrides overrides;
+    if (node->var < 0 && node->parent == nullptr)
+      return overrides;  // root: no overrides at all
+    overrides.assign(static_cast<std::size_t>(n), std::nullopt);
+    for (const Node* p = node; p != nullptr; p = p->parent.get()) {
+      if (p->var >= 0 && !overrides[static_cast<std::size_t>(p->var)])
+        overrides[static_cast<std::size_t>(p->var)] = {p->lo, p->hi};
+    }
+    return overrides;
+  };
+
   if (!options_.warm_start.empty() &&
-      static_cast<int>(options_.warm_start.size()) == model.NumVariables())
+      static_cast<int>(options_.warm_start.size()) == n)
     accept_incumbent(options_.warm_start);
 
   // Root relaxation.
-  const LpResult root = solve_lp(BoundOverrides{});
+  auto root_basis = std::make_shared<SimplexBasis>();
+  const LpResult root = solve_lp(BoundOverrides{}, nullptr, root_basis.get());
   if (root.status == LpStatus::kInfeasible) {
     result.status = MipStatus::kInfeasible;
     emit_trace("final");
@@ -203,27 +321,29 @@ BranchAndBoundSolver::Solve(const Model& model) const
     result.bound = root.objective;
     result.gap = 0.0;
     result.nodes_explored = 1;
+    result.nodes_per_thread[0] = 1;
     emit_trace("final");
     return result;
   }
-  dive(BoundOverrides{}, root.x);
+  dive(BoundOverrides{}, root.x, root_basis);
 
-  std::priority_queue<std::shared_ptr<Node>,
-                      std::vector<std::shared_ptr<Node>>, WorseBound>
+  std::priority_queue<std::shared_ptr<const Node>,
+                      std::vector<std::shared_ptr<const Node>>, NodeOrder>
       open;
-  open.push(std::make_shared<Node>(
-      Node{BoundOverrides{}, best_bound_max, 0}));
+  std::uint64_t next_seq = 0;
+  open.push(std::make_shared<const Node>(Node{
+      nullptr, -1, 0.0, 0.0, best_bound_max, 0, next_seq++, root_basis}));
 
   bool exhausted_budget = false;
+  std::vector<std::shared_ptr<const Node>> wave_nodes;
+  std::vector<WaveResult> wave_results;
   while (!open.empty()) {
     if (Clock::now() > deadline ||
         result.nodes_explored >= options_.max_nodes) {
       exhausted_budget = true;
       break;
     }
-    auto node = open.top();
-    open.pop();
-    best_bound_max = node->bound;
+    best_bound_max = open.top()->bound;
     if (incumbent_max > -kInf &&
         RelativeGap(best_bound_max, incumbent_max) <=
             options_.gap_tolerance) {
@@ -232,50 +352,111 @@ BranchAndBoundSolver::Solve(const Model& model) const
       break;
     }
 
-    const LpResult relax = solve_lp(node->overrides);
-    ++result.nodes_explored;
-    if (options_.trace_node_interval > 0 &&
-        result.nodes_explored % options_.trace_node_interval == 0)
-      emit_trace("node");
-    if (!relax.IsOptimal())
-      continue;  // infeasible subtree (or stalled LP): prune
-    const double node_bound = sense * relax.objective;
-    if (node_bound <= incumbent_max + 1e-9)
-      continue;  // cannot improve the incumbent
-
-    const int j =
-        PickBranchVariable(model, relax.x, options_.integrality_tolerance);
-    if (j < 0) {
-      accept_incumbent(relax.x);
-      continue;
+    // Select the wave: best-bound nodes that can still beat the
+    // incumbent. Pruned-at-selection nodes cost no LP and do not count
+    // against the node budget (matching the serial bound-prune). The
+    // wave is clamped to the remaining node budget so max_nodes is
+    // honoured exactly.
+    const std::int64_t budget_left =
+        options_.max_nodes - result.nodes_explored;
+    const int want = static_cast<int>(
+        std::min<std::int64_t>(wave_capacity, budget_left));
+    wave_nodes.clear();
+    while (static_cast<int>(wave_nodes.size()) < want && !open.empty()) {
+      std::shared_ptr<const Node> node = open.top();
+      open.pop();
+      if (incumbent_max > -kInf && node->bound <= incumbent_max + 1e-9)
+        continue;  // cannot improve the incumbent
+      wave_nodes.push_back(std::move(node));
     }
-    if (node->depth == 0 || (node->depth % 8) == 0)
-      dive(node->overrides, relax.x);
+    if (wave_nodes.empty())
+      continue;  // selection drained the queue; loop condition exits
 
-    const double value = relax.x[static_cast<std::size_t>(j)];
-    const double floor_value = std::floor(value);
-    const Variable& var = model.variables()[static_cast<std::size_t>(j)];
+    // Solve the wave's LP relaxations, concurrently when a pool is
+    // available. Every task is a pure function of (model, node chain,
+    // parent basis) writing only its own slot, so the serial and
+    // parallel paths produce byte-identical WaveResults.
+    const std::size_t count = wave_nodes.size();
+    wave_results.assign(count, WaveResult{});
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      tasks.push_back([&, i] {
+        const Node* node = wave_nodes[i].get();
+        WaveResult wr;
+        wr.basis = std::make_shared<SimplexBasis>();
+        wr.lp = lp.SolveWithBounds(model, materialize(node), &workspaces[i],
+                                   node->basis.get(), wr.basis.get());
+        const int lane = common::ThreadPool::WorkerIndex();
+        wr.lane = lane >= 1 && lane < lanes ? lane : 0;
+        wave_results[i] = std::move(wr);
+      });
+    }
+    if (pool != nullptr && count > 1) {
+      pool->Run(std::move(tasks));
+    } else {
+      for (const auto& task : tasks)
+        task();
+    }
 
-    for (int side = 0; side < 2; ++side) {
-      BoundOverrides child = node->overrides;
-      if (child.empty())
-        child.assign(static_cast<std::size_t>(model.NumVariables()),
-                     std::nullopt);
+    // Serial merge in wave order: counters, incumbents, branching. All
+    // search-state mutation happens here, on one thread, in an order
+    // fixed by the frontier — never by task completion order.
+    for (std::size_t i = 0; i < count; ++i) {
+      const Node* node = wave_nodes[i].get();
+      WaveResult& wr = wave_results[i];
+      ++result.nodes_explored;
+      ++result.nodes_per_thread[static_cast<std::size_t>(wr.lane)];
+      ++result.lp_solves;
+      result.simplex_pivots += wr.lp.iterations;
+      if (wr.lp.warm_start_attempted)
+        ++result.basis_reuse_attempts;
+      if (wr.lp.warm_start_used)
+        ++result.basis_reuse_hits;
+      if (options_.trace_node_interval > 0 &&
+          result.nodes_explored % options_.trace_node_interval == 0)
+        emit_trace("node");
+      if (!wr.lp.IsOptimal())
+        continue;  // infeasible subtree (or stalled LP): prune
+      const double node_bound = sense * wr.lp.objective;
+      if (node_bound <= incumbent_max + 1e-9)
+        continue;  // cannot improve the incumbent
+
+      const int j = PickBranchVariable(model, wr.lp.x,
+                                       options_.integrality_tolerance);
+      if (j < 0) {
+        accept_incumbent(wr.lp.x);
+        continue;
+      }
+      if (node->depth == 0 || (node->depth % 8) == 0)
+        dive(materialize(node), wr.lp.x, wr.basis);
+
+      const double value = wr.lp.x[static_cast<std::size_t>(j)];
+      const double floor_value = std::floor(value);
+      const Variable& var = model.variables()[static_cast<std::size_t>(j)];
       double lo = var.lower;
       double hi = var.upper;
-      if (child[static_cast<std::size_t>(j)]) {
-        lo = child[static_cast<std::size_t>(j)]->first;
-        hi = child[static_cast<std::size_t>(j)]->second;
+      for (const Node* p = node; p != nullptr; p = p->parent.get()) {
+        if (p->var == j) {
+          lo = p->lo;
+          hi = p->hi;
+          break;  // nearest restriction is the tightest
+        }
       }
-      if (side == 0)
-        hi = std::min(hi, floor_value);  // x_j <= floor
-      else
-        lo = std::max(lo, floor_value + 1.0);  // x_j >= ceil
-      if (lo > hi + 1e-12)
-        continue;
-      child[static_cast<std::size_t>(j)] = {lo, hi};
-      open.push(std::make_shared<Node>(
-          Node{std::move(child), node_bound, node->depth + 1}));
+      std::shared_ptr<const Node> parent = wave_nodes[i];
+      for (int side = 0; side < 2; ++side) {
+        double child_lo = lo;
+        double child_hi = hi;
+        if (side == 0)
+          child_hi = std::min(child_hi, floor_value);  // x_j <= floor
+        else
+          child_lo = std::max(child_lo, floor_value + 1.0);  // x_j >= ceil
+        if (child_lo > child_hi + 1e-12)
+          continue;
+        open.push(std::make_shared<const Node>(
+            Node{parent, j, child_lo, child_hi, node_bound, node->depth + 1,
+                 next_seq++, wr.basis}));
+      }
     }
   }
 
@@ -298,6 +479,8 @@ BranchAndBoundSolver::Solve(const Model& model) const
     result.status =
         exhausted_budget ? MipStatus::kNoSolution : MipStatus::kInfeasible;
   }
+  if (pool != nullptr)
+    result.steal_count = pool->steal_count() - steals_before;
   emit_trace("final");
   return result;
 }

@@ -10,6 +10,14 @@
  * the paper's setup (Gurobi stopped after 5 minutes), solves honour a
  * wall-clock budget and report the best incumbent plus the optimality
  * gap.
+ *
+ * Node exploration is wave-synchronous: each iteration pops a fixed-size
+ * wave of best-bound nodes, solves their LP relaxations concurrently on
+ * a work-stealing pool (each warm-started from the parent basis), then
+ * merges results serially in wave order. Because the wave size is
+ * independent of the thread count and the merge is serial, a solve that
+ * finishes within its budgets produces a bit-identical incumbent,
+ * objective, and bound at 1 and N threads; only wall-clock time changes.
  */
 #ifndef FLEX_SOLVER_BRANCH_AND_BOUND_HPP_
 #define FLEX_SOLVER_BRANCH_AND_BOUND_HPP_
@@ -20,6 +28,10 @@
 #include "solver/model.hpp"
 #include "solver/simplex.hpp"
 #include "solver/solver_trace.hpp"
+
+namespace flex::common {
+class ThreadPool;
+}  // namespace flex::common
 
 namespace flex::solver {
 
@@ -41,6 +53,12 @@ struct MipResult {
   std::int64_t nodes_explored = 0;
   std::int64_t lp_solves = 0;      ///< LP relaxations solved (all callers)
   std::int64_t simplex_pivots = 0; ///< pivots summed over those solves
+  // Concurrency telemetry (PR 4).
+  int threads_used = 1;            ///< pool width the solve ran with
+  std::int64_t steal_count = 0;    ///< pool steals during this solve
+  std::vector<std::int64_t> nodes_per_thread;  ///< node LPs per pool lane
+  std::int64_t basis_reuse_attempts = 0;  ///< warm-basis installs tried
+  std::int64_t basis_reuse_hits = 0;      ///< ... that skipped Phase 1
 
   bool HasSolution() const {
     return status == MipStatus::kOptimal || status == MipStatus::kFeasible;
@@ -58,6 +76,26 @@ class BranchAndBoundSolver {
     double gap_tolerance = 1e-6;        ///< relative gap for kOptimal
     double integrality_tolerance = 1e-6;
     int dive_depth = 64;                ///< greedy dive length for incumbents
+    /**
+     * Solver thread count: 0 resolves via FLEX_SOLVER_THREADS (default:
+     * hardware concurrency), 1 forces a serial solve, >1 runs node
+     * waves on ThreadPool::Shared(). The search path and final answer
+     * are identical at every setting; only wall-clock time changes.
+     * Time-budget truncation is the one exception: a solve cut off
+     * mid-search may have explored a different prefix of the tree.
+     */
+    int threads = 0;
+    /**
+     * Nodes popped per wave. Deliberately independent of the thread
+     * count so determinism never depends on the pool width; larger
+     * waves expose more parallelism but prune slightly less eagerly.
+     */
+    int wave_size = 8;
+    /**
+     * Pool override for tests and embedders; when null and the resolved
+     * thread count exceeds 1, ThreadPool::Shared() is used. Not owned.
+     */
+    common::ThreadPool* pool = nullptr;
     /**
      * Optional feasible starting point (one value per variable). If it
      * checks out against the model it seeds the incumbent, so a solve

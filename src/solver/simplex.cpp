@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <unordered_map>
 
 #include "common/error.hpp"
 
@@ -13,52 +14,58 @@ namespace {
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
 /**
- * Internal standard-form problem: maximize c^T y, A y = b, 0 <= y, with
- * b >= 0 and an identity starting basis of slacks/artificials.
+ * Pivot driver over the flat tableau held in a SimplexWorkspace. The
+ * workspace must already contain an assembled tableau (see
+ * BuildTableau below); this class only pivots and prices.
  */
-struct Tableau {
-  int rows = 0;                    // constraint rows
-  int cols = 0;                    // structural + slack + artificial columns
-  std::vector<std::vector<double>> a;  // rows x (cols + 1); last col = rhs
-  std::vector<double> phase2_cost;     // c for phase 2, per column
-  std::vector<int> basis;              // basic column per row
-  std::vector<bool> artificial;        // per column
-};
-
 class TableauSolver {
  public:
-  TableauSolver(Tableau tab, double tol, int max_iters)
-      : t_(std::move(tab)), tol_(tol), max_iters_(max_iters)
+  TableauSolver(SimplexWorkspace& ws, int rows, int cols, double tol,
+                int max_iters)
+      : ws_(ws), rows_(rows), cols_(cols), stride_(cols + 1), tol_(tol),
+        max_iters_(max_iters)
   {
   }
 
-  LpStatus Run();
+  /** Cold solve: Phase 1 from the natural slack/artificial basis. */
+  LpStatus RunTwoPhase();
+
+  /** Warm solve: assumes the current basis is already primal feasible. */
+  LpStatus RunPhase2();
+
+  /**
+   * Prepares for basis-install pivots: a zero reduced row makes the
+   * Pivot() reduced-cost update a no-op, so installs do not need a
+   * priced-out objective.
+   */
+  void BeginInstall() { ws_.reduced.assign(static_cast<std::size_t>(stride_), 0.0); }
+
+  void Pivot(int row, int col);
 
   /** Pivot operations performed across both phases. */
   int pivots() const { return pivots_; }
 
-  /** Value of column @p j in the current basic solution. */
-  double
-  ColumnValue(int j) const
-  {
-    for (int i = 0; i < t_.rows; ++i) {
-      if (t_.basis[static_cast<std::size_t>(i)] == j)
-        return t_.a[static_cast<std::size_t>(i)][static_cast<std::size_t>(t_.cols)];
-    }
-    return 0.0;
-  }
+  double& At(int i, int j) { return ws_.tableau[Idx(i, j)]; }
+  double at(int i, int j) const { return ws_.tableau[Idx(i, j)]; }
 
  private:
+  std::size_t
+  Idx(int i, int j) const
+  {
+    return static_cast<std::size_t>(i) * static_cast<std::size_t>(stride_) +
+           static_cast<std::size_t>(j);
+  }
+
   /** Rebuilds the reduced-cost row for the given column costs. */
   void PriceOut(const std::vector<double>& cost);
 
   /** One simplex phase; @p allow_artificial permits artificials entering. */
   LpStatus Phase(bool allow_artificial);
 
-  void Pivot(int row, int col);
-
-  Tableau t_;
-  std::vector<double> reduced_;  // size cols + 1; last entry = objective
+  SimplexWorkspace& ws_;
+  int rows_;
+  int cols_;
+  int stride_;
   double tol_;
   int max_iters_;
   int pivots_ = 0;
@@ -67,52 +74,49 @@ class TableauSolver {
 void
 TableauSolver::PriceOut(const std::vector<double>& cost)
 {
-  reduced_.assign(static_cast<std::size_t>(t_.cols) + 1, 0.0);
+  ws_.reduced.assign(static_cast<std::size_t>(stride_), 0.0);
   // reduced[j] = z_j - c_j where z_j = c_B^T (B^-1 A_j); the tableau rows
   // already hold B^-1 A.
-  for (int j = 0; j <= t_.cols; ++j) {
-    double z = 0.0;
-    for (int i = 0; i < t_.rows; ++i) {
-      const double cb = cost[static_cast<std::size_t>(
-          t_.basis[static_cast<std::size_t>(i)])];
-      if (cb != 0.0)
-        z += cb * t_.a[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)];
-    }
-    reduced_[static_cast<std::size_t>(j)] = z;
+  for (int i = 0; i < rows_; ++i) {
+    const double cb =
+        cost[static_cast<std::size_t>(ws_.basis[static_cast<std::size_t>(i)])];
+    if (cb == 0.0)
+      continue;
+    const double* row = &ws_.tableau[Idx(i, 0)];
+    for (int j = 0; j <= cols_; ++j)
+      ws_.reduced[static_cast<std::size_t>(j)] += cb * row[j];
   }
-  for (int j = 0; j < t_.cols; ++j)
-    reduced_[static_cast<std::size_t>(j)] -= cost[static_cast<std::size_t>(j)];
+  for (int j = 0; j < cols_; ++j)
+    ws_.reduced[static_cast<std::size_t>(j)] -= cost[static_cast<std::size_t>(j)];
 }
 
 void
 TableauSolver::Pivot(int row, int col)
 {
   ++pivots_;
-  auto& pivot_row = t_.a[static_cast<std::size_t>(row)];
-  const double pivot = pivot_row[static_cast<std::size_t>(col)];
+  double* pivot_row = &ws_.tableau[Idx(row, 0)];
+  const double pivot = pivot_row[col];
   FLEX_CHECK_MSG(std::fabs(pivot) > 1e-12, "zero pivot element");
-  for (double& value : pivot_row)
-    value /= pivot;
-  for (int i = 0; i < t_.rows; ++i) {
+  for (int j = 0; j <= cols_; ++j)
+    pivot_row[j] /= pivot;
+  for (int i = 0; i < rows_; ++i) {
     if (i == row)
       continue;
-    auto& other = t_.a[static_cast<std::size_t>(i)];
-    const double factor = other[static_cast<std::size_t>(col)];
+    double* other = &ws_.tableau[Idx(i, 0)];
+    const double factor = other[col];
     if (factor == 0.0)
       continue;
-    for (int j = 0; j <= t_.cols; ++j)
-      other[static_cast<std::size_t>(j)] -=
-          factor * pivot_row[static_cast<std::size_t>(j)];
-    other[static_cast<std::size_t>(col)] = 0.0;
+    for (int j = 0; j <= cols_; ++j)
+      other[j] -= factor * pivot_row[j];
+    other[col] = 0.0;
   }
-  const double rfactor = reduced_[static_cast<std::size_t>(col)];
+  const double rfactor = ws_.reduced[static_cast<std::size_t>(col)];
   if (rfactor != 0.0) {
-    for (int j = 0; j <= t_.cols; ++j)
-      reduced_[static_cast<std::size_t>(j)] -=
-          rfactor * pivot_row[static_cast<std::size_t>(j)];
-    reduced_[static_cast<std::size_t>(col)] = 0.0;
+    for (int j = 0; j <= cols_; ++j)
+      ws_.reduced[static_cast<std::size_t>(j)] -= rfactor * pivot_row[j];
+    ws_.reduced[static_cast<std::size_t>(col)] = 0.0;
   }
-  t_.basis[static_cast<std::size_t>(row)] = col;
+  ws_.basis[static_cast<std::size_t>(row)] = col;
 }
 
 LpStatus
@@ -120,7 +124,7 @@ TableauSolver::Phase(bool allow_artificial)
 {
   int iterations = 0;
   int stalled = 0;
-  const int bland_threshold = 2 * (t_.rows + t_.cols);
+  const int bland_threshold = 2 * (rows_ + cols_);
   double last_objective = -kInf;
   while (true) {
     if (++iterations > max_iters_)
@@ -129,10 +133,10 @@ TableauSolver::Phase(bool allow_artificial)
     const bool use_bland = stalled > bland_threshold;
     int entering = -1;
     double best = -tol_;
-    for (int j = 0; j < t_.cols; ++j) {
-      if (!allow_artificial && t_.artificial[static_cast<std::size_t>(j)])
+    for (int j = 0; j < cols_; ++j) {
+      if (!allow_artificial && ws_.artificial[static_cast<std::size_t>(j)])
         continue;
-      const double rc = reduced_[static_cast<std::size_t>(j)];
+      const double rc = ws_.reduced[static_cast<std::size_t>(j)];
       if (rc < best - 1e-15) {
         if (use_bland) {
           // Bland: first improving index.
@@ -149,18 +153,15 @@ TableauSolver::Phase(bool allow_artificial)
     // Ratio test.
     int leaving = -1;
     double best_ratio = kInf;
-    for (int i = 0; i < t_.rows; ++i) {
-      const double aij =
-          t_.a[static_cast<std::size_t>(i)][static_cast<std::size_t>(entering)];
+    for (int i = 0; i < rows_; ++i) {
+      const double aij = at(i, entering);
       if (aij > tol_) {
-        const double ratio =
-            t_.a[static_cast<std::size_t>(i)][static_cast<std::size_t>(t_.cols)] /
-            aij;
+        const double ratio = at(i, cols_) / aij;
         if (ratio < best_ratio - 1e-12 ||
             (use_bland && std::fabs(ratio - best_ratio) <= 1e-12 &&
              leaving >= 0 &&
-             t_.basis[static_cast<std::size_t>(i)] <
-                 t_.basis[static_cast<std::size_t>(leaving)])) {
+             ws_.basis[static_cast<std::size_t>(i)] <
+                 ws_.basis[static_cast<std::size_t>(leaving)])) {
           best_ratio = ratio;
           leaving = i;
         }
@@ -171,7 +172,7 @@ TableauSolver::Phase(bool allow_artificial)
 
     Pivot(leaving, entering);
 
-    const double objective = reduced_[static_cast<std::size_t>(t_.cols)];
+    const double objective = ws_.reduced[static_cast<std::size_t>(cols_)];
     if (objective > last_objective + tol_) {
       stalled = 0;
       last_objective = objective;
@@ -182,39 +183,45 @@ TableauSolver::Phase(bool allow_artificial)
 }
 
 LpStatus
-TableauSolver::Run()
+TableauSolver::RunPhase2()
+{
+  PriceOut(ws_.phase2_cost);
+  return Phase(/*allow_artificial=*/false);
+}
+
+LpStatus
+TableauSolver::RunTwoPhase()
 {
   // Phase 1: maximize -(sum of artificials).
   bool has_artificial = false;
-  std::vector<double> phase1_cost(static_cast<std::size_t>(t_.cols), 0.0);
-  for (int j = 0; j < t_.cols; ++j) {
-    if (t_.artificial[static_cast<std::size_t>(j)]) {
-      phase1_cost[static_cast<std::size_t>(j)] = -1.0;
+  ws_.phase1_cost.assign(static_cast<std::size_t>(cols_), 0.0);
+  for (int j = 0; j < cols_; ++j) {
+    if (ws_.artificial[static_cast<std::size_t>(j)]) {
+      ws_.phase1_cost[static_cast<std::size_t>(j)] = -1.0;
       has_artificial = true;
     }
   }
 
   if (has_artificial) {
-    PriceOut(phase1_cost);
+    PriceOut(ws_.phase1_cost);
     const LpStatus status = Phase(/*allow_artificial=*/true);
     if (status != LpStatus::kOptimal)
       return status == LpStatus::kUnbounded ? LpStatus::kInfeasible : status;
     // The z-row rhs holds the phase-1 objective -(sum of artificials),
     // which is <= 0; a strictly negative optimum means infeasible.
-    const double phase1_objective = reduced_[static_cast<std::size_t>(t_.cols)];
+    const double phase1_objective = ws_.reduced[static_cast<std::size_t>(cols_)];
     if (phase1_objective < -1e-6)
       return LpStatus::kInfeasible;
     // Drive basic artificials out where possible; remaining ones sit at
     // zero and are forbidden from re-entering in phase 2.
-    for (int i = 0; i < t_.rows; ++i) {
-      const int b = t_.basis[static_cast<std::size_t>(i)];
-      if (!t_.artificial[static_cast<std::size_t>(b)])
+    for (int i = 0; i < rows_; ++i) {
+      const int b = ws_.basis[static_cast<std::size_t>(i)];
+      if (!ws_.artificial[static_cast<std::size_t>(b)])
         continue;
-      for (int j = 0; j < t_.cols; ++j) {
-        if (t_.artificial[static_cast<std::size_t>(j)])
+      for (int j = 0; j < cols_; ++j) {
+        if (ws_.artificial[static_cast<std::size_t>(j)])
           continue;
-        if (std::fabs(t_.a[static_cast<std::size_t>(i)]
-                          [static_cast<std::size_t>(j)]) > tol_) {
+        if (std::fabs(at(i, j)) > tol_) {
           Pivot(i, j);
           break;
         }
@@ -222,8 +229,20 @@ TableauSolver::Run()
     }
   }
 
-  PriceOut(t_.phase2_cost);
-  return Phase(/*allow_artificial=*/false);
+  return RunPhase2();
+}
+
+/** Value of column @p j in the current basic solution. */
+double
+ColumnValue(const SimplexWorkspace& ws, int rows, int cols, int j)
+{
+  const std::size_t stride = static_cast<std::size_t>(cols) + 1;
+  for (int i = 0; i < rows; ++i) {
+    if (ws.basis[static_cast<std::size_t>(i)] == j)
+      return ws.tableau[static_cast<std::size_t>(i) * stride +
+                        static_cast<std::size_t>(cols)];
+  }
+  return 0.0;
 }
 
 }  // namespace
@@ -238,13 +257,28 @@ LpResult
 SimplexSolver::SolveWithBounds(const Model& model,
                                const BoundOverrides& overrides) const
 {
+  return SolveWithBounds(model, overrides, nullptr, nullptr, nullptr);
+}
+
+LpResult
+SimplexSolver::SolveWithBounds(const Model& model,
+                               const BoundOverrides& overrides,
+                               SimplexWorkspace* workspace,
+                               const SimplexBasis* warm_basis,
+                               SimplexBasis* basis_out) const
+{
+  SimplexWorkspace local;
+  SimplexWorkspace& ws = workspace != nullptr ? *workspace : local;
+  if (basis_out != nullptr)
+    basis_out->clear();
+
   const int n = model.NumVariables();
   FLEX_REQUIRE(overrides.empty() || static_cast<int>(overrides.size()) == n,
                "bound overrides must be empty or cover every variable");
 
   // Effective bounds.
-  std::vector<double> lower(static_cast<std::size_t>(n));
-  std::vector<double> upper(static_cast<std::size_t>(n));
+  ws.lower.assign(static_cast<std::size_t>(n), 0.0);
+  ws.upper.assign(static_cast<std::size_t>(n), 0.0);
   for (int j = 0; j < n; ++j) {
     const Variable& v = model.variables()[static_cast<std::size_t>(j)];
     double lo = v.lower;
@@ -260,43 +294,49 @@ SimplexSolver::SolveWithBounds(const Model& model,
     }
     FLEX_REQUIRE(std::isfinite(lo),
                  "simplex requires finite lower bounds on all variables");
-    lower[static_cast<std::size_t>(j)] = lo;
-    upper[static_cast<std::size_t>(j)] = hi;
+    ws.lower[static_cast<std::size_t>(j)] = lo;
+    ws.upper[static_cast<std::size_t>(j)] = hi;
   }
 
   // Shift y_j = x_j - lower_j. Fixed variables (lo == hi) become constants
   // and drop out of the LP entirely.
-  std::vector<int> column_of(static_cast<std::size_t>(n), -1);
+  ws.column_of.assign(static_cast<std::size_t>(n), -1);
   int n_struct = 0;
   for (int j = 0; j < n; ++j) {
-    if (upper[static_cast<std::size_t>(j)] -
-            lower[static_cast<std::size_t>(j)] > 1e-12)
-      column_of[static_cast<std::size_t>(j)] = n_struct++;
+    if (ws.upper[static_cast<std::size_t>(j)] -
+            ws.lower[static_cast<std::size_t>(j)] > 1e-12)
+      ws.column_of[static_cast<std::size_t>(j)] = n_struct++;
   }
 
   const double sign = model.sense() == Sense::kMaximize ? 1.0 : -1.0;
 
   // Rows: model constraints with constants substituted, plus finite upper
-  // bounds on the shifted variables.
-  struct Row {
-    std::vector<double> coef;  // dense over structural columns
-    Relation relation;
-    double rhs;
+  // bounds on the shifted variables. Rows are identified for basis
+  // snapshots by row_id: constraint index, or ~var for a bound row.
+  ws.row_coef.clear();
+  ws.row_rel.clear();
+  ws.row_rhs.clear();
+  ws.row_id.clear();
+  auto append_row = [&](Relation relation, double rhs, int id) {
+    ws.row_coef.resize(ws.row_coef.size() + static_cast<std::size_t>(n_struct),
+                       0.0);
+    ws.row_rel.push_back(static_cast<int>(relation));
+    ws.row_rhs.push_back(rhs);
+    ws.row_id.push_back(id);
+    return &ws.row_coef[ws.row_coef.size() -
+                        static_cast<std::size_t>(n_struct)];
   };
-  std::vector<Row> rows;
-  rows.reserve(model.constraints().size() + static_cast<std::size_t>(n));
-  for (const Constraint& c : model.constraints()) {
-    Row row;
-    row.coef.assign(static_cast<std::size_t>(n_struct), 0.0);
-    row.relation = c.relation;
-    row.rhs = c.rhs;
+  for (std::size_t ci = 0; ci < model.constraints().size(); ++ci) {
+    const Constraint& c = model.constraints()[ci];
+    double rhs = c.rhs;
+    for (const auto& [var, coef] : c.terms)
+      rhs -= coef * ws.lower[static_cast<std::size_t>(var)];
+    double* coef_row = append_row(c.relation, rhs, static_cast<int>(ci));
     for (const auto& [var, coef] : c.terms) {
-      row.rhs -= coef * lower[static_cast<std::size_t>(var)];
-      const int col = column_of[static_cast<std::size_t>(var)];
+      const int col = ws.column_of[static_cast<std::size_t>(var)];
       if (col >= 0)
-        row.coef[static_cast<std::size_t>(col)] += coef;
+        coef_row[col] += coef;
     }
-    rows.push_back(std::move(row));
   }
   // Upper bounds become explicit rows, except where a model constraint
   // already implies them: if some all-non-negative <= row contains the
@@ -305,149 +345,261 @@ SimplexSolver::SolveWithBounds(const Model& model,
   // redundant. This prunes the x <= 1 rows of binary placement
   // indicators (they are implied by the "place once" constraints),
   // which shrinks the tableau dramatically.
-  const std::size_t model_rows = rows.size();
-  std::vector<bool> row_usable(model_rows, false);
+  const std::size_t model_rows = ws.row_rhs.size();
+  ws.row_usable.assign(model_rows, 0);
   for (std::size_t r = 0; r < model_rows; ++r) {
-    const Row& row = rows[r];
-    if (row.relation != Relation::kLessEqual || row.rhs < 0.0)
+    if (ws.row_rel[r] != static_cast<int>(Relation::kLessEqual) ||
+        ws.row_rhs[r] < 0.0)
       continue;
+    const double* coef_row = &ws.row_coef[r * static_cast<std::size_t>(n_struct)];
     bool all_non_negative = true;
-    for (const double c : row.coef) {
-      if (c < 0.0) {
+    for (int j = 0; j < n_struct; ++j) {
+      if (coef_row[j] < 0.0) {
         all_non_negative = false;
         break;
       }
     }
-    row_usable[r] = all_non_negative;
+    ws.row_usable[r] = all_non_negative ? 1 : 0;
   }
   for (int j = 0; j < n; ++j) {
-    const int col = column_of[static_cast<std::size_t>(j)];
-    if (col < 0 || !std::isfinite(upper[static_cast<std::size_t>(j)]))
+    const int col = ws.column_of[static_cast<std::size_t>(j)];
+    if (col < 0 || !std::isfinite(ws.upper[static_cast<std::size_t>(j)]))
       continue;
-    const double bound = upper[static_cast<std::size_t>(j)] -
-                         lower[static_cast<std::size_t>(j)];
+    const double bound = ws.upper[static_cast<std::size_t>(j)] -
+                         ws.lower[static_cast<std::size_t>(j)];
     bool implied = false;
     for (std::size_t r = 0; r < model_rows && !implied; ++r) {
-      if (!row_usable[r])
+      if (!ws.row_usable[r])
         continue;
-      const double a = rows[r].coef[static_cast<std::size_t>(col)];
-      implied = a > 0.0 && rows[r].rhs / a <= bound + 1e-12;
+      const double a =
+          ws.row_coef[r * static_cast<std::size_t>(n_struct) +
+                      static_cast<std::size_t>(col)];
+      implied = a > 0.0 && ws.row_rhs[r] / a <= bound + 1e-12;
     }
     if (implied)
       continue;
-    Row row;
-    row.coef.assign(static_cast<std::size_t>(n_struct), 0.0);
-    row.coef[static_cast<std::size_t>(col)] = 1.0;
-    row.relation = Relation::kLessEqual;
-    row.rhs = bound;
-    rows.push_back(std::move(row));
+    double* coef_row = append_row(Relation::kLessEqual, bound, ~j);
+    coef_row[col] = 1.0;
   }
 
-  // Objective constant from fixed variables and bound shifts.
-  double objective_shift = 0.0;
-  for (int j = 0; j < n; ++j) {
-    objective_shift += model.variables()[static_cast<std::size_t>(j)].objective *
-                       lower[static_cast<std::size_t>(j)];
-  }
-
-  // Assemble the tableau: structural | slack/surplus | artificial.
-  const int m = static_cast<int>(rows.size());
+  // Normalize to rhs >= 0 and count slack/artificial columns.
+  const int m = static_cast<int>(ws.row_rhs.size());
   int n_slack = 0;
   int n_artificial = 0;
-  for (Row& row : rows) {
-    if (row.rhs < 0.0) {
-      // Normalize to rhs >= 0.
-      for (double& c : row.coef)
-        c = -c;
-      row.rhs = -row.rhs;
-      if (row.relation == Relation::kLessEqual)
-        row.relation = Relation::kGreaterEqual;
-      else if (row.relation == Relation::kGreaterEqual)
-        row.relation = Relation::kLessEqual;
-    }
-    switch (row.relation) {
-      case Relation::kLessEqual:
-        ++n_slack;
-        break;
-      case Relation::kGreaterEqual:
-        ++n_slack;
-        ++n_artificial;
-        break;
-      case Relation::kEqual:
-        ++n_artificial;
-        break;
-    }
-  }
-
-  Tableau tab;
-  tab.rows = m;
-  tab.cols = n_struct + n_slack + n_artificial;
-  tab.a.assign(static_cast<std::size_t>(m),
-               std::vector<double>(static_cast<std::size_t>(tab.cols) + 1, 0.0));
-  tab.phase2_cost.assign(static_cast<std::size_t>(tab.cols), 0.0);
-  tab.basis.assign(static_cast<std::size_t>(m), -1);
-  tab.artificial.assign(static_cast<std::size_t>(tab.cols), false);
-
-  for (int j = 0; j < n; ++j) {
-    const int col = column_of[static_cast<std::size_t>(j)];
-    if (col >= 0) {
-      tab.phase2_cost[static_cast<std::size_t>(col)] =
-          sign * model.variables()[static_cast<std::size_t>(j)].objective;
-    }
-  }
-
-  int next_slack = n_struct;
-  int next_artificial = n_struct + n_slack;
   for (int i = 0; i < m; ++i) {
-    const Row& row = rows[static_cast<std::size_t>(i)];
-    auto& tab_row = tab.a[static_cast<std::size_t>(i)];
-    for (int j = 0; j < n_struct; ++j)
-      tab_row[static_cast<std::size_t>(j)] = row.coef[static_cast<std::size_t>(j)];
-    tab_row[static_cast<std::size_t>(tab.cols)] = row.rhs;
-    switch (row.relation) {
+    const std::size_t r = static_cast<std::size_t>(i);
+    if (ws.row_rhs[r] < 0.0) {
+      double* coef_row = &ws.row_coef[r * static_cast<std::size_t>(n_struct)];
+      for (int j = 0; j < n_struct; ++j)
+        coef_row[j] = -coef_row[j];
+      ws.row_rhs[r] = -ws.row_rhs[r];
+      if (ws.row_rel[r] == static_cast<int>(Relation::kLessEqual))
+        ws.row_rel[r] = static_cast<int>(Relation::kGreaterEqual);
+      else if (ws.row_rel[r] == static_cast<int>(Relation::kGreaterEqual))
+        ws.row_rel[r] = static_cast<int>(Relation::kLessEqual);
+    }
+    switch (static_cast<Relation>(ws.row_rel[r])) {
       case Relation::kLessEqual:
-        tab_row[static_cast<std::size_t>(next_slack)] = 1.0;
-        tab.basis[static_cast<std::size_t>(i)] = next_slack;
-        ++next_slack;
+        ++n_slack;
         break;
       case Relation::kGreaterEqual:
-        tab_row[static_cast<std::size_t>(next_slack)] = -1.0;
-        ++next_slack;
-        tab_row[static_cast<std::size_t>(next_artificial)] = 1.0;
-        tab.artificial[static_cast<std::size_t>(next_artificial)] = true;
-        tab.basis[static_cast<std::size_t>(i)] = next_artificial;
-        ++next_artificial;
+        ++n_slack;
+        ++n_artificial;
         break;
       case Relation::kEqual:
-        tab_row[static_cast<std::size_t>(next_artificial)] = 1.0;
-        tab.artificial[static_cast<std::size_t>(next_artificial)] = true;
-        tab.basis[static_cast<std::size_t>(i)] = next_artificial;
-        ++next_artificial;
+        ++n_artificial;
         break;
     }
   }
+
+  const int cols = n_struct + n_slack + n_artificial;
+  const std::size_t stride = static_cast<std::size_t>(cols) + 1;
+
+  auto build_tableau = [&]() {
+    ws.tableau.assign(static_cast<std::size_t>(m) * stride, 0.0);
+    ws.phase2_cost.assign(static_cast<std::size_t>(cols), 0.0);
+    ws.basis.assign(static_cast<std::size_t>(m), -1);
+    ws.artificial.assign(static_cast<std::size_t>(cols), 0);
+    ws.col_kind.assign(static_cast<std::size_t>(cols),
+                       static_cast<int>(SimplexBasis::Kind::kStructural));
+    ws.col_id.assign(static_cast<std::size_t>(cols), -1);
+    ws.row_slack_col.assign(static_cast<std::size_t>(m), -1);
+    ws.row_art_col.assign(static_cast<std::size_t>(m), -1);
+
+    for (int j = 0; j < n; ++j) {
+      const int col = ws.column_of[static_cast<std::size_t>(j)];
+      if (col >= 0) {
+        ws.phase2_cost[static_cast<std::size_t>(col)] =
+            sign * model.variables()[static_cast<std::size_t>(j)].objective;
+        ws.col_id[static_cast<std::size_t>(col)] = j;
+      }
+    }
+
+    int next_slack = n_struct;
+    int next_artificial = n_struct + n_slack;
+    for (int i = 0; i < m; ++i) {
+      const std::size_t r = static_cast<std::size_t>(i);
+      double* tab_row = &ws.tableau[r * stride];
+      const double* coef_row =
+          &ws.row_coef[r * static_cast<std::size_t>(n_struct)];
+      for (int j = 0; j < n_struct; ++j)
+        tab_row[j] = coef_row[j];
+      tab_row[cols] = ws.row_rhs[r];
+      const auto add_slack = [&](double coef) {
+        tab_row[next_slack] = coef;
+        ws.col_kind[static_cast<std::size_t>(next_slack)] =
+            static_cast<int>(SimplexBasis::Kind::kSlack);
+        ws.col_id[static_cast<std::size_t>(next_slack)] = ws.row_id[r];
+        ws.row_slack_col[r] = next_slack;
+        return next_slack++;
+      };
+      const auto add_artificial = [&]() {
+        tab_row[next_artificial] = 1.0;
+        ws.artificial[static_cast<std::size_t>(next_artificial)] = 1;
+        ws.col_kind[static_cast<std::size_t>(next_artificial)] =
+            static_cast<int>(SimplexBasis::Kind::kArtificial);
+        ws.col_id[static_cast<std::size_t>(next_artificial)] = ws.row_id[r];
+        ws.row_art_col[r] = next_artificial;
+        return next_artificial++;
+      };
+      switch (static_cast<Relation>(ws.row_rel[r])) {
+        case Relation::kLessEqual:
+          ws.basis[r] = add_slack(1.0);
+          break;
+        case Relation::kGreaterEqual:
+          add_slack(-1.0);
+          ws.basis[r] = add_artificial();
+          break;
+        case Relation::kEqual:
+          ws.basis[r] = add_artificial();
+          break;
+      }
+    }
+  };
 
   const int max_iters = options_.max_iterations > 0
                             ? options_.max_iterations
-                            : 50 * (tab.rows + tab.cols) + 1000;
-  TableauSolver solver(std::move(tab), options_.tolerance, max_iters);
-  const LpStatus status = solver.Run();
+                            : 50 * (m + cols) + 1000;
 
   LpResult result;
+  LpStatus status = LpStatus::kIterationLimit;
+  int pivots_total = 0;
+  bool solved = false;
+
+  // Warm path: install the parent basis onto a fresh tableau and skip
+  // Phase 1 when it is still primal feasible under the new bounds.
+  if (warm_basis != nullptr && !warm_basis->empty() && m > 0) {
+    result.warm_start_attempted = true;
+    build_tableau();
+    TableauSolver warm(ws, m, cols, options_.tolerance, max_iters);
+    warm.BeginInstall();
+
+    std::unordered_map<int, int> row_of;
+    row_of.reserve(static_cast<std::size_t>(m));
+    for (int i = 0; i < m; ++i)
+      row_of.emplace(ws.row_id[static_cast<std::size_t>(i)], i);
+
+    for (const SimplexBasis::RowEntry& entry : warm_basis->rows) {
+      const auto row_it = row_of.find(entry.row_id);
+      if (row_it == row_of.end())
+        continue;  // row pruned in this child (e.g. implied bound)
+      const int i = row_it->second;
+      int j = -1;
+      switch (entry.kind) {
+        case SimplexBasis::Kind::kStructural:
+          if (entry.col_id >= 0 && entry.col_id < n)
+            j = ws.column_of[static_cast<std::size_t>(entry.col_id)];
+          break;
+        case SimplexBasis::Kind::kSlack:
+        case SimplexBasis::Kind::kArtificial: {
+          const auto owner_it = row_of.find(entry.col_id);
+          if (owner_it != row_of.end()) {
+            const std::size_t owner = static_cast<std::size_t>(owner_it->second);
+            j = entry.kind == SimplexBasis::Kind::kSlack
+                    ? ws.row_slack_col[owner]
+                    : ws.row_art_col[owner];
+          }
+          break;
+        }
+        case SimplexBasis::Kind::kNone:
+          break;
+      }
+      if (j < 0 || ws.basis[static_cast<std::size_t>(i)] == j)
+        continue;  // column gone (fixed variable) or already in place
+      bool basic_elsewhere = false;
+      for (int r = 0; r < m && !basic_elsewhere; ++r)
+        basic_elsewhere = ws.basis[static_cast<std::size_t>(r)] == j;
+      if (basic_elsewhere)
+        continue;
+      if (std::fabs(warm.at(i, j)) <= 1e-7)
+        continue;  // numerically unusable pivot; keep the natural column
+      warm.Pivot(i, j);
+    }
+
+    // Feasibility gate: every rhs non-negative and every still-basic
+    // artificial sitting at (numerical) zero; otherwise the basis does
+    // not certify feasibility and Phase 1 cannot be skipped.
+    bool feasible = true;
+    for (int i = 0; i < m && feasible; ++i) {
+      const double rhs = warm.at(i, cols);
+      if (rhs < -1e-7)
+        feasible = false;
+      else if (ws.artificial[static_cast<std::size_t>(
+                   ws.basis[static_cast<std::size_t>(i)])] &&
+               rhs > 1e-6)
+        feasible = false;
+    }
+    if (feasible) {
+      for (int i = 0; i < m; ++i) {
+        if (warm.at(i, cols) < 0.0)
+          warm.At(i, cols) = 0.0;  // clamp the tolerated tiny negatives
+      }
+      status = warm.RunPhase2();
+      pivots_total += warm.pivots();
+      if (status == LpStatus::kOptimal) {
+        solved = true;
+        result.warm_start_used = true;
+      }
+      // Any other outcome falls back to the cold path below: a warm
+      // basis must never change the answer, only the route to it.
+    } else {
+      pivots_total += warm.pivots();
+    }
+  }
+
+  if (!solved) {
+    build_tableau();
+    TableauSolver cold(ws, m, cols, options_.tolerance, max_iters);
+    status = cold.RunTwoPhase();
+    pivots_total += cold.pivots();
+  }
+
   result.status = status;
-  result.iterations = solver.pivots();
+  result.iterations = pivots_total;
   if (status != LpStatus::kOptimal)
     return result;
 
   result.x.assign(static_cast<std::size_t>(n), 0.0);
   for (int j = 0; j < n; ++j) {
-    const int col = column_of[static_cast<std::size_t>(j)];
-    const double shifted = col >= 0 ? solver.ColumnValue(col) : 0.0;
+    const int col = ws.column_of[static_cast<std::size_t>(j)];
+    const double shifted = col >= 0 ? ColumnValue(ws, m, cols, col) : 0.0;
     result.x[static_cast<std::size_t>(j)] =
-        lower[static_cast<std::size_t>(j)] + shifted;
+        ws.lower[static_cast<std::size_t>(j)] + shifted;
   }
   result.objective = model.ObjectiveValue(result.x);
-  (void)objective_shift;  // folded into ObjectiveValue via result.x
+
+  if (basis_out != nullptr) {
+    basis_out->rows.reserve(static_cast<std::size_t>(m));
+    for (int i = 0; i < m; ++i) {
+      const int b = ws.basis[static_cast<std::size_t>(i)];
+      SimplexBasis::RowEntry entry;
+      entry.row_id = ws.row_id[static_cast<std::size_t>(i)];
+      entry.kind =
+          static_cast<SimplexBasis::Kind>(ws.col_kind[static_cast<std::size_t>(b)]);
+      entry.col_id = ws.col_id[static_cast<std::size_t>(b)];
+      basis_out->rows.push_back(entry);
+    }
+  }
   return result;
 }
 

@@ -9,6 +9,16 @@
  * fallback for anti-cycling; the placement LPs it targets are small
  * (hundreds of columns), so a dense tableau is both simple and fast
  * enough.
+ *
+ * Two features exist for the branch-and-bound caller:
+ *  - SimplexWorkspace: all tableau storage lives in caller-owned scratch
+ *    buffers reused across solves, so a million node re-solves allocate
+ *    the same few arrays instead of a fresh vector-of-vectors each.
+ *  - SimplexBasis: a structural snapshot of the optimal basis. A child
+ *    node whose bounds differ from its parent by one variable can
+ *    install the parent basis and skip Phase 1 entirely when that basis
+ *    is still primal feasible; when it is not, the solve silently falls
+ *    back to the cold two-phase path.
  */
 #ifndef FLEX_SOLVER_SIMPLEX_HPP_
 #define FLEX_SOLVER_SIMPLEX_HPP_
@@ -30,6 +40,8 @@ struct LpResult {
   double objective = 0.0;               ///< in the model's original sense
   std::vector<double> x;                ///< one entry per model variable
   int iterations = 0;                   ///< simplex pivots performed
+  bool warm_start_attempted = false;    ///< a basis install was tried
+  bool warm_start_used = false;         ///< ... and Phase 1 was skipped
 
   bool IsOptimal() const { return status == LpStatus::kOptimal; }
 };
@@ -38,9 +50,63 @@ struct LpResult {
 using BoundOverrides = std::vector<std::optional<std::pair<double, double>>>;
 
 /**
+ * Structural snapshot of a simplex basis, stable across the column /
+ * row renumbering that bound changes cause. Rows are identified by the
+ * model constraint index (>= 0) or, for the explicit upper-bound row of
+ * variable j, by ~j (< 0). Basic columns are identified as a structural
+ * variable, or the slack/artificial belonging to one of those rows.
+ * Entries that no longer exist in the child (fixed variable, pruned
+ * bound row) are simply skipped on install.
+ */
+struct SimplexBasis {
+  enum class Kind { kNone, kStructural, kSlack, kArtificial };
+  struct RowEntry {
+    int row_id = -1;            ///< constraint index, or ~var for bound rows
+    Kind kind = Kind::kNone;    ///< what is basic in this row
+    int col_id = -1;            ///< var index, or the owning row's row_id
+  };
+  std::vector<RowEntry> rows;
+
+  bool empty() const { return rows.empty(); }
+  void clear() { rows.clear(); }
+};
+
+/**
+ * Caller-owned scratch buffers for SimplexSolver. Reusing one workspace
+ * across solves bounds allocation: every buffer is assign()ed in place,
+ * so steady-state re-solves perform no heap allocation at all. Contents
+ * between calls are meaningless. Not thread-safe; use one workspace per
+ * thread.
+ */
+struct SimplexWorkspace {
+  // Tableau (flat, row-major, stride = cols + 1; last column = rhs).
+  std::vector<double> tableau;
+  std::vector<double> phase2_cost;
+  std::vector<double> phase1_cost;
+  std::vector<double> reduced;
+  std::vector<int> basis;
+  std::vector<char> artificial;
+  std::vector<int> col_kind;       // SimplexBasis::Kind per column
+  std::vector<int> col_id;         // structural var / owning row per column
+  // Presolve products.
+  std::vector<double> lower;
+  std::vector<double> upper;
+  std::vector<int> column_of;
+  // Row assembly (flat coefficient matrix over structural columns).
+  std::vector<double> row_coef;
+  std::vector<int> row_rel;
+  std::vector<double> row_rhs;
+  std::vector<int> row_id;
+  std::vector<int> row_slack_col;
+  std::vector<int> row_art_col;
+  std::vector<char> row_usable;
+};
+
+/**
  * Dense two-phase simplex.
  *
- * Stateless between solves; safe to reuse for many LPs.
+ * Stateless between solves; safe to reuse for many LPs, and safe to
+ * share across threads as long as each thread passes its own workspace.
  */
 class SimplexSolver {
  public:
@@ -61,6 +127,20 @@ class SimplexSolver {
    */
   LpResult SolveWithBounds(const Model& model,
                            const BoundOverrides& overrides) const;
+
+  /**
+   * Full-control overload. @p workspace supplies reusable scratch
+   * storage (nullptr = a throwaway local). @p warm_basis, when non-null
+   * and non-empty, is installed before Phase 2; if it is not primal
+   * feasible under the new bounds the solve transparently reruns the
+   * cold two-phase path (LpResult::warm_start_used reports which path
+   * produced the answer). @p basis_out, when non-null, receives the
+   * optimal basis snapshot on kOptimal (cleared otherwise).
+   */
+  LpResult SolveWithBounds(const Model& model, const BoundOverrides& overrides,
+                           SimplexWorkspace* workspace,
+                           const SimplexBasis* warm_basis,
+                           SimplexBasis* basis_out) const;
 
  private:
   Options options_;

@@ -7,19 +7,22 @@ namespace flex::solver {
 std::string
 SolverTrace::ToCsv() const
 {
-  std::string out = "label,elapsed_s,nodes,lp_solves,pivots,bound,incumbent,gap\n";
-  char buffer[256];
+  std::string out =
+      "label,elapsed_s,nodes,lp_solves,pivots,bound,incumbent,gap,"
+      "basis_attempts,basis_hits\n";
+  char buffer[320];
   for (const SolverTracePoint& point : points_) {
     char incumbent[40] = "";
     if (point.has_incumbent)
       std::snprintf(incumbent, sizeof(incumbent), "%.9g", point.incumbent);
     std::snprintf(buffer, sizeof(buffer),
-                  "%s,%.6f,%lld,%lld,%lld,%.9g,%s,%.9g\n",
+                  "%s,%.6f,%lld,%lld,%lld,%.9g,%s,%.9g,%lld,%lld\n",
                   point.label.c_str(), point.elapsed_s,
                   static_cast<long long>(point.nodes),
                   static_cast<long long>(point.lp_solves),
                   static_cast<long long>(point.pivots), point.bound, incumbent,
-                  point.gap);
+                  point.gap, static_cast<long long>(point.basis_attempts),
+                  static_cast<long long>(point.basis_hits));
     out += buffer;
   }
   return out;

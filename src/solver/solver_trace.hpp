@@ -41,6 +41,9 @@ struct SolverTracePoint {
   bool has_incumbent = false;
   /** Relative bound/incumbent gap; 0 when no incumbent yet. */
   double gap = 0.0;
+  /** Warm-basis installs attempted / accepted so far (PR 4 telemetry). */
+  std::int64_t basis_attempts = 0;
+  std::int64_t basis_hits = 0;
 };
 
 /**
@@ -59,7 +62,7 @@ class SolverTrace {
 
   /**
    * CSV with header
-   * `label,elapsed_s,nodes,lp_solves,pivots,bound,incumbent,gap`;
+   * `label,elapsed_s,nodes,lp_solves,pivots,bound,incumbent,gap,basis_attempts,basis_hits`;
    * the incumbent column is empty until the first incumbent exists.
    */
   std::string ToCsv() const;

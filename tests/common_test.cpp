@@ -1,9 +1,14 @@
 /**
  * @file
- * Unit tests for common utilities: units, RNG, piecewise functions, stats.
+ * Unit tests for common utilities: units, RNG, piecewise functions,
+ * stats, and the work-stealing thread pool.
  */
+#include <atomic>
 #include <cmath>
+#include <cstdlib>
+#include <functional>
 #include <set>
+#include <stdexcept>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -12,10 +17,13 @@
 #include "common/piecewise.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
+#include "common/thread_pool.hpp"
 #include "common/units.hpp"
 
 namespace flex {
 namespace {
+
+using common::ThreadPool;
 
 TEST(UnitsTest, WattsArithmetic)
 {
@@ -252,6 +260,100 @@ TEST(StatsTest, BoxStatsFiveNumberSummary)
   EXPECT_DOUBLE_EQ(box.p25, 3.0);
   EXPECT_DOUBLE_EQ(box.p75, 7.0);
   EXPECT_FALSE(box.ToString().empty());
+}
+
+TEST(ThreadPoolTest, RunsEveryTaskExactlyOnce)
+{
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4);
+  std::atomic<int> sum{0};
+  std::vector<std::function<void()>> tasks;
+  for (int i = 1; i <= 100; ++i)
+    tasks.push_back([&sum, i] { sum.fetch_add(i); });
+  pool.Run(std::move(tasks));
+  EXPECT_EQ(sum.load(), 5050);
+}
+
+TEST(ThreadPoolTest, SizeOnePoolRunsInline)
+{
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.size(), 1);
+  int calls = 0;
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 8; ++i)
+    tasks.push_back([&calls] { ++calls; });
+  pool.Run(std::move(tasks));
+  EXPECT_EQ(calls, 8);
+}
+
+TEST(ThreadPoolTest, RethrowsFirstTaskException)
+{
+  ThreadPool pool(2);
+  std::vector<std::function<void()>> tasks;
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 16; ++i) {
+    tasks.push_back([&ran, i] {
+      ran.fetch_add(1);
+      if (i == 5)
+        throw std::runtime_error("task failed");
+    });
+  }
+  EXPECT_THROW(pool.Run(std::move(tasks)), std::runtime_error);
+  // All tasks still ran to completion before the rethrow.
+  EXPECT_EQ(ran.load(), 16);
+}
+
+TEST(ThreadPoolTest, NestedRunDoesNotDeadlock)
+{
+  // Every outer task fans out again on the same pool: with a naive
+  // blocking wait this deadlocks once the pool is full of waiters.
+  ThreadPool pool(2);
+  std::atomic<int> inner{0};
+  std::vector<std::function<void()>> outer;
+  for (int i = 0; i < 4; ++i) {
+    outer.push_back([&pool, &inner] {
+      std::vector<std::function<void()>> tasks;
+      for (int j = 0; j < 4; ++j)
+        tasks.push_back([&inner] { inner.fetch_add(1); });
+      pool.Run(std::move(tasks));
+    });
+  }
+  pool.Run(std::move(outer));
+  EXPECT_EQ(inner.load(), 16);
+}
+
+TEST(ThreadPoolTest, ConfiguredThreadsHonoursEnvironment)
+{
+  ::setenv("FLEX_SOLVER_THREADS", "3", 1);
+  EXPECT_EQ(ThreadPool::ConfiguredThreads(), 3);
+  ::setenv("FLEX_SOLVER_THREADS", "0", 1);
+  EXPECT_GE(ThreadPool::ConfiguredThreads(), 1);  // invalid: falls back
+  ::unsetenv("FLEX_SOLVER_THREADS");
+  EXPECT_GE(ThreadPool::ConfiguredThreads(), 1);
+}
+
+TEST(ThreadPoolTest, WorkerIndexIsStablePerLane)
+{
+  ThreadPool pool(3);
+  // External threads (including this one) report -1.
+  EXPECT_EQ(ThreadPool::WorkerIndex(), -1);
+  std::mutex mu;
+  std::set<int> seen;
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 64; ++i) {
+    tasks.push_back([&mu, &seen] {
+      const int index = ThreadPool::WorkerIndex();
+      std::lock_guard<std::mutex> lock(mu);
+      seen.insert(index);
+    });
+  }
+  pool.Run(std::move(tasks));
+  // Tasks ran on the caller (-1) and/or workers (1..size-1); never on an
+  // out-of-range lane.
+  for (const int index : seen) {
+    EXPECT_TRUE(index == -1 || (index >= 1 && index < pool.size()))
+        << "unexpected lane " << index;
+  }
 }
 
 TEST(ErrorTest, CheckMacrosThrowTheRightTypes)

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "common/error.hpp"
+#include "common/thread_pool.hpp"
 #include "obs/observability.hpp"
 #include "offline/flex_offline.hpp"
 #include "offline/metrics.hpp"
@@ -388,6 +389,72 @@ TEST_F(PolicyTest, PoliciesRejectWhatCannotFit)
   const Placement placement = policy.Place(room_, MakeTrace());
   EXPECT_LT(placement.NumPlaced(),
             static_cast<int>(placement.deployments.size()));
+}
+
+TEST_F(PolicyTest, FlexOfflinePlacementIsIdenticalAcrossThreadCounts)
+{
+  // Same trace solved with the MILP waves on 1, 2, and 8 lanes must
+  // produce bit-identical assignments (the wave-synchronous search and
+  // the fixed incumbent tie-break guarantee it). Node budget instead of
+  // a wall-clock budget so truncation is deterministic too.
+  const auto trace = MakeTrace();
+
+  auto place_with = [&](common::ThreadPool* pool) {
+    FlexOfflineConfig config;
+    config.solver.time_budget_seconds = 30.0;
+    config.solver.max_nodes = 400;
+    config.solver.pool = pool;
+    config.solver.threads = pool == nullptr ? 1 : 0;
+    FlexOfflinePolicy policy(config);
+    return policy.Place(room_, trace);
+  };
+
+  const Placement serial = place_with(nullptr);
+  EXPECT_GT(serial.NumPlaced(), 0);
+  for (const int threads : {2, 8}) {
+    common::ThreadPool pool(threads);
+    const Placement parallel = place_with(&pool);
+    EXPECT_EQ(parallel.assignment, serial.assignment)
+        << "placement diverged at " << threads << " threads";
+  }
+}
+
+TEST_F(PolicyTest, PlaceVariantsMatchesSerialRuns)
+{
+  // The batch fan-out must return the same placements, in input order,
+  // whether it runs serially or on a pool.
+  Rng rng(5);
+  const auto base = MakeTrace();
+  const auto variants = workload::ShuffledVariants(base, 4, rng);
+  const PolicyFactory factory = [] {
+    return std::make_unique<BalancedRoundRobinPolicy>();
+  };
+
+  const std::vector<Placement> serial =
+      PlaceVariants(room_, factory, variants, nullptr);
+  common::ThreadPool pool(4);
+  const std::vector<Placement> parallel =
+      PlaceVariants(room_, factory, variants, &pool);
+  ASSERT_EQ(serial.size(), variants.size());
+  ASSERT_EQ(parallel.size(), variants.size());
+  for (std::size_t i = 0; i < variants.size(); ++i)
+    EXPECT_EQ(parallel[i].assignment, serial[i].assignment);
+}
+
+TEST_F(PolicyTest, FlexOfflineExportsConcurrencyMetrics)
+{
+  obs::Observability observability;
+  FlexOfflineConfig config;
+  config.solver.time_budget_seconds = 2.0;
+  config.obs = &observability;
+  FlexOfflinePolicy policy(config);
+  policy.Place(room_, MakeTrace());
+  // Basis-reuse counters flow from the solver into offline metrics.
+  EXPECT_GT(
+      observability.metrics().counter("offline.solver.basis_attempts").value(),
+      0.0);
+  EXPECT_GE(observability.metrics().gauge("offline.solver.threads").value(),
+            1.0);
 }
 
 TEST(FlexOfflineConfigTest, NamedVariantsHaveExpectedBatching)

@@ -3,6 +3,7 @@
  * Unit tests for the LP simplex and branch-and-bound MILP solvers.
  */
 #include <cmath>
+#include <cstdint>
 #include <string>
 #include <utility>
 #include <vector>
@@ -11,6 +12,7 @@
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
+#include "common/thread_pool.hpp"
 #include "solver/branch_and_bound.hpp"
 #include "solver/model.hpp"
 #include "solver/simplex.hpp"
@@ -369,6 +371,128 @@ TEST(SimplexTest, NonImpliedBoundsStillEnforced)
   const LpResult r = SimplexSolver().Solve(m);
   ASSERT_TRUE(r.IsOptimal());
   EXPECT_NEAR(r.objective, 2.0, 1e-6);
+}
+
+TEST(SimplexTest, WarmBasisReSolveMatchesColdSolve)
+{
+  // maximize 3x + 2y s.t. x + y <= 4, x + 3y <= 6 -> (4, 0). Tightening
+  // x <= 2 moves the unique optimum to (2, 4/3). The warm re-solve from
+  // the parent basis must land exactly where a cold solve does.
+  Model m;
+  const VarIndex x = m.AddContinuous("x", 0.0, 1e9, 3.0);
+  const VarIndex y = m.AddContinuous("y", 0.0, 1e9, 2.0);
+  m.AddConstraint("c1", {{x, 1.0}, {y, 1.0}}, Relation::kLessEqual, 4.0);
+  m.AddConstraint("c2", {{x, 1.0}, {y, 3.0}}, Relation::kLessEqual, 6.0);
+
+  const SimplexSolver solver;
+  SimplexWorkspace workspace;
+  SimplexBasis basis;
+  BoundOverrides overrides(2);
+  const LpResult parent =
+      solver.SolveWithBounds(m, overrides, &workspace, nullptr, &basis);
+  ASSERT_TRUE(parent.IsOptimal());
+  ASSERT_FALSE(basis.empty());
+  EXPECT_FALSE(parent.warm_start_attempted);
+
+  overrides[static_cast<std::size_t>(x)] = {0.0, 2.0};
+  const LpResult warm =
+      solver.SolveWithBounds(m, overrides, &workspace, &basis, nullptr);
+  const LpResult cold = solver.SolveWithBounds(m, overrides);
+  ASSERT_TRUE(warm.IsOptimal());
+  ASSERT_TRUE(cold.IsOptimal());
+  EXPECT_TRUE(warm.warm_start_attempted);
+  EXPECT_NEAR(warm.objective, cold.objective, 1e-9);
+  ASSERT_EQ(warm.x.size(), cold.x.size());
+  for (std::size_t i = 0; i < warm.x.size(); ++i)
+    EXPECT_NEAR(warm.x[i], cold.x[i], 1e-9);
+  EXPECT_NEAR(warm.x[static_cast<std::size_t>(x)], 2.0, 1e-9);
+  EXPECT_NEAR(warm.x[static_cast<std::size_t>(y)], 4.0 / 3.0, 1e-9);
+}
+
+TEST(SimplexTest, WarmBasisFallsBackWhenBoundsChangeFeasibility)
+{
+  // The parent's optimal basis becomes infeasible when x is forced up;
+  // the warm path must detect this and silently re-solve cold.
+  Model m;
+  m.SetSense(Sense::kMinimize);
+  const VarIndex x = m.AddContinuous("x", 0.0, 10.0, 1.0);
+  const VarIndex y = m.AddContinuous("y", 0.0, 10.0, 1.0);
+  m.AddConstraint("sum", {{x, 1.0}, {y, 1.0}}, Relation::kGreaterEqual, 2.0);
+
+  const SimplexSolver solver;
+  SimplexWorkspace workspace;
+  SimplexBasis basis;
+  BoundOverrides overrides(2);
+  const LpResult parent =
+      solver.SolveWithBounds(m, overrides, &workspace, nullptr, &basis);
+  ASSERT_TRUE(parent.IsOptimal());
+
+  overrides[static_cast<std::size_t>(x)] = {5.0, 10.0};
+  const LpResult warm =
+      solver.SolveWithBounds(m, overrides, &workspace, &basis, nullptr);
+  ASSERT_TRUE(warm.IsOptimal());
+  EXPECT_NEAR(warm.objective, 5.0, 1e-9);
+  EXPECT_NEAR(warm.x[static_cast<std::size_t>(x)], 5.0, 1e-9);
+}
+
+TEST(BranchAndBoundTest, ParallelSolveIsBitIdenticalToSerial)
+{
+  // The wave-synchronous design promises the same incumbent, bound, and
+  // node count at any thread width. Exercise 1 vs explicit 2- and
+  // 8-lane pools on a knapsack that branches substantially.
+  Rng rng(99);
+  Model m;
+  std::vector<std::pair<VarIndex, double>> terms;
+  for (int i = 0; i < 26; ++i) {
+    const VarIndex v = m.AddBinary("b", rng.Uniform(1.0, 9.0));
+    terms.push_back({v, rng.Uniform(1.0, 5.0)});
+  }
+  m.AddConstraint("cap", terms, Relation::kLessEqual, 20.0);
+
+  BranchAndBoundSolver::Options serial_options;
+  serial_options.threads = 1;
+  const MipResult serial = BranchAndBoundSolver(serial_options).Solve(m);
+  ASSERT_EQ(serial.status, MipStatus::kOptimal);
+  EXPECT_EQ(serial.threads_used, 1);
+
+  for (const int threads : {2, 8}) {
+    common::ThreadPool pool(threads);
+    BranchAndBoundSolver::Options options;
+    options.pool = &pool;
+    const MipResult parallel = BranchAndBoundSolver(options).Solve(m);
+    ASSERT_EQ(parallel.status, MipStatus::kOptimal);
+    EXPECT_EQ(parallel.threads_used, threads);
+    // Bit-identical, not just close: same incumbent vector, objective,
+    // bound, and explored-node count.
+    EXPECT_EQ(parallel.objective, serial.objective);
+    EXPECT_EQ(parallel.bound, serial.bound);
+    EXPECT_EQ(parallel.x, serial.x);
+    EXPECT_EQ(parallel.nodes_explored, serial.nodes_explored);
+    EXPECT_EQ(parallel.lp_solves, serial.lp_solves);
+    // Lane attribution is telemetry, but it must account for every node.
+    std::int64_t lane_sum = 0;
+    for (const std::int64_t n : parallel.nodes_per_thread)
+      lane_sum += n;
+    EXPECT_EQ(lane_sum, parallel.nodes_explored);
+  }
+}
+
+TEST(BranchAndBoundTest, ReportsBasisReuseTelemetry)
+{
+  Rng rng(7);
+  Model m;
+  std::vector<std::pair<VarIndex, double>> terms;
+  for (int i = 0; i < 20; ++i) {
+    const VarIndex v = m.AddBinary("b", rng.Uniform(1.0, 9.0));
+    terms.push_back({v, rng.Uniform(1.0, 5.0)});
+  }
+  m.AddConstraint("cap", terms, Relation::kLessEqual, 15.0);
+  const MipResult r = BranchAndBoundSolver().Solve(m);
+  ASSERT_EQ(r.status, MipStatus::kOptimal);
+  // Every non-root LP carries the parent basis; most installs succeed.
+  EXPECT_GT(r.basis_reuse_attempts, 0);
+  EXPECT_GT(r.basis_reuse_hits, 0);
+  EXPECT_LE(r.basis_reuse_hits, r.basis_reuse_attempts);
 }
 
 TEST(SolverTraceTest, SolveEmitsConvergenceCurveAndCsv)
