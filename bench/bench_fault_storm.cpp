@@ -40,35 +40,35 @@ main()
   fault::ScenarioConfig config;
 
   // --- Fuzzed sweep with the monitor attached -----------------------------
+  // One scenario per thread-pool lane (shared pool), reports merged in
+  // seed order so violation listings are stable across thread counts.
   std::uint64_t events_monitored = 0;
   std::size_t readings = 0;
   std::size_t faults = 0;
   int violations = 0;
   auto start = Clock::now();
-  for (std::uint64_t seed = 0; seed < static_cast<std::uint64_t>(seeds);
-       ++seed) {
-    const fault::ScenarioReport report =
-        fault::RunFuzzedScenario(config, seed);
+  const std::vector<fault::ScenarioReport> monitored =
+      fault::RunFuzzSweep(config, 0, seeds);
+  const double monitored_wall = SecondsSince(start);
+  for (std::size_t i = 0; i < monitored.size(); ++i) {
+    const fault::ScenarioReport& report = monitored[i];
     events_monitored += report.events_executed;
     readings += report.readings_delivered;
     faults += report.fault_trace.size();
     if (!report.violations.empty()) {
       ++violations;
-      std::printf("  !! violation at seed %llu:\n%s",
-                  static_cast<unsigned long long>(seed),
+      std::printf("  !! violation at seed %zu:\n%s", i,
                   report.violation_summary.c_str());
     }
   }
-  const double monitored_wall = SecondsSince(start);
 
   // --- Same sweep without the monitor -------------------------------------
   config.attach_monitor = false;
   std::uint64_t events_bare = 0;
   start = Clock::now();
-  for (std::uint64_t seed = 0; seed < static_cast<std::uint64_t>(seeds);
-       ++seed) {
-    events_bare += fault::RunFuzzedScenario(config, seed).events_executed;
-  }
+  for (const fault::ScenarioReport& report :
+       fault::RunFuzzSweep(config, 0, seeds))
+    events_bare += report.events_executed;
   const double bare_wall = SecondsSince(start);
   config.attach_monitor = true;
 

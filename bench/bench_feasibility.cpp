@@ -8,7 +8,10 @@
  * servers still see >= 4 nines of availability (non-redundant servers
  * keep 5 nines — they are at most throttled, never shut down).
  */
+#include <chrono>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 #include "analysis/feasibility.hpp"
 #include "bench_util.hpp"
@@ -51,5 +54,56 @@ main()
   std::printf("\n* non-redundant workloads are never shut down by Flex — "
               "worst case is throttling,\n  so they retain the room design "
               "availability.\n");
+
+  // Monte Carlo cross-check of the closed-form exceedance integrals,
+  // fanned out in fixed chunks across the shared thread pool. The
+  // parallel run must fingerprint identically to the serial run (same
+  // chunk partition, per-chunk RNG streams, serial chunk-order merge).
+  const char* smoke = std::getenv("FLEX_SMOKE");
+  const std::uint64_t samples =
+      smoke != nullptr && *smoke != '\0' && *smoke != '0' ? 1u << 18
+                                                          : 1u << 23;
+  using BenchClock = std::chrono::steady_clock;
+  auto start = BenchClock::now();
+  const analysis::MonteCarloResult serial = model.MonteCarlo(samples, 7, 1);
+  const double serial_s =
+      std::chrono::duration<double>(BenchClock::now() - start).count();
+  start = BenchClock::now();
+  const analysis::MonteCarloResult parallel = model.MonteCarlo(samples, 7, 0);
+  const double parallel_s =
+      std::chrono::duration<double>(BenchClock::now() - start).count();
+  const bool hash_match = serial.sample_hash == parallel.sample_hash;
+  const double mc_error =
+      std::abs(parallel.result.p_high_utilization - r.p_high_utilization);
+  // Binomial standard error bounds how far the sampled fraction may sit
+  // from the closed form.
+  const double tolerance =
+      5.0 * std::sqrt(r.p_high_utilization * (1.0 - r.p_high_utilization) /
+                      static_cast<double>(samples));
+
+  std::printf("\nMonte Carlo cross-check (%llu samples):\n",
+              static_cast<unsigned long long>(samples));
+  std::printf("  %-34s %12s %12s\n", "", "closed form", "sampled");
+  std::printf("  %-34s %11.4f%% %11.4f%%\n", "P(utilization > budget)",
+              100.0 * r.p_high_utilization,
+              100.0 * parallel.result.p_high_utilization);
+  std::printf("  %-34s %12.2f %12.2f\n", "room availability (nines)",
+              r.room_availability_nines,
+              parallel.result.room_availability_nines);
+  std::printf("  1 lane: %.3fs, %d lanes: %.3fs, hashes %s\n", serial_s,
+              parallel.lanes, parallel_s,
+              hash_match ? "identical" : "MISMATCH");
+  if (!hash_match) {
+    std::fprintf(stderr, "FAIL: parallel Monte Carlo diverged from serial\n");
+    return 1;
+  }
+  if (mc_error > tolerance) {
+    std::fprintf(stderr,
+                 "FAIL: Monte Carlo estimate %.6f vs closed form %.6f "
+                 "(tolerance %.6f)\n",
+                 parallel.result.p_high_utilization, r.p_high_utilization,
+                 tolerance);
+    return 1;
+  }
   return 0;
 }

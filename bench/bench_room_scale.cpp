@@ -1,0 +1,224 @@
+/**
+ * @file
+ * Room-scale simulation-engine bench.
+ *
+ * Measures the emulation core's event throughput as the room grows from
+ * the paper's 360-rack Section V-C room to a ~10k-rack megaroom, and
+ * compares the incremental-aggregation engine against the pre-PR
+ * full-rescan path (EmulationConfig::incremental_aggregation = false +
+ * the binary-heap event queue — the exact per-tick cost model the old
+ * code had: one O(racks) rescan per UPS device per poller tick plus
+ * O(racks) walks in every sample, safety check, and peak-action tick).
+ *
+ * The scale rungs run a room-scale monitoring workload, identical in
+ * both modes: rack telemetry at the 30 s cadence production BMS fleets
+ * poll ~10k rack meters at (the paper's 2 s cadence is for its 360-rack
+ * room), UPS telemetry at 1.5 s, and the safety/trip-curve monitor at
+ * 200 Hz — the paper's trip curves resolve overloads down to tens of
+ * milliseconds, so 5 ms sampling is what it takes to resolve a
+ * 20-50 ms trip window with Nyquist headroom (PMU-class cadence).
+ * Each monitor tick costs O(UPSes) incrementally vs O(racks)
+ * rescanning, which is precisely the asymmetry this engine exists to
+ * remove; the paper rung keeps the paper's own cadences for fidelity.
+ *
+ * Also proves the parallel sweep's determinism: a 2-lane
+ * RunEmulationSweep must produce the same sample hash as the serial
+ * run, asserted here and exported to BENCH_room_scale.json.
+ *
+ * FLEX_SMOKE=1 shrinks everything to seconds of sim time and skips the
+ * speedup assertion (tiny rooms are dominated by fixed costs).
+ */
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "emulation/room_emulation.hpp"
+#include "emulation/sweep.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+bool
+SmokeMode()
+{
+  const char* env = std::getenv("FLEX_SMOKE");
+  return env != nullptr && *env != '\0' && *env != '0';
+}
+
+/** One engine measurement: construction excluded, Run() timed. */
+struct ModeResult {
+  flex::emulation::EmulationReport report;
+  double wall_s = 0.0;
+  double events_per_sec = 0.0;
+};
+
+ModeResult
+TimeRoom(const flex::emulation::EmulationConfig& config)
+{
+  flex::emulation::RoomEmulation room(config);
+  const auto start = Clock::now();
+  ModeResult result;
+  result.report = room.Run();
+  result.wall_s = std::chrono::duration<double>(Clock::now() - start).count();
+  result.events_per_sec =
+      static_cast<double>(result.report.events_executed) / result.wall_s;
+  return result;
+}
+
+}  // namespace
+
+int
+main()
+{
+  using namespace flex;
+  bench::PrintHeader("bench_room_scale", "simulation engine",
+                     "events/sec: incremental aggregation vs full rescans");
+  const bool smoke = SmokeMode();
+
+  // Shortened stage timeline (same shape as Section V-C: setup, steady
+  // state, failover, recovery) so the large rooms finish in seconds.
+  emulation::EmulationConfig base;
+  base.placement_solve_seconds = bench::SolveSeconds(smoke ? 0.2 : 2.0);
+  base.setup_duration = Seconds(smoke ? 5.0 : 30.0);
+  base.failover_at = Seconds(smoke ? 10.0 : 60.0);
+  base.restore_at = Seconds(smoke ? 15.0 : 100.0);
+  base.end_at = Seconds(smoke ? 20.0 : 130.0);
+
+  // Room ladder: the paper's 360-rack emulation room at the paper's own
+  // telemetry cadences, then a mid-size and a ~10k-rack megaroom under
+  // the room-scale monitoring workload described in the header.
+  struct Rung {
+    const char* name;
+    power::RoomConfig room;
+    double rack_poll_s;  // production BMS cadence on the scale rungs
+    double monitor_s;    // 0: paper default (safety rides the sampler)
+  };
+  std::vector<Rung> ladder;
+  ladder.push_back({"paper-360", power::RoomConfig::EmulationRoom(),
+                    smoke ? 2.0 : 0.0, smoke ? 0.01 : 0.0});
+  if (!smoke) {
+    power::RoomConfig mid = power::RoomConfig::EmulationRoom();
+    mid.num_ups = 8;
+    mid.redundancy_y = 7;
+    mid.ups_capacity = MegaWatts(4.0);
+    mid.pdu_pairs_per_ups_pair = 1;  // 28 PDU pairs
+    mid.rows_per_pdu_pair = 4;
+    mid.racks_per_row = 20;  // 2240 racks
+    mid.pdu_rating = MegaWatts(2.5);
+    ladder.push_back({"mid-2240", mid, 30.0, 0.005});
+
+    power::RoomConfig mega = power::RoomConfig::EmulationRoom();
+    mega.num_ups = 12;
+    mega.redundancy_y = 11;
+    mega.ups_capacity = MegaWatts(11.0);
+    mega.pdu_pairs_per_ups_pair = 1;  // 66 PDU pairs
+    mega.rows_per_pdu_pair = 5;
+    mega.racks_per_row = 30;  // 9900 racks
+    mega.pdu_rating = MegaWatts(2.5);
+    ladder.push_back({"mega-9900", mega, 30.0, 0.005});
+  }
+  const auto rung_config = [&base](const Rung& rung) {
+    emulation::EmulationConfig config = base;
+    config.room = rung.room;
+    if (rung.rack_poll_s > 0.0)
+      config.pipeline.rack_poll_period = Seconds(rung.rack_poll_s);
+    config.monitor_period = Seconds(rung.monitor_s);
+    return config;
+  };
+
+  std::printf("\nincremental engine (calendar queue + running sums):\n");
+  std::printf("  %-12s %8s %10s %12s %14s %10s %10s\n", "room", "racks",
+              "wall (s)", "events", "events/sec", "monitors", "deltas");
+  ModeResult largest;
+  int largest_racks = 0;
+  for (const Rung& rung : ladder) {
+    const ModeResult r = TimeRoom(rung_config(rung));
+    std::printf("  %-12s %8d %10.3f %12llu %14.0f %10llu %10llu\n",
+                rung.name, r.report.total_racks, r.wall_s,
+                static_cast<unsigned long long>(r.report.events_executed),
+                r.events_per_sec,
+                static_cast<unsigned long long>(r.report.monitor_ticks),
+                static_cast<unsigned long long>(r.report.aggregate_deltas));
+    largest = r;
+    largest_racks = r.report.total_racks;
+  }
+
+  // The acceptance measurement: the same largest room and monitoring
+  // workload through the pre-PR cost model (full rescans + heap queue).
+  emulation::EmulationConfig rescan_config = rung_config(ladder.back());
+  rescan_config.incremental_aggregation = false;
+  rescan_config.queue_impl = sim::EventQueue::Impl::kHeap;
+  const ModeResult rescan = TimeRoom(rescan_config);
+  const double speedup = largest.events_per_sec / rescan.events_per_sec;
+  const double wall_speedup = rescan.wall_s / largest.wall_s;
+  std::printf("\npre-PR full-rescan path, same %d-rack room and workload:\n",
+              largest_racks);
+  std::printf("  wall %.3f s, %llu events, %.0f events/sec\n", rescan.wall_s,
+              static_cast<unsigned long long>(rescan.report.events_executed),
+              rescan.events_per_sec);
+  std::printf("  incremental speedup: %.1fx events/sec, %.1fx wall "
+              "(acceptance: >= 10x events/sec at ~10k racks)\n",
+              speedup, wall_speedup);
+
+  // Sweep determinism: 2 variants through 1 lane and through 2 lanes
+  // must fingerprint identically (serial merge in seed order).
+  emulation::SweepConfig sweep;
+  sweep.base = base;  // paper-size room keeps the sweep quick
+  sweep.base.failover_at = Seconds(smoke ? 10.0 : 20.0);
+  sweep.base.restore_at = Seconds(smoke ? 11.0 : 30.0);
+  sweep.base.end_at = Seconds(smoke ? 12.0 : 40.0);
+  sweep.variants = 2;
+  sweep.threads = 1;
+  const emulation::SweepResult serial = emulation::RunEmulationSweep(sweep);
+  sweep.threads = 2;
+  const emulation::SweepResult parallel = emulation::RunEmulationSweep(sweep);
+  const bool hash_match = serial.sample_hash == parallel.sample_hash;
+  std::printf("\nparallel sweep determinism (%d variants):\n", sweep.variants);
+  std::printf("  1-lane hash %016llx, %d-lane hash %016llx -> %s\n",
+              static_cast<unsigned long long>(serial.sample_hash),
+              parallel.lanes,
+              static_cast<unsigned long long>(parallel.sample_hash),
+              hash_match ? "identical" : "MISMATCH");
+
+  obs::Observability observability;
+  obs::MetricsRegistry& metrics = observability.metrics();
+  metrics.gauge("room.racks").Set(static_cast<double>(largest_racks));
+  metrics.gauge("room.monitor_hz")
+      .Set(ladder.back().monitor_s > 0.0 ? 1.0 / ladder.back().monitor_s
+                                         : 0.0);
+  metrics.gauge("room.incremental.events_per_sec")
+      .Set(largest.events_per_sec);
+  metrics.gauge("room.incremental.wall_s").Set(largest.wall_s);
+  metrics.gauge("room.rescan.events_per_sec").Set(rescan.events_per_sec);
+  metrics.gauge("room.rescan.wall_s").Set(rescan.wall_s);
+  metrics.gauge("room.rescan_speedup").Set(speedup);
+  metrics.gauge("room.wall_speedup").Set(wall_speedup);
+  metrics.gauge("room.events_executed")
+      .Set(static_cast<double>(largest.report.events_executed));
+  metrics.gauge("room.monitor_ticks")
+      .Set(static_cast<double>(largest.report.monitor_ticks));
+  metrics.gauge("room.aggregate_deltas")
+      .Set(static_cast<double>(largest.report.aggregate_deltas));
+  metrics.gauge("room.aggregate_resyncs")
+      .Set(static_cast<double>(largest.report.aggregate_resyncs));
+  metrics.gauge("room.verify_rescans")
+      .Set(static_cast<double>(largest.report.verify_rescans));
+  metrics.gauge("room.sweep.lanes").Set(static_cast<double>(parallel.lanes));
+  metrics.gauge("room.sweep.hash_match").Set(hash_match ? 1.0 : 0.0);
+  bench::MaybeExportBenchJson("bench_room_scale", observability);
+
+  if (!hash_match) {
+    std::fprintf(stderr, "FAIL: parallel sweep diverged from serial run\n");
+    return 1;
+  }
+  if (!smoke && speedup < 10.0) {
+    std::fprintf(stderr,
+                 "FAIL: incremental speedup %.1fx below the 10x bar\n",
+                 speedup);
+    return 1;
+  }
+  return 0;
+}

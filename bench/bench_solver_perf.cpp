@@ -13,6 +13,7 @@
  */
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -140,7 +141,11 @@ RunParallelScaling(obs::MetricsRegistry& metrics)
   const double serial_s =
       std::chrono::duration<double>(BenchClock::now() - serial_start).count();
 
-  const int threads = common::ThreadPool::ConfiguredThreads();
+  // At least two lanes even on small machines: a 1-vs-1 "sweep" only
+  // measures pool overhead (speedup ~0.98) and says nothing about
+  // scaling. The serial baseline stays at one thread and is recorded
+  // alongside the speedup.
+  const int threads = std::max(2, common::ThreadPool::ConfiguredThreads());
   common::ThreadPool pool(threads);
   options.threads = 0;
   options.pool = &pool;
@@ -180,6 +185,8 @@ RunParallelScaling(obs::MetricsRegistry& metrics)
 
   metrics.gauge("solver.parallel.threads")
       .Set(static_cast<double>(parallel.threads_used));
+  metrics.gauge("solver.parallel.baseline_threads")
+      .Set(static_cast<double>(serial.threads_used));
   metrics.gauge("solver.parallel.serial_seconds").Set(serial_s);
   metrics.gauge("solver.parallel.parallel_seconds").Set(parallel_s);
   metrics.gauge("solver.parallel.speedup").Set(speedup);

@@ -60,17 +60,19 @@ for bench in "${benches[@]}"; do
 done
 
 # Thread-scaling baseline: run the solver bench once per thread count
-# (1 and the hardware's worth) and append both snapshots to
-# BENCH_solver.json. Each JSON line carries solver.parallel.speedup and
+# and append each snapshot to BENCH_solver.json. Each JSON line carries
+# solver.parallel.speedup, solver.parallel.baseline_threads, and
 # solver.parallel.basis_hit_rate, so the file records the scaling
-# baseline for this machine.
+# baseline for this machine. The sweep always includes a >= 2-thread
+# run: a 1-vs-1 comparison only measures pool overhead (the degenerate
+# "speedup 0.98" readings single-core machines used to report).
 solver_binary="${build_dir}/bench/bench_solver_perf"
 if [[ -x "${solver_binary}" ]]; then
   sweep_json="${repo_root}/BENCH_solver.json"
   rm -f "${sweep_json}"
   hw_threads="$(nproc)"
-  thread_counts=(1)
-  [[ "${hw_threads}" -gt 1 ]] && thread_counts+=("${hw_threads}")
+  thread_counts=(1 2)
+  [[ "${hw_threads}" -gt 2 ]] && thread_counts+=("${hw_threads}")
   for threads in "${thread_counts[@]}"; do
     echo "run_benches: bench_solver_perf (FLEX_SOLVER_THREADS=${threads}) -> ${sweep_json}"
     if ! FLEX_BENCH_JSON="${sweep_json}" FLEX_SOLVER_THREADS="${threads}" \

@@ -86,6 +86,8 @@ RackManager::Execute(Kind kind, std::optional<Watts> cap, Completion done)
         state_.powered_on = true;
         break;
     }
+    if (state_listener_)
+      state_listener_(rack_id_);
     done(true);
   });
 }
@@ -139,6 +141,13 @@ ActuationPlane::rack(int rack_id) const
   FLEX_REQUIRE(rack_id >= 0 && rack_id < num_racks(),
                "rack id out of range");
   return racks_[static_cast<std::size_t>(rack_id)];
+}
+
+void
+ActuationPlane::SetStateListener(RackManager::StateListener listener)
+{
+  for (RackManager& rack : racks_)
+    rack.SetStateListener(listener);
 }
 
 std::vector<double>

@@ -58,6 +58,9 @@ class RackManager {
 
   using Completion = std::function<void(bool success)>;
 
+  /** Notified with the rack id after a command changes this rack's state. */
+  using StateListener = std::function<void(int rack_id)>;
+
   /** Installs an absolute power cap (RAPL-like). */
   void Throttle(Watts cap, Completion done);
   /** Cuts rack power. */
@@ -69,6 +72,18 @@ class RackManager {
 
   const RackState& state() const { return state_; }
   int rack_id() const { return rack_id_; }
+
+  /**
+   * Installs the state-change hook (one per rack; pass an empty function
+   * to detach). Fires after a successful command mutates state(), at the
+   * command's completion time on the event queue — the moment the rack's
+   * electrical draw actually changes. RoomEmulation uses it to apply
+   * incremental power deltas instead of rescanning the room.
+   */
+  void SetStateListener(StateListener listener)
+  {
+    state_listener_ = std::move(listener);
+  }
 
   // --- Failure injection & monitoring hooks -------------------------------
 
@@ -112,6 +127,7 @@ class RackManager {
   bool unreachable_ = false;
   bool firmware_stale_ = false;
   Seconds extra_latency_{0.0};
+  StateListener state_listener_;
   std::vector<double> action_latencies_;
 
   // Cached metric objects (registry lookups stay off the hot path).
@@ -136,6 +152,9 @@ class ActuationPlane {
 
   /** Pooled action-latency samples across all racks (seconds). */
   std::vector<double> AllActionLatencies() const;
+
+  /** Installs @p listener on every rack (see RackManager::SetStateListener). */
+  void SetStateListener(RackManager::StateListener listener);
 
  private:
   std::vector<RackManager> racks_;

@@ -1,8 +1,15 @@
 #include "feasibility.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <functional>
+#include <utility>
+#include <vector>
 
 #include "common/error.hpp"
+#include "common/hash.hpp"
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
 
 namespace flex::analysis {
 
@@ -133,6 +140,110 @@ FeasibilityModel::Evaluate() const
   result.sr_availability = 1.0 - result.p_shutdown_needed;
   result.sr_availability_nines = -std::log10(result.p_shutdown_needed);
   return result;
+}
+
+MonteCarloResult
+FeasibilityModel::MonteCarlo(std::uint64_t samples, std::uint64_t seed,
+                             int threads) const
+{
+  FLEX_REQUIRE(samples > 0, "monte carlo needs at least one sample");
+  FLEX_REQUIRE(threads >= 0, "negative thread count");
+  constexpr std::uint64_t kChunkSamples = 65536;
+
+  const double threshold_high = params_.failover_budget_fraction;
+  const double threshold_shutdown = ShutdownThresholdUtilization();
+  const double offpeak_mean =
+      params_.peak_mean_utilization - params_.offpeak_dip;
+
+  const std::uint64_t num_chunks =
+      (samples + kChunkSamples - 1) / kChunkSamples;
+  struct ChunkCounts {
+    std::uint64_t above_high = 0;
+    std::uint64_t above_shutdown = 0;
+  };
+  std::vector<ChunkCounts> counts(static_cast<std::size_t>(num_chunks));
+
+  // Chunk size and per-chunk RNG stream are fixed regardless of thread
+  // count, so the merged counts (and the hash) never depend on lane
+  // scheduling.
+  const auto run_chunk = [&](std::uint64_t chunk) {
+    const std::uint64_t chunk_samples =
+        chunk + 1 == num_chunks ? samples - chunk * kChunkSamples
+                                : kChunkSamples;
+    Rng rng(seed ^ SplitMix64(chunk + 1).Next());
+    ChunkCounts& c = counts[static_cast<std::size_t>(chunk)];
+    for (std::uint64_t i = 0; i < chunk_samples; ++i) {
+      const bool offpeak = rng.Bernoulli(params_.offpeak_time_fraction);
+      const double u = offpeak
+                           ? rng.Normal(offpeak_mean, params_.offpeak_stddev)
+                           : rng.Normal(params_.peak_mean_utilization,
+                                        params_.peak_stddev);
+      if (u > threshold_high)
+        ++c.above_high;
+      if (u > threshold_shutdown)
+        ++c.above_shutdown;
+    }
+  };
+
+  MonteCarloResult mc;
+  mc.samples = samples;
+  if (threads == 1 || num_chunks == 1) {
+    mc.lanes = 1;
+    for (std::uint64_t chunk = 0; chunk < num_chunks; ++chunk)
+      run_chunk(chunk);
+  } else {
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(static_cast<std::size_t>(num_chunks));
+    for (std::uint64_t chunk = 0; chunk < num_chunks; ++chunk)
+      tasks.push_back([&run_chunk, chunk] { run_chunk(chunk); });
+    if (threads == 0) {
+      common::ThreadPool& pool = common::ThreadPool::Shared();
+      mc.lanes = pool.size();
+      pool.Run(std::move(tasks));
+    } else {
+      common::ThreadPool pool(threads);
+      mc.lanes = pool.size();
+      pool.Run(std::move(tasks));
+    }
+  }
+
+  Fnv1a hash;
+  std::uint64_t above_high = 0;
+  std::uint64_t above_shutdown = 0;
+  for (const ChunkCounts& c : counts) {
+    above_high += c.above_high;
+    above_shutdown += c.above_shutdown;
+    hash.AddU64(c.above_high);
+    hash.AddU64(c.above_shutdown);
+  }
+  mc.sample_hash = hash.value();
+
+  // Compose the sampled exceedance fractions with the same analytic
+  // maintenance terms Evaluate() uses.
+  constexpr double kHoursPerYear = 24.0 * 365.0;
+  constexpr double kMinProbability = 1e-300;  // keep -log10 finite
+  FeasibilityResult& r = mc.result;
+  r.p_high_utilization =
+      static_cast<double>(above_high) / static_cast<double>(samples);
+  r.p_unplanned_active = params_.unplanned_hours_per_year / kHoursPerYear;
+  double p_planned_coincides = 0.0;
+  if (!params_.planned_in_low_utilization_windows) {
+    p_planned_coincides = (params_.planned_hours_per_year / kHoursPerYear) *
+                          r.p_high_utilization;
+  }
+  r.p_corrective_needed =
+      r.p_unplanned_active * r.p_high_utilization + p_planned_coincides;
+  r.room_availability = 1.0 - r.p_corrective_needed;
+  r.room_availability_nines =
+      -std::log10(std::max(r.p_corrective_needed, kMinProbability));
+  r.shutdown_threshold_utilization = threshold_shutdown;
+  r.p_shutdown_needed =
+      r.p_unplanned_active *
+      (static_cast<double>(above_shutdown) / static_cast<double>(samples));
+  r.sr_availability = 1.0 - r.p_shutdown_needed;
+  r.sr_availability_nines =
+      -std::log10(std::max(r.p_shutdown_needed, kMinProbability));
+  return mc;
 }
 
 }  // namespace flex::analysis

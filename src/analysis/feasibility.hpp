@@ -13,6 +13,8 @@
 #ifndef FLEX_ANALYSIS_FEASIBILITY_HPP_
 #define FLEX_ANALYSIS_FEASIBILITY_HPP_
 
+#include <cstdint>
+
 namespace flex::analysis {
 
 /** Inputs of the feasibility model. */
@@ -75,6 +77,17 @@ struct FeasibilityResult {
   double sr_availability_nines = 0.0;
 };
 
+/** Monte Carlo cross-check of the closed-form model. */
+struct MonteCarloResult {
+  /** Evaluate()'s outputs with the sampled exceedance fractions. */
+  FeasibilityResult result;
+  std::uint64_t samples = 0;
+  /** Thread-pool lanes the chunks ran on. */
+  int lanes = 0;
+  /** FNV-1a over per-chunk counts in chunk order (thread-invariant). */
+  std::uint64_t sample_hash = 0;
+};
+
 /**
  * Analytic feasibility model: closed-form mixture-of-normals utilization
  * distribution crossed with maintenance event probabilities.
@@ -85,6 +98,20 @@ class FeasibilityModel {
 
   /** Runs the full Section III analysis. */
   FeasibilityResult Evaluate() const;
+
+  /**
+   * Monte Carlo estimate of the utilization exceedance probabilities,
+   * composed with the same analytic maintenance terms as Evaluate().
+   * Sampling the maintenance coincidence directly would need ~1e9
+   * samples to resolve the paper's five-nines tail, so only the
+   * utilization mixture is sampled. Work fans out in fixed 65536-sample
+   * chunks across thread-pool lanes (threads: 0 = shared pool,
+   * 1 = inline serial, n = private pool) with one RNG stream per chunk
+   * and a serial chunk-order merge — bit-identical for any thread
+   * count.
+   */
+  MonteCarloResult MonteCarlo(std::uint64_t samples, std::uint64_t seed,
+                              int threads = 0) const;
 
   /** P(utilization > @p threshold) under the mixture model. */
   double FractionOfTimeAbove(double threshold) const;

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Deterministic FNV-1a hashing for result fingerprints.
+ *
+ * The parallel Monte Carlo sweeps prove bit-identical behaviour across
+ * thread counts by hashing every sample of every variant into one
+ * 64-bit fingerprint; two runs agree iff their fingerprints agree.
+ * FNV-1a is tiny, portable, and byte-order-stable for our use because
+ * all inputs are hashed through fixed-width little-endian encodings of
+ * their bit patterns.
+ */
+#ifndef FLEX_COMMON_HASH_HPP_
+#define FLEX_COMMON_HASH_HPP_
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+
+namespace flex {
+
+/** Streaming 64-bit FNV-1a hasher. */
+class Fnv1a {
+ public:
+  void
+  AddBytes(const void* data, std::size_t size)
+  {
+    const auto* bytes = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < size; ++i) {
+      hash_ ^= bytes[i];
+      hash_ *= 0x100000001b3ull;
+    }
+  }
+
+  void
+  AddU64(std::uint64_t value)
+  {
+    unsigned char bytes[8];
+    for (int i = 0; i < 8; ++i)
+      bytes[i] = static_cast<unsigned char>((value >> (8 * i)) & 0xff);
+    AddBytes(bytes, sizeof(bytes));
+  }
+
+  void AddI64(std::int64_t value) { AddU64(static_cast<std::uint64_t>(value)); }
+
+  /** Hashes the exact bit pattern, so -0.0 != +0.0 and NaNs are stable. */
+  void AddDouble(double value) { AddU64(std::bit_cast<std::uint64_t>(value)); }
+
+  void AddString(std::string_view s) { AddBytes(s.data(), s.size()); }
+
+  std::uint64_t value() const { return hash_; }
+
+ private:
+  std::uint64_t hash_ = 0xcbf29ce484222325ull;  // FNV offset basis
+};
+
+}  // namespace flex
+
+#endif  // FLEX_COMMON_HASH_HPP_

@@ -16,25 +16,12 @@ using telemetry::DeviceId;
 using telemetry::DeviceKind;
 using workload::Category;
 
-/** Runtime state of one emulated rack. */
-struct RoomEmulation::EmulatedRack {
-  offline::Rack info;
-  OuProcess utilization;
-  /** Time-integral of the p95 latency factor over the failover window
-      (latency-sensitive racks only). */
-  double latency_factor_integral = 0.0;
-  double latency_window_seconds = 0.0;
-  double worst_latency_factor = 1.0;
-  bool was_throttled = false;
-
-  EmulatedRack(offline::Rack rack, OuProcess process)
-      : info(std::move(rack)), utilization(std::move(process))
-  {
-  }
-};
-
 RoomEmulation::RoomEmulation(EmulationConfig config)
-    : config_(config), topology_(config.room), rng_(config.seed)
+    : config_(config),
+      topology_(config.room),
+      queue_(config.queue_impl),
+      rng_(config.seed),
+      agg_(topology_)
 {
   FLEX_REQUIRE(config_.target_utilization > 0.0 &&
                    config_.target_utilization <= 1.0,
@@ -98,7 +85,8 @@ RoomEmulation::BuildRoom()
   for (std::size_t i = 0; i < trace.size(); ++i)
     trace[i].id = static_cast<int>(i);
 
-  offline::FlexOfflinePolicy policy = offline::FlexOfflinePolicy::Short(2.0);
+  offline::FlexOfflinePolicy policy =
+      offline::FlexOfflinePolicy::Short(config_.placement_solve_seconds);
   placement_ = policy.Place(topology_, trace);
   layout_ = offline::BuildRackLayout(topology_, placement_);
   FLEX_CHECK_MSG(!layout_.empty(), "placement produced no racks");
@@ -112,8 +100,18 @@ RoomEmulation::BuildRoom()
       0.92, config_.target_utilization *
                 (topology_.TotalProvisionedPower() / placed));
 
-  racks_.reserve(layout_.size());
-  for (const offline::Rack& rack : layout_) {
+  // Structure-of-arrays rack state: one flat vector per field, indexed
+  // by rack id (the placement emits ids sequentially; assert it so the
+  // flat indexing can never silently misattribute power).
+  const std::size_t n = layout_.size();
+  rack_util_.reserve(n);
+  rack_alloc_w_.reserve(n);
+  rack_pdu_.reserve(n);
+  rack_category_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const offline::Rack& rack = layout_[i];
+    FLEX_REQUIRE(rack.id == static_cast<int>(i),
+                 "rack layout ids must be dense and sequential");
     OuProcessConfig ou;
     ou.mean = rack_mean;
     ou.reversion_rate = 0.05;
@@ -123,29 +121,78 @@ RoomEmulation::BuildRoom()
     ou.min = 0.40;
     ou.max = 0.95;
     const double initial = rng_.TruncatedNormal(rack_mean, 0.08, ou.min, ou.max);
-    racks_.emplace_back(rack, OuProcess(ou, initial));
-  }
-
-  report_.total_racks = static_cast<int>(racks_.size());
-  for (const EmulatedRack& rack : racks_) {
-    switch (rack.info.category) {
+    rack_util_.emplace_back(ou, initial);
+    rack_alloc_w_.push_back(rack.allocated.value());
+    rack_pdu_.push_back(rack.pdu_pair);
+    rack_category_.push_back(rack.category);
+    switch (rack.category) {
       case Category::kSoftwareRedundant:
         ++report_.sr_racks;
+        sr_rack_ids_.push_back(rack.id);
         break;
       case Category::kNonRedundantCapable:
         ++report_.capable_racks;
+        capable_rack_ids_.push_back(rack.id);
         break;
       case Category::kNonRedundantNonCapable:
         ++report_.noncap_racks;
         break;
     }
   }
+  report_.total_racks = static_cast<int>(n);
+  rack_power_w_.assign(n, 0.0);
+  rack_on_.assign(n, 1);
+  rack_cap_w_.assign(n, -1.0);
+  latency_factor_integral_.assign(n, 0.0);
+  latency_window_seconds_.assign(n, 0.0);
+  worst_latency_factor_.assign(n, 1.0);
+  was_throttled_.assign(n, 0);
 
   plane_ = std::make_unique<actuation::ActuationPlane>(
       queue_, report_.total_racks, config_.rack_manager, rng_.NextU64());
+  plane_->SetStateListener(
+      [this](int rack_id) { OnRackStateChanged(rack_id); });
   pipeline_ = std::make_unique<telemetry::TelemetryPipeline>(
       queue_, *this, topology_.NumUpses(), report_.total_racks,
       config_.pipeline, rng_.NextU64());
+
+  // Poll racks grouped by their PDU pair's primary UPS so each tick
+  // walks one electrical domain at a time (batches keyed by UPS). The
+  // incremental engine publishes one batch per UPS group — finer event
+  // granularity, identical delivered readings; the baseline flag keeps
+  // the pre-incremental structure of one room-sized batch per tick.
+  {
+    std::vector<std::vector<int>> racks_of_pdu(
+        static_cast<std::size_t>(topology_.NumPduPairs()));
+    for (std::size_t i = 0; i < n; ++i)
+      racks_of_pdu[static_cast<std::size_t>(rack_pdu_[i])].push_back(
+          static_cast<int>(i));
+    std::vector<std::vector<int>> groups(
+        static_cast<std::size_t>(topology_.NumUpses()));
+    for (UpsId u = 0; u < topology_.NumUpses(); ++u) {
+      for (const PduPairId p : topology_.PduPairsOfUps(u)) {
+        if (topology_.UpsesOfPduPair(p).first != u)
+          continue;  // each pair is emitted once, under its primary UPS
+        const auto& racks = racks_of_pdu[static_cast<std::size_t>(p)];
+        auto& group = groups[static_cast<std::size_t>(u)];
+        group.insert(group.end(), racks.begin(), racks.end());
+      }
+    }
+    if (config_.incremental_aggregation) {
+      pipeline_->SetRackPollGroups(std::move(groups));
+    } else {
+      std::vector<int> order;
+      order.reserve(n);
+      for (const std::vector<int>& group : groups)
+        order.insert(order.end(), group.begin(), group.end());
+      pipeline_->SetRackPollOrder(std::move(order));
+    }
+  }
+
+  // Seed the aggregates with the initial rack powers (everything on,
+  // uncapped, ramp at t = 0).
+  if (config_.incremental_aggregation)
+    RebuildAggregates();
 
   // Impact registry from the configured scenario.
   online::ImpactRegistry impact;
@@ -153,14 +200,14 @@ RoomEmulation::BuildRoom()
   impact.emplace("tpce-capable", config_.scenario.capable);
 
   std::vector<online::ManagedRack> managed;
-  for (const EmulatedRack& rack : racks_) {
+  for (const offline::Rack& rack : layout_) {
     online::ManagedRack m;
-    m.rack_id = rack.info.id;
-    m.workload = rack.info.workload;
-    m.category = rack.info.category;
-    m.pdu_pair = rack.info.pdu_pair;
-    m.allocated = rack.info.allocated;
-    m.flex_power = rack.info.allocated * config_.flex_power_fraction;
+    m.rack_id = rack.id;
+    m.workload = rack.workload;
+    m.category = rack.category;
+    m.pdu_pair = rack.pdu_pair;
+    m.allocated = rack.allocated;
+    m.flex_power = rack.allocated * config_.flex_power_fraction;
     managed.push_back(std::move(m));
   }
   // Software-redundant service continuity: the TeraSort-like workload
@@ -196,16 +243,33 @@ RoomEmulation::BuildRoom()
   }
 }
 
+double
+RoomEmulation::RampNow() const
+{
+  return 0.35 + 0.65 * std::min(1.0, queue_.Now() / config_.setup_duration);
+}
+
+double
+RoomEmulation::ComputeRackPowerW(int rack_id, double ramp) const
+{
+  const auto i = static_cast<std::size_t>(rack_id);
+  if (!rack_on_[i])
+    return 0.0;
+  double demand = rack_alloc_w_[i] * rack_util_[i].value() * ramp;
+  const double cap = rack_cap_w_[i];
+  if (cap >= 0.0 && demand > cap)
+    demand = cap;
+  return demand;
+}
+
 Watts
 RoomEmulation::TrueRackPower(int rack_id) const
 {
-  const EmulatedRack& rack = racks_[static_cast<std::size_t>(rack_id)];
+  const auto i = static_cast<std::size_t>(rack_id);
   const actuation::RackState& state = plane_->rack(rack_id).state();
   if (!state.powered_on)
     return Watts(0.0);
-  const double ramp =
-      0.35 + 0.65 * std::min(1.0, queue_.Now() / config_.setup_duration);
-  Watts demand = rack.info.allocated * rack.utilization.value() * ramp;
+  Watts demand(rack_alloc_w_[i] * rack_util_[i].value() * RampNow());
   if (state.power_cap && demand > *state.power_cap)
     demand = *state.power_cap;
   return demand;
@@ -216,28 +280,139 @@ RoomEmulation::TrueUpsLoads() const
 {
   power::PduPairLoads pdu_loads(
       static_cast<std::size_t>(topology_.NumPduPairs()), Watts(0.0));
-  for (const EmulatedRack& rack : racks_) {
-    pdu_loads[static_cast<std::size_t>(rack.info.pdu_pair)] +=
-        TrueRackPower(rack.info.id);
+  for (int id = 0; id < report_.total_racks; ++id) {
+    pdu_loads[static_cast<std::size_t>(rack_pdu_[static_cast<std::size_t>(
+        id)])] += TrueRackPower(id);
   }
   if (failed_ups_ >= 0)
     return power::FailoverUpsLoads(topology_, pdu_loads, failed_ups_);
   return power::NormalUpsLoads(topology_, pdu_loads);
 }
 
+std::vector<Watts>
+RoomEmulation::UpsLoadsNow() const
+{
+  if (config_.incremental_aggregation)
+    return agg_.UpsLoads();
+  return TrueUpsLoads();
+}
+
+void
+RoomEmulation::RebuildAggregates()
+{
+  // Fresh left-to-right rack-order sums: identical summation order to a
+  // brute-force rescan, so the running state starts each workload step
+  // drift-free. O(racks), amortized against the utilization step that
+  // already touched every rack.
+  const double ramp = RampNow();
+  pdu_scratch_.assign(static_cast<std::size_t>(topology_.NumPduPairs()),
+                      Watts(0.0));
+  for (std::size_t i = 0; i < rack_power_w_.size(); ++i) {
+    const double p = ComputeRackPowerW(static_cast<int>(i), ramp);
+    rack_power_w_[i] = p;
+    pdu_scratch_[static_cast<std::size_t>(rack_pdu_[i])] += Watts(p);
+  }
+  agg_.SetAllPduLoads(pdu_scratch_);
+}
+
+void
+RoomEmulation::OnRackStateChanged(int rack_id)
+{
+  const auto i = static_cast<std::size_t>(rack_id);
+  const actuation::RackState& state = plane_->rack(rack_id).state();
+  const bool was_on = rack_on_[i] != 0;
+  const bool had_cap = rack_cap_w_[i] >= 0.0;
+  const bool now_on = state.powered_on;
+  const bool now_capped = state.power_cap.has_value();
+
+  off_count_ += static_cast<int>(!now_on) - static_cast<int>(!was_on);
+  capped_count_ += static_cast<int>(now_on && now_capped) -
+                   static_cast<int>(was_on && had_cap);
+  if (rack_category_[i] == Category::kNonRedundantNonCapable) {
+    noncap_acted_count_ += static_cast<int>(!now_on || now_capped) -
+                           static_cast<int>(!was_on || had_cap);
+  }
+  rack_on_[i] = now_on ? 1 : 0;
+  rack_cap_w_[i] = now_capped ? state.power_cap->value() : -1.0;
+
+  if (!config_.incremental_aggregation)
+    return;
+  // The rack's electrical draw just changed: apply the delta to the
+  // running sums instead of rescanning the room.
+  const double p = ComputeRackPowerW(rack_id, RampNow());
+  const double delta = p - rack_power_w_[i];
+  rack_power_w_[i] = p;
+  if (delta != 0.0)
+    agg_.ApplyDelta(rack_pdu_[i], Watts(delta));
+}
+
+void
+RoomEmulation::VerifyAggregates()
+{
+  // Exact rescan cross-check: rebuild the PDU sums from the cached rack
+  // powers and diff the resulting UPS loads against the running sums.
+  // Tolerance covers only FP reordering drift between resyncs — a logic
+  // bug (missed delta, stale mirror) shows up orders of magnitude above
+  // it.
+  FLEX_CHECK_MSG(agg_.failed_ups() == failed_ups_,
+                 "aggregation failover mode out of sync");
+  power::PduPairLoads exact(
+      static_cast<std::size_t>(topology_.NumPduPairs()), Watts(0.0));
+  for (std::size_t i = 0; i < rack_power_w_.size(); ++i)
+    exact[static_cast<std::size_t>(rack_pdu_[i])] += Watts(rack_power_w_[i]);
+  const std::vector<Watts> ups_exact =
+      failed_ups_ >= 0 ? power::FailoverUpsLoads(topology_, exact, failed_ups_)
+                       : power::NormalUpsLoads(topology_, exact);
+  const double tolerance =
+      1e-3 + 1e-9 * std::abs(agg_.TotalLoad().value());
+  const std::vector<Watts>& running = agg_.UpsLoads();
+  for (std::size_t u = 0; u < ups_exact.size(); ++u) {
+    FLEX_CHECK_MSG(
+        std::abs(running[u].value() - ups_exact[u].value()) <= tolerance,
+        "incremental UPS aggregation diverged from exact rescan");
+  }
+  ++verify_rescans_;
+}
+
 Watts
 RoomEmulation::CurrentPower(DeviceId device) const
 {
-  if (device.kind == DeviceKind::kRack)
+  if (device.kind == DeviceKind::kRack) {
+    if (config_.incremental_aggregation)
+      return Watts(rack_power_w_[static_cast<std::size_t>(device.index)]);
     return TrueRackPower(device.index);
+  }
+  if (config_.incremental_aggregation)
+    return agg_.UpsLoads()[static_cast<std::size_t>(device.index)];
   return TrueUpsLoads()[static_cast<std::size_t>(device.index)];
+}
+
+void
+RoomEmulation::CurrentPowerBatch(DeviceKind kind,
+                                 std::vector<Watts>& out) const
+{
+  if (!config_.incremental_aggregation) {
+    // Baseline path: per-device answers, i.e. one full rack scan per UPS
+    // device per tick — the pre-incremental cost model the room-scale
+    // bench measures against.
+    PowerSource::CurrentPowerBatch(kind, out);
+    return;
+  }
+  if (kind == DeviceKind::kUps) {
+    const std::vector<Watts>& loads = agg_.UpsLoads();
+    for (std::size_t u = 0; u < out.size(); ++u)
+      out[u] = loads[u];
+    return;
+  }
+  for (std::size_t i = 0; i < out.size(); ++i)
+    out[i] = Watts(rack_power_w_[i]);
 }
 
 void
 RoomEmulation::StepWorkloads()
 {
   // Batteries ride through whatever overload the current loads impose.
-  const std::vector<Watts> ups_loads = TrueUpsLoads();
+  const std::vector<Watts> ups_loads = UpsLoadsNow();
   for (UpsId u = 0; u < topology_.NumUpses(); ++u) {
     power::BatteryModel& battery = batteries_[static_cast<std::size_t>(u)];
     battery.Advance(ups_loads[static_cast<std::size_t>(u)],
@@ -259,10 +434,9 @@ RoomEmulation::StepWorkloads()
   // the service's own health checks; notified shutdowns are tolerated,
   // unnotified ones would trigger auto-recovery (counted, inhibited).
   if (sr_scale_out_) {
-    for (const EmulatedRack& rack : racks_) {
-      if (rack.info.category == Category::kSoftwareRedundant &&
-          !plane_->rack(rack.info.id).state().powered_on)
-        sr_scale_out_->ObserveRackDown(rack.info.id);
+    for (const int id : sr_rack_ids_) {
+      if (!rack_on_[static_cast<std::size_t>(id)])
+        sr_scale_out_->ObserveRackDown(id);
     }
     report_.sr_capacity_min_fraction =
         std::min(report_.sr_capacity_min_fraction,
@@ -274,29 +448,38 @@ RoomEmulation::StepWorkloads()
     }
   }
 
+  // Advance every utilization in rack order — the RNG draw order is part
+  // of the deterministic contract, so this loop stays separate from the
+  // category-specific bookkeeping below.
+  for (OuProcess& util : rack_util_)
+    util.Step(config_.workload_step, rng_);
+
+  // Every rack's demand just changed; refresh the cached powers and the
+  // aggregates with one exact pass (also bounds delta rounding drift).
+  if (config_.incremental_aggregation)
+    RebuildAggregates();
+
   const bool in_failover_window =
       queue_.Now() >= config_.failover_at && queue_.Now() < config_.restore_at;
+  if (!in_failover_window)
+    return;
+  // Track tail latency of the transactional racks while the failover
+  // episode is in progress.
   const LatencyModel latency(0.25);
-  for (EmulatedRack& rack : racks_) {
-    rack.utilization.Step(config_.workload_step, rng_);
-    if (rack.info.category != Category::kNonRedundantCapable)
-      continue;
-    // Track tail latency of the transactional racks while the failover
-    // episode is in progress.
-    if (!in_failover_window)
-      continue;
-    const actuation::RackState& state = plane_->rack(rack.info.id).state();
+  for (const int id : capable_rack_ids_) {
+    const auto i = static_cast<std::size_t>(id);
+    const double cap = rack_cap_w_[i];
     const double ramp = 1.0;  // setup finished well before failover
-    const Watts demand = rack.info.allocated * rack.utilization.value() * ramp;
+    const Watts demand(rack_alloc_w_[i] * rack_util_[i].value() * ramp);
     double factor = 1.0;
-    if (state.power_cap) {
-      rack.was_throttled = true;
+    if (cap >= 0.0) {
+      was_throttled_[i] = 1;
       factor = latency.P95Factor(LatencyModel::SpeedUnderCap(
-          demand, *state.power_cap));
+          demand, Watts(cap)));
     }
-    rack.latency_factor_integral += factor * config_.workload_step.value();
-    rack.latency_window_seconds += config_.workload_step.value();
-    rack.worst_latency_factor = std::max(rack.worst_latency_factor, factor);
+    latency_factor_integral_[i] += factor * config_.workload_step.value();
+    latency_window_seconds_[i] += config_.workload_step.value();
+    worst_latency_factor_[i] = std::max(worst_latency_factor_[i], factor);
   }
 }
 
@@ -305,25 +488,42 @@ RoomEmulation::RecordSample()
 {
   EmulationSample sample;
   sample.t_seconds = queue_.Now().value();
-  const std::vector<Watts> ups = TrueUpsLoads();
+  const std::vector<Watts> ups = UpsLoadsNow();
   for (const Watts w : ups)
     sample.ups_mw.push_back(w.megawatts());
-  for (const EmulatedRack& rack : racks_)
-    sample.total_rack_mw += TrueRackPower(rack.info.id).megawatts();
-  int off = 0;
-  int capped = 0;
-  for (const EmulatedRack& rack : racks_) {
-    const actuation::RackState& state = plane_->rack(rack.info.id).state();
-    if (!state.powered_on)
-      ++off;
-    else if (state.power_cap)
-      ++capped;
+  if (config_.incremental_aggregation) {
+    sample.total_rack_mw = agg_.TotalLoad().megawatts();
+    sample.racks_off = off_count_;
+    sample.racks_capped = capped_count_;
+    if (config_.verify_aggregation)
+      VerifyAggregates();
+  } else {
+    for (int id = 0; id < report_.total_racks; ++id)
+      sample.total_rack_mw += TrueRackPower(id).megawatts();
+    int off = 0;
+    int capped = 0;
+    for (int id = 0; id < report_.total_racks; ++id) {
+      const actuation::RackState& state = plane_->rack(id).state();
+      if (!state.powered_on)
+        ++off;
+      else if (state.power_cap)
+        ++capped;
+    }
+    sample.racks_off = off;
+    sample.racks_capped = capped;
   }
-  sample.racks_off = off;
-  sample.racks_capped = capped;
   report_.series.push_back(std::move(sample));
 
+  // Without a dedicated monitor, safety tracking rides the sample tick.
+  if (config_.monitor_period.value() <= 0.0)
+    MonitorTick(ups);
+}
+
+void
+RoomEmulation::MonitorTick(const std::vector<Watts>& ups)
+{
   // Safety bookkeeping: time spent above rated capacity vs. tolerance.
+  ++report_.monitor_ticks;
   for (UpsId u = 0; u < topology_.NumUpses(); ++u) {
     const double fraction = ups[static_cast<std::size_t>(u)] /
                             topology_.UpsCapacity(u);
@@ -359,12 +559,26 @@ RoomEmulation::Run()
     RecordSample();
     return queue_.Now() < config_.end_at;
   });
+  // Dedicated high-resolution safety monitor: O(UPSes) per tick on the
+  // incremental path, O(racks) on the full-rescan baseline.
+  if (config_.monitor_period.value() > 0.0) {
+    sim::SchedulePeriodic(queue_, config_.monitor_period, [this] {
+      MonitorTick(UpsLoadsNow());
+      return queue_.Now() < config_.end_at;
+    });
+  }
   // Stage C: fail a UPS.
   queue_.ScheduleAt(config_.failover_at, [this] {
     failed_ups_ = config_.failed_ups;
+    if (config_.incremental_aggregation)
+      agg_.SetFailedUps(failed_ups_);
   });
   // Stage F: restore it.
-  queue_.ScheduleAt(config_.restore_at, [this] { failed_ups_ = -1; });
+  queue_.ScheduleAt(config_.restore_at, [this] {
+    failed_ups_ = -1;
+    if (config_.incremental_aggregation)
+      agg_.SetFailedUps(-1);
+  });
 
   double time_to_safe = -1.0;
   sim::SchedulePeriodic(queue_, Seconds(0.5), [this, &time_to_safe] {
@@ -372,7 +586,7 @@ RoomEmulation::Run()
       return true;
     if (time_to_safe >= 0.0)
       return false;
-    const std::vector<Watts> ups = TrueUpsLoads();
+    const std::vector<Watts> ups = UpsLoadsNow();
     bool safe = true;
     for (UpsId u = 0; u < topology_.NumUpses(); ++u) {
       if (ups[static_cast<std::size_t>(u)] > topology_.UpsCapacity(u))
@@ -385,21 +599,28 @@ RoomEmulation::Run()
     return true;
   });
 
-  // Track peak action counts during the episode.
+  // Track peak action counts during the episode. The incremental path
+  // reads the listener-maintained counters; the baseline path rescans.
   sim::SchedulePeriodic(queue_, Seconds(1.0), [this] {
     int off = 0;
     int capped = 0;
     int noncap_acted = 0;
-    for (const EmulatedRack& rack : racks_) {
-      const actuation::RackState& state = plane_->rack(rack.info.id).state();
-      const bool acted = !state.powered_on || state.power_cap.has_value();
-      if (!state.powered_on)
-        ++off;
-      else if (state.power_cap)
-        ++capped;
-      if (acted &&
-          rack.info.category == Category::kNonRedundantNonCapable)
-        ++noncap_acted;
+    if (config_.incremental_aggregation) {
+      off = off_count_;
+      capped = capped_count_;
+      noncap_acted = noncap_acted_count_;
+    } else {
+      for (int id = 0; id < report_.total_racks; ++id) {
+        const actuation::RackState& state = plane_->rack(id).state();
+        const bool acted = !state.powered_on || state.power_cap.has_value();
+        if (!state.powered_on)
+          ++off;
+        else if (state.power_cap)
+          ++capped;
+        if (acted && rack_category_[static_cast<std::size_t>(id)] ==
+                         Category::kNonRedundantNonCapable)
+          ++noncap_acted;
+      }
     }
     report_.sr_shutdown_peak = std::max(report_.sr_shutdown_peak, off);
     report_.capable_capped_peak =
@@ -439,14 +660,15 @@ RoomEmulation::Run()
   }
 
   RunningStats latency_increase;
-  for (const EmulatedRack& rack : racks_) {
-    if (!rack.was_throttled || rack.latency_window_seconds <= 0.0)
+  for (const int id : capable_rack_ids_) {
+    const auto i = static_cast<std::size_t>(id);
+    if (!was_throttled_[i] || latency_window_seconds_[i] <= 0.0)
       continue;
     const double mean_factor =
-        rack.latency_factor_integral / rack.latency_window_seconds;
+        latency_factor_integral_[i] / latency_window_seconds_[i];
     latency_increase.Add(mean_factor - 1.0);
     report_.p95_increase_worst = std::max(
-        report_.p95_increase_worst, rack.worst_latency_factor - 1.0);
+        report_.p95_increase_worst, worst_latency_factor_[i] - 1.0);
   }
   report_.p95_increase_mean = latency_increase.mean();
   if (sr_scale_out_) {
@@ -455,6 +677,23 @@ RoomEmulation::Run()
   }
   report_.notifications_published =
       static_cast<int>(notifications_.published_count());
+
+  report_.events_executed = queue_.executed_count();
+  report_.aggregate_deltas = agg_.delta_count();
+  report_.aggregate_resyncs = agg_.resync_count();
+  report_.verify_rescans = verify_rescans_;
+  if (config_.obs != nullptr) {
+    obs::MetricsRegistry& metrics = config_.obs->metrics();
+    metrics.gauge("room.racks").Set(static_cast<double>(report_.total_racks));
+    metrics.gauge("room.events_executed")
+        .Set(static_cast<double>(report_.events_executed));
+    metrics.gauge("room.aggregate_deltas")
+        .Set(static_cast<double>(report_.aggregate_deltas));
+    metrics.gauge("room.aggregate_resyncs")
+        .Set(static_cast<double>(report_.aggregate_resyncs));
+    metrics.gauge("room.verify_rescans")
+        .Set(static_cast<double>(report_.verify_rescans));
+  }
   return report_;
 }
 

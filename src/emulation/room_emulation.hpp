@@ -10,6 +10,15 @@
  * wires together every substrate in the repository: the power topology,
  * Flex-Offline placement, synthetic workloads, the redundant telemetry
  * pipeline, multi-primary Flex controllers, and rack-manager actuation.
+ *
+ * Scale: rack state lives in flat structure-of-arrays vectors, and UPS
+ * loads are maintained incrementally (power::IncrementalUpsLoads) from
+ * rack-power deltas instead of per-tick O(racks) rescans, so rooms of
+ * tens of thousands of racks simulate at interactive speed. Set
+ * EmulationConfig::incremental_aggregation = false to fall back to the
+ * original full-rescan path (the measured baseline for the room-scale
+ * bench), and verify_aggregation = true to cross-check the running sums
+ * against an exact rescan at every sample.
  */
 #ifndef FLEX_EMULATION_ROOM_EMULATION_HPP_
 #define FLEX_EMULATION_ROOM_EMULATION_HPP_
@@ -24,6 +33,7 @@
 #include "offline/placement.hpp"
 #include "online/controller.hpp"
 #include "power/battery.hpp"
+#include "power/incremental.hpp"
 #include "power/topology.hpp"
 #include "sim/event_queue.hpp"
 #include "telemetry/pipeline.hpp"
@@ -47,13 +57,53 @@ struct EmulationConfig {
   Seconds end_at = Minutes(32.0);
   Seconds workload_step = Seconds(1.0);
   Seconds sample_period = Seconds(5.0);
+  /**
+   * Safety-monitor cadence (per-UPS overload and trip-curve tracking).
+   * <= 0 (default) folds the monitor into each sample tick, i.e. the
+   * sample_period cadence. > 0 schedules a dedicated monitor at this
+   * period: with incremental aggregation each tick costs O(UPSes), so
+   * 100 Hz trip-curve monitoring stays affordable at 10k racks, while
+   * the full-rescan baseline pays O(racks) per tick. The paper's trip
+   * curves resolve overloads down to tens of milliseconds, which the
+   * default 5 s sampling cannot see.
+   */
+  Seconds monitor_period = Seconds(0.0);
   power::UpsId failed_ups = 0;
 
   int num_controllers = 3;  ///< multi-primary replicas
+  /**
+   * Per-batch wall-clock budget for the Flex-Offline placement MILP
+   * that builds the room. Solves that converge within the budget are
+   * deterministic; budget-limited solves are not, so sweeps that need
+   * bit-identity should keep this high enough to converge.
+   */
+  double placement_solve_seconds = 2.0;
   telemetry::PipelineConfig pipeline;
   actuation::RackManagerConfig rack_manager;
   online::ControllerConfig controller;
   std::uint64_t seed = 2021;
+
+  /**
+   * Maintain UPS loads incrementally from rack-power deltas (the scaled
+   * path). false restores the original full-rescan behaviour: every
+   * telemetry tick, sample, and safety check walks all racks — the
+   * baseline the room-scale bench measures its speedup against.
+   */
+  bool incremental_aggregation = true;
+  /**
+   * Cross-check the incremental sums against an exact brute-force rescan
+   * at every sample (FLEX_CHECK on divergence). Defaults on under
+   * sanitized builds (-DFLEX_AGG_VERIFY, set by FLEX_SANITIZE); always
+   * settable explicitly for tests.
+   */
+#ifdef FLEX_AGG_VERIFY
+  bool verify_aggregation = true;
+#else
+  bool verify_aggregation = false;
+#endif
+  /** Event-queue backing store (calendar wheel by default). */
+  sim::EventQueue::Impl queue_impl = sim::EventQueue::Impl::kCalendar;
+
   /**
    * Optional instrumentation sink. When set, the harness binds it to its
    * internal clock and propagates it into the pipeline, controller,
@@ -123,6 +173,13 @@ struct EmulationReport {
   int overdraw_events = 0;
   int throttle_commands = 0;
   int shutdown_commands = 0;
+
+  /** Simulation-engine accounting (for the room-scale bench). */
+  std::uint64_t events_executed = 0;
+  std::uint64_t aggregate_deltas = 0;   ///< O(1) incremental updates
+  std::uint64_t aggregate_resyncs = 0;  ///< exact O(PDU) resyncs
+  std::uint64_t verify_rescans = 0;     ///< debug cross-check rescans
+  std::uint64_t monitor_ticks = 0;      ///< safety-monitor evaluations
 };
 
 /**
@@ -139,6 +196,8 @@ class RoomEmulation : public telemetry::PowerSource {
 
   // telemetry::PowerSource:
   Watts CurrentPower(telemetry::DeviceId device) const override;
+  void CurrentPowerBatch(telemetry::DeviceKind kind,
+                         std::vector<Watts>& out) const override;
 
   const power::RoomTopology& topology() const { return topology_; }
   const offline::Placement& placement() const { return placement_; }
@@ -147,13 +206,21 @@ class RoomEmulation : public telemetry::PowerSource {
   telemetry::TelemetryPipeline& pipeline() { return *pipeline_; }
 
  private:
-  struct EmulatedRack;
-
   void BuildRoom();
   void StepWorkloads();
   void RecordSample();
+  /** Overload + trip-curve tracking against the given true UPS loads. */
+  void MonitorTick(const std::vector<Watts>& ups);
+  void OnRackStateChanged(int rack_id);
+  void RebuildAggregates();
+  void VerifyAggregates();
+  /** Rack power from the SoA state + actuation mirrors (any mode). */
+  double ComputeRackPowerW(int rack_id, double ramp) const;
+  double RampNow() const;
   Watts TrueRackPower(int rack_id) const;
   std::vector<Watts> TrueUpsLoads() const;
+  /** UPS loads via whichever path the config selects. */
+  std::vector<Watts> UpsLoadsNow() const;
 
   EmulationConfig config_;
   power::RoomTopology topology_;
@@ -162,7 +229,34 @@ class RoomEmulation : public telemetry::PowerSource {
 
   offline::Placement placement_;
   std::vector<offline::Rack> layout_;
-  std::vector<EmulatedRack> racks_;
+
+  // --- Rack state, structure-of-arrays (index == rack id == layout_
+  // index; BuildRoom asserts the invariant). The actuation plane owns
+  // the authoritative on/cap state; rack_on_/rack_cap_w_ mirror it so
+  // the hot loops never chase through RackManager objects.
+  std::vector<OuProcess> rack_util_;
+  std::vector<double> rack_alloc_w_;
+  std::vector<std::int32_t> rack_pdu_;
+  std::vector<workload::Category> rack_category_;
+  std::vector<double> rack_power_w_;  // cached true power (piecewise const)
+  std::vector<char> rack_on_;
+  std::vector<double> rack_cap_w_;  // active cap in watts; < 0 = none
+  // Tail-latency tracking (cap-able racks only, but full-size for flat
+  // indexing).
+  std::vector<double> latency_factor_integral_;
+  std::vector<double> latency_window_seconds_;
+  std::vector<double> worst_latency_factor_;
+  std::vector<char> was_throttled_;
+  std::vector<int> sr_rack_ids_;
+  std::vector<int> capable_rack_ids_;
+
+  // Incremental aggregation state.
+  power::IncrementalUpsLoads agg_;
+  power::PduPairLoads pdu_scratch_;
+  int off_count_ = 0;           // racks powered off
+  int capped_count_ = 0;        // racks on with an active cap
+  int noncap_acted_count_ = 0;  // non-cap-able racks off or capped
+  std::uint64_t verify_rescans_ = 0;
 
   std::unique_ptr<actuation::ActuationPlane> plane_;
   std::unique_ptr<telemetry::TelemetryPipeline> pipeline_;

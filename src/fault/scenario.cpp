@@ -1,9 +1,11 @@
 #include "scenario.hpp"
 
 #include <algorithm>
+#include <functional>
 #include <utility>
 
 #include "common/error.hpp"
+#include "common/thread_pool.hpp"
 #include "power/loads.hpp"
 
 namespace flex::fault {
@@ -275,6 +277,50 @@ RunFuzzedScenario(const ScenarioConfig& config, std::uint64_t seed,
     *trace_out = plan.DebugString();
   FaultScenario scenario(config, seed);
   return scenario.Run(plan);
+}
+
+std::vector<ScenarioReport>
+RunFuzzSweep(const ScenarioConfig& config, std::uint64_t first_seed,
+             int count, int threads, std::vector<std::string>* traces)
+{
+  FLEX_REQUIRE(count >= 0, "negative sweep count");
+  FLEX_REQUIRE(threads >= 0, "negative thread count");
+
+  std::vector<ScenarioReport> reports(static_cast<std::size_t>(count));
+  if (traces != nullptr) {
+    traces->clear();
+    traces->resize(static_cast<std::size_t>(count));
+  }
+
+  // Each lane derives everything from its seed; the config is shared
+  // read-only except for obs, which must be detached (the registry is
+  // single-threaded).
+  const auto run_one = [&config, &reports, traces, first_seed](int i) {
+    ScenarioConfig lane_config = config;
+    lane_config.obs = nullptr;
+    const std::size_t slot = static_cast<std::size_t>(i);
+    std::string* trace = traces != nullptr ? &(*traces)[slot] : nullptr;
+    reports[slot] = RunFuzzedScenario(
+        lane_config, first_seed + static_cast<std::uint64_t>(i), trace);
+  };
+
+  if (threads == 1 || count <= 1) {
+    for (int i = 0; i < count; ++i)
+      run_one(i);
+    return reports;
+  }
+
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i)
+    tasks.push_back([&run_one, i] { run_one(i); });
+  if (threads == 0) {
+    common::ThreadPool::Shared().Run(std::move(tasks));
+  } else {
+    common::ThreadPool pool(threads);
+    pool.Run(std::move(tasks));
+  }
+  return reports;
 }
 
 }  // namespace flex::fault

@@ -149,6 +149,21 @@ ScenarioReport RunFuzzedScenario(const ScenarioConfig& config,
                                  std::uint64_t seed,
                                  std::string* trace_out = nullptr);
 
+/**
+ * Runs RunFuzzedScenario for seeds first_seed .. first_seed+count-1,
+ * fanning independent scenarios out across thread-pool lanes (0 = the
+ * shared pool, 1 = inline serial, n = a private pool of n lanes) and
+ * merging serially in seed order — reports[i] is seed first_seed+i for
+ * any thread count. Each lane forces obs = nullptr (the registry is
+ * single-threaded). When @p traces is non-null it receives the plan
+ * DebugStrings, also in seed order.
+ */
+std::vector<ScenarioReport> RunFuzzSweep(const ScenarioConfig& config,
+                                         std::uint64_t first_seed, int count,
+                                         int threads = 0,
+                                         std::vector<std::string>* traces =
+                                             nullptr);
+
 }  // namespace flex::fault
 
 #endif  // FLEX_FAULT_SCENARIO_HPP_

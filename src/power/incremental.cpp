@@ -1,0 +1,94 @@
+#include "incremental.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace flex::power {
+
+IncrementalUpsLoads::IncrementalUpsLoads(const RoomTopology& topology)
+    : topology_(&topology),
+      pdu_loads_(static_cast<std::size_t>(topology.NumPduPairs()),
+                 Watts(0.0)),
+      ups_loads_(static_cast<std::size_t>(topology.NumUpses()), Watts(0.0))
+{
+}
+
+void
+IncrementalUpsLoads::SetFailedUps(UpsId failed)
+{
+  FLEX_REQUIRE(failed >= -1 && failed < topology_->NumUpses(),
+               "failed UPS id out of range");
+  if (failed == failed_)
+    return;
+  failed_ = failed;
+  Resync();
+}
+
+void
+IncrementalUpsLoads::ApplyDelta(PduPairId p, Watts delta)
+{
+  FLEX_REQUIRE(p >= 0 && p < topology_->NumPduPairs(),
+               "PDU pair id out of range");
+  const auto idx = static_cast<std::size_t>(p);
+  pdu_loads_[idx] += delta;
+  if (pdu_loads_[idx].value() < 0.0) {
+    // FP cancellation can leave a ~-1e-12 W residue when the last rack
+    // on a pair powers off; clamp it so exact rescans (which reject
+    // negative loads) stay callable. Anything larger is a real
+    // accounting bug.
+    FLEX_REQUIRE(pdu_loads_[idx].value() > -1e-3, "negative PDU pair load");
+    pdu_loads_[idx] = Watts(0.0);
+  }
+  total_ += delta;
+  const auto [u1, u2] = topology_->UpsesOfPduPair(p);
+  if (u1 == failed_) {
+    ups_loads_[static_cast<std::size_t>(u2)] += delta;
+  } else if (u2 == failed_) {
+    ups_loads_[static_cast<std::size_t>(u1)] += delta;
+  } else {
+    const Watts half = delta * 0.5;
+    ups_loads_[static_cast<std::size_t>(u1)] += half;
+    ups_loads_[static_cast<std::size_t>(u2)] += half;
+  }
+  ++delta_count_;
+}
+
+void
+IncrementalUpsLoads::SetAllPduLoads(const PduPairLoads& loads)
+{
+  FLEX_REQUIRE(static_cast<int>(loads.size()) == topology_->NumPduPairs(),
+               "PDU loads must have one entry per PDU pair");
+  pdu_loads_ = loads;
+  Resync();
+}
+
+void
+IncrementalUpsLoads::Resync()
+{
+  ups_loads_ = RescanUpsLoads();
+  total_ = Watts(0.0);
+  for (const Watts& w : pdu_loads_)
+    total_ += w;
+  ++resync_count_;
+}
+
+std::vector<Watts>
+IncrementalUpsLoads::RescanUpsLoads() const
+{
+  return failed_ < 0 ? NormalUpsLoads(*topology_, pdu_loads_)
+                     : FailoverUpsLoads(*topology_, pdu_loads_, failed_);
+}
+
+double
+IncrementalUpsLoads::MaxUpsErrorWatts() const
+{
+  const std::vector<Watts> exact = RescanUpsLoads();
+  double worst = 0.0;
+  for (std::size_t u = 0; u < exact.size(); ++u)
+    worst = std::max(worst, std::abs(ups_loads_[u].value() - exact[u].value()));
+  return worst;
+}
+
+}  // namespace flex::power

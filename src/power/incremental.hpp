@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Incremental per-UPS load aggregation.
+ *
+ * RoomEmulation used to recompute every UPS load with a full O(racks)
+ * scan on each telemetry poll, sample, and safety check — the dominant
+ * cost at room scale. IncrementalUpsLoads keeps per-PDU-pair and per-UPS
+ * running sums that are updated in O(1) per rack-power delta, while
+ * preserving the exact electrical semantics of NormalUpsLoads /
+ * FailoverUpsLoads (50/50 split per PDU pair; a failed UPS's half moves
+ * to the pair's sibling).
+ *
+ * Floating-point discipline: repeated `+= delta` accumulates rounding
+ * drift relative to a fresh left-to-right sum, so callers periodically
+ * Resync() (RoomEmulation does so once per workload step, where it
+ * already touches every rack) and debug builds cross-check against
+ * RescanUpsLoads() after every sample (see FLEX_AGG_VERIFY in
+ * room_emulation.cpp).
+ */
+#ifndef FLEX_POWER_INCREMENTAL_HPP_
+#define FLEX_POWER_INCREMENTAL_HPP_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.hpp"
+#include "power/loads.hpp"
+#include "power/topology.hpp"
+
+namespace flex::power {
+
+/**
+ * Running per-UPS loads maintained from rack-power deltas.
+ *
+ * Not thread-safe; each emulation lane owns its own instance.
+ */
+class IncrementalUpsLoads {
+ public:
+  explicit IncrementalUpsLoads(const RoomTopology& topology);
+
+  /**
+   * Switches the failover mode. @p failed is a UPS id, or -1 for normal
+   * operation. Recomputes the UPS sums exactly from the PDU sums
+   * (O(PDU pairs), which is tiny and happens only on failover edges).
+   */
+  void SetFailedUps(UpsId failed);
+
+  /** Currently failed UPS, or -1 under normal operation. */
+  UpsId failed_ups() const { return failed_; }
+
+  /** Adds @p delta to PDU pair @p p's load and to its UPS shares. O(1). */
+  void ApplyDelta(PduPairId p, Watts delta);
+
+  /** Replaces all PDU pair loads and resyncs the UPS sums exactly. */
+  void SetAllPduLoads(const PduPairLoads& loads);
+
+  /**
+   * Recomputes the UPS sums and total from the PDU sums with the same
+   * summation order as NormalUpsLoads / FailoverUpsLoads, discarding any
+   * accumulated delta rounding drift.
+   */
+  void Resync();
+
+  /** Per-UPS loads under the current (normal or failover) mode. */
+  const std::vector<Watts>& UpsLoads() const { return ups_loads_; }
+
+  /** Per-PDU-pair running loads. */
+  const PduPairLoads& PduLoads() const { return pdu_loads_; }
+
+  /** Sum of all PDU pair loads (total room load). */
+  Watts TotalLoad() const { return total_; }
+
+  /**
+   * Fresh exact recomputation from the PDU sums (does not modify the
+   * running state). Debug cross-checks diff this against UpsLoads().
+   */
+  std::vector<Watts> RescanUpsLoads() const;
+
+  /** Worst |running - rescanned| across UPSes, in watts. */
+  double MaxUpsErrorWatts() const;
+
+  /** O(1) deltas applied since construction. */
+  std::uint64_t delta_count() const { return delta_count_; }
+
+  /** Exact resyncs performed (SetAllPduLoads / SetFailedUps / Resync). */
+  std::uint64_t resync_count() const { return resync_count_; }
+
+ private:
+  const RoomTopology* topology_;
+  UpsId failed_ = -1;
+  PduPairLoads pdu_loads_;
+  std::vector<Watts> ups_loads_;
+  Watts total_{0.0};
+  std::uint64_t delta_count_ = 0;
+  std::uint64_t resync_count_ = 0;
+};
+
+}  // namespace flex::power
+
+#endif  // FLEX_POWER_INCREMENTAL_HPP_

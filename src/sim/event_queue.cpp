@@ -1,11 +1,20 @@
 #include "event_queue.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 #include <memory>
+#include <utility>
 
 #include "common/error.hpp"
 
 namespace flex::sim {
+
+EventQueue::EventQueue(Impl impl) : impl_(impl)
+{
+  if (impl_ == Impl::kCalendar)
+    buckets_.resize(kNumBuckets);
+}
 
 EventId
 EventQueue::Schedule(Seconds delay, Callback callback)
@@ -20,9 +29,36 @@ EventQueue::ScheduleAt(Seconds when, Callback callback)
   FLEX_REQUIRE(when >= now_, "cannot schedule before the current time");
   FLEX_REQUIRE(static_cast<bool>(callback), "null event callback");
   const EventId id = next_id_++;
-  heap_.push(Entry{when, next_sequence_++, id, std::move(callback)});
+  Insert(Entry{when, next_sequence_++, id, std::move(callback)});
   pending_.insert(id);
   return id;
+}
+
+void
+EventQueue::Insert(Entry entry)
+{
+  if (impl_ == Impl::kHeap) {
+    heap_.push(std::move(entry));
+    return;
+  }
+  const double when = entry.when.value();
+  const double wheel_end = wheel_start_ + kNumBuckets * kBucketWidth;
+  if (when >= wheel_end) {
+    far_heap_.push(std::move(entry));
+    return;
+  }
+  // Events before wheel_start_ (scheduled after an advance rebased the
+  // wheel onto a later far-heap event) clamp into bucket 0.
+  std::size_t idx = 0;
+  if (when > wheel_start_) {
+    idx = static_cast<std::size_t>((when - wheel_start_) / kBucketWidth);
+    if (idx >= kNumBuckets)
+      idx = kNumBuckets - 1;  // guard the when ~= wheel_end rounding edge
+  }
+  buckets_[idx].push_back(std::move(entry));
+  ++wheel_entries_;
+  if (idx < cursor_)
+    cursor_ = idx;  // never let the cursor skip a newly earlier event
 }
 
 ObserverId
@@ -66,23 +102,101 @@ EventQueue::NotifyObservers(Seconds when)
 void
 EventQueue::Cancel(EventId id)
 {
-  // Lazy cancellation: the entry stays in the heap and is skipped when
-  // popped because its id is no longer pending.
+  // Lazy cancellation: the entry stays in its container and is skipped
+  // when reached because its id is no longer pending.
   pending_.erase(id);
 }
 
 bool
-EventQueue::PopNext(Entry& out)
+EventQueue::PopEarliestHeap(double horizon, Entry& out)
 {
   while (!heap_.empty()) {
-    Entry top = heap_.top();
+    const Entry& top = heap_.top();
+    if (pending_.count(top.id) == 0) {
+      heap_.pop();  // cancelled: drop silently
+      continue;
+    }
+    if (top.when.value() > horizon)
+      return false;
+    out = top;
     heap_.pop();
-    if (pending_.erase(top.id) == 0)
-      continue;  // cancelled: drop silently
-    out = std::move(top);
+    pending_.erase(out.id);
     return true;
   }
   return false;
+}
+
+bool
+EventQueue::AdvanceWheel()
+{
+  // Prune cancelled events first so the wheel rebases onto a live one.
+  while (!far_heap_.empty() && pending_.count(far_heap_.top().id) == 0)
+    far_heap_.pop();
+  if (far_heap_.empty())
+    return false;
+  wheel_start_ = far_heap_.top().when.value();
+  cursor_ = 0;
+  const double wheel_end = wheel_start_ + kNumBuckets * kBucketWidth;
+  // Drain everything now inside the wheel window into buckets, keeping
+  // the invariant that far_heap_ only holds events at or past wheel_end.
+  while (!far_heap_.empty() && far_heap_.top().when.value() < wheel_end) {
+    Entry entry = far_heap_.top();
+    far_heap_.pop();
+    if (pending_.count(entry.id) == 0)
+      continue;
+    Insert(std::move(entry));
+  }
+  return true;
+}
+
+bool
+EventQueue::PopEarliestCalendar(double horizon, Entry& out)
+{
+  for (;;) {
+    while (wheel_entries_ > 0 && cursor_ < kNumBuckets) {
+      std::vector<Entry>& bucket = buckets_[cursor_];
+      // One pass: drop cancelled entries, track the live (when, seq) min.
+      std::size_t best = bucket.size();
+      std::size_t write = 0;
+      for (std::size_t read = 0; read < bucket.size(); ++read) {
+        if (pending_.count(bucket[read].id) == 0) {
+          --wheel_entries_;
+          continue;  // cancelled: compact it away
+        }
+        if (write != read)
+          bucket[write] = std::move(bucket[read]);
+        if (best == bucket.size() ||
+            bucket[write].when < bucket[best].when ||
+            (bucket[write].when == bucket[best].when &&
+             bucket[write].sequence < bucket[best].sequence))
+          best = write;
+        ++write;
+      }
+      bucket.resize(write);
+      if (bucket.empty()) {
+        ++cursor_;
+        continue;
+      }
+      if (bucket[best].when.value() > horizon)
+        return false;  // earliest wheel event is beyond the horizon
+      out = std::move(bucket[best]);
+      bucket[best] = std::move(bucket.back());
+      bucket.pop_back();
+      --wheel_entries_;
+      pending_.erase(out.id);
+      return true;
+    }
+    // Wheel exhausted (only tombstones may remain in passed buckets).
+    if (!AdvanceWheel())
+      return false;
+  }
+}
+
+bool
+EventQueue::PopEarliest(double horizon, Entry& out)
+{
+  return impl_ == Impl::kHeap ? PopEarliestHeap(horizon, out)
+                              : PopEarliestCalendar(horizon, out);
 }
 
 std::size_t
@@ -90,18 +204,8 @@ EventQueue::RunUntil(Seconds horizon)
 {
   FLEX_REQUIRE(horizon >= now_, "horizon is in the past");
   std::size_t executed = 0;
-  while (!heap_.empty()) {
-    // Peek: if the earliest live event is beyond the horizon, stop.
-    const Entry& top = heap_.top();
-    if (pending_.count(top.id) == 0) {
-      heap_.pop();
-      continue;
-    }
-    if (top.when > horizon)
-      break;
-    Entry entry = top;
-    heap_.pop();
-    pending_.erase(entry.id);
+  Entry entry;
+  while (PopEarliest(horizon.value(), entry)) {
     now_ = entry.when;
     entry.callback();
     ++executed;
@@ -116,7 +220,7 @@ bool
 EventQueue::Step()
 {
   Entry entry;
-  if (!PopNext(entry))
+  if (!PopEarliest(std::numeric_limits<double>::infinity(), entry))
     return false;
   now_ = entry.when;
   entry.callback();

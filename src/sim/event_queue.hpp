@@ -6,6 +6,17 @@
  * pub/sub buses deliver, controllers tick, UPS batteries accumulate
  * overload, and workloads vary their power — all as events on a single
  * deterministic queue.
+ *
+ * Two interchangeable implementations share one observable contract
+ * (FIFO at equal timestamps, lazy cancellation, observer order):
+ *
+ *  - kHeap: the classic binary heap. O(log n) per operation with
+ *    std::function-heavy sift moves; robust for any event pattern.
+ *  - kCalendar: a two-level calendar queue. Near-future events land in a
+ *    fixed wheel of time buckets (O(1) insert, short linear scan per
+ *    pop); far-future events overflow into a heap that refills the wheel
+ *    whenever it drains. Timer-heavy rooms (thousands of periodic polls
+ *    within a few seconds of now) stop paying the per-event log factor.
  */
 #ifndef FLEX_SIM_EVENT_QUEUE_HPP_
 #define FLEX_SIM_EVENT_QUEUE_HPP_
@@ -32,13 +43,25 @@ using ObserverId = std::uint64_t;
  *
  * Events at equal timestamps fire in scheduling order (FIFO), which makes
  * multi-controller races reproducible. Cancellation is lazy: cancelled
- * events stay in the heap but are skipped when popped.
+ * events stay in their container but are skipped when reached. Both
+ * implementations execute any event trace in the same order.
  */
 class EventQueue {
  public:
   using Callback = std::function<void()>;
   /** Invoked after every executed event with the event's timestamp. */
   using Observer = std::function<void(Seconds)>;
+
+  /** Backing store for the pending-event set. */
+  enum class Impl {
+    kCalendar,  // two-level bucket wheel + far-future heap (default)
+    kHeap,      // single binary heap
+  };
+
+  explicit EventQueue(Impl impl = Impl::kCalendar);
+
+  /** Which backing implementation this queue runs on. */
+  Impl impl() const { return impl_; }
 
   /** Current simulated time. */
   Seconds Now() const { return now_; }
@@ -124,10 +147,44 @@ class EventQueue {
     Observer callback;
   };
 
-  bool PopNext(Entry& out);
+  // Calendar geometry. The wheel spans kNumBuckets * kBucketWidth
+  // seconds (51.2 s) of simulated time from wheel_start_; everything
+  // later waits in far_heap_ until the wheel advances onto it. Bucket
+  // width is sized so a room's periodic timers (0.5–5 s periods) spread
+  // across many buckets instead of piling into one.
+  static constexpr std::size_t kNumBuckets = 1024;
+  static constexpr double kBucketWidth = 0.05;
+
+  void Insert(Entry entry);
+  /**
+   * Pops the earliest live event if its timestamp is <= @p horizon
+   * (pass infinity for "any"). Skips and discards cancelled entries on
+   * the way. @return false when nothing runnable is within the horizon.
+   */
+  bool PopEarliest(double horizon, Entry& out);
+  bool PopEarliestHeap(double horizon, Entry& out);
+  bool PopEarliestCalendar(double horizon, Entry& out);
+  /** Moves the wheel onto the earliest far-heap event. @return false if none. */
+  bool AdvanceWheel();
   void NotifyObservers(Seconds when);
 
-  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  Impl impl_;
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;  // kHeap store
+
+  // kCalendar store. wheel_entries_ counts entries resident in buckets,
+  // live or cancelled (cancelled ones are discovered and dropped during
+  // bucket scans). Invariant: far_heap_ holds only events at or beyond
+  // wheel_start_ + kNumBuckets * kBucketWidth, re-established each time
+  // AdvanceWheel() rebases the wheel. Events scheduled before
+  // wheel_start_ (possible right after an advance) clamp into bucket 0,
+  // which therefore covers "everything up to wheel_start_ + width" — the
+  // min-scan keeps ordering exact regardless.
+  std::vector<std::vector<Entry>> buckets_;
+  std::priority_queue<Entry, std::vector<Entry>, Later> far_heap_;
+  double wheel_start_ = 0.0;
+  std::size_t cursor_ = 0;         // first possibly-nonempty bucket
+  std::size_t wheel_entries_ = 0;  // entries resident in buckets_
+
   std::unordered_set<EventId> pending_;  // ids scheduled and not yet fired
   Seconds now_{0.0};
   std::uint64_t next_sequence_ = 0;

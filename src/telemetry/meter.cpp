@@ -52,13 +52,14 @@ LogicalMeter::LogicalMeter(int redundancy, MeterConfig config, Rng& seed_rng)
   meters_.reserve(static_cast<std::size_t>(redundancy));
   for (int i = 0; i < redundancy; ++i)
     meters_.emplace_back(config, seed_rng.Fork());
+  scratch_.reserve(static_cast<std::size_t>(redundancy));
 }
 
 std::optional<Watts>
 LogicalMeter::Read(Seconds now, Watts true_value)
 {
-  std::vector<double> readings;
-  readings.reserve(meters_.size());
+  std::vector<double>& readings = scratch_;
+  readings.clear();
   for (PhysicalMeter& meter : meters_) {
     if (const auto reading = meter.Sample(now, true_value))
       readings.push_back(reading->value());

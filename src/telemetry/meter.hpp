@@ -109,6 +109,7 @@ class LogicalMeter {
 
  private:
   std::vector<PhysicalMeter> meters_;
+  std::vector<double> scratch_;  // reused across Reads: no per-read allocation
 };
 
 }  // namespace flex::telemetry

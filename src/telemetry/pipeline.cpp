@@ -1,5 +1,6 @@
 #include "pipeline.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/error.hpp"
@@ -55,6 +56,38 @@ TelemetryPipeline::Subscribe(Subscriber subscriber)
 {
   FLEX_REQUIRE(static_cast<bool>(subscriber), "null subscriber");
   subscribers_.push_back(std::move(subscriber));
+}
+
+void
+TelemetryPipeline::SetRackPollOrder(std::vector<int> order)
+{
+  std::vector<std::vector<int>> groups;
+  groups.push_back(std::move(order));
+  SetRackPollGroups(std::move(groups));
+}
+
+void
+TelemetryPipeline::SetRackPollGroups(std::vector<std::vector<int>> groups)
+{
+  std::size_t covered = 0;
+  std::vector<char> seen(static_cast<std::size_t>(num_racks_), 0);
+  for (const std::vector<int>& group : groups) {
+    for (const int rack : group) {
+      FLEX_REQUIRE(rack >= 0 && rack < num_racks_, "rack index out of range");
+      FLEX_REQUIRE(!seen[static_cast<std::size_t>(rack)],
+                   "duplicate rack in poll groups");
+      seen[static_cast<std::size_t>(rack)] = 1;
+      ++covered;
+    }
+  }
+  FLEX_REQUIRE(covered == static_cast<std::size_t>(num_racks_),
+               "poll groups must cover every rack exactly once");
+  groups.erase(std::remove_if(groups.begin(), groups.end(),
+                              [](const std::vector<int>& g) {
+                                return g.empty();
+                              }),
+               groups.end());
+  rack_poll_groups_ = std::move(groups);
 }
 
 void
@@ -167,6 +200,47 @@ TelemetryPipeline::SetBusDuplicate(int bus, bool duplicate)
   bus_duplicate_[static_cast<std::size_t>(bus)] = duplicate;
 }
 
+TelemetryPipeline::Batch*
+TelemetryPipeline::AcquireBatch()
+{
+  if (batch_free_.empty()) {
+    batch_arena_.push_back(std::make_unique<Batch>());
+    batch_free_.push_back(batch_arena_.back().get());
+  }
+  Batch* batch = batch_free_.back();
+  batch_free_.pop_back();
+  batch->readings.clear();
+  batch->refs = 0;
+  return batch;
+}
+
+void
+TelemetryPipeline::DeliverBatch(Batch* batch, int bus)
+{
+  for (const DeviceReading& original : batch->readings) {
+    DeviceReading reading = original;
+    reading.bus = bus;
+    reading.delivered_at = queue_.Now();
+    ++delivered_count_;
+    const double latency = reading.DataLatency().value();
+    latency_stats_.Add(latency);
+    latency_samples_.push_back(latency);
+    if (readings_delivered_metric_ != nullptr) {
+      readings_delivered_metric_->Increment();
+      publish_lag_metric_->Observe(latency);
+    }
+    // UPS deliveries only: rack readings arrive every tick per rack
+    // and would flush the ring's useful window in seconds.
+    if (recorder_ != nullptr && reading.device.kind == DeviceKind::kUps)
+      recorder_->Record(reading.delivered_at, obs::RecordKind::kMeterSample,
+                        reading.device.index, bus, reading.value.value());
+    for (const Subscriber& subscriber : subscribers_)
+      subscriber(reading);
+  }
+  if (--batch->refs == 0)
+    batch_free_.push_back(batch);
+}
+
 void
 TelemetryPipeline::PollerTick(int poller, DeviceKind kind)
 {
@@ -177,13 +251,42 @@ TelemetryPipeline::PollerTick(int poller, DeviceKind kind)
   }
 
   const int count = kind == DeviceKind::kUps ? num_ups_ : num_racks_;
-  // Sampling happens after the meter-to-poller network hop.
+  // Sampling happens after the meter-to-poller network hop. Ground truth
+  // for the whole tick comes from one batch call: sources with aggregate
+  // state answer it without a per-device scan.
   const Seconds sampled_at = queue_.Now();
-  std::vector<DeviceReading> batch;
-  batch.reserve(static_cast<std::size_t>(count));
-  for (int i = 0; i < count; ++i) {
+  truth_scratch_.assign(static_cast<std::size_t>(count), Watts(0.0));
+  source_.CurrentPowerBatch(kind, truth_scratch_);
+
+  // Every batch published this tick shares the same per-bus delivery
+  // delays, drawn up front (one jitter draw per live bus, plus the
+  // redelivery draw on duplicating buses — the same draws the
+  // single-batch path makes). Splitting the poll into per-group batches
+  // therefore changes neither the jitter stream nor any delivered
+  // reading's value, order, or timestamp.
+  bus_delay_scratch_.assign(static_cast<std::size_t>(config_.num_buses),
+                            Seconds(0.0));
+  bus_redelivery_scratch_.assign(static_cast<std::size_t>(config_.num_buses),
+                                 Seconds(0.0));
+  for (int bus = 0; bus < config_.num_buses; ++bus) {
+    if (bus_failed_[static_cast<std::size_t>(bus)])
+      continue;
+    const Seconds delay =
+        config_.network_latency + config_.bus_latency +
+        bus_extra_delay_[static_cast<std::size_t>(bus)] +
+        Seconds(jitter_rng_.Uniform(0.0, config_.delivery_jitter.value()));
+    bus_delay_scratch_[static_cast<std::size_t>(bus)] = delay;
+    if (bus_duplicate_[static_cast<std::size_t>(bus)]) {
+      bus_redelivery_scratch_[static_cast<std::size_t>(bus)] =
+          delay +
+          Seconds(jitter_rng_.Uniform(0.0, config_.delivery_jitter.value()));
+    }
+  }
+
+  // Reads every device in @p ids into @p batch (quorum permitting).
+  const auto read_into = [&](const int i, Batch* batch) {
     const DeviceId device{kind, i};
-    const Watts truth = source_.CurrentPower(device);
+    const Watts truth = truth_scratch_[static_cast<std::size_t>(i)];
     const auto reading = MeterFor(device).Read(sampled_at, truth);
     if (!reading) {
       // No quorum: data missing for this device this tick.
@@ -192,58 +295,59 @@ TelemetryPipeline::PollerTick(int poller, DeviceKind kind)
       FLEX_LOG_RATE_LIMITED(obs::LogLevel::kWarn, "telemetry",
                             "meter quorum lost on %s %d",
                             kind == DeviceKind::kUps ? "ups" : "rack", i);
-      continue;
+      return;
     }
     DeviceReading r;
     r.device = device;
     r.value = *reading;
     r.sampled_at = sampled_at;
     r.poller = poller;
-    batch.push_back(r);
-  }
-  if (batch.empty())
-    return;
+    batch->readings.push_back(r);
+  };
 
-  // Publish through every live bus; subscribers see duplicates, which is
-  // intended (redundant delivery; controller actions are idempotent).
-  for (int bus = 0; bus < config_.num_buses; ++bus) {
-    if (bus_failed_[static_cast<std::size_t>(bus)])
-      continue;
-    const auto deliver = [this, batch, bus] {
-      for (DeviceReading reading : batch) {
-        reading.bus = bus;
-        reading.delivered_at = queue_.Now();
-        ++delivered_count_;
-        const double latency = reading.DataLatency().value();
-        latency_stats_.Add(latency);
-        latency_samples_.push_back(latency);
-        if (readings_delivered_metric_ != nullptr) {
-          readings_delivered_metric_->Increment();
-          publish_lag_metric_->Observe(latency);
-        }
-        // UPS deliveries only: rack readings arrive every tick per rack
-        // and would flush the ring's useful window in seconds.
-        if (recorder_ != nullptr && reading.device.kind == DeviceKind::kUps)
-          recorder_->Record(reading.delivered_at, obs::RecordKind::kMeterSample,
-                            reading.device.index, bus, reading.value.value());
-        for (const Subscriber& subscriber : subscribers_)
-          subscriber(reading);
-      }
-    };
-    const Seconds delay =
-        config_.network_latency + config_.bus_latency +
-        bus_extra_delay_[static_cast<std::size_t>(bus)] +
-        Seconds(jitter_rng_.Uniform(0.0, config_.delivery_jitter.value()));
-    queue_.Schedule(delay, deliver);
-    if (bus_duplicate_[static_cast<std::size_t>(bus)]) {
-      // At-least-once redelivery: the same batch lands a second time
-      // after an extra jitter draw.
-      const Seconds redelivery =
-          delay +
-          Seconds(jitter_rng_.Uniform(0.0, config_.delivery_jitter.value()));
-      queue_.Schedule(redelivery, deliver);
+  // Publishes through every live bus; subscribers see duplicates, which
+  // is intended (redundant delivery; controller actions are idempotent).
+  // Deliveries share the pooled batch; the refcount returns it to the
+  // free list after the last one lands.
+  const auto publish = [&](Batch* batch) {
+    if (batch->readings.empty()) {
+      batch_free_.push_back(batch);
+      return;
     }
+    for (int bus = 0; bus < config_.num_buses; ++bus) {
+      if (bus_failed_[static_cast<std::size_t>(bus)])
+        continue;
+      const auto deliver = [this, batch, bus] { DeliverBatch(batch, bus); };
+      ++batch->refs;
+      queue_.Schedule(bus_delay_scratch_[static_cast<std::size_t>(bus)],
+                      deliver);
+      if (bus_duplicate_[static_cast<std::size_t>(bus)]) {
+        // At-least-once redelivery: the same batch lands a second time.
+        ++batch->refs;
+        queue_.Schedule(
+            bus_redelivery_scratch_[static_cast<std::size_t>(bus)], deliver);
+      }
+    }
+    if (batch->refs == 0)
+      batch_free_.push_back(batch);  // every bus was down: nothing in flight
+  };
+
+  if (kind == DeviceKind::kRack && !rack_poll_groups_.empty()) {
+    // One batch — one delivery event per bus — per poll group.
+    for (const std::vector<int>& group : rack_poll_groups_) {
+      Batch* batch = AcquireBatch();
+      batch->readings.reserve(group.size());
+      for (const int i : group)
+        read_into(i, batch);
+      publish(batch);
+    }
+    return;
   }
+  Batch* batch = AcquireBatch();
+  batch->readings.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i)
+    read_into(i, batch);
+  publish(batch);
 }
 
 }  // namespace flex::telemetry

@@ -148,5 +148,40 @@ TEST(CostTest, RejectsBadParams)
   EXPECT_THROW(EvaluateCost(bad), ConfigError);
 }
 
+TEST(MonteCarloTest, AgreesWithTheClosedFormModel)
+{
+  const FeasibilityModel model;
+  const FeasibilityResult exact = model.Evaluate();
+  const MonteCarloResult mc = model.MonteCarlo(1u << 20, 7, 1);
+  EXPECT_EQ(mc.samples, 1u << 20);
+  // ~1k-sample-resolution agreement on the utilization exceedances.
+  EXPECT_NEAR(mc.result.p_high_utilization, exact.p_high_utilization, 5e-3);
+  EXPECT_NEAR(mc.result.p_shutdown_needed, exact.p_shutdown_needed,
+              exact.p_shutdown_needed * 0.2 + 1e-7);
+  EXPECT_NEAR(mc.result.room_availability, exact.room_availability, 1e-4);
+}
+
+TEST(MonteCarloTest, IsBitIdenticalForAnyThreadCount)
+{
+  // Chunked sampling with one RNG stream per chunk and a serial
+  // chunk-order merge: the estimate and the per-chunk fingerprint must
+  // not depend on how many lanes the chunks ran on.
+  const FeasibilityModel model;
+  const MonteCarloResult serial = model.MonteCarlo(1u << 19, 42, 1);
+  const MonteCarloResult pool2 = model.MonteCarlo(1u << 19, 42, 2);
+  const MonteCarloResult pool3 = model.MonteCarlo(1u << 19, 42, 3);
+  EXPECT_EQ(serial.lanes, 1);
+  EXPECT_EQ(pool2.lanes, 2);
+  EXPECT_EQ(serial.sample_hash, pool2.sample_hash);
+  EXPECT_EQ(serial.sample_hash, pool3.sample_hash);
+  EXPECT_EQ(serial.result.p_high_utilization,
+            pool2.result.p_high_utilization);
+  EXPECT_EQ(serial.result.p_shutdown_needed, pool2.result.p_shutdown_needed);
+  EXPECT_EQ(serial.result.room_availability, pool3.result.room_availability);
+  // Different seeds must change the fingerprint (the hash is real).
+  const MonteCarloResult other = model.MonteCarlo(1u << 19, 43, 1);
+  EXPECT_NE(serial.sample_hash, other.sample_hash);
+}
+
 }  // namespace
 }  // namespace flex::analysis

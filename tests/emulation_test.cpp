@@ -8,6 +8,7 @@
 
 #include "common/error.hpp"
 #include "emulation/room_emulation.hpp"
+#include "emulation/sweep.hpp"
 #include "emulation/workload_model.hpp"
 
 namespace flex::emulation {
@@ -241,6 +242,156 @@ TEST_P(FailedUpsSweepTest, AnySingleUpsFailureIsHandled)
 
 INSTANTIATE_TEST_SUITE_P(AllUpses, FailedUpsSweepTest,
                          ::testing::Values(0, 1, 2, 3));
+
+/** Shared short timeline for the engine-mode comparisons below. */
+EmulationConfig
+ShortTimelineConfig(std::uint64_t seed)
+{
+  EmulationConfig config;
+  config.setup_duration = Seconds(30.0);
+  config.failover_at = Seconds(120.0);
+  config.restore_at = Seconds(200.0);
+  config.end_at = Seconds(260.0);
+  config.seed = seed;
+  return config;
+}
+
+TEST(RoomEmulationTest, IncrementalEngineMatchesTheFullRescanBaseline)
+{
+  // The incremental engine (running sums + calendar queue) and the
+  // pre-PR full-rescan path (brute-force UPS scans + binary heap) are
+  // two implementations of the same physics: the per-step Resync bounds
+  // the running sums' rounding drift to well under a watt, so every
+  // recorded outcome must agree to tight tolerance.
+  RoomEmulation incremental(ShortTimelineConfig(31));
+  const EmulationReport fast = incremental.Run();
+
+  EmulationConfig slow_config = ShortTimelineConfig(31);
+  slow_config.incremental_aggregation = false;
+  slow_config.queue_impl = sim::EventQueue::Impl::kHeap;
+  RoomEmulation legacy(slow_config);
+  const EmulationReport slow = legacy.Run();
+
+  // Only the scaled path maintains running sums.
+  EXPECT_GT(fast.aggregate_deltas + fast.aggregate_resyncs, 0u);
+  EXPECT_EQ(slow.aggregate_deltas, 0u);
+  EXPECT_EQ(slow.aggregate_resyncs, 0u);
+
+  EXPECT_EQ(fast.total_racks, slow.total_racks);
+  EXPECT_EQ(fast.sr_racks, slow.sr_racks);
+  EXPECT_EQ(fast.capable_racks, slow.capable_racks);
+  EXPECT_EQ(fast.noncap_racks, slow.noncap_racks);
+  EXPECT_EQ(fast.sr_shutdown_peak, slow.sr_shutdown_peak);
+  EXPECT_EQ(fast.capable_capped_peak, slow.capable_capped_peak);
+  EXPECT_EQ(fast.noncap_acted, slow.noncap_acted);
+  EXPECT_EQ(fast.safety_violated, slow.safety_violated);
+  EXPECT_EQ(fast.battery_tripped, slow.battery_tripped);
+  EXPECT_EQ(fast.overdraw_events, slow.overdraw_events);
+  EXPECT_NEAR(fast.time_to_safe_seconds, slow.time_to_safe_seconds, 1e-9);
+
+  ASSERT_EQ(fast.series.size(), slow.series.size());
+  for (std::size_t i = 0; i < fast.series.size(); ++i) {
+    const EmulationSample& a = fast.series[i];
+    const EmulationSample& b = slow.series[i];
+    EXPECT_EQ(a.t_seconds, b.t_seconds);
+    EXPECT_EQ(a.racks_off, b.racks_off) << "sample " << i;
+    EXPECT_EQ(a.racks_capped, b.racks_capped) << "sample " << i;
+    // During the setup ramp the two paths record different snapshots by
+    // design: the running sums hold the piecewise-constant power of the
+    // last workload step (ramp at step time), while the rescan
+    // recomputes with the ramp at the sample instant — up to one ramp
+    // step (~5% relative) apart. From the end of setup on, ramp == 1
+    // and the recorded powers must agree to rounding drift.
+    if (a.t_seconds <= slow_config.setup_duration.value())
+      continue;
+    EXPECT_NEAR(a.total_rack_mw, b.total_rack_mw, 1e-9) << "sample " << i;
+    ASSERT_EQ(a.ups_mw.size(), b.ups_mw.size());
+    for (std::size_t u = 0; u < a.ups_mw.size(); ++u)
+      EXPECT_NEAR(a.ups_mw[u], b.ups_mw[u], 1e-9) << "sample " << i;
+  }
+}
+
+TEST(RoomEmulationTest, VerifyAggregationCrossChecksEverySample)
+{
+  // The debug cross-check (on by default under FLEX_SANITIZE) rescans
+  // every UPS at every sample and FLEX_CHECKs the running sums against
+  // it; a clean run proves the incremental path never diverged.
+  EmulationConfig config = ShortTimelineConfig(33);
+  config.verify_aggregation = true;
+  RoomEmulation emulation(config);
+  const EmulationReport report = emulation.Run();
+  EXPECT_GE(report.verify_rescans, report.series.size());
+  EXPECT_FALSE(report.safety_violated);
+}
+
+TEST(RoomEmulationTest, DedicatedMonitorRefinesOverloadTracking)
+{
+  // Monitoring is observation only — it must not perturb the dynamics.
+  // A dedicated 20 Hz monitor evaluates the overload state at a strict
+  // superset of the 5 s sampler's instants, so it can only see a worse
+  // (or equal) peak overload, never a smaller one.
+  const EmulationReport sampled = [] {
+    RoomEmulation emulation(ShortTimelineConfig(35));
+    return emulation.Run();
+  }();
+  EmulationConfig config = ShortTimelineConfig(35);
+  config.monitor_period = Seconds(0.05);
+  RoomEmulation emulation(config);
+  const EmulationReport monitored = emulation.Run();
+
+  // Folded into the sampler: one monitor evaluation per sample.
+  EXPECT_EQ(sampled.monitor_ticks, sampled.series.size());
+  // Dedicated cadence: ~100x the evaluations over the same timeline.
+  EXPECT_GT(monitored.monitor_ticks, sampled.monitor_ticks * 50);
+  // The fine cadence tracks at least the peak the coarse sampler saw.
+  // Not exactly: at coincident timestamps (every workload step lands on
+  // a monitor tick) the evaluation order can straddle the step, and
+  // corrective actions can land within the 50 ms to the next tick — so
+  // allow a sliver below the sampled peak.
+  EXPECT_GE(monitored.worst_overload_fraction,
+            sampled.worst_overload_fraction - 1e-2);
+  // Identical dynamics: the recorded series must not change at all.
+  ASSERT_EQ(monitored.series.size(), sampled.series.size());
+  for (std::size_t i = 0; i < monitored.series.size(); ++i) {
+    EXPECT_EQ(monitored.series[i].total_rack_mw,
+              sampled.series[i].total_rack_mw)
+        << "sample " << i;
+  }
+  EXPECT_FALSE(monitored.safety_violated);
+}
+
+TEST(EmulationSweepTest, ParallelSweepIsBitIdenticalToSerial)
+{
+  // Variants fan out across pool lanes but merge serially in seed
+  // order; the full-series fingerprint must not depend on the thread
+  // count. (Room construction stays serial inside RunEmulationSweep —
+  // the wall-clock-budgeted placement MILP is the one nondeterministic
+  // stage under lane contention.)
+  SweepConfig sweep;
+  sweep.base = ShortTimelineConfig(2021);
+  sweep.base.restore_at = Seconds(150.0);
+  sweep.base.end_at = Seconds(180.0);
+  sweep.variants = 2;
+  sweep.threads = 1;
+  const SweepResult serial = RunEmulationSweep(sweep);
+  sweep.threads = 2;
+  const SweepResult parallel = RunEmulationSweep(sweep);
+
+  EXPECT_EQ(serial.lanes, 1);
+  EXPECT_EQ(parallel.lanes, 2);
+  ASSERT_EQ(serial.reports.size(), parallel.reports.size());
+  ASSERT_EQ(static_cast<int>(serial.reports.size()), sweep.variants);
+  EXPECT_EQ(serial.sample_hash, parallel.sample_hash);
+  for (std::size_t i = 0; i < serial.reports.size(); ++i) {
+    EXPECT_EQ(HashEmulationReport(serial.reports[i]),
+              HashEmulationReport(parallel.reports[i]))
+        << "variant " << i;
+  }
+  // Different seeds produce different traces; the hash is not a
+  // constant.
+  EXPECT_NE(HashEmulationReport(serial.reports[0]),
+            HashEmulationReport(serial.reports[1]));
+}
 
 TEST(RoomEmulationTest, ValidatesTimeline)
 {

@@ -4,7 +4,10 @@
  */
 #include <gtest/gtest.h>
 
+#include <cstdint>
+
 #include "common/error.hpp"
+#include "power/incremental.hpp"
 #include "power/loads.hpp"
 #include "power/topology.hpp"
 #include "power/trip_curve.hpp"
@@ -291,6 +294,111 @@ TEST(TripCurveTest, RejectsNegativeLoad)
 {
   const TripCurve curve = TripCurve::ForBatteryLife(BatteryLife::kEndOfLife);
   EXPECT_THROW(curve.ToleranceAt(-0.1), ConfigError);
+}
+
+// ---------------------------------------------------------------------------
+// IncrementalUpsLoads: running sums must match the exact load functions.
+// ---------------------------------------------------------------------------
+
+TEST(IncrementalUpsLoadsTest, StartsEmptyAndInNormalMode)
+{
+  const RoomTopology room = DefaultRoom();
+  IncrementalUpsLoads agg(room);
+  EXPECT_EQ(agg.failed_ups(), -1);
+  EXPECT_NEAR(agg.TotalLoad().value(), 0.0, 1e-12);
+  for (const Watts w : agg.UpsLoads())
+    EXPECT_NEAR(w.value(), 0.0, 1e-12);
+}
+
+TEST(IncrementalUpsLoadsTest, DeltasMatchNormalUpsLoads)
+{
+  const RoomTopology room = DefaultRoom();
+  IncrementalUpsLoads agg(room);
+  PduPairLoads loads(static_cast<std::size_t>(room.NumPduPairs()),
+                     Watts(0.0));
+  for (PduPairId p = 0; p < room.NumPduPairs(); ++p) {
+    const Watts w(1000.0 * (p + 1));
+    loads[static_cast<std::size_t>(p)] = w;
+    agg.ApplyDelta(p, w);
+  }
+  const std::vector<Watts> exact = NormalUpsLoads(room, loads);
+  for (UpsId u = 0; u < room.NumUpses(); ++u) {
+    EXPECT_NEAR(agg.UpsLoads()[static_cast<std::size_t>(u)].value(),
+                exact[static_cast<std::size_t>(u)].value(), 1e-6);
+  }
+  EXPECT_EQ(agg.delta_count(), static_cast<std::uint64_t>(room.NumPduPairs()));
+}
+
+TEST(IncrementalUpsLoadsTest, FailoverRoutesLoadToTheSurvivingSibling)
+{
+  const RoomTopology room = DefaultRoom();
+  IncrementalUpsLoads agg(room);
+  PduPairLoads loads(static_cast<std::size_t>(room.NumPduPairs()),
+                     Watts(0.0));
+  for (PduPairId p = 0; p < room.NumPduPairs(); ++p) {
+    const Watts w(500.0 * (room.NumPduPairs() - p));
+    loads[static_cast<std::size_t>(p)] = w;
+    agg.ApplyDelta(p, w);
+  }
+  agg.SetFailedUps(1);
+  EXPECT_EQ(agg.failed_ups(), 1);
+  const std::vector<Watts> exact = FailoverUpsLoads(room, loads, 1);
+  for (UpsId u = 0; u < room.NumUpses(); ++u) {
+    EXPECT_NEAR(agg.UpsLoads()[static_cast<std::size_t>(u)].value(),
+                exact[static_cast<std::size_t>(u)].value(), 1e-6);
+  }
+  // Deltas applied while failed over keep matching the failover split.
+  agg.ApplyDelta(0, Watts(2500.0));
+  loads[0] += Watts(2500.0);
+  const std::vector<Watts> shifted = FailoverUpsLoads(room, loads, 1);
+  for (UpsId u = 0; u < room.NumUpses(); ++u) {
+    EXPECT_NEAR(agg.UpsLoads()[static_cast<std::size_t>(u)].value(),
+                shifted[static_cast<std::size_t>(u)].value(), 1e-6);
+  }
+  // Restoring the UPS returns to the normal 50/50 split.
+  agg.SetFailedUps(-1);
+  const std::vector<Watts> normal = NormalUpsLoads(room, loads);
+  for (UpsId u = 0; u < room.NumUpses(); ++u) {
+    EXPECT_NEAR(agg.UpsLoads()[static_cast<std::size_t>(u)].value(),
+                normal[static_cast<std::size_t>(u)].value(), 1e-6);
+  }
+}
+
+TEST(IncrementalUpsLoadsTest, ResyncCancelsAccumulatedDrift)
+{
+  const RoomTopology room = DefaultRoom();
+  IncrementalUpsLoads agg(room);
+  // Alternating large additions and near-cancelling subtractions are the
+  // worst case for += drift.
+  for (int round = 0; round < 5000; ++round) {
+    const PduPairId p = round % room.NumPduPairs();
+    agg.ApplyDelta(p, Watts(1.0e6 + 0.1 * round));
+    agg.ApplyDelta(p, Watts(-1.0e6));
+  }
+  agg.Resync();
+  EXPECT_NEAR(agg.MaxUpsErrorWatts(), 0.0, 1e-9);
+  const std::vector<Watts> rescan = agg.RescanUpsLoads();
+  for (UpsId u = 0; u < room.NumUpses(); ++u) {
+    EXPECT_EQ(agg.UpsLoads()[static_cast<std::size_t>(u)].value(),
+              rescan[static_cast<std::size_t>(u)].value());
+  }
+  EXPECT_GE(agg.resync_count(), 1u);
+}
+
+TEST(IncrementalUpsLoadsTest, SetAllPduLoadsReplacesTheRunningState)
+{
+  const RoomTopology room = DefaultRoom();
+  IncrementalUpsLoads agg(room);
+  agg.ApplyDelta(0, Watts(123456.0));
+  PduPairLoads loads(static_cast<std::size_t>(room.NumPduPairs()),
+                     Watts(42.0));
+  agg.SetAllPduLoads(loads);
+  Watts total(0.0);
+  for (const Watts w : agg.PduLoads()) {
+    EXPECT_NEAR(w.value(), 42.0, 1e-12);
+    total += w;
+  }
+  EXPECT_NEAR(agg.TotalLoad().value(), total.value(), 1e-9);
 }
 
 }  // namespace

@@ -13,6 +13,7 @@
 #include "offline/policies.hpp"
 #include "online/decision.hpp"
 #include "fault/scenario.hpp"
+#include "power/incremental.hpp"
 #include "power/loads.hpp"
 #include "solver/branch_and_bound.hpp"
 #include "workload/rack_power.hpp"
@@ -335,6 +336,113 @@ TEST_P(RackPowerTargetTest, SnapshotHitsTargetAcrossUtilizations)
 INSTANTIATE_TEST_SUITE_P(Targets, RackPowerTargetTest,
                          ::testing::Values(0.45, 0.60, 0.74, 0.80, 0.85,
                                            0.92));
+
+// ---------------------------------------------------------------------------
+// Incremental aggregation: a randomized rack power-walk — arbitrary
+// power deltas interleaved with failover edges and resyncs — must keep
+// the running per-UPS sums equal to a brute-force rescan after every
+// single mutation. 200 seeds, sharded like the fault-fuzz sweep so
+// ctest spreads the work across workers; a failure names the seed.
+// ---------------------------------------------------------------------------
+
+class IncrementalAggregationWalkTest : public ::testing::TestWithParam<int> {
+};
+
+TEST_P(IncrementalAggregationWalkTest, RunningSumsMatchBruteForceRescan)
+{
+  constexpr int kSeedsPerShard = 25;
+  constexpr int kSteps = 160;
+  // Drift bound: ~1e2 deltas on ~1e7 W sums leaves O(1e-6) W of
+  // accumulated rounding; 1e-3 W is far above that yet far below any
+  // physically meaningful load difference.
+  constexpr double kToleranceWatts = 1e-3;
+  const std::uint64_t base =
+      static_cast<std::uint64_t>(GetParam()) * kSeedsPerShard;
+  for (std::uint64_t seed = base; seed < base + kSeedsPerShard; ++seed) {
+    Rng rng(0x1caa6b11ull ^ (seed * 0x9e3779b97f4a7c15ull));
+
+    // Random room shape per seed.
+    RoomConfig config;
+    config.num_ups = 3 + static_cast<int>(rng.NextU64() % 6);  // 3..8
+    config.redundancy_y = config.num_ups - 1;
+    config.ups_capacity = MegaWatts(2.0);
+    config.pdu_pairs_per_ups_pair = 1 + static_cast<int>(rng.NextU64() % 3);
+    const RoomTopology room{config};
+    const auto num_pairs = static_cast<std::size_t>(room.NumPduPairs());
+
+    power::IncrementalUpsLoads agg(room);
+    power::PduPairLoads shadow(num_pairs, Watts(0.0));
+    power::UpsId failed = -1;
+
+    const auto check = [&](const char* op, int step) {
+      // The PDU sums see the identical `+=` sequence as the shadow, so
+      // they must match bit for bit.
+      for (std::size_t p = 0; p < num_pairs; ++p) {
+        ASSERT_EQ(agg.PduLoads()[p].value(), shadow[p].value())
+            << "seed " << seed << " step " << step << " (" << op
+            << ") pair " << p;
+      }
+      // The UPS sums may carry bounded `+= delta` rounding drift
+      // relative to the fresh left-to-right brute-force sum.
+      const std::vector<Watts> brute =
+          failed < 0 ? power::NormalUpsLoads(room, shadow)
+                     : power::FailoverUpsLoads(room, shadow, failed);
+      ASSERT_EQ(agg.UpsLoads().size(), brute.size());
+      for (std::size_t u = 0; u < brute.size(); ++u) {
+        ASSERT_NEAR(agg.UpsLoads()[u].value(), brute[u].value(),
+                    kToleranceWatts)
+            << "seed " << seed << " step " << step << " (" << op
+            << ") ups " << u << " after " << agg.delta_count() << " deltas";
+      }
+      ASSERT_LE(agg.MaxUpsErrorWatts(), kToleranceWatts)
+          << "seed " << seed << " step " << step << " (" << op << ")";
+    };
+
+    for (int step = 0; step < kSteps; ++step) {
+      const double dice = rng.NextDouble();
+      if (dice < 0.08) {
+        // Failover edge: fail a random UPS, or restore if one is down.
+        failed = (failed >= 0 && rng.NextDouble() < 0.5)
+                     ? -1
+                     : static_cast<power::UpsId>(
+                           rng.NextU64() %
+                           static_cast<std::uint64_t>(room.NumUpses()));
+        agg.SetFailedUps(failed);
+        check("SetFailedUps", step);
+      } else if (dice < 0.12) {
+        // Exact resync: afterwards the running sums must equal the
+        // rescan bit for bit, not just within tolerance.
+        agg.Resync();
+        const std::vector<Watts> rescan = agg.RescanUpsLoads();
+        for (std::size_t u = 0; u < rescan.size(); ++u) {
+          ASSERT_EQ(agg.UpsLoads()[u].value(), rescan[u].value())
+              << "seed " << seed << " step " << step << " ups " << u;
+        }
+        check("Resync", step);
+      } else if (dice < 0.15) {
+        // Wholesale replacement (the workload-step path).
+        for (std::size_t p = 0; p < num_pairs; ++p)
+          shadow[p] = KiloWatts(rng.Uniform(0.0, 400.0));
+        agg.SetAllPduLoads(shadow);
+        check("SetAllPduLoads", step);
+      } else {
+        // The common case: one rack-sized power delta on one PDU pair,
+        // clamped so the pair's load stays non-negative.
+        const std::size_t p =
+            static_cast<std::size_t>(rng.NextU64() % num_pairs);
+        double delta_w = rng.Uniform(-30'000.0, 30'000.0);
+        if (shadow[p].value() + delta_w < 0.0)
+          delta_w = -shadow[p].value();
+        shadow[p] += Watts(delta_w);
+        agg.ApplyDelta(static_cast<power::PduPairId>(p), Watts(delta_w));
+        check("ApplyDelta", step);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(TwoHundredSeeds, IncrementalAggregationWalkTest,
+                         ::testing::Range(0, 8));
 
 // ---------------------------------------------------------------------------
 // Fault fuzzing: for any fault plan inside the paper's tolerated

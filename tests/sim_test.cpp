@@ -2,11 +2,14 @@
  * @file
  * Unit tests for the discrete-event simulation kernel.
  */
+#include <cstdint>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "common/error.hpp"
+#include "common/rng.hpp"
 #include "sim/event_queue.hpp"
 
 namespace flex::sim {
@@ -340,6 +343,192 @@ TEST(EventQueueTest, LegacySetObserverCoexistsWithAddObserver)
   q.RunAll();
   EXPECT_EQ(replacement, 1);
   EXPECT_EQ(registered, 3);
+}
+
+// ---------------------------------------------------------------------------
+// Backing-store matrix: every ordering guarantee must hold identically on
+// the binary heap and on the two-level calendar wheel (including events
+// past the wheel span, which the calendar parks in its far-future heap).
+// ---------------------------------------------------------------------------
+
+class EventQueueImplTest : public ::testing::TestWithParam<EventQueue::Impl> {
+};
+
+TEST_P(EventQueueImplTest, SameTimestampFifoStability)
+{
+  EventQueue q(GetParam());
+  std::vector<int> order;
+  for (int i = 0; i < 200; ++i)
+    q.Schedule(Seconds(1.0), [&order, i] { order.push_back(i); });
+  q.RunAll();
+  ASSERT_EQ(order.size(), 200u);
+  for (int i = 0; i < 200; ++i)
+    EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST_P(EventQueueImplTest, CancelThenRescheduleChurn)
+{
+  // The telemetry-poller pattern: cancel a pending event and put a
+  // replacement at a colliding timestamp, repeatedly. Survivors and
+  // replacements must fire in exact schedule order.
+  EventQueue q(GetParam());
+  std::vector<int> order;
+  std::vector<EventId> pending;
+  for (int i = 0; i < 40; ++i) {
+    pending.push_back(
+        q.Schedule(Seconds(2.0 + 0.25 * (i % 4)), [&order, i] {
+          order.push_back(i);
+        }));
+  }
+  for (int i = 0; i < 40; i += 2)
+    q.Cancel(pending[static_cast<std::size_t>(i)]);
+  for (int i = 0; i < 40; i += 2) {
+    q.Schedule(Seconds(2.0 + 0.25 * (i % 4)), [&order, i] {
+      order.push_back(1000 + i);
+    });
+  }
+  q.RunAll();
+  ASSERT_EQ(order.size(), 40u);
+  // Same timestamp bucket => original survivors (odd labels) precede the
+  // rescheduled replacements, each group in insertion order.
+  std::vector<int> expected;
+  for (int slot = 0; slot < 4; ++slot) {
+    for (int i = 0; i < 40; ++i)
+      if (i % 4 == slot && i % 2 == 1)
+        expected.push_back(i);
+    for (int i = 0; i < 40; i += 2)
+      if (i % 4 == slot)
+        expected.push_back(1000 + i);
+  }
+  EXPECT_EQ(order, expected);
+}
+
+TEST_P(EventQueueImplTest, ObserversFireInInstallationOrderAfterEachEvent)
+{
+  EventQueue q(GetParam());
+  std::vector<int> sequence;
+  q.AddObserver([&](Seconds) { sequence.push_back(1); });
+  q.AddObserver([&](Seconds) { sequence.push_back(2); });
+  q.Schedule(Seconds(1.0), [&] { sequence.push_back(0); });
+  q.Schedule(Seconds(2.0), [&] { sequence.push_back(0); });
+  q.RunAll();
+  EXPECT_EQ(sequence, (std::vector<int>{0, 1, 2, 0, 1, 2}));
+}
+
+TEST_P(EventQueueImplTest, FarFutureEventsBeyondTheWheelSpan)
+{
+  // The calendar wheel spans ~51.2 s; everything past it lives in the
+  // far-future heap until the wheel rotates forward. Interleave near and
+  // far events and verify global time order either way.
+  EventQueue q(GetParam());
+  std::vector<double> fired;
+  const auto record = [&] { fired.push_back(q.Now().value()); };
+  q.Schedule(Seconds(500.0), record);
+  q.Schedule(Seconds(1.0), record);
+  q.Schedule(Seconds(100.0), record);
+  q.Schedule(Seconds(51.3), record);
+  q.Schedule(Seconds(0.01), record);
+  q.Schedule(Seconds(2000.0), record);
+  q.RunAll();
+  const std::vector<double> expected{0.01, 1.0, 51.3, 100.0, 500.0, 2000.0};
+  ASSERT_EQ(fired.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i)
+    EXPECT_NEAR(fired[i], expected[i], 1e-9);
+  EXPECT_NEAR(q.Now().value(), 2000.0, 1e-9);
+}
+
+TEST_P(EventQueueImplTest, EventsLandingBehindARebasedWheelStillRun)
+{
+  // After the wheel rebases onto a far-future event, a handler may
+  // schedule a short-delay follow-up that lands "before" the new wheel
+  // origin's bucket grid; it must still run, in order.
+  EventQueue q(GetParam());
+  std::vector<double> fired;
+  q.Schedule(Seconds(100.0), [&] {
+    fired.push_back(q.Now().value());
+    q.Schedule(Seconds(0.001), [&] { fired.push_back(q.Now().value()); });
+    q.Schedule(Seconds(0.0), [&] { fired.push_back(q.Now().value()); });
+  });
+  q.RunAll();
+  ASSERT_EQ(fired.size(), 3u);
+  EXPECT_NEAR(fired[0], 100.0, 1e-9);
+  EXPECT_NEAR(fired[1], 100.0, 1e-9);    // zero-delay follow-up
+  EXPECT_NEAR(fired[2], 100.001, 1e-9);  // then the 1 ms one
+}
+
+TEST_P(EventQueueImplTest, PeriodicTicksAcrossManyWheelRotations)
+{
+  EventQueue q(GetParam());
+  int ticks = 0;
+  double last = 0.0;
+  SchedulePeriodic(q, Seconds(1.7), [&] {
+    ++ticks;
+    EXPECT_NEAR(q.Now().value() - last, 1.7, 1e-9);
+    last = q.Now().value();
+    return q.Now() < Seconds(400.0);
+  });
+  q.RunUntil(Seconds(500.0));
+  EXPECT_EQ(ticks, 236);  // ceil(400 / 1.7): last tick at 401.2 s
+}
+
+TEST_P(EventQueueImplTest, CancelFarFutureEvent)
+{
+  EventQueue q(GetParam());
+  int fired = 0;
+  const EventId far = q.Schedule(Seconds(300.0), [&] { ++fired; });
+  q.Schedule(Seconds(400.0), [&] { ++fired; });
+  q.Cancel(far);
+  EXPECT_EQ(q.PendingCount(), 1u);
+  q.RunAll();
+  EXPECT_EQ(fired, 1);
+  EXPECT_NEAR(q.Now().value(), 400.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Impls, EventQueueImplTest,
+    ::testing::Values(EventQueue::Impl::kCalendar, EventQueue::Impl::kHeap),
+    [](const ::testing::TestParamInfo<EventQueue::Impl>& info) {
+      return info.param == EventQueue::Impl::kCalendar ? "Calendar" : "Heap";
+    });
+
+TEST(EventQueueEquivalenceTest, RandomizedTraceMatchesBetweenImpls)
+{
+  // Drive both implementations with the same pseudo-random schedule /
+  // cancel / horizon workload and require identical execution traces.
+  const auto drive = [](EventQueue::Impl impl, std::uint64_t seed) {
+    EventQueue q(impl);
+    Rng rng(seed);
+    std::vector<std::pair<double, int>> trace;
+    std::vector<EventId> live;
+    int label = 0;
+    for (int round = 0; round < 50; ++round) {
+      const int burst = static_cast<int>(rng.UniformInt(1, 8));
+      for (int i = 0; i < burst; ++i) {
+        // Mix sub-bucket, cross-bucket, and far-future delays.
+        const double delay = rng.Bernoulli(0.2)
+                                 ? rng.Uniform(60.0, 300.0)
+                                 : rng.Uniform(0.0, 10.0);
+        const int this_label = label++;
+        live.push_back(q.Schedule(Seconds(delay), [&trace, &q, this_label] {
+          trace.push_back({q.Now().value(), this_label});
+        }));
+      }
+      while (!live.empty() && rng.Bernoulli(0.3)) {
+        const std::size_t victim = static_cast<std::size_t>(
+            rng.UniformInt(0, static_cast<std::int64_t>(live.size()) - 1));
+        q.Cancel(live[victim]);
+        live.erase(live.begin() + static_cast<std::ptrdiff_t>(victim));
+      }
+      q.RunUntil(q.Now() + Seconds(rng.Uniform(0.0, 20.0)));
+    }
+    q.RunAll();
+    return trace;
+  };
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    EXPECT_EQ(drive(EventQueue::Impl::kCalendar, seed),
+              drive(EventQueue::Impl::kHeap, seed))
+        << "trace diverged at seed " << seed;
+  }
 }
 
 }  // namespace
