@@ -17,6 +17,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <thread>
 
 #include "bench_util.hpp"
 #include "common/rng.hpp"
@@ -183,6 +184,11 @@ RunParallelScaling(obs::MetricsRegistry& metrics)
               static_cast<long long>(parallel.basis_reuse_attempts),
               100.0 * hit_rate);
 
+  // Hardware width of this machine, so downstream tooling
+  // (scripts/check_budget.sh) can tell "no parallel hardware" apart
+  // from a genuine scaling regression before gating on the speedup.
+  metrics.gauge("solver.parallel.hw_concurrency")
+      .Set(static_cast<double>(std::thread::hardware_concurrency()));
   metrics.gauge("solver.parallel.threads")
       .Set(static_cast<double>(parallel.threads_used));
   metrics.gauge("solver.parallel.baseline_threads")
@@ -263,6 +269,14 @@ PrintConvergenceCurve()
       .Increment(static_cast<double>(result.basis_reuse_attempts));
   metrics.counter("solver.basis_hits")
       .Increment(static_cast<double>(result.basis_reuse_hits));
+  metrics.counter("solver.refactors")
+      .Increment(static_cast<double>(result.simplex_refactors));
+  metrics.counter("solver.eta_updates")
+      .Increment(static_cast<double>(result.eta_updates));
+  metrics.counter("solver.presolve_rows_removed")
+      .Increment(static_cast<double>(result.presolve_rows_removed));
+  metrics.counter("solver.presolve_cols_removed")
+      .Increment(static_cast<double>(result.presolve_cols_removed));
   metrics.gauge("solver.objective").Set(result.objective);
   metrics.gauge("solver.bound").Set(result.bound);
   metrics.gauge("solver.gap").Set(result.gap);

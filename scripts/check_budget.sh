@@ -76,3 +76,47 @@ else
   fi
   exit 1
 fi
+
+# Solver parallel-scaling gate. The last line of BENCH_solver.json (the
+# widest run of scripts/run_benches.sh's thread sweep) must report a
+# >= 1.3x speedup over the serial baseline — but only on hardware that
+# can express one: the solver.parallel.hw_concurrency gauge (falling
+# back to nproc for snapshots predating the gauge) tells a single-core
+# machine apart from a genuine scaling regression.
+solver_json="${FLEX_SOLVER_BENCH_JSON:-${repo_root}/BENCH_solver.json}"
+min_speedup=1.3
+if [[ ! -s "${solver_json}" ]]; then
+  echo "check_budget: SKIP solver speedup gate — ${solver_json} not found" \
+       "(generate with scripts/run_benches.sh)"
+  exit 0
+fi
+solver_line="$(tail -n 1 "${solver_json}")"
+speedup="$(sed -n \
+  's/.*"solver\.parallel\.speedup":{[^}]*"value":\([0-9eE.+-]*\)}.*/\1/p' \
+  <<< "${solver_line}")"
+hw="$(sed -n \
+  's/.*"solver\.parallel\.hw_concurrency":{[^}]*"value":\([0-9eE.+-]*\)}.*/\1/p' \
+  <<< "${solver_line}")"
+[[ -n "${hw}" ]] || hw="$(nproc)"
+if [[ -z "${speedup}" ]]; then
+  echo "check_budget: SKIP solver speedup gate — no solver.parallel.speedup" \
+       "in ${solver_json}"
+  exit 0
+fi
+if awk -v hw="${hw}" 'BEGIN { exit !(hw + 0 < 2) }'; then
+  echo "check_budget: SKIP solver speedup gate — hw_concurrency=${hw} < 2," \
+       "parallel speedup is not measurable on this machine" \
+       "(recorded speedup ${speedup}x)"
+  exit 0
+fi
+echo "check_budget: solver parallel speedup = ${speedup}x" \
+     "(hw_concurrency=${hw}, floor ${min_speedup}x)"
+if awk -v s="${speedup}" -v floor="${min_speedup}" \
+  'BEGIN { exit !(s + 0 >= floor + 0) }'; then
+  echo "check_budget: OK — solver parallel scaling holds"
+else
+  echo "check_budget: FAIL — solver parallel speedup ${speedup}x is below" \
+       "${min_speedup}x on ${hw}-wide hardware (regression in the" \
+       "wave-parallel search or the warm-basis path)" >&2
+  exit 1
+fi

@@ -51,4 +51,5 @@ export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
 echo "run_sanitized_tests: TSan pass (common/solver/offline suites)"
 "${tsan_dir}/tests/common_test" --gtest_brief=1
 "${tsan_dir}/tests/solver_test" --gtest_brief=1
+"${tsan_dir}/tests/solver_lp_differential_test" --gtest_brief=1
 "${tsan_dir}/tests/offline_test" --gtest_brief=1

@@ -366,6 +366,14 @@ FlexOfflinePolicy::SolveBatch(
         .Increment(static_cast<double>(result.basis_reuse_hits));
     metrics.counter("offline.solver.steals")
         .Increment(static_cast<double>(result.steal_count));
+    metrics.counter("offline.solver.refactors")
+        .Increment(static_cast<double>(result.simplex_refactors));
+    metrics.counter("offline.solver.eta_updates")
+        .Increment(static_cast<double>(result.eta_updates));
+    metrics.counter("offline.solver.presolve_rows_removed")
+        .Increment(static_cast<double>(result.presolve_rows_removed));
+    metrics.counter("offline.solver.presolve_cols_removed")
+        .Increment(static_cast<double>(result.presolve_cols_removed));
     metrics.gauge("offline.solver.threads")
         .Set(static_cast<double>(result.threads_used));
     metrics.gauge("offline.solver.last_gap").Set(result.gap);

@@ -1,0 +1,172 @@
+#include "basis_lu.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace flex::solver {
+
+namespace {
+
+/** Eta terms smaller than this are dropped; they are roundoff noise and
+ * keeping them only densifies the eta file. */
+constexpr double kEtaDropTolerance = 1e-13;
+
+/** Pivots smaller than this make a refactorization column unusable. */
+constexpr double kSingularTolerance = 1e-10;
+
+}  // namespace
+
+void
+BasisFactorization::Reset(int rows)
+{
+  rows_ = rows;
+  updates_since_refactor_ = 0;
+  eta_pivot_row_.clear();
+  eta_pivot_val_.clear();
+  eta_start_.assign(1, 0);
+  eta_row_.clear();
+  eta_val_.clear();
+}
+
+void
+BasisFactorization::AppendEta(int pivot_row, const std::vector<double>& column)
+{
+  eta_pivot_row_.push_back(pivot_row);
+  eta_pivot_val_.push_back(column[static_cast<std::size_t>(pivot_row)]);
+  for (int i = 0; i < rows_; ++i) {
+    if (i == pivot_row)
+      continue;
+    const double v = column[static_cast<std::size_t>(i)];
+    if (std::fabs(v) > kEtaDropTolerance) {
+      eta_row_.push_back(i);
+      eta_val_.push_back(v);
+    }
+  }
+  eta_start_.push_back(static_cast<int>(eta_row_.size()));
+}
+
+bool
+BasisFactorization::Refactorize(const SparseColumns& cols,
+                                std::vector<int>& basic_of_row)
+{
+  FLEX_CHECK_MSG(static_cast<int>(basic_of_row.size()) == rows_,
+                 "basis size does not match factorization rows");
+  eta_pivot_row_.clear();
+  eta_pivot_val_.clear();
+  eta_start_.assign(1, 0);
+  eta_row_.clear();
+  eta_val_.clear();
+  updates_since_refactor_ = 0;
+  ++stats_.refactors;
+
+  row_assigned_.assign(static_cast<std::size_t>(rows_), 0);
+  new_basic_.assign(static_cast<std::size_t>(rows_), -1);
+  work_.assign(static_cast<std::size_t>(rows_), 0.0);
+  touched_.clear();
+
+  for (int p = 0; p < rows_; ++p) {
+    const int col = basic_of_row[static_cast<std::size_t>(p)];
+    FLEX_CHECK_MSG(col >= 0 && col < cols.num_cols(),
+                   "basis references unknown column");
+    // Scatter the raw column, then transform it by the etas built so
+    // far (a partial Ftran); the result is the column of the partially
+    // eliminated basis.
+    for (int k = cols.start[static_cast<std::size_t>(col)];
+         k < cols.start[static_cast<std::size_t>(col) + 1]; ++k) {
+      const int r = cols.row[static_cast<std::size_t>(k)];
+      work_[static_cast<std::size_t>(r)] += cols.value[static_cast<std::size_t>(k)];
+      touched_.push_back(r);
+    }
+    for (std::size_t e = 0; e < eta_pivot_row_.size(); ++e) {
+      const int pr = eta_pivot_row_[e];
+      double t = work_[static_cast<std::size_t>(pr)];
+      if (t == 0.0)
+        continue;
+      t /= eta_pivot_val_[e];
+      work_[static_cast<std::size_t>(pr)] = t;
+      for (int k = eta_start_[e]; k < eta_start_[e + 1]; ++k) {
+        const int r = eta_row_[static_cast<std::size_t>(k)];
+        work_[static_cast<std::size_t>(r)] -=
+            eta_val_[static_cast<std::size_t>(k)] * t;
+        touched_.push_back(r);
+      }
+    }
+
+    // Row partial pivoting over the rows not yet claimed by an earlier
+    // column; the max-magnitude choice is what keeps the product-form
+    // LU numerically honest.
+    int pivot_row = -1;
+    double best = kSingularTolerance;
+    for (int i = 0; i < rows_; ++i) {
+      if (row_assigned_[static_cast<std::size_t>(i)])
+        continue;
+      const double v = std::fabs(work_[static_cast<std::size_t>(i)]);
+      if (v > best) {
+        best = v;
+        pivot_row = i;
+      }
+    }
+    if (pivot_row < 0) {
+      // Singular: clean up scratch and report; the caller decides how
+      // to repair the basis.
+      for (const int r : touched_)
+        work_[static_cast<std::size_t>(r)] = 0.0;
+      return false;
+    }
+
+    AppendEta(pivot_row, work_);
+    row_assigned_[static_cast<std::size_t>(pivot_row)] = 1;
+    new_basic_[static_cast<std::size_t>(pivot_row)] = col;
+    for (const int r : touched_)
+      work_[static_cast<std::size_t>(r)] = 0.0;
+    touched_.clear();
+  }
+
+  basic_of_row = new_basic_;
+  return true;
+}
+
+void
+BasisFactorization::Ftran(std::vector<double>& v) const
+{
+  for (std::size_t e = 0; e < eta_pivot_row_.size(); ++e) {
+    const int pr = eta_pivot_row_[e];
+    double t = v[static_cast<std::size_t>(pr)];
+    if (t == 0.0)
+      continue;
+    t /= eta_pivot_val_[e];
+    v[static_cast<std::size_t>(pr)] = t;
+    for (int k = eta_start_[e]; k < eta_start_[e + 1]; ++k) {
+      v[static_cast<std::size_t>(eta_row_[static_cast<std::size_t>(k)])] -=
+          eta_val_[static_cast<std::size_t>(k)] * t;
+    }
+  }
+}
+
+void
+BasisFactorization::Btran(std::vector<double>& v) const
+{
+  for (std::size_t e = eta_pivot_row_.size(); e-- > 0;) {
+    const int pr = eta_pivot_row_[e];
+    double acc = v[static_cast<std::size_t>(pr)];
+    for (int k = eta_start_[e]; k < eta_start_[e + 1]; ++k) {
+      acc -= eta_val_[static_cast<std::size_t>(k)] *
+             v[static_cast<std::size_t>(eta_row_[static_cast<std::size_t>(k)])];
+    }
+    v[static_cast<std::size_t>(pr)] = acc / eta_pivot_val_[e];
+  }
+}
+
+void
+BasisFactorization::Update(int pivot_row, const std::vector<double>& alpha)
+{
+  FLEX_CHECK_MSG(
+      std::fabs(alpha[static_cast<std::size_t>(pivot_row)]) > 1e-12,
+      "product-form update with a (near-)zero pivot");
+  AppendEta(pivot_row, alpha);
+  ++updates_since_refactor_;
+  ++stats_.eta_updates;
+}
+
+}  // namespace flex::solver

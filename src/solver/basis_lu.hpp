@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Product-form LU factorization of a simplex basis.
+ *
+ * The revised simplex never forms B^-1 explicitly. Instead this class
+ * maintains B^-1 as a product of elementary eta matrices:
+ *
+ *  - Refactorize() rebuilds the product from scratch by Gauss-Jordan
+ *    elimination of the basis columns with row partial pivoting — one
+ *    eta per basis column, which is exactly an LU decomposition kept in
+ *    product form (the pivot order plays the role of the row
+ *    permutation).
+ *  - Update() appends one eta per simplex pivot between refactors, the
+ *    classic product-form update. Eta files grow and lose accuracy, so
+ *    the solver refactorizes periodically (and on numerical distress);
+ *    both events are counted for telemetry.
+ *
+ * All vectors are kept in *row* coordinates: Ftran(v) computes P B^-1 v
+ * where P is the pivot-order permutation, and the solver's
+ * basic-variable-of-row bookkeeping absorbs P, so callers never see it.
+ */
+#ifndef FLEX_SOLVER_BASIS_LU_HPP_
+#define FLEX_SOLVER_BASIS_LU_HPP_
+
+#include <cstdint>
+#include <vector>
+
+#include "solver/model.hpp"
+
+namespace flex::solver {
+
+class BasisFactorization {
+ public:
+  /** Cumulative counters, surfaced as solver telemetry. */
+  struct Stats {
+    std::int64_t refactors = 0;    ///< Refactorize() calls that ran
+    std::int64_t eta_updates = 0;  ///< Update() etas appended
+  };
+
+  /** Prepares for a basis of @p rows rows; drops all etas. */
+  void Reset(int rows);
+
+  /**
+   * Rebuilds the factorization for the basis listed in @p basic_of_row
+   * (column ids into @p cols, one per row, order irrelevant on input).
+   * On success the vector is permuted so that basic_of_row[r] is the
+   * column pivoted in row r — the arrangement every beta/Ftran result
+   * is indexed by — and true is returned. On a numerically singular
+   * basis, false is returned and the factorization is unusable until
+   * the caller repairs the basis and refactorizes again.
+   */
+  bool Refactorize(const SparseColumns& cols, std::vector<int>& basic_of_row);
+
+  /** v := P B^-1 v (dense @p v of rows() entries). */
+  void Ftran(std::vector<double>& v) const;
+
+  /** v := (P B^-1)^T v — dual solves (dense @p v of rows() entries). */
+  void Btran(std::vector<double>& v) const;
+
+  /**
+   * Product-form update after a pivot: the entering column, already
+   * transformed by Ftran into @p alpha (dense, row coordinates), replaces
+   * the basic variable of @p pivot_row. The caller must have verified
+   * |alpha[pivot_row]| is acceptable.
+   */
+  void Update(int pivot_row, const std::vector<double>& alpha);
+
+  int rows() const { return rows_; }
+  /** Etas appended by Update() since the last Refactorize(). */
+  int updates_since_refactor() const { return updates_since_refactor_; }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  void AppendEta(int pivot_row, const std::vector<double>& column);
+
+  int rows_ = 0;
+  int updates_since_refactor_ = 0;
+  Stats stats_;
+
+  // Eta file, flat: eta e pivots row eta_pivot_row_[e] with pivot value
+  // eta_pivot_val_[e]; its off-pivot terms occupy
+  // [eta_start_[e], eta_start_[e + 1]) of eta_row_/eta_val_.
+  std::vector<int> eta_pivot_row_;
+  std::vector<double> eta_pivot_val_;
+  std::vector<int> eta_start_;
+  std::vector<int> eta_row_;
+  std::vector<double> eta_val_;
+
+  // Refactorization scratch.
+  std::vector<double> work_;
+  std::vector<int> touched_;
+  std::vector<char> row_assigned_;
+  std::vector<int> new_basic_;
+};
+
+}  // namespace flex::solver
+
+#endif  // FLEX_SOLVER_BASIS_LU_HPP_

@@ -11,6 +11,7 @@
 
 #include "common/error.hpp"
 #include "common/thread_pool.hpp"
+#include "solver/presolve.hpp"
 
 namespace flex::solver {
 
@@ -102,7 +103,35 @@ BranchAndBoundSolver::Solve(const Model& model) const
                   std::chrono::duration<double>(options_.time_budget_seconds));
   const double sense = model.sense() == Sense::kMaximize ? 1.0 : -1.0;
   const SimplexSolver lp(options_.lp);
-  const int n = model.NumVariables();
+
+  // Presolve shrinks the model once, up front; the search then runs
+  // entirely in the reduced variable space. Incumbents are postsolved
+  // back to the original space (and re-verified against the original
+  // model) before acceptance, and every LP bound is shifted by the
+  // objective contribution of the eliminated variables.
+  Presolved pre;
+  bool use_presolve = false;
+  double pre_offset = 0.0;
+  MipResult result;
+  if (options_.presolve) {
+    if (Presolve(model, &pre) == PresolveStatus::kInfeasible) {
+      result.status = MipStatus::kInfeasible;
+      result.presolve_rows_removed = pre.rows_removed;
+      result.presolve_cols_removed = pre.cols_removed;
+      if (options_.trace != nullptr) {
+        SolverTracePoint point;
+        point.label = "final";
+        options_.trace->Add(std::move(point));
+      }
+      return result;
+    }
+    use_presolve = true;
+    pre_offset = pre.objective_offset;
+    result.presolve_rows_removed = pre.rows_removed;
+    result.presolve_cols_removed = pre.cols_removed;
+  }
+  const Model& search = use_presolve ? pre.reduced : model;
+  const int n = search.NumVariables();
 
   // Resolve the execution width. An explicit pool always wins (tests
   // exercise real concurrency this way even on 1-core machines);
@@ -121,7 +150,6 @@ BranchAndBoundSolver::Solve(const Model& model) const
   const int lanes = pool != nullptr ? pool->size() : 1;
   const std::int64_t steals_before = pool != nullptr ? pool->steal_count() : 0;
 
-  MipResult result;
   result.threads_used = lanes;
   result.nodes_per_thread.assign(static_cast<std::size_t>(lanes), 0);
 
@@ -140,9 +168,11 @@ BranchAndBoundSolver::Solve(const Model& model) const
   auto solve_lp = [&](const BoundOverrides& overrides,
                       const SimplexBasis* warm, SimplexBasis* basis_out) {
     LpResult sub =
-        lp.SolveWithBounds(model, overrides, &serial_ws, warm, basis_out);
+        lp.SolveWithBounds(search, overrides, &serial_ws, warm, basis_out);
     ++result.lp_solves;
     result.simplex_pivots += sub.iterations;
+    result.simplex_refactors += sub.refactors;
+    result.eta_updates += sub.eta_updates;
     if (sub.warm_start_attempted)
       ++result.basis_reuse_attempts;
     if (sub.warm_start_used)
@@ -162,6 +192,10 @@ BranchAndBoundSolver::Solve(const Model& model) const
     point.pivots = result.simplex_pivots;
     point.basis_attempts = result.basis_reuse_attempts;
     point.basis_hits = result.basis_reuse_hits;
+    point.refactors = result.simplex_refactors;
+    point.eta_updates = result.eta_updates;
+    point.presolve_rows_removed = result.presolve_rows_removed;
+    point.presolve_cols_removed = result.presolve_cols_removed;
     point.has_incumbent = incumbent_max > -kInf;
     point.incumbent = point.has_incumbent ? sense * incumbent_max : 0.0;
     // Bound unknown until the root relaxation lands (warm-start points).
@@ -173,40 +207,54 @@ BranchAndBoundSolver::Solve(const Model& model) const
   };
 
   auto integral = [&](const std::vector<double>& x) {
-    return PickBranchVariable(model, x, options_.integrality_tolerance) < 0;
+    return PickBranchVariable(search, x, options_.integrality_tolerance) < 0;
   };
 
   /**
-   * Deterministic incumbent acceptance: a candidate wins on strictly
-   * better objective, or — within tie tolerance — on lexicographically
-   * smaller solution. The tie rule makes the surviving incumbent a
-   * function of the set of candidates seen, not of their arrival order,
-   * which keeps equal-objective solves stable across search tweaks.
+   * Deterministic incumbent acceptance, in ORIGINAL variable space: a
+   * candidate wins on strictly better objective, or — within tie
+   * tolerance — on lexicographically smaller solution. The tie rule
+   * makes the surviving incumbent a function of the set of candidates
+   * seen, not of their arrival order, which keeps equal-objective
+   * solves stable across search tweaks. Feasibility is always checked
+   * against the original model: postsolve is exact by construction, but
+   * the original model is the contract the incumbent must honour.
    */
-  auto accept_incumbent = [&](const std::vector<double>& x) {
-    std::vector<double> rounded = x;
-    for (int j = 0; j < n; ++j) {
-      if (model.variables()[static_cast<std::size_t>(j)].is_integer) {
-        rounded[static_cast<std::size_t>(j)] =
-            std::round(rounded[static_cast<std::size_t>(j)]);
-      }
-    }
-    if (!model.IsFeasible(rounded, 1e-6))
+  auto consider = [&](std::vector<double> candidate) {
+    if (!model.IsFeasible(candidate, 1e-6))
       return;
-    const double value = sense * model.ObjectiveValue(rounded);
+    const double value = sense * model.ObjectiveValue(candidate);
     bool accept = value > incumbent_max + 1e-9;
     if (!accept && std::isfinite(incumbent_max) && !result.x.empty() &&
         value > incumbent_max - 1e-9) {
-      accept = std::lexicographical_compare(rounded.begin(), rounded.end(),
+      accept = std::lexicographical_compare(candidate.begin(), candidate.end(),
                                             result.x.begin(), result.x.end());
     }
     if (!accept)
       return;
     incumbent_max = std::max(incumbent_max, value);
-    result.x = std::move(rounded);
+    result.x = std::move(candidate);
     result.objective = sense * value;
     result.status = MipStatus::kFeasible;
     emit_trace("incumbent");
+  };
+
+  /** Rounds a search-space LP point, lifts it, and offers it up. */
+  auto accept_incumbent = [&](const std::vector<double>& x) {
+    std::vector<double> rounded = x;
+    for (int j = 0; j < n; ++j) {
+      if (search.variables()[static_cast<std::size_t>(j)].is_integer) {
+        rounded[static_cast<std::size_t>(j)] =
+            std::round(rounded[static_cast<std::size_t>(j)]);
+      }
+    }
+    if (use_presolve) {
+      std::vector<double> original;
+      Postsolve(pre, rounded, &original);
+      consider(std::move(original));
+    } else {
+      consider(std::move(rounded));
+    }
   };
 
   /**
@@ -234,7 +282,7 @@ BranchAndBoundSolver::Solve(const Model& model) const
       if (Clock::now() > deadline)
         return;
       const int j =
-          PickBranchVariable(model, x, options_.integrality_tolerance);
+          PickBranchVariable(search, x, options_.integrality_tolerance);
       if (j < 0) {
         accept_incumbent(x);
         return;
@@ -242,7 +290,7 @@ BranchAndBoundSolver::Solve(const Model& model) const
       BoundOverrides bulk = overrides;
       constexpr double kNearIntegral = 0.05;
       for (int v = 0; v < n; ++v) {
-        if (!model.variables()[static_cast<std::size_t>(v)].is_integer)
+        if (!search.variables()[static_cast<std::size_t>(v)].is_integer)
           continue;
         const double value = x[static_cast<std::size_t>(v)];
         const double rounded = std::round(value);
@@ -263,7 +311,7 @@ BranchAndBoundSolver::Solve(const Model& model) const
         overrides[static_cast<std::size_t>(j)] = {target, target};
         sub = solve_lp(overrides, warm, out);
         if (!sub.IsOptimal()) {
-          const Variable& vj = model.variables()[static_cast<std::size_t>(j)];
+          const Variable& vj = search.variables()[static_cast<std::size_t>(j)];
           const double other = target <= std::floor(x[static_cast<std::size_t>(j)])
                                    ? target + 1.0
                                    : target - 1.0;
@@ -294,9 +342,19 @@ BranchAndBoundSolver::Solve(const Model& model) const
     return overrides;
   };
 
+  // The caller's warm start lives in the original variable space; it is
+  // rounded and offered directly, bypassing the search-space lift.
   if (!options_.warm_start.empty() &&
-      static_cast<int>(options_.warm_start.size()) == n)
-    accept_incumbent(options_.warm_start);
+      static_cast<int>(options_.warm_start.size()) == model.NumVariables()) {
+    std::vector<double> rounded = options_.warm_start;
+    for (int j = 0; j < model.NumVariables(); ++j) {
+      if (model.variables()[static_cast<std::size_t>(j)].is_integer) {
+        rounded[static_cast<std::size_t>(j)] =
+            std::round(rounded[static_cast<std::size_t>(j)]);
+      }
+    }
+    consider(std::move(rounded));
+  }
 
   // Root relaxation.
   auto root_basis = std::make_shared<SimplexBasis>();
@@ -313,12 +371,12 @@ BranchAndBoundSolver::Solve(const Model& model) const
   }
   FLEX_REQUIRE(root.IsOptimal(), "root LP failed to converge");
 
-  best_bound_max = sense * root.objective;
+  best_bound_max = sense * (root.objective + pre_offset);
   emit_trace("root");
   if (integral(root.x)) {
     accept_incumbent(root.x);
     result.status = MipStatus::kOptimal;
-    result.bound = root.objective;
+    result.bound = root.objective + pre_offset;
     result.gap = 0.0;
     result.nodes_explored = 1;
     result.nodes_per_thread[0] = 1;
@@ -385,7 +443,7 @@ BranchAndBoundSolver::Solve(const Model& model) const
         const Node* node = wave_nodes[i].get();
         WaveResult wr;
         wr.basis = std::make_shared<SimplexBasis>();
-        wr.lp = lp.SolveWithBounds(model, materialize(node), &workspaces[i],
+        wr.lp = lp.SolveWithBounds(search, materialize(node), &workspaces[i],
                                    node->basis.get(), wr.basis.get());
         const int lane = common::ThreadPool::WorkerIndex();
         wr.lane = lane >= 1 && lane < lanes ? lane : 0;
@@ -409,6 +467,8 @@ BranchAndBoundSolver::Solve(const Model& model) const
       ++result.nodes_per_thread[static_cast<std::size_t>(wr.lane)];
       ++result.lp_solves;
       result.simplex_pivots += wr.lp.iterations;
+      result.simplex_refactors += wr.lp.refactors;
+      result.eta_updates += wr.lp.eta_updates;
       if (wr.lp.warm_start_attempted)
         ++result.basis_reuse_attempts;
       if (wr.lp.warm_start_used)
@@ -418,11 +478,11 @@ BranchAndBoundSolver::Solve(const Model& model) const
         emit_trace("node");
       if (!wr.lp.IsOptimal())
         continue;  // infeasible subtree (or stalled LP): prune
-      const double node_bound = sense * wr.lp.objective;
+      const double node_bound = sense * (wr.lp.objective + pre_offset);
       if (node_bound <= incumbent_max + 1e-9)
         continue;  // cannot improve the incumbent
 
-      const int j = PickBranchVariable(model, wr.lp.x,
+      const int j = PickBranchVariable(search, wr.lp.x,
                                        options_.integrality_tolerance);
       if (j < 0) {
         accept_incumbent(wr.lp.x);
@@ -433,7 +493,7 @@ BranchAndBoundSolver::Solve(const Model& model) const
 
       const double value = wr.lp.x[static_cast<std::size_t>(j)];
       const double floor_value = std::floor(value);
-      const Variable& var = model.variables()[static_cast<std::size_t>(j)];
+      const Variable& var = search.variables()[static_cast<std::size_t>(j)];
       double lo = var.lower;
       double hi = var.upper;
       for (const Node* p = node; p != nullptr; p = p->parent.get()) {

@@ -53,6 +53,11 @@ struct MipResult {
   std::int64_t nodes_explored = 0;
   std::int64_t lp_solves = 0;      ///< LP relaxations solved (all callers)
   std::int64_t simplex_pivots = 0; ///< pivots summed over those solves
+  // Revised-simplex + presolve telemetry (PR 6).
+  std::int64_t simplex_refactors = 0;   ///< basis LU refactorizations
+  std::int64_t eta_updates = 0;         ///< product-form eta updates
+  int presolve_rows_removed = 0;        ///< constraints removed at the root
+  int presolve_cols_removed = 0;        ///< variables eliminated at the root
   // Concurrency telemetry (PR 4).
   int threads_used = 1;            ///< pool width the solve ran with
   std::int64_t steal_count = 0;    ///< pool steals during this solve
@@ -76,6 +81,14 @@ class BranchAndBoundSolver {
     double gap_tolerance = 1e-6;        ///< relative gap for kOptimal
     double integrality_tolerance = 1e-6;
     int dive_depth = 64;                ///< greedy dive length for incumbents
+    /**
+     * Run presolve once before the root relaxation and search the
+     * reduced model (incumbents are postsolved back to the original
+     * variable space and re-verified against the original model).
+     * Reductions preserve the optimal objective value, never the set
+     * of alternate optima.
+     */
+    bool presolve = true;
     /**
      * Solver thread count: 0 resolves via FLEX_SOLVER_THREADS (default:
      * hardware concurrency), 1 forces a serial solve, >1 runs node

@@ -118,4 +118,68 @@ Model::IsFeasible(const std::vector<double>& x, double tolerance) const
   return true;
 }
 
+void
+BuildCsc(const Model& model, SparseColumns* out)
+{
+  FLEX_CHECK(out != nullptr);
+  const int n = model.NumVariables();
+  const int m = model.NumConstraints();
+  out->num_rows = m;
+
+  // Count entries per column (duplicates counted; merged below).
+  out->start.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (const Constraint& c : model.constraints()) {
+    for (const auto& [var, coef] : c.terms) {
+      (void)coef;
+      ++out->start[static_cast<std::size_t>(var) + 1];
+    }
+  }
+  for (int j = 0; j < n; ++j) {
+    out->start[static_cast<std::size_t>(j) + 1] +=
+        out->start[static_cast<std::size_t>(j)];
+  }
+
+  const std::size_t nnz = static_cast<std::size_t>(out->start.back());
+  out->row.assign(nnz, 0);
+  out->value.assign(nnz, 0.0);
+  std::vector<int> cursor(out->start.begin(), out->start.end() - 1);
+  for (int i = 0; i < m; ++i) {
+    const Constraint& c = model.constraints()[static_cast<std::size_t>(i)];
+    for (const auto& [var, coef] : c.terms) {
+      const int k = cursor[static_cast<std::size_t>(var)]++;
+      out->row[static_cast<std::size_t>(k)] = i;
+      out->value[static_cast<std::size_t>(k)] = coef;
+    }
+  }
+
+  // Scattering constraint-by-constraint leaves each column sorted by
+  // row already; merge duplicates and drop exact zeros in one pass.
+  std::size_t write = 0;
+  int new_start = 0;
+  for (int j = 0; j < n; ++j) {
+    const std::size_t begin = static_cast<std::size_t>(out->start[static_cast<std::size_t>(j)]);
+    const std::size_t end = static_cast<std::size_t>(out->start[static_cast<std::size_t>(j) + 1]);
+    out->start[static_cast<std::size_t>(j)] = new_start;
+    std::size_t k = begin;
+    while (k < end) {
+      const int r = out->row[k];
+      double sum = out->value[k];
+      ++k;
+      while (k < end && out->row[k] == r) {
+        sum += out->value[k];
+        ++k;
+      }
+      if (sum != 0.0) {
+        out->row[write] = r;
+        out->value[write] = sum;
+        ++write;
+      }
+    }
+    new_start = static_cast<int>(write);
+  }
+  out->start[static_cast<std::size_t>(n)] = new_start;
+  out->row.resize(write);
+  out->value.resize(write);
+}
+
 }  // namespace flex::solver

@@ -43,6 +43,49 @@ struct Constraint {
 };
 
 /**
+ * Compressed sparse column (CSC) view of a constraint matrix. Column j
+ * of the matrix occupies entries [start[j], start[j+1]) of row/value;
+ * within a column, entries are sorted by row index and duplicates are
+ * merged. This is the storage the revised simplex prices and factorizes
+ * against, so it also admits appended columns (slacks, artificials).
+ */
+struct SparseColumns {
+  int num_rows = 0;
+  std::vector<int> start;     ///< size num_cols() + 1; start[0] == 0
+  std::vector<double> value;  ///< nonzero coefficients, column-major
+  std::vector<int> row;       ///< row index of each nonzero
+
+  int num_cols() const { return static_cast<int>(start.size()) - 1; }
+  int nonzeros() const { return static_cast<int>(row.size()); }
+
+  void
+  Clear(int rows)
+  {
+    num_rows = rows;
+    start.assign(1, 0);
+    value.clear();
+    row.clear();
+  }
+
+  /** Appends a column with a single entry; returns its column index. */
+  int
+  AppendSingleton(int entry_row, double entry_value)
+  {
+    row.push_back(entry_row);
+    value.push_back(entry_value);
+    start.push_back(static_cast<int>(row.size()));
+    return num_cols() - 1;
+  }
+};
+
+/**
+ * Builds the CSC form of @p model's structural columns (one column per
+ * variable, one row per constraint) into @p out, reusing its buffers.
+ * Duplicate (row, var) terms are summed; exact zeros are kept out.
+ */
+void BuildCsc(const class Model& model, SparseColumns* out);
+
+/**
  * A mutable MILP model.
  *
  * Variables and constraints are appended; the solvers read the model

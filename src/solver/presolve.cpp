@@ -1,0 +1,380 @@
+#include "presolve.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace flex::solver {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kFeasTolerance = 1e-9;
+constexpr double kFixedTolerance = 1e-12;
+constexpr double kIntegralityTolerance = 1e-6;
+
+/** Reduction passes before presolve gives up on reaching a fixpoint. */
+constexpr int kMaxPasses = 10;
+
+struct WorkState {
+  std::vector<double> lower;
+  std::vector<double> upper;
+  std::vector<char> fixed;
+  std::vector<double> value;     // of fixed variables
+  std::vector<char> row_active;
+};
+
+/** Rounds integer-variable bounds inward to integers. */
+bool
+TightenIntegerBounds(const Model& model, WorkState& st, int j)
+{
+  if (!model.variables()[static_cast<std::size_t>(j)].is_integer)
+    return true;
+  double& lo = st.lower[static_cast<std::size_t>(j)];
+  double& hi = st.upper[static_cast<std::size_t>(j)];
+  if (std::isfinite(lo))
+    lo = std::ceil(lo - kIntegralityTolerance);
+  if (std::isfinite(hi))
+    hi = std::floor(hi + kIntegralityTolerance);
+  return lo <= hi + kFeasTolerance;
+}
+
+/** Fixes variable j at @p v; false when v violates integrality/bounds. */
+bool
+FixVariable(const Model& model, WorkState& st, int j, double v)
+{
+  const std::size_t sj = static_cast<std::size_t>(j);
+  if (model.variables()[sj].is_integer) {
+    const double r = std::round(v);
+    if (std::fabs(v - r) > kIntegralityTolerance)
+      return false;
+    v = r;
+  }
+  if (v < st.lower[sj] - kFeasTolerance || v > st.upper[sj] + kFeasTolerance)
+    return false;
+  st.fixed[sj] = 1;
+  st.value[sj] = v;
+  st.lower[sj] = v;
+  st.upper[sj] = v;
+  return true;
+}
+
+}  // namespace
+
+PresolveStatus
+Presolve(const Model& model, Presolved* out)
+{
+  FLEX_CHECK(out != nullptr);
+  const int n = model.NumVariables();
+  const int m = model.NumConstraints();
+  *out = Presolved{};
+  out->reduced.SetSense(model.sense());
+
+  WorkState st;
+  st.lower.resize(static_cast<std::size_t>(n));
+  st.upper.resize(static_cast<std::size_t>(n));
+  st.fixed.assign(static_cast<std::size_t>(n), 0);
+  st.value.assign(static_cast<std::size_t>(n), 0.0);
+  st.row_active.assign(static_cast<std::size_t>(m), 1);
+
+  const auto infeasible = [&]() {
+    out->status = PresolveStatus::kInfeasible;
+    return out->status;
+  };
+
+  for (int j = 0; j < n; ++j) {
+    const Variable& v = model.variables()[static_cast<std::size_t>(j)];
+    st.lower[static_cast<std::size_t>(j)] = v.lower;
+    st.upper[static_cast<std::size_t>(j)] = v.upper;
+    if (!TightenIntegerBounds(model, st, j))
+      return infeasible();
+  }
+
+  // Minimize orientation for cost-direction reasoning.
+  const double sgn = model.sense() == Sense::kMaximize ? -1.0 : 1.0;
+
+  std::vector<double> coef_scratch;
+  std::vector<int> var_scratch;
+  bool changed = true;
+  for (int pass = 0; pass < kMaxPasses && changed; ++pass) {
+    changed = false;
+
+    // --- Row reductions ------------------------------------------------
+    for (int i = 0; i < m; ++i) {
+      if (!st.row_active[static_cast<std::size_t>(i)])
+        continue;
+      const Constraint& c = model.constraints()[static_cast<std::size_t>(i)];
+      // Live terms (fixed variables substituted into the rhs) and
+      // activity bounds over the live ones.
+      coef_scratch.clear();
+      var_scratch.clear();
+      double rhs = c.rhs;
+      double min_act = 0.0;
+      double max_act = 0.0;
+      for (const auto& [var, coef] : c.terms) {
+        const std::size_t sv = static_cast<std::size_t>(var);
+        if (coef == 0.0)
+          continue;
+        if (st.fixed[sv]) {
+          rhs -= coef * st.value[sv];
+          continue;
+        }
+        var_scratch.push_back(var);
+        coef_scratch.push_back(coef);
+        const double lo = st.lower[sv];
+        const double hi = st.upper[sv];
+        if (coef > 0.0) {
+          min_act += std::isfinite(lo) ? coef * lo : -kInf;
+          max_act += std::isfinite(hi) ? coef * hi : kInf;
+        } else {
+          min_act += std::isfinite(hi) ? coef * hi : -kInf;
+          max_act += std::isfinite(lo) ? coef * lo : kInf;
+        }
+      }
+
+      if (var_scratch.empty()) {
+        // Empty row: 0 <rel> rhs either always holds or never does.
+        switch (c.relation) {
+          case Relation::kLessEqual:
+            if (rhs < -kFeasTolerance)
+              return infeasible();
+            break;
+          case Relation::kGreaterEqual:
+            if (rhs > kFeasTolerance)
+              return infeasible();
+            break;
+          case Relation::kEqual:
+            if (std::fabs(rhs) > kFeasTolerance)
+              return infeasible();
+            break;
+        }
+        st.row_active[static_cast<std::size_t>(i)] = 0;
+        changed = true;
+        continue;
+      }
+
+      // Activity-bound tests: rows no variable assignment can violate
+      // drop; rows no assignment can satisfy prove infeasibility.
+      if (c.relation == Relation::kLessEqual) {
+        if (min_act > rhs + kFeasTolerance)
+          return infeasible();
+        if (max_act <= rhs + kFeasTolerance) {
+          st.row_active[static_cast<std::size_t>(i)] = 0;
+          changed = true;
+          continue;
+        }
+      } else if (c.relation == Relation::kGreaterEqual) {
+        if (max_act < rhs - kFeasTolerance)
+          return infeasible();
+        if (min_act >= rhs - kFeasTolerance) {
+          st.row_active[static_cast<std::size_t>(i)] = 0;
+          changed = true;
+          continue;
+        }
+      } else {
+        if (min_act > rhs + kFeasTolerance || max_act < rhs - kFeasTolerance)
+          return infeasible();
+      }
+
+      if (var_scratch.size() == 1) {
+        // Singleton row: fold into the variable's bounds.
+        const int j = var_scratch.front();
+        const std::size_t sj = static_cast<std::size_t>(j);
+        const double a = coef_scratch.front();
+        const double b = rhs / a;
+        double& lo = st.lower[sj];
+        double& hi = st.upper[sj];
+        switch (c.relation) {
+          case Relation::kLessEqual:
+            if (a > 0.0)
+              hi = std::min(hi, b);
+            else
+              lo = std::max(lo, b);
+            break;
+          case Relation::kGreaterEqual:
+            if (a > 0.0)
+              lo = std::max(lo, b);
+            else
+              hi = std::min(hi, b);
+            break;
+          case Relation::kEqual:
+            lo = std::max(lo, b);
+            hi = std::min(hi, b);
+            break;
+        }
+        if (!TightenIntegerBounds(model, st, j))
+          return infeasible();
+        if (lo > hi + kFeasTolerance)
+          return infeasible();
+        st.row_active[static_cast<std::size_t>(i)] = 0;
+        changed = true;
+        continue;
+      }
+    }
+
+    // --- Column reductions ---------------------------------------------
+    // Newly-degenerate bounds become fixings.
+    for (int j = 0; j < n; ++j) {
+      const std::size_t sj = static_cast<std::size_t>(j);
+      if (st.fixed[sj])
+        continue;
+      if (st.upper[sj] - st.lower[sj] <= kFixedTolerance) {
+        if (!FixVariable(model, st, j, 0.5 * (st.lower[sj] + st.upper[sj])))
+          return infeasible();
+        changed = true;
+      }
+    }
+
+    // Dominated columns: when every live occurrence of x_j lets it slide
+    // toward one bound without tightening any constraint, and the cost
+    // favors that direction, fix it there (empty columns are the
+    // zero-occurrence case). Bounds that direction must be finite —
+    // presolve never concludes "unbounded" (see header).
+    std::vector<char> down_safe(static_cast<std::size_t>(n), 1);
+    std::vector<char> up_safe(static_cast<std::size_t>(n), 1);
+    for (int i = 0; i < m; ++i) {
+      if (!st.row_active[static_cast<std::size_t>(i)])
+        continue;
+      const Constraint& c = model.constraints()[static_cast<std::size_t>(i)];
+      for (const auto& [var, coef] : c.terms) {
+        const std::size_t sv = static_cast<std::size_t>(var);
+        if (coef == 0.0 || st.fixed[sv])
+          continue;
+        switch (c.relation) {
+          case Relation::kLessEqual:
+            // Decreasing x relaxes the row iff coef >= 0.
+            if (coef < 0.0)
+              down_safe[sv] = 0;
+            if (coef > 0.0)
+              up_safe[sv] = 0;
+            break;
+          case Relation::kGreaterEqual:
+            if (coef > 0.0)
+              down_safe[sv] = 0;
+            if (coef < 0.0)
+              up_safe[sv] = 0;
+            break;
+          case Relation::kEqual:
+            down_safe[sv] = 0;
+            up_safe[sv] = 0;
+            break;
+        }
+      }
+    }
+    for (int j = 0; j < n; ++j) {
+      const std::size_t sj = static_cast<std::size_t>(j);
+      if (st.fixed[sj])
+        continue;
+      const double c_min =
+          sgn * model.variables()[sj].objective;
+      if (down_safe[sj] && c_min >= 0.0 && std::isfinite(st.lower[sj])) {
+        if (!FixVariable(model, st, j, st.lower[sj]))
+          return infeasible();
+        changed = true;
+      } else if (up_safe[sj] && c_min <= 0.0 && std::isfinite(st.upper[sj])) {
+        if (!FixVariable(model, st, j, st.upper[sj]))
+          return infeasible();
+        changed = true;
+      }
+    }
+  }
+
+  // --- Emit the reduced model ------------------------------------------
+  out->reduced_index.assign(static_cast<std::size_t>(n), -1);
+  out->fixed_value.assign(static_cast<std::size_t>(n), 0.0);
+  for (int j = 0; j < n; ++j) {
+    const std::size_t sj = static_cast<std::size_t>(j);
+    const Variable& v = model.variables()[sj];
+    if (st.fixed[sj]) {
+      out->fixed_value[sj] = st.value[sj];
+      out->objective_offset += v.objective * st.value[sj];
+      ++out->cols_removed;
+      continue;
+    }
+    const int rj =
+        v.is_integer
+            ? out->reduced.AddInteger(v.name, st.lower[sj], st.upper[sj],
+                                      v.objective)
+            : out->reduced.AddContinuous(v.name, st.lower[sj], st.upper[sj],
+                                         v.objective);
+    out->reduced_index[sj] = rj;
+  }
+
+  std::vector<std::pair<VarIndex, double>> terms;
+  for (int i = 0; i < m; ++i) {
+    if (!st.row_active[static_cast<std::size_t>(i)]) {
+      ++out->rows_removed;
+      continue;
+    }
+    const Constraint& c = model.constraints()[static_cast<std::size_t>(i)];
+    terms.clear();
+    double rhs = c.rhs;
+    double max_abs = 0.0;
+    for (const auto& [var, coef] : c.terms) {
+      const std::size_t sv = static_cast<std::size_t>(var);
+      if (coef == 0.0)
+        continue;
+      if (st.fixed[sv]) {
+        rhs -= coef * st.value[sv];
+        continue;
+      }
+      terms.emplace_back(out->reduced_index[sv], coef);
+      max_abs = std::max(max_abs, std::fabs(coef));
+    }
+    if (terms.empty()) {
+      // All variables of the row were fixed during the final pass;
+      // verify the residual and drop it.
+      bool ok = true;
+      switch (c.relation) {
+        case Relation::kLessEqual:
+          ok = rhs >= -kFeasTolerance;
+          break;
+        case Relation::kGreaterEqual:
+          ok = rhs <= kFeasTolerance;
+          break;
+        case Relation::kEqual:
+          ok = std::fabs(rhs) <= kFeasTolerance;
+          break;
+      }
+      if (!ok)
+        return infeasible();
+      ++out->rows_removed;
+      continue;
+    }
+    // Power-of-two scaling: the largest coefficient lands in [1, 2).
+    // Exact in binary floating point, so neither the feasible region
+    // nor the primal solution changes by even an ulp.
+    if (max_abs > 0.0 && std::isfinite(max_abs)) {
+      const double scale = std::exp2(std::floor(std::log2(max_abs)));
+      if (scale != 1.0 && scale > 0.0 && std::isfinite(scale)) {
+        for (auto& [var, coef] : terms)
+          coef /= scale;
+        rhs /= scale;
+      }
+    }
+    out->reduced.AddConstraint(c.name, terms, c.relation, rhs);
+  }
+
+  out->status = PresolveStatus::kReduced;
+  return out->status;
+}
+
+void
+Postsolve(const Presolved& info, const std::vector<double>& reduced_x,
+          std::vector<double>* original_x)
+{
+  FLEX_CHECK(original_x != nullptr);
+  const std::size_t n = info.reduced_index.size();
+  FLEX_CHECK(reduced_x.size() ==
+             static_cast<std::size_t>(info.reduced.NumVariables()));
+  original_x->assign(n, 0.0);
+  for (std::size_t j = 0; j < n; ++j) {
+    const int rj = info.reduced_index[j];
+    (*original_x)[j] = rj >= 0 ? reduced_x[static_cast<std::size_t>(rj)]
+                               : info.fixed_value[j];
+  }
+}
+
+}  // namespace flex::solver

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * LP/MIP presolve: shrinks a Model before the root relaxation.
+ *
+ * Presolve applies a fixpoint of safe reductions — singleton rows fold
+ * into variable bounds (integer bounds rounded), empty and redundant
+ * rows drop, fixed variables substitute out, empty and dominated
+ * columns fix at their cost-favorable bound, and rows are rescaled by
+ * powers of two so their largest coefficient lands in [1, 2). Every
+ * reduction preserves the optimal objective value (dominated-column
+ * fixing may select among alternate optima, never change the value),
+ * and power-of-two scaling is exact in binary floating point, so the
+ * primal solution needs no unscaling.
+ *
+ * Presolve never claims unboundedness: a column whose improving
+ * direction is unbounded is left in the model, because "unbounded
+ * column" only implies an unbounded LP when the model is feasible —
+ * a question the simplex settles.
+ *
+ * Postsolve maps a solution of the reduced model back to the original
+ * variable space (fixed variables reinstated at their values).
+ */
+#ifndef FLEX_SOLVER_PRESOLVE_HPP_
+#define FLEX_SOLVER_PRESOLVE_HPP_
+
+#include <vector>
+
+#include "solver/model.hpp"
+
+namespace flex::solver {
+
+/** Outcome of a presolve pass. */
+enum class PresolveStatus {
+  kReduced,     ///< reduced model is ready (possibly unchanged)
+  kInfeasible,  ///< reductions proved the model has no feasible point
+};
+
+/** A presolved model plus everything needed to undo the reductions. */
+struct Presolved {
+  PresolveStatus status = PresolveStatus::kReduced;
+  Model reduced;                 ///< same sense; possibly fewer rows/cols
+  double objective_offset = 0.0; ///< obj(x) = obj_reduced(x_red) + offset
+  int rows_removed = 0;
+  int cols_removed = 0;
+
+  /** Original variable -> reduced column, or -1 when eliminated. */
+  std::vector<int> reduced_index;
+  /** Value of each eliminated original variable. */
+  std::vector<double> fixed_value;
+};
+
+/** Runs presolve on @p model into @p out; returns out->status. */
+PresolveStatus Presolve(const Model& model, Presolved* out);
+
+/**
+ * Expands @p reduced_x (a solution of @p info.reduced) into the
+ * original variable space.
+ */
+void Postsolve(const Presolved& info, const std::vector<double>& reduced_x,
+               std::vector<double>* original_x);
+
+}  // namespace flex::solver
+
+#endif  // FLEX_SOLVER_PRESOLVE_HPP_

@@ -1,0 +1,763 @@
+#include "revised_simplex.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace flex::solver {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/** Rows whose pivot-column entry is below this do not block the ratio
+ * test and are never chosen as pivots. */
+constexpr double kRatioTolerance = 1e-9;
+
+/** Absolute slack allowed when judging a warm basis primal feasible. */
+constexpr double kWarmFeasTolerance = 1e-7;
+
+/** Phase-1 optimum above this level of residual infeasibility means the
+ * LP has no feasible point (matches the dense implementation). */
+constexpr double kInfeasibilityTolerance = 1e-6;
+
+/** A variable whose bound range is below this is treated as fixed: it
+ * never enters the basis (a "flip" of a fixed variable would loop). */
+constexpr double kFixedTolerance = 1e-12;
+
+/** Where a nonbasic column currently sits. */
+enum VarState : signed char {
+  kBasic = 0,
+  kAtLower = 1,
+  kAtUpper = 2,
+  kFreeAtZero = 3,  ///< both bounds infinite; parked at zero
+};
+
+/**
+ * One LP solve over the column space [structural | slacks | artificials].
+ * Structural column j is model variable j; the slack of row i is column
+ * n + i with coefficient +1 and bounds encoding the relation
+ * (<=: [0,inf), >=: (-inf,0], =: [0,0]); artificial columns are appended
+ * on demand (cold Phase 1, warm installs of artificial snapshot rows).
+ * Costs are kept in minimize orientation throughout.
+ */
+class RevisedSolver {
+ public:
+  RevisedSolver(const Model& model, SimplexWorkspace& ws,
+                const SimplexSolver::Options& options)
+      : model_(model), ws_(ws), tol_(options.tolerance),
+        refactor_interval_(std::max(1, options.refactor_interval)),
+        max_iterations_(options.max_iterations)
+  {
+  }
+
+  LpResult Solve(const BoundOverrides& overrides,
+                 const SimplexBasis* warm_basis, SimplexBasis* basis_out);
+
+ private:
+  bool PrepareBounds(const BoundOverrides& overrides);
+  void BuildColumns();
+  void SetupCosts();
+  int AppendColumn(int entry_row, double coef, double lower, double upper);
+  void SetNonbasicDefaults(const SimplexBasis* basis);
+  void SetupColdBasis();
+  bool InstallWarmBasis(const SimplexBasis& basis);
+  bool RefactorizeBasis();
+  void ComputeBeta();
+  void ComputeDuals(bool phase_one);
+  double Cost(int j, bool phase_one) const;
+  double ReducedCost(int j, bool phase_one) const;
+  double Objective(bool phase_one) const;
+  int PriceEntering(bool bland, bool phase_one, double* reduced_cost);
+  LpStatus RunTwoPhase(int max_iters, int& iterations);
+  LpStatus Iterate(bool phase_one, int max_iters, int& iterations);
+
+  const Model& model_;
+  SimplexWorkspace& ws_;
+  const double tol_;
+  const int refactor_interval_;
+  const int max_iterations_;
+
+  int n_ = 0;          ///< structural columns (model variables)
+  int m_ = 0;          ///< rows (model constraints)
+  int num_cols_ = 0;   ///< total columns including slacks + artificials
+  int first_artificial_ = 0;
+  int pricing_cursor_ = 0;
+};
+
+bool
+RevisedSolver::PrepareBounds(const BoundOverrides& overrides)
+{
+  n_ = model_.NumVariables();
+  m_ = model_.NumConstraints();
+  FLEX_REQUIRE(overrides.empty() || static_cast<int>(overrides.size()) == n_,
+               "bound overrides must be empty or cover every variable");
+  ws_.sp_lower.assign(static_cast<std::size_t>(n_), 0.0);
+  ws_.sp_upper.assign(static_cast<std::size_t>(n_), 0.0);
+  for (int j = 0; j < n_; ++j) {
+    const Variable& v = model_.variables()[static_cast<std::size_t>(j)];
+    double lo = v.lower;
+    double hi = v.upper;
+    if (!overrides.empty() && overrides[static_cast<std::size_t>(j)]) {
+      lo = std::max(lo, overrides[static_cast<std::size_t>(j)]->first);
+      hi = std::min(hi, overrides[static_cast<std::size_t>(j)]->second);
+    }
+    if (lo > hi + 1e-12)
+      return false;
+    ws_.sp_lower[static_cast<std::size_t>(j)] = lo;
+    ws_.sp_upper[static_cast<std::size_t>(j)] = hi;
+  }
+  return true;
+}
+
+void
+RevisedSolver::BuildColumns()
+{
+  BuildCsc(model_, &ws_.columns);
+  ws_.sp_lower.resize(static_cast<std::size_t>(n_));
+  ws_.sp_upper.resize(static_cast<std::size_t>(n_));
+  for (int i = 0; i < m_; ++i) {
+    ws_.columns.AppendSingleton(i, 1.0);
+    switch (model_.constraints()[static_cast<std::size_t>(i)].relation) {
+      case Relation::kLessEqual:
+        ws_.sp_lower.push_back(0.0);
+        ws_.sp_upper.push_back(kInf);
+        break;
+      case Relation::kGreaterEqual:
+        ws_.sp_lower.push_back(-kInf);
+        ws_.sp_upper.push_back(0.0);
+        break;
+      case Relation::kEqual:
+        ws_.sp_lower.push_back(0.0);
+        ws_.sp_upper.push_back(0.0);
+        break;
+    }
+  }
+  num_cols_ = n_ + m_;
+  first_artificial_ = num_cols_;
+  ws_.sp_value.assign(static_cast<std::size_t>(num_cols_), 0.0);
+  ws_.sp_state.assign(static_cast<std::size_t>(num_cols_), kAtLower);
+  ws_.factorization.Reset(m_);
+  pricing_cursor_ = 0;
+}
+
+void
+RevisedSolver::SetupCosts()
+{
+  ws_.sp_cost.assign(static_cast<std::size_t>(num_cols_), 0.0);
+  const double sgn = model_.sense() == Sense::kMaximize ? -1.0 : 1.0;
+  for (int j = 0; j < n_; ++j) {
+    ws_.sp_cost[static_cast<std::size_t>(j)] =
+        sgn * model_.variables()[static_cast<std::size_t>(j)].objective;
+  }
+}
+
+int
+RevisedSolver::AppendColumn(int entry_row, double coef, double lower,
+                            double upper)
+{
+  const int c = ws_.columns.AppendSingleton(entry_row, coef);
+  ws_.sp_lower.push_back(lower);
+  ws_.sp_upper.push_back(upper);
+  ws_.sp_cost.push_back(0.0);
+  ws_.sp_value.push_back(0.0);
+  ws_.sp_state.push_back(kAtLower);
+  num_cols_ = c + 1;
+  return c;
+}
+
+/**
+ * Parks every column at its natural nonbasic position: structural
+ * variables at a finite bound (lower preferred; @p basis's at_upper
+ * list overrides toward the upper bound) or at zero when free; slacks
+ * at the zero end of their relation-shaped bounds.
+ */
+void
+RevisedSolver::SetNonbasicDefaults(const SimplexBasis* basis)
+{
+  for (int j = 0; j < n_; ++j) {
+    const std::size_t sj = static_cast<std::size_t>(j);
+    const double lo = ws_.sp_lower[sj];
+    const double hi = ws_.sp_upper[sj];
+    const bool wants_upper =
+        basis != nullptr &&
+        std::binary_search(basis->at_upper.begin(), basis->at_upper.end(), j);
+    if (wants_upper && std::isfinite(hi)) {
+      ws_.sp_state[sj] = kAtUpper;
+      ws_.sp_value[sj] = hi;
+    } else if (std::isfinite(lo)) {
+      ws_.sp_state[sj] = kAtLower;
+      ws_.sp_value[sj] = lo;
+    } else if (std::isfinite(hi)) {
+      ws_.sp_state[sj] = kAtUpper;
+      ws_.sp_value[sj] = hi;
+    } else {
+      ws_.sp_state[sj] = kFreeAtZero;
+      ws_.sp_value[sj] = 0.0;
+    }
+  }
+  for (int i = 0; i < m_; ++i) {
+    const std::size_t s = static_cast<std::size_t>(n_ + i);
+    const Relation rel =
+        model_.constraints()[static_cast<std::size_t>(i)].relation;
+    ws_.sp_state[s] = rel == Relation::kGreaterEqual ? kAtUpper : kAtLower;
+    ws_.sp_value[s] = 0.0;
+  }
+}
+
+void
+RevisedSolver::SetupColdBasis()
+{
+  SetNonbasicDefaults(nullptr);
+
+  // Row residuals with every column nonbasic: r_i = b_i - A x_N.
+  ws_.sp_rhs.assign(static_cast<std::size_t>(m_), 0.0);
+  for (int i = 0; i < m_; ++i) {
+    ws_.sp_rhs[static_cast<std::size_t>(i)] =
+        model_.constraints()[static_cast<std::size_t>(i)].rhs;
+  }
+  for (int j = 0; j < num_cols_; ++j) {
+    const double v = ws_.sp_value[static_cast<std::size_t>(j)];
+    if (v == 0.0)
+      continue;
+    for (int k = ws_.columns.start[static_cast<std::size_t>(j)];
+         k < ws_.columns.start[static_cast<std::size_t>(j) + 1]; ++k) {
+      ws_.sp_rhs[static_cast<std::size_t>(
+          ws_.columns.row[static_cast<std::size_t>(k)])] -=
+          ws_.columns.value[static_cast<std::size_t>(k)] * v;
+    }
+  }
+
+  // Each row takes its own slack when the residual fits the slack
+  // bounds; otherwise a phase-1 artificial absorbs the residual.
+  first_artificial_ = num_cols_;
+  ws_.sp_basic_of_row.assign(static_cast<std::size_t>(m_), -1);
+  for (int i = 0; i < m_; ++i) {
+    const double r = ws_.sp_rhs[static_cast<std::size_t>(i)];
+    const std::size_t s = static_cast<std::size_t>(n_ + i);
+    if (r >= ws_.sp_lower[s] - kRatioTolerance &&
+        r <= ws_.sp_upper[s] + kRatioTolerance) {
+      ws_.sp_basic_of_row[static_cast<std::size_t>(i)] = n_ + i;
+      ws_.sp_state[s] = kBasic;
+      ws_.sp_value[s] = r;
+    } else {
+      const int a = AppendColumn(i, r >= 0.0 ? 1.0 : -1.0, 0.0, kInf);
+      ws_.sp_state[static_cast<std::size_t>(a)] = kBasic;
+      ws_.sp_value[static_cast<std::size_t>(a)] = std::fabs(r);
+      ws_.sp_basic_of_row[static_cast<std::size_t>(i)] = a;
+    }
+  }
+}
+
+bool
+RevisedSolver::InstallWarmBasis(const SimplexBasis& basis)
+{
+  ws_.sp_basic_of_row.assign(static_cast<std::size_t>(m_), -1);
+  std::vector<char> used(static_cast<std::size_t>(num_cols_), 0);
+
+  for (const SimplexBasis::RowEntry& entry : basis.rows) {
+    if (entry.row_id < 0 || entry.row_id >= m_)
+      continue;  // dense bound row or stale constraint; skip
+    if (ws_.sp_basic_of_row[static_cast<std::size_t>(entry.row_id)] >= 0)
+      continue;
+    int col = -1;
+    switch (entry.kind) {
+      case SimplexBasis::Kind::kStructural:
+        // A variable the child has since fixed (lo == hi, the normal
+        // result of a dive or branch pin) must not stay basic at its
+        // stale parent value — that would always fail the feasibility
+        // gate below. Skip the entry so the row falls back to its
+        // slack; the fixed variable contributes as a nonbasic constant
+        // instead. (The dense tableau gets the same semantics by
+        // substituting fixed columns out of the model entirely.)
+        if (entry.col_id >= 0 && entry.col_id < n_ &&
+            ws_.sp_upper[static_cast<std::size_t>(entry.col_id)] -
+                    ws_.sp_lower[static_cast<std::size_t>(entry.col_id)] >
+                kFixedTolerance)
+          col = entry.col_id;
+        break;
+      case SimplexBasis::Kind::kSlack:
+        if (entry.col_id >= 0 && entry.col_id < m_)
+          col = n_ + entry.col_id;
+        break;
+      case SimplexBasis::Kind::kArtificial:
+        // A basic artificial sits at zero; recreate it fixed at zero.
+        col = AppendColumn(entry.row_id, 1.0, 0.0, 0.0);
+        used.push_back(0);
+        break;
+      case SimplexBasis::Kind::kNone:
+        break;
+    }
+    if (col < 0 || used[static_cast<std::size_t>(col)])
+      continue;
+    used[static_cast<std::size_t>(col)] = 1;
+    ws_.sp_basic_of_row[static_cast<std::size_t>(entry.row_id)] = col;
+  }
+
+  // Unclaimed rows fall back to their own slack, or a zero-fixed
+  // artificial if another row already claimed that slack.
+  for (int i = 0; i < m_; ++i) {
+    if (ws_.sp_basic_of_row[static_cast<std::size_t>(i)] >= 0)
+      continue;
+    const int slack = n_ + i;
+    if (!used[static_cast<std::size_t>(slack)]) {
+      used[static_cast<std::size_t>(slack)] = 1;
+      ws_.sp_basic_of_row[static_cast<std::size_t>(i)] = slack;
+    } else {
+      ws_.sp_basic_of_row[static_cast<std::size_t>(i)] =
+          AppendColumn(i, 1.0, 0.0, 0.0);
+      used.push_back(1);
+    }
+  }
+
+  SetNonbasicDefaults(&basis);
+  for (int i = 0; i < m_; ++i) {
+    ws_.sp_state[static_cast<std::size_t>(
+        ws_.sp_basic_of_row[static_cast<std::size_t>(i)])] = kBasic;
+  }
+
+  if (!RefactorizeBasis())
+    return false;  // singular under the child bounds; cold path decides
+  ComputeBeta();
+
+  // Primal feasibility gate: the snapshot must still be feasible here,
+  // or the warm start would change the answer rather than the route.
+  for (int r = 0; r < m_; ++r) {
+    const int b = ws_.sp_basic_of_row[static_cast<std::size_t>(r)];
+    const double lo = ws_.sp_lower[static_cast<std::size_t>(b)];
+    const double hi = ws_.sp_upper[static_cast<std::size_t>(b)];
+    double& beta = ws_.sp_beta[static_cast<std::size_t>(r)];
+    if (beta < lo - kWarmFeasTolerance || beta > hi + kWarmFeasTolerance)
+      return false;
+    beta = std::min(std::max(beta, lo), hi);
+  }
+  return true;
+}
+
+bool
+RevisedSolver::RefactorizeBasis()
+{
+  return ws_.factorization.Refactorize(ws_.columns, ws_.sp_basic_of_row);
+}
+
+void
+RevisedSolver::ComputeBeta()
+{
+  ws_.sp_rhs.assign(static_cast<std::size_t>(m_), 0.0);
+  for (int i = 0; i < m_; ++i) {
+    ws_.sp_rhs[static_cast<std::size_t>(i)] =
+        model_.constraints()[static_cast<std::size_t>(i)].rhs;
+  }
+  for (int j = 0; j < num_cols_; ++j) {
+    if (ws_.sp_state[static_cast<std::size_t>(j)] == kBasic)
+      continue;
+    const double v = ws_.sp_value[static_cast<std::size_t>(j)];
+    if (v == 0.0)
+      continue;
+    for (int k = ws_.columns.start[static_cast<std::size_t>(j)];
+         k < ws_.columns.start[static_cast<std::size_t>(j) + 1]; ++k) {
+      ws_.sp_rhs[static_cast<std::size_t>(
+          ws_.columns.row[static_cast<std::size_t>(k)])] -=
+          ws_.columns.value[static_cast<std::size_t>(k)] * v;
+    }
+  }
+  ws_.factorization.Ftran(ws_.sp_rhs);
+  ws_.sp_beta.assign(ws_.sp_rhs.begin(), ws_.sp_rhs.end());
+}
+
+void
+RevisedSolver::ComputeDuals(bool phase_one)
+{
+  ws_.sp_dual.assign(static_cast<std::size_t>(m_), 0.0);
+  for (int r = 0; r < m_; ++r) {
+    ws_.sp_dual[static_cast<std::size_t>(r)] =
+        Cost(ws_.sp_basic_of_row[static_cast<std::size_t>(r)], phase_one);
+  }
+  ws_.factorization.Btran(ws_.sp_dual);
+}
+
+double
+RevisedSolver::Cost(int j, bool phase_one) const
+{
+  if (phase_one)
+    return j >= first_artificial_ ? 1.0 : 0.0;
+  return ws_.sp_cost[static_cast<std::size_t>(j)];
+}
+
+double
+RevisedSolver::ReducedCost(int j, bool phase_one) const
+{
+  double rc = Cost(j, phase_one);
+  for (int k = ws_.columns.start[static_cast<std::size_t>(j)];
+       k < ws_.columns.start[static_cast<std::size_t>(j) + 1]; ++k) {
+    rc -= ws_.columns.value[static_cast<std::size_t>(k)] *
+          ws_.sp_dual[static_cast<std::size_t>(
+              ws_.columns.row[static_cast<std::size_t>(k)])];
+  }
+  return rc;
+}
+
+double
+RevisedSolver::Objective(bool phase_one) const
+{
+  double obj = 0.0;
+  for (int j = 0; j < num_cols_; ++j) {
+    if (ws_.sp_state[static_cast<std::size_t>(j)] != kBasic)
+      obj += Cost(j, phase_one) * ws_.sp_value[static_cast<std::size_t>(j)];
+  }
+  for (int r = 0; r < m_; ++r) {
+    obj += Cost(ws_.sp_basic_of_row[static_cast<std::size_t>(r)], phase_one) *
+           ws_.sp_beta[static_cast<std::size_t>(r)];
+  }
+  return obj;
+}
+
+/**
+ * Picks the entering column, or -1 at an optimum. Partial pricing:
+ * columns are scanned in rotating windows starting at a persistent
+ * cursor, and the best (most negative improving) reduced cost within
+ * the first window containing any eligible column wins. Bland mode
+ * scans everything and takes the lowest eligible index.
+ */
+int
+RevisedSolver::PriceEntering(bool bland, bool phase_one, double* reduced_cost)
+{
+  // Artificials may move in Phase 1 only; in Phase 2 they are pinned.
+  const int limit = phase_one ? num_cols_ : std::min(num_cols_, first_artificial_);
+  if (limit <= 0)
+    return -1;
+
+  const auto eligible = [&](int j, double* d) {
+    const signed char s = ws_.sp_state[static_cast<std::size_t>(j)];
+    if (s == kBasic)
+      return false;
+    if (ws_.sp_upper[static_cast<std::size_t>(j)] -
+            ws_.sp_lower[static_cast<std::size_t>(j)] <= kFixedTolerance)
+      return false;
+    const double rc = ReducedCost(j, phase_one);
+    const bool can_increase = s == kAtLower || s == kFreeAtZero;
+    const bool can_decrease = s == kAtUpper || s == kFreeAtZero;
+    if ((can_increase && rc < -tol_) || (can_decrease && rc > tol_)) {
+      *d = rc;
+      return true;
+    }
+    return false;
+  };
+
+  if (bland) {
+    for (int j = 0; j < limit; ++j) {
+      if (eligible(j, reduced_cost))
+        return j;
+    }
+    return -1;
+  }
+
+  const int window = std::max(32, limit / 8);
+  int cursor = pricing_cursor_ % limit;
+  int scanned = 0;
+  while (scanned < limit) {
+    int best = -1;
+    double best_score = tol_;
+    for (int t = 0; t < window && scanned < limit; ++t, ++scanned) {
+      const int j = cursor;
+      cursor = cursor + 1 == limit ? 0 : cursor + 1;
+      double d = 0.0;
+      if (eligible(j, &d) && std::fabs(d) > best_score) {
+        best_score = std::fabs(d);
+        best = j;
+        *reduced_cost = d;
+      }
+    }
+    if (best >= 0) {
+      pricing_cursor_ = cursor;
+      return best;
+    }
+  }
+  return -1;
+}
+
+LpStatus
+RevisedSolver::Iterate(bool phase_one, int max_iters, int& iterations)
+{
+  int stalled = 0;
+  const int bland_threshold = 2 * (m_ + num_cols_);
+  double last_objective = kInf;
+  while (true) {
+    if (iterations >= max_iters)
+      return LpStatus::kIterationLimit;
+    const bool bland = stalled > bland_threshold;
+
+    if (m_ > 0)
+      ComputeDuals(phase_one);
+    double dq = 0.0;
+    const int q = PriceEntering(bland, phase_one, &dq);
+    if (q < 0)
+      return LpStatus::kOptimal;
+    ++iterations;
+    // dq < 0 means the entering variable wants to increase.
+    const double dir = dq < 0.0 ? 1.0 : -1.0;
+
+    // alpha = P B^-1 a_q, the entering column in row coordinates.
+    ws_.sp_alpha.assign(static_cast<std::size_t>(m_), 0.0);
+    for (int k = ws_.columns.start[static_cast<std::size_t>(q)];
+         k < ws_.columns.start[static_cast<std::size_t>(q) + 1]; ++k) {
+      ws_.sp_alpha[static_cast<std::size_t>(
+          ws_.columns.row[static_cast<std::size_t>(k)])] =
+          ws_.columns.value[static_cast<std::size_t>(k)];
+    }
+    ws_.factorization.Ftran(ws_.sp_alpha);
+
+    // Bounded ratio test: the step is limited by the first basic
+    // variable driven into one of its bounds, or by the entering
+    // variable's own opposite bound (a bound flip, no basis change).
+    int pr = -1;
+    double best_t = kInf;
+    double best_mag = 0.0;
+    for (int r = 0; r < m_; ++r) {
+      const double ar = dir * ws_.sp_alpha[static_cast<std::size_t>(r)];
+      const int b = ws_.sp_basic_of_row[static_cast<std::size_t>(r)];
+      const double beta = ws_.sp_beta[static_cast<std::size_t>(r)];
+      double t;
+      if (ar > kRatioTolerance) {
+        const double lo = ws_.sp_lower[static_cast<std::size_t>(b)];
+        if (lo == -kInf)
+          continue;
+        t = (beta - lo) / ar;
+      } else if (ar < -kRatioTolerance) {
+        const double hi = ws_.sp_upper[static_cast<std::size_t>(b)];
+        if (hi == kInf)
+          continue;
+        t = (beta - hi) / ar;
+      } else {
+        continue;
+      }
+      if (t < 0.0)
+        t = 0.0;  // tiny bound violations from roundoff
+      const double mag = std::fabs(ar);
+      if (t < best_t - kRatioTolerance) {
+        best_t = t;
+        pr = r;
+        best_mag = mag;
+      } else if (pr >= 0 && t < best_t + kRatioTolerance) {
+        // Tie: Bland wants the smallest basic index (anti-cycling);
+        // otherwise the largest pivot magnitude (stability).
+        const bool take =
+            bland ? b < ws_.sp_basic_of_row[static_cast<std::size_t>(pr)]
+                  : mag > best_mag;
+        if (take) {
+          best_t = std::min(best_t, t);
+          pr = r;
+          best_mag = mag;
+        }
+      }
+    }
+
+    const double range = ws_.sp_upper[static_cast<std::size_t>(q)] -
+                         ws_.sp_lower[static_cast<std::size_t>(q)];
+    if (range <= best_t && std::isfinite(range)) {
+      // Bound flip: q jumps to its opposite bound; the basis stays.
+      const double t = range;
+      for (int r = 0; r < m_; ++r) {
+        ws_.sp_beta[static_cast<std::size_t>(r)] -=
+            dir * t * ws_.sp_alpha[static_cast<std::size_t>(r)];
+      }
+      ws_.sp_state[static_cast<std::size_t>(q)] =
+          dir > 0.0 ? kAtUpper : kAtLower;
+      ws_.sp_value[static_cast<std::size_t>(q)] =
+          dir > 0.0 ? ws_.sp_upper[static_cast<std::size_t>(q)]
+                    : ws_.sp_lower[static_cast<std::size_t>(q)];
+    } else if (pr < 0) {
+      return LpStatus::kUnbounded;
+    } else {
+      const double t = best_t;
+      const double xq = ws_.sp_value[static_cast<std::size_t>(q)] + dir * t;
+      for (int r = 0; r < m_; ++r) {
+        if (r != pr) {
+          ws_.sp_beta[static_cast<std::size_t>(r)] -=
+              dir * t * ws_.sp_alpha[static_cast<std::size_t>(r)];
+        }
+      }
+      const int leaving = ws_.sp_basic_of_row[static_cast<std::size_t>(pr)];
+      const double ar = dir * ws_.sp_alpha[static_cast<std::size_t>(pr)];
+      if (ar > 0.0) {
+        ws_.sp_value[static_cast<std::size_t>(leaving)] =
+            ws_.sp_lower[static_cast<std::size_t>(leaving)];
+        ws_.sp_state[static_cast<std::size_t>(leaving)] = kAtLower;
+      } else {
+        ws_.sp_value[static_cast<std::size_t>(leaving)] =
+            ws_.sp_upper[static_cast<std::size_t>(leaving)];
+        ws_.sp_state[static_cast<std::size_t>(leaving)] = kAtUpper;
+      }
+      ws_.sp_state[static_cast<std::size_t>(q)] = kBasic;
+      ws_.sp_value[static_cast<std::size_t>(q)] = xq;
+      ws_.sp_beta[static_cast<std::size_t>(pr)] = xq;
+      ws_.sp_basic_of_row[static_cast<std::size_t>(pr)] = q;
+      ws_.factorization.Update(pr, ws_.sp_alpha);
+      if (ws_.factorization.updates_since_refactor() >= refactor_interval_) {
+        FLEX_CHECK_MSG(RefactorizeBasis(),
+                       "periodic refactorization found a singular basis");
+        ComputeBeta();
+      }
+    }
+
+    const double objective = Objective(phase_one);
+    if (objective < last_objective - tol_) {
+      stalled = 0;
+      last_objective = objective;
+    } else {
+      ++stalled;
+    }
+  }
+}
+
+LpStatus
+RevisedSolver::RunTwoPhase(int max_iters, int& iterations)
+{
+  SetupColdBasis();
+  if (m_ > 0) {
+    FLEX_CHECK_MSG(RefactorizeBasis(), "initial simplex basis is singular");
+    ComputeBeta();
+  }
+
+  if (num_cols_ > first_artificial_) {
+    const LpStatus status = Iterate(/*phase_one=*/true, max_iters, iterations);
+    if (status != LpStatus::kOptimal) {
+      // Phase 1 minimizes a sum bounded below by zero; "unbounded" can
+      // only be a numerical artifact of an infeasible system.
+      return status == LpStatus::kUnbounded ? LpStatus::kInfeasible : status;
+    }
+    double infeasibility = 0.0;
+    for (int r = 0; r < m_; ++r) {
+      if (ws_.sp_basic_of_row[static_cast<std::size_t>(r)] >= first_artificial_)
+        infeasibility += std::fabs(ws_.sp_beta[static_cast<std::size_t>(r)]);
+    }
+    if (infeasibility > kInfeasibilityTolerance)
+      return LpStatus::kInfeasible;
+    // Pin artificials at zero; basic ones stay basic but can no longer
+    // move off zero, and Phase-2 pricing never lets one re-enter.
+    for (int a = first_artificial_; a < num_cols_; ++a) {
+      ws_.sp_upper[static_cast<std::size_t>(a)] = 0.0;
+      if (ws_.sp_state[static_cast<std::size_t>(a)] != kBasic) {
+        ws_.sp_state[static_cast<std::size_t>(a)] = kAtLower;
+        ws_.sp_value[static_cast<std::size_t>(a)] = 0.0;
+      }
+    }
+  }
+
+  return Iterate(/*phase_one=*/false, max_iters, iterations);
+}
+
+LpResult
+RevisedSolver::Solve(const BoundOverrides& overrides,
+                     const SimplexBasis* warm_basis, SimplexBasis* basis_out)
+{
+  LpResult result;
+  if (basis_out != nullptr)
+    basis_out->clear();
+  const BasisFactorization::Stats before = ws_.factorization.stats();
+
+  if (!PrepareBounds(overrides)) {
+    result.status = LpStatus::kInfeasible;
+    return result;
+  }
+  BuildColumns();
+  SetupCosts();
+
+  const int max_iters = max_iterations_ > 0
+                            ? max_iterations_
+                            : 50 * (n_ + 3 * m_) + 1000;
+  int iterations = 0;
+  LpStatus status = LpStatus::kIterationLimit;
+  bool solved = false;
+
+  if (warm_basis != nullptr && !warm_basis->empty() && m_ > 0) {
+    result.warm_start_attempted = true;
+    if (InstallWarmBasis(*warm_basis)) {
+      status = Iterate(/*phase_one=*/false, max_iters, iterations);
+      if (status == LpStatus::kOptimal) {
+        solved = true;
+        result.warm_start_used = true;
+      }
+    }
+    if (!solved) {
+      // A warm basis must never change the answer, only the route:
+      // rebuild the column file (installs may have appended artificial
+      // columns) and run the cold two-phase path.
+      BuildColumns();
+      SetupCosts();
+    }
+  }
+  if (!solved)
+    status = RunTwoPhase(max_iters, iterations);
+
+  result.status = status;
+  result.iterations = iterations;
+  if (status == LpStatus::kOptimal) {
+    // Final polish: a fresh factorization tightens beta and the duals
+    // right before extraction, so certificates are as sharp as one
+    // refactorization can make them.
+    if (m_ > 0 && RefactorizeBasis())
+      ComputeBeta();
+    for (int r = 0; r < m_; ++r) {
+      ws_.sp_value[static_cast<std::size_t>(
+          ws_.sp_basic_of_row[static_cast<std::size_t>(r)])] =
+          ws_.sp_beta[static_cast<std::size_t>(r)];
+    }
+    result.x.assign(ws_.sp_value.begin(),
+                    ws_.sp_value.begin() + static_cast<std::ptrdiff_t>(n_));
+    result.objective = model_.ObjectiveValue(result.x);
+    ComputeDuals(/*phase_one=*/false);
+    result.dual.assign(ws_.sp_dual.begin(), ws_.sp_dual.end());
+    result.reduced_costs.assign(static_cast<std::size_t>(n_), 0.0);
+    for (int j = 0; j < n_; ++j) {
+      result.reduced_costs[static_cast<std::size_t>(j)] =
+          ReducedCost(j, /*phase_one=*/false);
+    }
+    if (basis_out != nullptr) {
+      basis_out->rows.reserve(static_cast<std::size_t>(m_));
+      for (int r = 0; r < m_; ++r) {
+        const int b = ws_.sp_basic_of_row[static_cast<std::size_t>(r)];
+        SimplexBasis::RowEntry entry;
+        entry.row_id = r;
+        if (b < n_) {
+          entry.kind = SimplexBasis::Kind::kStructural;
+          entry.col_id = b;
+        } else if (b < n_ + m_) {
+          entry.kind = SimplexBasis::Kind::kSlack;
+          entry.col_id = b - n_;
+        } else {
+          entry.kind = SimplexBasis::Kind::kArtificial;
+          entry.col_id = ws_.columns.row[static_cast<std::size_t>(
+              ws_.columns.start[static_cast<std::size_t>(b)])];
+        }
+        basis_out->rows.push_back(entry);
+      }
+      for (int j = 0; j < n_; ++j) {
+        if (ws_.sp_state[static_cast<std::size_t>(j)] == kAtUpper)
+          basis_out->at_upper.push_back(j);
+      }
+    }
+  }
+
+  const BasisFactorization::Stats after = ws_.factorization.stats();
+  result.refactors = static_cast<int>(after.refactors - before.refactors);
+  result.eta_updates = static_cast<int>(after.eta_updates - before.eta_updates);
+  return result;
+}
+
+}  // namespace
+
+LpResult
+SolveRevised(const Model& model, const BoundOverrides& overrides,
+             SimplexWorkspace* workspace, const SimplexBasis* warm_basis,
+             SimplexBasis* basis_out, const SimplexSolver::Options& options)
+{
+  SimplexWorkspace local;
+  SimplexWorkspace& ws = workspace != nullptr ? *workspace : local;
+  RevisedSolver solver(model, ws, options);
+  return solver.Solve(overrides, warm_basis, basis_out);
+}
+
+}  // namespace flex::solver

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Entry point of the sparse bounded-variable revised simplex.
+ *
+ * Internal to the solver library: SimplexSolver::SolveWithBounds
+ * dispatches here when Options::impl == SimplexImpl::kSparse. The
+ * public contract (statuses, warm-basis semantics, workspace reuse) is
+ * documented on SimplexSolver in simplex.hpp.
+ */
+#ifndef FLEX_SOLVER_REVISED_SIMPLEX_HPP_
+#define FLEX_SOLVER_REVISED_SIMPLEX_HPP_
+
+#include "solver/simplex.hpp"
+
+namespace flex::solver {
+
+/**
+ * Solves the LP relaxation of @p model with the revised simplex.
+ * Parameters mirror SimplexSolver::SolveWithBounds; @p workspace may be
+ * null (a throwaway local is used).
+ */
+LpResult SolveRevised(const Model& model, const BoundOverrides& overrides,
+                      SimplexWorkspace* workspace,
+                      const SimplexBasis* warm_basis, SimplexBasis* basis_out,
+                      const SimplexSolver::Options& options);
+
+}  // namespace flex::solver
+
+#endif  // FLEX_SOLVER_REVISED_SIMPLEX_HPP_

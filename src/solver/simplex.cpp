@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "common/error.hpp"
+#include "solver/revised_simplex.hpp"
 
 namespace flex::solver {
 
@@ -267,6 +268,10 @@ SimplexSolver::SolveWithBounds(const Model& model,
                                const SimplexBasis* warm_basis,
                                SimplexBasis* basis_out) const
 {
+  if (options_.impl == SimplexImpl::kSparse)
+    return SolveRevised(model, overrides, workspace, warm_basis, basis_out,
+                        options_);
+
   SimplexWorkspace local;
   SimplexWorkspace& ws = workspace != nullptr ? *workspace : local;
   if (basis_out != nullptr)
@@ -323,8 +328,11 @@ SimplexSolver::SolveWithBounds(const Model& model,
     ws.row_rel.push_back(static_cast<int>(relation));
     ws.row_rhs.push_back(rhs);
     ws.row_id.push_back(id);
-    return &ws.row_coef[ws.row_coef.size() -
-                        static_cast<std::size_t>(n_struct)];
+    // data() + offset, not &operator[]: n_struct may be 0 (all
+    // variables fixed), where indexing even one-past-the-end of the
+    // empty vector is undefined.
+    return ws.row_coef.data() +
+           (ws.row_coef.size() - static_cast<std::size_t>(n_struct));
   };
   for (std::size_t ci = 0; ci < model.constraints().size(); ++ci) {
     const Constraint& c = model.constraints()[ci];
@@ -351,7 +359,8 @@ SimplexSolver::SolveWithBounds(const Model& model,
     if (ws.row_rel[r] != static_cast<int>(Relation::kLessEqual) ||
         ws.row_rhs[r] < 0.0)
       continue;
-    const double* coef_row = &ws.row_coef[r * static_cast<std::size_t>(n_struct)];
+    const double* coef_row =
+        ws.row_coef.data() + r * static_cast<std::size_t>(n_struct);
     bool all_non_negative = true;
     for (int j = 0; j < n_struct; ++j) {
       if (coef_row[j] < 0.0) {
@@ -389,7 +398,8 @@ SimplexSolver::SolveWithBounds(const Model& model,
   for (int i = 0; i < m; ++i) {
     const std::size_t r = static_cast<std::size_t>(i);
     if (ws.row_rhs[r] < 0.0) {
-      double* coef_row = &ws.row_coef[r * static_cast<std::size_t>(n_struct)];
+      double* coef_row =
+          ws.row_coef.data() + r * static_cast<std::size_t>(n_struct);
       for (int j = 0; j < n_struct; ++j)
         coef_row[j] = -coef_row[j];
       ws.row_rhs[r] = -ws.row_rhs[r];
@@ -441,7 +451,7 @@ SimplexSolver::SolveWithBounds(const Model& model,
       const std::size_t r = static_cast<std::size_t>(i);
       double* tab_row = &ws.tableau[r * stride];
       const double* coef_row =
-          &ws.row_coef[r * static_cast<std::size_t>(n_struct)];
+          ws.row_coef.data() + r * static_cast<std::size_t>(n_struct);
       for (int j = 0; j < n_struct; ++j)
         tab_row[j] = coef_row[j];
       tab_row[cols] = ws.row_rhs[r];

@@ -1,24 +1,34 @@
 /**
  * @file
- * Dense two-phase primal simplex solver for linear programs.
+ * Primal simplex solvers for bounded-variable linear programs.
  *
  * Solves the LP relaxation of a Model (integrality ignored). Variable
  * bounds may be overridden per solve, which is how branch-and-bound fixes
- * binaries without copying the model. The implementation is a classic
- * textbook tableau simplex with Dantzig pricing and a Bland's-rule
- * fallback for anti-cycling; the placement LPs it targets are small
- * (hundreds of columns), so a dense tableau is both simple and fast
- * enough.
+ * binaries without copying the model. Two interchangeable implementations
+ * live behind one API, selected by Options::impl:
+ *
+ *  - SimplexImpl::kSparse (default): a bounded-variable revised simplex
+ *    on CSC columns. The basis is held as a product-form LU
+ *    (BasisFactorization) with one eta per pivot and periodic
+ *    refactorization; variable bounds are handled natively (nonbasic
+ *    variables sit at either bound and may flip without a basis
+ *    change), so no bound rows are ever materialized. Pricing is
+ *    partial (rotating segments, Dantzig within a segment) with a
+ *    Bland's-rule fallback on stall.
+ *  - SimplexImpl::kDense: the original flat-tableau two-phase simplex,
+ *    kept in-tree as the independent oracle for the differential LP
+ *    test harness (tests/solver_lp_differential_test.cpp).
  *
  * Two features exist for the branch-and-bound caller:
- *  - SimplexWorkspace: all tableau storage lives in caller-owned scratch
- *    buffers reused across solves, so a million node re-solves allocate
- *    the same few arrays instead of a fresh vector-of-vectors each.
+ *  - SimplexWorkspace: all scratch storage (tableau or CSC + eta file)
+ *    lives in caller-owned buffers reused across solves, so a million
+ *    node re-solves allocate the same few arrays instead of a fresh
+ *    vector-of-vectors each.
  *  - SimplexBasis: a structural snapshot of the optimal basis. A child
- *    node whose bounds differ from its parent by one variable can
- *    install the parent basis and skip Phase 1 entirely when that basis
- *    is still primal feasible; when it is not, the solve silently falls
- *    back to the cold two-phase path.
+ *    node whose bounds differ from its parent by one variable installs
+ *    the parent basis, refactorizes, and skips Phase 1 entirely when
+ *    that basis is still primal feasible; when it is not, the solve
+ *    silently falls back to the cold two-phase path.
  */
 #ifndef FLEX_SOLVER_SIMPLEX_HPP_
 #define FLEX_SOLVER_SIMPLEX_HPP_
@@ -27,6 +37,7 @@
 #include <utility>
 #include <vector>
 
+#include "solver/basis_lu.hpp"
 #include "solver/model.hpp"
 
 namespace flex::solver {
@@ -34,14 +45,34 @@ namespace flex::solver {
 /** Outcome of an LP solve. */
 enum class LpStatus { kOptimal, kInfeasible, kUnbounded, kIterationLimit };
 
+/** Which simplex implementation a solve runs. */
+enum class SimplexImpl {
+  kSparse,  ///< revised simplex on sparse columns (default)
+  kDense,   ///< flat-tableau oracle for differential testing
+};
+
 /** Solution of an LP solve. */
 struct LpResult {
   LpStatus status = LpStatus::kIterationLimit;
   double objective = 0.0;               ///< in the model's original sense
   std::vector<double> x;                ///< one entry per model variable
-  int iterations = 0;                   ///< simplex pivots performed
+  int iterations = 0;                   ///< pivots (and bound flips) performed
   bool warm_start_attempted = false;    ///< a basis install was tried
   bool warm_start_used = false;         ///< ... and Phase 1 was skipped
+  int refactors = 0;                    ///< basis LU refactorizations
+  int eta_updates = 0;                  ///< product-form eta updates
+  /**
+   * Optimality certificate, filled by the sparse implementation on
+   * kOptimal. Both are stated for the *minimization* orientation of the
+   * model (maximize models are solved as minimize -c): at an optimum,
+   * reduced_costs[j] >= -tol for variables at their lower bound,
+   * <= tol at their upper bound, ~0 for basic variables, and
+   * reduced_costs == c_min - A^T dual holds by construction. dual has
+   * one entry per model constraint; <= rows have dual <= tol, >= rows
+   * have dual >= -tol. Empty for the dense implementation.
+   */
+  std::vector<double> dual;
+  std::vector<double> reduced_costs;
 
   bool IsOptimal() const { return status == LpStatus::kOptimal; }
 };
@@ -66,9 +97,19 @@ struct SimplexBasis {
     int col_id = -1;            ///< var index, or the owning row's row_id
   };
   std::vector<RowEntry> rows;
+  /**
+   * Structural variables nonbasic at their *upper* bound (sorted var
+   * indices). Only the sparse implementation records and consumes this;
+   * the dense tableau shifts bounds so nonbasic always means "at
+   * lower", and ignores the field on install.
+   */
+  std::vector<int> at_upper;
 
   bool empty() const { return rows.empty(); }
-  void clear() { rows.clear(); }
+  void clear() {
+    rows.clear();
+    at_upper.clear();
+  }
 };
 
 /**
@@ -79,6 +120,7 @@ struct SimplexBasis {
  * thread.
  */
 struct SimplexWorkspace {
+  // --- Dense tableau path ---------------------------------------------
   // Tableau (flat, row-major, stride = cols + 1; last column = rhs).
   std::vector<double> tableau;
   std::vector<double> phase2_cost;
@@ -100,10 +142,26 @@ struct SimplexWorkspace {
   std::vector<int> row_slack_col;
   std::vector<int> row_art_col;
   std::vector<char> row_usable;
+
+  // --- Sparse revised path --------------------------------------------
+  BasisFactorization factorization;
+  SparseColumns columns;           // structural + slack + artificial columns
+  std::vector<double> sp_cost;     // phase-2 cost per column (minimize)
+  std::vector<double> sp_lower;    // working bounds per column
+  std::vector<double> sp_upper;
+  std::vector<double> sp_value;    // current value of every column
+  std::vector<signed char> sp_state;  // VarState per column
+  std::vector<int> sp_basic_of_row;   // column basic in each row
+  std::vector<double> sp_beta;     // values of basic columns, by row
+  std::vector<double> sp_alpha;    // Ftran'd entering column
+  std::vector<double> sp_rhs;      // working right-hand side per row
+  std::vector<double> sp_dual;     // row duals (Btran scratch)
+  std::vector<double> sp_dj;       // reduced-cost scratch
 };
 
 /**
- * Dense two-phase simplex.
+ * Bounded-variable primal simplex (sparse revised by default, dense
+ * tableau on request).
  *
  * Stateless between solves; safe to reuse for many LPs, and safe to
  * share across threads as long as each thread passes its own workspace.
@@ -113,6 +171,8 @@ class SimplexSolver {
   struct Options {
     double tolerance = 1e-9;        ///< pivoting / feasibility tolerance
     int max_iterations = 0;         ///< 0 = automatic (50 * (rows + cols))
+    SimplexImpl impl = SimplexImpl::kSparse;  ///< which implementation
+    int refactor_interval = 64;     ///< eta updates between refactorizations
   };
 
   SimplexSolver() = default;

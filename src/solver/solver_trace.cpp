@@ -9,20 +9,25 @@ SolverTrace::ToCsv() const
 {
   std::string out =
       "label,elapsed_s,nodes,lp_solves,pivots,bound,incumbent,gap,"
-      "basis_attempts,basis_hits\n";
-  char buffer[320];
+      "basis_attempts,basis_hits,refactors,eta_updates,"
+      "presolve_rows_removed,presolve_cols_removed\n";
+  char buffer[400];
   for (const SolverTracePoint& point : points_) {
     char incumbent[40] = "";
     if (point.has_incumbent)
       std::snprintf(incumbent, sizeof(incumbent), "%.9g", point.incumbent);
     std::snprintf(buffer, sizeof(buffer),
-                  "%s,%.6f,%lld,%lld,%lld,%.9g,%s,%.9g,%lld,%lld\n",
+                  "%s,%.6f,%lld,%lld,%lld,%.9g,%s,%.9g,%lld,%lld,%lld,%lld,"
+                  "%d,%d\n",
                   point.label.c_str(), point.elapsed_s,
                   static_cast<long long>(point.nodes),
                   static_cast<long long>(point.lp_solves),
                   static_cast<long long>(point.pivots), point.bound, incumbent,
                   point.gap, static_cast<long long>(point.basis_attempts),
-                  static_cast<long long>(point.basis_hits));
+                  static_cast<long long>(point.basis_hits),
+                  static_cast<long long>(point.refactors),
+                  static_cast<long long>(point.eta_updates),
+                  point.presolve_rows_removed, point.presolve_cols_removed);
     out += buffer;
   }
   return out;

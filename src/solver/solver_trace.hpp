@@ -44,6 +44,11 @@ struct SolverTracePoint {
   /** Warm-basis installs attempted / accepted so far (PR 4 telemetry). */
   std::int64_t basis_attempts = 0;
   std::int64_t basis_hits = 0;
+  /** Revised-simplex + presolve counters (PR 6 telemetry). */
+  std::int64_t refactors = 0;
+  std::int64_t eta_updates = 0;
+  int presolve_rows_removed = 0;
+  int presolve_cols_removed = 0;
 };
 
 /**
@@ -62,7 +67,7 @@ class SolverTrace {
 
   /**
    * CSV with header
-   * `label,elapsed_s,nodes,lp_solves,pivots,bound,incumbent,gap,basis_attempts,basis_hits`;
+   * `label,elapsed_s,nodes,lp_solves,pivots,bound,incumbent,gap,basis_attempts,basis_hits,refactors,eta_updates,presolve_rows_removed,presolve_cols_removed`;
    * the incumbent column is empty until the first incumbent exists.
    */
   std::string ToCsv() const;

@@ -15,6 +15,7 @@
 #include "common/thread_pool.hpp"
 #include "solver/branch_and_bound.hpp"
 #include "solver/model.hpp"
+#include "solver/presolve.hpp"
 #include "solver/simplex.hpp"
 
 namespace flex::solver {
@@ -561,6 +562,290 @@ TEST(SolverTraceTest, WarmStartAppearsAsImmediateIncumbent)
   EXPECT_EQ(trace.points().front().label, "incumbent");
   EXPECT_TRUE(trace.points().front().has_incumbent);
   EXPECT_NEAR(trace.points().front().incumbent, 10.0, 1e-9);
+}
+
+/** Random bounded MIP used by the presolve round-trip property test.
+ * Finite bounds everywhere, so every instance is optimal or infeasible. */
+Model
+MakeRandomMip(std::uint64_t seed)
+{
+  Rng rng(seed * 0xD1342543DE82EF95ULL + 0x2545F4914F6CDD1DULL);
+  Model m;
+  m.SetSense(rng.Bernoulli(0.5) ? Sense::kMaximize : Sense::kMinimize);
+  const int n = 1 + static_cast<int>(rng.UniformInt(0, 9));
+  const int rows = 1 + static_cast<int>(rng.UniformInt(0, 7));
+  for (int j = 0; j < n; ++j) {
+    const double roll = rng.NextDouble();
+    const double obj = rng.Uniform(-6.0, 6.0);
+    if (roll < 0.4) {
+      m.AddBinary("b" + std::to_string(j), obj);
+    } else if (roll < 0.6) {
+      const double lo = static_cast<double>(rng.UniformInt(-3, 0));
+      m.AddInteger("i" + std::to_string(j), lo,
+                   lo + static_cast<double>(rng.UniformInt(1, 6)), obj);
+    } else {
+      const double lo = rng.Uniform(-4.0, 4.0);
+      m.AddContinuous("x" + std::to_string(j), lo,
+                      lo + rng.Uniform(0.0, 8.0), obj);
+    }
+  }
+  for (int i = 0; i < rows; ++i) {
+    std::vector<std::pair<VarIndex, double>> terms;
+    for (int j = 0; j < n; ++j) {
+      if (rng.Bernoulli(0.7))
+        terms.emplace_back(j, rng.Uniform(-4.0, 4.0));
+    }
+    m.AddConstraint("c" + std::to_string(i), std::move(terms),
+                    static_cast<Relation>(rng.UniformInt(0, 2)),
+                    rng.Uniform(-8.0, 8.0));
+  }
+  return m;
+}
+
+TEST(PresolveTest, RoundTripPreservesOptimumOn200RandomModels)
+{
+  // Property: presolve -> solve reduced -> postsolve yields a feasible
+  // point of the ORIGINAL model whose objective (plus the presolve
+  // offset) matches solving the original model unreduced. Checked both
+  // at the Presolve/Postsolve API level and through the B&B presolve
+  // option.
+  BranchAndBoundSolver::Options raw;
+  raw.presolve = false;
+  raw.threads = 1;
+  BranchAndBoundSolver::Options pre_on;
+  pre_on.presolve = true;
+  pre_on.threads = 1;
+  int reduced_something = 0;
+  for (std::uint64_t seed = 0; seed < 200; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    const Model m = MakeRandomMip(seed);
+    const MipResult baseline = BranchAndBoundSolver(raw).Solve(m);
+    ASSERT_TRUE(baseline.status == MipStatus::kOptimal ||
+                baseline.status == MipStatus::kInfeasible);
+
+    Presolved pre;
+    if (Presolve(m, &pre) == PresolveStatus::kInfeasible) {
+      EXPECT_EQ(baseline.status, MipStatus::kInfeasible);
+      continue;
+    }
+    if (pre.rows_removed > 0 || pre.cols_removed > 0)
+      ++reduced_something;
+    const MipResult reduced = BranchAndBoundSolver(raw).Solve(pre.reduced);
+    ASSERT_EQ(reduced.status == MipStatus::kOptimal,
+              baseline.status == MipStatus::kOptimal);
+    if (reduced.status == MipStatus::kOptimal) {
+      std::vector<double> full;
+      Postsolve(pre, reduced.x, &full);
+      EXPECT_TRUE(m.IsFeasible(full, 1e-6));
+      const double scale = std::max(1.0, std::fabs(baseline.objective));
+      EXPECT_NEAR(reduced.objective + pre.objective_offset,
+                  baseline.objective, 1e-6 * scale);
+      EXPECT_NEAR(m.ObjectiveValue(full), baseline.objective, 1e-6 * scale);
+    }
+
+    // End-to-end through the solver option.
+    const MipResult through = BranchAndBoundSolver(pre_on).Solve(m);
+    ASSERT_EQ(through.status == MipStatus::kOptimal,
+              baseline.status == MipStatus::kOptimal);
+    if (through.status == MipStatus::kOptimal) {
+      EXPECT_TRUE(m.IsFeasible(through.x, 1e-6));
+      const double scale = std::max(1.0, std::fabs(baseline.objective));
+      EXPECT_NEAR(through.objective, baseline.objective, 1e-6 * scale);
+    }
+  }
+  // The property is vacuous if presolve never fires on this corpus.
+  EXPECT_GE(reduced_something, 20);
+}
+
+TEST(PresolveTest, FixturesUnchangedByPresolve)
+{
+  // The MIP fixtures elsewhere in this file, solved with presolve on and
+  // off: identical status and optimal value.
+  std::vector<Model> fixtures;
+  {
+    Model m;  // knapsack: optimum 20
+    const VarIndex a = m.AddBinary("a", 10.0);
+    const VarIndex b = m.AddBinary("b", 13.0);
+    const VarIndex c = m.AddBinary("c", 7.0);
+    m.AddConstraint("cap", {{a, 4.0}, {b, 6.0}, {c, 3.0}},
+                    Relation::kLessEqual, 9.0);
+    fixtures.push_back(std::move(m));
+  }
+  {
+    Model m;  // mixed integer/continuous: optimum 7
+    const VarIndex b = m.AddBinary("b", 5.0);
+    const VarIndex z = m.AddContinuous("z", 0.0, 2.5, 1.0);
+    m.AddConstraint("link", {{b, 1.0}, {z, 1.0}}, Relation::kLessEqual, 3.0);
+    fixtures.push_back(std::move(m));
+  }
+  {
+    Model m;  // infeasible: sum == 2 but cap <= 1
+    const VarIndex a = m.AddBinary("a", 1.0);
+    const VarIndex b = m.AddBinary("b", 1.0);
+    m.AddConstraint("sum2", {{a, 1.0}, {b, 1.0}}, Relation::kEqual, 2.0);
+    m.AddConstraint("cap", {{a, 1.0}, {b, 1.0}}, Relation::kLessEqual, 1.0);
+    fixtures.push_back(std::move(m));
+  }
+  for (std::size_t i = 0; i < fixtures.size(); ++i) {
+    SCOPED_TRACE("fixture " + std::to_string(i));
+    BranchAndBoundSolver::Options on;
+    on.presolve = true;
+    BranchAndBoundSolver::Options off;
+    off.presolve = false;
+    const MipResult with = BranchAndBoundSolver(on).Solve(fixtures[i]);
+    const MipResult without = BranchAndBoundSolver(off).Solve(fixtures[i]);
+    ASSERT_EQ(with.status, without.status);
+    if (with.HasSolution()) {
+      EXPECT_NEAR(with.objective, without.objective, 1e-9);
+      EXPECT_TRUE(fixtures[i].IsFeasible(with.x, 1e-6));
+    }
+  }
+}
+
+TEST(SimplexTest, BothImplementationsSurviveBealeCycling)
+{
+  // Beale's cycling LP again, but explicitly on each implementation:
+  // the sparse path must hit its Bland's-rule fallback rather than spin
+  // to the iteration limit.
+  Model m;
+  const VarIndex x1 = m.AddContinuous("x1", 0.0, 1e9, 0.75);
+  const VarIndex x2 = m.AddContinuous("x2", 0.0, 1e9, -150.0);
+  const VarIndex x3 = m.AddContinuous("x3", 0.0, 1e9, 0.02);
+  const VarIndex x4 = m.AddContinuous("x4", 0.0, 1e9, -6.0);
+  m.AddConstraint("r1", {{x1, 0.25}, {x2, -60.0}, {x3, -0.04}, {x4, 9.0}},
+                  Relation::kLessEqual, 0.0);
+  m.AddConstraint("r2", {{x1, 0.5}, {x2, -90.0}, {x3, -0.02}, {x4, 3.0}},
+                  Relation::kLessEqual, 0.0);
+  m.AddConstraint("r3", {{x3, 1.0}}, Relation::kLessEqual, 1.0);
+  for (const SimplexImpl impl : {SimplexImpl::kSparse, SimplexImpl::kDense}) {
+    SimplexSolver::Options options;
+    options.impl = impl;
+    const LpResult r = SimplexSolver(options).Solve(m);
+    ASSERT_TRUE(r.IsOptimal()) << "impl " << static_cast<int>(impl);
+    EXPECT_NEAR(r.objective, 0.05, 1e-6);
+  }
+}
+
+TEST(SimplexTest, SingularWarmBasisFallsBackToColdSolve)
+{
+  // A warm basis naming two structural columns that BOTH live only in
+  // row 0 is singular; Refactorize must reject it and the solve must
+  // recover through the cold two-phase path.
+  Model m;
+  const VarIndex u = m.AddContinuous("u", 0.0, 2.0, 1.0);
+  const VarIndex v = m.AddContinuous("v", 0.0, 2.0, 1.0);
+  const VarIndex w = m.AddContinuous("w", 0.0, 2.0, 1.0);
+  m.AddConstraint("r0", {{u, 1.0}, {v, 1.0}}, Relation::kLessEqual, 1.0);
+  m.AddConstraint("r1", {{w, 1.0}}, Relation::kLessEqual, 1.0);
+
+  SimplexBasis bogus;
+  bogus.rows.push_back({0, SimplexBasis::Kind::kStructural, u});
+  bogus.rows.push_back({1, SimplexBasis::Kind::kStructural, v});
+
+  SimplexWorkspace workspace;
+  const LpResult r = SimplexSolver().SolveWithBounds(
+      m, BoundOverrides(3), &workspace, &bogus, nullptr);
+  ASSERT_TRUE(r.IsOptimal());
+  EXPECT_TRUE(r.warm_start_attempted);
+  EXPECT_FALSE(r.warm_start_used);
+  EXPECT_NEAR(r.objective, 2.0, 1e-9);  // u + v = 1, w = 1
+}
+
+TEST(SimplexTest, NearZeroCoefficientsAreNotPivotedOn)
+{
+  // A 1e-13 coefficient sits below the pivot tolerance; the ratio test
+  // must skip it instead of dividing by it and exploding the iterate.
+  for (const SimplexImpl impl : {SimplexImpl::kSparse, SimplexImpl::kDense}) {
+    SimplexSolver::Options options;
+    options.impl = impl;
+    {
+      Model m;
+      const VarIndex x = m.AddContinuous("x", 0.0, 10.0, 0.0);
+      const VarIndex y = m.AddContinuous("y", 0.0, 10.0, 1.0);
+      m.AddConstraint("tiny", {{x, 1e-13}, {y, 1.0}},
+                      Relation::kLessEqual, 1.0);
+      const LpResult r = SimplexSolver(options).Solve(m);
+      ASSERT_TRUE(r.IsOptimal()) << "impl " << static_cast<int>(impl);
+      EXPECT_NEAR(r.objective, 1.0, 1e-6);
+    }
+    {
+      Model m;
+      m.SetSense(Sense::kMinimize);
+      const VarIndex x = m.AddContinuous("x", 0.0, 10.0, 0.0);
+      const VarIndex y = m.AddContinuous("y", 0.0, 10.0, 1.0);
+      m.AddConstraint("tiny", {{x, 1e-13}, {y, 1.0}},
+                      Relation::kGreaterEqual, 1.0);
+      const LpResult r = SimplexSolver(options).Solve(m);
+      ASSERT_TRUE(r.IsOptimal()) << "impl " << static_cast<int>(impl);
+      EXPECT_NEAR(r.objective, 1.0, 1e-6);
+    }
+  }
+}
+
+TEST(BranchAndBoundTest, DenseAndSparseLpBackendsAgreeOnStudyModel)
+{
+  // The full search on the 26-item study knapsack, once per LP backend.
+  // Objectives must agree to LP tolerance; the sparse run must also
+  // report factorization telemetry the dense run cannot produce.
+  Rng rng(99);
+  Model m;
+  std::vector<std::pair<VarIndex, double>> terms;
+  for (int i = 0; i < 26; ++i) {
+    const VarIndex v = m.AddBinary("b", rng.Uniform(1.0, 9.0));
+    terms.push_back({v, rng.Uniform(1.0, 5.0)});
+  }
+  m.AddConstraint("cap", terms, Relation::kLessEqual, 20.0);
+
+  BranchAndBoundSolver::Options sparse_opts;
+  sparse_opts.threads = 1;
+  sparse_opts.lp.impl = SimplexImpl::kSparse;
+  BranchAndBoundSolver::Options dense_opts;
+  dense_opts.threads = 1;
+  dense_opts.lp.impl = SimplexImpl::kDense;
+  const MipResult sparse = BranchAndBoundSolver(sparse_opts).Solve(m);
+  const MipResult dense = BranchAndBoundSolver(dense_opts).Solve(m);
+  ASSERT_EQ(sparse.status, MipStatus::kOptimal);
+  ASSERT_EQ(dense.status, MipStatus::kOptimal);
+  EXPECT_NEAR(sparse.objective, dense.objective, 1e-9);
+  EXPECT_TRUE(m.IsFeasible(sparse.x, 1e-6));
+  EXPECT_TRUE(m.IsFeasible(dense.x, 1e-6));
+  EXPECT_GT(sparse.simplex_refactors, 0);
+  EXPECT_EQ(dense.simplex_refactors, 0);
+  EXPECT_EQ(dense.eta_updates, 0);
+}
+
+TEST(BranchAndBoundTest, ParallelSolveBitIdenticalWithPresolveDisabled)
+{
+  // The determinism promise must hold on the pure factorized
+  // warm-basis path too (presolve off exercises different node bounds).
+  Rng rng(99);
+  Model m;
+  std::vector<std::pair<VarIndex, double>> terms;
+  for (int i = 0; i < 26; ++i) {
+    const VarIndex v = m.AddBinary("b", rng.Uniform(1.0, 9.0));
+    terms.push_back({v, rng.Uniform(1.0, 5.0)});
+  }
+  m.AddConstraint("cap", terms, Relation::kLessEqual, 20.0);
+
+  BranchAndBoundSolver::Options serial_options;
+  serial_options.threads = 1;
+  serial_options.presolve = false;
+  const MipResult serial = BranchAndBoundSolver(serial_options).Solve(m);
+  ASSERT_EQ(serial.status, MipStatus::kOptimal);
+
+  for (const int threads : {2, 8}) {
+    common::ThreadPool pool(threads);
+    BranchAndBoundSolver::Options options;
+    options.pool = &pool;
+    options.presolve = false;
+    const MipResult parallel = BranchAndBoundSolver(options).Solve(m);
+    ASSERT_EQ(parallel.status, MipStatus::kOptimal);
+    EXPECT_EQ(parallel.objective, serial.objective);
+    EXPECT_EQ(parallel.bound, serial.bound);
+    EXPECT_EQ(parallel.x, serial.x);
+    EXPECT_EQ(parallel.nodes_explored, serial.nodes_explored);
+    EXPECT_EQ(parallel.lp_solves, serial.lp_solves);
+  }
 }
 
 TEST(ModelTest, FeasibilityCheckerCatchesViolations)
