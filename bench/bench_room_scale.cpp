@@ -36,6 +36,9 @@
 #include "bench_util.hpp"
 #include "emulation/room_emulation.hpp"
 #include "emulation/sweep.hpp"
+#include "obs/http_export.hpp"
+#include "obs/profiler.hpp"
+#include "solver/branch_and_bound.hpp"
 
 namespace {
 
@@ -82,6 +85,46 @@ main()
   // state, failover, recovery) so the large rooms finish in seconds.
   emulation::EmulationConfig base;
   base.placement_solve_seconds = bench::SolveSeconds(smoke ? 0.2 : 2.0);
+
+  // FLEX_LIVE_PORT=<port> attaches the live observability plane for the
+  // whole bench: every rung publishes to the hub, so a Prometheus
+  // scraper (or plain curl) can watch the ladder progress in real time.
+  // Strictly observer-only — timings and hashes are unaffected.
+  obs::LiveHub live_hub;
+  obs::StallWatchdog watchdog;
+  static solver::LiveSolverStats solver_live;
+  obs::ObservabilityServer* live_server = nullptr;
+  if (const char* port = std::getenv("FLEX_LIVE_PORT");
+      port != nullptr && *port != '\0') {
+    obs::ObservabilityServerConfig server_config;
+    server_config.port = std::atoi(port);
+    server_config.run_info = {{"bench", "room_scale"},
+                              {"smoke", smoke ? "1" : "0"}};
+    static obs::ObservabilityServer server(live_hub, server_config);
+    server.SetWatchdog(&watchdog);
+    server.SetProfiler(&obs::Profiler::Global());
+    server.AddLiveGauge("flex_solver_active", [] {
+      return solver_live.active() ? 1.0 : 0.0;
+    });
+    server.AddLiveGauge("flex_solver_wave_nodes", [] {
+      return static_cast<double>(solver_live.wave_nodes.load());
+    });
+    server.AddLiveGauge("flex_solver_open_nodes", [] {
+      return static_cast<double>(solver_live.open_nodes.load());
+    });
+    server.AddLiveGauge("flex_solver_nodes_explored", [] {
+      return static_cast<double>(solver_live.nodes_explored.load());
+    });
+    if (server.Start()) {
+      live_server = &server;
+      watchdog.Start();
+      base.live = &live_hub;
+      base.watchdog = &watchdog;
+      base.solver_live = &solver_live;
+      std::printf("live metrics on http://localhost:%d/metrics\n",
+                  server.port());
+    }
+  }
   base.setup_duration = Seconds(smoke ? 5.0 : 30.0);
   base.failover_at = Seconds(smoke ? 10.0 : 60.0);
   base.restore_at = Seconds(smoke ? 15.0 : 100.0);
@@ -170,6 +213,11 @@ main()
   sweep.base.failover_at = Seconds(smoke ? 10.0 : 20.0);
   sweep.base.restore_at = Seconds(smoke ? 11.0 : 30.0);
   sweep.base.end_at = Seconds(smoke ? 12.0 : 40.0);
+  // Node-budgeted placement: the 1-lane and 2-lane sweeps each rebuild
+  // their rooms, so a wall-clock solve budget could truncate the two
+  // placements differently and fail the hash compare spuriously.
+  sweep.base.placement_solve_seconds = 1e9;
+  sweep.base.placement_max_nodes = smoke ? 500 : 4000;
   sweep.variants = 2;
   sweep.threads = 1;
   const emulation::SweepResult serial = emulation::RunEmulationSweep(sweep);
@@ -209,6 +257,16 @@ main()
   metrics.gauge("room.sweep.lanes").Set(static_cast<double>(parallel.lanes));
   metrics.gauge("room.sweep.hash_match").Set(hash_match ? 1.0 : 0.0);
   bench::MaybeExportBenchJson("bench_room_scale", observability);
+
+  if (live_server != nullptr) {
+    live_hub.PublishMetrics(metrics.Snapshot());
+    std::printf("\nlive plane served %llu scrapes across %llu publishes\n",
+                static_cast<unsigned long long>(
+                    live_server->requests_served()),
+                static_cast<unsigned long long>(live_hub.publish_count()));
+    watchdog.Stop();
+    live_server->Stop();
+  }
 
   if (!hash_match) {
     std::fprintf(stderr, "FAIL: parallel sweep diverged from serial run\n");

@@ -33,6 +33,9 @@ ctest --output-on-failure -j"$(nproc)" "$@"
 echo "run_sanitized_tests: focused obs/fault recorder pass"
 "${build_dir}/tests/obs_test" --gtest_brief=1
 "${build_dir}/tests/fault_test" --gtest_brief=1
+# The HTTP plane parses raw request bytes off real sockets and renders
+# from concurrently-published snapshots — both prime sanitizer targets.
+"${build_dir}/tests/obs_http_test" --gtest_brief=1
 
 if [[ "${FLEX_SKIP_TSAN:-0}" == "1" ]]; then
   echo "run_sanitized_tests: FLEX_SKIP_TSAN=1, skipping TSan pass"
@@ -41,8 +44,9 @@ fi
 
 # ThreadSanitizer pass: a separate tree (TSan is incompatible with
 # ASan), focused on the suites that exercise the thread pool, the
-# parallel branch-and-bound waves, and the placement fan-out. TSan
-# findings abort the run via the non-zero exit of the test binary.
+# parallel branch-and-bound waves, the placement fan-out, and the
+# HTTP scrape thread racing the sweep lanes. TSan findings abort the
+# run via the non-zero exit of the test binary.
 tsan_dir="${FLEX_TSAN_BUILD_DIR:-${repo_root}/build-tsan}"
 cmake -B "${tsan_dir}" -S "${repo_root}" -DFLEX_SANITIZE_THREAD=ON
 cmake --build "${tsan_dir}" -j"$(nproc)"
@@ -53,3 +57,4 @@ echo "run_sanitized_tests: TSan pass (common/solver/offline suites)"
 "${tsan_dir}/tests/solver_test" --gtest_brief=1
 "${tsan_dir}/tests/solver_lp_differential_test" --gtest_brief=1
 "${tsan_dir}/tests/offline_test" --gtest_brief=1
+"${tsan_dir}/tests/obs_http_test" --gtest_brief=1

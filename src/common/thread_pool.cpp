@@ -123,7 +123,9 @@ ThreadPool::TryRunOne(int self, const Batch* only)
   if (!found)
     return false;
   pending_.fetch_sub(1, std::memory_order_relaxed);
+  running_.fetch_add(1, std::memory_order_relaxed);
   Execute(task);
+  running_.fetch_sub(1, std::memory_order_relaxed);
   return true;
 }
 
@@ -148,8 +150,11 @@ ThreadPool::Run(std::vector<std::function<void()>> tasks)
   if (tasks.empty())
     return;
   if (workers_.empty()) {
-    for (const auto& task : tasks)
+    for (const auto& task : tasks) {
+      running_.fetch_add(1, std::memory_order_relaxed);
       task();
+      running_.fetch_sub(1, std::memory_order_relaxed);
+    }
     return;
   }
 

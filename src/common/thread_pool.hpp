@@ -60,6 +60,16 @@ class ThreadPool {
     return steals_.load(std::memory_order_relaxed);
   }
 
+  /** Tasks currently executing on any lane (live utilization gauge). */
+  int running_count() const {
+    return running_.load(std::memory_order_relaxed);
+  }
+
+  /** Tasks queued but not yet claimed by a lane (live backlog gauge). */
+  int queued_count() const {
+    return pending_.load(std::memory_order_relaxed);
+  }
+
   /**
    * Process-wide pool, created on first use with ConfiguredThreads()
    * lanes. Solver waves and placement fan-out share it by default so
@@ -105,6 +115,7 @@ class ThreadPool {
   std::condition_variable wake_cv_;
   std::atomic<bool> stop_{false};
   std::atomic<int> pending_{0};
+  std::atomic<int> running_{0};
   std::atomic<std::uint64_t> next_{0};
   std::atomic<std::int64_t> steals_{0};
 };

@@ -5,6 +5,8 @@
 
 #include "common/error.hpp"
 #include "common/stats.hpp"
+#include "obs/http_export.hpp"
+#include "obs/profiler.hpp"
 #include "offline/flex_offline.hpp"
 #include "power/loads.hpp"
 
@@ -40,6 +42,12 @@ RoomEmulation::RoomEmulation(EmulationConfig config)
     notifications_.Bind(config_.obs);
   }
   BuildRoom();
+  // Register with the watchdog only after BuildRoom: the placement
+  // solve is a legitimately long silent phase, not a stall.
+  if (config_.watchdog != nullptr) {
+    watchdog_id_ = config_.watchdog->RegisterThread(
+        "emulation-seed-" + std::to_string(config_.seed));
+  }
 }
 
 RoomEmulation::~RoomEmulation() = default;
@@ -85,8 +93,9 @@ RoomEmulation::BuildRoom()
   for (std::size_t i = 0; i < trace.size(); ++i)
     trace[i].id = static_cast<int>(i);
 
-  offline::FlexOfflinePolicy policy =
-      offline::FlexOfflinePolicy::Short(config_.placement_solve_seconds);
+  offline::FlexOfflinePolicy policy = offline::FlexOfflinePolicy::Short(
+      config_.placement_solve_seconds, config_.placement_max_nodes,
+      config_.solver_live);
   placement_ = policy.Place(topology_, trace);
   layout_ = offline::BuildRackLayout(topology_, placement_);
   FLEX_CHECK_MSG(!layout_.empty(), "placement produced no racks");
@@ -411,6 +420,7 @@ RoomEmulation::CurrentPowerBatch(DeviceKind kind,
 void
 RoomEmulation::StepWorkloads()
 {
+  FLEX_PROFILE_PHASE("emulation.step");
   // Batteries ride through whatever overload the current loads impose.
   const std::vector<Watts> ups_loads = UpsLoadsNow();
   for (UpsId u = 0; u < topology_.NumUpses(); ++u) {
@@ -517,6 +527,62 @@ RoomEmulation::RecordSample()
   // Without a dedicated monitor, safety tracking rides the sample tick.
   if (config_.monitor_period.value() <= 0.0)
     MonitorTick(ups);
+
+  PublishLive();
+}
+
+void
+RoomEmulation::PublishLive()
+{
+  if (config_.watchdog != nullptr && watchdog_id_ >= 0)
+    config_.watchdog->Beat(watchdog_id_);
+  if (config_.live == nullptr)
+    return;
+
+  // Everything below copies simulation state OUT into the hub's
+  // mutex-guarded mailbox; the HTTP thread only ever reads those
+  // copies. Nothing here feeds back into simulated state, so a scraper
+  // (or the absence of one) cannot change the run.
+  obs::LiveHub& live = *config_.live;
+  if (config_.obs != nullptr) {
+    obs::UpdateLogMetrics(config_.obs->metrics());
+    live.PublishMetrics(config_.obs->metrics().Snapshot());
+    live.PublishTraces(config_.obs->tracer().traces());
+    live.PublishRecorderTail(config_.obs->recorder());
+  } else {
+    // Sweep lanes run without a registry (it is single-threaded and
+    // lane-local); synthesize the minimum so /metrics still tracks the
+    // run. Row names stay sorted — the MetricsSnapshot contract.
+    const EmulationSample& last = report_.series.back();
+    obs::MetricsSnapshot snapshot;
+    snapshot.sim_time_seconds = queue_.Now().value();
+    const auto gauge = [](const char* name, double value) {
+      obs::MetricRow row;
+      row.name = name;
+      row.kind = obs::MetricKind::kGauge;
+      row.value = value;
+      return row;
+    };
+    snapshot.rows.push_back(gauge(
+        "emulation.events_executed",
+        static_cast<double>(queue_.executed_count())));
+    snapshot.rows.push_back(
+        gauge("emulation.racks_off", static_cast<double>(last.racks_off)));
+    snapshot.rows.push_back(gauge("emulation.total_rack_mw",
+                                  last.total_rack_mw));
+    live.PublishMetrics(snapshot);
+  }
+
+  obs::HealthSnapshot health;
+  health.ok = !report_.safety_violated && !report_.battery_tripped;
+  health.sim_time_seconds = queue_.Now().value();
+  if (!health.ok) {
+    health.violations = 1;
+    health.detail = report_.safety_violated
+                        ? "UPS overload exceeded its trip-curve tolerance"
+                        : "UPS battery exhausted its ride-through energy";
+  }
+  live.PublishHealth(health);
 }
 
 void
@@ -694,6 +760,11 @@ RoomEmulation::Run()
     metrics.gauge("room.verify_rescans")
         .Set(static_cast<double>(report_.verify_rescans));
   }
+  // Final publish with the completed-run state, then retire the
+  // heartbeat: a finished loop must not read as a stall on /healthz.
+  PublishLive();
+  if (config_.watchdog != nullptr && watchdog_id_ >= 0)
+    config_.watchdog->MarkDone(watchdog_id_);
   return report_;
 }
 

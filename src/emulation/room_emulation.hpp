@@ -23,6 +23,7 @@
 #ifndef FLEX_EMULATION_ROOM_EMULATION_HPP_
 #define FLEX_EMULATION_ROOM_EMULATION_HPP_
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -38,6 +39,15 @@
 #include "sim/event_queue.hpp"
 #include "telemetry/pipeline.hpp"
 #include "workload/impact.hpp"
+
+namespace flex::obs {
+class LiveHub;
+class StallWatchdog;
+}  // namespace flex::obs
+
+namespace flex::solver {
+struct LiveSolverStats;
+}  // namespace flex::solver
 
 namespace flex::emulation {
 
@@ -78,6 +88,15 @@ struct EmulationConfig {
    * bit-identity should keep this high enough to converge.
    */
   double placement_solve_seconds = 2.0;
+  /**
+   * Node budget per placement batch solve; 0 keeps the solver default.
+   * Unlike the wall-clock budget above, a node budget truncates the
+   * search at the same point on every machine, so determinism tests and
+   * sweeps should set a finite node budget together with an effectively
+   * infinite placement_solve_seconds instead of relying on fast
+   * hardware to converge within the wall budget.
+   */
+  std::int64_t placement_max_nodes = 0;
   telemetry::PipelineConfig pipeline;
   actuation::RackManagerConfig rack_manager;
   online::ControllerConfig controller;
@@ -110,6 +129,33 @@ struct EmulationConfig {
    * rack-manager, and battery sub-configs.
    */
   obs::Observability* obs = nullptr;
+
+  /**
+   * Optional live observability mailbox (obs/http_export.hpp). Every
+   * sample tick publishes snapshot copies — metrics (the obs registry's
+   * when obs is set, a synthesized minimum otherwise), reaction-trace
+   * and flight-recorder tails, and a health rollup — that an HTTP
+   * scraper reads from its own thread. Publishing copies state *out*;
+   * nothing is ever read back, so wiring a hub cannot change a single
+   * simulated event. Safe to share one hub across parallel sweep lanes
+   * (last writer wins). Not owned.
+   */
+  obs::LiveHub* live = nullptr;
+
+  /**
+   * Optional stall watchdog. The harness registers one heartbeat entry
+   * per RoomEmulation (named by seed) and beats it from the sample
+   * loop, so a wedged sim thread is flagged on /healthz. Not owned.
+   */
+  obs::StallWatchdog* watchdog = nullptr;
+
+  /**
+   * Optional live solver-progress sink for the placement MILP solves
+   * that build the room (wave occupancy, open nodes, warm-basis hits).
+   * The solver only ever writes it; the HTTP plane reads it through
+   * AddLiveGauge callbacks. Not owned.
+   */
+  solver::LiveSolverStats* solver_live = nullptr;
 };
 
 /** One point of the recorded time series. */
@@ -209,6 +255,8 @@ class RoomEmulation : public telemetry::PowerSource {
   void BuildRoom();
   void StepWorkloads();
   void RecordSample();
+  /** Copies fresh snapshots into config_.live / beats the watchdog. */
+  void PublishLive();
   /** Overload + trip-curve tracking against the given true UPS loads. */
   void MonitorTick(const std::vector<Watts>& ups);
   void OnRackStateChanged(int rack_id);
@@ -265,6 +313,7 @@ class RoomEmulation : public telemetry::PowerSource {
   std::unique_ptr<ScaleOutModel> sr_scale_out_;
 
   power::UpsId failed_ups_ = -1;
+  int watchdog_id_ = -1;  ///< heartbeat slot in config_.watchdog
   EmulationReport report_;
   // Overload bookkeeping for the safety check.
   std::vector<double> overload_since_;  // per UPS; <0 = not overloaded

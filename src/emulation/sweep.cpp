@@ -53,6 +53,10 @@ RunEmulationSweep(const SweepConfig& config)
     EmulationConfig lane_config = config.base;
     lane_config.seed = config.base.seed + static_cast<std::uint64_t>(v);
     lane_config.obs = nullptr;  // the registry is single-threaded
+    // config.base.live / .watchdog deliberately stay shared across
+    // lanes: LiveHub is a thread-safe last-writer-wins mailbox and each
+    // lane registers its own watchdog heartbeat, so concurrent lanes
+    // publish without coordinating — and without perturbing each other.
     rooms.push_back(std::make_unique<RoomEmulation>(std::move(lane_config)));
   }
 

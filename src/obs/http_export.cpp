@@ -1,0 +1,565 @@
+#include "http_export.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+
+#include "common/thread_pool.hpp"
+#include "obs/log.hpp"
+
+namespace flex::obs {
+
+namespace {
+
+/**
+ * Shortest round-trippable formatting shared with the flight-recorder
+ * JSONL exporter, so numbers compare clean across a serialize/parse
+ * cycle.
+ */
+std::string
+Num(double value)
+{
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.9g", value);
+  return buffer;
+}
+
+/** Prometheus label-value escaping: backslash, double quote, newline. */
+std::string
+EscapeLabelValue(const std::string& value)
+{
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+/** JSON string escaping (mirrors the flight-recorder idiom). */
+std::string
+EscapeJson(const std::string& text)
+{
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/** Finds `"key":` in a single-line JSON object; npos when absent. */
+std::size_t
+FindKey(const std::string& line, const char* key)
+{
+  const std::string needle = std::string("\"") + key + "\":";
+  return line.find(needle);
+}
+
+bool
+ParseNumberField(const std::string& line, const char* key, double* out)
+{
+  const std::size_t at = FindKey(line, key);
+  if (at == std::string::npos)
+    return false;
+  const std::size_t start = at + std::strlen(key) + 3;
+  char* end = nullptr;
+  const double value = std::strtod(line.c_str() + start, &end);
+  if (end == line.c_str() + start)
+    return false;
+  *out = value;
+  return true;
+}
+
+bool
+ParseBoolField(const std::string& line, const char* key, bool* out)
+{
+  const std::size_t at = FindKey(line, key);
+  if (at == std::string::npos)
+    return false;
+  const std::size_t start = at + std::strlen(key) + 3;
+  if (line.compare(start, 4, "true") == 0) {
+    *out = true;
+    return true;
+  }
+  if (line.compare(start, 5, "false") == 0) {
+    *out = false;
+    return true;
+  }
+  return false;
+}
+
+/**
+ * Renders one full Histogram as a Prometheus histogram family:
+ * cumulative `_bucket{le=...}` series ending at `+Inf`, plus `_sum`
+ * and `_count`. @p labels is a pre-rendered `key="value"` list (may be
+ * empty) merged into every series.
+ */
+void
+AppendHistogramSeries(std::ostringstream& out, const std::string& name,
+                      const std::string& labels, const Histogram& histogram)
+{
+  const std::vector<double>& edges = histogram.edges();
+  const std::vector<std::uint64_t>& counts = histogram.bucket_counts();
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b < edges.size(); ++b) {
+    cumulative += counts[b];
+    out << name << "_bucket{" << labels << (labels.empty() ? "" : ",")
+        << "le=\"" << Num(edges[b]) << "\"} " << cumulative << "\n";
+  }
+  out << name << "_bucket{" << labels << (labels.empty() ? "" : ",")
+      << "le=\"+Inf\"} " << histogram.count() << "\n";
+  out << name << "_sum";
+  if (!labels.empty())
+    out << "{" << labels << "}";
+  out << " " << Num(histogram.sum()) << "\n";
+  out << name << "_count";
+  if (!labels.empty())
+    out << "{" << labels << "}";
+  out << " " << histogram.count() << "\n";
+}
+
+}  // namespace
+
+void
+LiveHub::PublishMetrics(const MetricsSnapshot& snapshot)
+{
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    metrics_ = snapshot;
+  }
+  publishes_.fetch_add(1, std::memory_order_relaxed);
+}
+
+MetricsSnapshot
+LiveHub::LatestMetrics() const
+{
+  std::lock_guard<std::mutex> lock(mu_);
+  return metrics_;
+}
+
+void
+LiveHub::PublishTraces(const std::vector<ReactionTrace>& traces,
+                       std::size_t tail)
+{
+  const std::size_t keep = traces.size() < tail ? traces.size() : tail;
+  std::vector<ReactionTrace> window(traces.end() - static_cast<std::ptrdiff_t>(keep),
+                                    traces.end());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    traces_ = std::move(window);
+  }
+  publishes_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::vector<ReactionTrace>
+LiveHub::LatestTraces() const
+{
+  std::lock_guard<std::mutex> lock(mu_);
+  return traces_;
+}
+
+void
+LiveHub::PublishRecorderTail(const FlightRecorder& recorder, std::size_t tail)
+{
+  std::vector<FlightRecord> records = recorder.Records();
+  if (records.size() > tail)
+    records.erase(records.begin(),
+                  records.end() - static_cast<std::ptrdiff_t>(tail));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    records_ = std::move(records);
+  }
+  publishes_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::vector<FlightRecord>
+LiveHub::LatestRecords() const
+{
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_;
+}
+
+void
+LiveHub::PublishHealth(const HealthSnapshot& health)
+{
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    health_ = health;
+  }
+  publishes_.fetch_add(1, std::memory_order_relaxed);
+}
+
+HealthSnapshot
+LiveHub::LatestHealth() const
+{
+  std::lock_guard<std::mutex> lock(mu_);
+  return health_;
+}
+
+std::string
+PrometheusName(const std::string& name)
+{
+  std::string out = "flex_";
+  out.reserve(name.size() + out.size());
+  for (const char c : name) {
+    const bool legal = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                       (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += legal ? c : '_';
+  }
+  return out;
+}
+
+std::string
+SnapshotToPrometheus(const MetricsSnapshot& snapshot)
+{
+  std::ostringstream out;
+  out << "# TYPE flex_sim_time_seconds gauge\n";
+  out << "flex_sim_time_seconds " << Num(snapshot.sim_time_seconds) << "\n";
+  for (const MetricRow& row : snapshot.rows) {
+    const std::string name = PrometheusName(row.name);
+    switch (row.kind) {
+      case MetricKind::kCounter: {
+        // Counters follow the convention of a `_total` suffix; names
+        // that already end in `_total` (log.suppressed_total) keep it.
+        const std::string counter_name =
+            name.size() >= 6 && name.compare(name.size() - 6, 6, "_total") == 0
+                ? name
+                : name + "_total";
+        out << "# TYPE " << counter_name << " counter\n";
+        out << counter_name << " " << Num(row.value) << "\n";
+        break;
+      }
+      case MetricKind::kGauge:
+        out << "# TYPE " << name << " gauge\n";
+        out << name << " " << Num(row.value) << "\n";
+        break;
+      case MetricKind::kHistogram:
+        // Snapshot rows carry the summary (count/sum/quantiles), not
+        // the bucket vector, so histogram rows export as a Prometheus
+        // summary family. Full bucketed exposition is reserved for the
+        // profiler's live Histogram objects (see RenderMetrics).
+        out << "# TYPE " << name << " summary\n";
+        out << name << "{quantile=\"0.5\"} " << Num(row.p50) << "\n";
+        out << name << "{quantile=\"0.99\"} " << Num(row.p99) << "\n";
+        out << name << "_sum " << Num(row.sum) << "\n";
+        out << name << "_count " << row.count << "\n";
+        break;
+    }
+  }
+  return out.str();
+}
+
+std::string
+ReactionTraceToJson(const ReactionTrace& trace)
+{
+  std::ostringstream out;
+  out << "{\"id\":" << trace.id
+      << ",\"replica\":" << trace.detecting_replica
+      << ",\"ups\":" << trace.ups_index
+      << ",\"actions\":" << trace.actions
+      << ",\"dup_detections\":" << trace.duplicate_detections
+      << ",\"dup_waves\":" << trace.duplicate_waves
+      << ",\"sampled_at\":" << Num(trace.sampled_at.value())
+      << ",\"delivered_at\":" << Num(trace.delivered_at.value())
+      << ",\"detected_at\":" << Num(trace.detected_at.value())
+      << ",\"decided_at\":" << Num(trace.decided_at.value())
+      << ",\"enforced_at\":" << Num(trace.enforced_at.value())
+      << ",\"complete\":" << (trace.complete ? "true" : "false")
+      << ",\"closed\":" << (trace.closed ? "true" : "false")
+      << ",\"budget\":" << Num(trace.budget.value()) << "}";
+  return out.str();
+}
+
+bool
+ParseReactionTraceJson(const std::string& line, ReactionTrace* out)
+{
+  ReactionTrace trace;
+  double number = 0.0;
+  if (!ParseNumberField(line, "id", &number))
+    return false;
+  trace.id = static_cast<std::uint64_t>(number);
+  if (!ParseNumberField(line, "replica", &number))
+    return false;
+  trace.detecting_replica = static_cast<int>(number);
+  if (!ParseNumberField(line, "ups", &number))
+    return false;
+  trace.ups_index = static_cast<int>(number);
+  if (!ParseNumberField(line, "actions", &number))
+    return false;
+  trace.actions = static_cast<int>(number);
+  if (!ParseNumberField(line, "dup_detections", &number))
+    return false;
+  trace.duplicate_detections = static_cast<int>(number);
+  if (!ParseNumberField(line, "dup_waves", &number))
+    return false;
+  trace.duplicate_waves = static_cast<int>(number);
+  if (!ParseNumberField(line, "sampled_at", &number))
+    return false;
+  trace.sampled_at = Seconds(number);
+  if (!ParseNumberField(line, "delivered_at", &number))
+    return false;
+  trace.delivered_at = Seconds(number);
+  if (!ParseNumberField(line, "detected_at", &number))
+    return false;
+  trace.detected_at = Seconds(number);
+  if (!ParseNumberField(line, "decided_at", &number))
+    return false;
+  trace.decided_at = Seconds(number);
+  if (!ParseNumberField(line, "enforced_at", &number))
+    return false;
+  trace.enforced_at = Seconds(number);
+  if (!ParseBoolField(line, "complete", &trace.complete))
+    return false;
+  if (!ParseBoolField(line, "closed", &trace.closed))
+    return false;
+  if (!ParseNumberField(line, "budget", &number))
+    return false;
+  trace.budget = Seconds(number);
+  *out = trace;
+  return true;
+}
+
+ObservabilityServer::ObservabilityServer(LiveHub& hub,
+                                         ObservabilityServerConfig config)
+    : hub_(hub), config_(std::move(config))
+{
+  http_.Route("/metrics", [this](const HttpRequest&) {
+    HttpResponse response;
+    response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    response.body = RenderMetrics();
+    return response;
+  });
+  http_.Route("/healthz", [this](const HttpRequest&) {
+    HttpResponse response;
+    response.content_type = "application/json";
+    response.body = RenderHealth(&response.status);
+    return response;
+  });
+  http_.Route("/trace", [this](const HttpRequest&) {
+    HttpResponse response;
+    response.content_type = "application/json";
+    response.body = RenderTrace();
+    return response;
+  });
+  http_.Route("/recorder", [this](const HttpRequest&) {
+    HttpResponse response;
+    response.content_type = "application/x-ndjson";
+    response.body = RenderRecorder();
+    return response;
+  });
+}
+
+void
+ObservabilityServer::AddLiveGauge(std::string name,
+                                  std::function<double()> sample)
+{
+  live_gauges_.emplace_back(std::move(name), std::move(sample));
+}
+
+void
+ObservabilityServer::WireThreadPool(const common::ThreadPool& pool)
+{
+  AddLiveGauge("flex_pool_size", [&pool] {
+    return static_cast<double>(pool.size());
+  });
+  AddLiveGauge("flex_pool_running", [&pool] {
+    return static_cast<double>(pool.running_count());
+  });
+  AddLiveGauge("flex_pool_queued", [&pool] {
+    return static_cast<double>(pool.queued_count());
+  });
+  AddLiveGauge("flex_pool_utilization", [&pool] {
+    return static_cast<double>(pool.running_count()) /
+           static_cast<double>(pool.size());
+  });
+  AddLiveGauge("flex_pool_steals", [&pool] {
+    return static_cast<double>(pool.steal_count());
+  });
+}
+
+std::string
+ObservabilityServer::RenderMetrics() const
+{
+  std::ostringstream out;
+
+  // Identity first: a constant-1 info series carrying the run labels.
+  out << "# TYPE flex_build_info gauge\n";
+  out << "flex_build_info{";
+  bool first = true;
+  for (const auto& [key, value] : config_.run_info) {
+    if (!first)
+      out << ",";
+    first = false;
+    out << PrometheusName(key).substr(5) << "=\"" << EscapeLabelValue(value)
+        << "\"";
+  }
+  out << "} 1\n";
+
+  out << SnapshotToPrometheus(hub_.LatestMetrics());
+
+  // Live process gauges: sampled on this (the server) thread from
+  // atomics only, per the AddLiveGauge contract.
+  for (const auto& [name, sample] : live_gauges_) {
+    out << "# TYPE " << name << " gauge\n";
+    out << name << " " << Num(sample()) << "\n";
+  }
+
+  out << "# TYPE flex_hub_publishes_total counter\n";
+  out << "flex_hub_publishes_total " << hub_.publish_count() << "\n";
+  out << "# TYPE flex_http_requests_total counter\n";
+  out << "flex_http_requests_total " << http_.requests_served() << "\n";
+  out << "# TYPE flex_log_suppressed_total counter\n";
+  out << "flex_log_suppressed_total " << LogSuppressedTotal() << "\n";
+
+  if (watchdog_ != nullptr) {
+    const auto threads = watchdog_->SnapshotThreads();
+    out << "# TYPE flex_watchdog_threads gauge\n";
+    out << "flex_watchdog_threads " << threads.size() << "\n";
+    out << "# TYPE flex_watchdog_stalled gauge\n";
+    out << "flex_watchdog_stalled " << (watchdog_->any_stalled() ? 1 : 0)
+        << "\n";
+    out << "# TYPE flex_watchdog_stall_events_total counter\n";
+    out << "flex_watchdog_stall_events_total " << watchdog_->stall_events()
+        << "\n";
+    out << "# TYPE flex_watchdog_silent_seconds gauge\n";
+    for (const auto& thread : threads) {
+      out << "flex_watchdog_silent_seconds{thread=\""
+          << EscapeLabelValue(thread.name) << "\"} "
+          << Num(thread.silent_seconds) << "\n";
+    }
+  }
+
+  if (profiler_ != nullptr) {
+    const auto phases = profiler_->Snapshot();
+    if (!phases.empty()) {
+      out << "# TYPE flex_phase_wall_microseconds histogram\n";
+      for (const auto& row : phases) {
+        const std::string labels =
+            "phase=\"" + EscapeLabelValue(row.phase) + "\"";
+        AppendHistogramSeries(out, "flex_phase_wall_microseconds", labels,
+                              row.wall);
+      }
+      out << "# TYPE flex_phase_cpu_microseconds histogram\n";
+      for (const auto& row : phases) {
+        const std::string labels =
+            "phase=\"" + EscapeLabelValue(row.phase) + "\"";
+        AppendHistogramSeries(out, "flex_phase_cpu_microseconds", labels,
+                              row.cpu);
+      }
+      out << "# TYPE flex_phase_threads gauge\n";
+      for (const auto& row : phases) {
+        out << "flex_phase_threads{phase=\"" << EscapeLabelValue(row.phase)
+            << "\"} " << row.threads << "\n";
+      }
+    }
+  }
+
+  return out.str();
+}
+
+std::string
+ObservabilityServer::RenderHealth(int* http_status) const
+{
+  const HealthSnapshot health = hub_.LatestHealth();
+  const bool stalled = watchdog_ != nullptr && watchdog_->any_stalled();
+  const bool ok = health.ok && !stalled;
+  if (http_status != nullptr)
+    *http_status = ok ? 200 : 503;
+
+  std::ostringstream out;
+  out << "{\"ok\":" << (ok ? "true" : "false")
+      << ",\"sim_time_seconds\":" << Num(health.sim_time_seconds)
+      << ",\"violations\":" << health.violations
+      << ",\"detail\":\"" << EscapeJson(health.detail) << "\""
+      << ",\"stalled\":" << (stalled ? "true" : "false");
+  if (watchdog_ != nullptr) {
+    out << ",\"forensic_hint\":\""
+        << EscapeJson(watchdog_->forensic_hint()) << "\"";
+    out << ",\"threads\":[";
+    bool first = true;
+    for (const auto& thread : watchdog_->SnapshotThreads()) {
+      if (!first)
+        out << ",";
+      first = false;
+      out << "{\"name\":\"" << EscapeJson(thread.name) << "\""
+          << ",\"silent_seconds\":" << Num(thread.silent_seconds)
+          << ",\"stalled\":" << (thread.stalled ? "true" : "false")
+          << ",\"done\":" << (thread.done ? "true" : "false")
+          << ",\"beats\":" << thread.beats << "}";
+    }
+    out << "]";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+std::string
+ObservabilityServer::RenderTrace() const
+{
+  const std::vector<ReactionTrace> traces = hub_.LatestTraces();
+  std::ostringstream out;
+  out << "[";
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    if (i > 0)
+      out << ",\n ";
+    out << ReactionTraceToJson(traces[i]);
+  }
+  out << "]\n";
+  return out.str();
+}
+
+std::string
+ObservabilityServer::RenderRecorder() const
+{
+  return RecordsToJsonl(hub_.LatestRecords());
+}
+
+void
+UpdateLogMetrics(MetricsRegistry& metrics)
+{
+  Counter& counter = metrics.counter("log.suppressed_total");
+  const double total = static_cast<double>(LogSuppressedTotal());
+  if (total > counter.value())
+    counter.Increment(total - counter.value());
+}
+
+}  // namespace flex::obs

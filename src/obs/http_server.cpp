@@ -1,0 +1,208 @@
+#include "http_server.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "obs/log.hpp"
+
+namespace flex::obs {
+
+namespace {
+
+/** Caps a request at something far beyond any scrape client's needs. */
+constexpr std::size_t kMaxRequestBytes = 16 * 1024;
+
+bool
+SendAll(int fd, const char* data, std::size_t len)
+{
+  std::size_t sent = 0;
+  while (sent < len) {
+    const ssize_t n = ::send(fd, data + sent, len - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && (errno == EINTR))
+        continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+const char*
+HttpServer::StatusText(int status)
+{
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+    default: return "Unknown";
+  }
+}
+
+HttpServer::~HttpServer() { Stop(); }
+
+void
+HttpServer::Route(std::string path, Handler handler)
+{
+  routes_[std::move(path)] = std::move(handler);
+}
+
+bool
+HttpServer::Start(int port)
+{
+  if (running_.load(std::memory_order_acquire))
+    return true;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    FLEX_LOG(LogLevel::kError, "http", "socket() failed: %s",
+             std::strerror(errno));
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      ::listen(fd, 16) < 0) {
+    FLEX_LOG(LogLevel::kError, "http", "bind/listen on port %d failed: %s",
+             port, std::strerror(errno));
+    ::close(fd);
+    return false;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) == 0)
+    port_ = static_cast<int>(ntohs(addr.sin_port));
+
+  listen_fd_ = fd;
+  stop_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { ServeLoop(); });
+  FLEX_LOG(LogLevel::kInfo, "http", "serving on 127.0.0.1:%d", port_);
+  return true;
+}
+
+void
+HttpServer::Stop()
+{
+  if (!running_.load(std::memory_order_acquire))
+    return;
+  stop_.store(true, std::memory_order_release);
+  // The serve loop polls with a short timeout, so it notices `stop_`
+  // without needing a wake-up pipe; shutdown() additionally unblocks an
+  // accept() that races the flag.
+  if (listen_fd_ >= 0)
+    ::shutdown(listen_fd_, SHUT_RDWR);
+  if (thread_.joinable())
+    thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  running_.store(false, std::memory_order_release);
+}
+
+void
+HttpServer::ServeLoop()
+{
+  while (!stop_.load(std::memory_order_acquire)) {
+    pollfd pfd{};
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
+    if (ready <= 0)
+      continue;
+    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0)
+      continue;
+    HandleConnection(client);
+    ::close(client);
+  }
+}
+
+void
+HttpServer::HandleConnection(int fd)
+{
+  // Read until the end of the header block; scrape requests have no
+  // body. A short receive timeout keeps a stuck client from wedging the
+  // serve thread.
+  timeval timeout{};
+  timeout.tv_sec = 2;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+
+  std::string raw;
+  char buffer[2048];
+  while (raw.size() < kMaxRequestBytes &&
+         raw.find("\r\n\r\n") == std::string::npos &&
+         raw.find("\n\n") == std::string::npos) {
+    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n <= 0)
+      break;
+    raw.append(buffer, static_cast<std::size_t>(n));
+  }
+
+  HttpRequest request;
+  HttpResponse response;
+  const std::size_t line_end = raw.find_first_of("\r\n");
+  const std::string line =
+      line_end == std::string::npos ? raw : raw.substr(0, line_end);
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 = sp1 == std::string::npos
+                              ? std::string::npos
+                              : line.find(' ', sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos) {
+    response.status = 400;
+    response.body = "malformed request line\n";
+  } else {
+    request.method = line.substr(0, sp1);
+    std::string target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+    const std::size_t qmark = target.find('?');
+    if (qmark != std::string::npos) {
+      request.query = target.substr(qmark + 1);
+      target.resize(qmark);
+    }
+    request.path = std::move(target);
+    if (request.method != "GET" && request.method != "HEAD") {
+      response.status = 405;
+      response.body = "only GET is supported\n";
+    } else {
+      const auto it = routes_.find(request.path);
+      if (it == routes_.end()) {
+        response.status = 404;
+        response.body = "unknown path: " + request.path + "\n";
+      } else {
+        try {
+          response = it->second(request);
+        } catch (const std::exception& e) {
+          response = HttpResponse{};
+          response.status = 500;
+          response.body = std::string("handler error: ") + e.what() + "\n";
+        }
+      }
+    }
+  }
+
+  std::string head = "HTTP/1.1 " + std::to_string(response.status) + " " +
+                     StatusText(response.status) + "\r\nContent-Type: " +
+                     response.content_type + "\r\nContent-Length: " +
+                     std::to_string(response.body.size()) +
+                     "\r\nConnection: close\r\n\r\n";
+  if (SendAll(fd, head.data(), head.size()) && request.method != "HEAD")
+    SendAll(fd, response.body.data(), response.body.size());
+  requests_.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace flex::obs

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Dependency-free embedded HTTP server.
+ *
+ * A deliberately small blocking-socket server on one dedicated thread,
+ * built for the live observability plane (`/metrics`, `/healthz`, ...)
+ * and reusable by the future fleet-service control surface: exact-path
+ * GET routing, ephemeral-port binding for tests, and a Stop() that
+ * unblocks the accept loop promptly. Connections are served serially on
+ * the server thread — scrape traffic is one request at a time, and
+ * serial handling keeps handler code free of its own locking beyond
+ * whatever snapshot source it reads.
+ *
+ * The server is strictly an observer: handlers must only read
+ * atomics/locked snapshot copies (see http_export.hpp), never live
+ * simulation state, so a scraper hammering the endpoints can never
+ * perturb simulated time or break bit-identity.
+ */
+#ifndef FLEX_OBS_HTTP_SERVER_HPP_
+#define FLEX_OBS_HTTP_SERVER_HPP_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <thread>
+
+namespace flex::obs {
+
+/** One parsed request (request line only; headers are skipped). */
+struct HttpRequest {
+  std::string method;  ///< "GET", "HEAD", ...
+  std::string path;    ///< decoded-as-is path, e.g. "/metrics"
+  std::string query;   ///< raw query string after '?', may be empty
+};
+
+/** One response; the server adds Content-Length and Connection. */
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+/**
+ * The server. Register routes, Start(), scrape, Stop(). Routes are an
+ * exact-path match; unknown paths answer 404, handler exceptions answer
+ * 500 with the exception message.
+ */
+class HttpServer {
+ public:
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  HttpServer() = default;
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /**
+   * Registers @p handler for @p path (e.g. "/metrics"). Must be called
+   * before Start(); the route table is read without a lock afterwards.
+   */
+  void Route(std::string path, Handler handler);
+
+  /**
+   * Binds 127.0.0.1:@p port (0 = kernel-assigned ephemeral port) and
+   * launches the serve thread. @return false with the OS error logged
+   * when the socket cannot be bound.
+   */
+  bool Start(int port = 0);
+
+  /** Joins the serve thread and closes the socket; idempotent. */
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /** Bound TCP port; 0 before a successful Start(). */
+  int port() const { return port_; }
+
+  /** Requests answered (any status) since construction. */
+  std::uint64_t requests_served() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
+
+  /** Canonical reason phrase ("OK", "Not Found", ...). */
+  static const char* StatusText(int status);
+
+ private:
+  void ServeLoop();
+  void HandleConnection(int fd);
+
+  std::map<std::string, Handler> routes_;
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> running_{false};
+  std::atomic<std::uint64_t> requests_{0};
+  int listen_fd_ = -1;
+  int port_ = 0;
+};
+
+}  // namespace flex::obs
+
+#endif  // FLEX_OBS_HTTP_SERVER_HPP_

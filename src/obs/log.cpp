@@ -1,5 +1,6 @@
 #include "log.hpp"
 
+#include <atomic>
 #include <cctype>
 #include <cstdarg>
 #include <cstdio>
@@ -11,6 +12,13 @@
 namespace flex::obs {
 
 namespace {
+
+/**
+ * Process-wide suppression tally across every FLEX_LOG_RATE_LIMITED
+ * site. Atomic because the HTTP exporter reads it from its own thread
+ * while sim threads keep suppressing.
+ */
+std::atomic<std::uint64_t> g_suppressed_total{0};
 
 struct LogState {
   LogLevel level;
@@ -191,7 +199,14 @@ LogRateLimiter::Admit()
   ++calls_since_emit_;
   ++suppressed_;
   ++total_suppressed_;
+  g_suppressed_total.fetch_add(1, std::memory_order_relaxed);
   return false;
+}
+
+std::uint64_t
+LogSuppressedTotal()
+{
+  return g_suppressed_total.load(std::memory_order_relaxed);
 }
 
 }  // namespace flex::obs

@@ -72,6 +72,14 @@ void SetLogSink(LogSink sink);
  */
 bool SetLogFile(const std::string& path);
 
+/**
+ * Calls swallowed by every FLEX_LOG_RATE_LIMITED site over the process
+ * lifetime (an atomic; readable from any thread). The live exporter
+ * folds this into the "log.suppressed_total" counter so dropped
+ * diagnostics stay visible on /metrics — see obs::UpdateLogMetrics.
+ */
+std::uint64_t LogSuppressedTotal();
+
 /** True when a record at @p level would be emitted. */
 inline bool
 LogEnabled(LogLevel level)

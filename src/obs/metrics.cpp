@@ -117,6 +117,21 @@ Histogram::Quantile(double q) const
 }
 
 void
+Histogram::Merge(const Histogram& other)
+{
+  FLEX_REQUIRE(edges_ == other.edges_,
+               "histograms with different bucket layouts cannot merge");
+  for (std::size_t b = 0; b < counts_.size(); ++b)
+    counts_[b] += other.counts_[b];
+  if (other.count_ > 0) {
+    min_ = count_ == 0 ? other.min_ : std::min(min_, other.min_);
+    max_ = count_ == 0 ? other.max_ : std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+void
 Histogram::Reset()
 {
   std::fill(counts_.begin(), counts_.end(), 0);

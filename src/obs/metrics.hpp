@@ -98,6 +98,14 @@ class Histogram {
   /** Per-bucket counts; the last entry is the overflow bucket. */
   const std::vector<std::uint64_t>& bucket_counts() const { return counts_; }
 
+  /**
+   * Folds @p other into this histogram (bucket-wise sums, exact
+   * count/sum/min/max). Throws ConfigError when the bucket layouts
+   * differ — merging is only meaningful for identical edges, e.g. the
+   * profiler's per-thread aggregates of one phase.
+   */
+  void Merge(const Histogram& other);
+
   void Reset();
 
  private:

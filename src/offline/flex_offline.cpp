@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "obs/profiler.hpp"
 #include "power/loads.hpp"
 #include "solver/model.hpp"
 
@@ -33,40 +34,57 @@ FlexOfflinePolicy::FlexOfflinePolicy(FlexOfflineConfig config,
 }
 
 FlexOfflinePolicy
-FlexOfflinePolicy::Short(double solve_seconds)
+FlexOfflinePolicy::Short(double solve_seconds, std::int64_t max_nodes,
+                         solver::LiveSolverStats* live)
 {
   FlexOfflineConfig config;
   config.batch_capacity_fraction = 0.33;
   config.solver.time_budget_seconds = solve_seconds;
+  if (max_nodes > 0)
+    config.solver.max_nodes = max_nodes;
+  config.solver.live = live;
   return FlexOfflinePolicy(config, "Flex-Offline-Short");
 }
 
 FlexOfflinePolicy
-FlexOfflinePolicy::Long(double solve_seconds)
+FlexOfflinePolicy::Long(double solve_seconds, std::int64_t max_nodes,
+                        solver::LiveSolverStats* live)
 {
   FlexOfflineConfig config;
   config.batch_capacity_fraction = 0.66;
   config.solver.time_budget_seconds = solve_seconds;
+  if (max_nodes > 0)
+    config.solver.max_nodes = max_nodes;
+  config.solver.live = live;
   return FlexOfflinePolicy(config, "Flex-Offline-Long");
 }
 
 FlexOfflinePolicy
-FlexOfflinePolicy::Oracle(double solve_seconds)
+FlexOfflinePolicy::Oracle(double solve_seconds, std::int64_t max_nodes,
+                          solver::LiveSolverStats* live)
 {
   FlexOfflineConfig config;
   // Large enough to swallow any realistic demand multiple in one batch.
   config.batch_capacity_fraction = 1e9;
   config.solver.time_budget_seconds = solve_seconds;
+  if (max_nodes > 0)
+    config.solver.max_nodes = max_nodes;
+  config.solver.live = live;
   return FlexOfflinePolicy(config, "Flex-Offline-Oracle");
 }
 
 FlexOfflinePolicy
 FlexOfflinePolicy::ForecastAware(std::vector<workload::Deployment> forecast,
-                                 double confidence, double solve_seconds)
+                                 double confidence, double solve_seconds,
+                                 std::int64_t max_nodes,
+                                 solver::LiveSolverStats* live)
 {
   FlexOfflineConfig config;
   config.batch_capacity_fraction = 0.33;
   config.solver.time_budget_seconds = solve_seconds;
+  if (max_nodes > 0)
+    config.solver.max_nodes = max_nodes;
+  config.solver.live = live;
   config.forecast = std::move(forecast);
   config.forecast_confidence = confidence;
   return FlexOfflinePolicy(config, "Flex-Offline-Forecast");
@@ -129,6 +147,7 @@ FlexOfflinePolicy::SolveBatch(
     const std::vector<Deployment>& phantom,
     const std::vector<Watts>& existing_shutdown_rec_per_pair)
 {
+  FLEX_PROFILE_PHASE("offline.solve_batch");
   const int pairs = topology.NumPduPairs();
   Model model;
   model.SetSense(solver::Sense::kMaximize);
@@ -394,6 +413,7 @@ Placement
 FlexOfflinePolicy::Place(const RoomTopology& topology,
                          const std::vector<Deployment>& trace)
 {
+  FLEX_PROFILE_PHASE("offline.place");
   Placement placement;
   placement.deployments = trace;
   placement.assignment.assign(trace.size(), std::nullopt);

@@ -73,12 +73,31 @@ class FlexOfflinePolicy : public PlacementPolicy {
   explicit FlexOfflinePolicy(FlexOfflineConfig config = {},
                              std::string name = "Flex-Offline");
 
-  /** Short-horizon variant: batches ~33% of room capacity. */
-  static FlexOfflinePolicy Short(double solve_seconds = 10.0);
+  /**
+   * Short-horizon variant: batches ~33% of room capacity.
+   *
+   * @p max_nodes, when positive, caps each batch solve's node count in
+   * addition to the wall-clock budget. A node cap truncates the search
+   * at the same point on every machine, so determinism tests that solve
+   * under a budget should pass a finite @p max_nodes with an
+   * effectively infinite @p solve_seconds — wall-clock truncation is
+   * the one machine-dependent edge the solver has.
+   *
+   * @p live, when non-null, receives solver progress (wave occupancy,
+   * open nodes, warm-basis hits) for the live /metrics plane; strictly
+   * observer-only, see solver::LiveSolverStats.
+   */
+  static FlexOfflinePolicy Short(double solve_seconds = 10.0,
+                                 std::int64_t max_nodes = 0,
+                                 solver::LiveSolverStats* live = nullptr);
   /** Long-horizon variant: batches ~66% of room capacity. */
-  static FlexOfflinePolicy Long(double solve_seconds = 10.0);
+  static FlexOfflinePolicy Long(double solve_seconds = 10.0,
+                                std::int64_t max_nodes = 0,
+                                solver::LiveSolverStats* live = nullptr);
   /** Oracle variant: the entire trace in a single batch. */
-  static FlexOfflinePolicy Oracle(double solve_seconds = 10.0);
+  static FlexOfflinePolicy Oracle(double solve_seconds = 10.0,
+                                  std::int64_t max_nodes = 0,
+                                  solver::LiveSolverStats* live = nullptr);
 
   /**
    * Short-horizon batching augmented with an uncertain forecast of the
@@ -86,7 +105,8 @@ class FlexOfflinePolicy : public PlacementPolicy {
    */
   static FlexOfflinePolicy ForecastAware(
       std::vector<workload::Deployment> forecast, double confidence = 0.7,
-      double solve_seconds = 10.0);
+      double solve_seconds = 10.0, std::int64_t max_nodes = 0,
+      solver::LiveSolverStats* live = nullptr);
 
   std::string Name() const override { return name_; }
 

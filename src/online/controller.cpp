@@ -7,6 +7,7 @@
 
 #include "common/error.hpp"
 #include "obs/log.hpp"
+#include "obs/profiler.hpp"
 
 namespace flex::online {
 
@@ -153,7 +154,11 @@ FlexController::EvaluateOverdraw(const DeviceReading& reading)
     return;  // let in-flight actions land and surface in telemetry
 
   const auto decide_start = std::chrono::steady_clock::now();
-  const DecisionResult decision = DecideActions(BuildDecisionInput());
+  DecisionResult decision;
+  {
+    FLEX_PROFILE_PHASE("controller.decide");
+    decision = DecideActions(BuildDecisionInput());
+  }
   if (decision_us_metric_ != nullptr) {
     const auto elapsed = std::chrono::duration_cast<std::chrono::nanoseconds>(
         std::chrono::steady_clock::now() - decide_start);

@@ -101,6 +101,25 @@ BranchAndBoundSolver::Solve(const Model& model) const
   const auto deadline =
       start + std::chrono::duration_cast<Clock::duration>(
                   std::chrono::duration<double>(options_.time_budget_seconds));
+
+  // Live-progress plumbing: additive relaxed stores only, so several
+  // concurrent solves can share one sink and a scraper thread can read
+  // it mid-solve. The guard clears the per-solve gauges and counts the
+  // solve finished on every exit path.
+  LiveSolverStats* const live = options_.live;
+  struct LiveGuard {
+    LiveSolverStats* live;
+    ~LiveGuard()
+    {
+      if (live != nullptr) {
+        live->wave_nodes.store(0, std::memory_order_relaxed);
+        live->open_nodes.store(0, std::memory_order_relaxed);
+        live->solves_finished.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  } live_guard{live};
+  if (live != nullptr)
+    live->solves_started.fetch_add(1, std::memory_order_relaxed);
   const double sense = model.sense() == Sense::kMaximize ? 1.0 : -1.0;
   const SimplexSolver lp(options_.lp);
 
@@ -170,6 +189,8 @@ BranchAndBoundSolver::Solve(const Model& model) const
     LpResult sub =
         lp.SolveWithBounds(search, overrides, &serial_ws, warm, basis_out);
     ++result.lp_solves;
+    if (live != nullptr)
+      live->lp_solves.fetch_add(1, std::memory_order_relaxed);
     result.simplex_pivots += sub.iterations;
     result.simplex_refactors += sub.refactors;
     result.eta_updates += sub.eta_updates;
@@ -435,6 +456,11 @@ BranchAndBoundSolver::Solve(const Model& model) const
     // parent basis) writing only its own slot, so the serial and
     // parallel paths produce byte-identical WaveResults.
     const std::size_t count = wave_nodes.size();
+    if (live != nullptr) {
+      live->waves.fetch_add(1, std::memory_order_relaxed);
+      live->wave_nodes.store(static_cast<std::int64_t>(count),
+                             std::memory_order_relaxed);
+    }
     wave_results.assign(count, WaveResult{});
     std::vector<std::function<void()>> tasks;
     tasks.reserve(count);
@@ -473,6 +499,14 @@ BranchAndBoundSolver::Solve(const Model& model) const
         ++result.basis_reuse_attempts;
       if (wr.lp.warm_start_used)
         ++result.basis_reuse_hits;
+      if (live != nullptr) {
+        live->nodes_explored.fetch_add(1, std::memory_order_relaxed);
+        live->lp_solves.fetch_add(1, std::memory_order_relaxed);
+        if (wr.lp.warm_start_attempted)
+          live->basis_reuse_attempts.fetch_add(1, std::memory_order_relaxed);
+        if (wr.lp.warm_start_used)
+          live->basis_reuse_hits.fetch_add(1, std::memory_order_relaxed);
+      }
       if (options_.trace_node_interval > 0 &&
           result.nodes_explored % options_.trace_node_interval == 0)
         emit_trace("node");
@@ -518,6 +552,9 @@ BranchAndBoundSolver::Solve(const Model& model) const
                  next_seq++, wr.basis}));
       }
     }
+    if (live != nullptr)
+      live->open_nodes.store(static_cast<std::int64_t>(open.size()),
+                             std::memory_order_relaxed);
   }
 
   if (!open.empty() && exhausted_budget) {

@@ -22,6 +22,7 @@
 #ifndef FLEX_SOLVER_BRANCH_AND_BOUND_HPP_
 #define FLEX_SOLVER_BRANCH_AND_BOUND_HPP_
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -67,6 +68,35 @@ struct MipResult {
 
   bool HasSolution() const {
     return status == MipStatus::kOptimal || status == MipStatus::kFeasible;
+  }
+};
+
+/**
+ * Live solve progress, published as plain atomics so an observability
+ * scraper on another thread can sample a running solve without locks.
+ *
+ * flex_solver deliberately does not link flex_obs, so this struct is
+ * the solver's entire observability surface: the search loop stores
+ * into it at wave boundaries (and the LP callback counts solves), and
+ * the HTTP exporter reads it through AddLiveGauge callbacks. Stores and
+ * loads are relaxed — each field is an independent progress indicator,
+ * not a consistent snapshot, which is all a utilization gauge needs.
+ */
+struct LiveSolverStats {
+  std::atomic<std::int64_t> solves_started{0};
+  std::atomic<std::int64_t> solves_finished{0};
+  std::atomic<std::int64_t> waves{0};           ///< waves launched (all solves)
+  std::atomic<std::int64_t> wave_nodes{0};      ///< nodes in the current wave
+  std::atomic<std::int64_t> open_nodes{0};      ///< frontier size after merge
+  std::atomic<std::int64_t> nodes_explored{0};
+  std::atomic<std::int64_t> lp_solves{0};
+  std::atomic<std::int64_t> basis_reuse_attempts{0};
+  std::atomic<std::int64_t> basis_reuse_hits{0};
+
+  /** True while at least one Solve() is inside its search loop. */
+  bool active() const {
+    return solves_started.load(std::memory_order_relaxed) >
+           solves_finished.load(std::memory_order_relaxed);
   }
 };
 
@@ -124,6 +154,13 @@ class BranchAndBoundSolver {
      */
     SolverTrace* trace = nullptr;
     std::int64_t trace_node_interval = 32;
+    /**
+     * Optional live-progress sink updated at wave boundaries for the
+     * observability plane. Not owned; must outlive the Solve call.
+     * Purely write-only from the solver's perspective — never read back
+     * into search decisions, so wiring it cannot change the answer.
+     */
+    LiveSolverStats* live = nullptr;
   };
 
   BranchAndBoundSolver() = default;

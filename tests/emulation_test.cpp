@@ -253,6 +253,11 @@ ShortTimelineConfig(std::uint64_t seed)
   config.restore_at = Seconds(200.0);
   config.end_at = Seconds(260.0);
   config.seed = seed;
+  // Node-budgeted placement: several tests build the same room twice
+  // and compare runs sample-for-sample, so a wall-clock solve budget
+  // would let machine load truncate the two placements differently.
+  config.placement_solve_seconds = 1e9;
+  config.placement_max_nodes = 2000;
   return config;
 }
 
@@ -364,13 +369,15 @@ TEST(EmulationSweepTest, ParallelSweepIsBitIdenticalToSerial)
 {
   // Variants fan out across pool lanes but merge serially in seed
   // order; the full-series fingerprint must not depend on the thread
-  // count. (Room construction stays serial inside RunEmulationSweep —
-  // the wall-clock-budgeted placement MILP is the one nondeterministic
-  // stage under lane contention.)
+  // count. Placement solves are truncated by a node budget instead of
+  // wall clock (solve_seconds effectively infinite), so the placements
+  // — and therefore the hashes — cannot depend on machine speed either.
   SweepConfig sweep;
   sweep.base = ShortTimelineConfig(2021);
   sweep.base.restore_at = Seconds(150.0);
   sweep.base.end_at = Seconds(180.0);
+  sweep.base.placement_solve_seconds = 1e9;
+  sweep.base.placement_max_nodes = 2000;
   sweep.variants = 2;
   sweep.threads = 1;
   const SweepResult serial = RunEmulationSweep(sweep);
