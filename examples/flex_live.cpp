@@ -16,6 +16,15 @@
  *   curl -s localhost:9090/healthz
  *   curl -s localhost:9090/trace | python3 -m json.tool | head
  *   curl -s localhost:9090/recorder | tail -3
+ *   curl -s localhost:9090/alerts | python3 -m json.tool | head -40
+ *   curl -s 'localhost:9090/query?metric=pipeline.readings_delivered&window=120'
+ *
+ * The drill injects a 60 s telemetry outage during the failover window,
+ * so the run is also an alerting walkthrough: watch the built-in
+ * TelemetryStalled page go pending -> firing on /alerts (and as
+ * ALERTS{...} on /metrics), then resolve when the pollers recover. The
+ * firing edge drops a forensic bundle under FLEX_FORENSICS_DIR
+ * (default build/forensics) with the full time-series history attached.
  */
 #include <chrono>
 #include <cstdio>
@@ -83,9 +92,22 @@ main()
   config.live = &hub;
   config.watchdog = &watchdog;
   config.solver_live = &solver_live;
+  // The alerting walkthrough: history + rules on every sample tick, a
+  // telemetry outage injected mid-failover to trip TelemetryStalled,
+  // and a forensic bundle dumped on the firing edge.
+  config.alerts.enabled = true;
+  const char* forensics_env = std::getenv("FLEX_FORENSICS_DIR");
+  config.alerts.forensics_root =
+      forensics_env != nullptr && *forensics_env != '\0' ? forensics_env
+                                                         : "forensics";
+  config.telemetry_outage_at = Seconds(15.0 * 60.0);
+  config.telemetry_outage_until = Seconds(16.0 * 60.0);
   emulation::RoomEmulation emulation(config);
-  std::printf("running the failover drill (%0.f emulated minutes)...\n",
-              config.end_at.value() / 60.0);
+  std::printf("running the failover drill (%0.f emulated minutes, "
+              "telemetry outage at t=%.0f..%.0f s)...\n",
+              config.end_at.value() / 60.0,
+              config.telemetry_outage_at.value(),
+              config.telemetry_outage_until.value());
   const emulation::EmulationReport report = emulation.Run();
 
   std::printf("drill done: safety %s, time to safe %.2f s, "
@@ -94,6 +116,15 @@ main()
               report.time_to_safe_seconds,
               static_cast<unsigned long long>(hub.publish_count()),
               static_cast<unsigned long long>(server.requests_served()));
+
+  std::printf("--- alert timeline (%llu fired, fingerprint %016llx) ---\n",
+              static_cast<unsigned long long>(report.alerts_fired),
+              static_cast<unsigned long long>(report.alert_fingerprint));
+  for (const obs::AlertTransition& edge : report.alert_timeline)
+    std::printf("  t=%8.1f  %-18s %s -> %s  %s\n", edge.t, edge.rule.c_str(),
+                obs::AlertStateName(edge.from), obs::AlertStateName(edge.to),
+                edge.message.c_str());
+  std::printf("\n");
 
   // Self-scrape so the demo shows real exposition without curl.
   std::istringstream metrics(server.RenderMetrics());
@@ -104,6 +135,17 @@ main()
   int health_status = 0;
   const std::string health = server.RenderHealth(&health_status);
   std::printf("--- /healthz (%d) ---\n%s\n", health_status, health.c_str());
+  std::istringstream alerts(server.RenderAlerts());
+  std::printf("--- /alerts (first 12 lines) ---\n");
+  for (int i = 0; i < 12 && std::getline(alerts, line); ++i)
+    std::printf("%s\n", line.c_str());
+  int query_status = 0;
+  std::istringstream query(server.RenderQuery(
+      "pipeline.readings_delivered", 120.0, 0.0, &query_status));
+  std::printf("--- /query?metric=pipeline.readings_delivered&window=120 "
+              "(%d, first 2 lines) ---\n", query_status);
+  for (int i = 0; i < 2 && std::getline(query, line); ++i)
+    std::printf("%s\n", line.c_str());
 
   if (const char* hold = std::getenv("FLEX_LIVE_HOLD");
       hold != nullptr && *hold != '\0') {

@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# One-command verification sweep, in dependency order:
+#
+#   1. configure + build the default tree
+#   2. tier-1 ctest suite
+#   3. sanitizer suites (ASan/UBSan tree, then TSan tree)
+#   4. bench sweep (BENCH_*.json exports, stamped)
+#   5. reaction-budget + solver-scaling verdict (check_budget.sh)
+#
+# Usage: scripts/run_all_checks.sh [build-dir]
+#   build-dir  defaults to ./build (or FLEX_BUILD_DIR)
+#
+# Stage toggles (each skips its stage when set to 1):
+#   FLEX_SKIP_SANITIZERS  skip stage 3 (both sanitizer trees)
+#   FLEX_SKIP_TSAN        keep ASan/UBSan, skip only the TSan half
+#   FLEX_SKIP_BENCHES     skip stages 4 and 5
+#
+# Exit status: non-zero on the first failing stage (set -e), so CI can
+# run this script as the single gate.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${1:-${FLEX_BUILD_DIR:-${repo_root}/build}}"
+
+echo "=== run_all_checks [1/5]: configure + build (${build_dir}) ==="
+cmake -B "${build_dir}" -S "${repo_root}"
+cmake --build "${build_dir}" -j"$(nproc)"
+
+echo "=== run_all_checks [2/5]: tier-1 ctest ==="
+(cd "${build_dir}" && ctest --output-on-failure -j"$(nproc)")
+
+if [[ "${FLEX_SKIP_SANITIZERS:-0}" == "1" ]]; then
+  echo "=== run_all_checks [3/5]: SKIPPED (FLEX_SKIP_SANITIZERS=1) ==="
+else
+  echo "=== run_all_checks [3/5]: sanitizer suites ==="
+  "${repo_root}/scripts/run_sanitized_tests.sh"
+fi
+
+if [[ "${FLEX_SKIP_BENCHES:-0}" == "1" ]]; then
+  echo "=== run_all_checks [4/5]: SKIPPED (FLEX_SKIP_BENCHES=1) ==="
+  echo "=== run_all_checks [5/5]: SKIPPED (FLEX_SKIP_BENCHES=1) ==="
+else
+  echo "=== run_all_checks [4/5]: bench sweep ==="
+  "${repo_root}/scripts/run_benches.sh" "${build_dir}"
+  echo "=== run_all_checks [5/5]: reaction-budget verdict ==="
+  "${repo_root}/scripts/check_budget.sh" "${build_dir}"
+fi
+
+echo "run_all_checks: all stages passed"

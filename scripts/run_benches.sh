@@ -30,6 +30,20 @@ fi
 export FLEX_SOLVE_SECONDS="${FLEX_SOLVE_SECONDS:-1}"
 export FLEX_BENCH_TRACES="${FLEX_BENCH_TRACES:-3}"
 
+# Every exported snapshot is stamped with the machine width and the UTC
+# run time, so a BENCH_*.json pulled off a shelf months later still says
+# what produced it. The stamp is injected as the first keys of each JSON
+# line; downstream sed/grep consumers match with `.*` prefixes and are
+# unaffected.
+hw_concurrency="$(nproc)"
+generated_utc="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+stamp_json() {
+  local file="$1"
+  [[ -s "${file}" ]] || return 0
+  sed -i "s/^{/{\"hw_concurrency\":${hw_concurrency},\"generated_utc\":\"${generated_utc}\",/" \
+    "${file}"
+}
+
 benches=("$@")
 if [[ ${#benches[@]} -eq 0 ]]; then
   for path in "${build_dir}"/bench/*; do
@@ -57,6 +71,7 @@ for bench in "${benches[@]}"; do
   fi
   # Benches without metric export leave no JSON behind; drop the stub.
   [[ -s "${out_json}" ]] || rm -f "${out_json}"
+  stamp_json "${out_json}"
 done
 
 # Thread-scaling baseline: run the solver bench once per thread count
@@ -70,7 +85,7 @@ solver_binary="${build_dir}/bench/bench_solver_perf"
 if [[ -x "${solver_binary}" ]]; then
   sweep_json="${repo_root}/BENCH_solver.json"
   rm -f "${sweep_json}"
-  hw_threads="$(nproc)"
+  hw_threads="${hw_concurrency}"
   thread_counts=(1 2)
   [[ "${hw_threads}" -gt 2 ]] && thread_counts+=("${hw_threads}")
   for threads in "${thread_counts[@]}"; do
@@ -83,6 +98,7 @@ if [[ -x "${solver_binary}" ]]; then
     fi
   done
   [[ -s "${sweep_json}" ]] || rm -f "${sweep_json}"
+  stamp_json "${sweep_json}"
 fi
 
 if [[ ${#failures[@]} -gt 0 ]]; then

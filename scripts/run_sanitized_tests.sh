@@ -36,6 +36,10 @@ echo "run_sanitized_tests: focused obs/fault recorder pass"
 # The HTTP plane parses raw request bytes off real sockets and renders
 # from concurrently-published snapshots — both prime sanitizer targets.
 "${build_dir}/tests/obs_http_test" --gtest_brief=1
+# Time-series ring arithmetic and the alert state machine index into
+# preallocated rings under eviction pressure — classic off-by-one soil.
+"${build_dir}/tests/obs_timeseries_test" --gtest_brief=1
+"${build_dir}/tests/obs_alerts_test" --gtest_brief=1
 
 if [[ "${FLEX_SKIP_TSAN:-0}" == "1" ]]; then
   echo "run_sanitized_tests: FLEX_SKIP_TSAN=1, skipping TSan pass"
@@ -58,3 +62,6 @@ echo "run_sanitized_tests: TSan pass (common/solver/offline suites)"
 "${tsan_dir}/tests/solver_lp_differential_test" --gtest_brief=1
 "${tsan_dir}/tests/offline_test" --gtest_brief=1
 "${tsan_dir}/tests/obs_http_test" --gtest_brief=1
+# Alert/store bit-identity across parallel sweep lanes: lane-local
+# stores running under the thread pool must never share state.
+"${tsan_dir}/tests/obs_alerts_test" --gtest_brief=1

@@ -5,6 +5,8 @@
 
 #include "common/error.hpp"
 #include "common/stats.hpp"
+#include "obs/forensics.hpp"
+#include "obs/log.hpp"
 #include "obs/http_export.hpp"
 #include "obs/profiler.hpp"
 #include "offline/flex_offline.hpp"
@@ -47,6 +49,23 @@ RoomEmulation::RoomEmulation(EmulationConfig config)
   if (config_.watchdog != nullptr) {
     watchdog_id_ = config_.watchdog->RegisterThread(
         "emulation-seed-" + std::to_string(config_.seed));
+  }
+  if (config_.alerts.enabled) {
+    ts_store_ = std::make_unique<obs::TimeSeriesStore>(config_.alerts.store);
+    std::vector<obs::AlertRule> rules = config_.alerts.rules;
+    if (rules.empty())
+      rules = obs::BuiltinAlertRules();
+    alert_engine_ =
+        std::make_unique<obs::AlertEngine>(ts_store_.get(), std::move(rules));
+    if (config_.obs != nullptr)
+      alert_engine_->SetRecorder(&config_.obs->recorder());
+    if (!config_.alerts.forensics_root.empty()) {
+      alert_engine_->SetNotifier([this](const obs::AlertTransition& edge,
+                                        const obs::AlertStatus& status) {
+        if (edge.to == obs::AlertState::kFiring)
+          DumpAlertBundle(status, edge);
+      });
+    }
   }
 }
 
@@ -528,11 +547,145 @@ RoomEmulation::RecordSample()
   if (config_.monitor_period.value() <= 0.0)
     MonitorTick(ups);
 
-  PublishLive();
+  max_ups_load_fraction_ = 0.0;
+  for (UpsId u = 0; u < topology_.NumUpses(); ++u) {
+    max_ups_load_fraction_ = std::max(
+        max_ups_load_fraction_,
+        ups[static_cast<std::size_t>(u)] / topology_.UpsCapacity(u));
+  }
+
+  // One snapshot per tick feeds both the history store and the live
+  // plane, so /query and /metrics can never disagree about a sample.
+  const obs::MetricsSnapshot snapshot = BuildLiveSnapshot();
+  if (ts_store_ != nullptr) {
+    ts_store_->Sample(snapshot);
+    alert_engine_->Evaluate(queue_.Now().value());
+  }
+  PublishLive(snapshot);
+}
+
+obs::MetricsSnapshot
+RoomEmulation::BuildLiveSnapshot()
+{
+  if (config_.obs != nullptr) {
+    obs::MetricsRegistry& metrics = config_.obs->metrics();
+    obs::UpdateLogMetrics(metrics);
+    metrics.gauge("emulation.max_ups_load_fraction")
+        .Set(max_ups_load_fraction_);
+    if (config_.watchdog != nullptr) {
+      metrics.gauge("watchdog.stall_events")
+          .Set(static_cast<double>(config_.watchdog->stall_events()));
+    }
+    if (config_.solver_live != nullptr) {
+      const solver::LiveSolverStats& s = *config_.solver_live;
+      const auto set = [&metrics](const char* name, std::int64_t value) {
+        metrics.gauge(name).Set(static_cast<double>(value));
+      };
+      set("solver.live.basis_reuse_attempts",
+          s.basis_reuse_attempts.load(std::memory_order_relaxed));
+      set("solver.live.basis_reuse_hits",
+          s.basis_reuse_hits.load(std::memory_order_relaxed));
+      set("solver.live.lp_solves",
+          s.lp_solves.load(std::memory_order_relaxed));
+      set("solver.live.nodes_explored",
+          s.nodes_explored.load(std::memory_order_relaxed));
+      set("solver.live.open_nodes",
+          s.open_nodes.load(std::memory_order_relaxed));
+      set("solver.live.waves", s.waves.load(std::memory_order_relaxed));
+    }
+    return metrics.Snapshot();
+  }
+
+  // Sweep lanes run without a registry (it is single-threaded and
+  // lane-local); synthesize the minimum so /metrics and the history
+  // store still track the run. Row names stay sorted — the
+  // MetricsSnapshot contract.
+  obs::MetricsSnapshot snapshot;
+  snapshot.sim_time_seconds = queue_.Now().value();
+  const auto push = [&snapshot](const char* name, obs::MetricKind kind,
+                                double value) {
+    obs::MetricRow row;
+    row.name = name;
+    row.kind = kind;
+    row.value = value;
+    snapshot.rows.push_back(std::move(row));
+  };
+  const auto gauge = [&push](const char* name, double value) {
+    push(name, obs::MetricKind::kGauge, value);
+  };
+  gauge("emulation.events_executed",
+        static_cast<double>(queue_.executed_count()));
+  gauge("emulation.max_ups_load_fraction", max_ups_load_fraction_);
+  if (!report_.series.empty()) {
+    const EmulationSample& last = report_.series.back();
+    gauge("emulation.racks_off", static_cast<double>(last.racks_off));
+    gauge("emulation.total_rack_mw", last.total_rack_mw);
+  }
+  push("pipeline.readings_delivered", obs::MetricKind::kCounter,
+       static_cast<double>(pipeline_->delivered_count()));
+  if (config_.solver_live != nullptr) {
+    const solver::LiveSolverStats& s = *config_.solver_live;
+    const auto live_gauge = [&gauge](const char* name,
+                                     const std::atomic<std::int64_t>& v) {
+      gauge(name, static_cast<double>(v.load(std::memory_order_relaxed)));
+    };
+    live_gauge("solver.live.basis_reuse_attempts", s.basis_reuse_attempts);
+    live_gauge("solver.live.basis_reuse_hits", s.basis_reuse_hits);
+    live_gauge("solver.live.lp_solves", s.lp_solves);
+    live_gauge("solver.live.nodes_explored", s.nodes_explored);
+    live_gauge("solver.live.open_nodes", s.open_nodes);
+    live_gauge("solver.live.waves", s.waves);
+  }
+  if (config_.watchdog != nullptr) {
+    gauge("watchdog.stall_events",
+          static_cast<double>(config_.watchdog->stall_events()));
+  }
+  return snapshot;
 }
 
 void
-RoomEmulation::PublishLive()
+RoomEmulation::DumpAlertBundle(const obs::AlertStatus& status,
+                               const obs::AlertTransition& edge)
+{
+  // One bundle per run: the first firing edge is the interesting one;
+  // later edges of the same episode would only overwrite fresher state
+  // on top of the evidence.
+  if (alert_bundle_written_)
+    return;
+  alert_bundle_written_ = true;
+
+  obs::BundleSpec spec;
+  spec.trigger = "alert-firing";
+  spec.scenario = "emulation";
+  spec.seed = static_cast<std::uint64_t>(config_.seed);
+  spec.sim_time_s = queue_.Now().value();
+  spec.horizon_s = config_.end_at.value();
+  spec.replayable = false;  // emulation dumps are for triage, not replay
+  if (config_.obs != nullptr) {
+    spec.records = config_.obs->recorder().Records();
+    spec.metrics = &config_.obs->metrics();
+    spec.tracer = &config_.obs->tracer();
+  }
+  spec.timeseries_jsonl = ts_store_->ToJsonl();
+  spec.alerts_jsonl = alert_engine_->TimelineJsonl();
+  spec.notes.push_back(std::string("alert fired: ") + status.rule.name +
+                       " (" + obs::AlertSeverityName(status.rule.severity) +
+                       "): " + edge.message);
+  const std::string dir = obs::UniqueBundleDir(
+      config_.alerts.forensics_root,
+      "alert-" + status.rule.name + "-seed-" + std::to_string(config_.seed));
+  std::string error;
+  if (!obs::WriteForensicBundle(dir, spec, &error)) {
+    FLEX_LOG(obs::LogLevel::kWarn, "emulation",
+             "alert forensic dump failed: %s", error.c_str());
+  } else {
+    FLEX_LOG(obs::LogLevel::kInfo, "emulation",
+             "alert forensic bundle written to %s", dir.c_str());
+  }
+}
+
+void
+RoomEmulation::PublishLive(const obs::MetricsSnapshot& snapshot)
 {
   if (config_.watchdog != nullptr && watchdog_id_ >= 0)
     config_.watchdog->Beat(watchdog_id_);
@@ -544,33 +697,16 @@ RoomEmulation::PublishLive()
   // copies. Nothing here feeds back into simulated state, so a scraper
   // (or the absence of one) cannot change the run.
   obs::LiveHub& live = *config_.live;
+  live.PublishMetrics(snapshot);
   if (config_.obs != nullptr) {
-    obs::UpdateLogMetrics(config_.obs->metrics());
-    live.PublishMetrics(config_.obs->metrics().Snapshot());
     live.PublishTraces(config_.obs->tracer().traces());
     live.PublishRecorderTail(config_.obs->recorder());
-  } else {
-    // Sweep lanes run without a registry (it is single-threaded and
-    // lane-local); synthesize the minimum so /metrics still tracks the
-    // run. Row names stay sorted — the MetricsSnapshot contract.
-    const EmulationSample& last = report_.series.back();
-    obs::MetricsSnapshot snapshot;
-    snapshot.sim_time_seconds = queue_.Now().value();
-    const auto gauge = [](const char* name, double value) {
-      obs::MetricRow row;
-      row.name = name;
-      row.kind = obs::MetricKind::kGauge;
-      row.value = value;
-      return row;
-    };
-    snapshot.rows.push_back(gauge(
-        "emulation.events_executed",
-        static_cast<double>(queue_.executed_count())));
-    snapshot.rows.push_back(
-        gauge("emulation.racks_off", static_cast<double>(last.racks_off)));
-    snapshot.rows.push_back(gauge("emulation.total_rack_mw",
-                                  last.total_rack_mw));
-    live.PublishMetrics(snapshot);
+  }
+  if (alert_engine_ != nullptr) {
+    obs::AlertsSnapshot alerts = alert_engine_->Snapshot();
+    alerts.sim_time_seconds = queue_.Now().value();
+    live.PublishAlerts(alerts);
+    live.PublishSeries(ts_store_->Snapshot());
   }
 
   obs::HealthSnapshot health;
@@ -645,6 +781,20 @@ RoomEmulation::Run()
     if (config_.incremental_aggregation)
       agg_.SetFailedUps(-1);
   });
+  // Scripted telemetry outage: every poller fails, then recovers. The
+  // alerting drill rides this — delivered readings go flat, and the
+  // staleness rule must walk pending → firing → resolved.
+  if (config_.telemetry_outage_until > config_.telemetry_outage_at &&
+      config_.telemetry_outage_at > Seconds(0.0)) {
+    queue_.ScheduleAt(config_.telemetry_outage_at, [this] {
+      for (int p = 0; p < config_.pipeline.num_pollers; ++p)
+        pipeline_->SetPollerFailed(p, true);
+    });
+    queue_.ScheduleAt(config_.telemetry_outage_until, [this] {
+      for (int p = 0; p < config_.pipeline.num_pollers; ++p)
+        pipeline_->SetPollerFailed(p, false);
+    });
+  }
 
   double time_to_safe = -1.0;
   sim::SchedulePeriodic(queue_, Seconds(0.5), [this, &time_to_safe] {
@@ -760,9 +910,18 @@ RoomEmulation::Run()
     metrics.gauge("room.verify_rescans")
         .Set(static_cast<double>(report_.verify_rescans));
   }
+  if (alert_engine_ != nullptr) {
+    report_.alerts_fired = alert_engine_->total_fired();
+    report_.alert_timeline = alert_engine_->timeline();
+    report_.alert_fingerprint = alert_engine_->Fingerprint();
+    report_.store_fingerprint = ts_store_->Fingerprint();
+    report_.store_samples = ts_store_->total_samples();
+  }
   // Final publish with the completed-run state, then retire the
   // heartbeat: a finished loop must not read as a stall on /healthz.
-  PublishLive();
+  // BuildLiveSnapshot only reads here — the history store is not
+  // re-sampled, so the fingerprints above stay the report's truth.
+  PublishLive(BuildLiveSnapshot());
   if (config_.watchdog != nullptr && watchdog_id_ >= 0)
     config_.watchdog->MarkDone(watchdog_id_);
   return report_;

@@ -31,6 +31,7 @@
 #include "actuation/rack_manager.hpp"
 #include "emulation/workload_model.hpp"
 #include "emulation/scale_out.hpp"
+#include "obs/alerts.hpp"
 #include "offline/placement.hpp"
 #include "online/controller.hpp"
 #include "power/battery.hpp"
@@ -79,6 +80,16 @@ struct EmulationConfig {
    */
   Seconds monitor_period = Seconds(0.0);
   power::UpsId failed_ups = 0;
+
+  /**
+   * Scripted telemetry outage: every poller fails at `telemetry_
+   * outage_at` and recovers at `telemetry_outage_until` (disabled
+   * unless until > at > 0). The drill behind the alerting acceptance
+   * test: readings stop flowing, `pipeline.readings_delivered` goes
+   * flat, and the staleness rule walks pending → firing → resolved.
+   */
+  Seconds telemetry_outage_at = Seconds(0.0);
+  Seconds telemetry_outage_until = Seconds(0.0);
 
   int num_controllers = 3;  ///< multi-primary replicas
   /**
@@ -156,6 +167,18 @@ struct EmulationConfig {
    * AddLiveGauge callbacks. Not owned.
    */
   solver::LiveSolverStats* solver_live = nullptr;
+
+  /**
+   * Deterministic time-series history + alert rules (obs/alerts.hpp).
+   * When enabled, every sample tick folds a metrics snapshot — the obs
+   * registry's when obs is set, the synthesized rows otherwise — into a
+   * lane-local TimeSeriesStore and evaluates the rule set on simulated
+   * time. Fully functional headless: the store, the engine, and their
+   * fingerprints in the report exist with no LiveHub and no obs sink,
+   * which is what lets sweep lanes prove bit-identity at any thread
+   * count.
+   */
+  obs::AlertsConfig alerts;
 };
 
 /** One point of the recorded time series. */
@@ -226,6 +249,13 @@ struct EmulationReport {
   std::uint64_t aggregate_resyncs = 0;  ///< exact O(PDU) resyncs
   std::uint64_t verify_rescans = 0;     ///< debug cross-check rescans
   std::uint64_t monitor_ticks = 0;      ///< safety-monitor evaluations
+
+  /** Alerting results (populated when EmulationConfig::alerts.enabled). */
+  std::uint64_t alerts_fired = 0;
+  std::vector<obs::AlertTransition> alert_timeline;
+  std::uint64_t alert_fingerprint = 0;  ///< engine timeline + states
+  std::uint64_t store_fingerprint = 0;  ///< full time-series contents
+  std::uint64_t store_samples = 0;
 };
 
 /**
@@ -251,12 +281,28 @@ class RoomEmulation : public telemetry::PowerSource {
   /** Telemetry pipeline access, e.g. for pre-run fault injection. */
   telemetry::TelemetryPipeline& pipeline() { return *pipeline_; }
 
+  /** Time-series store / alert engine; nullptr unless alerts.enabled. */
+  const obs::TimeSeriesStore* timeseries() const { return ts_store_.get(); }
+  const obs::AlertEngine* alert_engine() const {
+    return alert_engine_.get();
+  }
+
  private:
   void BuildRoom();
   void StepWorkloads();
   void RecordSample();
+  /**
+   * The metrics view of the current tick: the obs registry's snapshot
+   * when obs is set, otherwise synthesized sorted rows covering the
+   * emulation + pipeline essentials. Shared by the store sampler and
+   * the live publisher so both see identical values.
+   */
+  obs::MetricsSnapshot BuildLiveSnapshot();
   /** Copies fresh snapshots into config_.live / beats the watchdog. */
-  void PublishLive();
+  void PublishLive(const obs::MetricsSnapshot& snapshot);
+  /** One-time forensic dump when a rule fires (alerts.forensics_root). */
+  void DumpAlertBundle(const obs::AlertStatus& status,
+                       const obs::AlertTransition& edge);
   /** Overload + trip-curve tracking against the given true UPS loads. */
   void MonitorTick(const std::vector<Watts>& ups);
   void OnRackStateChanged(int rack_id);
@@ -314,6 +360,10 @@ class RoomEmulation : public telemetry::PowerSource {
 
   power::UpsId failed_ups_ = -1;
   int watchdog_id_ = -1;  ///< heartbeat slot in config_.watchdog
+  std::unique_ptr<obs::TimeSeriesStore> ts_store_;
+  std::unique_ptr<obs::AlertEngine> alert_engine_;
+  bool alert_bundle_written_ = false;
+  double max_ups_load_fraction_ = 0.0;  ///< latest sample's worst UPS
   EmulationReport report_;
   // Overload bookkeeping for the safety check.
   std::vector<double> overload_since_;  // per UPS; <0 = not overloaded

@@ -172,11 +172,15 @@ RunRecordedPlan(const ScenarioConfig& config, std::uint64_t seed,
   run.records = obs.recorder().Records();
 
   const bool violated = !run.report.violations.empty();
-  if (!options.force_dump && !(options.dump_on_violation && violated))
+  const bool alerted = run.report.alerts_fired > 0;
+  if (!options.force_dump && !(options.dump_on_violation && violated) &&
+      !(options.dump_on_alert && alerted))
     return run;
 
   obs::BundleSpec spec;
-  spec.trigger = violated ? "invariant-violation" : "manual";
+  spec.trigger = violated ? "invariant-violation"
+                 : alerted ? "alert-firing"
+                           : "manual";
   spec.scenario = "fault-fuzz";
   spec.seed = seed;
   spec.sim_time_s = scenario.queue().Now().value();
@@ -188,9 +192,19 @@ RunRecordedPlan(const ScenarioConfig& config, std::uint64_t seed,
   spec.fault_plan_text = plan.DebugString();
   spec.fault_plan_jsonl = FaultPlanToJsonl(plan);
   spec.racks_csv = RacksCsv(scenario);
+  if (scenario.timeseries() != nullptr) {
+    spec.timeseries_jsonl = scenario.timeseries()->ToJsonl();
+    spec.alerts_jsonl = scenario.alert_engine()->TimelineJsonl();
+  }
   for (const Violation& violation : run.report.violations)
     spec.notes.push_back("t=" + Num(violation.at.value()) + " [" +
                          violation.invariant + "] " + violation.message);
+  for (const obs::AlertTransition& edge : run.report.alert_timeline) {
+    if (edge.to != obs::AlertState::kFiring)
+      continue;
+    spec.notes.push_back("t=" + Num(edge.t) + " [alert] " + edge.rule +
+                         " fired: " + edge.message);
+  }
 
   const std::string root = options.root_dir.empty()
                                ? obs::ForensicsRootDir()

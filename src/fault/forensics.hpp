@@ -46,6 +46,13 @@ struct ForensicsOptions {
   std::string root_dir;
   /** Dump a bundle when the run ends with invariant violations. */
   bool dump_on_violation = true;
+  /**
+   * Dump a bundle when any alert rule fired, even with every invariant
+   * intact (trigger "alert-firing"). Off by default: fuzz sweeps fire
+   * benign alerts (telemetry staleness under injected bus outages) and
+   * must not spray bundles; alerting drills opt in.
+   */
+  bool dump_on_alert = false;
   /** Dump unconditionally (drills, bundle-format tests). */
   bool force_dump = false;
   /** Ring capacity for the run's recorder. */

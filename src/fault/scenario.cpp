@@ -71,6 +71,9 @@ ScenarioConfig::ScenarioConfig()
   // the controller's margins to match (defaults target megawatt scale).
   controller.buffer = KiloWatts(8.0);
   controller.release_delay = Seconds(10.0);
+  // On by default: the engine only runs when obs is attached, and
+  // recorded runs + replays must evaluate identical rule sets.
+  alerts.enabled = true;
 }
 
 FaultScenario::FaultScenario(ScenarioConfig config, std::uint64_t seed)
@@ -146,6 +149,16 @@ FaultScenario::FaultScenario(ScenarioConfig config, std::uint64_t seed)
     for (const auto& controller : controllers_)
       monitor_->AddController(controller.get());
     monitor_->Attach();
+  }
+
+  if (config_.obs != nullptr && config_.alerts.enabled) {
+    ts_store_ = std::make_unique<obs::TimeSeriesStore>(config_.alerts.store);
+    std::vector<obs::AlertRule> rules = config_.alerts.rules;
+    if (rules.empty())
+      rules = obs::BuiltinAlertRules();
+    alert_engine_ =
+        std::make_unique<obs::AlertEngine>(ts_store_.get(), std::move(rules));
+    alert_engine_->SetRecorder(&config_.obs->recorder());
   }
 }
 
@@ -239,6 +252,13 @@ FaultScenario::Run(const FaultPlan& plan)
   const Seconds horizon = config_.shape.horizon;
   sim::SchedulePeriodic(queue_, config_.workload_step, [this, horizon] {
     StepWorkloads();
+    // The monitor→rule bridge: the registry snapshot carries the
+    // monitor's invariants.violations counter (and every other metric)
+    // into the history store, then the rules judge it on sim time.
+    if (alert_engine_ != nullptr) {
+      ts_store_->Sample(config_.obs->metrics().Snapshot());
+      alert_engine_->Evaluate(queue_.Now().value());
+    }
     return queue_.Now() < horizon;
   });
   queue_.RunUntil(horizon);
@@ -264,6 +284,12 @@ FaultScenario::Run(const FaultPlan& plan)
     report.violation_summary = monitor_->Summary();
   }
   report.fault_trace = injector.executed_trace();
+  if (alert_engine_ != nullptr) {
+    report.alerts_fired = alert_engine_->total_fired();
+    report.alert_timeline = alert_engine_->timeline();
+    report.alert_fingerprint = alert_engine_->Fingerprint();
+    report.store_fingerprint = ts_store_->Fingerprint();
+  }
   return report;
 }
 

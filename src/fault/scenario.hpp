@@ -26,6 +26,8 @@
 #include "fault/fault_fuzzer.hpp"
 #include "fault/fault_injector.hpp"
 #include "fault/invariant_monitor.hpp"
+#include "obs/alerts.hpp"
+#include "obs/timeseries.hpp"
 #include "online/controller.hpp"
 #include "power/topology.hpp"
 #include "sim/event_queue.hpp"
@@ -62,6 +64,15 @@ struct ScenarioConfig {
    * binds the registry clock to its own queue.
    */
   obs::Observability* obs = nullptr;
+  /**
+   * Time-series history + alert rules, active only when obs is
+   * attached (the rules read registry metrics). Enabled by default so
+   * recorded runs and their replays evaluate the same rule set — the
+   * kAlert flight records must align record-for-record — while fuzz
+   * sweeps, which force obs = nullptr per lane, stay byte-identical to
+   * the pre-alerting behaviour.
+   */
+  obs::AlertsConfig alerts;
 
   ScenarioConfig();
 };
@@ -82,6 +93,11 @@ struct ScenarioReport {
   std::string violation_summary;
   /** The injector's begin/repair trace in execution order. */
   std::vector<std::string> fault_trace;
+  /** Alerting results (zero/empty when no engine was attached). */
+  std::uint64_t alerts_fired = 0;
+  std::vector<obs::AlertTransition> alert_timeline;
+  std::uint64_t alert_fingerprint = 0;
+  std::uint64_t store_fingerprint = 0;
 };
 
 /**
@@ -119,6 +135,12 @@ class FaultScenario : public telemetry::PowerSource {
   }
   int failed_ups() const { return failed_ups_; }
 
+  /** History store / alert engine; nullptr unless obs + alerts.enabled. */
+  const obs::TimeSeriesStore* timeseries() const { return ts_store_.get(); }
+  const obs::AlertEngine* alert_engine() const {
+    return alert_engine_.get();
+  }
+
  private:
   Watts TrueRackPower(int rack_id) const;
   void StepWorkloads();
@@ -135,6 +157,8 @@ class FaultScenario : public telemetry::PowerSource {
   std::unique_ptr<telemetry::TelemetryPipeline> pipeline_;
   std::vector<std::unique_ptr<online::FlexController>> controllers_;
   std::unique_ptr<InvariantMonitor> monitor_;
+  std::unique_ptr<obs::TimeSeriesStore> ts_store_;
+  std::unique_ptr<obs::AlertEngine> alert_engine_;
 
   int failed_ups_ = -1;
 };

@@ -155,6 +155,8 @@ RecordKindName(RecordKind kind)
       return "battery_trip";
     case RecordKind::kRackCommand:
       return "rack_command";
+    case RecordKind::kAlert:
+      return "alert";
   }
   return "unknown";
 }
@@ -168,7 +170,7 @@ ParseRecordKind(const std::string& name, RecordKind* out)
       RecordKind::kEnforced,      RecordKind::kEpisodeClosed,
       RecordKind::kFaultBegin,    RecordKind::kFaultRepair,
       RecordKind::kViolation,     RecordKind::kBatteryTrip,
-      RecordKind::kRackCommand,
+      RecordKind::kRackCommand,  RecordKind::kAlert,
   };
   for (const RecordKind kind : kAll) {
     if (name == RecordKindName(kind)) {

@@ -44,6 +44,7 @@ enum class RecordKind {
   kViolation,         ///< the invariant monitor flagged a violation
   kBatteryTrip,       ///< a UPS battery exhausted its budget (a=ups)
   kRackCommand,       ///< an actuation command was issued (a=rack, b=kind)
+  kAlert,             ///< an alert-rule edge (a=rule index, b=new state)
 };
 
 /** Stable lowercase kind name ("meter_sample", ...). */

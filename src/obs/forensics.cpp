@@ -237,6 +237,15 @@ WriteForensicBundle(const std::string& dir, const BundleSpec& spec,
                    spec.fault_plan_jsonl))
       return Fail(error, "cannot write fault_plan.jsonl under " + dir);
   }
+  if (!spec.timeseries_jsonl.empty()) {
+    if (!WriteFile((root / "timeseries.jsonl").string(),
+                   spec.timeseries_jsonl))
+      return Fail(error, "cannot write timeseries.jsonl under " + dir);
+  }
+  if (!spec.alerts_jsonl.empty()) {
+    if (!WriteFile((root / "alerts.jsonl").string(), spec.alerts_jsonl))
+      return Fail(error, "cannot write alerts.jsonl under " + dir);
+  }
   if (!WriteFile((root / "manifest.json").string(), ManifestJson(spec)))
     return Fail(error, "cannot write manifest.json under " + dir);
   return true;

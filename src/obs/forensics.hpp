@@ -12,6 +12,8 @@
  *   racks.csv         per-rack power / category / actuation state
  *   fault_plan.txt    human-readable fault plan (when one was armed)
  *   fault_plan.jsonl  machine-readable plan, written by the fault layer
+ *   timeseries.jsonl  time-series store contents (when a store existed)
+ *   alerts.jsonl      alert-transition timeline (when rules were armed)
  *
  * This layer is scenario-agnostic: it serializes whatever the caller
  * puts into the BundleSpec. The fault module's forensics.hpp builds the
@@ -54,6 +56,10 @@ struct BundleSpec {
   std::string fault_plan_jsonl;
   /** Per-rack state table, already in CSV form (racks.csv). */
   std::string racks_csv;
+  /** TimeSeriesStore::ToJsonl() dump (timeseries.jsonl). */
+  std::string timeseries_jsonl;
+  /** AlertEngine::TimelineJsonl() dump (alerts.jsonl). */
+  std::string alerts_jsonl;
   /** Free-text notes — typically the violation messages. */
   std::vector<std::string> notes;
 };

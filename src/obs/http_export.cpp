@@ -235,6 +235,40 @@ LiveHub::LatestHealth() const
   return health_;
 }
 
+void
+LiveHub::PublishAlerts(const AlertsSnapshot& alerts)
+{
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    alerts_ = alerts;
+  }
+  publishes_.fetch_add(1, std::memory_order_relaxed);
+}
+
+AlertsSnapshot
+LiveHub::LatestAlerts() const
+{
+  std::lock_guard<std::mutex> lock(mu_);
+  return alerts_;
+}
+
+void
+LiveHub::PublishSeries(const TimeSeriesSnapshot& series)
+{
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    series_ = series;
+  }
+  publishes_.fetch_add(1, std::memory_order_relaxed);
+}
+
+TimeSeriesSnapshot
+LiveHub::LatestSeries() const
+{
+  std::lock_guard<std::mutex> lock(mu_);
+  return series_;
+}
+
 std::string
 PrometheusName(const std::string& name)
 {
@@ -358,9 +392,35 @@ ParseReactionTraceJson(const std::string& line, ReactionTrace* out)
   return true;
 }
 
+bool
+HttpQueryParam(const std::string& query, const std::string& key,
+               std::string* value)
+{
+  std::size_t at = 0;
+  while (at < query.size()) {
+    std::size_t end = query.find('&', at);
+    if (end == std::string::npos)
+      end = query.size();
+    const std::size_t eq = query.find('=', at);
+    if (eq != std::string::npos && eq < end &&
+        query.compare(at, eq - at, key) == 0) {
+      *value = query.substr(eq + 1, end - eq - 1);
+      return true;
+    }
+    if (eq == std::string::npos || eq >= end) {
+      if (query.compare(at, end - at, key) == 0) {
+        value->clear();
+        return true;
+      }
+    }
+    at = end + 1;
+  }
+  return false;
+}
+
 ObservabilityServer::ObservabilityServer(LiveHub& hub,
                                          ObservabilityServerConfig config)
-    : hub_(hub), config_(std::move(config))
+    : hub_(hub), config_(std::move(config)), http_(config_.http)
 {
   http_.Route("/metrics", [this](const HttpRequest&) {
     HttpResponse response;
@@ -384,6 +444,33 @@ ObservabilityServer::ObservabilityServer(LiveHub& hub,
     HttpResponse response;
     response.content_type = "application/x-ndjson";
     response.body = RenderRecorder();
+    return response;
+  });
+  http_.Route("/alerts", [this](const HttpRequest&) {
+    HttpResponse response;
+    response.content_type = "application/json";
+    response.body = RenderAlerts();
+    return response;
+  });
+  http_.Route("/query", [this](const HttpRequest& request) {
+    HttpResponse response;
+    response.content_type = "application/json";
+    std::string metric;
+    if (!HttpQueryParam(request.query, "metric", &metric) ||
+        metric.empty()) {
+      response.status = 400;
+      response.body = "{\"error\":\"missing metric parameter\"}\n";
+      return response;
+    }
+    std::string text;
+    double window_s = 0.0;
+    double resolution_s = 0.0;
+    if (HttpQueryParam(request.query, "window", &text))
+      window_s = std::strtod(text.c_str(), nullptr);
+    if (HttpQueryParam(request.query, "res", &text))
+      resolution_s = std::strtod(text.c_str(), nullptr);
+    response.body =
+        RenderQuery(metric, window_s, resolution_s, &response.status);
     return response;
   });
 }
@@ -443,6 +530,25 @@ ObservabilityServer::RenderMetrics() const
     out << name << " " << Num(sample()) << "\n";
   }
 
+  // Prometheus-convention ALERTS series: one constant-1 sample per
+  // pending/firing rule, plus rollup gauges, from the last published
+  // alert-engine snapshot.
+  const AlertsSnapshot alerts = hub_.LatestAlerts();
+  if (!alerts.statuses.empty()) {
+    out << "# TYPE ALERTS gauge\n";
+    for (const AlertStatus& status : alerts.statuses) {
+      if (status.state == AlertState::kInactive)
+        continue;
+      out << "ALERTS{alertname=\"" << EscapeLabelValue(status.rule.name)
+          << "\",severity=\"" << AlertSeverityName(status.rule.severity)
+          << "\",alertstate=\"" << AlertStateName(status.state) << "\"} 1\n";
+    }
+    out << "# TYPE flex_alerts_firing gauge\n";
+    out << "flex_alerts_firing " << alerts.firing << "\n";
+    out << "# TYPE flex_alerts_pending gauge\n";
+    out << "flex_alerts_pending " << alerts.pending << "\n";
+  }
+
   out << "# TYPE flex_hub_publishes_total counter\n";
   out << "flex_hub_publishes_total " << hub_.publish_count() << "\n";
   out << "# TYPE flex_http_requests_total counter\n";
@@ -500,8 +606,13 @@ std::string
 ObservabilityServer::RenderHealth(int* http_status) const
 {
   const HealthSnapshot health = hub_.LatestHealth();
+  const AlertsSnapshot alerts = hub_.LatestAlerts();
   const bool stalled = watchdog_ != nullptr && watchdog_->any_stalled();
-  const bool ok = health.ok && !stalled;
+  // Firing warn/info alerts are reported but do not degrade the probe;
+  // only page severity (like a violation or a stall) answers 503.
+  const bool paging =
+      alerts.firing > 0 && alerts.worst_firing == AlertSeverity::kPage;
+  const bool ok = health.ok && !stalled && !paging;
   if (http_status != nullptr)
     *http_status = ok ? 200 : 503;
 
@@ -510,7 +621,13 @@ ObservabilityServer::RenderHealth(int* http_status) const
       << ",\"sim_time_seconds\":" << Num(health.sim_time_seconds)
       << ",\"violations\":" << health.violations
       << ",\"detail\":\"" << EscapeJson(health.detail) << "\""
-      << ",\"stalled\":" << (stalled ? "true" : "false");
+      << ",\"stalled\":" << (stalled ? "true" : "false")
+      << ",\"alerts_firing\":" << alerts.firing
+      << ",\"alerts_pending\":" << alerts.pending
+      << ",\"worst_firing\":\""
+      << (alerts.firing > 0 ? AlertSeverityName(alerts.worst_firing)
+                            : "none")
+      << "\"";
   if (watchdog_ != nullptr) {
     out << ",\"forensic_hint\":\""
         << EscapeJson(watchdog_->forensic_hint()) << "\"";
@@ -551,6 +668,109 @@ std::string
 ObservabilityServer::RenderRecorder() const
 {
   return RecordsToJsonl(hub_.LatestRecords());
+}
+
+std::string
+ObservabilityServer::RenderAlerts() const
+{
+  const AlertsSnapshot alerts = hub_.LatestAlerts();
+  std::ostringstream out;
+  out << "{\"sim_time_seconds\":" << Num(alerts.sim_time_seconds)
+      << ",\"firing\":" << alerts.firing
+      << ",\"pending\":" << alerts.pending
+      << ",\"worst_firing\":\""
+      << (alerts.firing > 0 ? AlertSeverityName(alerts.worst_firing)
+                            : "none")
+      << "\",\"alerts\":[";
+  for (std::size_t i = 0; i < alerts.statuses.size(); ++i) {
+    const AlertStatus& status = alerts.statuses[i];
+    if (i > 0)
+      out << ",";
+    out << "\n {\"name\":\"" << EscapeJson(status.rule.name) << "\""
+        << ",\"severity\":\"" << AlertSeverityName(status.rule.severity)
+        << "\",\"kind\":\"" << AlertRuleKindName(status.rule.kind)
+        << "\",\"metric\":\"" << EscapeJson(status.rule.metric)
+        << "\",\"state\":\"" << AlertStateName(status.state)
+        << "\",\"since_s\":" << Num(status.since_s)
+        << ",\"last_value\":" << Num(status.last_value)
+        << ",\"fire_count\":" << status.fire_count
+        << ",\"description\":\"" << EscapeJson(status.rule.description)
+        << "\"}";
+  }
+  out << "],\"history\":[";
+  for (std::size_t i = 0; i < alerts.timeline.size(); ++i) {
+    const AlertTransition& edge = alerts.timeline[i];
+    if (i > 0)
+      out << ",";
+    out << "\n {\"t\":" << Num(edge.t) << ",\"rule\":\""
+        << EscapeJson(edge.rule) << "\",\"from\":\""
+        << AlertStateName(edge.from) << "\",\"to\":\""
+        << AlertStateName(edge.to) << "\",\"value\":" << Num(edge.value)
+        << ",\"message\":\"" << EscapeJson(edge.message) << "\"}";
+  }
+  out << "]}\n";
+  return out.str();
+}
+
+std::string
+ObservabilityServer::RenderQuery(const std::string& metric, double window_s,
+                                 double resolution_s,
+                                 int* http_status) const
+{
+  const TimeSeriesSnapshot series = hub_.LatestSeries();
+  const SeriesSnapshot* found = series.Find(metric);
+  if (found == nullptr) {
+    if (http_status != nullptr)
+      *http_status = 404;
+    return "{\"error\":\"unknown metric: " + EscapeJson(metric) + "\"}\n";
+  }
+  if (http_status != nullptr)
+    *http_status = 200;
+
+  std::ostringstream out;
+  out << "{\"metric\":\"" << EscapeJson(metric) << "\",\"kind\":\""
+      << MetricKindName(found->kind) << "\",\"window\":" << Num(window_s);
+  if (resolution_s <= 0.0 || found->tiers.empty()) {
+    // Raw points. The published snapshot holds the full retained ring;
+    // the window is applied here, relative to the newest point.
+    const double latest = found->raw.empty() ? 0.0 : found->raw.back().t;
+    const double cutoff = window_s > 0.0 ? latest - window_s : -1.0;
+    out << ",\"res\":0,\"points\":[";
+    bool first = true;
+    for (const RawPoint& point : found->raw) {
+      if (window_s > 0.0 && point.t < cutoff)
+        continue;
+      if (!first)
+        out << ",";
+      first = false;
+      out << "[" << Num(point.t) << "," << Num(point.value) << "]";
+    }
+    out << "]}\n";
+    return out.str();
+  }
+  const SeriesSnapshot::TierData* tier = &found->tiers.back();
+  for (const SeriesSnapshot::TierData& candidate : found->tiers) {
+    if (candidate.resolution_s >= resolution_s) {
+      tier = &candidate;
+      break;
+    }
+  }
+  const double latest = tier->points.empty() ? 0.0 : tier->points.back().t;
+  const double cutoff = window_s > 0.0 ? latest - window_s : -1.0;
+  out << ",\"res\":" << Num(tier->resolution_s) << ",\"points\":[";
+  bool first = true;
+  for (const AggPoint& point : tier->points) {
+    if (window_s > 0.0 && point.t < cutoff)
+      continue;
+    if (!first)
+      out << ",";
+    first = false;
+    out << "[" << Num(point.t) << "," << Num(point.min) << ","
+        << Num(point.max) << "," << Num(point.mean) << "," << Num(point.last)
+        << "," << point.count << "]";
+  }
+  out << "]}\n";
+  return out.str();
 }
 
 void

@@ -27,6 +27,9 @@
  *               watchdog state); HTTP 503 when unhealthy or stalled.
  *   /trace    - last-N reaction episodes as a JSON array.
  *   /recorder - flight-recorder tail snapshot as JSONL.
+ *   /alerts   - alert-engine state + recent transition history (JSON).
+ *   /query    - ?metric=&window=&res= time-series reads from the last
+ *               published TimeSeriesStore snapshot (res=0: raw points).
  */
 #ifndef FLEX_OBS_HTTP_EXPORT_HPP_
 #define FLEX_OBS_HTTP_EXPORT_HPP_
@@ -39,10 +42,12 @@
 #include <utility>
 #include <vector>
 
+#include "obs/alerts.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/http_server.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profiler.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 
 namespace flex::common {
@@ -86,6 +91,12 @@ class LiveHub {
   void PublishHealth(const HealthSnapshot& health);
   HealthSnapshot LatestHealth() const;
 
+  void PublishAlerts(const AlertsSnapshot& alerts);
+  AlertsSnapshot LatestAlerts() const;
+
+  void PublishSeries(const TimeSeriesSnapshot& series);
+  TimeSeriesSnapshot LatestSeries() const;
+
   /** Publish calls of any kind (an atomic; readable from any thread). */
   std::uint64_t publish_count() const {
     return publishes_.load(std::memory_order_relaxed);
@@ -97,6 +108,8 @@ class LiveHub {
   std::vector<ReactionTrace> traces_;
   std::vector<FlightRecord> records_;
   HealthSnapshot health_;
+  AlertsSnapshot alerts_;
+  TimeSeriesSnapshot series_;
   std::atomic<std::uint64_t> publishes_{0};
 };
 
@@ -127,7 +140,16 @@ struct ObservabilityServerConfig {
   int port = 0;
   /** Run-info labels stamped onto the flex_build_info series. */
   std::vector<std::pair<std::string, std::string>> run_info;
+  /** Connection-handling limits passed through to the HTTP server. */
+  HttpServerConfig http;
 };
+
+/**
+ * Extracts an (unescaped) query-string parameter: "metric=a&window=60".
+ * False when @p key is absent; an empty value ("metric=") returns true.
+ */
+bool HttpQueryParam(const std::string& query, const std::string& key,
+                    std::string* value);
 
 /**
  * Binds a LiveHub (plus optional watchdog / profiler / live gauges) to
@@ -164,10 +186,23 @@ class ObservabilityServer {
 
   /** Endpoint bodies (also served over HTTP once Start()ed). */
   std::string RenderMetrics() const;
-  /** @p http_status (optional out): 200 healthy, 503 otherwise. */
+  /**
+   * @p http_status (optional out): 200 healthy, 503 otherwise. The
+   * rollup folds in the last published alert state; only a firing
+   * page-severity alert (not warn/info) degrades the status code.
+   */
   std::string RenderHealth(int* http_status = nullptr) const;
   std::string RenderTrace() const;
   std::string RenderRecorder() const;
+  std::string RenderAlerts() const;
+  /**
+   * Body for /query. @p resolution_s 0 serves raw points; otherwise
+   * the finest tier at least as coarse as requested. @p window_s 0
+   * serves the full retained window. 404 on an unknown metric.
+   */
+  std::string RenderQuery(const std::string& metric, double window_s,
+                          double resolution_s,
+                          int* http_status = nullptr) const;
 
  private:
   LiveHub& hub_;

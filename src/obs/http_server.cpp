@@ -1,6 +1,8 @@
 #include "http_server.hpp"
 
 #include <cerrno>
+#include <chrono>
+#include <cmath>
 #include <cstring>
 
 #include <arpa/inet.h>
@@ -14,9 +16,6 @@
 namespace flex::obs {
 
 namespace {
-
-/** Caps a request at something far beyond any scrape client's needs. */
-constexpr std::size_t kMaxRequestBytes = 16 * 1024;
 
 bool
 SendAll(int fd, const char* data, std::size_t len)
@@ -44,6 +43,8 @@ HttpServer::StatusText(int status)
     case 400: return "Bad Request";
     case 404: return "Not Found";
     case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 431: return "Request Header Fields Too Large";
     case 500: return "Internal Server Error";
     case 503: return "Service Unavailable";
     default: return "Unknown";
@@ -137,21 +138,59 @@ void
 HttpServer::HandleConnection(int fd)
 {
   // Read until the end of the header block; scrape requests have no
-  // body. A short receive timeout keeps a stuck client from wedging the
-  // serve thread.
+  // body. The receive timeout bounds one idle recv(); the wall deadline
+  // bounds the whole header read, so a client dripping one byte per
+  // second (which resets the receive timeout every time) still cannot
+  // pin the serve thread.
+  const auto started = std::chrono::steady_clock::now();
   timeval timeout{};
-  timeout.tv_sec = 2;
+  timeout.tv_sec = static_cast<long>(config_.recv_timeout_s);
+  timeout.tv_usec = static_cast<long>(
+      (config_.recv_timeout_s - std::floor(config_.recv_timeout_s)) * 1e6);
   ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
 
   std::string raw;
   char buffer[2048];
-  while (raw.size() < kMaxRequestBytes &&
-         raw.find("\r\n\r\n") == std::string::npos &&
-         raw.find("\n\n") == std::string::npos) {
+  bool have_header = false;
+  bool too_large = false;
+  bool deadline_hit = false;
+  while (true) {
+    have_header = raw.find("\r\n\r\n") != std::string::npos ||
+                  raw.find("\n\n") != std::string::npos;
+    if (have_header)
+      break;
+    if (raw.size() >= config_.max_request_bytes) {
+      too_large = true;
+      break;
+    }
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - started;
+    if (elapsed.count() > config_.connection_deadline_s) {
+      deadline_hit = true;
+      break;
+    }
     const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
     if (n <= 0)
       break;
     raw.append(buffer, static_cast<std::size_t>(n));
+  }
+
+  if (too_large || deadline_hit) {
+    HttpResponse response;
+    response.status = too_large ? 431 : 408;
+    response.body = too_large
+                        ? "request header block too large\n"
+                        : "request not completed within connection deadline\n";
+    const std::string head =
+        "HTTP/1.1 " + std::to_string(response.status) + " " +
+        StatusText(response.status) +
+        "\r\nContent-Type: " + response.content_type +
+        "\r\nContent-Length: " + std::to_string(response.body.size()) +
+        "\r\nConnection: close\r\n\r\n";
+    if (SendAll(fd, head.data(), head.size()))
+      SendAll(fd, response.body.data(), response.body.size());
+    requests_.fetch_add(1, std::memory_order_relaxed);
+    return;
   }
 
   HttpRequest request;

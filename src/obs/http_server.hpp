@@ -28,6 +28,25 @@
 
 namespace flex::obs {
 
+/**
+ * Connection-handling limits. All three exist to keep a misbehaving or
+ * hostile client from pinning the single accept thread: an oversized
+ * header block answers 431, a client that drips bytes slower than the
+ * wall deadline answers 408, and a fully idle client trips the receive
+ * timeout. Defaults are generous for scrape traffic; tests shrink them.
+ */
+struct HttpServerConfig {
+  /** Request line + headers cap; beyond it the server answers 431. */
+  std::size_t max_request_bytes = 16 * 1024;
+  /** SO_RCVTIMEO: one recv() may block at most this long. */
+  double recv_timeout_s = 2.0;
+  /**
+   * Wall deadline for receiving the whole header block; a slow-drip
+   * client that keeps the socket alive past it answers 408.
+   */
+  double connection_deadline_s = 5.0;
+};
+
 /** One parsed request (request line only; headers are skipped). */
 struct HttpRequest {
   std::string method;  ///< "GET", "HEAD", ...
@@ -51,7 +70,7 @@ class HttpServer {
  public:
   using Handler = std::function<HttpResponse(const HttpRequest&)>;
 
-  HttpServer() = default;
+  explicit HttpServer(HttpServerConfig config = {}) : config_(config) {}
   ~HttpServer();
 
   HttpServer(const HttpServer&) = delete;
@@ -83,6 +102,8 @@ class HttpServer {
     return requests_.load(std::memory_order_relaxed);
   }
 
+  const HttpServerConfig& config() const { return config_; }
+
   /** Canonical reason phrase ("OK", "Not Found", ...). */
   static const char* StatusText(int status);
 
@@ -90,6 +111,7 @@ class HttpServer {
   void ServeLoop();
   void HandleConnection(int fd);
 
+  HttpServerConfig config_;
   std::map<std::string, Handler> routes_;
   std::thread thread_;
   std::atomic<bool> stop_{false};

@@ -150,16 +150,19 @@ class LogRateLimiter {
   } while (0)
 
 /**
- * FLEX_LOG with a static per-callsite rate limiter (one per expansion
- * site; the simulation is single-threaded so a function-local static is
- * safe). The format string gains a " (suppressed N similar)" tail when
- * earlier calls at this site were swallowed:
+ * FLEX_LOG with a per-callsite, per-thread rate limiter (one per
+ * expansion site per thread). thread_local keeps the limiter race-free
+ * when a shared callsite is reached from parallel sweep lanes (e.g. the
+ * alert engine logging a firing edge in every lane) while behaving
+ * exactly like a plain static in single-threaded runs. The format
+ * string gains a " (suppressed N similar)" tail when earlier calls at
+ * this site were swallowed:
  *   FLEX_LOG_RATE_LIMITED(kWarn, "telemetry", "no quorum on ups %d", u);
  */
 #define FLEX_LOG_RATE_LIMITED(level, component, format, ...)              \
   do {                                                                    \
     if (::flex::obs::LogEnabled(level)) {                                 \
-      static ::flex::obs::LogRateLimiter flex_rate_limiter_;              \
+      thread_local ::flex::obs::LogRateLimiter flex_rate_limiter_;        \
       const std::uint64_t flex_suppressed_ = flex_rate_limiter_.suppressed(); \
       if (flex_rate_limiter_.Admit()) {                                   \
         if (flex_suppressed_ > 0)                                         \

@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Deterministic multi-resolution time-series store.
+ *
+ * Retains a bounded history of every metric the registry exports:
+ * a raw ring of (t, value) points per series plus any number of
+ * downsampled tiers, each a fixed-capacity ring of per-bucket
+ * min/max/mean/last aggregates. Everything is keyed by simulated time,
+ * so two runs of one seed produce bit-identical store contents — the
+ * Fingerprint() the determinism suite compares across sweep lanes and
+ * thread counts.
+ *
+ * Memory discipline: every ring is preallocated the first time its
+ * series is seen, so steady-state sampling performs no allocation (the
+ * only allocating path is registering a brand-new metric name, which
+ * the registry also bounds). Queries and snapshots allocate freely —
+ * they run off the hot path, on the HTTP thread's copy or in tests.
+ *
+ * Histogram rows are retained as their p99 — the quantile the reaction
+ * budget is written against — so "history of a histogram" means
+ * "history of its p99" everywhere in this file.
+ */
+#ifndef FLEX_OBS_TIMESERIES_HPP_
+#define FLEX_OBS_TIMESERIES_HPP_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace flex::obs {
+
+/** One downsampled tier: fixed-width buckets in a fixed-capacity ring. */
+struct TierConfig {
+  double resolution_s = 30.0;   ///< bucket width in simulated seconds
+  std::size_t capacity = 240;   ///< finalized buckets retained
+};
+
+/** Store shape; applied identically to every series. */
+struct TimeSeriesConfig {
+  /** Raw (t, value) points retained per series. */
+  std::size_t raw_capacity = 512;
+  /** Downsampled tiers, finest first. Clear for a raw-only store. */
+  std::vector<TierConfig> tiers{{30.0, 240}, {300.0, 240}};
+  /** Series beyond this are dropped (and counted), never resized. */
+  std::size_t max_series = 256;
+};
+
+/** One raw sample. */
+struct RawPoint {
+  double t = 0.0;
+  double value = 0.0;
+};
+
+/** One downsampled bucket. `t` is the bucket start (inclusive). */
+struct AggPoint {
+  double t = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double last = 0.0;
+  std::uint64_t count = 0;
+};
+
+/** Deep copy of one series for the live plane / tests. */
+struct SeriesSnapshot {
+  std::string name;
+  MetricKind kind = MetricKind::kGauge;
+  std::vector<RawPoint> raw;  ///< oldest first
+  struct TierData {
+    double resolution_s = 0.0;
+    /** Finalized buckets oldest first; the open bucket, if any, is last. */
+    std::vector<AggPoint> points;
+  };
+  std::vector<TierData> tiers;
+};
+
+/** Deep copy of the whole store (what LiveHub publishes for /query). */
+struct TimeSeriesSnapshot {
+  double last_sample_t = 0.0;
+  std::uint64_t total_samples = 0;
+  std::vector<SeriesSnapshot> series;  ///< sorted by name
+
+  const SeriesSnapshot* Find(const std::string& name) const;
+};
+
+/** QueryAgg result: which tier answered plus its points. */
+struct AggQueryResult {
+  double resolution_s = 0.0;
+  std::vector<AggPoint> points;
+};
+
+/**
+ * The store. Single-threaded like the simulation; share it across
+ * threads only via Snapshot() copies.
+ */
+class TimeSeriesStore {
+ public:
+  explicit TimeSeriesStore(TimeSeriesConfig config = {});
+
+  TimeSeriesStore(const TimeSeriesStore&) = delete;
+  TimeSeriesStore& operator=(const TimeSeriesStore&) = delete;
+
+  /**
+   * Appends every row of @p snapshot at its sim_time_seconds stamp.
+   * Counters and gauges record their value; histograms record their
+   * p99. A snapshot stamped at the same time as the previous Sample()
+   * call is skipped wholesale, so harnesses that publish once more at
+   * shutdown cannot double-count the final tick.
+   */
+  void Sample(const MetricsSnapshot& snapshot);
+
+  /**
+   * Appends one point to @p name (registering the series on first
+   * sight). Out-of-order appends (t below the series' latest) are
+   * dropped and counted; equal-time appends are retained.
+   */
+  void Append(const std::string& name, MetricKind kind, double t,
+              double value);
+
+  /** Raw points with t >= latest - window_s (window <= 0: all). */
+  std::vector<RawPoint> QueryRaw(const std::string& name,
+                                 double window_s) const;
+
+  /**
+   * Downsampled points from the finest tier whose resolution is >=
+   * @p resolution_s (the coarsest tier when none is), bucket start >=
+   * latest - window_s (window <= 0: all). The open bucket is included
+   * as the final point. Empty result when the store has no tiers or
+   * the series is unknown.
+   */
+  AggQueryResult QueryAgg(const std::string& name, double resolution_s,
+                          double window_s) const;
+
+  /** Latest appended value; false when the series is unknown/empty. */
+  bool LatestValue(const std::string& name, double* value) const;
+
+  /**
+   * Simulated time of the last append whose value differed from its
+   * predecessor (the first append counts as a change). Negative when
+   * the series is unknown — the staleness rule treats that as fresh.
+   */
+  double LastChangeTime(const std::string& name) const;
+
+  /**
+   * Value change over the trailing window: latest minus the newest
+   * retained point at or before latest - window_s (clamped to the
+   * oldest retained point after eviction). False when unknown/empty.
+   */
+  bool DeltaOver(const std::string& name, double window_s,
+                 double* delta) const;
+
+  /** FNV-1a over every series name, kind, ring, and open bucket. */
+  std::uint64_t Fingerprint() const;
+
+  /** Deep copy, series sorted by name. */
+  TimeSeriesSnapshot Snapshot() const;
+
+  /** One JSON object per series per line (forensic-bundle export). */
+  std::string ToJsonl() const;
+
+  std::size_t series_count() const { return series_.size(); }
+  std::uint64_t total_samples() const { return total_samples_; }
+  std::uint64_t dropped_series() const { return dropped_series_; }
+  std::uint64_t out_of_order_drops() const { return out_of_order_; }
+  double last_sample_t() const { return last_sample_t_; }
+  const TimeSeriesConfig& config() const { return config_; }
+
+ private:
+  struct Tier {
+    double resolution_s = 0.0;
+    std::vector<AggPoint> ring;  ///< capacity slots, preallocated
+    std::size_t head = 0;        ///< next write slot
+    std::size_t size = 0;
+    // Open (not yet finalized) bucket accumulator.
+    bool open = false;
+    double bucket_start = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    double sum = 0.0;
+    double last = 0.0;
+    std::uint64_t count = 0;
+  };
+
+  struct Series {
+    std::string name;
+    MetricKind kind = MetricKind::kGauge;
+    std::vector<RawPoint> raw;  ///< capacity slots, preallocated
+    std::size_t head = 0;
+    std::size_t size = 0;
+    bool any = false;
+    double last_t = 0.0;
+    double last_value = 0.0;
+    double last_change_t = 0.0;
+    std::vector<Tier> tiers;
+  };
+
+  Series* FindSeries(const std::string& name);
+  const Series* FindSeries(const std::string& name) const;
+  void AppendToSeries(Series& series, double t, double value);
+  static void FinalizeBucket(Tier& tier);
+
+  TimeSeriesConfig config_;
+  std::map<std::string, std::size_t> index_;  ///< name -> series_ slot
+  std::vector<Series> series_;
+  double last_sample_t_ = -1.0;
+  std::uint64_t total_samples_ = 0;
+  std::uint64_t dropped_series_ = 0;
+  std::uint64_t out_of_order_ = 0;
+};
+
+}  // namespace flex::obs
+
+#endif  // FLEX_OBS_TIMESERIES_HPP_

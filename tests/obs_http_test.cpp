@@ -6,6 +6,7 @@
  * every endpoint cannot change one bit of a deterministic sweep.
  */
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <map>
@@ -24,6 +25,7 @@
 #include "common/thread_pool.hpp"
 #include "emulation/room_emulation.hpp"
 #include "emulation/sweep.hpp"
+#include "obs/alerts.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/http_export.hpp"
 #include "obs/http_server.hpp"
@@ -61,6 +63,47 @@ HttpGet(int port, const std::string& path)
       "GET " + path + " HTTP/1.1\r\nHost: localhost\r\n\r\n";
   ssize_t unused = ::send(fd, request.data(), request.size(), 0);
   (void)unused;
+  std::string raw;
+  char buffer[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buffer, sizeof(buffer), 0)) > 0)
+    raw.append(buffer, static_cast<std::size_t>(n));
+  ::close(fd);
+  if (raw.compare(0, 9, "HTTP/1.1 ") == 0)
+    response.status = std::atoi(raw.c_str() + 9);
+  const std::size_t split = raw.find("\r\n\r\n");
+  if (split != std::string::npos)
+    response.body = raw.substr(split + 4);
+  return response;
+}
+
+/**
+ * Sends raw bytes (in timed chunks) and parses whatever comes back —
+ * for exercising the protocol-abuse paths a well-formed GET never hits.
+ * Each element of @p chunks is sent after @p pause_between.
+ */
+ClientResponse
+RawRequest(int port, const std::vector<std::string>& chunks,
+           std::chrono::milliseconds pause_between = {})
+{
+  ClientResponse response;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0)
+    return response;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return response;
+  }
+  for (std::size_t i = 0; i < chunks.size(); ++i) {
+    if (i > 0 && pause_between.count() > 0)
+      std::this_thread::sleep_for(pause_between);
+    if (::send(fd, chunks[i].data(), chunks[i].size(), MSG_NOSIGNAL) < 0)
+      break;  // the server may already have answered and closed
+  }
   std::string raw;
   char buffer[4096];
   ssize_t n;
@@ -230,6 +273,52 @@ TEST(HttpServerTest, ServesRegisteredRoutesOverRealSockets)
   EXPECT_GE(server.requests_served(), 2u);
   server.Stop();
   EXPECT_FALSE(server.running());
+}
+
+TEST(HttpServerTest, OversizedHeaderBlockAnswers431)
+{
+  HttpServerConfig config;
+  config.max_request_bytes = 256;
+  HttpServer server(config);
+  server.Route("/ping", [](const HttpRequest&) { return HttpResponse{}; });
+  ASSERT_TRUE(server.Start(0));
+
+  // A legitimate request still fits under the shrunken cap.
+  EXPECT_EQ(HttpGet(server.port(), "/ping").status, 200);
+
+  // One giant header blows past it: the server must refuse with 431
+  // instead of buffering unbounded attacker-controlled bytes.
+  const std::string huge =
+      "GET /ping HTTP/1.1\r\nX-Padding: " + std::string(4096, 'a') +
+      "\r\n\r\n";
+  const ClientResponse refused = RawRequest(server.port(), {huge});
+  EXPECT_EQ(refused.status, 431);
+  server.Stop();
+}
+
+TEST(HttpServerTest, SlowDripClientAnswers408)
+{
+  HttpServerConfig config;
+  config.connection_deadline_s = 0.25;
+  config.recv_timeout_s = 0.1;
+  HttpServer server(config);
+  server.Route("/ping", [](const HttpRequest&) { return HttpResponse{}; });
+  ASSERT_TRUE(server.Start(0));
+
+  // Drip the request one fragment at a time, never finishing the header
+  // block before the wall deadline: each chunk resets nothing — the
+  // deadline is absolute per connection, so the server answers 408
+  // rather than letting a slowloris client pin the accept thread.
+  const std::vector<std::string> drip = {"GET /pi", "ng HT", "TP/1.1\r\n",
+                                         "Host: x\r\n", "X: 1\r\n",
+                                         "Y: 2\r\n",   "Z: 3\r\n"};
+  const ClientResponse timed_out =
+      RawRequest(server.port(), drip, std::chrono::milliseconds(80));
+  EXPECT_EQ(timed_out.status, 408);
+
+  // The server survives the abuse and keeps serving normal traffic.
+  EXPECT_EQ(HttpGet(server.port(), "/ping").status, 200);
+  server.Stop();
 }
 
 TEST(HttpServerTest, HealthzTransitionsWithHubAndWatchdog)
@@ -512,6 +601,128 @@ TEST(ObservabilityServerTest, EndpointsServeOverHttpWithThreadPoolGauges)
   const ClientResponse recorder = HttpGet(server.port(), "/recorder");
   EXPECT_EQ(recorder.status, 200);
   server.Stop();
+}
+
+TEST(ObservabilityServerTest, AlertsAndQueryEndpointsServeLiveState)
+{
+  // One firing rule plus a short history, published the way harnesses
+  // do: the engine/store live on the sim thread, the hub carries deep
+  // copies to the HTTP thread.
+  TimeSeriesStore store;
+  AlertRule rule;
+  rule.name = "UnitHot";
+  rule.metric = "unit.level";
+  rule.severity = AlertSeverity::kWarn;
+  rule.kind = AlertRuleKind::kThreshold;
+  rule.compare = AlertCompare::kGreaterThan;
+  rule.threshold = 5.0;
+  AlertEngine engine(&store, {rule});
+  for (int i = 0; i <= 8; ++i) {
+    store.Append("unit.level", MetricKind::kGauge, i * 10.0, i);
+    engine.Evaluate(i * 10.0);
+  }
+
+  LiveHub hub;
+  AlertsSnapshot alerts = engine.Snapshot();
+  alerts.sim_time_seconds = 80.0;
+  hub.PublishAlerts(alerts);
+  hub.PublishSeries(store.Snapshot());
+
+  ObservabilityServer server(hub);
+  ASSERT_TRUE(server.Start());
+
+  const ClientResponse alerts_body = HttpGet(server.port(), "/alerts");
+  EXPECT_EQ(alerts_body.status, 200);
+  EXPECT_NE(alerts_body.body.find("\"name\":\"UnitHot\""),
+            std::string::npos);
+  EXPECT_NE(alerts_body.body.find("\"state\":\"firing\""),
+            std::string::npos);
+  EXPECT_NE(alerts_body.body.find("\"worst_firing\":\"warn\""),
+            std::string::npos);
+  EXPECT_NE(alerts_body.body.find("\"to\":\"firing\""), std::string::npos);
+
+  // The Prometheus-convention ALERTS series joins /metrics.
+  const ClientResponse metrics = HttpGet(server.port(), "/metrics");
+  EXPECT_EQ(metrics.status, 200);
+  EXPECT_NE(metrics.body.find("ALERTS{alertname=\"UnitHot\",severity="
+                              "\"warn\",alertstate=\"firing\"} 1"),
+            std::string::npos);
+  EXPECT_NE(metrics.body.find("flex_alerts_firing 1"), std::string::npos);
+
+  // /query serves raw points, windows them, and aggregates on demand.
+  const ClientResponse raw =
+      HttpGet(server.port(), "/query?metric=unit.level");
+  EXPECT_EQ(raw.status, 200);
+  EXPECT_NE(raw.body.find("\"metric\":\"unit.level\""), std::string::npos);
+  EXPECT_NE(raw.body.find("[0,0]"), std::string::npos);
+  EXPECT_NE(raw.body.find("[80,8]"), std::string::npos);
+
+  const ClientResponse windowed =
+      HttpGet(server.port(), "/query?metric=unit.level&window=20");
+  EXPECT_EQ(windowed.status, 200);
+  EXPECT_EQ(windowed.body.find("[0,0]"), std::string::npos);
+  EXPECT_NE(windowed.body.find("[80,8]"), std::string::npos);
+
+  const ClientResponse agg =
+      HttpGet(server.port(), "/query?metric=unit.level&res=30");
+  EXPECT_EQ(agg.status, 200);
+  EXPECT_NE(agg.body.find("\"res\":30"), std::string::npos);
+
+  const ClientResponse unknown =
+      HttpGet(server.port(), "/query?metric=no.such");
+  EXPECT_EQ(unknown.status, 404);
+  const ClientResponse missing = HttpGet(server.port(), "/query");
+  EXPECT_EQ(missing.status, 400);
+  server.Stop();
+}
+
+TEST(ObservabilityServerTest, HealthzDegradesOnlyOnPageSeverityAlerts)
+{
+  TimeSeriesStore store;
+  AlertRule warn;
+  warn.name = "WarnOnly";
+  warn.metric = "unit.warn";
+  warn.severity = AlertSeverity::kWarn;
+  warn.threshold = 0.0;
+  AlertRule page;
+  page.name = "PageNow";
+  page.metric = "unit.page";
+  page.severity = AlertSeverity::kPage;
+  page.threshold = 0.0;
+  AlertEngine engine(&store, {warn, page});
+
+  LiveHub hub;
+  ObservabilityServer server(hub);
+
+  // A firing warn-severity alert is reported but does not 503: ops see
+  // it on /alerts, load balancers keep routing.
+  store.Append("unit.warn", MetricKind::kGauge, 1.0, 1.0);
+  engine.Evaluate(1.0);
+  hub.PublishAlerts(engine.Snapshot());
+  int status = 0;
+  std::string body = server.RenderHealth(&status);
+  EXPECT_EQ(status, 200);
+  EXPECT_NE(body.find("\"alerts_firing\":1"), std::string::npos);
+  EXPECT_NE(body.find("\"worst_firing\":\"warn\""), std::string::npos);
+
+  // A page-severity alert joining it flips the rollup to 503.
+  store.Append("unit.page", MetricKind::kGauge, 2.0, 1.0);
+  engine.Evaluate(2.0);
+  hub.PublishAlerts(engine.Snapshot());
+  body = server.RenderHealth(&status);
+  EXPECT_EQ(status, 503);
+  EXPECT_NE(body.find("\"ok\":false"), std::string::npos);
+  EXPECT_NE(body.find("\"alerts_firing\":2"), std::string::npos);
+  EXPECT_NE(body.find("\"worst_firing\":\"page\""), std::string::npos);
+
+  // Both resolve: healthy again.
+  store.Append("unit.warn", MetricKind::kGauge, 3.0, -1.0);
+  store.Append("unit.page", MetricKind::kGauge, 3.0, -1.0);
+  engine.Evaluate(3.0);
+  hub.PublishAlerts(engine.Snapshot());
+  body = server.RenderHealth(&status);
+  EXPECT_EQ(status, 200);
+  EXPECT_NE(body.find("\"worst_firing\":\"none\""), std::string::npos);
 }
 
 TEST(ConcurrentScrapeTest, SweepStaysBitIdenticalUnderScrapeLoad)

@@ -1,0 +1,362 @@
+/**
+ * @file
+ * Tests for the deterministic multi-resolution time-series store:
+ * ring eviction, tier bucketing, staleness/delta queries, fingerprints,
+ * and a 200-seed property test proving the tiered aggregates exactly
+ * match a brute-force recomputation — including across ring-eviction
+ * boundaries, where off-by-ones would silently corrupt history.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "obs/timeseries.hpp"
+
+namespace flex::obs {
+namespace {
+
+MetricRow
+GaugeRow(const std::string& name, double value)
+{
+  MetricRow row;
+  row.name = name;
+  row.kind = MetricKind::kGauge;
+  row.value = value;
+  return row;
+}
+
+TEST(TimeSeriesStoreTest, RetainsRawPointsOldestFirst)
+{
+  TimeSeriesStore store;
+  store.Append("m", MetricKind::kGauge, 1.0, 10.0);
+  store.Append("m", MetricKind::kGauge, 2.0, 20.0);
+  store.Append("m", MetricKind::kGauge, 3.0, 30.0);
+
+  const std::vector<RawPoint> raw = store.QueryRaw("m", 0.0);
+  ASSERT_EQ(raw.size(), 3u);
+  EXPECT_EQ(raw[0].t, 1.0);
+  EXPECT_EQ(raw[0].value, 10.0);
+  EXPECT_EQ(raw[2].t, 3.0);
+  EXPECT_EQ(raw[2].value, 30.0);
+  EXPECT_EQ(store.series_count(), 1u);
+  EXPECT_EQ(store.total_samples(), 3u);
+}
+
+TEST(TimeSeriesStoreTest, RawRingEvictsOldest)
+{
+  TimeSeriesConfig config;
+  config.raw_capacity = 4;
+  TimeSeriesStore store(config);
+  for (int i = 0; i < 10; ++i)
+    store.Append("m", MetricKind::kGauge, i, 100.0 + i);
+
+  const std::vector<RawPoint> raw = store.QueryRaw("m", 0.0);
+  ASSERT_EQ(raw.size(), 4u);
+  EXPECT_EQ(raw.front().t, 6.0);
+  EXPECT_EQ(raw.back().t, 9.0);
+  EXPECT_EQ(raw.back().value, 109.0);
+}
+
+TEST(TimeSeriesStoreTest, QueryRawAppliesTrailingWindow)
+{
+  TimeSeriesStore store;
+  for (int i = 0; i <= 10; ++i)
+    store.Append("m", MetricKind::kGauge, i * 10.0, i);
+
+  // Window relative to the latest point (t = 100): keep t >= 70.
+  const std::vector<RawPoint> raw = store.QueryRaw("m", 30.0);
+  ASSERT_EQ(raw.size(), 4u);
+  EXPECT_EQ(raw.front().t, 70.0);
+  EXPECT_EQ(raw.back().t, 100.0);
+}
+
+TEST(TimeSeriesStoreTest, SampleRecordsHistogramsAsP99)
+{
+  MetricsSnapshot snapshot;
+  snapshot.sim_time_seconds = 5.0;
+  MetricRow histogram;
+  histogram.name = "reaction.end_to_end_s";
+  histogram.kind = MetricKind::kHistogram;
+  histogram.value = 1.0;  // would be wrong to store
+  histogram.p99 = 7.5;
+  snapshot.rows.push_back(histogram);
+
+  TimeSeriesStore store;
+  store.Sample(snapshot);
+  double value = 0.0;
+  ASSERT_TRUE(store.LatestValue("reaction.end_to_end_s", &value));
+  EXPECT_EQ(value, 7.5);
+}
+
+TEST(TimeSeriesStoreTest, SampleSkipsNonAdvancingSnapshots)
+{
+  MetricsSnapshot snapshot;
+  snapshot.sim_time_seconds = 10.0;
+  snapshot.rows.push_back(GaugeRow("m", 1.0));
+
+  TimeSeriesStore store;
+  store.Sample(snapshot);
+  store.Sample(snapshot);  // shutdown re-publish: same stamp
+  snapshot.sim_time_seconds = 5.0;
+  store.Sample(snapshot);  // older stamp
+  EXPECT_EQ(store.total_samples(), 1u);
+  EXPECT_EQ(store.QueryRaw("m", 0.0).size(), 1u);
+  EXPECT_EQ(store.last_sample_t(), 10.0);
+}
+
+TEST(TimeSeriesStoreTest, OutOfOrderAppendsAreDroppedAndCounted)
+{
+  TimeSeriesStore store;
+  store.Append("m", MetricKind::kGauge, 10.0, 1.0);
+  store.Append("m", MetricKind::kGauge, 5.0, 2.0);   // dropped
+  store.Append("m", MetricKind::kGauge, 10.0, 3.0);  // equal time: kept
+
+  EXPECT_EQ(store.out_of_order_drops(), 1u);
+  const std::vector<RawPoint> raw = store.QueryRaw("m", 0.0);
+  ASSERT_EQ(raw.size(), 2u);
+  EXPECT_EQ(raw.back().value, 3.0);
+}
+
+TEST(TimeSeriesStoreTest, LastChangeTimeTracksValueChanges)
+{
+  TimeSeriesStore store;
+  EXPECT_LT(store.LastChangeTime("m"), 0.0);  // unknown: "fresh"
+
+  store.Append("m", MetricKind::kCounter, 1.0, 42.0);
+  EXPECT_EQ(store.LastChangeTime("m"), 1.0);
+  store.Append("m", MetricKind::kCounter, 2.0, 42.0);
+  store.Append("m", MetricKind::kCounter, 3.0, 42.0);
+  EXPECT_EQ(store.LastChangeTime("m"), 1.0);  // flat: no progress
+  store.Append("m", MetricKind::kCounter, 4.0, 43.0);
+  EXPECT_EQ(store.LastChangeTime("m"), 4.0);
+}
+
+TEST(TimeSeriesStoreTest, DeltaOverComputesTrailingDelta)
+{
+  TimeSeriesStore store;
+  store.Append("m", MetricKind::kCounter, 0.0, 0.0);
+  store.Append("m", MetricKind::kCounter, 10.0, 5.0);
+  store.Append("m", MetricKind::kCounter, 20.0, 9.0);
+
+  double delta = 0.0;
+  ASSERT_TRUE(store.DeltaOver("m", 10.0, &delta));
+  EXPECT_EQ(delta, 4.0);  // 9 - value at t <= 10
+  ASSERT_TRUE(store.DeltaOver("m", 1000.0, &delta));
+  EXPECT_EQ(delta, 9.0);  // clamped to the oldest retained point
+  EXPECT_FALSE(store.DeltaOver("unknown", 10.0, &delta));
+}
+
+TEST(TimeSeriesStoreTest, QueryAggSelectsTierByResolution)
+{
+  TimeSeriesConfig config;
+  config.tiers = {{10.0, 8}, {60.0, 8}};
+  TimeSeriesStore store(config);
+  for (int i = 0; i < 20; ++i)
+    store.Append("m", MetricKind::kGauge, i * 5.0, i);
+
+  EXPECT_EQ(store.QueryAgg("m", 0.0, 0.0).resolution_s, 10.0);
+  EXPECT_EQ(store.QueryAgg("m", 10.0, 0.0).resolution_s, 10.0);
+  EXPECT_EQ(store.QueryAgg("m", 30.0, 0.0).resolution_s, 60.0);
+  EXPECT_EQ(store.QueryAgg("m", 1e6, 0.0).resolution_s, 60.0);  // coarsest
+}
+
+TEST(TimeSeriesStoreTest, AggBucketsAggregateAndIncludeOpenBucket)
+{
+  TimeSeriesConfig config;
+  config.tiers = {{10.0, 8}};
+  TimeSeriesStore store(config);
+  store.Append("m", MetricKind::kGauge, 1.0, 5.0);
+  store.Append("m", MetricKind::kGauge, 2.0, 1.0);
+  store.Append("m", MetricKind::kGauge, 3.0, 9.0);
+  store.Append("m", MetricKind::kGauge, 12.0, 4.0);  // finalizes [0, 10)
+
+  const AggQueryResult result = store.QueryAgg("m", 10.0, 0.0);
+  ASSERT_EQ(result.points.size(), 2u);
+  const AggPoint& closed = result.points[0];
+  EXPECT_EQ(closed.t, 0.0);
+  EXPECT_EQ(closed.min, 1.0);
+  EXPECT_EQ(closed.max, 9.0);
+  EXPECT_EQ(closed.mean, 5.0);
+  EXPECT_EQ(closed.last, 9.0);
+  EXPECT_EQ(closed.count, 3u);
+  const AggPoint& open = result.points[1];
+  EXPECT_EQ(open.t, 10.0);
+  EXPECT_EQ(open.count, 1u);
+  EXPECT_EQ(open.last, 4.0);
+}
+
+TEST(TimeSeriesStoreTest, MaxSeriesBoundDropsAndCounts)
+{
+  TimeSeriesConfig config;
+  config.max_series = 2;
+  TimeSeriesStore store(config);
+  store.Append("a", MetricKind::kGauge, 1.0, 1.0);
+  store.Append("b", MetricKind::kGauge, 1.0, 2.0);
+  store.Append("c", MetricKind::kGauge, 1.0, 3.0);
+  store.Append("c", MetricKind::kGauge, 2.0, 4.0);
+
+  EXPECT_EQ(store.series_count(), 2u);
+  EXPECT_EQ(store.dropped_series(), 2u);
+  double value = 0.0;
+  EXPECT_FALSE(store.LatestValue("c", &value));
+}
+
+TEST(TimeSeriesStoreTest, FingerprintIsReproducibleAndSensitive)
+{
+  const auto fill = [](TimeSeriesStore& store, double tweak) {
+    for (int i = 0; i < 50; ++i) {
+      store.Append("a", MetricKind::kGauge, i, std::sin(i * 0.3));
+      store.Append("b", MetricKind::kCounter, i, i + tweak);
+    }
+  };
+  TimeSeriesStore first;
+  TimeSeriesStore second;
+  TimeSeriesStore different;
+  fill(first, 0.0);
+  fill(second, 0.0);
+  fill(different, 1e-9);
+  EXPECT_EQ(first.Fingerprint(), second.Fingerprint());
+  EXPECT_NE(first.Fingerprint(), different.Fingerprint());
+}
+
+TEST(TimeSeriesStoreTest, SnapshotAndJsonlCoverEverySeries)
+{
+  TimeSeriesStore store;
+  store.Append("alpha", MetricKind::kGauge, 1.0, 2.0);
+  store.Append("beta", MetricKind::kCounter, 1.0, 3.0);
+
+  const TimeSeriesSnapshot snapshot = store.Snapshot();
+  ASSERT_EQ(snapshot.series.size(), 2u);
+  EXPECT_EQ(snapshot.series[0].name, "alpha");  // sorted
+  ASSERT_NE(snapshot.Find("beta"), nullptr);
+  EXPECT_EQ(snapshot.Find("beta")->kind, MetricKind::kCounter);
+  EXPECT_EQ(snapshot.Find("missing"), nullptr);
+
+  const std::string jsonl = store.ToJsonl();
+  EXPECT_NE(jsonl.find("\"series\":\"alpha\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"series\":\"beta\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"kind\":\"counter\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Property test: tiered aggregates == brute-force recomputation.
+// ---------------------------------------------------------------------------
+
+/**
+ * Recomputes one tier from the full append history. Groups consecutive
+ * points by bucket start; every group except the last is finalized, the
+ * last is the open bucket. Accumulates the sum in append order so the
+ * mean is bit-identical to the store's (same FP operations, same order).
+ */
+std::vector<AggPoint>
+BruteForceTier(const std::vector<RawPoint>& appends, double resolution_s,
+               std::size_t capacity)
+{
+  std::vector<AggPoint> groups;
+  std::vector<double> sums;
+  for (const RawPoint& p : appends) {
+    const double start = std::floor(p.t / resolution_s) * resolution_s;
+    if (groups.empty() || start > groups.back().t) {
+      AggPoint g;
+      g.t = start;
+      g.min = g.max = g.last = p.value;
+      g.count = 0;
+      groups.push_back(g);
+      sums.push_back(0.0);
+    }
+    AggPoint& g = groups.back();
+    g.min = std::min(g.min, p.value);
+    g.max = std::max(g.max, p.value);
+    g.last = p.value;
+    ++g.count;
+    sums.back() += p.value;
+  }
+  for (std::size_t i = 0; i < groups.size(); ++i)
+    groups[i].mean = sums[i] / static_cast<double>(groups[i].count);
+
+  // Ring eviction applies to *finalized* buckets only; the open bucket
+  // (the last group) always survives and is appended after them.
+  if (groups.empty())
+    return groups;
+  const AggPoint open = groups.back();
+  groups.pop_back();
+  if (groups.size() > capacity)
+    groups.erase(groups.begin(),
+                 groups.begin() + static_cast<std::ptrdiff_t>(
+                                      groups.size() - capacity));
+  groups.push_back(open);
+  return groups;
+}
+
+TEST(TimeSeriesPropertyTest, TieredAggregatesMatchBruteForceOver200Seeds)
+{
+  // Small rings so every seed crosses eviction boundaries many times.
+  TimeSeriesConfig config;
+  config.raw_capacity = 16;
+  config.tiers = {{5.0, 4}, {20.0, 3}};
+
+  for (std::uint64_t seed = 0; seed < 200; ++seed) {
+    std::mt19937_64 rng(seed);
+    std::uniform_int_distribution<int> num_appends(30, 300);
+    std::uniform_real_distribution<double> step(0.0, 7.0);
+    std::uniform_real_distribution<double> level(-100.0, 100.0);
+
+    TimeSeriesStore store(config);
+    std::vector<RawPoint> appends;
+    double t = 0.0;
+    const int n = num_appends(rng);
+    for (int i = 0; i < n; ++i) {
+      // step can be zero: equal-time appends are part of the contract.
+      t += step(rng);
+      const double value = level(rng);
+      store.Append("m", MetricKind::kGauge, t, value);
+      appends.push_back(RawPoint{t, value});
+    }
+
+    // Raw ring: the newest raw_capacity points, oldest first.
+    const std::vector<RawPoint> raw = store.QueryRaw("m", 0.0);
+    const std::size_t expected_raw =
+        std::min<std::size_t>(appends.size(), config.raw_capacity);
+    ASSERT_EQ(raw.size(), expected_raw) << "seed " << seed;
+    for (std::size_t i = 0; i < expected_raw; ++i) {
+      const RawPoint& expected =
+          appends[appends.size() - expected_raw + i];
+      ASSERT_EQ(raw[i].t, expected.t) << "seed " << seed << " point " << i;
+      ASSERT_EQ(raw[i].value, expected.value)
+          << "seed " << seed << " point " << i;
+    }
+
+    // Every tier: finalized rings + open bucket vs the brute force.
+    for (const TierConfig& tier : config.tiers) {
+      const std::vector<AggPoint> expected =
+          BruteForceTier(appends, tier.resolution_s, tier.capacity);
+      const AggQueryResult actual =
+          store.QueryAgg("m", tier.resolution_s, 0.0);
+      ASSERT_EQ(actual.resolution_s, tier.resolution_s) << "seed " << seed;
+      ASSERT_EQ(actual.points.size(), expected.size())
+          << "seed " << seed << " tier " << tier.resolution_s;
+      for (std::size_t i = 0; i < expected.size(); ++i) {
+        ASSERT_EQ(actual.points[i].t, expected[i].t)
+            << "seed " << seed << " tier " << tier.resolution_s
+            << " bucket " << i;
+        ASSERT_EQ(actual.points[i].min, expected[i].min)
+            << "seed " << seed << " bucket " << i;
+        ASSERT_EQ(actual.points[i].max, expected[i].max)
+            << "seed " << seed << " bucket " << i;
+        ASSERT_EQ(actual.points[i].mean, expected[i].mean)
+            << "seed " << seed << " bucket " << i;
+        ASSERT_EQ(actual.points[i].last, expected[i].last)
+            << "seed " << seed << " bucket " << i;
+        ASSERT_EQ(actual.points[i].count, expected[i].count)
+            << "seed " << seed << " bucket " << i;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace flex::obs
