@@ -86,13 +86,45 @@ else
   exit 1
 fi
 
+# Solver warm-restart gates. Both are counter ratios, so they are
+# hardware-independent (unlike the speedup gate below): the warm-basis
+# hit rate says how often a branching child actually reused a
+# factorized basis (adopt/patch/install) instead of going cold, and
+# refactors-per-lp-solve says how many full refactorizations each LP
+# cost — Forrest–Tomlin updates plus the set-difference basis patch
+# keep it well below one. Floors/ceilings lock in the dual-simplex
+# warm-restart work against regression.
+solver_json="${FLEX_SOLVER_BENCH_JSON:-${repo_root}/BENCH_solver.json}"
+min_hit_rate=0.8
+max_refactor_rate=0.53
+if [[ ! -s "${solver_json}" ]]; then
+  echo "check_budget: SKIP solver warm-restart gates — ${solver_json}"        "not found (generate with scripts/run_benches.sh)"
+  exit 0
+fi
+solver_line="$(tail -n 1 "${solver_json}")"
+hit_rate="$(sed -n   's/.*"solver\.warm_hit_rate":{[^}]*"value":\([0-9eE.+-]*\)}.*/\1/p'   <<< "${solver_line}")"
+refactor_rate="$(sed -n   's/.*"solver\.refactors_per_lp_solve":{[^}]*"value":\([0-9eE.+-]*\)}.*/\1/p'   <<< "${solver_line}")"
+if [[ -z "${hit_rate}" || -z "${refactor_rate}" ]]; then
+  echo "check_budget: SKIP solver warm-restart gates — no"        "solver.warm_hit_rate / solver.refactors_per_lp_solve in"        "${solver_json} (regenerate with scripts/run_benches.sh)"
+else
+  echo "check_budget: solver warm hit rate = ${hit_rate}"        "(floor ${min_hit_rate}), refactors per LP solve ="        "${refactor_rate} (ceiling ${max_refactor_rate})"
+  if ! awk -v r="${hit_rate}" -v floor="${min_hit_rate}"     'BEGIN { exit !(r + 0 >= floor + 0) }'; then
+    echo "check_budget: FAIL — warm-basis hit rate ${hit_rate} is below"          "${min_hit_rate} (branching children are going cold; check the"          "adopt/patch/install warm routes in revised_simplex)" >&2
+    exit 1
+  fi
+  if ! awk -v r="${refactor_rate}" -v ceil="${max_refactor_rate}"     'BEGIN { exit !(r + 0 <= ceil + 0) }'; then
+    echo "check_budget: FAIL — ${refactor_rate} refactorizations per LP"          "solve exceeds ${max_refactor_rate} (Forrest–Tomlin updates or"          "the set-difference basis patch stopped absorbing pivots)" >&2
+    exit 1
+  fi
+  echo "check_budget: OK — solver warm-restart health holds"
+fi
+
 # Solver parallel-scaling gate. The last line of BENCH_solver.json (the
 # widest run of scripts/run_benches.sh's thread sweep) must report a
 # >= 1.3x speedup over the serial baseline — but only on hardware that
 # can express one: the solver.parallel.hw_concurrency gauge (falling
 # back to nproc for snapshots predating the gauge) tells a single-core
 # machine apart from a genuine scaling regression.
-solver_json="${FLEX_SOLVER_BENCH_JSON:-${repo_root}/BENCH_solver.json}"
 min_speedup=1.3
 if [[ ! -s "${solver_json}" ]]; then
   echo "check_budget: SKIP solver speedup gate — ${solver_json} not found" \

@@ -585,12 +585,16 @@ RoomEmulation::BuildLiveSnapshot()
           s.basis_reuse_attempts.load(std::memory_order_relaxed));
       set("solver.live.basis_reuse_hits",
           s.basis_reuse_hits.load(std::memory_order_relaxed));
+      set("solver.live.dual_pivots",
+          s.dual_pivots.load(std::memory_order_relaxed));
       set("solver.live.lp_solves",
           s.lp_solves.load(std::memory_order_relaxed));
       set("solver.live.nodes_explored",
           s.nodes_explored.load(std::memory_order_relaxed));
       set("solver.live.open_nodes",
           s.open_nodes.load(std::memory_order_relaxed));
+      set("solver.live.warm_dual_restarts",
+          s.warm_dual_restarts.load(std::memory_order_relaxed));
       set("solver.live.waves", s.waves.load(std::memory_order_relaxed));
     }
     return metrics.Snapshot();
@@ -631,9 +635,11 @@ RoomEmulation::BuildLiveSnapshot()
     };
     live_gauge("solver.live.basis_reuse_attempts", s.basis_reuse_attempts);
     live_gauge("solver.live.basis_reuse_hits", s.basis_reuse_hits);
+    live_gauge("solver.live.dual_pivots", s.dual_pivots);
     live_gauge("solver.live.lp_solves", s.lp_solves);
     live_gauge("solver.live.nodes_explored", s.nodes_explored);
     live_gauge("solver.live.open_nodes", s.open_nodes);
+    live_gauge("solver.live.warm_dual_restarts", s.warm_dual_restarts);
     live_gauge("solver.live.waves", s.waves);
   }
   if (config_.watchdog != nullptr) {

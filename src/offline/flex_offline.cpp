@@ -389,6 +389,14 @@ FlexOfflinePolicy::SolveBatch(
         .Increment(static_cast<double>(result.simplex_refactors));
     metrics.counter("offline.solver.eta_updates")
         .Increment(static_cast<double>(result.eta_updates));
+    metrics.counter("offline.solver.dual_pivots")
+        .Increment(static_cast<double>(result.dual_pivots));
+    metrics.counter("offline.solver.warm_dual_restarts")
+        .Increment(static_cast<double>(result.warm_dual_restarts));
+    metrics.counter("offline.solver.propagation_prunes")
+        .Increment(static_cast<double>(result.propagation_prunes));
+    metrics.counter("offline.solver.propagated_bounds")
+        .Increment(static_cast<double>(result.propagated_bounds));
     metrics.counter("offline.solver.presolve_rows_removed")
         .Increment(static_cast<double>(result.presolve_rows_removed));
     metrics.counter("offline.solver.presolve_cols_removed")

@@ -8,12 +8,17 @@ namespace flex::solver {
 
 namespace {
 
-/** Eta terms smaller than this are dropped; they are roundoff noise and
- * keeping them only densifies the eta file. */
-constexpr double kEtaDropTolerance = 1e-13;
+/** Factor terms smaller than this are dropped; they are roundoff noise
+ * and keeping them only densifies the factors. */
+constexpr double kDropTolerance = 1e-13;
 
 /** Pivots smaller than this make a refactorization column unusable. */
 constexpr double kSingularTolerance = 1e-10;
+
+/** A Forrest–Tomlin update is rejected when the replacement diagonal is
+ * below this fraction of the spike's largest entry — committing it
+ * would amplify roundoff by the inverse ratio on every later solve. */
+constexpr double kFtStabilityRatio = 1e-8;
 
 }  // namespace
 
@@ -22,28 +27,18 @@ BasisFactorization::Reset(int rows)
 {
   rows_ = rows;
   updates_since_refactor_ = 0;
-  eta_pivot_row_.clear();
-  eta_pivot_val_.clear();
+  eta_kind_.clear();
+  eta_pivot_.clear();
   eta_start_.assign(1, 0);
   eta_row_.clear();
   eta_val_.clear();
-}
-
-void
-BasisFactorization::AppendEta(int pivot_row, const std::vector<double>& column)
-{
-  eta_pivot_row_.push_back(pivot_row);
-  eta_pivot_val_.push_back(column[static_cast<std::size_t>(pivot_row)]);
-  for (int i = 0; i < rows_; ++i) {
-    if (i == pivot_row)
-      continue;
-    const double v = column[static_cast<std::size_t>(i)];
-    if (std::fabs(v) > kEtaDropTolerance) {
-      eta_row_.push_back(i);
-      eta_val_.push_back(v);
-    }
-  }
-  eta_start_.push_back(static_cast<int>(eta_row_.size()));
+  ustart_.clear();
+  ulen_.clear();
+  urow_.clear();
+  uval_.clear();
+  udiag_.clear();
+  pos_of_row_.clear();
+  row_of_pos_.clear();
 }
 
 bool
@@ -52,50 +47,50 @@ BasisFactorization::Refactorize(const SparseColumns& cols,
 {
   FLEX_CHECK_MSG(static_cast<int>(basic_of_row.size()) == rows_,
                  "basis size does not match factorization rows");
-  eta_pivot_row_.clear();
-  eta_pivot_val_.clear();
+  eta_kind_.clear();
+  eta_pivot_.clear();
   eta_start_.assign(1, 0);
   eta_row_.clear();
   eta_val_.clear();
+  ustart_.assign(static_cast<std::size_t>(rows_), 0);
+  ulen_.assign(static_cast<std::size_t>(rows_), 0);
+  urow_.clear();
+  uval_.clear();
+  udiag_.assign(static_cast<std::size_t>(rows_), 0.0);
+  pos_of_row_.assign(static_cast<std::size_t>(rows_), -1);
+  row_of_pos_.assign(static_cast<std::size_t>(rows_), -1);
   updates_since_refactor_ = 0;
   ++stats_.refactors;
 
   row_assigned_.assign(static_cast<std::size_t>(rows_), 0);
   new_basic_.assign(static_cast<std::size_t>(rows_), -1);
   work_.assign(static_cast<std::size_t>(rows_), 0.0);
-  touched_.clear();
 
   for (int p = 0; p < rows_; ++p) {
     const int col = basic_of_row[static_cast<std::size_t>(p)];
     FLEX_CHECK_MSG(col >= 0 && col < cols.num_cols(),
                    "basis references unknown column");
-    // Scatter the raw column, then transform it by the etas built so
-    // far (a partial Ftran); the result is the column of the partially
-    // eliminated basis.
+    // Scatter the raw column, then eliminate it by the L etas built so
+    // far (a partial Ftran); the result splits into a U column (already
+    // pivoted rows) and the remaining active part.
     for (int k = cols.start[static_cast<std::size_t>(col)];
          k < cols.start[static_cast<std::size_t>(col) + 1]; ++k) {
-      const int r = cols.row[static_cast<std::size_t>(k)];
-      work_[static_cast<std::size_t>(r)] += cols.value[static_cast<std::size_t>(k)];
-      touched_.push_back(r);
+      work_[static_cast<std::size_t>(
+          cols.row[static_cast<std::size_t>(k)])] +=
+          cols.value[static_cast<std::size_t>(k)];
     }
-    for (std::size_t e = 0; e < eta_pivot_row_.size(); ++e) {
-      const int pr = eta_pivot_row_[e];
-      double t = work_[static_cast<std::size_t>(pr)];
+    for (std::size_t e = 0; e < eta_pivot_.size(); ++e) {
+      const double t = work_[static_cast<std::size_t>(eta_pivot_[e])];
       if (t == 0.0)
         continue;
-      t /= eta_pivot_val_[e];
-      work_[static_cast<std::size_t>(pr)] = t;
       for (int k = eta_start_[e]; k < eta_start_[e + 1]; ++k) {
-        const int r = eta_row_[static_cast<std::size_t>(k)];
-        work_[static_cast<std::size_t>(r)] -=
+        work_[static_cast<std::size_t>(eta_row_[static_cast<std::size_t>(k)])] -=
             eta_val_[static_cast<std::size_t>(k)] * t;
-        touched_.push_back(r);
       }
     }
 
     // Row partial pivoting over the rows not yet claimed by an earlier
-    // column; the max-magnitude choice is what keeps the product-form
-    // LU numerically honest.
+    // column; the max-magnitude choice keeps the LU numerically honest.
     int pivot_row = -1;
     double best = kSingularTolerance;
     for (int i = 0; i < rows_; ++i) {
@@ -110,17 +105,38 @@ BasisFactorization::Refactorize(const SparseColumns& cols,
     if (pivot_row < 0) {
       // Singular: clean up scratch and report; the caller decides how
       // to repair the basis.
-      for (const int r : touched_)
-        work_[static_cast<std::size_t>(r)] = 0.0;
+      work_.assign(static_cast<std::size_t>(rows_), 0.0);
       return false;
     }
+    const double pivot = work_[static_cast<std::size_t>(pivot_row)];
 
-    AppendEta(pivot_row, work_);
+    // Split the eliminated column: pivoted rows feed the U column at
+    // position p, unpivoted rows feed the L eta (unit diagonal, so the
+    // multipliers carry the 1/pivot).
+    ustart_[static_cast<std::size_t>(p)] = static_cast<int>(urow_.size());
+    eta_kind_.push_back(0);
+    eta_pivot_.push_back(pivot_row);
+    for (int i = 0; i < rows_; ++i) {
+      const double v = work_[static_cast<std::size_t>(i)];
+      work_[static_cast<std::size_t>(i)] = 0.0;
+      if (i == pivot_row || std::fabs(v) <= kDropTolerance)
+        continue;
+      if (row_assigned_[static_cast<std::size_t>(i)]) {
+        urow_.push_back(i);
+        uval_.push_back(v);
+      } else {
+        eta_row_.push_back(i);
+        eta_val_.push_back(v / pivot);
+      }
+    }
+    eta_start_.push_back(static_cast<int>(eta_row_.size()));
+    ulen_[static_cast<std::size_t>(p)] =
+        static_cast<int>(urow_.size()) - ustart_[static_cast<std::size_t>(p)];
+    udiag_[static_cast<std::size_t>(p)] = pivot;
+    row_of_pos_[static_cast<std::size_t>(p)] = pivot_row;
+    pos_of_row_[static_cast<std::size_t>(pivot_row)] = p;
     row_assigned_[static_cast<std::size_t>(pivot_row)] = 1;
     new_basic_[static_cast<std::size_t>(pivot_row)] = col;
-    for (const int r : touched_)
-      work_[static_cast<std::size_t>(r)] = 0.0;
-    touched_.clear();
   }
 
   basic_of_row = new_basic_;
@@ -130,16 +146,42 @@ BasisFactorization::Refactorize(const SparseColumns& cols,
 void
 BasisFactorization::Ftran(std::vector<double>& v) const
 {
-  for (std::size_t e = 0; e < eta_pivot_row_.size(); ++e) {
-    const int pr = eta_pivot_row_[e];
-    double t = v[static_cast<std::size_t>(pr)];
-    if (t == 0.0)
-      continue;
-    t /= eta_pivot_val_[e];
-    v[static_cast<std::size_t>(pr)] = t;
-    for (int k = eta_start_[e]; k < eta_start_[e + 1]; ++k) {
-      v[static_cast<std::size_t>(eta_row_[static_cast<std::size_t>(k)])] -=
-          eta_val_[static_cast<std::size_t>(k)] * t;
+  // L̃^-1: every eta (refactorization L columns, then Forrest–Tomlin
+  // row etas) in creation order.
+  for (std::size_t e = 0; e < eta_pivot_.size(); ++e) {
+    const int pr = eta_pivot_[e];
+    if (eta_kind_[e] == 0) {
+      const double t = v[static_cast<std::size_t>(pr)];
+      if (t == 0.0)
+        continue;
+      for (int k = eta_start_[e]; k < eta_start_[e + 1]; ++k) {
+        v[static_cast<std::size_t>(eta_row_[static_cast<std::size_t>(k)])] -=
+            eta_val_[static_cast<std::size_t>(k)] * t;
+      }
+    } else {
+      double acc = v[static_cast<std::size_t>(pr)];
+      for (int k = eta_start_[e]; k < eta_start_[e + 1]; ++k) {
+        acc -= eta_val_[static_cast<std::size_t>(k)] *
+               v[static_cast<std::size_t>(
+                   eta_row_[static_cast<std::size_t>(k)])];
+      }
+      v[static_cast<std::size_t>(pr)] = acc;
+    }
+  }
+  // U^-1: back substitution, highest position first. Every off-diagonal
+  // term of a column sits at a lower position, i.e. a not-yet-solved
+  // physical row, so in-place scatter is safe.
+  for (int p = rows_; p-- > 0;) {
+    const std::size_t sp = static_cast<std::size_t>(p);
+    const std::size_t r = static_cast<std::size_t>(row_of_pos_[sp]);
+    double x = v[r];
+    if (x != 0.0) {
+      x /= udiag_[sp];
+      for (int k = ustart_[sp]; k < ustart_[sp] + ulen_[sp]; ++k) {
+        v[static_cast<std::size_t>(urow_[static_cast<std::size_t>(k)])] -=
+            uval_[static_cast<std::size_t>(k)] * x;
+      }
+      v[r] = x;
     }
   }
 }
@@ -147,26 +189,177 @@ BasisFactorization::Ftran(std::vector<double>& v) const
 void
 BasisFactorization::Btran(std::vector<double>& v) const
 {
-  for (std::size_t e = eta_pivot_row_.size(); e-- > 0;) {
-    const int pr = eta_pivot_row_[e];
-    double acc = v[static_cast<std::size_t>(pr)];
-    for (int k = eta_start_[e]; k < eta_start_[e + 1]; ++k) {
-      acc -= eta_val_[static_cast<std::size_t>(k)] *
-             v[static_cast<std::size_t>(eta_row_[static_cast<std::size_t>(k)])];
+  // U^-T: forward substitution, lowest position first; a column's
+  // off-diagonal terms reference already-solved positions.
+  for (int p = 0; p < rows_; ++p) {
+    const std::size_t sp = static_cast<std::size_t>(p);
+    const std::size_t r = static_cast<std::size_t>(row_of_pos_[sp]);
+    double acc = v[r];
+    for (int k = ustart_[sp]; k < ustart_[sp] + ulen_[sp]; ++k) {
+      acc -= uval_[static_cast<std::size_t>(k)] *
+             v[static_cast<std::size_t>(urow_[static_cast<std::size_t>(k)])];
     }
-    v[static_cast<std::size_t>(pr)] = acc / eta_pivot_val_[e];
+    v[r] = acc / udiag_[sp];
+  }
+  // L̃^-T: every eta transposed, reverse creation order. The transpose
+  // of a column eta applies like a row eta and vice versa.
+  for (std::size_t e = eta_pivot_.size(); e-- > 0;) {
+    const int pr = eta_pivot_[e];
+    if (eta_kind_[e] == 0) {
+      double acc = v[static_cast<std::size_t>(pr)];
+      for (int k = eta_start_[e]; k < eta_start_[e + 1]; ++k) {
+        acc -= eta_val_[static_cast<std::size_t>(k)] *
+               v[static_cast<std::size_t>(
+                   eta_row_[static_cast<std::size_t>(k)])];
+      }
+      v[static_cast<std::size_t>(pr)] = acc;
+    } else {
+      const double t = v[static_cast<std::size_t>(pr)];
+      if (t == 0.0)
+        continue;
+      for (int k = eta_start_[e]; k < eta_start_[e + 1]; ++k) {
+        v[static_cast<std::size_t>(eta_row_[static_cast<std::size_t>(k)])] -=
+            eta_val_[static_cast<std::size_t>(k)] * t;
+      }
+    }
   }
 }
 
-void
+bool
 BasisFactorization::Update(int pivot_row, const std::vector<double>& alpha)
 {
-  FLEX_CHECK_MSG(
-      std::fabs(alpha[static_cast<std::size_t>(pivot_row)]) > 1e-12,
-      "product-form update with a (near-)zero pivot");
-  AppendEta(pivot_row, alpha);
+  FLEX_CHECK_MSG(pivot_row >= 0 && pivot_row < rows_,
+                 "Forrest–Tomlin update outside the basis");
+  const int t = pos_of_row_[static_cast<std::size_t>(pivot_row)];
+  const int m = rows_;
+
+  // Spike column in position space: the entering column after the L̃
+  // solve is U * alpha (alpha = B^-1 a_q is what the caller pivoted on).
+  spike_.assign(static_cast<std::size_t>(m), 0.0);
+  double spike_max = 0.0;
+  for (int p = 0; p < m; ++p) {
+    const std::size_t sp = static_cast<std::size_t>(p);
+    const double a = alpha[static_cast<std::size_t>(row_of_pos_[sp])];
+    if (a == 0.0)
+      continue;
+    spike_[sp] += udiag_[sp] * a;
+    for (int k = ustart_[sp]; k < ustart_[sp] + ulen_[sp]; ++k) {
+      spike_[static_cast<std::size_t>(
+          pos_of_row_[static_cast<std::size_t>(
+              urow_[static_cast<std::size_t>(k)])])] +=
+          uval_[static_cast<std::size_t>(k)] * a;
+    }
+  }
+  for (int p = 0; p < m; ++p) {
+    spike_max = std::max(spike_max, std::fabs(spike_[static_cast<std::size_t>(p)]));
+  }
+
+  // Eliminate the spiked row t against positions t+1..m-1: the
+  // multipliers solve U_JJ^T mu = u_{tJ}^T, a forward substitution that
+  // needs only column access (terms of column j at positions in (t, j)).
+  mu_.assign(static_cast<std::size_t>(m), 0.0);
+  bool has_mu = false;
+  for (int j = t + 1; j < m; ++j) {
+    const std::size_t sj = static_cast<std::size_t>(j);
+    double num = 0.0;
+    for (int k = ustart_[sj]; k < ustart_[sj] + ulen_[sj]; ++k) {
+      const int p = pos_of_row_[static_cast<std::size_t>(
+          urow_[static_cast<std::size_t>(k)])];
+      if (p == t)
+        num += uval_[static_cast<std::size_t>(k)];
+      else if (p > t)
+        num -= uval_[static_cast<std::size_t>(k)] *
+               mu_[static_cast<std::size_t>(p)];
+    }
+    if (num != 0.0) {
+      const double mu = num / udiag_[sj];
+      if (std::fabs(mu) > kDropTolerance) {
+        mu_[sj] = mu;
+        has_mu = true;
+      }
+    }
+  }
+
+  // The eliminated row's last-column entry becomes the new diagonal.
+  double new_diag = spike_[static_cast<std::size_t>(t)];
+  for (int j = t + 1; j < m; ++j) {
+    if (mu_[static_cast<std::size_t>(j)] != 0.0)
+      new_diag -= mu_[static_cast<std::size_t>(j)] *
+                  spike_[static_cast<std::size_t>(j)];
+  }
+  if (std::fabs(new_diag) <= kSingularTolerance ||
+      std::fabs(new_diag) < kFtStabilityRatio * spike_max) {
+    ++stats_.update_rejections;
+    return false;
+  }
+
+  // Commit. 1) The batched row eta (physical rows are stable, so the
+  // recorded term rows survive later permutation shifts).
+  if (has_mu) {
+    eta_kind_.push_back(1);
+    eta_pivot_.push_back(pivot_row);
+    for (int j = t + 1; j < m; ++j) {
+      if (mu_[static_cast<std::size_t>(j)] != 0.0) {
+        eta_row_.push_back(row_of_pos_[static_cast<std::size_t>(j)]);
+        eta_val_.push_back(mu_[static_cast<std::size_t>(j)]);
+      }
+    }
+    eta_start_.push_back(static_cast<int>(eta_row_.size()));
+  }
+
+  // 2) The row eta zeroed row t across columns right of t; delete those
+  // entries (at most one per column).
+  for (int j = t + 1; j < m; ++j) {
+    const std::size_t sj = static_cast<std::size_t>(j);
+    for (int k = ustart_[sj]; k < ustart_[sj] + ulen_[sj]; ++k) {
+      if (urow_[static_cast<std::size_t>(k)] == pivot_row) {
+        const int last = ustart_[sj] + ulen_[sj] - 1;
+        urow_[static_cast<std::size_t>(k)] =
+            urow_[static_cast<std::size_t>(last)];
+        uval_[static_cast<std::size_t>(k)] =
+            uval_[static_cast<std::size_t>(last)];
+        --ulen_[sj];
+        break;
+      }
+    }
+  }
+
+  // 3) Collect the surviving spike terms against the *old* position
+  // numbering, then cyclically shift positions t+1..m-1 down by one and
+  // append the spike as the last column with the replacement diagonal.
+  spike_rows_.clear();
+  spike_vals_.clear();
+  for (int p = 0; p < m; ++p) {
+    if (p == t)
+      continue;
+    const double v = spike_[static_cast<std::size_t>(p)];
+    if (std::fabs(v) > kDropTolerance) {
+      spike_rows_.push_back(row_of_pos_[static_cast<std::size_t>(p)]);
+      spike_vals_.push_back(v);
+    }
+  }
+  for (int p = t; p < m - 1; ++p) {
+    const std::size_t sp = static_cast<std::size_t>(p);
+    ustart_[sp] = ustart_[sp + 1];
+    ulen_[sp] = ulen_[sp + 1];
+    udiag_[sp] = udiag_[sp + 1];
+    row_of_pos_[sp] = row_of_pos_[sp + 1];
+  }
+  const std::size_t lastp = static_cast<std::size_t>(m - 1);
+  ustart_[lastp] = static_cast<int>(urow_.size());
+  ulen_[lastp] = static_cast<int>(spike_rows_.size());
+  urow_.insert(urow_.end(), spike_rows_.begin(), spike_rows_.end());
+  uval_.insert(uval_.end(), spike_vals_.begin(), spike_vals_.end());
+  udiag_[lastp] = new_diag;
+  row_of_pos_[lastp] = pivot_row;
+  for (int p = t; p < m; ++p) {
+    pos_of_row_[static_cast<std::size_t>(
+        row_of_pos_[static_cast<std::size_t>(p)])] = p;
+  }
+
   ++updates_since_refactor_;
   ++stats_.eta_updates;
+  return true;
 }
 
 }  // namespace flex::solver

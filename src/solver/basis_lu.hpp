@@ -1,19 +1,25 @@
 /**
  * @file
- * Product-form LU factorization of a simplex basis.
+ * LU factorization of a simplex basis with Forrest–Tomlin updates.
  *
- * The revised simplex never forms B^-1 explicitly. Instead this class
- * maintains B^-1 as a product of elementary eta matrices:
+ * The revised simplex never forms B^-1 explicitly. This class keeps a
+ * true sparse LU of the basis:
  *
- *  - Refactorize() rebuilds the product from scratch by Gauss-Jordan
- *    elimination of the basis columns with row partial pivoting — one
- *    eta per basis column, which is exactly an LU decomposition kept in
- *    product form (the pivot order plays the role of the row
- *    permutation).
- *  - Update() appends one eta per simplex pivot between refactors, the
- *    classic product-form update. Eta files grow and lose accuracy, so
- *    the solver refactorizes periodically (and on numerical distress);
- *    both events are counted for telemetry.
+ *  - Refactorize() rebuilds L and U from scratch by left-looking
+ *    elimination with row partial pivoting. L is held in product form
+ *    (one unit-diagonal column eta per basis column); U is held
+ *    column-wise in *position* space, with a separate diagonal and a
+ *    row permutation (pos_of_row_/row_of_pos_) mapping physical rows to
+ *    elimination positions.
+ *  - Update() absorbs a simplex pivot with the Forrest–Tomlin scheme:
+ *    the spike column U * alpha replaces the leaving column, the spiked
+ *    row is eliminated by one batched row eta, and the permutation is
+ *    cyclically shifted so U stays upper triangular. Cost is O(nnz(U)),
+ *    independent of how many updates came before — unlike the classic
+ *    product-form eta file, accuracy and apply cost do not degrade with
+ *    the length of the pivot sequence. A stability test rejects updates
+ *    whose new diagonal is negligible relative to the spike;
+ *    Update() then returns false and the caller refactorizes instead.
  *
  * All vectors are kept in *row* coordinates: Ftran(v) computes P B^-1 v
  * where P is the pivot-order permutation, and the solver's
@@ -33,11 +39,12 @@ class BasisFactorization {
  public:
   /** Cumulative counters, surfaced as solver telemetry. */
   struct Stats {
-    std::int64_t refactors = 0;    ///< Refactorize() calls that ran
-    std::int64_t eta_updates = 0;  ///< Update() etas appended
+    std::int64_t refactors = 0;          ///< Refactorize() calls that ran
+    std::int64_t eta_updates = 0;        ///< Forrest–Tomlin updates absorbed
+    std::int64_t update_rejections = 0;  ///< updates refused by stability test
   };
 
-  /** Prepares for a basis of @p rows rows; drops all etas. */
+  /** Prepares for a basis of @p rows rows; drops the factorization. */
   void Reset(int rows);
 
   /**
@@ -58,39 +65,60 @@ class BasisFactorization {
   void Btran(std::vector<double>& v) const;
 
   /**
-   * Product-form update after a pivot: the entering column, already
-   * transformed by Ftran into @p alpha (dense, row coordinates), replaces
-   * the basic variable of @p pivot_row. The caller must have verified
-   * |alpha[pivot_row]| is acceptable.
+   * Forrest–Tomlin update after a pivot: the entering column, already
+   * transformed by Ftran into @p alpha (dense, row coordinates),
+   * replaces the basic variable of @p pivot_row. Returns false when the
+   * update would be numerically unstable (the eliminated diagonal is
+   * negligible against the spike); the factorization is then unchanged
+   * and the caller must refactorize with the post-pivot basis.
    */
-  void Update(int pivot_row, const std::vector<double>& alpha);
+  bool Update(int pivot_row, const std::vector<double>& alpha);
 
   int rows() const { return rows_; }
-  /** Etas appended by Update() since the last Refactorize(). */
+  /** Updates absorbed by Update() since the last Refactorize(). */
   int updates_since_refactor() const { return updates_since_refactor_; }
   const Stats& stats() const { return stats_; }
 
  private:
-  void AppendEta(int pivot_row, const std::vector<double>& column);
-
   int rows_ = 0;
   int updates_since_refactor_ = 0;
   Stats stats_;
 
-  // Eta file, flat: eta e pivots row eta_pivot_row_[e] with pivot value
-  // eta_pivot_val_[e]; its off-pivot terms occupy
-  // [eta_start_[e], eta_start_[e + 1]) of eta_row_/eta_val_.
-  std::vector<int> eta_pivot_row_;
-  std::vector<double> eta_pivot_val_;
+  // Eta file, flat, applied in creation order by Ftran (reverse +
+  // transposed by Btran). Kind 0 is an L column eta with unit diagonal:
+  //   v[row_k] -= val_k * v[pivot]   for each term k.
+  // Kind 1 is a Forrest–Tomlin row eta:
+  //   v[pivot] -= sum_k val_k * v[row_k].
+  // Rows are physical row ids, which never change after creation.
+  std::vector<signed char> eta_kind_;
+  std::vector<int> eta_pivot_;
   std::vector<int> eta_start_;
   std::vector<int> eta_row_;
   std::vector<double> eta_val_;
 
-  // Refactorization scratch.
+  // U, column-wise in position space: the column at position p holds
+  // its off-diagonal terms (all at positions < p) in
+  // [ustart_[p], ustart_[p] + ulen_[p]) of urow_/uval_, identified by
+  // *physical* row; the diagonal lives in udiag_[p]. row_of_pos_[p] is
+  // the physical row pivoted at position p, pos_of_row_ its inverse.
+  // The pool is append-only between refactorizations; deleted entries
+  // simply leak until the next Refactorize() compacts them.
+  std::vector<int> ustart_;
+  std::vector<int> ulen_;
+  std::vector<int> urow_;
+  std::vector<double> uval_;
+  std::vector<double> udiag_;
+  std::vector<int> pos_of_row_;
+  std::vector<int> row_of_pos_;
+
+  // Refactorization / update scratch.
   std::vector<double> work_;
-  std::vector<int> touched_;
   std::vector<char> row_assigned_;
   std::vector<int> new_basic_;
+  std::vector<double> spike_;      // spike column, by position
+  std::vector<double> mu_;         // row-eta multipliers, by position
+  std::vector<int> spike_rows_;    // spike entries surviving the drop tol
+  std::vector<double> spike_vals_;
 };
 
 }  // namespace flex::solver

@@ -19,6 +19,14 @@ namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
+/**
+ * Activity-propagation passes per interior node. Two passes catch the
+ * dominant pattern (a branched binary tightening its rows' partners);
+ * a third sweeps up second-order implications cheaply. More passes give
+ * diminishing returns against the LP the node solves anyway.
+ */
+constexpr int kPropagatePasses = 3;
+
 using Clock = std::chrono::steady_clock;
 
 /**
@@ -39,13 +47,29 @@ struct Node {
   std::uint64_t seq = 0; // creation order; ties in bound break on this
   /** Parent's optimal LP basis; warm-starts this node's re-solve. */
   std::shared_ptr<const SimplexBasis> basis;
+  /**
+   * Wave slot in which the parent's LP was solved. Children prefer that
+   * slot so the workspace whose factors realise (or sit one sibling
+   * away from) the warm-start snapshot gets handed exactly that
+   * snapshot — the resident-basis adoption/patch routes then skip the
+   * refactorization an install would pay. Purely a placement hint;
+   * a pure function of the search history, so it cannot affect results.
+   */
+  int pref_slot = -1;
 };
 
 /**
- * Frontier order: best (largest) bound first, then creation order. The
- * seq tie-break makes the pop order — and therefore the wave
- * composition — a pure function of the search history, independent of
- * heap internals and thread count.
+ * Frontier order: best (largest) bound first, ties newest-first. The
+ * newest-first tie-break is best-bound with plunging: a freshly
+ * branched child pops before the (often huge) plateau of equal-bound
+ * nodes, so it is solved in the wave right after its parent — while
+ * the parent's factorized basis is still resident in its wave slot,
+ * which is what lets the adopt/patch warm routes skip the
+ * refactorization an install would pay. Diving deeper first also
+ * reaches integral incumbents sooner, which tightens pruning on the
+ * plateau itself. The deterministic seq tie-break makes the pop order
+ * — and therefore the wave composition — a pure function of the
+ * search history, independent of heap internals and thread count.
  */
 struct NodeOrder {
   bool
@@ -54,7 +78,7 @@ struct NodeOrder {
   {
     if (a->bound != b->bound)
       return a->bound < b->bound;
-    return a->seq > b->seq;
+    return a->seq < b->seq;
   }
 };
 
@@ -63,6 +87,9 @@ struct WaveResult {
   LpResult lp;
   std::shared_ptr<SimplexBasis> basis;
   int lane = 0;  // pool lane that executed the LP (telemetry only)
+  /** Bound propagation proved the node infeasible; no LP was solved. */
+  bool propagation_pruned = false;
+  int propagated_bounds = 0;  // bound tightenings applied before the LP
 };
 
 /** Most-fractional integer variable, or -1 when integral. */
@@ -194,10 +221,18 @@ BranchAndBoundSolver::Solve(const Model& model) const
     result.simplex_pivots += sub.iterations;
     result.simplex_refactors += sub.refactors;
     result.eta_updates += sub.eta_updates;
+    result.dual_pivots += sub.dual_pivots;
     if (sub.warm_start_attempted)
       ++result.basis_reuse_attempts;
     if (sub.warm_start_used)
       ++result.basis_reuse_hits;
+    if (sub.warm_dual_restart) {
+      ++result.warm_dual_restarts;
+      if (live != nullptr)
+        live->warm_dual_restarts.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (live != nullptr && sub.dual_pivots > 0)
+      live->dual_pivots.fetch_add(sub.dual_pivots, std::memory_order_relaxed);
     return sub;
   };
 
@@ -217,6 +252,10 @@ BranchAndBoundSolver::Solve(const Model& model) const
     point.eta_updates = result.eta_updates;
     point.presolve_rows_removed = result.presolve_rows_removed;
     point.presolve_cols_removed = result.presolve_cols_removed;
+    point.dual_pivots = result.dual_pivots;
+    point.warm_dual_restarts = result.warm_dual_restarts;
+    point.propagation_prunes = result.propagation_prunes;
+    point.propagated_bounds = result.propagated_bounds;
     point.has_incumbent = incumbent_max > -kInf;
     point.incumbent = point.has_incumbent ? sense * incumbent_max : 0.0;
     // Bound unknown until the root relaxation lands (warm-start points).
@@ -462,18 +501,82 @@ BranchAndBoundSolver::Solve(const Model& model) const
                              std::memory_order_relaxed);
     }
     wave_results.assign(count, WaveResult{});
+
+    // Workspace placement with parent affinity: a node whose parent
+    // was solved in slot s reclaims s, and — crucially — BOTH children
+    // of a branching may claim it (up to two claimants per slot).
+    // Claimants of one slot run as a sequential chain inside a single
+    // task, in wave order: the first usually adopts the parent's
+    // still-resident factorization outright, and its sibling then
+    // starts from a basis only a few pivots away, which the
+    // Forrest–Tomlin patch route absorbs without a refactorization.
+    // Everyone else fills the lowest free slots. Deterministic — a
+    // pure function of the wave composition and the recorded slots —
+    // and collision-free, since a workspace is only ever touched by
+    // its own chain's task.
+    constexpr int kMaxChain = 2;
+    std::vector<int> slot_of(count, -1);
+    std::vector<signed char> slot_claims(
+        static_cast<std::size_t>(wave_capacity), 0);
+    for (std::size_t i = 0; i < count; ++i) {
+      const int pref = wave_nodes[i]->pref_slot;
+      if (pref >= 0 && pref < wave_capacity &&
+          slot_claims[static_cast<std::size_t>(pref)] < kMaxChain) {
+        slot_of[i] = pref;
+        ++slot_claims[static_cast<std::size_t>(pref)];
+      }
+    }
+    for (std::size_t i = 0, next = 0; i < count; ++i) {
+      if (slot_of[i] >= 0)
+        continue;
+      // Chains never exceed the wave size, so an unclaimed slot always
+      // exists for the overflow.
+      while (slot_claims[next] != 0)
+        ++next;
+      slot_of[i] = static_cast<int>(next);
+      slot_claims[next] = 1;
+    }
+    std::vector<std::vector<std::size_t>> chain_of_slot(
+        static_cast<std::size_t>(wave_capacity));
+    for (std::size_t i = 0; i < count; ++i)
+      chain_of_slot[static_cast<std::size_t>(slot_of[i])].push_back(i);
+
     std::vector<std::function<void()>> tasks;
     tasks.reserve(count);
-    for (std::size_t i = 0; i < count; ++i) {
-      tasks.push_back([&, i] {
-        const Node* node = wave_nodes[i].get();
-        WaveResult wr;
-        wr.basis = std::make_shared<SimplexBasis>();
-        wr.lp = lp.SolveWithBounds(search, materialize(node), &workspaces[i],
-                                   node->basis.get(), wr.basis.get());
-        const int lane = common::ThreadPool::WorkerIndex();
-        wr.lane = lane >= 1 && lane < lanes ? lane : 0;
-        wave_results[i] = std::move(wr);
+    for (int slot = 0; slot < wave_capacity; ++slot) {
+      const std::vector<std::size_t>& chain =
+          chain_of_slot[static_cast<std::size_t>(slot)];
+      if (chain.empty())
+        continue;
+      tasks.push_back([&, slot, &chain = chain_of_slot[static_cast<
+                                     std::size_t>(slot)]] {
+        for (const std::size_t i : chain) {
+          const Node* node = wave_nodes[i].get();
+          WaveResult wr;
+          wr.basis = std::make_shared<SimplexBasis>();
+          BoundOverrides overrides = materialize(node);
+          // Node-local domain propagation: the branch just taken often
+          // implies further bounds (a placed rack saturating a capacity
+          // row forces its sibling indicators to zero). Tightening here
+          // shrinks the LP's feasible box — and a propagated
+          // contradiction prunes the node without paying for an LP at
+          // all. Pure function of (model, overrides), so the answer is
+          // thread-independent.
+          if (node->var >= 0 &&
+              PropagateBounds(search, &overrides, kPropagatePasses,
+                              &wr.propagated_bounds) ==
+                  PropagateStatus::kInfeasible) {
+            wr.propagation_pruned = true;
+          } else {
+            wr.lp = lp.SolveWithBounds(
+                search, overrides,
+                &workspaces[static_cast<std::size_t>(slot)],
+                node->basis.get(), wr.basis.get());
+          }
+          const int lane = common::ThreadPool::WorkerIndex();
+          wr.lane = lane >= 1 && lane < lanes ? lane : 0;
+          wave_results[i] = std::move(wr);
+        }
       });
     }
     if (pool != nullptr && count > 1) {
@@ -491,27 +594,42 @@ BranchAndBoundSolver::Solve(const Model& model) const
       WaveResult& wr = wave_results[i];
       ++result.nodes_explored;
       ++result.nodes_per_thread[static_cast<std::size_t>(wr.lane)];
-      ++result.lp_solves;
-      result.simplex_pivots += wr.lp.iterations;
-      result.simplex_refactors += wr.lp.refactors;
-      result.eta_updates += wr.lp.eta_updates;
-      if (wr.lp.warm_start_attempted)
-        ++result.basis_reuse_attempts;
-      if (wr.lp.warm_start_used)
-        ++result.basis_reuse_hits;
+      result.propagated_bounds += wr.propagated_bounds;
+      if (!wr.propagation_pruned) {
+        ++result.lp_solves;
+        result.simplex_pivots += wr.lp.iterations;
+        result.simplex_refactors += wr.lp.refactors;
+        result.eta_updates += wr.lp.eta_updates;
+        result.dual_pivots += wr.lp.dual_pivots;
+        if (wr.lp.warm_start_attempted)
+          ++result.basis_reuse_attempts;
+        if (wr.lp.warm_start_used)
+          ++result.basis_reuse_hits;
+        if (wr.lp.warm_dual_restart)
+          ++result.warm_dual_restarts;
+      } else {
+        ++result.propagation_prunes;
+      }
       if (live != nullptr) {
         live->nodes_explored.fetch_add(1, std::memory_order_relaxed);
-        live->lp_solves.fetch_add(1, std::memory_order_relaxed);
-        if (wr.lp.warm_start_attempted)
-          live->basis_reuse_attempts.fetch_add(1, std::memory_order_relaxed);
-        if (wr.lp.warm_start_used)
-          live->basis_reuse_hits.fetch_add(1, std::memory_order_relaxed);
+        if (!wr.propagation_pruned) {
+          live->lp_solves.fetch_add(1, std::memory_order_relaxed);
+          if (wr.lp.warm_start_attempted)
+            live->basis_reuse_attempts.fetch_add(1, std::memory_order_relaxed);
+          if (wr.lp.warm_start_used)
+            live->basis_reuse_hits.fetch_add(1, std::memory_order_relaxed);
+          if (wr.lp.warm_dual_restart)
+            live->warm_dual_restarts.fetch_add(1, std::memory_order_relaxed);
+          if (wr.lp.dual_pivots > 0)
+            live->dual_pivots.fetch_add(wr.lp.dual_pivots,
+                                        std::memory_order_relaxed);
+        }
       }
       if (options_.trace_node_interval > 0 &&
           result.nodes_explored % options_.trace_node_interval == 0)
         emit_trace("node");
-      if (!wr.lp.IsOptimal())
-        continue;  // infeasible subtree (or stalled LP): prune
+      if (wr.propagation_pruned || !wr.lp.IsOptimal())
+        continue;  // infeasible subtree (propagated or LP-proven): prune
       const double node_bound = sense * (wr.lp.objective + pre_offset);
       if (node_bound <= incumbent_max + 1e-9)
         continue;  // cannot improve the incumbent
@@ -549,7 +667,7 @@ BranchAndBoundSolver::Solve(const Model& model) const
           continue;
         open.push(std::make_shared<const Node>(
             Node{parent, j, child_lo, child_hi, node_bound, node->depth + 1,
-                 next_seq++, wr.basis}));
+                 next_seq++, wr.basis, slot_of[i]}));
       }
     }
     if (live != nullptr)

@@ -56,9 +56,14 @@ struct MipResult {
   std::int64_t simplex_pivots = 0; ///< pivots summed over those solves
   // Revised-simplex + presolve telemetry (PR 6).
   std::int64_t simplex_refactors = 0;   ///< basis LU refactorizations
-  std::int64_t eta_updates = 0;         ///< product-form eta updates
+  std::int64_t eta_updates = 0;         ///< Forrest–Tomlin basis updates
   int presolve_rows_removed = 0;        ///< constraints removed at the root
   int presolve_cols_removed = 0;        ///< variables eliminated at the root
+  // Dual-simplex warm restarts + node propagation (PR 9).
+  std::int64_t dual_pivots = 0;         ///< dual-simplex pivots, all solves
+  std::int64_t warm_dual_restarts = 0;  ///< warm solves repaired by dual phase
+  std::int64_t propagation_prunes = 0;  ///< nodes pruned before any LP solve
+  std::int64_t propagated_bounds = 0;   ///< node-local bound tightenings
   // Concurrency telemetry (PR 4).
   int threads_used = 1;            ///< pool width the solve ran with
   std::int64_t steal_count = 0;    ///< pool steals during this solve
@@ -92,6 +97,8 @@ struct LiveSolverStats {
   std::atomic<std::int64_t> lp_solves{0};
   std::atomic<std::int64_t> basis_reuse_attempts{0};
   std::atomic<std::int64_t> basis_reuse_hits{0};
+  std::atomic<std::int64_t> dual_pivots{0};         ///< dual-simplex pivots
+  std::atomic<std::int64_t> warm_dual_restarts{0};  ///< dual-repaired warms
 
   /** True while at least one Solve() is inside its search loop. */
   bool active() const {

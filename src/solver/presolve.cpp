@@ -361,6 +361,161 @@ Presolve(const Model& model, Presolved* out)
   return out->status;
 }
 
+PropagateStatus
+PropagateBounds(const Model& model,
+                std::vector<std::optional<std::pair<double, double>>>* overrides,
+                int max_passes, int* tightened)
+{
+  FLEX_CHECK(overrides != nullptr);
+  const int n = model.NumVariables();
+  const int m = model.NumConstraints();
+  FLEX_CHECK(overrides->empty() ||
+             overrides->size() == static_cast<std::size_t>(n));
+  if (tightened != nullptr)
+    *tightened = 0;
+
+  // Effective bounds: the override where engaged, the model elsewhere.
+  std::vector<double> lo(static_cast<std::size_t>(n));
+  std::vector<double> hi(static_cast<std::size_t>(n));
+  for (int j = 0; j < n; ++j) {
+    const std::size_t sj = static_cast<std::size_t>(j);
+    if (sj < overrides->size() && (*overrides)[sj].has_value()) {
+      lo[sj] = (*overrides)[sj]->first;
+      hi[sj] = (*overrides)[sj]->second;
+    } else {
+      lo[sj] = model.variables()[sj].lower;
+      hi[sj] = model.variables()[sj].upper;
+    }
+    if (lo[sj] > hi[sj] + kFeasTolerance)
+      return PropagateStatus::kInfeasible;
+  }
+
+  // A deduction must move a bound by a meaningful step to count (and to
+  // guarantee the pass loop terminates); integer rounding usually turns
+  // a fractional implication into a full unit step anyway.
+  constexpr double kMinImprove = 1e-6;
+  int count = 0;
+  bool infeasible = false;
+
+  const auto round_integer = [&](int j, double& v, bool is_lower) {
+    if (!model.variables()[static_cast<std::size_t>(j)].is_integer ||
+        !std::isfinite(v))
+      return;
+    v = is_lower ? std::ceil(v - kIntegralityTolerance)
+                 : std::floor(v + kIntegralityTolerance);
+  };
+  const auto tighten_lower = [&](int j, double v) {
+    const std::size_t sj = static_cast<std::size_t>(j);
+    round_integer(j, v, true);
+    if (!(v > lo[sj] + kMinImprove))
+      return false;
+    lo[sj] = v;
+    if (lo[sj] > hi[sj] + kFeasTolerance)
+      infeasible = true;
+    ++count;
+    return true;
+  };
+  const auto tighten_upper = [&](int j, double v) {
+    const std::size_t sj = static_cast<std::size_t>(j);
+    round_integer(j, v, false);
+    if (!(v < hi[sj] - kMinImprove))
+      return false;
+    hi[sj] = v;
+    if (lo[sj] > hi[sj] + kFeasTolerance)
+      infeasible = true;
+    ++count;
+    return true;
+  };
+
+  bool changed = true;
+  for (int pass = 0; pass < max_passes && changed && !infeasible; ++pass) {
+    changed = false;
+    for (int i = 0; i < m && !infeasible; ++i) {
+      const Constraint& c = model.constraints()[static_cast<std::size_t>(i)];
+      // Finite parts of the activity bounds, plus how many terms
+      // contribute an infinity to each. With one infinite contributor
+      // the row still implies a bound on that contributor alone.
+      double fin_min = 0.0;
+      double fin_max = 0.0;
+      int inf_min = 0;
+      int inf_max = 0;
+      for (const auto& [var, coef] : c.terms) {
+        if (coef == 0.0)
+          continue;
+        const std::size_t sv = static_cast<std::size_t>(var);
+        const double l = coef > 0.0 ? lo[sv] : hi[sv];
+        const double u = coef > 0.0 ? hi[sv] : lo[sv];
+        if (std::isfinite(l))
+          fin_min += coef * l;
+        else
+          ++inf_min;
+        if (std::isfinite(u))
+          fin_max += coef * u;
+        else
+          ++inf_max;
+      }
+      const double min_act = inf_min > 0 ? -kInf : fin_min;
+      const double max_act = inf_max > 0 ? kInf : fin_max;
+
+      const bool needs_le = c.relation != Relation::kGreaterEqual;
+      const bool needs_ge = c.relation != Relation::kLessEqual;
+      if ((needs_le && min_act > c.rhs + kFeasTolerance) ||
+          (needs_ge && max_act < c.rhs - kFeasTolerance)) {
+        infeasible = true;
+        break;
+      }
+
+      for (const auto& [var, coef] : c.terms) {
+        if (coef == 0.0)
+          continue;
+        const std::size_t sv = static_cast<std::size_t>(var);
+        // Activity of the row *excluding* this term, from each side.
+        // Defined when every other term is finite on that side.
+        const double l = coef > 0.0 ? lo[sv] : hi[sv];
+        const double u = coef > 0.0 ? hi[sv] : lo[sv];
+        const bool min_rest_ok = inf_min == (std::isfinite(l) ? 0 : 1);
+        const bool max_rest_ok = inf_max == (std::isfinite(u) ? 0 : 1);
+        const double min_rest =
+            fin_min - (std::isfinite(l) ? coef * l : 0.0);
+        const double max_rest =
+            fin_max - (std::isfinite(u) ? coef * u : 0.0);
+        if (needs_le && min_rest_ok) {
+          // sum <= rhs: coef * x <= rhs - min(rest).
+          const double b = (c.rhs - min_rest) / coef;
+          changed |= coef > 0.0 ? tighten_upper(var, b)
+                                : tighten_lower(var, b);
+        }
+        if (needs_ge && max_rest_ok) {
+          // sum >= rhs: coef * x >= rhs - max(rest).
+          const double b = (c.rhs - max_rest) / coef;
+          changed |= coef > 0.0 ? tighten_lower(var, b)
+                                : tighten_upper(var, b);
+        }
+        if (infeasible)
+          break;
+      }
+    }
+  }
+
+  if (tightened != nullptr)
+    *tightened = count;
+  if (infeasible)
+    return PropagateStatus::kInfeasible;
+  if (count == 0)
+    return PropagateStatus::kUnchanged;
+
+  // Write the tightened box back as overrides.
+  if (overrides->empty())
+    overrides->resize(static_cast<std::size_t>(n));
+  for (int j = 0; j < n; ++j) {
+    const std::size_t sj = static_cast<std::size_t>(j);
+    const Variable& v = model.variables()[sj];
+    if ((*overrides)[sj].has_value() || lo[sj] != v.lower || hi[sj] != v.upper)
+      (*overrides)[sj] = std::make_pair(lo[sj], hi[sj]);
+  }
+  return PropagateStatus::kTightened;
+}
+
 void
 Postsolve(const Presolved& info, const std::vector<double>& reduced_x,
           std::vector<double>* original_x)

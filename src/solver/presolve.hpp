@@ -23,6 +23,8 @@
 #ifndef FLEX_SOLVER_PRESOLVE_HPP_
 #define FLEX_SOLVER_PRESOLVE_HPP_
 
+#include <optional>
+#include <utility>
 #include <vector>
 
 #include "solver/model.hpp"
@@ -58,6 +60,39 @@ PresolveStatus Presolve(const Model& model, Presolved* out);
  */
 void Postsolve(const Presolved& info, const std::vector<double>& reduced_x,
                std::vector<double>* original_x);
+
+/** Outcome of node-local bound propagation. */
+enum class PropagateStatus {
+  kUnchanged,   ///< fixpoint reached without changing any bound
+  kTightened,   ///< at least one bound was tightened in place
+  kInfeasible,  ///< the bounds admit no feasible point — prune the node
+};
+
+/**
+ * Activity-based bound tightening over a fixed model, reading and
+ * writing per-variable bound overrides (the branch-and-bound node
+ * representation — same layout as simplex.hpp's BoundOverrides: an
+ * engaged entry replaces the model's [lower, upper] for that variable).
+ *
+ * Each pass walks every constraint, forms minimum/maximum row
+ * activities from the effective bounds (with infinite contributions
+ * counted, so one-infinity rows still tighten their infinite
+ * contributor), and derives implied bounds for every variable in the
+ * row; integer variables are rounded inward. The loop stops at a
+ * fixpoint or after @p max_passes passes. Every deduced bound is valid
+ * for *all* feasible points of the node, not just optimal ones, so the
+ * reduction is safe under branching.
+ *
+ * @p overrides may be empty (treated as no overrides; resized to one
+ * entry per variable if anything tightens) or sized to the model.
+ * @p tightened, when non-null, receives the number of individual bound
+ * changes applied. Pure function of (model, *overrides) — deterministic
+ * and safe to call concurrently on distinct override vectors.
+ */
+PropagateStatus PropagateBounds(
+    const Model& model,
+    std::vector<std::optional<std::pair<double, double>>>* overrides,
+    int max_passes, int* tightened);
 
 }  // namespace flex::solver
 

@@ -1,6 +1,7 @@
 #include "revised_simplex.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <limits>
 
@@ -16,8 +17,21 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
  * test and are never chosen as pivots. */
 constexpr double kRatioTolerance = 1e-9;
 
+/** Minimum magnitude of a committed pivot element. Stricter than
+ * kRatioTolerance: an entry can be numerically nonzero yet far too
+ * small to divide by — replacing a basis column through a ~1e-9 pivot
+ * produces a numerically singular basis that the next refactorization
+ * rejects. Rows below this threshold simply do not participate in the
+ * ratio test (their basic variable drifts by at most step * 1e-7,
+ * within the feasibility tolerances). */
+constexpr double kPivotTolerance = 1e-7;
+
 /** Absolute slack allowed when judging a warm basis primal feasible. */
 constexpr double kWarmFeasTolerance = 1e-7;
+
+/** Absolute slack allowed when judging a warm basis dual feasible (the
+ * entry ticket for the dual-simplex repair path). */
+constexpr double kDualFeasTolerance = 1e-7;
 
 /** Phase-1 optimum above this level of residual infeasibility means the
  * LP has no feasible point (matches the dense implementation). */
@@ -26,6 +40,18 @@ constexpr double kInfeasibilityTolerance = 1e-6;
 /** A variable whose bound range is below this is treated as fixed: it
  * never enters the basis (a "flip" of a fixed variable would loop). */
 constexpr double kFixedTolerance = 1e-12;
+
+/** Extraction refactorizes ("polishes") only when at least this many
+ * Forrest–Tomlin updates have accumulated; warm re-solves extract
+ * straight from the loaded factors. Sits just under the periodic
+ * refactor interval (64): the FT stability test bounds per-update
+ * drift, so polishing more eagerly than the iteration loop itself
+ * refactorizes only burns the refactorizations the adoption/patch
+ * routes exist to avoid. */
+constexpr int kPolishUpdateThreshold = 48;
+
+/** Process-wide basis snapshot ids; only equality is ever consulted. */
+std::atomic<std::uint64_t> g_next_basis_id{0};
 
 /** Where a nonbasic column currently sits. */
 enum VarState : signed char {
@@ -58,12 +84,20 @@ class RevisedSolver {
 
  private:
   bool PrepareBounds(const BoundOverrides& overrides);
+  bool UpdateStructuralBounds(const BoundOverrides& overrides);
   void BuildColumns();
   void SetupCosts();
   int AppendColumn(int entry_row, double coef, double lower, double upper);
   void SetNonbasicDefaults(const SimplexBasis* basis);
   void SetupColdBasis();
   bool InstallWarmBasis(const SimplexBasis& basis);
+  bool TryAdoptResident(const SimplexBasis& basis);
+  bool TryPatchResident(const SimplexBasis& basis,
+                        const BoundOverrides& overrides,
+                        bool* box_infeasible);
+  void ReparkNonbasicStructurals();
+  bool PrimalFeasibleClamp();
+  bool DualFeasibleBasis();
   bool RefactorizeBasis();
   void ComputeBeta();
   void ComputeDuals(bool phase_one);
@@ -73,11 +107,12 @@ class RevisedSolver {
   int PriceEntering(bool bland, bool phase_one, double* reduced_cost);
   LpStatus RunTwoPhase(int max_iters, int& iterations);
   LpStatus Iterate(bool phase_one, int max_iters, int& iterations);
+  LpStatus IterateDual(int max_iters, int& iterations);
 
   const Model& model_;
   SimplexWorkspace& ws_;
   const double tol_;
-  const int refactor_interval_;
+  int refactor_interval_;  ///< mutable: the safe-mode retry shrinks it
   const int max_iterations_;
 
   int n_ = 0;          ///< structural columns (model variables)
@@ -85,17 +120,24 @@ class RevisedSolver {
   int num_cols_ = 0;   ///< total columns including slacks + artificials
   int first_artificial_ = 0;
   int pricing_cursor_ = 0;
+  int dual_pivots_ = 0;
+  bool used_dual_ = false;
 };
 
 bool
 RevisedSolver::PrepareBounds(const BoundOverrides& overrides)
 {
-  n_ = model_.NumVariables();
-  m_ = model_.NumConstraints();
-  FLEX_REQUIRE(overrides.empty() || static_cast<int>(overrides.size()) == n_,
-               "bound overrides must be empty or cover every variable");
   ws_.sp_lower.assign(static_cast<std::size_t>(n_), 0.0);
   ws_.sp_upper.assign(static_cast<std::size_t>(n_), 0.0);
+  return UpdateStructuralBounds(overrides);
+}
+
+/** Writes the effective child bounds of the structural columns into
+ * sp_lower/sp_upper[0..n) in place (slack/artificial entries, if any,
+ * are untouched). False means the bound box itself is empty. */
+bool
+RevisedSolver::UpdateStructuralBounds(const BoundOverrides& overrides)
+{
   for (int j = 0; j < n_; ++j) {
     const Variable& v = model_.variables()[static_cast<std::size_t>(j)];
     double lo = v.lower;
@@ -115,6 +157,9 @@ RevisedSolver::PrepareBounds(const BoundOverrides& overrides)
 void
 RevisedSolver::BuildColumns()
 {
+  // Rebuilding the column file discards whatever factorization the
+  // workspace held, so any resident-basis claim is void from here on.
+  ws_.resident_basis_id = 0;
   BuildCsc(model_, &ws_.columns);
   ws_.sp_lower.resize(static_cast<std::size_t>(n_));
   ws_.sp_upper.resize(static_cast<std::size_t>(n_));
@@ -251,6 +296,335 @@ RevisedSolver::SetupColdBasis()
   }
 }
 
+/**
+ * Fast warm path: the workspace's loaded factorization already realises
+ * the snapshot being installed, so the column file, basis, states, and
+ * LU factors are all still valid. Only the structural bounds changed;
+ * refresh them, re-park nonbasic structurals on their (possibly moved)
+ * bounds, and recompute beta with one Ftran — no column rebuild, no
+ * refactorization.
+ *
+ * Two routes establish the match. The id route recognises the exact
+ * snapshot this workspace extracted last (the dive / re-solve pattern).
+ * The content route compares the snapshot's row arrangement and
+ * nonbasic parking against what is loaded — this is what fires when a
+ * sibling re-solves from the parent snapshot after a degenerate child
+ * (final basis == parent basis), and it is what lets long solve chains
+ * run on Forrest–Tomlin updates alone instead of one refactorization
+ * per node.
+ */
+bool
+RevisedSolver::TryAdoptResident(const SimplexBasis& basis)
+{
+  if (ws_.resident_model != static_cast<const void*>(&model_))
+    return false;
+  if (ws_.resident_num_cols < n_ + m_ ||
+      static_cast<int>(ws_.sp_lower.size()) != ws_.resident_num_cols ||
+      static_cast<int>(ws_.sp_state.size()) != ws_.resident_num_cols ||
+      static_cast<int>(ws_.sp_basic_of_row.size()) != m_)
+    return false;
+  const auto adopt = [&] {
+    num_cols_ = ws_.resident_num_cols;
+    first_artificial_ = ws_.resident_first_artificial;
+    return true;
+  };
+  if (basis.id != 0 && basis.id == ws_.resident_basis_id)
+    return adopt();
+
+  // Content route: every row must hold exactly the column the snapshot
+  // prescribes (which also proves the basic sets are identical), and
+  // every nonbasic column must be parked on the side the install path
+  // would choose, so the starting vertex matches a fresh install.
+  if (ws_.resident_basis_id == 0 ||
+      static_cast<int>(basis.rows.size()) != m_)
+    return false;
+  std::vector<char> seen(static_cast<std::size_t>(m_), 0);
+  for (const SimplexBasis::RowEntry& entry : basis.rows) {
+    if (entry.row_id < 0 || entry.row_id >= m_ ||
+        seen[static_cast<std::size_t>(entry.row_id)])
+      return false;
+    seen[static_cast<std::size_t>(entry.row_id)] = 1;
+    int expect = -1;
+    if (entry.kind == SimplexBasis::Kind::kStructural && entry.col_id >= 0 &&
+        entry.col_id < n_) {
+      expect = entry.col_id;
+    } else if (entry.kind == SimplexBasis::Kind::kSlack &&
+               entry.col_id >= 0 && entry.col_id < m_) {
+      expect = n_ + entry.col_id;
+    } else {
+      return false;  // artificial or malformed entry: no content match
+    }
+    // Set membership, not positional equality: the factorization
+    // represents the basis MATRIX, and which factor row a basic column
+    // is labelled with is bookkeeping, not mathematics — pivoting
+    // permutes rows freely, so a row-permuted loaded basis is just as
+    // adoptable as an arrangement-exact one.
+    if (ws_.sp_state[static_cast<std::size_t>(expect)] != kBasic)
+      return false;
+  }
+  for (int j = 0; j < n_; ++j) {
+    const signed char s = ws_.sp_state[static_cast<std::size_t>(j)];
+    if (s == kBasic)
+      continue;
+    // ReparkNonbasicStructurals resolves kAtLower and kFreeAtZero to
+    // the same side SetNonbasicDefaults would pick, so only the
+    // at-upper bit has to agree with the snapshot's prescription.
+    const bool wants_upper =
+        std::binary_search(basis.at_upper.begin(), basis.at_upper.end(), j);
+    if (wants_upper != (s == kAtUpper))
+      return false;
+  }
+  for (int i = 0; i < m_; ++i) {
+    const std::size_t s = static_cast<std::size_t>(n_ + i);
+    if (ws_.sp_state[s] == kBasic)
+      continue;
+    if (ws_.sp_upper[s] - ws_.sp_lower[s] <= kFixedTolerance)
+      continue;  // equality-row slack: both sides are the same point
+    const Relation rel =
+        model_.constraints()[static_cast<std::size_t>(i)].relation;
+    const signed char want =
+        rel == Relation::kGreaterEqual ? kAtUpper : kAtLower;
+    if (ws_.sp_state[s] != want)
+      return false;
+  }
+  return adopt();
+}
+
+/**
+ * Middle warm path: the loaded factorization realises a basis that
+ * differs from the snapshot in only a few rows (the sibling pattern —
+ * the workspace last solved this node's sibling, which started from
+ * the same parent snapshot and moved a handful of columns). Instead of
+ * rebuilding and refactorizing, pivot each differing row's prescribed
+ * column into the factors with one Ftran + Forrest–Tomlin update
+ * apiece — the same O(diff · m) a dual pivot costs, against the
+ * O(m · nnz) of a refactorization. Any rejected update (singular or
+ * unstable intermediate basis, e.g. a row-permuted diff) simply falls
+ * back to the install route, which refactorizes from scratch.
+ *
+ * On success the starting vertex is bit-for-bit what InstallWarmBasis
+ * would have produced — same basis arrangement, same nonbasic parking
+ * via SetNonbasicDefaults — only the factor representation differs by
+ * roundoff, the same accepted trade the id/content adoption routes
+ * make.
+ */
+bool
+RevisedSolver::TryPatchResident(const SimplexBasis& basis,
+                                const BoundOverrides& overrides,
+                                bool* box_infeasible)
+{
+  if (ws_.resident_basis_id == 0 ||
+      ws_.resident_model != static_cast<const void*>(&model_)) {
+    return false;
+  }
+  if (ws_.resident_num_cols < n_ + m_ ||
+      static_cast<int>(ws_.sp_lower.size()) != ws_.resident_num_cols ||
+      static_cast<int>(ws_.sp_state.size()) != ws_.resident_num_cols ||
+      static_cast<int>(ws_.sp_basic_of_row.size()) != m_ ||
+      static_cast<int>(basis.rows.size()) != m_) {
+    return false;
+  }
+
+  // Resolve the snapshot's prescription per row; bail on anything but
+  // plain structural/slack entries (artificial rows are the cold
+  // path's business) or on duplicate rows.
+  std::vector<int> target(static_cast<std::size_t>(m_), -1);
+  for (const SimplexBasis::RowEntry& entry : basis.rows) {
+    if (entry.row_id < 0 || entry.row_id >= m_ ||
+        target[static_cast<std::size_t>(entry.row_id)] >= 0)
+      return false;
+    int expect = -1;
+    if (entry.kind == SimplexBasis::Kind::kStructural && entry.col_id >= 0 &&
+        entry.col_id < n_) {
+      expect = entry.col_id;
+    } else if (entry.kind == SimplexBasis::Kind::kSlack &&
+               entry.col_id >= 0 && entry.col_id < m_) {
+      expect = n_ + entry.col_id;
+    } else {
+      return false;
+    }
+    target[static_cast<std::size_t>(entry.row_id)] = expect;
+  }
+
+  // Diff the basic SETS, not the row arrangements: every
+  // refactorization re-pivots and so re-permutes rows, which makes the
+  // loaded arrangement essentially unrelated to the snapshot's even
+  // when the sets are a pivot or two apart (the sibling pattern).
+  // Only columns genuinely entering the basis need factor work; a set
+  // member sitting in a different row is bookkeeping, not mathematics.
+  std::vector<char> wanted(static_cast<std::size_t>(ws_.resident_num_cols),
+                           0);
+  for (int r = 0; r < m_; ++r)
+    wanted[static_cast<std::size_t>(target[static_cast<std::size_t>(r)])] = 1;
+  const int max_patch = std::max(2, m_ / 4);
+  std::vector<int> out_rows;  // rows whose basic column must leave
+  for (int r = 0; r < m_; ++r) {
+    const int loaded = ws_.sp_basic_of_row[static_cast<std::size_t>(r)];
+    if (loaded >= n_ + m_) {
+      // An evicted appended artificial would leave stale state behind
+      // (those columns are not covered by SetNonbasicDefaults).
+        return false;
+    }
+    if (!wanted[static_cast<std::size_t>(loaded)]) {
+      out_rows.push_back(r);
+      if (static_cast<int>(out_rows.size()) > max_patch)
+        return false;  // patching stops paying off against a refactor
+    }
+  }
+  std::vector<int> in_cols;  // prescribed columns not currently basic
+  for (int r = 0; r < m_; ++r) {
+    const int want = target[static_cast<std::size_t>(r)];
+    if (ws_.sp_state[static_cast<std::size_t>(want)] != kBasic)
+      in_cols.push_back(want);
+  }
+  if (in_cols.size() != out_rows.size())
+    return false;  // states out of sync with the row file: do not touch
+
+  if (!UpdateStructuralBounds(overrides)) {
+    *box_infeasible = true;
+    return true;
+  }
+
+  // Pivot each incoming column into some departing row: Ftran it and
+  // greedily take the unmatched departing row with the largest pivot
+  // magnitude (deterministic: ties keep the lowest row). A column with
+  // no viable pivot, or an update the factorization rejects as
+  // unstable, bails to the install route — which rebuilds everything
+  // from scratch, so half-patched factors are harmless; the stale
+  // residency claim is revoked so nothing can adopt them either.
+  bool mutated = false;
+  std::vector<char> matched(out_rows.size(), 0);
+  for (const int want : in_cols) {
+    ws_.sp_alpha.assign(static_cast<std::size_t>(m_), 0.0);
+    for (int k = ws_.columns.start[static_cast<std::size_t>(want)];
+         k < ws_.columns.start[static_cast<std::size_t>(want) + 1]; ++k) {
+      ws_.sp_alpha[static_cast<std::size_t>(
+          ws_.columns.row[static_cast<std::size_t>(k)])] =
+          ws_.columns.value[static_cast<std::size_t>(k)];
+    }
+    ws_.factorization.Ftran(ws_.sp_alpha);
+    int best = -1;
+    double best_mag = kPivotTolerance;
+    for (std::size_t o = 0; o < out_rows.size(); ++o) {
+      if (matched[o])
+        continue;
+      const double mag = std::fabs(
+          ws_.sp_alpha[static_cast<std::size_t>(out_rows[o])]);
+      if (mag > best_mag) {
+        best = static_cast<int>(o);
+        best_mag = mag;
+      }
+    }
+    if (best < 0 ||
+        !ws_.factorization.Update(out_rows[static_cast<std::size_t>(best)],
+                                  ws_.sp_alpha)) {
+      if (mutated)
+        ws_.resident_basis_id = 0;
+      return false;
+    }
+    mutated = true;
+    matched[static_cast<std::size_t>(best)] = 1;
+    const int row = out_rows[static_cast<std::size_t>(best)];
+    const int evicted = ws_.sp_basic_of_row[static_cast<std::size_t>(row)];
+    ws_.sp_basic_of_row[static_cast<std::size_t>(row)] = want;
+    ws_.sp_state[static_cast<std::size_t>(want)] = kBasic;
+    ws_.sp_state[static_cast<std::size_t>(evicted)] = kAtLower;
+  }
+
+  // Same basic set as the snapshot now, possibly in a different row
+  // arrangement — the same accepted trade the set-adoption route
+  // makes. Park every nonbasic column exactly as an install would, so
+  // the starting vertex matches InstallWarmBasis bit for bit.
+  num_cols_ = ws_.resident_num_cols;
+  first_artificial_ = ws_.resident_first_artificial;
+  SetNonbasicDefaults(&basis);
+  for (int r = 0; r < m_; ++r) {
+    ws_.sp_state[static_cast<std::size_t>(
+        ws_.sp_basic_of_row[static_cast<std::size_t>(r)])] = kBasic;
+  }
+  ComputeBeta();
+  return true;
+}
+
+/** Re-parks every nonbasic structural column on a bound that exists
+ * under the current (child) bounds, keeping the previous side where
+ * possible so the accompanying basis stays meaningful. */
+void
+RevisedSolver::ReparkNonbasicStructurals()
+{
+  for (int j = 0; j < n_; ++j) {
+    const std::size_t sj = static_cast<std::size_t>(j);
+    if (ws_.sp_state[sj] == kBasic)
+      continue;
+    const double lo = ws_.sp_lower[sj];
+    const double hi = ws_.sp_upper[sj];
+    if (ws_.sp_state[sj] == kAtUpper && std::isfinite(hi)) {
+      ws_.sp_value[sj] = hi;
+    } else if (std::isfinite(lo)) {
+      ws_.sp_state[sj] = kAtLower;
+      ws_.sp_value[sj] = lo;
+    } else if (std::isfinite(hi)) {
+      ws_.sp_state[sj] = kAtUpper;
+      ws_.sp_value[sj] = hi;
+    } else {
+      ws_.sp_state[sj] = kFreeAtZero;
+      ws_.sp_value[sj] = 0.0;
+    }
+  }
+}
+
+/** Primal feasibility gate over the basic values; on success clamps the
+ * within-tolerance roundoff into the bounds and returns true. */
+bool
+RevisedSolver::PrimalFeasibleClamp()
+{
+  for (int r = 0; r < m_; ++r) {
+    const int b = ws_.sp_basic_of_row[static_cast<std::size_t>(r)];
+    const double lo = ws_.sp_lower[static_cast<std::size_t>(b)];
+    const double hi = ws_.sp_upper[static_cast<std::size_t>(b)];
+    if (ws_.sp_beta[static_cast<std::size_t>(r)] < lo - kWarmFeasTolerance ||
+        ws_.sp_beta[static_cast<std::size_t>(r)] > hi + kWarmFeasTolerance)
+      return false;
+  }
+  for (int r = 0; r < m_; ++r) {
+    const int b = ws_.sp_basic_of_row[static_cast<std::size_t>(r)];
+    double& beta = ws_.sp_beta[static_cast<std::size_t>(r)];
+    beta = std::min(std::max(beta, ws_.sp_lower[static_cast<std::size_t>(b)]),
+                    ws_.sp_upper[static_cast<std::size_t>(b)]);
+  }
+  return true;
+}
+
+/**
+ * Dual feasibility of the current basis under the Phase-2 costs: every
+ * nonbasic column's reduced cost has the optimal sign for the side it
+ * sits on. A branching child inherits this automatically (costs and
+ * basis are the parent's; only bounds moved), which is what licenses
+ * the dual-simplex repair instead of a cold Phase 1.
+ */
+bool
+RevisedSolver::DualFeasibleBasis()
+{
+  ComputeDuals(/*phase_one=*/false);
+  const int limit = std::min(num_cols_, first_artificial_);
+  for (int j = 0; j < limit; ++j) {
+    const signed char s = ws_.sp_state[static_cast<std::size_t>(j)];
+    if (s == kBasic)
+      continue;
+    if (ws_.sp_upper[static_cast<std::size_t>(j)] -
+            ws_.sp_lower[static_cast<std::size_t>(j)] <= kFixedTolerance)
+      continue;  // fixed columns never move; their sign is irrelevant
+    const double rc = ReducedCost(j, /*phase_one=*/false);
+    if (s == kAtLower && rc < -kDualFeasTolerance)
+      return false;
+    if (s == kAtUpper && rc > kDualFeasTolerance)
+      return false;
+    if (s == kFreeAtZero && std::fabs(rc) > kDualFeasTolerance)
+      return false;
+  }
+  return true;
+}
+
 bool
 RevisedSolver::InstallWarmBasis(const SimplexBasis& basis)
 {
@@ -265,17 +639,15 @@ RevisedSolver::InstallWarmBasis(const SimplexBasis& basis)
     int col = -1;
     switch (entry.kind) {
       case SimplexBasis::Kind::kStructural:
-        // A variable the child has since fixed (lo == hi, the normal
-        // result of a dive or branch pin) must not stay basic at its
-        // stale parent value — that would always fail the feasibility
-        // gate below. Skip the entry so the row falls back to its
-        // slack; the fixed variable contributes as a nonbasic constant
-        // instead. (The dense tableau gets the same semantics by
-        // substituting fixed columns out of the model entirely.)
-        if (entry.col_id >= 0 && entry.col_id < n_ &&
-            ws_.sp_upper[static_cast<std::size_t>(entry.col_id)] -
-                    ws_.sp_lower[static_cast<std::size_t>(entry.col_id)] >
-                kFixedTolerance)
+        // A variable the child has since fixed (branch pin, propagation)
+        // stays basic: the basis then has exactly the parent's columns,
+        // which are provably nonsingular, and the dual ratio test drives
+        // the variable onto its bound through a proper pivot. The old
+        // swap-for-slack fallback routinely produced a singular or
+        // dual-infeasible basis (replacing a structural column with a
+        // unit column changes the span), which showed up as ~1/3 of all
+        // warm installs failing back to the cold two-phase path.
+        if (entry.col_id >= 0 && entry.col_id < n_)
           col = entry.col_id;
         break;
       case SimplexBasis::Kind::kSlack:
@@ -321,18 +693,6 @@ RevisedSolver::InstallWarmBasis(const SimplexBasis& basis)
   if (!RefactorizeBasis())
     return false;  // singular under the child bounds; cold path decides
   ComputeBeta();
-
-  // Primal feasibility gate: the snapshot must still be feasible here,
-  // or the warm start would change the answer rather than the route.
-  for (int r = 0; r < m_; ++r) {
-    const int b = ws_.sp_basic_of_row[static_cast<std::size_t>(r)];
-    const double lo = ws_.sp_lower[static_cast<std::size_t>(b)];
-    const double hi = ws_.sp_upper[static_cast<std::size_t>(b)];
-    double& beta = ws_.sp_beta[static_cast<std::size_t>(r)];
-    if (beta < lo - kWarmFeasTolerance || beta > hi + kWarmFeasTolerance)
-      return false;
-    beta = std::min(std::max(beta, lo), hi);
-  }
   return true;
 }
 
@@ -520,12 +880,12 @@ RevisedSolver::Iterate(bool phase_one, int max_iters, int& iterations)
       const int b = ws_.sp_basic_of_row[static_cast<std::size_t>(r)];
       const double beta = ws_.sp_beta[static_cast<std::size_t>(r)];
       double t;
-      if (ar > kRatioTolerance) {
+      if (ar > kPivotTolerance) {
         const double lo = ws_.sp_lower[static_cast<std::size_t>(b)];
         if (lo == -kInf)
           continue;
         t = (beta - lo) / ar;
-      } else if (ar < -kRatioTolerance) {
+      } else if (ar < -kPivotTolerance) {
         const double hi = ws_.sp_upper[static_cast<std::size_t>(b)];
         if (hi == kInf)
           continue;
@@ -571,6 +931,20 @@ RevisedSolver::Iterate(bool phase_one, int max_iters, int& iterations)
     } else if (pr < 0) {
       return LpStatus::kUnbounded;
     } else {
+      // Absorb the pivot into the factors *before* touching any solver
+      // state. A rejected (unstable) update leaves both the factors and
+      // the iterate untouched, so stale-factor drift — which can
+      // manufacture a phantom pivot entry out of a structurally zero
+      // one — costs a refactorization and a re-price, never a
+      // half-committed pivot on a singular basis.
+      const bool fresh = ws_.factorization.updates_since_refactor() == 0;
+      const bool absorbed = ws_.factorization.Update(pr, ws_.sp_alpha);
+      if (!absorbed && !fresh) {
+        if (!RefactorizeBasis())
+          return LpStatus::kIterationLimit;  // numerical give-up; see Solve
+        ComputeBeta();
+        continue;  // re-price against accurate factors
+      }
       const double t = best_t;
       const double xq = ws_.sp_value[static_cast<std::size_t>(q)] + dir * t;
       for (int r = 0; r < m_; ++r) {
@@ -594,10 +968,19 @@ RevisedSolver::Iterate(bool phase_one, int max_iters, int& iterations)
       ws_.sp_value[static_cast<std::size_t>(q)] = xq;
       ws_.sp_beta[static_cast<std::size_t>(pr)] = xq;
       ws_.sp_basic_of_row[static_cast<std::size_t>(pr)] = q;
-      ws_.factorization.Update(pr, ws_.sp_alpha);
-      if (ws_.factorization.updates_since_refactor() >= refactor_interval_) {
-        FLEX_CHECK_MSG(RefactorizeBasis(),
-                       "periodic refactorization found a singular basis");
+      // An update rejected on *fresh* factors means the pair really is
+      // marginal; the pivot magnitude still cleared kPivotTolerance, so
+      // force the post-pivot basis through a refactorization instead.
+      if (!absorbed ||
+          ws_.factorization.updates_since_refactor() >= refactor_interval_) {
+        // A refusal here means a pivot chosen through drifted update
+        // factors landed on a structurally dependent column (drift can
+        // exceed kPivotTolerance between refactorizations, so a
+        // structurally zero entry can masquerade as a valid pivot).
+        // Give up; Solve retries cold with a near-paranoid refactor
+        // interval where phantom pivots cannot arise.
+        if (!RefactorizeBasis())
+          return LpStatus::kIterationLimit;
         ComputeBeta();
       }
     }
@@ -609,6 +992,213 @@ RevisedSolver::Iterate(bool phase_one, int max_iters, int& iterations)
     } else {
       ++stalled;
     }
+  }
+}
+
+/**
+ * Bounded-variable dual simplex: starting from a dual-feasible basis,
+ * drives primal infeasibilities out one leaving variable at a time
+ * while the reduced-cost signs are preserved by the dual ratio test.
+ * Returns kOptimal once every basic value is back inside its bounds
+ * (the caller finishes with the primal Phase 2), kInfeasible when an
+ * infeasible row admits no eligible entering column — with a
+ * dual-feasible basis that row is a Farkas certificate — or
+ * kIterationLimit on a stall, which the caller treats as "go cold".
+ */
+LpStatus
+RevisedSolver::IterateDual(int max_iters, int& iterations)
+{
+  int degenerate = 0;
+  const int bland_threshold = 2 * (m_ + num_cols_);
+  const int limit = std::min(num_cols_, first_artificial_);
+  // Per-call pivot budget. A dual repair that has not converged within a
+  // small multiple of m is degenerate cycling, and every pivot past that
+  // point compounds Forrest–Tomlin representation error: on room-scale
+  // bases the drift eventually corrupts the ratio test badly enough to
+  // admit a structurally dependent entering column (observed as a
+  // refactorization failure tens of thousands of pivots in). A cold
+  // two-phase solve costs ~2m pivots, so bailing here is also the faster
+  // route. Deterministic: depends only on m and the pivot count.
+  const int dual_pivot_budget = 5 * m_ + 100;
+  int dual_pivots_here = 0;
+  while (true) {
+    if (iterations >= max_iters)
+      return LpStatus::kIterationLimit;
+    if (dual_pivots_here >= dual_pivot_budget)
+      return LpStatus::kIterationLimit;  // caller goes cold
+
+    // Leaving row: the basic variable farthest outside its bounds
+    // (deterministic: strictly-worse wins, so ties keep the lowest
+    // row). delta is the signed violation.
+    int pr = -1;
+    double worst = kWarmFeasTolerance;
+    double delta = 0.0;
+    for (int r = 0; r < m_; ++r) {
+      const int b = ws_.sp_basic_of_row[static_cast<std::size_t>(r)];
+      const double beta = ws_.sp_beta[static_cast<std::size_t>(r)];
+      const double below =
+          ws_.sp_lower[static_cast<std::size_t>(b)] - beta;
+      const double above =
+          beta - ws_.sp_upper[static_cast<std::size_t>(b)];
+      if (below > worst) {
+        worst = below;
+        pr = r;
+        delta = -below;
+      }
+      if (above > worst) {
+        worst = above;
+        pr = r;
+        delta = above;
+      }
+    }
+    if (pr < 0)
+      return LpStatus::kOptimal;  // primal feasible again
+    ++iterations;
+    ++dual_pivots_;
+    ++dual_pivots_here;
+    const bool bland = degenerate > bland_threshold;
+
+    // rho = row pr of the basis inverse (e_pr through Btran); the
+    // pivot-row entry of column j is then a plain dot product.
+    ws_.sp_dj.assign(static_cast<std::size_t>(m_), 0.0);
+    ws_.sp_dj[static_cast<std::size_t>(pr)] = 1.0;
+    ws_.factorization.Btran(ws_.sp_dj);
+    ComputeDuals(/*phase_one=*/false);
+
+    // Dual ratio test: among columns whose entry moves the leaving
+    // variable toward its violated bound, the smallest |rc/alpha_r|
+    // keeps every reduced-cost sign intact. Ties prefer the largest
+    // pivot magnitude (stability), then the lowest index; Bland mode
+    // (after a degenerate stall) takes the lowest eligible index
+    // outright.
+    const double dsign = delta > 0.0 ? 1.0 : -1.0;
+    int q = -1;
+    double best_ratio = kInf;
+    double best_mag = 0.0;
+    for (int j = 0; j < limit; ++j) {
+      const std::size_t sj = static_cast<std::size_t>(j);
+      const signed char s = ws_.sp_state[sj];
+      if (s == kBasic)
+        continue;
+      if (ws_.sp_upper[sj] - ws_.sp_lower[sj] <= kFixedTolerance)
+        continue;
+      double arj = 0.0;
+      for (int k = ws_.columns.start[sj]; k < ws_.columns.start[sj + 1];
+           ++k) {
+        arj += ws_.columns.value[static_cast<std::size_t>(k)] *
+               ws_.sp_dj[static_cast<std::size_t>(
+                   ws_.columns.row[static_cast<std::size_t>(k)])];
+      }
+      if (std::fabs(arj) <= kRatioTolerance)
+        continue;
+      const bool ok = s == kFreeAtZero ||
+                      (s == kAtLower && dsign * arj > 0.0) ||
+                      (s == kAtUpper && dsign * arj < 0.0);
+      if (!ok)
+        continue;
+      if (bland) {
+        q = j;
+        break;
+      }
+      const double ratio =
+          std::fabs(ReducedCost(j, /*phase_one=*/false)) / std::fabs(arj);
+      const double mag = std::fabs(arj);
+      bool take = false;
+      if (q < 0 || ratio < best_ratio - kRatioTolerance)
+        take = true;
+      else if (ratio < best_ratio + kRatioTolerance && mag > best_mag)
+        take = true;
+      if (take) {
+        best_ratio = q < 0 ? ratio : std::min(best_ratio, ratio);
+        best_mag = mag;
+        q = j;
+      }
+    }
+    if (q < 0) {
+      // The infeasibility verdict is trusted as a Farkas certificate, so
+      // it must never rest on drifted update factors: resharpen first and
+      // re-price; only a verdict reached on fresh factors is returned.
+      if (ws_.factorization.updates_since_refactor() > 0) {
+        if (!RefactorizeBasis())
+          return LpStatus::kIterationLimit;  // caller goes cold
+        ComputeBeta();
+        continue;
+      }
+      return LpStatus::kInfeasible;
+    }
+
+    // Pivot: q enters through the factorized column, the leaving
+    // variable lands exactly on its violated bound.
+    ws_.sp_alpha.assign(static_cast<std::size_t>(m_), 0.0);
+    for (int k = ws_.columns.start[static_cast<std::size_t>(q)];
+         k < ws_.columns.start[static_cast<std::size_t>(q) + 1]; ++k) {
+      ws_.sp_alpha[static_cast<std::size_t>(
+          ws_.columns.row[static_cast<std::size_t>(k)])] =
+          ws_.columns.value[static_cast<std::size_t>(k)];
+    }
+    ws_.factorization.Ftran(ws_.sp_alpha);
+    const double arq = ws_.sp_alpha[static_cast<std::size_t>(pr)];
+    if (std::fabs(arq) <= kPivotTolerance) {
+      // The factorized entry is too small to pivot on. With stale
+      // factors that is usually drift: resharpen and re-price this row.
+      // With fresh factors it is structural — hand the solve to the
+      // cold path rather than loop on the same tiny pivot.
+      if (ws_.factorization.updates_since_refactor() == 0 ||
+          !RefactorizeBasis())
+        return LpStatus::kIterationLimit;
+      ComputeBeta();
+      ++degenerate;
+      continue;
+    }
+    // As in the primal loop: absorb the pivot into the factors first,
+    // so a stability rejection can fall back to refactorize-and-reprice
+    // without unwinding any committed state.
+    const bool fresh = ws_.factorization.updates_since_refactor() == 0;
+    const bool absorbed = ws_.factorization.Update(pr, ws_.sp_alpha);
+    if (!absorbed && !fresh) {
+      if (!RefactorizeBasis())
+        return LpStatus::kIterationLimit;  // caller goes cold
+      ComputeBeta();
+      ++degenerate;
+      continue;
+    }
+    const int leaving = ws_.sp_basic_of_row[static_cast<std::size_t>(pr)];
+    const double bound = delta > 0.0
+                             ? ws_.sp_upper[static_cast<std::size_t>(leaving)]
+                             : ws_.sp_lower[static_cast<std::size_t>(leaving)];
+    const double step =
+        (ws_.sp_beta[static_cast<std::size_t>(pr)] - bound) / arq;
+    for (int r = 0; r < m_; ++r) {
+      if (r != pr) {
+        ws_.sp_beta[static_cast<std::size_t>(r)] -=
+            step * ws_.sp_alpha[static_cast<std::size_t>(r)];
+      }
+    }
+    ws_.sp_value[static_cast<std::size_t>(leaving)] = bound;
+    ws_.sp_state[static_cast<std::size_t>(leaving)] =
+        delta > 0.0 ? kAtUpper : kAtLower;
+    const double xq = ws_.sp_value[static_cast<std::size_t>(q)] + step;
+    ws_.sp_state[static_cast<std::size_t>(q)] = kBasic;
+    ws_.sp_value[static_cast<std::size_t>(q)] = xq;
+    ws_.sp_beta[static_cast<std::size_t>(pr)] = xq;
+    ws_.sp_basic_of_row[static_cast<std::size_t>(pr)] = q;
+    if (!absorbed ||
+        ws_.factorization.updates_since_refactor() >= refactor_interval_) {
+      // A refactorization refusal here means the committed pivot chain —
+      // each step individually clearing kPivotTolerance through the
+      // updated factors — has drifted onto a (near-)singular column set.
+      // The warm path must never change an answer, so hand the solve to
+      // the cold two-phase path, which rebuilds everything from scratch.
+      if (!RefactorizeBasis())
+        return LpStatus::kIterationLimit;  // caller goes cold
+      ComputeBeta();
+    }
+    // Bland mode is sticky: once a degenerate stall forced it, leaving
+    // it on a single improving step could re-enter the same cycle.
+    if (bland || best_ratio <= tol_)
+      ++degenerate;
+    else
+      degenerate = 0;
   }
 }
 
@@ -657,13 +1247,10 @@ RevisedSolver::Solve(const BoundOverrides& overrides,
   if (basis_out != nullptr)
     basis_out->clear();
   const BasisFactorization::Stats before = ws_.factorization.stats();
-
-  if (!PrepareBounds(overrides)) {
-    result.status = LpStatus::kInfeasible;
-    return result;
-  }
-  BuildColumns();
-  SetupCosts();
+  n_ = model_.NumVariables();
+  m_ = model_.NumConstraints();
+  FLEX_REQUIRE(overrides.empty() || static_cast<int>(overrides.size()) == n_,
+               "bound overrides must be empty or cover every variable");
 
   const int max_iters = max_iterations_ > 0
                             ? max_iterations_
@@ -671,34 +1258,139 @@ RevisedSolver::Solve(const BoundOverrides& overrides,
   int iterations = 0;
   LpStatus status = LpStatus::kIterationLimit;
   bool solved = false;
+  bool box_infeasible = false;
+
+  auto finish_counters = [&] {
+    const BasisFactorization::Stats after = ws_.factorization.stats();
+    result.refactors = static_cast<int>(after.refactors - before.refactors);
+    result.eta_updates =
+        static_cast<int>(after.eta_updates - before.eta_updates);
+    result.dual_pivots = dual_pivots_;
+  };
+
+  // Warm cleanup shared by the resident and install routes: a basis
+  // still primal feasible goes straight to Phase 2; one pushed out of
+  // primal range by the child bounds but still dual feasible (the
+  // normal state of a branching child) is repaired by dual pivots
+  // first. Either way Phase 1 is skipped. A dual-simplex infeasibility
+  // verdict is trusted: with a dual-feasible basis the blocked row is a
+  // Farkas certificate.
+  auto run_warm = [&]() -> bool {
+    if (PrimalFeasibleClamp()) {
+      status = Iterate(/*phase_one=*/false, max_iters, iterations);
+      return status == LpStatus::kOptimal;
+    }
+    if (!DualFeasibleBasis())
+      return false;
+    const LpStatus dual_status = IterateDual(max_iters, iterations);
+    if (dual_status == LpStatus::kOptimal && PrimalFeasibleClamp()) {
+      used_dual_ = true;
+      status = Iterate(/*phase_one=*/false, max_iters, iterations);
+      return status == LpStatus::kOptimal;
+    }
+    if (dual_status == LpStatus::kInfeasible) {
+      used_dual_ = true;
+      status = LpStatus::kInfeasible;
+      return true;
+    }
+    return false;
+  };
 
   if (warm_basis != nullptr && !warm_basis->empty() && m_ > 0) {
     result.warm_start_attempted = true;
-    if (InstallWarmBasis(*warm_basis)) {
-      status = Iterate(/*phase_one=*/false, max_iters, iterations);
-      if (status == LpStatus::kOptimal) {
-        solved = true;
-        result.warm_start_used = true;
+    bool warm_ready = false;
+    if (TryAdoptResident(*warm_basis)) {
+      if (!UpdateStructuralBounds(overrides)) {
+        box_infeasible = true;
+      } else {
+        ReparkNonbasicStructurals();
+        ComputeBeta();
+        warm_ready = true;
       }
+    } else if (TryPatchResident(*warm_basis, overrides, &box_infeasible)) {
+      warm_ready = !box_infeasible;
+    } else if (PrepareBounds(overrides)) {
+      BuildColumns();
+      SetupCosts();
+      warm_ready = InstallWarmBasis(*warm_basis);
+    } else {
+      box_infeasible = true;
     }
-    if (!solved) {
+    if (warm_ready && run_warm()) {
+      solved = true;
+      result.warm_start_used = true;
+      result.warm_dual_restart = used_dual_;
+    }
+    if (!solved && !box_infeasible) {
       // A warm basis must never change the answer, only the route:
       // rebuild the column file (installs may have appended artificial
-      // columns) and run the cold two-phase path.
+      // columns, and the warm iterations moved everything) and run the
+      // cold two-phase path. Structural bounds in sp_lower/sp_upper are
+      // already the child's, so they carry over as-is.
       BuildColumns();
       SetupCosts();
     }
+  } else if (!PrepareBounds(overrides)) {
+    box_infeasible = true;
+  } else {
+    BuildColumns();
+    SetupCosts();
+  }
+  if (box_infeasible) {
+    // An empty bound box is decided before the factors are touched, so
+    // whatever resident claim the workspace held is still accurate —
+    // keep it for the next solve. (If the failing route was
+    // PrepareBounds, its truncated bound arrays invalidate the claim
+    // through the adoption size checks instead.)
+    result.status = LpStatus::kInfeasible;
+    finish_counters();
+    return result;
   }
   if (!solved)
     status = RunTwoPhase(max_iters, iterations);
+  if (status == LpStatus::kIterationLimit && iterations < max_iters) {
+    // Numerical give-up, not budget exhaustion: somewhere a
+    // refactorization refused a basis assembled through drifted
+    // Forrest–Tomlin factors (between refactorizations the
+    // representation error can exceed kPivotTolerance, letting a
+    // structurally dependent column pass a ratio test). Retry the cold
+    // two-phase path with a near-paranoid refactor interval — factors
+    // are then always fresh when pivots are chosen, so phantom pivots
+    // cannot arise. Deterministic: the retry depends only on the solve
+    // inputs. Callers prune nodes whose LP is not optimal, so quietly
+    // returning kIterationLimit here could silently change answers.
+    const int saved_interval = refactor_interval_;
+    refactor_interval_ = 4;
+    status = RunTwoPhase(max_iters, iterations);
+    refactor_interval_ = saved_interval;
+  }
 
   result.status = status;
   result.iterations = iterations;
+  // Every pivot commits its Forrest–Tomlin update before touching the
+  // iterate, so at ANY exit — optimal or not — the loaded factors, row
+  // file, and states are mutually consistent and realise a valid basis
+  // of this model. Claim residency under a fresh id (no snapshot
+  // carries it; only the content/patch adoption routes can match), so
+  // the solve after a pruned-infeasible child can still patch instead
+  // of refactorizing. A successful extraction below upgrades the claim
+  // to the snapshot's own id.
+  if (m_ > 0 && static_cast<int>(ws_.sp_basic_of_row.size()) == m_) {
+    ws_.resident_basis_id = ++g_next_basis_id;
+    ws_.resident_model = static_cast<const void*>(&model_);
+    ws_.resident_num_cols = num_cols_;
+    ws_.resident_first_artificial = first_artificial_;
+  } else {
+    ws_.resident_basis_id = 0;
+  }
   if (status == LpStatus::kOptimal) {
-    // Final polish: a fresh factorization tightens beta and the duals
-    // right before extraction, so certificates are as sharp as one
-    // refactorization can make them.
-    if (m_ > 0 && RefactorizeBasis())
+    // Conditional polish: refactorize before extraction only when
+    // enough Forrest–Tomlin updates have accumulated for beta and the
+    // duals to have drifted; short warm re-solves (the common
+    // branching-child case) extract straight from the loaded factors.
+    if (m_ > 0 &&
+        ws_.factorization.updates_since_refactor() >= kPolishUpdateThreshold &&
+        RefactorizeBasis())
       ComputeBeta();
     for (int r = 0; r < m_; ++r) {
       ws_.sp_value[static_cast<std::size_t>(
@@ -738,12 +1430,18 @@ RevisedSolver::Solve(const BoundOverrides& overrides,
         if (ws_.sp_state[static_cast<std::size_t>(j)] == kAtUpper)
           basis_out->at_upper.push_back(j);
       }
+      // Tag the snapshot and leave the workspace claiming it: a
+      // follow-up warm solve handed this exact snapshot (the dive /
+      // re-solve pattern) adopts the loaded factors with zero rebuild.
+      basis_out->id = ++g_next_basis_id;
+      ws_.resident_basis_id = basis_out->id;
+      ws_.resident_model = static_cast<const void*>(&model_);
+      ws_.resident_num_cols = num_cols_;
+      ws_.resident_first_artificial = first_artificial_;
     }
   }
 
-  const BasisFactorization::Stats after = ws_.factorization.stats();
-  result.refactors = static_cast<int>(after.refactors - before.refactors);
-  result.eta_updates = static_cast<int>(after.eta_updates - before.eta_updates);
+  finish_counters();
   return result;
 }
 

@@ -8,31 +8,40 @@
  * live behind one API, selected by Options::impl:
  *
  *  - SimplexImpl::kSparse (default): a bounded-variable revised simplex
- *    on CSC columns. The basis is held as a product-form LU
- *    (BasisFactorization) with one eta per pivot and periodic
- *    refactorization; variable bounds are handled natively (nonbasic
- *    variables sit at either bound and may flip without a basis
- *    change), so no bound rows are ever materialized. Pricing is
- *    partial (rotating segments, Dantzig within a segment) with a
- *    Bland's-rule fallback on stall.
+ *    on CSC columns. The basis is held as a sparse LU with
+ *    Forrest–Tomlin updates (BasisFactorization) and refactorization on
+ *    schedule or numerical distress; variable bounds are handled
+ *    natively (nonbasic variables sit at either bound and may flip
+ *    without a basis change), so no bound rows are ever materialized.
+ *    Pricing is partial (rotating segments, Dantzig within a segment)
+ *    with a Bland's-rule fallback on stall. A dual-simplex phase
+ *    restores primal feasibility of a warm basis that a bound change
+ *    pushed out of range, so branching children rarely go cold.
  *  - SimplexImpl::kDense: the original flat-tableau two-phase simplex,
  *    kept in-tree as the independent oracle for the differential LP
  *    test harness (tests/solver_lp_differential_test.cpp).
  *
  * Two features exist for the branch-and-bound caller:
- *  - SimplexWorkspace: all scratch storage (tableau or CSC + eta file)
- *    lives in caller-owned buffers reused across solves, so a million
- *    node re-solves allocate the same few arrays instead of a fresh
- *    vector-of-vectors each.
+ *  - SimplexWorkspace: all scratch storage (tableau or CSC + LU
+ *    factors) lives in caller-owned buffers reused across solves, so a
+ *    million node re-solves allocate the same few arrays instead of a
+ *    fresh vector-of-vectors each. The workspace also remembers which
+ *    basis snapshot its factorization currently represents: a warm
+ *    solve handed the snapshot the same workspace just produced adopts
+ *    the loaded factors directly — no column rebuild, no
+ *    refactorization.
  *  - SimplexBasis: a structural snapshot of the optimal basis. A child
  *    node whose bounds differ from its parent by one variable installs
- *    the parent basis, refactorizes, and skips Phase 1 entirely when
- *    that basis is still primal feasible; when it is not, the solve
- *    silently falls back to the cold two-phase path.
+ *    the parent basis and skips Phase 1 entirely when that basis is
+ *    still primal feasible; a basis pushed out of primal range by the
+ *    tightened bound is still dual feasible and is repaired by a few
+ *    dual-simplex pivots. Only when both routes fail does the solve
+ *    silently fall back to the cold two-phase path.
  */
 #ifndef FLEX_SOLVER_SIMPLEX_HPP_
 #define FLEX_SOLVER_SIMPLEX_HPP_
 
+#include <cstdint>
 #include <optional>
 #include <utility>
 #include <vector>
@@ -60,7 +69,11 @@ struct LpResult {
   bool warm_start_attempted = false;    ///< a basis install was tried
   bool warm_start_used = false;         ///< ... and Phase 1 was skipped
   int refactors = 0;                    ///< basis LU refactorizations
-  int eta_updates = 0;                  ///< product-form eta updates
+  int eta_updates = 0;                  ///< Forrest–Tomlin basis updates
+  int dual_pivots = 0;                  ///< dual-simplex pivots performed
+  /** The warm basis was primal infeasible under the new bounds and the
+   * dual simplex repaired (or refuted) it without a cold Phase 1. */
+  bool warm_dual_restart = false;
   /**
    * Optimality certificate, filled by the sparse implementation on
    * kOptimal. Both are stated for the *minimization* orientation of the
@@ -104,11 +117,21 @@ struct SimplexBasis {
    * lower", and ignores the field on install.
    */
   std::vector<int> at_upper;
+  /**
+   * Identity of the solve that produced this snapshot (0 = none;
+   * process-unique otherwise). A warm solve whose workspace still holds
+   * the factorization tagged with this id adopts it directly instead of
+   * rebuilding columns and refactorizing. Only equality is ever
+   * consulted, so the nondeterministic allocation order of ids across
+   * threads cannot influence the search path.
+   */
+  std::uint64_t id = 0;
 
   bool empty() const { return rows.empty(); }
   void clear() {
     rows.clear();
     at_upper.clear();
+    id = 0;
   }
 };
 
@@ -156,7 +179,17 @@ struct SimplexWorkspace {
   std::vector<double> sp_alpha;    // Ftran'd entering column
   std::vector<double> sp_rhs;      // working right-hand side per row
   std::vector<double> sp_dual;     // row duals (Btran scratch)
-  std::vector<double> sp_dj;       // reduced-cost scratch
+  std::vector<double> sp_dj;       // reduced-cost / dual-pricing scratch
+
+  // Which basis snapshot the sparse-path state (columns, factorization,
+  // states/values) currently represents: the id of the SimplexBasis the
+  // last solve in this workspace emitted, or 0 when the state is stale.
+  // A warm solve matching on (id, model) reuses the loaded factors
+  // as-is — zero column rebuilds and zero refactorizations.
+  std::uint64_t resident_basis_id = 0;
+  const void* resident_model = nullptr;
+  int resident_num_cols = 0;
+  int resident_first_artificial = 0;
 };
 
 /**

@@ -10,15 +10,16 @@ SolverTrace::ToCsv() const
   std::string out =
       "label,elapsed_s,nodes,lp_solves,pivots,bound,incumbent,gap,"
       "basis_attempts,basis_hits,refactors,eta_updates,"
-      "presolve_rows_removed,presolve_cols_removed\n";
-  char buffer[400];
+      "presolve_rows_removed,presolve_cols_removed,"
+      "dual_pivots,warm_dual_restarts,propagation_prunes,propagated_bounds\n";
+  char buffer[512];
   for (const SolverTracePoint& point : points_) {
     char incumbent[40] = "";
     if (point.has_incumbent)
       std::snprintf(incumbent, sizeof(incumbent), "%.9g", point.incumbent);
     std::snprintf(buffer, sizeof(buffer),
                   "%s,%.6f,%lld,%lld,%lld,%.9g,%s,%.9g,%lld,%lld,%lld,%lld,"
-                  "%d,%d\n",
+                  "%d,%d,%lld,%lld,%lld,%lld\n",
                   point.label.c_str(), point.elapsed_s,
                   static_cast<long long>(point.nodes),
                   static_cast<long long>(point.lp_solves),
@@ -27,7 +28,11 @@ SolverTrace::ToCsv() const
                   static_cast<long long>(point.basis_hits),
                   static_cast<long long>(point.refactors),
                   static_cast<long long>(point.eta_updates),
-                  point.presolve_rows_removed, point.presolve_cols_removed);
+                  point.presolve_rows_removed, point.presolve_cols_removed,
+                  static_cast<long long>(point.dual_pivots),
+                  static_cast<long long>(point.warm_dual_restarts),
+                  static_cast<long long>(point.propagation_prunes),
+                  static_cast<long long>(point.propagated_bounds));
     out += buffer;
   }
   return out;

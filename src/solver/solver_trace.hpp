@@ -49,6 +49,11 @@ struct SolverTracePoint {
   std::int64_t eta_updates = 0;
   int presolve_rows_removed = 0;
   int presolve_cols_removed = 0;
+  /** Dual-simplex warm restarts + node propagation (PR 9 telemetry). */
+  std::int64_t dual_pivots = 0;
+  std::int64_t warm_dual_restarts = 0;
+  std::int64_t propagation_prunes = 0;
+  std::int64_t propagated_bounds = 0;
 };
 
 /**
@@ -67,7 +72,7 @@ class SolverTrace {
 
   /**
    * CSV with header
-   * `label,elapsed_s,nodes,lp_solves,pivots,bound,incumbent,gap,basis_attempts,basis_hits,refactors,eta_updates,presolve_rows_removed,presolve_cols_removed`;
+   * `label,elapsed_s,nodes,lp_solves,pivots,bound,incumbent,gap,basis_attempts,basis_hits,refactors,eta_updates,presolve_rows_removed,presolve_cols_removed,dual_pivots,warm_dual_restarts,propagation_prunes,propagated_bounds`;
    * the incumbent column is empty until the first incumbent exists.
    */
   std::string ToCsv() const;

@@ -758,6 +758,12 @@ TEST(ConcurrentScrapeTest, SweepStaysBitIdenticalUnderScrapeLoad)
   server.AddLiveGauge("flex_solver_nodes_explored", [&solver_live] {
     return static_cast<double>(solver_live.nodes_explored.load());
   });
+  server.AddLiveGauge("flex_solver_dual_pivots", [&solver_live] {
+    return static_cast<double>(solver_live.dual_pivots.load());
+  });
+  server.AddLiveGauge("flex_solver_warm_dual_restarts", [&solver_live] {
+    return static_cast<double>(solver_live.warm_dual_restarts.load());
+  });
   ASSERT_TRUE(server.Start());
   const int port = server.port();
 
@@ -787,6 +793,9 @@ TEST(ConcurrentScrapeTest, SweepStaysBitIdenticalUnderScrapeLoad)
   EXPECT_NE(metrics.find("flex_pool_utilization"), std::string::npos);
   EXPECT_NE(metrics.find("flex_solver_wave_nodes"), std::string::npos);
   EXPECT_NE(metrics.find("flex_solver_nodes_explored"), std::string::npos);
+  EXPECT_NE(metrics.find("flex_solver_dual_pivots"), std::string::npos);
+  EXPECT_NE(metrics.find("flex_solver_warm_dual_restarts"),
+            std::string::npos);
   EXPECT_NE(metrics.find("flex_phase_wall_microseconds_bucket"),
             std::string::npos);
   EXPECT_GT(solver_live.solves_finished.load(), 0);
