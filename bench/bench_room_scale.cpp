@@ -33,6 +33,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <limits>
+#include <string>
 #include <vector>
 
 #include "bench_util.hpp"
@@ -229,7 +230,8 @@ main()
   const int overhead_reps = smoke ? 2 : 5;
   ModeResult plain_best;
   ModeResult alerting_best;
-  double overhead_pct = std::numeric_limits<double>::infinity();
+  double overhead_raw_pct = std::numeric_limits<double>::infinity();
+  std::vector<double> pair_deltas_pct;
   for (int rep = 0; rep < overhead_reps; ++rep) {
     const ModeResult plain = TimeRoom(plain_config);
     if (plain.events_per_sec > plain_best.events_per_sec)
@@ -239,8 +241,15 @@ main()
       alerting_best = alerting;
     const double pair_pct =
         100.0 * (1.0 - alerting.events_per_sec / plain.events_per_sec);
-    overhead_pct = std::min(overhead_pct, pair_pct);
+    pair_deltas_pct.push_back(pair_pct);
+    overhead_raw_pct = std::min(overhead_raw_pct, pair_pct);
   }
+  // The min over noisy pairs can land below zero (the alerting run got
+  // the luckier scheduling) — a negative "overhead" is measurement
+  // noise, not a speedup, so the reported overhead clamps at zero. The
+  // raw per-pair deltas are exported alongside it so the noise floor
+  // stays visible in the JSON.
+  const double overhead_pct = std::max(0.0, overhead_raw_pct);
   std::printf("\nalerting enabled, same %d-rack room (store + rules on the "
               "sample tick, min over %d interleaved pairs):\n",
               largest_racks, overhead_reps);
@@ -251,8 +260,9 @@ main()
                   alerting_best.report.store_samples),
               static_cast<unsigned long long>(
                   alerting_best.report.alerts_fired));
-  std::printf("  events/sec overhead: %.2f%% (acceptance: < 2%%)\n",
-              overhead_pct);
+  std::printf("  events/sec overhead: %.2f%% (raw min %.2f%%, acceptance: "
+              "< 2%%)\n",
+              overhead_pct, overhead_raw_pct);
 
   // Sweep determinism: 2 variants through 1 lane and through 2 lanes
   // must fingerprint identically (serial merge in seed order).
@@ -305,6 +315,11 @@ main()
   metrics.gauge("room.alerting.events_per_sec")
       .Set(alerting_best.events_per_sec);
   metrics.gauge("room.alerting.overhead_pct").Set(overhead_pct);
+  metrics.gauge("room.alerting.overhead_raw_min_pct").Set(overhead_raw_pct);
+  for (std::size_t rep = 0; rep < pair_deltas_pct.size(); ++rep) {
+    metrics.gauge("room.alerting.pair_delta_pct." + std::to_string(rep))
+        .Set(pair_deltas_pct[rep]);
+  }
   metrics.gauge("room.alerting.store_samples")
       .Set(static_cast<double>(alerting_best.report.store_samples));
   metrics.gauge("room.alerting.alerts_fired")

@@ -86,6 +86,86 @@ else
   exit 1
 fi
 
+# Fleet-engine gates (BENCH_fleet_scale.json, from scripts/run_benches.sh).
+# Lane identity and merge overhead are hardware-independent and always
+# enforced: the sharded fleet must hash bit-identically across lane
+# counts, and the serial epoch-barrier merge must stay a rounding error
+# next to the parallel stepping it synchronizes. The events/sec floor
+# (largest ladder rung, 100k+ racks) and the serial-vs-parallel speedup
+# only mean something on multi-core hardware and self-skip otherwise,
+# same idiom as the solver speedup gate below. This section never
+# early-exits the script — the solver gates still run after a skip.
+fleet_json="${FLEX_FLEET_BENCH_JSON:-${repo_root}/BENCH_fleet_scale.json}"
+max_merge_overhead_pct=5.0
+min_fleet_events_per_sec=100000
+min_fleet_speedup=1.2
+fleet_gauge() {
+  sed -n "s/.*\"$1\":{[^}]*\"value\":\([0-9eE.+-]*\)}.*/\1/p" \
+    <<< "${fleet_line}"
+}
+if [[ ! -s "${fleet_json}" ]]; then
+  echo "check_budget: SKIP fleet gates — ${fleet_json} not found" \
+       "(generate with scripts/run_benches.sh)"
+else
+  fleet_line="$(tail -n 1 "${fleet_json}")"
+  hash_match="$(fleet_gauge 'fleet\.lane_hash_match')"
+  merge_pct="$(fleet_gauge 'fleet\.merge_overhead_pct')"
+  fleet_events="$(fleet_gauge 'fleet\.events_per_sec')"
+  fleet_speedup="$(fleet_gauge 'fleet\.scaling\.speedup')"
+  fleet_hw="$(sed -n 's/.*"hw_concurrency":\([0-9]*\),.*/\1/p' \
+    <<< "${fleet_line}")"
+  [[ -n "${fleet_hw}" ]] || fleet_hw="$(nproc)"
+  if [[ -z "${hash_match}" || -z "${merge_pct}" ]]; then
+    echo "check_budget: SKIP fleet gates — fleet.lane_hash_match /" \
+         "fleet.merge_overhead_pct missing from ${fleet_json}" \
+         "(regenerate with scripts/run_benches.sh)"
+  else
+    if ! awk -v m="${hash_match}" 'BEGIN { exit !(m + 0 == 1) }'; then
+      echo "check_budget: FAIL — fleet diverged across lane counts" \
+           "(fleet.lane_hash_match=${hash_match}; the epoch-barrier merge" \
+           "or a room stepped under contention broke bit-identity)" >&2
+      exit 1
+    fi
+    echo "check_budget: fleet lane identity holds, merge overhead =" \
+         "${merge_pct}% (ceiling ${max_merge_overhead_pct}%)"
+    if ! awk -v m="${merge_pct}" -v ceil="${max_merge_overhead_pct}" \
+      'BEGIN { exit !(m + 0 < ceil + 0) }'; then
+      echo "check_budget: FAIL — serial merge barrier consumes ${merge_pct}%" \
+           "of fleet wall time (ceiling ${max_merge_overhead_pct}%; look for" \
+           "new per-epoch allocation or O(rooms^2) work in the barrier)" >&2
+      exit 1
+    fi
+    if awk -v hw="${fleet_hw}" 'BEGIN { exit !(hw + 0 < 2) }'; then
+      echo "check_budget: SKIP fleet scaling gates — hw_concurrency=${fleet_hw}" \
+           "< 2, parallel stepping is not measurable on this machine" \
+           "(recorded ${fleet_events} events/sec, speedup ${fleet_speedup}x)"
+    elif [[ -z "${fleet_events}" || -z "${fleet_speedup}" ]]; then
+      echo "check_budget: SKIP fleet scaling gates — fleet.events_per_sec /" \
+           "fleet.scaling.speedup missing from ${fleet_json}"
+    else
+      echo "check_budget: fleet events/sec = ${fleet_events} (floor" \
+           "${min_fleet_events_per_sec}), scaling speedup = ${fleet_speedup}x" \
+           "(floor ${min_fleet_speedup}x, hw_concurrency=${fleet_hw})"
+      if ! awk -v e="${fleet_events}" -v floor="${min_fleet_events_per_sec}" \
+        'BEGIN { exit !(e + 0 >= floor + 0) }'; then
+        echo "check_budget: FAIL — ${fleet_events} fleet events/sec is below" \
+             "${min_fleet_events_per_sec} at the 100k-rack rung (regression" \
+             "in room stepping or lane scheduling)" >&2
+        exit 1
+      fi
+      if ! awk -v s="${fleet_speedup}" -v floor="${min_fleet_speedup}" \
+        'BEGIN { exit !(s + 0 >= floor + 0) }'; then
+        echo "check_budget: FAIL — fleet serial-vs-parallel speedup" \
+             "${fleet_speedup}x is below ${min_fleet_speedup}x on" \
+             "${fleet_hw}-wide hardware (lanes are serializing; check the" \
+             "pool handoff and the barrier)" >&2
+        exit 1
+      fi
+    fi
+    echo "check_budget: OK — fleet engine gates hold"
+  fi
+fi
+
 # Solver warm-restart gates. Both are counter ratios, so they are
 # hardware-independent (unlike the speedup gate below): the warm-basis
 # hit rate says how often a branching child actually reused a

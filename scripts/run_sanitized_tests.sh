@@ -40,6 +40,10 @@ echo "run_sanitized_tests: focused obs/fault recorder pass"
 # preallocated rings under eviction pressure — classic off-by-one soil.
 "${build_dir}/tests/obs_timeseries_test" --gtest_brief=1
 "${build_dir}/tests/obs_alerts_test" --gtest_brief=1
+# The fleet engine steps rooms on pool lanes and merges at epoch
+# barriers; its bit-identity suite doubles as a memory-safety probe of
+# the lane-local arenas and the serial merge path.
+"${build_dir}/tests/fleet_test" --gtest_brief=1
 
 if [[ "${FLEX_SKIP_TSAN:-0}" == "1" ]]; then
   echo "run_sanitized_tests: FLEX_SKIP_TSAN=1, skipping TSan pass"
@@ -65,3 +69,6 @@ echo "run_sanitized_tests: TSan pass (common/solver/offline suites)"
 # Alert/store bit-identity across parallel sweep lanes: lane-local
 # stores running under the thread pool must never share state.
 "${tsan_dir}/tests/obs_alerts_test" --gtest_brief=1
+# Fleet lanes step concurrent RoomEmulations against the epoch barrier;
+# any cross-lane write TSan finds here is also a determinism bug.
+"${tsan_dir}/tests/fleet_test" --gtest_brief=1

@@ -572,6 +572,10 @@ RoomEmulation::BuildLiveSnapshot()
     obs::UpdateLogMetrics(metrics);
     metrics.gauge("emulation.max_ups_load_fraction")
         .Set(max_ups_load_fraction_);
+    if (fleet_overload_fraction_ >= 0.0) {
+      metrics.gauge("fleet.substation_overload_fraction")
+          .Set(fleet_overload_fraction_);
+    }
     if (config_.watchdog != nullptr) {
       metrics.gauge("watchdog.stall_events")
           .Set(static_cast<double>(config_.watchdog->stall_events()));
@@ -625,6 +629,12 @@ RoomEmulation::BuildLiveSnapshot()
     gauge("emulation.racks_off", static_cast<double>(last.racks_off));
     gauge("emulation.total_rack_mw", last.total_rack_mw);
   }
+  // Fleet lanes learn the shared-substation overload at each epoch
+  // barrier; standalone rooms never set it, so their snapshots are
+  // unchanged. "emulation.*" < "fleet.*" < "pipeline.*" keeps the rows
+  // sorted.
+  if (fleet_overload_fraction_ >= 0.0)
+    gauge("fleet.substation_overload_fraction", fleet_overload_fraction_);
   push("pipeline.readings_delivered", obs::MetricKind::kCounter,
        static_cast<double>(pipeline_->delivered_count()));
   if (config_.solver_live != nullptr) {
@@ -755,7 +765,25 @@ RoomEmulation::MonitorTick(const std::vector<Watts>& ups)
 EmulationReport
 RoomEmulation::Run()
 {
+  StartTimeline();
+  AdvanceTo(config_.end_at);
+  return Finish();
+}
+
+void
+RoomEmulation::StartTimeline()
+{
+  FLEX_REQUIRE(!timeline_started_, "timeline already started");
+  timeline_started_ = true;
   pipeline_->Start();
+
+  // Reserve the sample series at its final size so epoch-driven
+  // stepping never reallocates mid-run (the fleet engine's
+  // zero-allocation steady state rides this).
+  report_.series.reserve(
+      static_cast<std::size_t>(config_.end_at.value() /
+                               config_.sample_period.value()) +
+      2);
 
   // Workload stepping.
   sim::SchedulePeriodic(queue_, config_.workload_step, [this] {
@@ -802,11 +830,10 @@ RoomEmulation::Run()
     });
   }
 
-  double time_to_safe = -1.0;
-  sim::SchedulePeriodic(queue_, Seconds(0.5), [this, &time_to_safe] {
+  sim::SchedulePeriodic(queue_, Seconds(0.5), [this] {
     if (queue_.Now() < config_.failover_at)
       return true;
-    if (time_to_safe >= 0.0)
+    if (time_to_safe_ >= 0.0)
       return false;
     const std::vector<Watts> ups = UpsLoadsNow();
     bool safe = true;
@@ -815,7 +842,7 @@ RoomEmulation::Run()
         safe = false;
     }
     if (safe && queue_.Now() > config_.failover_at) {
-      time_to_safe = (queue_.Now() - config_.failover_at).value();
+      time_to_safe_ = (queue_.Now() - config_.failover_at).value();
       return false;
     }
     return true;
@@ -850,13 +877,65 @@ RoomEmulation::Run()
     report_.noncap_acted = std::max(report_.noncap_acted, noncap_acted);
     return queue_.Now() < config_.end_at;
   });
+}
 
-  queue_.RunUntil(config_.end_at);
+std::uint64_t
+RoomEmulation::AdvanceTo(Seconds horizon)
+{
+  FLEX_REQUIRE(timeline_started_, "StartTimeline before AdvanceTo");
+  if (horizon > config_.end_at)
+    horizon = config_.end_at;
+  if (horizon < queue_.Now())
+    return 0;
+  return static_cast<std::uint64_t>(queue_.RunUntil(horizon));
+}
+
+void
+RoomEmulation::SnapshotEpoch(RoomEpochView* out) const
+{
+  FLEX_REQUIRE(out != nullptr, "null epoch view");
+  out->t_seconds = queue_.Now().value();
+  out->total_rack_mw = config_.incremental_aggregation
+                           ? agg_.TotalLoad().megawatts()
+                           : (report_.series.empty()
+                                  ? 0.0
+                                  : report_.series.back().total_rack_mw);
+  out->max_ups_load_fraction = max_ups_load_fraction_;
+  out->events_executed = queue_.executed_count();
+  out->racks_off = off_count_;
+  out->racks_capped = capped_count_;
+  out->safety_violated = report_.safety_violated;
+  out->battery_tripped = report_.battery_tripped;
+  out->samples_recorded = static_cast<std::uint64_t>(report_.series.size());
+  if (alert_engine_ != nullptr) {
+    out->alert_edges =
+        static_cast<std::uint64_t>(alert_engine_->timeline().size());
+    out->alerts_fired = alert_engine_->total_fired();
+  } else {
+    out->alert_edges = 0;
+    out->alerts_fired = 0;
+  }
+}
+
+void
+RoomEmulation::SetFleetOverloadGauge(double overload_fraction)
+{
+  fleet_overload_fraction_ = overload_fraction;
+}
+
+EmulationReport
+RoomEmulation::Finish()
+{
+  FLEX_REQUIRE(timeline_started_, "StartTimeline before Finish");
+  FLEX_REQUIRE(queue_.Now() >= config_.end_at,
+               "Finish before the timeline end");
+  FLEX_REQUIRE(!finished_, "Finish called twice");
+  finished_ = true;
   pipeline_->Stop();
   queue_.RunUntil(config_.end_at + Seconds(5.0));  // drain deliveries
 
   // --- Assemble the report -------------------------------------------------
-  report_.time_to_safe_seconds = time_to_safe;
+  report_.time_to_safe_seconds = time_to_safe_;
   if (report_.sr_racks > 0) {
     report_.sr_shutdown_fraction =
         static_cast<double>(report_.sr_shutdown_peak) / report_.sr_racks;

@@ -259,8 +259,33 @@ struct EmulationReport {
 };
 
 /**
+ * A lock-free, allocation-free view of one room's state at an epoch
+ * barrier. The fleet engine fills one per lane (in serial room order)
+ * instead of copying reports mid-run.
+ */
+struct RoomEpochView {
+  double t_seconds = 0.0;
+  double total_rack_mw = 0.0;
+  double max_ups_load_fraction = 0.0;
+  std::uint64_t events_executed = 0;
+  int racks_off = 0;
+  int racks_capped = 0;
+  bool safety_violated = false;
+  bool battery_tripped = false;
+  std::uint64_t samples_recorded = 0;
+  std::uint64_t alert_edges = 0;   ///< alert timeline length so far
+  std::uint64_t alerts_fired = 0;  ///< cumulative firing edges
+};
+
+/**
  * The emulation harness. Also the telemetry pipeline's ground-truth
  * power source.
+ *
+ * Two driving modes share one timeline: Run() executes it monolithically,
+ * while the epoch-bounded API — StartTimeline() / AdvanceTo() / Finish()
+ * — lets an external driver (emulation/fleet_emulation.hpp) tile the same
+ * timeline into fixed simulated-time epochs. EventQueue::RunUntil tiles
+ * exactly, so the two modes execute bit-identical event traces.
  */
 class RoomEmulation : public telemetry::PowerSource {
  public:
@@ -269,6 +294,42 @@ class RoomEmulation : public telemetry::PowerSource {
 
   /** Runs the full timeline and returns the report. */
   EmulationReport Run();
+
+  // --- Epoch-bounded driving (the fleet engine's lane API) ---------------
+  /**
+   * Schedules the full timeline and starts the pipeline without running
+   * any events. Also reserves the report's sample series at its final
+   * size, so steady-state epoch stepping records samples without
+   * allocating. Call once; Run() calls it internally.
+   */
+  void StartTimeline();
+  /**
+   * Executes all events up to and including @p horizon (clamped to the
+   * timeline end) and leaves the clock at the horizon. @return events
+   * executed in this segment.
+   */
+  std::uint64_t AdvanceTo(Seconds horizon);
+  /** Earliest pending event, +inf when drained (lane idle detection). */
+  Seconds NextEventTime() { return queue_.NextEventTime(); }
+  /**
+   * Stops the pipeline, drains the delivery tail, and assembles the
+   * report. Requires the clock to have reached the timeline end.
+   */
+  EmulationReport Finish();
+  /** Fills @p out from current state; no allocation, no side effects. */
+  void SnapshotEpoch(RoomEpochView* out) const;
+  /**
+   * Fleet coupling channel (barrier path only): records the latest
+   * fleet-level substation overload fraction so the room's metric
+   * snapshots carry the shared-feed context. Purely observational — the
+   * value is never read by any control decision, so wiring it cannot
+   * change the room's event trace.
+   */
+  void SetFleetOverloadGauge(double overload_fraction);
+
+  const EmulationConfig& config() const { return config_; }
+  /** Racks the placement actually produced (known after construction). */
+  int total_racks() const { return report_.total_racks; }
 
   // telemetry::PowerSource:
   Watts CurrentPower(telemetry::DeviceId device) const override;
@@ -360,6 +421,13 @@ class RoomEmulation : public telemetry::PowerSource {
 
   power::UpsId failed_ups_ = -1;
   int watchdog_id_ = -1;  ///< heartbeat slot in config_.watchdog
+  // Epoch-bounded driving state.
+  bool timeline_started_ = false;
+  bool finished_ = false;
+  double time_to_safe_ = -1.0;  ///< failover -> under-limit latency
+  /** Latest fleet substation overload fraction; < 0 until the fleet
+      barrier publishes one (standalone rooms never see it). */
+  double fleet_overload_fraction_ = -1.0;
   std::unique_ptr<obs::TimeSeriesStore> ts_store_;
   std::unique_ptr<obs::AlertEngine> alert_engine_;
   bool alert_bundle_written_ = false;

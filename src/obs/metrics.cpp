@@ -165,6 +165,32 @@ MetricsSnapshot::Find(const std::string& name) const
   return nullptr;
 }
 
+void
+MetricsSnapshotBuilder::Push(std::string name, MetricKind kind, double value)
+{
+  MetricRow row;
+  row.name = std::move(name);
+  row.kind = kind;
+  row.value = value;
+  rows_.push_back(std::move(row));
+}
+
+void
+MetricsSnapshotBuilder::Build(double sim_time_seconds, MetricsSnapshot* out)
+{
+  FLEX_REQUIRE(out != nullptr, "null snapshot output");
+  std::sort(rows_.begin(), rows_.end(),
+            [](const MetricRow& a, const MetricRow& b) {
+              return a.name < b.name;
+            });
+  out->sim_time_seconds = sim_time_seconds;
+  // Swap storage instead of copying: the caller's old rows become the
+  // builder's next buffer, so a publish loop stops allocating once both
+  // vectors have grown to the steady-state row count.
+  std::swap(out->rows, rows_);
+  rows_.clear();
+}
+
 MetricsRegistry::MetricsRegistry(const sim::EventQueue* clock) : clock_(clock)
 {
 }

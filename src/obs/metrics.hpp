@@ -147,6 +147,38 @@ struct MetricsSnapshot {
 };
 
 /**
+ * Builds a synthesized MetricsSnapshot without a registry, keeping the
+ * sorted-rows contract mechanically instead of by caller discipline.
+ * Headless harnesses (sweep lanes, the fleet engine's rollup) push
+ * rows in any order and Build() sorts once. Reusable: Build() recycles
+ * the output snapshot's row storage back into the builder, so the two
+ * vectors ping-pong instead of regrowing. Callers on a zero-allocation
+ * hot path should instead build their snapshot once and update row
+ * values in place (the fleet barrier does this).
+ */
+class MetricsSnapshotBuilder {
+ public:
+  /** Appends a gauge/counter row (histogram rows are registry-only). */
+  void Push(std::string name, MetricKind kind, double value);
+  void Gauge(std::string name, double value) {
+    Push(std::move(name), MetricKind::kGauge, value);
+  }
+  void Counter(std::string name, double value) {
+    Push(std::move(name), MetricKind::kCounter, value);
+  }
+
+  /**
+   * Sorts the accumulated rows by name and moves them into @p out
+   * (whose previous rows vector is recycled as the builder's next
+   * buffer — the allocation ping-pongs instead of growing).
+   */
+  void Build(double sim_time_seconds, MetricsSnapshot* out);
+
+ private:
+  std::vector<MetricRow> rows_;
+};
+
+/**
  * The registry. Metric objects are created on first use and live as
  * long as the registry, so instrumented components can cache the
  * returned references and skip the name lookup on hot paths.

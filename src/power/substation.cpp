@@ -1,0 +1,35 @@
+#include "substation.hpp"
+
+#include "common/error.hpp"
+
+namespace flex::power {
+
+SubstationConfig
+SubstationConfig::ForRooms(int rooms, const RoomConfig& room,
+                           double headroom_fraction)
+{
+  FLEX_REQUIRE(rooms >= 1, "substation needs at least one room");
+  FLEX_REQUIRE(headroom_fraction > 0.0, "headroom fraction must be positive");
+  const RoomTopology topology(room);
+  SubstationConfig config;
+  config.capacity = topology.TotalProvisionedPower() *
+                    (static_cast<double>(rooms) * headroom_fraction);
+  return config;
+}
+
+SubstationStatus
+EvaluateSubstation(const SubstationConfig& config, Watts fleet_load)
+{
+  SubstationStatus status;
+  status.load = fleet_load;
+  if (!config.enabled())
+    return status;
+  status.utilization = fleet_load / config.capacity;
+  if (status.utilization > 1.0) {
+    status.overloaded = true;
+    status.overload_fraction = status.utilization - 1.0;
+  }
+  return status;
+}
+
+}  // namespace flex::power

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Fleet-level shared substation capacity.
+ *
+ * Flex's economics are a fleet argument: many rooms share one upstream
+ * feed, and the zero-reserved-power claim is that failover headroom can
+ * be pooled across them instead of reserved per room. This module models
+ * that single shared resource — a substation capacity that the sum of
+ * all room loads draws against — as a pure function evaluated at the
+ * fleet engine's epoch barriers. It deliberately has no state and no
+ * clock: the fleet merge hands it one aggregate load per epoch, in
+ * serial room order, so the verdict is bit-identical at any lane count.
+ */
+#ifndef FLEX_POWER_SUBSTATION_HPP_
+#define FLEX_POWER_SUBSTATION_HPP_
+
+#include "common/units.hpp"
+#include "power/topology.hpp"
+
+namespace flex::power {
+
+/** Shared upstream feed for a fleet of rooms. */
+struct SubstationConfig {
+  /** Rated capacity of the shared feed; <= 0 disables the check. */
+  Watts capacity = Watts(0.0);
+
+  bool enabled() const { return capacity.value() > 0.0; }
+
+  /**
+   * Sizes a substation for @p rooms identical rooms: the summed room
+   * provisioned power scaled by @p headroom_fraction. Headroom < 1
+   * oversubscribes the feed (the Flex posture: rooms share failover
+   * margin instead of each reserving its own); 1.0 matches provisioned
+   * power exactly.
+   */
+  static SubstationConfig ForRooms(int rooms, const RoomConfig& room,
+                                   double headroom_fraction);
+};
+
+/** Verdict for one epoch's aggregate fleet load. */
+struct SubstationStatus {
+  Watts load = Watts(0.0);
+  /** load / capacity; 0 when the check is disabled. */
+  double utilization = 0.0;
+  bool overloaded = false;
+  /** utilization - 1 when overloaded, else 0. */
+  double overload_fraction = 0.0;
+};
+
+/**
+ * Evaluates @p fleet_load against the shared cap. Pure function — the
+ * fleet engine calls it once per epoch barrier with the serial-order
+ * sum of room loads, so wiring it cannot perturb any room's event
+ * trace.
+ */
+SubstationStatus EvaluateSubstation(const SubstationConfig& config,
+                                    Watts fleet_load);
+
+}  // namespace flex::power
+
+#endif  // FLEX_POWER_SUBSTATION_HPP_

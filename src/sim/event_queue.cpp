@@ -199,6 +199,59 @@ EventQueue::PopEarliest(double horizon, Entry& out)
                               : PopEarliestCalendar(horizon, out);
 }
 
+double
+EventQueue::PeekEarliestHeap()
+{
+  while (!heap_.empty() && pending_.count(heap_.top().id) == 0)
+    heap_.pop();  // cancelled: drop silently, same as the pop path
+  if (heap_.empty())
+    return std::numeric_limits<double>::infinity();
+  return heap_.top().when.value();
+}
+
+double
+EventQueue::PeekEarliestCalendar()
+{
+  // Mirrors PopEarliestCalendar's scan — compact cancelled entries,
+  // advance the cursor over drained buckets, rebase the wheel from the
+  // far heap — but leaves the winning entry in place.
+  for (;;) {
+    while (wheel_entries_ > 0 && cursor_ < kNumBuckets) {
+      std::vector<Entry>& bucket = buckets_[cursor_];
+      std::size_t best = bucket.size();
+      std::size_t write = 0;
+      for (std::size_t read = 0; read < bucket.size(); ++read) {
+        if (pending_.count(bucket[read].id) == 0) {
+          --wheel_entries_;
+          continue;  // cancelled: compact it away
+        }
+        if (write != read)
+          bucket[write] = std::move(bucket[read]);
+        if (best == bucket.size() ||
+            bucket[write].when < bucket[best].when)
+          best = write;
+        ++write;
+      }
+      bucket.resize(write);
+      if (bucket.empty()) {
+        ++cursor_;
+        continue;
+      }
+      return bucket[best].when.value();
+    }
+    // Wheel exhausted (only tombstones may remain in passed buckets).
+    if (!AdvanceWheel())
+      return std::numeric_limits<double>::infinity();
+  }
+}
+
+Seconds
+EventQueue::NextEventTime()
+{
+  return Seconds(impl_ == Impl::kHeap ? PeekEarliestHeap()
+                                      : PeekEarliestCalendar());
+}
+
 std::size_t
 EventQueue::RunUntil(Seconds horizon)
 {

@@ -113,10 +113,24 @@ class EventQueue {
   /**
    * Runs events until the queue drains or @p horizon is reached, whichever
    * comes first. Time advances to the horizon even if the queue drains
-   * earlier, so repeated RunUntil calls tile a timeline predictably.
+   * earlier, so repeated RunUntil calls tile a timeline predictably:
+   * RunUntil(t1); RunUntil(t2) executes the exact event sequence of a
+   * single RunUntil(t2). This is the epoch-bounded run API the fleet
+   * engine advances its lanes with — each lane tiles its own timeline
+   * into fixed epochs and the barriers merge between tiles.
    * @return the number of events executed.
    */
   std::size_t RunUntil(Seconds horizon);
+
+  /**
+   * Timestamp of the earliest still-runnable event, or +infinity when
+   * none is pending. Purely observational with respect to the event
+   * trace (cancelled entries encountered on the way are discarded, which
+   * is invisible to execution order), so an epoch driver can poll it
+   * between RunUntil tiles to detect drained lanes or skip empty epochs
+   * without perturbing determinism.
+   */
+  Seconds NextEventTime();
 
   /** Runs a single event if one is pending. @return true if one ran. */
   bool Step();
@@ -164,6 +178,9 @@ class EventQueue {
   bool PopEarliest(double horizon, Entry& out);
   bool PopEarliestHeap(double horizon, Entry& out);
   bool PopEarliestCalendar(double horizon, Entry& out);
+  /** Earliest live timestamp without executing; +inf when drained. */
+  double PeekEarliestHeap();
+  double PeekEarliestCalendar();
   /** Moves the wheel onto the earliest far-heap event. @return false if none. */
   bool AdvanceWheel();
   void NotifyObservers(Seconds when);

@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Fleet-engine determinism and coupling tests.
+ *
+ * The fleet engine's contract is the repository's house invariant at a
+ * new layer: rooms step in parallel across lanes, but every hash, every
+ * merged alert edge, and every rollup row is a pure function of the
+ * configuration — bit-identical at 1, 2, and 8 lanes, and (for a fleet
+ * of one) identical to monolithic RoomEmulation::Run().
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "emulation/fleet_emulation.hpp"
+#include "emulation/room_emulation.hpp"
+#include "emulation/sweep.hpp"
+#include "power/substation.hpp"
+
+namespace flex::emulation {
+namespace {
+
+/**
+ * Short deterministic timeline: node-budgeted placement (not
+ * wall-clock) so runs are bit-identical regardless of machine speed,
+ * plus the telemetry-outage drill so alert edges exist to merge.
+ */
+EmulationConfig
+FleetRoomConfig(std::uint64_t seed)
+{
+  EmulationConfig config;
+  config.setup_duration = Seconds(30.0);
+  config.failover_at = Seconds(120.0);
+  config.restore_at = Seconds(200.0);
+  config.end_at = Seconds(260.0);
+  config.seed = seed;
+  config.placement_solve_seconds = 1e9;
+  config.placement_max_nodes = 2000;
+  config.alerts.enabled = true;
+  config.telemetry_outage_at = Seconds(140.0);
+  config.telemetry_outage_until = Seconds(180.0);
+  return config;
+}
+
+FleetConfig
+SmallFleet(int rooms, int threads)
+{
+  FleetConfig config;
+  config.room = FleetRoomConfig(2021);
+  config.rooms = rooms;
+  config.threads = threads;
+  config.epoch = Seconds(30.0);
+  return config;
+}
+
+TEST(FleetEmulationTest, FleetOfOneMatchesMonolithicRun)
+{
+  // Epoch-bounded driving tiles the same timeline RunUntil would run in
+  // one call, so a 1-room fleet must reproduce the standalone room
+  // bit-for-bit — series, counters, alert timeline, store contents.
+  RoomEmulation standalone(FleetRoomConfig(2021));
+  const EmulationReport solo = standalone.Run();
+
+  FleetEmulation fleet(SmallFleet(1, 1));
+  const FleetReport report = fleet.Run();
+
+  ASSERT_EQ(report.rooms.size(), 1u);
+  const EmulationReport& laned = report.rooms[0].report;
+  EXPECT_EQ(HashEmulationReport(solo), HashEmulationReport(laned));
+  EXPECT_EQ(solo.alert_fingerprint, laned.alert_fingerprint);
+  EXPECT_EQ(solo.store_fingerprint, laned.store_fingerprint);
+  EXPECT_EQ(solo.events_executed, laned.events_executed);
+  EXPECT_EQ(solo.series.size(), laned.series.size());
+}
+
+TEST(FleetEmulationTest, FleetIsBitIdenticalAtOneTwoAndEightLanes)
+{
+  // The acceptance bar: per-room lane-identity hashes, final report
+  // hashes, the merged alert timeline, and every rollup row agree
+  // across lane counts. The substation coupling is on, so the barrier
+  // feedback path is exercised too.
+  const auto run = [](int threads) {
+    FleetConfig config = SmallFleet(3, threads);
+    config.substation = power::SubstationConfig::ForRooms(
+        3, config.room.room, /*headroom_fraction=*/0.9);
+    FleetEmulation fleet(config);
+    return fleet.Run();
+  };
+  const FleetReport one = run(1);
+  const FleetReport two = run(2);
+  const FleetReport eight = run(8);
+
+  EXPECT_EQ(one.lanes, 1);
+  EXPECT_GE(two.lanes, 2);
+  EXPECT_GE(eight.lanes, 8);
+
+  for (const FleetReport* other : {&two, &eight}) {
+    EXPECT_EQ(one.fleet_hash, other->fleet_hash);
+    EXPECT_EQ(one.alert_fingerprint, other->alert_fingerprint);
+    ASSERT_EQ(one.rooms.size(), other->rooms.size());
+    for (std::size_t r = 0; r < one.rooms.size(); ++r) {
+      EXPECT_EQ(one.rooms[r].epoch_hash, other->rooms[r].epoch_hash)
+          << "room " << r;
+      EXPECT_EQ(one.rooms[r].report_hash, other->rooms[r].report_hash)
+          << "room " << r;
+      EXPECT_EQ(one.rooms[r].report.store_fingerprint,
+                other->rooms[r].report.store_fingerprint)
+          << "room " << r;
+    }
+    ASSERT_EQ(one.alert_timeline.size(), other->alert_timeline.size());
+    for (std::size_t e = 0; e < one.alert_timeline.size(); ++e) {
+      EXPECT_EQ(one.alert_timeline[e].room, other->alert_timeline[e].room);
+      EXPECT_EQ(one.alert_timeline[e].edge.t,
+                other->alert_timeline[e].edge.t);
+      EXPECT_EQ(one.alert_timeline[e].edge.rule,
+                other->alert_timeline[e].edge.rule);
+    }
+    ASSERT_EQ(one.rollup.rows.size(), other->rollup.rows.size());
+    for (std::size_t i = 0; i < one.rollup.rows.size(); ++i) {
+      EXPECT_EQ(one.rollup.rows[i].name, other->rollup.rows[i].name);
+      EXPECT_EQ(one.rollup.rows[i].value, other->rollup.rows[i].value)
+          << one.rollup.rows[i].name;
+    }
+  }
+
+  // The drill fired somewhere, so the merge actually moved edges.
+  EXPECT_GT(one.alert_timeline.size(), 0u);
+  EXPECT_EQ(one.events_executed, two.events_executed);
+}
+
+TEST(FleetEmulationTest, EpochLengthDoesNotChangeRoomOutcomes)
+{
+  // Tiling the timeline into 30 s epochs vs one whole-run epoch must
+  // execute identical event traces per room (EventQueue::RunUntil tiles
+  // exactly). Only merge-cadence artifacts (epoch counts, alert-edge
+  // interleaving across rooms) may differ.
+  FleetConfig fine = SmallFleet(2, 1);
+  FleetConfig coarse = SmallFleet(2, 1);
+  coarse.epoch = coarse.room.end_at;
+  FleetEmulation fine_fleet(fine);
+  FleetEmulation coarse_fleet(coarse);
+  const FleetReport a = fine_fleet.Run();
+  const FleetReport b = coarse_fleet.Run();
+
+  EXPECT_GT(a.epochs, b.epochs);
+  EXPECT_EQ(b.epochs, 1u);
+  ASSERT_EQ(a.rooms.size(), b.rooms.size());
+  for (std::size_t r = 0; r < a.rooms.size(); ++r) {
+    EXPECT_EQ(a.rooms[r].report_hash, b.rooms[r].report_hash) << "room " << r;
+  }
+  EXPECT_EQ(a.alert_timeline.size(), b.alert_timeline.size());
+}
+
+TEST(FleetEmulationTest, SubstationCouplingIsObservationalOnly)
+{
+  // The shared-cap verdict feeds back only as a metrics gauge; it must
+  // never change any room's event trace or recorded outcomes.
+  FleetConfig without = SmallFleet(2, 1);
+  FleetConfig with = SmallFleet(2, 1);
+  with.substation = power::SubstationConfig::ForRooms(
+      2, with.room.room, /*headroom_fraction=*/0.5);  // tight: overloads
+  FleetEmulation plain_fleet(without);
+  FleetEmulation coupled_fleet(with);
+  const FleetReport plain = plain_fleet.Run();
+  const FleetReport coupled = coupled_fleet.Run();
+
+  ASSERT_EQ(plain.rooms.size(), coupled.rooms.size());
+  for (std::size_t r = 0; r < plain.rooms.size(); ++r) {
+    EXPECT_EQ(plain.rooms[r].report_hash, coupled.rooms[r].report_hash)
+        << "room " << r;
+  }
+  // The coupled fleet actually evaluated the feed.
+  EXPECT_GT(coupled.peak_substation_utilization, 0.0);
+  EXPECT_EQ(plain.peak_substation_utilization, 0.0);
+  const obs::MetricRow* gauge =
+      coupled.rollup.Find("fleet.substation_utilization");
+  ASSERT_NE(gauge, nullptr);
+  EXPECT_GT(gauge->value, 0.0);
+}
+
+TEST(FleetEmulationTest, RollupAndAccountingAreCoherent)
+{
+  FleetConfig config = SmallFleet(2, 1);
+  FleetEmulation fleet(config);
+  const int racks = fleet.total_racks();
+  EXPECT_GT(racks, 0);
+  const FleetReport report = fleet.Run();
+
+  EXPECT_EQ(report.total_racks, racks);
+  EXPECT_EQ(report.total_racks,
+            report.rooms[0].report.total_racks +
+                report.rooms[1].report.total_racks);
+  EXPECT_EQ(report.epochs,
+            static_cast<std::uint64_t>(std::ceil(
+                config.room.end_at.value() / config.epoch.value())));
+  EXPECT_GT(report.events_executed, 0u);
+  EXPECT_GT(report.step_wall_seconds, 0.0);
+  EXPECT_GE(report.merge_wall_seconds, 0.0);
+  EXPECT_GT(report.lane_busy_seconds, 0.0);
+
+  const obs::MetricRow* rooms_row = report.rollup.Find("fleet.rooms");
+  ASSERT_NE(rooms_row, nullptr);
+  EXPECT_EQ(rooms_row->value, 2.0);
+  const obs::MetricRow* racks_row = report.rollup.Find("fleet.total_racks");
+  ASSERT_NE(racks_row, nullptr);
+  EXPECT_EQ(racks_row->value, static_cast<double>(racks));
+  const obs::MetricRow* events_row =
+      report.rollup.Find("fleet.events_executed");
+  ASSERT_NE(events_row, nullptr);
+  EXPECT_GT(events_row->value, 0.0);
+  // Rollup rows honour the MetricsSnapshot sorted-by-name contract.
+  for (std::size_t i = 1; i < report.rollup.rows.size(); ++i)
+    EXPECT_LT(report.rollup.rows[i - 1].name, report.rollup.rows[i].name);
+}
+
+}  // namespace
+}  // namespace flex::emulation

@@ -2,6 +2,7 @@
  * @file
  * Unit tests for the discrete-event simulation kernel.
  */
+#include <cmath>
 #include <cstdint>
 #include <utility>
 #include <vector>
@@ -57,6 +58,46 @@ TEST(EventQueueTest, TimeAdvancesToHorizonEvenWhenIdle)
   EventQueue q;
   q.RunUntil(Seconds(42.0));
   EXPECT_NEAR(q.Now().value(), 42.0, 1e-12);
+}
+
+TEST(EventQueueTest, NextEventTimeTracksEarliestPendingAcrossBackends)
+{
+  EventQueue q;
+  EXPECT_TRUE(std::isinf(q.NextEventTime().value()));
+  // Far event lands in the overflow heap, near event in the calendar
+  // wheel; NextEventTime must report the minimum across both.
+  q.Schedule(Seconds(5000.0), [] {});
+  EXPECT_NEAR(q.NextEventTime().value(), 5000.0, 1e-12);
+  const EventId near = q.Schedule(Seconds(1.0), [] {});
+  EXPECT_NEAR(q.NextEventTime().value(), 1.0, 1e-12);
+  q.Cancel(near);
+  EXPECT_NEAR(q.NextEventTime().value(), 5000.0, 1e-12);
+  q.RunAll();
+  EXPECT_TRUE(std::isinf(q.NextEventTime().value()));
+}
+
+TEST(EventQueueTest, RunUntilTilesExactly)
+{
+  // The fleet engine drives each room in fixed epochs; a tiled drive
+  // RunUntil(t1); RunUntil(t2) must be indistinguishable from one
+  // RunUntil(t2), including events landing exactly on a tile boundary.
+  std::vector<double> tiled;
+  std::vector<double> whole;
+  const auto load = [](EventQueue& q, std::vector<double>& out) {
+    for (double t : {0.5, 2.0, 2.5, 3.999, 4.0, 7.25})
+      q.ScheduleAt(Seconds(t), [&out, &q] { out.push_back(q.Now().value()); });
+  };
+  EventQueue a;
+  load(a, tiled);
+  std::size_t tiled_count = 0;
+  for (double h = 2.0; h <= 8.0; h += 2.0)
+    tiled_count += a.RunUntil(Seconds(h));
+  EventQueue b;
+  load(b, whole);
+  const std::size_t whole_count = b.RunUntil(Seconds(8.0));
+  EXPECT_EQ(tiled_count, whole_count);
+  EXPECT_EQ(tiled, whole);
+  EXPECT_NEAR(a.Now().value(), b.Now().value(), 1e-12);
 }
 
 TEST(EventQueueTest, CancelPreventsExecution)

@@ -879,5 +879,34 @@ TEST(ModelTest, RejectsConstraintsOnUnknownVariables)
       flex::ConfigError);
 }
 
+TEST(BranchAndBoundTest, PropagationPrunesAContradictedChildWithoutAnLp)
+{
+  // minimize x s.t. 2x >= 1, x binary. The root LP relaxes to x = 0.5,
+  // so the search branches; the x <= 0 child's bound override empties
+  // the row's activity box (max activity 0 < rhs 1), which node-local
+  // propagation must detect and prune before any LP solve — the
+  // propagation_prunes counter is the proof it fired. Presolve is off
+  // because its singleton-row folding would absorb the row into the
+  // variable bound and leave nothing to propagate.
+  Model m;
+  m.SetSense(Sense::kMinimize);
+  const VarIndex x = m.AddBinary("x", 1.0);
+  m.AddConstraint("half", {{x, 2.0}}, Relation::kGreaterEqual, 1.0);
+
+  BranchAndBoundSolver::Options options;
+  options.presolve = false;
+  options.threads = 1;
+  const MipResult r = BranchAndBoundSolver(options).Solve(m);
+
+  ASSERT_EQ(r.status, MipStatus::kOptimal);
+  EXPECT_NEAR(r.objective, 1.0, 1e-9);
+  EXPECT_NEAR(r.x[static_cast<std::size_t>(x)], 1.0, 1e-9);
+  EXPECT_GE(r.propagation_prunes, 1)
+      << "the contradicted x<=0 child was not pruned by propagation";
+  // Both children of the root were explored: the x >= 1 child via its
+  // LP, the x <= 0 child via the propagation prune.
+  EXPECT_GE(r.nodes_explored, 2);
+}
+
 }  // namespace
 }  // namespace flex::solver
